@@ -1,0 +1,401 @@
+//! The central-value abstraction.
+//!
+//! An affine form's coefficients are always `f64`, but the central value
+//! `a₀` can be stored at different precisions — `f64` (`f64a`), double-double
+//! (`dda`), or `f32` (`f32a`). [`CenterValue`] captures exactly the
+//! operations the affine kernels need: round-to-nearest arithmetic *plus a
+//! sound bound on the rounding error*, which is what feeds the fresh error
+//! symbols.
+
+use safegen_fpcore::dd::{DD_ADD_REL, DD_DIV_REL, DD_MUL_REL, DD_SQRT_REL};
+use safegen_fpcore::round::{
+    add_rd, add_ru, add_with_err, div_with_err, mul_with_err,
+};
+use safegen_fpcore::Dd;
+use std::fmt::{Debug, Display};
+
+/// A central-value precision for affine forms.
+///
+/// Every `*_err` method returns the round-to-nearest result together with a
+/// sound **upper bound on the magnitude of its rounding error** (as `f64`;
+/// error magnitudes always fit comfortably in `f64`). `∞` signals overflow,
+/// which poisons the form's radius — soundly, since an infinite radius
+/// certifies nothing.
+///
+/// This trait is sealed: the three provided precisions are the supported
+/// set.
+pub trait CenterValue: Copy + Debug + Display + PartialEq + private::Sealed + 'static {
+    /// Mantissa bits of this precision (53, 106, 24).
+    const MANTISSA_BITS: u32;
+    /// Short name used in diagnostics and emitted code (`f64a`, `dda`, `f32a`).
+    const NAME: &'static str;
+
+    /// Conversion from `f64` (exact for `f64` and `Dd`; rounds for `f32`,
+    /// returning the conversion error in the second component).
+    fn from_f64(x: f64) -> (Self, f64);
+    /// Round to the nearest `f64`.
+    fn to_f64(self) -> f64;
+    /// `|self|` as `f64` (rounded up for `Dd`).
+    fn abs_f64(self) -> f64;
+    /// True if the value is NaN.
+    fn is_nan(self) -> bool;
+
+    /// `RN(a + b)` and a bound on its rounding error.
+    fn add_err(a: Self, b: Self) -> (Self, f64);
+    /// `RN(a − b)` and a bound on its rounding error.
+    fn sub_err(a: Self, b: Self) -> (Self, f64);
+    /// `RN(a · b)` and a bound on its rounding error.
+    fn mul_err(a: Self, b: Self) -> (Self, f64);
+    /// `RN(a / b)` and a bound on its rounding error.
+    fn div_err(a: Self, b: Self) -> (Self, f64);
+    /// `RN(√a)` and a bound on its rounding error.
+    fn sqrt_err(a: Self) -> (Self, f64);
+    /// Negation (exact).
+    fn neg(self) -> Self;
+
+    /// `RN(self · c)` for an `f64` coefficient, with error bound — the
+    /// center-times-coefficient products of affine multiplication.
+    fn scale_coeff(self, c: f64) -> (f64, f64);
+
+    /// Sound lower bound of `self − radius` as `f64`.
+    fn range_lo(self, radius: f64) -> f64;
+    /// Sound upper bound of `self + radius` as `f64`.
+    fn range_hi(self, radius: f64) -> f64;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for super::Dd {}
+    impl Sealed for f32 {}
+}
+
+impl CenterValue for f64 {
+    const MANTISSA_BITS: u32 = 53;
+    const NAME: &'static str = "f64a";
+
+    #[inline]
+    fn from_f64(x: f64) -> (f64, f64) {
+        (x, 0.0)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs_f64(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+    #[inline]
+    fn add_err(a: f64, b: f64) -> (f64, f64) {
+        add_with_err(a, b)
+    }
+    #[inline]
+    fn sub_err(a: f64, b: f64) -> (f64, f64) {
+        add_with_err(a, -b)
+    }
+    #[inline]
+    fn mul_err(a: f64, b: f64) -> (f64, f64) {
+        mul_with_err(a, b)
+    }
+    #[inline]
+    fn div_err(a: f64, b: f64) -> (f64, f64) {
+        div_with_err(a, b)
+    }
+    #[inline]
+    fn sqrt_err(a: f64) -> (f64, f64) {
+        let s = a.sqrt();
+        if !s.is_finite() || s == 0.0 {
+            return (s, 0.0);
+        }
+        // RN error ≤ ulp(s)/2.
+        (s, 0.5 * safegen_fpcore::metrics::ulp(s))
+    }
+    #[inline]
+    fn neg(self) -> f64 {
+        -self
+    }
+    #[inline]
+    fn scale_coeff(self, c: f64) -> (f64, f64) {
+        mul_with_err(self, c)
+    }
+    #[inline]
+    fn range_lo(self, radius: f64) -> f64 {
+        add_rd(self, -radius)
+    }
+    #[inline]
+    fn range_hi(self, radius: f64) -> f64 {
+        add_ru(self, radius)
+    }
+}
+
+impl CenterValue for Dd {
+    const MANTISSA_BITS: u32 = 106;
+    const NAME: &'static str = "dda";
+
+    #[inline]
+    fn from_f64(x: f64) -> (Dd, f64) {
+        (Dd::from(x), 0.0)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self.hi()
+    }
+    #[inline]
+    fn abs_f64(self) -> f64 {
+        add_ru(self.hi().abs(), self.lo().abs())
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Dd::is_nan(self)
+    }
+    #[inline]
+    fn add_err(a: Dd, b: Dd) -> (Dd, f64) {
+        let s = a + b;
+        (s, s.err_bound(DD_ADD_REL))
+    }
+    #[inline]
+    fn sub_err(a: Dd, b: Dd) -> (Dd, f64) {
+        let s = a - b;
+        (s, s.err_bound(DD_ADD_REL))
+    }
+    #[inline]
+    fn mul_err(a: Dd, b: Dd) -> (Dd, f64) {
+        let p = a * b;
+        (p, p.err_bound(DD_MUL_REL))
+    }
+    #[inline]
+    fn div_err(a: Dd, b: Dd) -> (Dd, f64) {
+        let q = a / b;
+        (q, q.err_bound(DD_DIV_REL))
+    }
+    #[inline]
+    fn sqrt_err(a: Dd) -> (Dd, f64) {
+        let s = a.sqrt();
+        (s, s.err_bound(DD_SQRT_REL))
+    }
+    #[inline]
+    fn neg(self) -> Dd {
+        -self
+    }
+    #[inline]
+    fn scale_coeff(self, c: f64) -> (f64, f64) {
+        // Full dd product, then round the dd down to one double; the low
+        // part plus the dd rounding bound is the coefficient error.
+        let p = self * Dd::from(c);
+        let coeff = p.hi();
+        let err = add_ru(p.lo().abs(), p.err_bound(DD_MUL_REL));
+        (coeff, err)
+    }
+    #[inline]
+    fn range_lo(self, radius: f64) -> f64 {
+        let lo = self.add_rd(Dd::from(-radius));
+        // Round the dd endpoint down to f64.
+        if Dd::from(lo.hi()) <= lo {
+            lo.hi()
+        } else {
+            lo.hi().next_down()
+        }
+    }
+    #[inline]
+    fn range_hi(self, radius: f64) -> f64 {
+        let hi = self.add_ru(Dd::from(radius));
+        if Dd::from(hi.hi()) >= hi {
+            hi.hi()
+        } else {
+            hi.hi().next_up()
+        }
+    }
+}
+
+impl CenterValue for f32 {
+    const MANTISSA_BITS: u32 = 24;
+    const NAME: &'static str = "f32a";
+
+    #[inline]
+    fn from_f64(x: f64) -> (f32, f64) {
+        let r = x as f32;
+        let err = (x - r as f64).abs();
+        (r, err)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs_f64(self) -> f64 {
+        self.abs() as f64
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+    #[inline]
+    fn add_err(a: f32, b: f32) -> (f32, f64) {
+        // Exact in f64: both summands have 24-bit significands.
+        let exact = a as f64 + b as f64;
+        let s = exact as f32;
+        if !s.is_finite() && exact.is_finite() {
+            return (s, f64::INFINITY);
+        }
+        (s, (exact - s as f64).abs())
+    }
+    #[inline]
+    fn sub_err(a: f32, b: f32) -> (f32, f64) {
+        Self::add_err(a, -b)
+    }
+    #[inline]
+    fn mul_err(a: f32, b: f32) -> (f32, f64) {
+        let exact = a as f64 * b as f64; // exact 48-bit product
+        let p = exact as f32;
+        if !p.is_finite() && exact.is_finite() {
+            return (p, f64::INFINITY);
+        }
+        (p, (exact - p as f64).abs())
+    }
+    #[inline]
+    fn div_err(a: f32, b: f32) -> (f32, f64) {
+        let q = a / b;
+        if !q.is_finite() || q == 0.0 {
+            return (q, 0.0);
+        }
+        // Exact residual in f64: q*b is exact (24+24 bits), minus a exact.
+        let r = a as f64 - q as f64 * b as f64;
+        ((q), (r / b as f64).abs())
+    }
+    #[inline]
+    fn sqrt_err(a: f32) -> (f32, f64) {
+        let s = (a as f64).sqrt() as f32;
+        if !s.is_finite() || s == 0.0 {
+            return (s, 0.0);
+        }
+        // One f32 ulp over-approximates the double rounding error.
+        let u = (s.abs().next_up() - s.abs()) as f64;
+        (s, u)
+    }
+    #[inline]
+    fn neg(self) -> f32 {
+        -self
+    }
+    #[inline]
+    fn scale_coeff(self, c: f64) -> (f64, f64) {
+        mul_with_err(self as f64, c)
+    }
+    #[inline]
+    fn range_lo(self, radius: f64) -> f64 {
+        add_rd(self as f64, -radius)
+    }
+    #[inline]
+    fn range_hi(self, radius: f64) -> f64 {
+        add_ru(self as f64, radius)
+    }
+}
+
+/// Accumulates error magnitudes with upward rounding (sound running sum for
+/// fresh-symbol magnitudes and radii).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ErrAcc(pub f64);
+
+impl ErrAcc {
+    #[inline]
+    pub fn add(&mut self, e: f64) {
+        if e != 0.0 {
+            self.0 = add_ru(self.0, e);
+        }
+    }
+
+    #[inline]
+    pub fn add_abs(&mut self, e: f64) {
+        let a = e.abs();
+        if a != 0.0 {
+            self.0 = add_ru(self.0, a);
+        }
+    }
+
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_center_roundtrip() {
+        let (c, e) = f64::from_f64(0.1);
+        assert_eq!(c, 0.1);
+        assert_eq!(e, 0.0);
+        assert_eq!(c.to_f64(), 0.1);
+    }
+
+    #[test]
+    fn f32_center_conversion_error() {
+        let (c, e) = f32::from_f64(0.1);
+        assert_eq!(c, 0.1f32);
+        assert!(e > 0.0); // 0.1f64 is not an f32
+        assert!((0.1f64 - c as f64).abs() <= e);
+    }
+
+    #[test]
+    fn dd_center_mul_error_is_tiny() {
+        let a = Dd::ONE / Dd::from(3.0);
+        let (p, e) = <Dd as CenterValue>::mul_err(a, a);
+        assert!(e > 0.0);
+        assert!(e < 1e-30);
+        assert!((p.to_f64() - 1.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_coeff_soundness_f64() {
+        let (c, e) = CenterValue::scale_coeff(0.1f64, 0.3);
+        let exact = Dd::from_two_prod(0.1, 0.3);
+        assert!(Dd::from(c) - Dd::from(e) <= exact);
+        assert!(exact <= Dd::from(c) + Dd::from(e));
+    }
+
+    #[test]
+    fn scale_coeff_soundness_dd() {
+        let a = Dd::ONE / Dd::from(3.0);
+        let (c, e) = CenterValue::scale_coeff(a, 0.3);
+        // exact = a * 0.3 ∈ [c - e, c + e]
+        let exact = a * Dd::from(0.3);
+        assert!(Dd::from(c) - Dd::from(e) <= exact);
+        assert!(exact <= Dd::from(c) + Dd::from(e));
+    }
+
+    #[test]
+    fn range_bounds_bracket_center() {
+        let lo = CenterValue::range_lo(1.0f64, 0.5);
+        let hi = CenterValue::range_hi(1.0f64, 0.5);
+        assert!(lo <= 0.5 && 1.5 <= hi);
+
+        let c = Dd::ONE / Dd::from(3.0);
+        let lo = CenterValue::range_lo(c, 1e-40);
+        let hi = CenterValue::range_hi(c, 1e-40);
+        assert!(Dd::from(lo) <= c && c <= Dd::from(hi));
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn err_acc_is_monotone() {
+        let mut acc = ErrAcc::default();
+        acc.add(1e-20);
+        let a = acc.value();
+        acc.add_abs(-1e-22);
+        assert!(acc.value() >= a);
+        acc.add(0.0);
+        assert!(acc.value() >= a);
+    }
+
+    #[test]
+    fn f32_overflow_reports_infinite_error() {
+        let (_, e) = <f32 as CenterValue>::add_err(f32::MAX, f32::MAX);
+        assert_eq!(e, f64::INFINITY);
+    }
+}

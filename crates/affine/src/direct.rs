@@ -1,0 +1,350 @@
+//! Merge kernels for the direct-mapped placement policy (paper Sec. V-A).
+//!
+//! Symbols live in a fixed array of `k` slots, a symbol with id `i` in slot
+//! `i mod k`. Shared symbols of two operands therefore align by
+//! construction and the merge is a single element-wise pass over the slots
+//! — no sorting, no searching — which is what enables both the order-of-
+//! magnitude speedup of Table III and SIMD vectorization. The price is the
+//! occasional *conflict*: two distinct symbols mapped to the same slot, one
+//! of which must be fused into the operation's fresh symbol according to
+//! the fusion policy.
+//!
+//! The per-slot bodies are factored out ([`linear_slot`], [`mul_slot`]) so
+//! the vectorized kernels in [`crate::vector`] share them for their scalar
+//! fallback lanes, guaranteeing identical semantics.
+
+use crate::center::{CenterValue, ErrAcc};
+use crate::config::{AaContext, Protect};
+use crate::fusion::resolve_conflict;
+use crate::symbol::{SymbolId, Term, NO_SYMBOL};
+use safegen_fpcore::round::add_with_err;
+
+/// Processes one slot of a linear merge `a ± b`, writing the surviving term
+/// into `out` and fusing conflict losers into `noise`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn linear_slot(
+    ia: SymbolId,
+    ca: f64,
+    ib: SymbolId,
+    cb: f64,
+    sign_b: f64,
+    ctx: &AaContext,
+    protect: Protect<'_>,
+    noise: &mut ErrAcc,
+    out_id: &mut SymbolId,
+    out_coeff: &mut f64,
+) {
+    match (ia != NO_SYMBOL, ib != NO_SYMBOL) {
+        (false, false) => {}
+        (true, false) => {
+            *out_id = ia;
+            *out_coeff = ca;
+        }
+        (false, true) => {
+            *out_id = ib;
+            *out_coeff = sign_b * cb;
+        }
+        (true, true) if ia == ib => {
+            let (c, e) = add_with_err(ca, sign_b * cb);
+            noise.add(e);
+            if c != 0.0 {
+                *out_id = ia;
+                *out_coeff = c;
+            }
+        }
+        (true, true) => {
+            // Conflict: distinct symbols share the slot.
+            let left = Term::new(ia, ca);
+            let right = Term::new(ib, sign_b * cb);
+            let keep_left = resolve_conflict(left, right, ctx.config().fusion, ctx, protect);
+            let (kept, fused) = if keep_left { (left, right) } else { (right, left) };
+            *out_id = kept.id;
+            *out_coeff = kept.coeff;
+            noise.add_abs(fused.coeff);
+        }
+    }
+}
+
+/// Processes one slot of a multiplication merge: coefficient
+/// `a₀·bᵢ + b₀·aᵢ` (paper eq. 5), conflicts resolved as in [`linear_slot`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn mul_slot<C: CenterValue>(
+    a0: C,
+    b0: C,
+    ia: SymbolId,
+    ca: f64,
+    ib: SymbolId,
+    cb: f64,
+    ctx: &AaContext,
+    protect: Protect<'_>,
+    noise: &mut ErrAcc,
+    out_id: &mut SymbolId,
+    out_coeff: &mut f64,
+) {
+    match (ia != NO_SYMBOL, ib != NO_SYMBOL) {
+        (false, false) => {}
+        (true, false) => {
+            let (c, e) = b0.scale_coeff(ca);
+            noise.add(e);
+            if c != 0.0 {
+                *out_id = ia;
+                *out_coeff = c;
+            }
+        }
+        (false, true) => {
+            let (c, e) = a0.scale_coeff(cb);
+            noise.add(e);
+            if c != 0.0 {
+                *out_id = ib;
+                *out_coeff = c;
+            }
+        }
+        (true, true) if ia == ib => {
+            let (p1, e1) = b0.scale_coeff(ca);
+            let (p2, e2) = a0.scale_coeff(cb);
+            let (c, e3) = add_with_err(p1, p2);
+            noise.add(e1);
+            noise.add(e2);
+            noise.add(e3);
+            if c != 0.0 {
+                *out_id = ia;
+                *out_coeff = c;
+            }
+        }
+        (true, true) => {
+            let (sa, ea) = b0.scale_coeff(ca);
+            let (sb, eb) = a0.scale_coeff(cb);
+            noise.add(ea);
+            noise.add(eb);
+            let left = Term::new(ia, sa);
+            let right = Term::new(ib, sb);
+            let keep_left = resolve_conflict(left, right, ctx.config().fusion, ctx, protect);
+            let (kept, fused) = if keep_left { (left, right) } else { (right, left) };
+            if kept.coeff != 0.0 {
+                *out_id = kept.id;
+                *out_coeff = kept.coeff;
+            }
+            noise.add_abs(fused.coeff);
+        }
+    }
+}
+
+/// Slot-wise merge for a linear operation `a ± b` under direct mapping.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_linear_direct(
+    a_ids: &[SymbolId],
+    a_coeffs: &[f64],
+    b_ids: &[SymbolId],
+    b_coeffs: &[f64],
+    sign_b: f64,
+    ctx: &AaContext,
+    protect: Protect<'_>,
+    noise: &mut ErrAcc,
+) -> (Box<[SymbolId]>, Box<[f64]>) {
+    debug_assert_eq!(a_ids.len(), b_ids.len());
+    let k = a_ids.len();
+    let mut ids = vec![NO_SYMBOL; k].into_boxed_slice();
+    let mut coeffs = vec![0.0f64; k].into_boxed_slice();
+    for s in 0..k {
+        linear_slot(
+            a_ids[s],
+            a_coeffs[s],
+            b_ids[s],
+            b_coeffs[s],
+            sign_b,
+            ctx,
+            protect,
+            noise,
+            &mut ids[s],
+            &mut coeffs[s],
+        );
+    }
+    (ids, coeffs)
+}
+
+/// Slot-wise merge for multiplication under direct mapping.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_mul_direct<C: CenterValue>(
+    a0: C,
+    b0: C,
+    a_ids: &[SymbolId],
+    a_coeffs: &[f64],
+    b_ids: &[SymbolId],
+    b_coeffs: &[f64],
+    ctx: &AaContext,
+    protect: Protect<'_>,
+    noise: &mut ErrAcc,
+) -> (Box<[SymbolId]>, Box<[f64]>) {
+    debug_assert_eq!(a_ids.len(), b_ids.len());
+    let k = a_ids.len();
+    let mut ids = vec![NO_SYMBOL; k].into_boxed_slice();
+    let mut coeffs = vec![0.0f64; k].into_boxed_slice();
+    for s in 0..k {
+        mul_slot(
+            a0,
+            b0,
+            a_ids[s],
+            a_coeffs[s],
+            b_ids[s],
+            b_coeffs[s],
+            ctx,
+            protect,
+            noise,
+            &mut ids[s],
+            &mut coeffs[s],
+        );
+    }
+    (ids, coeffs)
+}
+
+/// Scales every occupied slot by `alpha` (derived operations `α·â + ζ`).
+pub(crate) fn scale_direct(
+    ids: &[SymbolId],
+    coeffs: &[f64],
+    alpha: f64,
+    noise: &mut ErrAcc,
+) -> (Box<[SymbolId]>, Box<[f64]>) {
+    let mut out_ids = vec![NO_SYMBOL; ids.len()].into_boxed_slice();
+    let mut out_coeffs = vec![0.0f64; ids.len()].into_boxed_slice();
+    for s in 0..ids.len() {
+        if ids[s] != NO_SYMBOL {
+            let (c, e) = safegen_fpcore::round::mul_with_err(coeffs[s], alpha);
+            noise.add(e);
+            if c != 0.0 {
+                out_ids[s] = ids[s];
+                out_coeffs[s] = c;
+            }
+        }
+    }
+    (out_ids, out_coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AaConfig, Fusion};
+
+    fn ctx(k: usize, fusion: Fusion) -> AaContext {
+        AaContext::new(AaConfig::new(k).with_fusion(fusion).with_vectorized(false))
+    }
+
+    fn slots(k: usize, pairs: &[(u64, f64)]) -> (Vec<SymbolId>, Vec<f64>) {
+        let mut ids = vec![NO_SYMBOL; k];
+        let mut coeffs = vec![0.0; k];
+        for &(id, c) in pairs {
+            let s = (id % k as u64) as usize;
+            assert_eq!(ids[s], NO_SYMBOL, "test setup slot collision");
+            ids[s] = id;
+            coeffs[s] = c;
+        }
+        (ids, coeffs)
+    }
+
+    #[test]
+    fn aligned_symbols_combine() {
+        let c = ctx(4, Fusion::Smallest);
+        let (ai, ac) = slots(4, &[(1, 1.0), (2, 2.0)]);
+        let (bi, bc) = slots(4, &[(1, 0.5), (3, 3.0)]);
+        let mut noise = ErrAcc::default();
+        let (ids, coeffs) =
+            merge_linear_direct(&ai, &ac, &bi, &bc, 1.0, &c, Protect::None, &mut noise);
+        assert_eq!(ids[1], 1);
+        assert_eq!(coeffs[1], 1.5);
+        assert_eq!(ids[2], 2);
+        assert_eq!(coeffs[2], 2.0);
+        assert_eq!(ids[3], 3);
+        assert_eq!(coeffs[3], 3.0);
+        assert_eq!(ids[0], NO_SYMBOL);
+        assert_eq!(noise.value(), 0.0);
+    }
+
+    #[test]
+    fn conflict_fuses_loser_into_noise_sp() {
+        let c = ctx(4, Fusion::Smallest);
+        // ids 1 and 5 both map to slot 1 with k = 4.
+        let (ai, ac) = slots(4, &[(1, 10.0)]);
+        let (bi, bc) = slots(4, &[(5, 0.5)]);
+        let mut noise = ErrAcc::default();
+        let (ids, coeffs) =
+            merge_linear_direct(&ai, &ac, &bi, &bc, 1.0, &c, Protect::None, &mut noise);
+        assert_eq!(ids[1], 1); // SP keeps the larger magnitude
+        assert_eq!(coeffs[1], 10.0);
+        assert_eq!(noise.value(), 0.5); // loser magnitude preserved soundly
+    }
+
+    #[test]
+    fn conflict_op_keeps_newer() {
+        let c = ctx(4, Fusion::Oldest);
+        let (ai, ac) = slots(4, &[(1, 10.0)]);
+        let (bi, bc) = slots(4, &[(5, 0.5)]);
+        let mut noise = ErrAcc::default();
+        let (ids, coeffs) =
+            merge_linear_direct(&ai, &ac, &bi, &bc, 1.0, &c, Protect::None, &mut noise);
+        assert_eq!(ids[1], 5); // OP fuses the oldest
+        assert_eq!(coeffs[1], 0.5);
+        assert_eq!(noise.value(), 10.0);
+    }
+
+    #[test]
+    fn subtraction_applies_sign_to_b() {
+        let c = ctx(4, Fusion::Smallest);
+        let (ai, ac) = slots(4, &[(1, 1.0)]);
+        let (bi, bc) = slots(4, &[(1, 1.0)]);
+        let mut noise = ErrAcc::default();
+        let (ids, _) = merge_linear_direct(&ai, &ac, &bi, &bc, -1.0, &c, Protect::None, &mut noise);
+        // full cancellation drops the slot
+        assert_eq!(ids[1], NO_SYMBOL);
+    }
+
+    #[test]
+    fn mul_coefficients_slotwise() {
+        let c = ctx(4, Fusion::Smallest);
+        let (ai, ac) = slots(4, &[(1, 1.0)]);
+        let (bi, bc) = slots(4, &[(1, 2.0)]);
+        let mut noise = ErrAcc::default();
+        let (ids, coeffs) =
+            merge_mul_direct(2.0f64, 3.0f64, &ai, &ac, &bi, &bc, &c, Protect::None, &mut noise);
+        // a0·b1 + b0·a1 = 2·2 + 3·1 = 7
+        assert_eq!(ids[1], 1);
+        assert_eq!(coeffs[1], 7.0);
+    }
+
+    #[test]
+    fn mul_conflict_scales_before_fusing() {
+        let c = ctx(4, Fusion::Smallest);
+        let (ai, ac) = slots(4, &[(1, 1.0)]);
+        let (bi, bc) = slots(4, &[(5, 1.0)]);
+        let mut noise = ErrAcc::default();
+        // a0 = 10, b0 = 2: candidates are b0·a1 = 2 (id 1), a0·b5 = 10 (id 5).
+        let (ids, coeffs) =
+            merge_mul_direct(10.0f64, 2.0f64, &ai, &ac, &bi, &bc, &c, Protect::None, &mut noise);
+        assert_eq!(ids[1], 5); // SP keeps the 10
+        assert_eq!(coeffs[1], 10.0);
+        assert_eq!(noise.value(), 2.0);
+    }
+
+    #[test]
+    fn protection_decides_conflicts() {
+        let c = ctx(4, Fusion::Smallest);
+        let prot = [1u64];
+        let (ai, ac) = slots(4, &[(1, 0.001)]);
+        let (bi, bc) = slots(4, &[(5, 100.0)]);
+        let mut noise = ErrAcc::default();
+        let (ids, _) =
+            merge_linear_direct(&ai, &ac, &bi, &bc, 1.0, &c, Protect::Ids(&prot), &mut noise);
+        assert_eq!(ids[1], 1, "protected symbol must keep its slot");
+        assert_eq!(noise.value(), 100.0);
+    }
+
+    #[test]
+    fn scale_direct_applies_alpha() {
+        let (ai, ac) = slots(4, &[(1, 2.0), (2, -4.0)]);
+        let mut noise = ErrAcc::default();
+        let (ids, coeffs) = scale_direct(&ai, &ac, 0.5, &mut noise);
+        assert_eq!(ids[1], 1);
+        assert_eq!(coeffs[1], 1.0);
+        assert_eq!(coeffs[2], -2.0);
+    }
+}

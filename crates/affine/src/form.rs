@@ -1,0 +1,461 @@
+//! The affine form type.
+
+use crate::center::CenterValue;
+use crate::config::{AaContext, Placement};
+use crate::symbol::{SymbolId, Term, NO_SYMBOL};
+use safegen_fpcore::metrics;
+use safegen_fpcore::round::{add_ru, sub_ru};
+use safegen_fpcore::Dd;
+use std::fmt;
+
+/// An affine form `â = a₀ + Σ aᵢ·εᵢ` with central value of precision `C`
+/// and `f64` coefficients, bounded to the context's `k` symbols.
+///
+/// Create forms through a [`AaContext`] so that error-symbol identifiers are
+/// allocated consistently; combine them with the methods in this crate
+/// ([`Affine::add`], [`Affine::mul`], …), always passing the same context.
+///
+/// ```
+/// use safegen_affine::{AaConfig, AaContext, AffineF64, Protect};
+/// let ctx = AaContext::new(AaConfig::new(8));
+/// let x = AffineF64::from_input(0.5, &ctx);
+/// let y = x.mul(&x, &ctx, Protect::None);
+/// let (lo, hi) = y.range();
+/// assert!(lo <= 0.25 && 0.25 <= hi);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Affine<C> {
+    pub(crate) center: C,
+    pub(crate) repr: Repr,
+    /// Dedicated uncorrelated noise term (radius contribution with no
+    /// symbol identity). Zero under [`crate::NoisePolicy::Fresh`]; carries
+    /// all round-off under [`crate::NoisePolicy::Dedicated`] and the
+    /// "infinite radius" poison value on overflow/division-by-zero.
+    pub(crate) acc_noise: f64,
+}
+
+/// Double-precision affine form (the paper's `f64a`).
+pub type AffineF64 = Affine<f64>;
+/// Double-double affine form (the paper's `dda`).
+pub type AffineDd = Affine<Dd>;
+/// Single-precision affine form (the paper's `f32a`).
+pub type AffineF32 = Affine<f32>;
+
+/// Symbol storage, matching [`Placement`].
+#[derive(Clone, Debug)]
+pub(crate) enum Repr {
+    /// Terms sorted by symbol id, ascending. No sentinel entries.
+    Sorted(Vec<Term>),
+    /// Fixed `k`-slot structure-of-arrays; slot `i` holds the symbol with
+    /// `id % k == i` (or [`NO_SYMBOL`]). SoA layout so the per-slot kernels
+    /// vectorize.
+    Direct {
+        ids: Box<[SymbolId]>,
+        coeffs: Box<[f64]>,
+    },
+}
+
+impl Repr {
+    pub(crate) fn empty(ctx: &AaContext) -> Repr {
+        match ctx.config().placement {
+            Placement::Sorted => Repr::Sorted(Vec::new()),
+            Placement::DirectMapped => Repr::Direct {
+                ids: vec![NO_SYMBOL; ctx.k()].into_boxed_slice(),
+                coeffs: vec![0.0; ctx.k()].into_boxed_slice(),
+            },
+        }
+    }
+
+    /// Inserts a fresh symbol; for sorted placement the id must exceed all
+    /// existing ids.
+    pub(crate) fn push_fresh(&mut self, id: SymbolId, coeff: f64, k: usize) {
+        if coeff == 0.0 {
+            return;
+        }
+        match self {
+            Repr::Sorted(terms) => {
+                debug_assert!(terms.last().is_none_or(|t| t.id < id));
+                debug_assert!(terms.len() < k || k == usize::MAX);
+                terms.push(Term::new(id, coeff));
+            }
+            Repr::Direct { ids, coeffs } => {
+                let slot = (id % ids.len() as u64) as usize;
+                if ids[slot] == NO_SYMBOL {
+                    ids[slot] = id;
+                    coeffs[slot] = coeff;
+                } else {
+                    // The fresh symbol absorbs the occupant (eq. 6); both
+                    // magnitudes merge under the fresh id.
+                    let merged = add_ru(coeffs[slot].abs(), coeff.abs());
+                    ids[slot] = id;
+                    coeffs[slot] = merged;
+                }
+            }
+        }
+    }
+}
+
+impl<C: CenterValue> Affine<C> {
+    // -- constructors -------------------------------------------------------
+
+    /// A form holding exactly the `f64` value `x` (no uncertainty beyond
+    /// the conversion to precision `C`, which for `f32` adds a symbol).
+    pub fn exact(x: f64, ctx: &AaContext) -> Affine<C> {
+        let (center, conv_err) = C::from_f64(x);
+        let mut repr = Repr::empty(ctx);
+        if conv_err > 0.0 {
+            repr.push_fresh(ctx.fresh_symbol(), conv_err, ctx.k());
+        }
+        Affine { center, repr, acc_noise: 0.0 }
+    }
+
+    /// A form for a source-program constant, following the paper's
+    /// convention (Sec. IV-B): values that are exact integers carry no
+    /// uncertainty; any other constant is assumed accurate to within
+    /// `1 ulp(x)` and gets a fresh error symbol of that magnitude.
+    pub fn constant(x: f64, ctx: &AaContext) -> Affine<C> {
+        if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+            return Affine::exact(x, ctx);
+        }
+        let (center, conv_err) = C::from_f64(x);
+        let mut repr = Repr::empty(ctx);
+        let mag = add_ru(metrics::ulp(x), conv_err);
+        repr.push_fresh(ctx.fresh_symbol(), mag, ctx.k());
+        Affine { center, repr, acc_noise: 0.0 }
+    }
+
+    /// An input variable: central value `x` with one fresh symbol of
+    /// magnitude `1 ulp(x)` — the input model of the paper's evaluation
+    /// (Sec. VII, experimental setup).
+    pub fn from_input(x: f64, ctx: &AaContext) -> Affine<C> {
+        let (center, conv_err) = C::from_f64(x);
+        let mut repr = Repr::empty(ctx);
+        let mag = add_ru(metrics::ulp(x), conv_err);
+        repr.push_fresh(ctx.fresh_symbol(), mag, ctx.k());
+        Affine { center, repr, acc_noise: 0.0 }
+    }
+
+    /// A form enclosing the interval `[lo, hi]` with a single fresh symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn from_interval(lo: f64, hi: f64, ctx: &AaContext) -> Affine<C> {
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        let mid = 0.5 * lo + 0.5 * hi;
+        let (center, conv_err) = C::from_f64(mid);
+        let rad = sub_ru(hi, mid).max(sub_ru(mid, lo));
+        let mut repr = Repr::empty(ctx);
+        repr.push_fresh(ctx.fresh_symbol(), add_ru(rad, conv_err), ctx.k());
+        Affine { center, repr, acc_noise: 0.0 }
+    }
+
+    /// The "anything" form: infinite radius, certifies nothing. Produced by
+    /// division through zero and overflow.
+    pub fn entire(ctx: &AaContext) -> Affine<C> {
+        let (center, _) = C::from_f64(0.0);
+        Affine { center, repr: Repr::empty(ctx), acc_noise: f64::INFINITY }
+    }
+
+    pub(crate) fn from_parts(center: C, repr: Repr, acc_noise: f64) -> Affine<C> {
+        Affine { center, repr, acc_noise }
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// The central value `a₀`.
+    #[inline]
+    pub fn center(&self) -> C {
+        self.center
+    }
+
+    /// The central value rounded to `f64`.
+    #[inline]
+    pub fn center_f64(&self) -> f64 {
+        self.center.to_f64()
+    }
+
+    /// The dedicated uncorrelated noise magnitude (zero unless running
+    /// under [`crate::NoisePolicy::Dedicated`] or poisoned).
+    #[inline]
+    pub fn acc_noise(&self) -> f64 {
+        self.acc_noise
+    }
+
+    /// Number of live error symbols.
+    pub fn n_symbols(&self) -> usize {
+        match &self.repr {
+            Repr::Sorted(terms) => terms.len(),
+            Repr::Direct { ids, .. } => ids.iter().filter(|&&i| i != NO_SYMBOL).count(),
+        }
+    }
+
+    /// The occupied terms, in unspecified order.
+    pub fn terms(&self) -> Vec<Term> {
+        match &self.repr {
+            Repr::Sorted(terms) => terms.clone(),
+            Repr::Direct { ids, coeffs } => ids
+                .iter()
+                .zip(coeffs.iter())
+                .filter(|(&id, _)| id != NO_SYMBOL)
+                .map(|(&id, &c)| Term::new(id, c))
+                .collect(),
+        }
+    }
+
+    /// The symbol identifiers, sorted ascending — the shape [`crate::Protect::Ids`]
+    /// expects.
+    pub fn symbol_ids(&self) -> Vec<SymbolId> {
+        let mut ids: Vec<SymbolId> = match &self.repr {
+            Repr::Sorted(terms) => terms.iter().map(|t| t.id).collect(),
+            Repr::Direct { ids, .. } => ids.iter().copied().filter(|&i| i != NO_SYMBOL).collect(),
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The symbol ids worth protecting during one operation: at most
+    /// `limit` ids, preferring the largest magnitudes (sorted ascending for
+    /// [`crate::Protect::Ids`]).
+    ///
+    /// Protecting *every* symbol of a full variable would pin the whole
+    /// budget and force fusion onto the other operand's (possibly larger)
+    /// symbols — a net accuracy loss. Capping at the protection capacity
+    /// keeps the prioritization hint useful.
+    pub fn protect_ids(&self, limit: usize) -> Vec<SymbolId> {
+        let mut terms = self.terms();
+        if terms.len() > limit {
+            let pivot = limit.saturating_sub(1).min(terms.len() - 1);
+            terms.select_nth_unstable_by(pivot, |a, b| {
+                b.coeff
+                    .abs()
+                    .partial_cmp(&a.coeff.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            terms.truncate(limit);
+        }
+        let mut ids: Vec<SymbolId> = terms.into_iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The radius `r(â) = Σ|aᵢ|` (plus dedicated noise), accumulated with
+    /// upward rounding (paper eq. 2).
+    pub fn radius(&self) -> f64 {
+        let mut r = self.acc_noise;
+        match &self.repr {
+            Repr::Sorted(terms) => {
+                for t in terms {
+                    r = add_ru(r, t.coeff.abs());
+                }
+            }
+            Repr::Direct { ids, coeffs } => {
+                for (&id, &c) in ids.iter().zip(coeffs.iter()) {
+                    if id != NO_SYMBOL {
+                        r = add_ru(r, c.abs());
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// The sound enclosing range `[a₀ − r, a₀ + r]` as `f64` endpoints
+    /// (outward-rounded).
+    pub fn range(&self) -> (f64, f64) {
+        let r = self.radius();
+        (self.center.range_lo(r), self.center.range_hi(r))
+    }
+
+    /// True if the form is poisoned (NaN center or coefficient).
+    pub fn is_nan(&self) -> bool {
+        if self.center.is_nan() || self.acc_noise.is_nan() {
+            return true;
+        }
+        match &self.repr {
+            Repr::Sorted(terms) => terms.iter().any(|t| t.coeff.is_nan()),
+            Repr::Direct { ids, coeffs } => ids
+                .iter()
+                .zip(coeffs.iter())
+                .any(|(&id, &c)| id != NO_SYMBOL && c.is_nan()),
+        }
+    }
+
+    /// `err(â)` — paper eq. 11, the base-2 log of the number of `f64`
+    /// values inside the range.
+    pub fn err_bits(&self) -> f64 {
+        let (lo, hi) = self.range();
+        metrics::err_bits(lo, hi)
+    }
+
+    /// `acc(â) = 53 − err(â)` — certified bits on the `f64` grid
+    /// (paper eq. 12). All precisions are compared on this axis, as in the
+    /// paper's figures; a form narrower than one `f64` ulp certifies the
+    /// full 53 bits.
+    pub fn acc_bits(&self) -> f64 {
+        let (lo, hi) = self.range();
+        metrics::acc_bits(lo, hi, metrics::F64_MANTISSA_BITS)
+    }
+
+    /// True if `x` is inside the form's range.
+    pub fn contains_f64(&self, x: f64) -> bool {
+        let (lo, hi) = self.range();
+        lo <= x && x <= hi
+    }
+
+    /// True if the double-double value `x` is inside the form's range —
+    /// the soundness check used throughout the test suite with dd reference
+    /// results.
+    pub fn contains_dd(&self, x: Dd) -> bool {
+        let (lo, hi) = self.range();
+        Dd::from(lo) <= x && x <= Dd::from(hi)
+    }
+}
+
+impl<C: CenterValue> fmt::Display for Affine<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ± {:e} ({} syms)", self.center, self.radius(), self.n_symbols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AaConfig, Placement};
+
+    fn ctx_sorted(k: usize) -> AaContext {
+        AaContext::new(AaConfig::new(k).with_placement(Placement::Sorted))
+    }
+
+    fn ctx_direct(k: usize) -> AaContext {
+        AaContext::new(AaConfig::new(k))
+    }
+
+    #[test]
+    fn exact_has_no_symbols() {
+        let ctx = ctx_sorted(8);
+        let x = AffineF64::exact(0.1, &ctx);
+        assert_eq!(x.n_symbols(), 0);
+        assert_eq!(x.radius(), 0.0);
+        assert_eq!(x.range(), (0.1, 0.1));
+        assert_eq!(x.acc_bits(), 53.0);
+    }
+
+    #[test]
+    fn integer_constant_is_exact() {
+        let ctx = ctx_sorted(8);
+        let x = AffineF64::constant(3.0, &ctx);
+        assert_eq!(x.n_symbols(), 0);
+        let z = AffineF64::constant(0.0, &ctx);
+        assert_eq!(z.n_symbols(), 0);
+    }
+
+    #[test]
+    fn decimal_constant_gets_ulp_symbol() {
+        let ctx = ctx_sorted(8);
+        let x = AffineF64::constant(0.1, &ctx);
+        assert_eq!(x.n_symbols(), 1);
+        assert_eq!(x.radius(), metrics::ulp(0.1));
+        // The true decimal 0.1 lies inside.
+        let tenth = Dd::ONE / Dd::from(10.0);
+        assert!(x.contains_dd(tenth));
+    }
+
+    #[test]
+    fn from_input_radius_is_one_ulp() {
+        let ctx = ctx_direct(8);
+        let x = AffineF64::from_input(0.5, &ctx);
+        assert_eq!(x.n_symbols(), 1);
+        assert_eq!(x.radius(), metrics::ulp(0.5));
+    }
+
+    #[test]
+    fn from_interval_encloses_endpoints() {
+        let ctx = ctx_direct(8);
+        let x = AffineF64::from_interval(0.1, 0.7, &ctx);
+        assert!(x.contains_f64(0.1));
+        assert!(x.contains_f64(0.7));
+        assert!(x.contains_f64(0.4));
+        assert!(!x.contains_f64(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn from_interval_rejects_inverted() {
+        let ctx = ctx_direct(8);
+        let _ = AffineF64::from_interval(1.0, 0.0, &ctx);
+    }
+
+    #[test]
+    fn entire_certifies_nothing() {
+        let ctx = ctx_direct(8);
+        let x = AffineF64::entire(&ctx);
+        assert_eq!(x.acc_bits(), f64::NEG_INFINITY);
+        let (lo, hi) = x.range();
+        assert_eq!(lo, f64::NEG_INFINITY);
+        assert_eq!(hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn direct_repr_has_k_slots() {
+        let ctx = ctx_direct(4);
+        let x = AffineF64::from_input(1.0, &ctx);
+        match &x.repr {
+            Repr::Direct { ids, coeffs } => {
+                assert_eq!(ids.len(), 4);
+                assert_eq!(coeffs.len(), 4);
+            }
+            _ => panic!("expected direct repr"),
+        }
+    }
+
+    #[test]
+    fn direct_fresh_symbol_conflict_merges() {
+        let ctx = ctx_direct(2);
+        let mut repr = Repr::empty(&ctx);
+        // ids 0 and 2 both map to slot 0 with k = 2.
+        repr.push_fresh(0, 1.0, 2);
+        repr.push_fresh(2, 0.5, 2);
+        match &repr {
+            Repr::Direct { ids, coeffs } => {
+                assert_eq!(ids[0], 2); // fresh id wins the slot
+                assert_eq!(coeffs[0], 1.5); // magnitudes merged soundly
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn symbol_ids_sorted() {
+        let ctx = ctx_direct(8);
+        let x = AffineF64::from_input(1.0, &ctx);
+        let y = AffineF64::from_input(2.0, &ctx);
+        let s = x.add(&y, &ctx, crate::Protect::None);
+        let ids = s.symbol_ids();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dd_form_range_brackets_center() {
+        let ctx = ctx_sorted(8);
+        let x = AffineDd::from_input(0.1, &ctx);
+        let (lo, hi) = x.range();
+        assert!(lo <= 0.1 && 0.1 <= hi);
+    }
+
+    #[test]
+    fn f32_exact_records_conversion_error() {
+        let ctx = ctx_sorted(8);
+        let x = AffineF32::exact(0.1, &ctx);
+        // 0.1f64 is not representable in f32: a symbol captures the gap.
+        assert_eq!(x.n_symbols(), 1);
+        assert!(x.contains_f64(0.1));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let ctx = ctx_sorted(8);
+        let x = AffineF64::from_input(1.0, &ctx);
+        assert!(!format!("{x}").is_empty());
+    }
+}

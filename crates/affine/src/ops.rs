@@ -1,0 +1,881 @@
+//! Affine operations: add, sub, mul, div, sqrt, negation, comparisons, and
+//! the range-clipping helpers the benchmarks need.
+//!
+//! Every operation follows the same shape:
+//!
+//! 1. combine the central values with [`CenterValue`], recovering the
+//!    rounding error;
+//! 2. merge the symbol terms with the placement-specific kernel
+//!    ([`crate::sorted`] / [`crate::direct`] / [`crate::vector`]), which
+//!    accumulates coefficient rounding errors (and, for direct-mapped
+//!    placement, slot-conflict fusions) into the *noise* accumulator;
+//! 3. add operation-specific over-approximation terms (the quadratic
+//!    `r(â)·r(b̂)` of multiplication, the `δ` of the min-range
+//!    approximations);
+//! 4. *finalize*: fuse down to the symbol budget per the fusion policy and
+//!    materialize the noise as a fresh error symbol (or fold it into the
+//!    dedicated noise term under [`NoisePolicy::Dedicated`]).
+
+use crate::center::{CenterValue, ErrAcc};
+use crate::config::{AaContext, NoisePolicy, Placement, Protect};
+use crate::direct::{merge_linear_direct, merge_mul_direct, scale_direct};
+use crate::form::{Affine, Repr};
+use crate::fusion::select_victims;
+use crate::sorted::{merge_linear, merge_mul, scale_terms};
+use crate::symbol::{Term, NO_SYMBOL};
+use crate::vector;
+use safegen_fpcore::round::{add_ru, div_rd, div_ru, mul_ru, sqrt_rd, sqrt_ru, sub_rd, sub_ru};
+use std::cmp::Ordering;
+
+/// Magnitude product for radius/noise propagation: `0 · ∞` must be `0`
+/// here (a coefficient of exactly zero annihilates even an unbounded noise
+/// term — every realization of the noise is a real number), where plain
+/// IEEE multiplication would produce a NaN and poison the range.
+#[inline]
+fn mul_mag(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        mul_ru(a, b)
+    }
+}
+
+impl<C: CenterValue> Affine<C> {
+    /// Affine addition `â + b̂` (paper eq. 3–4).
+    pub fn add(&self, rhs: &Affine<C>, ctx: &AaContext, protect: Protect<'_>) -> Affine<C> {
+        self.linear_op(rhs, 1.0, ctx, protect)
+    }
+
+    /// Affine subtraction `â − b̂` — where shared symbols cancel.
+    pub fn sub(&self, rhs: &Affine<C>, ctx: &AaContext, protect: Protect<'_>) -> Affine<C> {
+        self.linear_op(rhs, -1.0, ctx, protect)
+    }
+
+    fn linear_op(
+        &self,
+        rhs: &Affine<C>,
+        sign_b: f64,
+        ctx: &AaContext,
+        protect: Protect<'_>,
+    ) -> Affine<C> {
+        let mut noise = ErrAcc::default();
+        let (center, ce) = if sign_b > 0.0 {
+            C::add_err(self.center, rhs.center)
+        } else {
+            C::sub_err(self.center, rhs.center)
+        };
+        noise.add(ce);
+        let acc = add_ru(self.acc_noise, rhs.acc_noise);
+
+        match (&self.repr, &rhs.repr) {
+            (Repr::Sorted(a), Repr::Sorted(b)) => {
+                let terms = merge_linear(a, b, sign_b, &mut noise);
+                finalize_sorted(center, terms, noise.value(), acc, ctx, protect)
+            }
+            (
+                Repr::Direct { ids: ai, coeffs: ac },
+                Repr::Direct { ids: bi, coeffs: bc },
+            ) => {
+                let (ids, coeffs) = if ctx.config().vectorized {
+                    vector::merge_linear_vec(ai, ac, bi, bc, sign_b, ctx, protect, &mut noise)
+                } else {
+                    merge_linear_direct(ai, ac, bi, bc, sign_b, ctx, protect, &mut noise)
+                };
+                finalize_direct(center, ids, coeffs, noise.value(), acc, ctx)
+            }
+            _ => panic!("mixed placements: operands must come from one context"),
+        }
+    }
+
+    /// Affine multiplication `â · b̂` (paper eq. 5): the affine part keeps
+    /// linear correlations, the quadratic remainder `r(â)·r(b̂)` joins the
+    /// fresh symbol.
+    pub fn mul(&self, rhs: &Affine<C>, ctx: &AaContext, protect: Protect<'_>) -> Affine<C> {
+        let mut noise = ErrAcc::default();
+        let (center, ce) = C::mul_err(self.center, rhs.center);
+        noise.add(ce);
+        // Quadratic over-approximation: covers all εᵢ·εⱼ products,
+        // including the dedicated-noise contributions (radius includes
+        // them).
+        noise.add(mul_mag(self.radius(), rhs.radius()));
+        // Linear contributions of each operand's dedicated noise.
+        let acc = add_ru(
+            mul_mag(rhs.center.abs_f64(), self.acc_noise),
+            mul_mag(self.center.abs_f64(), rhs.acc_noise),
+        );
+
+        match (&self.repr, &rhs.repr) {
+            (Repr::Sorted(a), Repr::Sorted(b)) => {
+                let terms = merge_mul(self.center, rhs.center, a, b, &mut noise);
+                finalize_sorted(center, terms, noise.value(), acc, ctx, protect)
+            }
+            (
+                Repr::Direct { ids: ai, coeffs: ac },
+                Repr::Direct { ids: bi, coeffs: bc },
+            ) => {
+                let (ids, coeffs) = if ctx.config().vectorized {
+                    vector::merge_mul_vec(
+                        self.center,
+                        rhs.center,
+                        ai,
+                        ac,
+                        bi,
+                        bc,
+                        ctx,
+                        protect,
+                        &mut noise,
+                    )
+                } else {
+                    merge_mul_direct(
+                        self.center,
+                        rhs.center,
+                        ai,
+                        ac,
+                        bi,
+                        bc,
+                        ctx,
+                        protect,
+                        &mut noise,
+                    )
+                };
+                finalize_direct(center, ids, coeffs, noise.value(), acc, ctx)
+            }
+            _ => panic!("mixed placements: operands must come from one context"),
+        }
+    }
+
+    /// Affine division `â / b̂ = â · (1/b̂)`, using a sound min-range
+    /// linear approximation of the reciprocal. A divisor whose range
+    /// contains zero yields the [`Affine::entire`] form.
+    pub fn div(&self, rhs: &Affine<C>, ctx: &AaContext, protect: Protect<'_>) -> Affine<C> {
+        let r = rhs.recip(ctx, protect);
+        self.mul(&r, ctx, protect)
+    }
+
+    /// Sound reciprocal `1 / b̂` via min-range linear approximation
+    /// `α·b̂ + ζ ± δ`.
+    pub fn recip(&self, ctx: &AaContext, protect: Protect<'_>) -> Affine<C> {
+        let (lo, hi) = self.range();
+        if lo <= 0.0 && hi >= 0.0 {
+            return Affine::entire(ctx);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Affine::entire(ctx);
+        }
+        // Work on the positive side; mirror for negative ranges.
+        let negate = hi < 0.0;
+        let (l, u) = if negate { (-hi, -lo) } else { (lo, hi) };
+
+        // Min-range approximation of f(x) = 1/x on [l, u] (0 < l ≤ u):
+        // slope α = f'(u) = −1/u² makes d(x) = 1/x − αx monotone
+        // decreasing on [l, u], so its extremes are at the endpoints.
+        // All quantities are computed with directed rounding.
+        let alpha = -div_rd(1.0, mul_ru(u, u)); // any value near −1/u² is valid
+        // d(l) and d(u), outward-rounded. d is only *approximately*
+        // monotone once α is a rounded value, so take min/max of sound
+        // endpoint enclosures plus the (tiny) interior correction at the
+        // critical point x* = 1/√(−α), which lies within ~1 ulp of u.
+        let (dl_lo, dl_hi) = d_recip_bounds(l, alpha);
+        let (du_lo, du_hi) = d_recip_bounds(u, alpha);
+        // Interior critical value: d(x*) = 2√(−α) ≥ d(u); include it.
+        let dxs_hi = mul_ru(2.0, sqrt_ru(-alpha));
+        let dmin = dl_lo.min(du_lo);
+        let dmax = dl_hi.max(du_hi).max(dxs_hi);
+        let zeta = 0.5 * (dmin + dmax);
+        let delta = add_ru(sub_ru(dmax, zeta), sub_ru(zeta, dmin)).max(0.0) * 0.5;
+        // delta covers |d(x) − ζ| with margin: widen by one rounding step.
+        let delta = add_ru(delta, safegen_fpcore::metrics::ulp(dmax));
+
+        let (alpha, zeta) = if negate { (alpha, -zeta) } else { (alpha, zeta) };
+        self.linear_approx(alpha, zeta, delta, ctx, protect)
+    }
+
+    /// Sound square root via min-range linear approximation. Ranges that
+    /// dip below zero yield the poisoned [`Affine::entire`] form (the value
+    /// may be NaN, per the paper's convention).
+    pub fn sqrt(&self, ctx: &AaContext, protect: Protect<'_>) -> Affine<C> {
+        let (lo, hi) = self.range();
+        if lo < 0.0 || !hi.is_finite() {
+            return Affine::entire(ctx);
+        }
+        if self.radius() == 0.0 {
+            // Point form: direct centered square root.
+            let mut noise = ErrAcc::default();
+            let (c, e) = C::sqrt_err(self.center);
+            noise.add(e);
+            return finalize_scaled(self, c, None, noise, ctx, protect);
+        }
+        if lo == 0.0 {
+            // Degenerate slope at 0: fall back to the interval enclosure.
+            return Affine::from_interval(0.0, sqrt_ru(hi), ctx);
+        }
+        // Min-range: slope α = f'(u) = 1/(2√u); d(x) = √x − αx is
+        // increasing on [l, u], extremes at the endpoints (checked with an
+        // interior correction as in `recip`).
+        let alpha = div_rd(1.0, mul_ru(2.0, sqrt_ru(hi)));
+        let (dl_lo, dl_hi) = d_sqrt_bounds(lo, alpha);
+        let (du_lo, du_hi) = d_sqrt_bounds(hi, alpha);
+        // Interior critical point x* = 1/(4α²), d(x*) = 1/(4α).
+        let dxs_hi = div_ru(1.0, mul_ru(4.0, alpha).max(f64::MIN_POSITIVE));
+        let dmin = dl_lo.min(du_lo);
+        let dmax = dl_hi.max(du_hi).max(dxs_hi);
+        let zeta = 0.5 * (dmin + dmax);
+        let delta = add_ru(sub_ru(dmax, zeta), sub_ru(zeta, dmin)).max(0.0) * 0.5;
+        let delta = add_ru(delta, safegen_fpcore::metrics::ulp(dmax.max(1e-300)));
+        self.linear_approx(alpha, zeta, delta, ctx, protect)
+    }
+
+    /// Negation (exact: flips the center and every coefficient).
+    pub fn neg(&self) -> Affine<C> {
+        let repr = match &self.repr {
+            Repr::Sorted(terms) => {
+                Repr::Sorted(terms.iter().map(|t| Term::new(t.id, -t.coeff)).collect())
+            }
+            Repr::Direct { ids, coeffs } => Repr::Direct {
+                ids: ids.clone(),
+                coeffs: coeffs.iter().map(|c| -c).collect(),
+            },
+        };
+        Affine::from_parts(self.center.neg(), repr, self.acc_noise)
+    }
+
+    /// `α·â + ζ ± δ` — the shared backbone of [`Affine::recip`] and
+    /// [`Affine::sqrt`]: scales the affine part (keeping correlations),
+    /// shifts the center, and adds `δ` to the fresh-symbol noise.
+    pub fn linear_approx(
+        &self,
+        alpha: f64,
+        zeta: f64,
+        delta: f64,
+        ctx: &AaContext,
+        protect: Protect<'_>,
+    ) -> Affine<C> {
+        let mut noise = ErrAcc::default();
+        let (scaled, e1) = self.center.scale_coeff(alpha);
+        // Center arithmetic stays in C: c = RN_C(scaled + ζ).
+        let (zc, zconv) = C::from_f64(zeta);
+        let (sc, sconv) = C::from_f64(scaled);
+        let (center, e2) = C::add_err(sc, zc);
+        noise.add(e1);
+        noise.add(e2);
+        noise.add(zconv);
+        noise.add(sconv);
+        noise.add(delta);
+        noise.add(mul_mag(self.acc_noise, alpha.abs()));
+
+        match &self.repr {
+            Repr::Sorted(terms) => {
+                let terms = scale_terms(terms, alpha, &mut noise);
+                finalize_sorted(center, terms, noise.value(), 0.0, ctx, protect)
+            }
+            Repr::Direct { ids, coeffs } => {
+                let (ids, coeffs) = scale_direct(ids, coeffs, alpha, &mut noise);
+                finalize_direct(center, ids, coeffs, noise.value(), 0.0, ctx)
+            }
+        }
+    }
+
+    /// Three-way comparison when the ranges are disjoint; `None` when they
+    /// overlap (the comparison is not decided by the sound enclosures).
+    pub fn try_cmp(&self, rhs: &Affine<C>) -> Option<Ordering> {
+        let (alo, ahi) = self.range();
+        let (blo, bhi) = rhs.range();
+        if alo.is_nan() || blo.is_nan() {
+            return None;
+        }
+        if ahi < blo {
+            Some(Ordering::Less)
+        } else if alo > bhi {
+            Some(Ordering::Greater)
+        } else if alo == ahi && blo == bhi && alo == blo {
+            Some(Ordering::Equal)
+        } else {
+            None
+        }
+    }
+
+    /// Comparison by central value — the documented fallback for branches
+    /// whose sound comparison is undecided (pivoting in `luf`; sound for
+    /// branch *selection*, see DESIGN.md §4.5).
+    pub fn cmp_center(&self, rhs: &Affine<C>) -> Ordering {
+        self.center_f64()
+            .partial_cmp(&rhs.center_f64())
+            .unwrap_or(Ordering::Equal)
+    }
+
+    /// Sound absolute value: exact when the sign is determined, interval
+    /// hull otherwise.
+    pub fn abs(&self, ctx: &AaContext) -> Affine<C> {
+        let (lo, hi) = self.range();
+        if lo >= 0.0 {
+            self.clone()
+        } else if hi <= 0.0 {
+            self.neg()
+        } else {
+            Affine::from_interval(0.0, hi.max(-lo), ctx)
+        }
+    }
+
+    /// Sound `max(â, lo_bound)` where the bound is an exact scalar — the
+    /// projection primitive of the fast-gradient-method benchmark. When the
+    /// comparison is undecided the result is the interval hull (correlations
+    /// to `â` are lost only in that case).
+    pub fn max_scalar(&self, bound: f64, ctx: &AaContext) -> Affine<C> {
+        let (lo, hi) = self.range();
+        if lo >= bound {
+            self.clone()
+        } else if hi <= bound {
+            Affine::exact(bound, ctx)
+        } else {
+            Affine::from_interval(bound, hi, ctx)
+        }
+    }
+
+    /// Sound `min(â, hi_bound)` with an exact scalar bound.
+    pub fn min_scalar(&self, bound: f64, ctx: &AaContext) -> Affine<C> {
+        let (lo, hi) = self.range();
+        if hi <= bound {
+            self.clone()
+        } else if lo >= bound {
+            Affine::exact(bound, ctx)
+        } else {
+            Affine::from_interval(lo, bound, ctx)
+        }
+    }
+
+    /// Sound clamp into `[lo_bound, hi_bound]`.
+    pub fn clip(&self, lo_bound: f64, hi_bound: f64, ctx: &AaContext) -> Affine<C> {
+        self.max_scalar(lo_bound, ctx).min_scalar(hi_bound, ctx)
+    }
+}
+
+/// Outward bounds of `d(x) = 1/x − αx` at a point.
+fn d_recip_bounds(x: f64, alpha: f64) -> (f64, f64) {
+    let inv_lo = div_rd(1.0, x);
+    let inv_hi = div_ru(1.0, x);
+    let ax_lo = safegen_fpcore::round::mul_rd(alpha, x);
+    let ax_hi = mul_ru(alpha, x);
+    (sub_rd(inv_lo, ax_hi), sub_ru(inv_hi, ax_lo))
+}
+
+/// Outward bounds of `d(x) = √x − αx` at a point.
+fn d_sqrt_bounds(x: f64, alpha: f64) -> (f64, f64) {
+    let s_lo = sqrt_rd(x);
+    let s_hi = sqrt_ru(x);
+    let ax_lo = safegen_fpcore::round::mul_rd(alpha, x);
+    let ax_hi = mul_ru(alpha, x);
+    (sub_rd(s_lo, ax_hi), sub_ru(s_hi, ax_lo))
+}
+
+/// Point-operation finalization used by `sqrt` on radius-0 forms.
+fn finalize_scaled<C: CenterValue>(
+    src: &Affine<C>,
+    center: C,
+    _terms: Option<()>,
+    noise: ErrAcc,
+    ctx: &AaContext,
+    protect: Protect<'_>,
+) -> Affine<C> {
+    let _ = (src, protect);
+    let mut repr = Repr::empty(ctx);
+    if noise.value() > 0.0 {
+        repr.push_fresh(ctx.fresh_symbol(), noise.value(), ctx.k());
+    }
+    Affine::from_parts(center, repr, 0.0)
+}
+
+/// Fuses a sorted term list down to the budget and attaches the fresh
+/// round-off symbol (paper Sec. V-B).
+pub(crate) fn finalize_sorted<C: CenterValue>(
+    center: C,
+    mut terms: Vec<Term>,
+    noise: f64,
+    acc_noise: f64,
+    ctx: &AaContext,
+    protect: Protect<'_>,
+) -> Affine<C> {
+    let k = ctx.k();
+    debug_assert_eq!(ctx.config().placement, Placement::Sorted);
+
+    match ctx.config().noise {
+        NoisePolicy::Dedicated => {
+            // No fresh symbols: noise joins the dedicated term; the budget
+            // still applies to the inherited symbols.
+            let mut acc = add_ru(acc_noise, noise);
+            if terms.len() > k {
+                let excess = terms.len() - k;
+                acc = fuse_selected(&mut terms, excess, acc, ctx, protect);
+            }
+            Affine::from_parts(center, Repr::Sorted(terms), acc)
+        }
+        NoisePolicy::Fresh => {
+            let mut noise = noise;
+            if terms.len() + usize::from(noise > 0.0) > k {
+                // Keep k−1, fuse the rest into the fresh symbol.
+                let keep = k.saturating_sub(1);
+                let excess = terms.len() - keep;
+                noise = fuse_selected(&mut terms, excess, noise, ctx, protect);
+            }
+            if noise > 0.0 {
+                let id = ctx.fresh_symbol();
+                debug_assert!(terms.last().is_none_or(|t| t.id < id));
+                terms.push(Term::new(id, noise));
+            }
+            Affine::from_parts(center, Repr::Sorted(terms), acc_noise)
+        }
+    }
+}
+
+/// Removes policy-selected victims from `terms` and returns `noise`
+/// increased by their magnitudes (upward-rounded).
+fn fuse_selected(
+    terms: &mut Vec<Term>,
+    excess: usize,
+    mut noise: f64,
+    ctx: &AaContext,
+    protect: Protect<'_>,
+) -> f64 {
+    let mut victims = select_victims(terms, excess, ctx.config().fusion, ctx, protect);
+    victims.sort_unstable();
+    for &i in victims.iter().rev() {
+        noise = add_ru(noise, terms[i].coeff.abs());
+        terms.remove(i);
+    }
+    noise
+}
+
+/// Direct-mapped finalization: the slot arrays are already within budget;
+/// the fresh symbol claims its slot, absorbing any occupant.
+pub(crate) fn finalize_direct<C: CenterValue>(
+    center: C,
+    ids: Box<[u64]>,
+    coeffs: Box<[f64]>,
+    noise: f64,
+    acc_noise: f64,
+    ctx: &AaContext,
+) -> Affine<C> {
+    let mut repr = Repr::Direct { ids, coeffs };
+    match ctx.config().noise {
+        NoisePolicy::Dedicated => {
+            Affine::from_parts(center, repr, add_ru(acc_noise, noise))
+        }
+        NoisePolicy::Fresh => {
+            if noise > 0.0 {
+                repr.push_fresh(ctx.fresh_symbol(), noise, ctx.k());
+            }
+            Affine::from_parts(center, repr, acc_noise)
+        }
+    }
+}
+
+/// Suppresses an unused-import warning path for `NO_SYMBOL` in release
+/// builds where the debug assertions compile out.
+#[allow(dead_code)]
+const _: u64 = NO_SYMBOL;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AaConfig, Fusion};
+    use safegen_fpcore::Dd;
+
+    fn ctx(k: usize, placement: Placement) -> AaContext {
+        AaContext::new(
+            AaConfig::new(k)
+                .with_placement(placement)
+                .with_vectorized(false),
+        )
+    }
+
+    fn both_placements(k: usize) -> [AaContext; 2] {
+        [ctx(k, Placement::Sorted), ctx(k, Placement::DirectMapped)]
+    }
+
+    #[test]
+    fn add_contains_exact_sum() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_input(0.1, &c);
+            let b = Affine::<f64>::from_input(0.2, &c);
+            let s = a.add(&b, &c, Protect::None);
+            let exact = Dd::from_two_sum(0.1, 0.2);
+            assert!(s.contains_dd(exact));
+        }
+    }
+
+    #[test]
+    fn sub_self_cancels_exactly() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_interval(0.0, 1.0, &c);
+            let d = a.sub(&a, &c, Protect::None);
+            assert_eq!(d.range(), (0.0, 0.0), "x - x must be exactly zero in AA");
+        }
+    }
+
+    #[test]
+    fn paper_section_ii_example() {
+        // â = 0.5 + 0.5ε₁ ⇒ â − â = 0 (the motivating example).
+        let c = ctx(4, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(0.0, 1.0, &c);
+        let d = a.sub(&a, &c, Protect::None);
+        assert_eq!(d.center_f64(), 0.0);
+        assert_eq!(d.radius(), 0.0);
+    }
+
+    #[test]
+    fn mul_contains_exact_product() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_input(0.7, &c);
+            let b = Affine::<f64>::from_input(0.3, &c);
+            let p = a.mul(&b, &c, Protect::None);
+            assert!(p.contains_dd(Dd::from_two_prod(0.7, 0.3)));
+        }
+    }
+
+    #[test]
+    fn paper_fig4_partial_cancellation() {
+        // x·z − y·z with shared z: the ε_z terms cancel.
+        for c in both_placements(8) {
+            let x = Affine::<f64>::from_interval(0.9, 1.1, &c);
+            let y = Affine::<f64>::from_interval(0.9, 1.1, &c);
+            let z = Affine::<f64>::from_interval(0.9, 1.1, &c);
+            let t1 = x.mul(&z, &c, Protect::None);
+            let t2 = y.mul(&z, &c, Protect::None);
+            let t3 = t1.sub(&t2, &c, Protect::None);
+            // Exact range of x·z − y·z = z(x−y): |z|≤1.1, |x−y|≤0.2 → ±0.22.
+            let (lo, hi) = t3.range();
+            assert!(lo <= 0.0 && 0.0 <= hi);
+            // AA keeps it well below the IA bound of ±(1.21−0.81)=±0.4.
+            assert!(hi < 0.3, "hi = {hi}");
+            assert!(lo > -0.3, "lo = {lo}");
+        }
+    }
+
+    #[test]
+    fn fusion_respects_budget() {
+        for c in both_placements(4) {
+            let mut x = Affine::<f64>::from_input(0.5, &c);
+            let y = Affine::<f64>::from_input(0.25, &c);
+            for _ in 0..20 {
+                x = x.mul(&y, &c, Protect::None);
+                assert!(x.n_symbols() <= 4, "budget violated: {}", x.n_symbols());
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_remains_sound() {
+        // Long chain with tiny k: the enclosure must still contain the
+        // dd-exact result.
+        for c in both_placements(2) {
+            let mut x = Affine::<f64>::from_input(0.5, &c);
+            let y = Affine::<f64>::from_input(1.25, &c);
+            let mut exact = Dd::from(0.5);
+            let yd = Dd::from(1.25);
+            for _ in 0..30 {
+                x = x.mul(&y, &c, Protect::None);
+                exact = exact * yd;
+                assert!(x.contains_dd(exact));
+            }
+        }
+    }
+
+    #[test]
+    fn div_contains_exact_quotient() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_input(1.0, &c);
+            let b = Affine::<f64>::from_input(3.0, &c);
+            let q = a.div(&b, &c, Protect::None);
+            assert!(q.contains_dd(Dd::ONE / Dd::from(3.0)), "range = {:?}", q.range());
+            // And reasonably tight.
+            let (lo, hi) = q.range();
+            assert!(hi - lo < 1e-10, "width = {}", hi - lo);
+        }
+    }
+
+    #[test]
+    fn div_through_zero_poisons() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::exact(1.0, &c);
+        let b = Affine::<f64>::from_interval(-1.0, 1.0, &c);
+        let q = a.div(&b, &c, Protect::None);
+        assert_eq!(q.acc_bits(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn div_negative_divisor() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_input(1.0, &c);
+            let b = Affine::<f64>::from_input(-4.0, &c);
+            let q = a.div(&b, &c, Protect::None);
+            assert!(q.contains_f64(-0.25), "range = {:?}", q.range());
+        }
+    }
+
+    #[test]
+    fn recip_preserves_correlation() {
+        // x / x should be ≈ 1 with a tight range, because 1/x keeps x's
+        // symbols (scaled) and the multiply cancels.
+        let c = ctx(8, Placement::Sorted);
+        let x = Affine::<f64>::from_interval(1.0, 1.001, &c);
+        let q = x.div(&x, &c, Protect::None);
+        let (lo, hi) = q.range();
+        assert!(lo <= 1.0 && 1.0 <= hi);
+        // IA would give [1/1.001, 1.001] ≈ width 2e-3; AA must beat it.
+        assert!(hi - lo < 1.5e-3, "width = {}", hi - lo);
+    }
+
+    #[test]
+    fn sqrt_contains_exact() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_input(2.0, &c);
+            let r = a.sqrt(&c, Protect::None);
+            assert!(r.contains_dd(Dd::from(2.0).sqrt()), "range = {:?}", r.range());
+        }
+    }
+
+    #[test]
+    fn sqrt_negative_poisons() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(-2.0, -1.0, &c);
+        assert_eq!(a.sqrt(&c, Protect::None).acc_bits(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sqrt_point_form() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::exact(4.0, &c);
+        let r = a.sqrt(&c, Protect::None);
+        assert!(r.contains_f64(2.0));
+        assert!(r.radius() <= f64::EPSILON);
+    }
+
+    #[test]
+    fn neg_flips_everything() {
+        for c in both_placements(8) {
+            let a = Affine::<f64>::from_input(0.5, &c);
+            let n = a.neg();
+            assert_eq!(n.center_f64(), -0.5);
+            let (lo, hi) = a.range();
+            let (nlo, nhi) = n.range();
+            assert_eq!((nlo, nhi), (-hi, -lo));
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(0.0, 1.0, &c);
+        let b = Affine::<f64>::from_interval(2.0, 3.0, &c);
+        assert_eq!(a.try_cmp(&b), Some(Ordering::Less));
+        assert_eq!(b.try_cmp(&a), Some(Ordering::Greater));
+        let o = Affine::<f64>::from_interval(0.5, 2.5, &c);
+        assert_eq!(a.try_cmp(&o), None);
+        assert_eq!(a.cmp_center(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn clip_preserves_inside_form() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(0.2, 0.4, &c);
+        let clipped = a.clip(0.0, 1.0, &c);
+        // Entirely inside: the very same symbols survive (correlations kept).
+        assert_eq!(clipped.symbol_ids(), a.symbol_ids());
+    }
+
+    #[test]
+    fn clip_saturates() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(2.0, 3.0, &c);
+        let clipped = a.clip(0.0, 1.0, &c);
+        assert_eq!(clipped.range(), (1.0, 1.0));
+        let b = Affine::<f64>::from_interval(-3.0, -2.0, &c);
+        assert_eq!(b.clip(0.0, 1.0, &c).range(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn clip_partial_overlap_hulls() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(-0.5, 0.5, &c);
+        let clipped = a.clip(0.0, 1.0, &c);
+        let (lo, hi) = clipped.range();
+        assert!(lo <= 0.0 && hi >= 0.5);
+        assert!(hi <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn abs_mixed_sign() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f64>::from_interval(-1.0, 2.0, &c);
+        let r = a.abs(&c);
+        let (lo, hi) = r.range();
+        assert!(lo <= 0.0 + 1e-12 && hi >= 2.0);
+    }
+
+    #[test]
+    fn dedicated_noise_mode_creates_no_symbols() {
+        let cfg = AaConfig::new(8)
+            .with_placement(Placement::Sorted)
+            .with_noise(NoisePolicy::Dedicated)
+            .with_vectorized(false);
+        let c = AaContext::new(cfg);
+        let a = Affine::<f64>::from_input(0.1, &c);
+        let b = Affine::<f64>::from_input(0.2, &c);
+        let s = a.mul(&b, &c, Protect::None);
+        // Only the two input symbols exist; round-off went to acc_noise.
+        assert!(s.n_symbols() <= 2);
+        assert!(s.acc_noise() > 0.0);
+        assert!(s.contains_dd(Dd::from_two_prod(0.1, 0.2)));
+    }
+
+    #[test]
+    fn dda_center_keeps_more_bits() {
+        let cs = ctx(8, Placement::Sorted);
+        // Chain of multiplications by an inexact constant.
+        let mut f = Affine::<f64>::from_input(0.7, &cs);
+        let g64 = Affine::<f64>::constant(0.9, &cs);
+        let cd = ctx(8, Placement::Sorted);
+        let mut d = Affine::<Dd>::from_input(0.7, &cd);
+        let gdd = Affine::<Dd>::constant(0.9, &cd);
+        for _ in 0..40 {
+            f = f.mul(&g64, &cs, Protect::None);
+            d = d.mul(&gdd, &cd, Protect::None);
+        }
+        assert!(
+            d.acc_bits() >= f.acc_bits(),
+            "dda {} vs f64a {}",
+            d.acc_bits(),
+            f.acc_bits()
+        );
+    }
+
+    #[test]
+    fn k1_behaves_like_interval_arithmetic() {
+        // With k = 1, every operation's result holds a single fresh symbol,
+        // so results of *distinct* operations never correlate: computing
+        // x·c twice and subtracting does not cancel (the IA behaviour).
+        let c1 = ctx(1, Placement::Sorted);
+        let x = Affine::<f64>::from_interval(0.0, 1.0, &c1);
+        let y = Affine::<f64>::constant(1.5, &c1);
+        let t1 = x.mul(&y, &c1, Protect::None);
+        let t2 = x.mul(&y, &c1, Protect::None);
+        let d1 = t1.sub(&t2, &c1, Protect::None);
+        let (lo, hi) = d1.range();
+        assert!(lo <= -1.4 && hi >= 1.4, "IA-like behaviour expected, got [{lo},{hi}]");
+
+        // The same computation with a healthy budget cancels.
+        let c8 = ctx(8, Placement::Sorted);
+        let x = Affine::<f64>::from_interval(0.0, 1.0, &c8);
+        let y = Affine::<f64>::constant(1.5, &c8);
+        let t1 = x.mul(&y, &c8, Protect::None);
+        let t2 = x.mul(&y, &c8, Protect::None);
+        let d8 = t1.sub(&t2, &c8, Protect::None);
+        let (lo8, hi8) = d8.range();
+        assert!(hi8 - lo8 < 0.1 * (hi - lo), "AA must beat IA here");
+    }
+
+    #[test]
+    fn protection_changes_fusion_outcome() {
+        // Under the oldest-symbol policy, z's symbol (the oldest) is the
+        // first fusion victim and the later x·z − y·z cancellation is lost
+        // — unless the static analysis protects it.
+        let run = |protect_input: bool| -> f64 {
+            let c = AaContext::new(
+                AaConfig::new(2)
+                    .with_placement(Placement::Sorted)
+                    .with_fusion(Fusion::Oldest)
+                    .with_vectorized(false),
+            );
+            let z = Affine::<f64>::from_interval(0.9, 1.1, &c); // oldest symbol
+            let zids = z.symbol_ids();
+            let prot = if protect_input { Protect::Ids(&zids) } else { Protect::None };
+            let x = Affine::<f64>::from_interval(0.95, 1.05, &c);
+            let y = Affine::<f64>::from_interval(0.95, 1.05, &c);
+            let t1 = x.mul(&z, &c, prot);
+            let t2 = y.mul(&z, &c, prot);
+            let t3 = t1.sub(&t2, &c, prot);
+            let (lo, hi) = t3.range();
+            hi - lo
+        };
+        let protected_width = run(true);
+        let unprotected_width = run(false);
+        assert!(
+            protected_width < unprotected_width,
+            "protected {protected_width} !< unprotected {unprotected_width}"
+        );
+    }
+
+    #[test]
+    fn exact_zero_times_poisoned_is_not_nan() {
+        // Regression: 0 · ∞ in the noise propagation used to produce NaN
+        // ranges. An exactly-zero factor annihilates even an unbounded
+        // noise term.
+        for c in both_placements(4) {
+            let zero = Affine::<f64>::exact(0.0, &c);
+            let poisoned = Affine::<f64>::entire(&c);
+            let p = zero.mul(&poisoned, &c, Protect::None);
+            let (lo, hi) = p.range();
+            assert!(!lo.is_nan() && !hi.is_nan(), "[{lo}, {hi}]");
+            assert!(p.contains_f64(0.0));
+            // sqrt of x·x where x has tiny symbols dips below zero and
+            // poisons; multiplying by an exact zero must stay clean.
+            let x = Affine::<f64>::constant(0.5, &c)
+                .sub(&Affine::<f64>::constant(0.5, &c), &c, Protect::None);
+            let sq = x.mul(&x, &c, Protect::None);
+            let r = sq.sqrt(&c, Protect::None);
+            let z = zero.mul(&r, &c, Protect::None);
+            let (lo, hi) = z.range();
+            assert!(!lo.is_nan() && !hi.is_nan(), "[{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn op_capacity_override_throttles_sorted_ops() {
+        let c = ctx(16, Placement::Sorted);
+        let a = Affine::<f64>::from_input(0.3, &c);
+        let b = Affine::<f64>::from_input(0.7, &c);
+        // Build values with many symbols at full budget.
+        let mut x = a.mul(&b, &c, Protect::None);
+        for _ in 0..10 {
+            x = x.mul(&b, &c, Protect::None).add(&a, &c, Protect::None);
+        }
+        assert!(x.n_symbols() > 4);
+        // Throttle: the next op must respect the lowered budget…
+        c.set_op_capacity(3);
+        let y = x.add(&a, &c, Protect::None);
+        assert!(y.n_symbols() <= 3, "{} symbols", y.n_symbols());
+        // …and stay sound.
+        assert!(y.contains_f64(x.center_f64() + 0.3));
+        // Reset restores the full budget for later ops.
+        c.reset_op_capacity();
+        let z = x.add(&a, &c, Protect::None);
+        assert!(z.n_symbols() > 3);
+    }
+
+    #[test]
+    fn protect_ids_caps_at_largest_magnitudes() {
+        let c = ctx(16, Placement::Sorted);
+        let big = Affine::<f64>::from_interval(0.0, 2.0, &c); // large symbol
+        let small = Affine::<f64>::from_input(1.0, &c); // ulp symbol
+        let v = big.add(&small, &c, Protect::None);
+        let all = v.symbol_ids();
+        assert!(all.len() >= 2);
+        let capped = v.protect_ids(1);
+        assert_eq!(capped.len(), 1);
+        // The surviving id is the big symbol's.
+        assert_eq!(capped[0], big.symbol_ids()[0]);
+        // A generous limit returns everything, sorted.
+        let loose = v.protect_ids(100);
+        assert_eq!(loose, all);
+    }
+
+    #[test]
+    fn f32a_soundness() {
+        let c = ctx(8, Placement::Sorted);
+        let a = Affine::<f32>::from_input(0.1, &c);
+        let b = Affine::<f32>::from_input(0.2, &c);
+        let s = a.add(&b, &c, Protect::None);
+        assert!(s.contains_dd(Dd::from_two_sum(0.1, 0.2)));
+        let p = a.mul(&b, &c, Protect::None);
+        assert!(p.contains_dd(Dd::from_two_prod(0.1, 0.2)));
+    }
+}

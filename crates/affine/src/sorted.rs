@@ -1,0 +1,208 @@
+//! Merge kernels for the sorted placement policy (paper Sec. V-A).
+//!
+//! Both operands keep their terms sorted by symbol id; an operation merges
+//! the two sorted arrays, combining coefficients of shared symbols and
+//! recovering every rounding error exactly via EFTs. The accumulated errors
+//! feed the operation's fresh error symbol.
+
+use crate::center::{CenterValue, ErrAcc};
+use crate::symbol::Term;
+use safegen_fpcore::round::add_with_err;
+
+/// Merges the term lists for a linear operation `a ± b`.
+///
+/// `sign_b` is `+1.0` for addition and `-1.0` for subtraction. Exact
+/// rounding errors of coefficient additions accumulate in `noise`.
+/// Zero-coefficient results are dropped (full cancellation).
+pub(crate) fn merge_linear(
+    a: &[Term],
+    b: &[Term],
+    sign_b: f64,
+    noise: &mut ErrAcc,
+) -> Vec<Term> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ta, tb) = (a[i], b[j]);
+        if ta.id == tb.id {
+            let (c, e) = add_with_err(ta.coeff, sign_b * tb.coeff);
+            noise.add(e);
+            if c != 0.0 {
+                out.push(Term::new(ta.id, c));
+            }
+            i += 1;
+            j += 1;
+        } else if ta.id < tb.id {
+            out.push(ta);
+            i += 1;
+        } else {
+            out.push(Term::new(tb.id, sign_b * tb.coeff));
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend(b[j..].iter().map(|t| Term::new(t.id, sign_b * t.coeff)));
+    out
+}
+
+/// Merges the term lists for multiplication: the affine part of
+/// `â·b̂` has coefficient `a₀·bᵢ + b₀·aᵢ` for every symbol `εᵢ`
+/// (paper eq. 5). Rounding errors of the products and the sum accumulate
+/// in `noise`; the quadratic `r(â)·r(b̂)` term is added by the caller.
+pub(crate) fn merge_mul<C: CenterValue>(
+    a0: C,
+    b0: C,
+    a: &[Term],
+    b: &[Term],
+    noise: &mut ErrAcc,
+) -> Vec<Term> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ta, tb) = (a[i], b[j]);
+        if ta.id == tb.id {
+            let (p1, e1) = b0.scale_coeff(ta.coeff);
+            let (p2, e2) = a0.scale_coeff(tb.coeff);
+            let (c, e3) = add_with_err(p1, p2);
+            noise.add(e1);
+            noise.add(e2);
+            noise.add(e3);
+            if c != 0.0 {
+                out.push(Term::new(ta.id, c));
+            }
+            i += 1;
+            j += 1;
+        } else if ta.id < tb.id {
+            let (c, e) = b0.scale_coeff(ta.coeff);
+            noise.add(e);
+            if c != 0.0 {
+                out.push(Term::new(ta.id, c));
+            }
+            i += 1;
+        } else {
+            let (c, e) = a0.scale_coeff(tb.coeff);
+            noise.add(e);
+            if c != 0.0 {
+                out.push(Term::new(tb.id, c));
+            }
+            j += 1;
+        }
+    }
+    for t in &a[i..] {
+        let (c, e) = b0.scale_coeff(t.coeff);
+        noise.add(e);
+        if c != 0.0 {
+            out.push(Term::new(t.id, c));
+        }
+    }
+    for t in &b[j..] {
+        let (c, e) = a0.scale_coeff(t.coeff);
+        noise.add(e);
+        if c != 0.0 {
+            out.push(Term::new(t.id, c));
+        }
+    }
+    out
+}
+
+/// Scales every term by an `f64` factor (for the derived operations
+/// `α·â + ζ`), accumulating rounding errors.
+pub(crate) fn scale_terms(terms: &[Term], alpha: f64, noise: &mut ErrAcc) -> Vec<Term> {
+    let mut out = Vec::with_capacity(terms.len());
+    for t in terms {
+        let (c, e) = safegen_fpcore::round::mul_with_err(t.coeff, alpha);
+        noise.add(e);
+        if c != 0.0 {
+            out.push(Term::new(t.id, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(pairs: &[(u64, f64)]) -> Vec<Term> {
+        pairs.iter().map(|&(id, c)| Term::new(id, c)).collect()
+    }
+
+    #[test]
+    fn linear_merge_combines_shared() {
+        let a = terms(&[(1, 1.0), (3, 2.0)]);
+        let b = terms(&[(1, 0.5), (2, 4.0)]);
+        let mut noise = ErrAcc::default();
+        let out = merge_linear(&a, &b, 1.0, &mut noise);
+        assert_eq!(out, terms(&[(1, 1.5), (2, 4.0), (3, 2.0)]));
+        assert_eq!(noise.value(), 0.0); // all sums exact here
+    }
+
+    #[test]
+    fn linear_merge_subtraction_cancels() {
+        let a = terms(&[(1, 1.0), (2, 3.0)]);
+        let b = terms(&[(1, 1.0), (2, 1.0)]);
+        let mut noise = ErrAcc::default();
+        let out = merge_linear(&a, &b, -1.0, &mut noise);
+        // ε1 cancels completely and is dropped.
+        assert_eq!(out, terms(&[(2, 2.0)]));
+    }
+
+    #[test]
+    fn linear_merge_records_rounding() {
+        let a = terms(&[(1, 1.0)]);
+        let b = terms(&[(1, 1e-30)]);
+        let mut noise = ErrAcc::default();
+        let out = merge_linear(&a, &b, 1.0, &mut noise);
+        assert_eq!(out.len(), 1);
+        assert!(noise.value() > 0.0, "inexact sum must leave noise");
+    }
+
+    #[test]
+    fn linear_merge_keeps_sorted_order() {
+        let a = terms(&[(0, 1.0), (5, 1.0), (9, 1.0)]);
+        let b = terms(&[(2, 1.0), (5, 1.0), (11, 1.0)]);
+        let mut noise = ErrAcc::default();
+        let out = merge_linear(&a, &b, 1.0, &mut noise);
+        assert!(out.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn mul_merge_coefficient_formula() {
+        // â = 2 + 1·ε1, b̂ = 3 + 2·ε1: affine part of product is
+        // (2·2 + 3·1)·ε1 = 7·ε1.
+        let a = terms(&[(1, 1.0)]);
+        let b = terms(&[(1, 2.0)]);
+        let mut noise = ErrAcc::default();
+        let out = merge_mul(2.0f64, 3.0f64, &a, &b, &mut noise);
+        assert_eq!(out, terms(&[(1, 7.0)]));
+    }
+
+    #[test]
+    fn mul_merge_disjoint_symbols() {
+        let a = terms(&[(1, 1.0)]);
+        let b = terms(&[(2, 2.0)]);
+        let mut noise = ErrAcc::default();
+        let out = merge_mul(10.0f64, 100.0f64, &a, &b, &mut noise);
+        // ε1 coeff = b0·1 = 100; ε2 coeff = a0·2 = 20.
+        assert_eq!(out, terms(&[(1, 100.0), (2, 20.0)]));
+    }
+
+    #[test]
+    fn mul_merge_zero_center_drops_terms() {
+        let a = terms(&[(1, 1.0)]);
+        let b: Vec<Term> = vec![];
+        let mut noise = ErrAcc::default();
+        let out = merge_mul(5.0f64, 0.0f64, &a, &b, &mut noise);
+        assert!(out.is_empty()); // b0 = 0 kills a's linear terms
+    }
+
+    #[test]
+    fn scale_terms_applies_alpha() {
+        let a = terms(&[(1, 2.0), (2, -4.0)]);
+        let mut noise = ErrAcc::default();
+        let out = scale_terms(&a, 0.5, &mut noise);
+        assert_eq!(out, terms(&[(1, 1.0), (2, -2.0)]));
+        assert_eq!(noise.value(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error symbols and terms.
+
+/// Identifier of an error symbol `εᵢ`.
+///
+/// Identifiers are allocated monotonically by [`crate::AaContext`], so a
+/// smaller id always means an *older* symbol — the property the
+/// oldest-symbol fusion policy relies on.
+pub type SymbolId = u64;
+
+/// Sentinel id marking an empty slot in the direct-mapped representation.
+pub const NO_SYMBOL: SymbolId = u64::MAX;
+
+/// One term `aᵢ·εᵢ` of an affine form: the symbol identifier and the
+/// deviation magnitude (coefficient), always stored in `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Term {
+    /// Identifier of the error symbol, or [`NO_SYMBOL`] for an empty slot.
+    pub id: SymbolId,
+    /// Coefficient of the symbol.
+    pub coeff: f64,
+}
+
+impl Term {
+    /// An empty direct-mapped slot.
+    pub const EMPTY: Term = Term { id: NO_SYMBOL, coeff: 0.0 };
+
+    /// Creates a term.
+    #[inline]
+    pub fn new(id: SymbolId, coeff: f64) -> Term {
+        Term { id, coeff }
+    }
+
+    /// True if this is an occupied (non-sentinel) term.
+    #[inline]
+    pub fn is_occupied(self) -> bool {
+        self.id != NO_SYMBOL
+    }
+}
+
+impl Default for Term {
+    fn default() -> Self {
+        Term::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slot_is_not_occupied() {
+        assert!(!Term::EMPTY.is_occupied());
+        assert!(Term::new(0, 1.0).is_occupied());
+        assert_eq!(Term::default(), Term::EMPTY);
+    }
+}

@@ -1,0 +1,343 @@
+//! Reuse detection (paper Definitions 1 and 3).
+//!
+//! A node `s` is *reused* at node `t` when two paths lead from `s` to two
+//! distinct parents of `t`: the symbol `ε_s` then arrives at `t` through
+//! both operands and can cancel. The *reuse connection* is the set of
+//! nodes along those two paths (excluding `s` itself) — every one of them
+//! must keep `ε_s` alive (protect it from fusion) for the cancellation to
+//! happen.
+//!
+//! For a pair `(s, t)` there may be many path pairs; like the paper's ILP
+//! formulation, one canonical connection per pair is kept (shortest paths,
+//! which impose the fewest protection obligations).
+
+use safegen_ir::{Dag, NodeId};
+use std::collections::VecDeque;
+
+/// One reuse opportunity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reuse {
+    /// The node whose symbol can cancel.
+    pub source: NodeId,
+    /// The node where the two paths meet.
+    pub target: NodeId,
+    /// Nodes that must protect `ε_source` (the reuse connection,
+    /// excluding `source`, including the two parents of `target`).
+    pub connection: Vec<NodeId>,
+    /// Reuse profit `ρ(source)`: ancestors of `source` including itself.
+    pub profit: usize,
+}
+
+/// Ancestor bitsets (self included) in topological (construction) order.
+fn ancestor_sets(dag: &Dag) -> Vec<Vec<u64>> {
+    let n = dag.len();
+    let words = n.div_ceil(64);
+    let mut sets: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for id in 0..n {
+        let mut set = vec![0u64; words];
+        set[id / 64] |= 1 << (id % 64);
+        for &a in dag.parents(id) {
+            let (before, _) = sets.split_at(id);
+            for (w, &aw) in set.iter_mut().zip(before[a].iter()) {
+                *w |= aw;
+            }
+        }
+        sets.push(set);
+    }
+    sets
+}
+
+#[inline]
+fn bit(set: &[u64], i: usize) -> bool {
+    set[i / 64] & (1 << (i % 64)) != 0
+}
+
+/// Shortest path from `s` to `dst` walking parent edges backwards from
+/// `dst`; returns the nodes on the path **excluding `s`, including `dst`**.
+/// `avoid` excludes one node from the search (detour alternatives).
+fn shortest_path(
+    dag: &Dag,
+    s: NodeId,
+    dst: NodeId,
+    anc: &[Vec<u64>],
+    avoid: Option<NodeId>,
+) -> Option<Vec<NodeId>> {
+    if s == dst {
+        return Some(Vec::new());
+    }
+    if !bit(&anc[dst], s) || avoid == Some(dst) {
+        return None;
+    }
+    // BFS from dst towards s over parent edges, restricted to nodes having
+    // s as an ancestor (guarantees progress towards s).
+    let mut prev: Vec<Option<NodeId>> = vec![None; dag.len()];
+    let mut queue = VecDeque::new();
+    queue.push_back(dst);
+    prev[dst] = Some(dst);
+    while let Some(v) = queue.pop_front() {
+        for &p in dag.parents(v) {
+            if p == s {
+                // Reconstruct.
+                let mut path = vec![v];
+                let mut cur = v;
+                while cur != dst {
+                    cur = prev[cur].unwrap();
+                    path.push(cur);
+                }
+                return Some(path);
+            }
+            if prev[p].is_none() && bit(&anc[p], s) && avoid != Some(p) {
+                prev[p] = Some(v);
+                queue.push_back(p);
+            }
+        }
+    }
+    None
+}
+
+/// Finds all reuse opportunities in the DAG, one canonical connection per
+/// `(source, target)` pair (paper Sec. VI-A: the base ILP formulation
+/// keeps one reuse connection per pair).
+pub fn find_reuses(dag: &Dag) -> Vec<Reuse> {
+    find_reuses_multi(dag, 1)
+}
+
+/// Finds reuse opportunities with up to `per_pair` **alternative**
+/// connections per `(source, target)` pair — the first ILP extension the
+/// paper describes (Sec. VI-B, "the model can also be extended to consider
+/// two or more reuse connections between two nodes").
+///
+/// Alternatives come from distinct parent pairs of the target and from
+/// detours around the shortest connection's interior nodes; giving the
+/// solver a choice matters when the cheapest connection competes for the
+/// capacity of a congested node.
+pub fn find_reuses_multi(dag: &Dag, per_pair: usize) -> Vec<Reuse> {
+    assert!(per_pair >= 1, "per_pair must be at least 1");
+    let anc = ancestor_sets(dag);
+    let profits = dag.ancestor_counts();
+    let mut out: Vec<Reuse> = Vec::new();
+
+    for t in 0..dag.len() {
+        let parents = dag.parents(t);
+        if parents.len() < 2 {
+            continue;
+        }
+        // Distinct parent pairs (binary ops have at most one).
+        for i in 0..parents.len() {
+            for j in (i + 1)..parents.len() {
+                let (u, v) = (parents[i], parents[j]);
+                if u == v {
+                    continue;
+                }
+                // Common ancestors of u and v.
+                #[allow(clippy::needless_range_loop)] // s is a node id, not a slice position
+                for s in 0..dag.len() {
+                    if !(bit(&anc[u], s) && bit(&anc[v], s)) {
+                        continue;
+                    }
+                    let have = out
+                        .iter()
+                        .filter(|r| r.source == s && r.target == t)
+                        .count();
+                    if have >= per_pair {
+                        continue;
+                    }
+                    let Some(p1) = shortest_path(dag, s, u, &anc, None) else { continue };
+                    let Some(p2) = shortest_path(dag, s, v, &anc, None) else { continue };
+                    let base = merge_paths(&p1, &p2);
+                    push_unique(&mut out, s, t, base.clone(), profits[s]);
+                    // Detour alternatives: re-route either leg around each
+                    // interior node of the base connection.
+                    if per_pair > 1 {
+                        for &avoid in &base {
+                            if avoid == u || avoid == v {
+                                continue;
+                            }
+                            let count = out
+                                .iter()
+                                .filter(|r| r.source == s && r.target == t)
+                                .count();
+                            if count >= per_pair {
+                                break;
+                            }
+                            let q1 = shortest_path(dag, s, u, &anc, Some(avoid));
+                            let q2 = shortest_path(dag, s, v, &anc, Some(avoid));
+                            if let (Some(q1), Some(q2)) = (q1, q2) {
+                                push_unique(&mut out, s, t, merge_paths(&q1, &q2), profits[s]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn merge_paths(p1: &[NodeId], p2: &[NodeId]) -> Vec<NodeId> {
+    let mut connection: Vec<NodeId> = p1.to_vec();
+    for &n in p2 {
+        if !connection.contains(&n) {
+            connection.push(n);
+        }
+    }
+    connection.sort_unstable();
+    connection
+}
+
+fn push_unique(out: &mut Vec<Reuse>, s: NodeId, t: NodeId, connection: Vec<NodeId>, profit: usize) {
+    if !out
+        .iter()
+        .any(|r| r.source == s && r.target == t && r.connection == connection)
+    {
+        out.push(Reuse { source: s, target: t, connection, profit });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safegen_cfront::{analyze, parse};
+    use safegen_ir::{build_dag, to_tac, NodeKind};
+
+    fn dag_of(src: &str) -> Dag {
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let tac = to_tac(&unit, &sema);
+        let sema2 = analyze(&tac).unwrap();
+        build_dag(&tac.functions[0], &sema2)
+    }
+
+    fn input_id(dag: &Dag, name: &str) -> NodeId {
+        dag.nodes()
+            .iter()
+            .position(|n| matches!(&n.kind, NodeKind::Input(s) if s == name))
+            .unwrap()
+    }
+
+    #[test]
+    fn fig4_reuse_of_z_at_sub() {
+        // x·z − y·z (paper Fig. 4): z is reused at the subtraction.
+        let dag = dag_of("double f(double x, double y, double z) { return x*z - y*z; }");
+        let reuses = find_reuses(&dag);
+        let z = input_id(&dag, "z");
+        let sub = dag.nodes().iter().position(|n| n.kind == NodeKind::Sub).unwrap();
+        let r = reuses
+            .iter()
+            .find(|r| r.source == z && r.target == sub)
+            .expect("z must be reused at the subtraction");
+        // Connection = the two multiplications.
+        let muls: Vec<NodeId> = dag
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == NodeKind::Mul)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(r.connection, muls);
+        // ρ(z) = 1 (an input is its own only ancestor).
+        assert_eq!(r.profit, 1);
+    }
+
+    #[test]
+    fn no_reuse_without_shared_ancestor() {
+        let dag = dag_of("double f(double a, double b, double c, double d) { return a*b - c*d; }");
+        let reuses = find_reuses(&dag);
+        assert!(reuses.is_empty(), "{reuses:?}");
+    }
+
+    #[test]
+    fn squaring_is_self_reuse() {
+        // x*x: both parents of the mul are the same node — NOT a reuse
+        // (Definition 1 requires two distinct parents).
+        let dag = dag_of("double f(double x) { return x * x; }");
+        let reuses = find_reuses(&dag);
+        assert!(reuses.is_empty());
+    }
+
+    #[test]
+    fn deep_reuse_has_larger_connection() {
+        // ((x*a)*b) - ((x*c)*d): x reused at the sub via 2-hop paths.
+        let dag = dag_of(
+            "double f(double x, double a, double b, double c, double d) {
+                 return x*a*b - x*c*d;
+             }",
+        );
+        let reuses = find_reuses(&dag);
+        let x = input_id(&dag, "x");
+        let sub = dag.nodes().iter().position(|n| n.kind == NodeKind::Sub).unwrap();
+        let r = reuses.iter().find(|r| r.source == x && r.target == sub).unwrap();
+        assert_eq!(r.connection.len(), 4, "{r:?}"); // 4 muls on the two paths
+    }
+
+    #[test]
+    fn intermediate_node_reuse() {
+        // s = a+b; return s*c - s*d: the *operation* node s is reused.
+        let dag = dag_of(
+            "double f(double a, double b, double c, double d) {
+                 double s = a + b;
+                 return s*c - s*d;
+             }",
+        );
+        let reuses = find_reuses(&dag);
+        let add = dag.nodes().iter().position(|n| n.kind == NodeKind::Add).unwrap();
+        let sub = dag.nodes().iter().position(|n| n.kind == NodeKind::Sub).unwrap();
+        let r = reuses.iter().find(|r| r.source == add && r.target == sub).unwrap();
+        // ρ(s) = a, b, s = 3.
+        assert_eq!(r.profit, 3);
+        // a and b are also reused at the sub (through s).
+        let a = input_id(&dag, "a");
+        assert!(reuses.iter().any(|r| r.source == a && r.target == sub));
+    }
+
+    #[test]
+    fn one_connection_per_pair() {
+        // Diamond with two routes: s → u via two paths and s → v: multiple
+        // path pairs for (s, target) but only one connection kept.
+        let dag = dag_of(
+            "double f(double x, double c) {
+                 double u1 = x * 2.0;
+                 double u2 = x * 3.0;
+                 double m = u1 + u2;
+                 return m - x * c;
+             }",
+        );
+        let reuses = find_reuses(&dag);
+        let x = input_id(&dag, "x");
+        let count = reuses
+            .iter()
+            .filter(|r| r.source == x)
+            .map(|r| r.target)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let total = reuses.iter().filter(|r| r.source == x).count();
+        assert_eq!(count, total, "duplicate (s,t) pairs found");
+    }
+
+    #[test]
+    fn connection_contains_both_parents() {
+        let dag = dag_of("double f(double x, double y, double z) { return x*z - y*z; }");
+        let reuses = find_reuses(&dag);
+        for r in &reuses {
+            for &p in dag.parents(r.target) {
+                if p != r.source {
+                    assert!(
+                        r.connection.contains(&p),
+                        "connection of {r:?} must contain parent {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profits_match_ancestor_counts() {
+        let dag = dag_of(
+            "double f(double a, double b) { double s = a*b; double t = s+a; return t*s - s*b; }",
+        );
+        let counts = dag.ancestor_counts();
+        for r in find_reuses(&dag) {
+            assert_eq!(r.profit, counts[r.source]);
+        }
+    }
+}

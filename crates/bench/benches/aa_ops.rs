@@ -1,0 +1,100 @@
+//! Microbenchmarks of the affine operations (paper Sec. V,
+//! "Arithmetic cost"): addition and multiplication under each placement
+//! policy, across the symbol-budget sweep, plus the vectorized kernels
+//! and the library baselines.
+//!
+//! The paper's claims checked here (relative, not absolute):
+//! * direct-mapped ops are much cheaper than sorted ops at equal k;
+//! * vectorized direct ops beat scalar direct ops (1.2–3×);
+//! * the per-op cost grows linearly in k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safegen_affine::baselines::{BaselineCtx, CeresAffine, YalaaAff0};
+use safegen_affine::{AaConfig, AaContext, AffineF64, Placement, Protect};
+use std::hint::black_box;
+
+/// Two affine operands with all k symbol slots populated and shared —
+/// the steady state inside a benchmark loop.
+fn operands(ctx: &AaContext) -> (AffineF64, AffineF64) {
+    let mut a = AffineF64::from_input(0.7, ctx);
+    let mut b = AffineF64::from_input(1.3, ctx);
+    // Mix until both carry k symbols with shared history.
+    for _ in 0..(2 * ctx.k() + 4) {
+        let t = a.mul(&b, ctx, Protect::None);
+        b = b.add(&a, ctx, Protect::None);
+        a = t;
+    }
+    // Normalize magnitudes to avoid overflow in the timing loop.
+    let scale = AffineF64::exact(1e-3, ctx);
+    (a.mul(&scale, ctx, Protect::None), b.mul(&scale, ctx, Protect::None))
+}
+
+fn bench_add_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aa_ops");
+    for &k in &[8usize, 16, 32, 48] {
+        for (tag, cfg) in [
+            ("ss", AaConfig::new(k).with_placement(Placement::Sorted).with_vectorized(false)),
+            ("ds", AaConfig::new(k).with_vectorized(false)),
+            ("dsv", AaConfig::new(k).with_vectorized(true)),
+        ] {
+            let ctx = AaContext::new(cfg);
+            let (a, b) = operands(&ctx);
+            group.bench_with_input(BenchmarkId::new(format!("add_{tag}"), k), &k, |bch, _| {
+                bch.iter(|| black_box(a.add(black_box(&b), &ctx, Protect::None)))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("mul_{tag}"), k), &k, |bch, _| {
+                bch.iter(|| black_box(a.mul(black_box(&b), &ctx, Protect::None)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_ops");
+    // Ceres at k=16 vs our ds at k=16: the library-overhead gap of Fig. 9.
+    let k = 16;
+    let cctx = BaselineCtx::new();
+    let mut ca = CeresAffine::from_input(0.7, k, &cctx);
+    let mut cb = CeresAffine::from_input(1.3, k, &cctx);
+    for _ in 0..(2 * k) {
+        let t = ca.mul(&cb, &cctx);
+        cb = cb.add(&ca, &cctx);
+        ca = t;
+    }
+    group.bench_function("ceres_mul_k16", |bch| {
+        bch.iter(|| black_box(ca.mul(black_box(&cb), &cctx)))
+    });
+
+    // yalaa-aff0 with ~64 live symbols.
+    let yctx = BaselineCtx::new();
+    let mut ya = YalaaAff0::from_input(0.7, &yctx);
+    let yb = YalaaAff0::from_input(1.3, &yctx);
+    for _ in 0..60 {
+        ya = ya.mul(&yb, &yctx);
+    }
+    group.bench_function("yalaa_aff0_mul_64syms", |bch| {
+        bch.iter(|| black_box(ya.mul(black_box(&yb), &yctx)))
+    });
+
+    let ctx = AaContext::new(AaConfig::new(16));
+    let (a, b) = operands(&ctx);
+    group.bench_function("safegen_dsv_mul_k16", |bch| {
+        bch.iter(|| black_box(a.mul(black_box(&b), &ctx, Protect::None)))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_add_mul, bench_baselines
+}
+criterion_main!(benches);

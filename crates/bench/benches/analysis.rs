@@ -1,0 +1,84 @@
+//! Benchmarks of the static-analysis pipeline: the paper reports that
+//! "the generation of each implementation took less than a second for all
+//! considered benchmarks" — these benches pin where that time goes
+//! (parsing + TAC, reuse enumeration, ILP vs greedy max-reuse solving).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use safegen_bench::{Workload, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    for w in [
+        Workload::new(WorkloadKind::Henon { iters: 100 }),
+        Workload::new(WorkloadKind::Sor { n: 10, iters: 30 }),
+        Workload::new(WorkloadKind::Luf { n: 20 }),
+        Workload::new(WorkloadKind::Fgm { n: 8, iters: 40 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("compile", w.name), &w, |b, w| {
+            b.iter(|| black_box(safegen::Compiler::new().compile(black_box(&w.source)).unwrap()))
+        });
+        let compiled = safegen::Compiler::new().compile(&w.source).unwrap();
+        group.bench_with_input(BenchmarkId::new("prioritize_k16", w.name), &w, |b, w| {
+            b.iter(|| black_box(compiled.prioritized_program(w.func, 16)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_maxreuse_solvers(c: &mut Criterion) {
+    // A reuse-dense synthetic kernel: chained reconvergences.
+    let mut src = String::from("double f(double x, double z) {\n    double acc = 0.0;\n");
+    for i in 0..12 {
+        src.push_str(&format!(
+            "    double a{i} = x * z;\n    double b{i} = acc * z;\n    acc = acc + a{i} - b{i};\n"
+        ));
+    }
+    src.push_str("    return acc;\n}\n");
+
+    let unit = safegen_cfront::parse(&src).unwrap();
+    let sema = safegen_cfront::analyze(&unit).unwrap();
+    let tac = safegen_ir::to_tac(&unit, &sema);
+    let sema = safegen_cfront::analyze(&tac).unwrap();
+    let dag = safegen_ir::build_dag(&tac.functions[0], &sema);
+
+    let mut group = c.benchmark_group("maxreuse");
+    group.bench_function("find_reuses", |b| {
+        b.iter(|| black_box(safegen_analysis::find_reuses(black_box(&dag))))
+    });
+    let reuses = safegen_analysis::find_reuses(&dag);
+    eprintln!("maxreuse bench instance: {} reuses", reuses.len());
+    group.bench_function("solve_greedy", |b| {
+        b.iter(|| {
+            black_box(safegen_analysis::solve_max_reuse(
+                black_box(&reuses),
+                8,
+                safegen_analysis::SolveMode::Greedy,
+            ))
+        })
+    });
+    group.bench_function("solve_ilp", |b| {
+        b.iter(|| {
+            black_box(safegen_analysis::solve_max_reuse(
+                black_box(&reuses),
+                8,
+                safegen_analysis::SolveMode::Ilp,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_compile_pipeline, bench_maxreuse_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end workload benchmarks: each paper benchmark under the
+//! unsound VM, IGen-f64 intervals, and `f64a-dspv` affine configurations —
+//! the runtime axis of Fig. 8/9 in criterion form (small instances so
+//! `cargo bench` stays quick; the figure binaries run the full sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safegen::{Compiler, RunConfig};
+use safegen_bench::{Workload, WorkloadKind};
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    let workloads = [
+        Workload::new(WorkloadKind::Henon { iters: 25 }),
+        Workload::new(WorkloadKind::Sor { n: 6, iters: 4 }),
+        Workload::new(WorkloadKind::Luf { n: 8 }),
+        Workload::new(WorkloadKind::Fgm { n: 4, iters: 10 }),
+    ];
+    let mut group = c.benchmark_group("workloads");
+    for w in &workloads {
+        let compiled = Compiler::new().compile(&w.source).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let args = w.args(&mut rng);
+
+        group.bench_with_input(BenchmarkId::new("native", w.name), &w, |b, w| {
+            b.iter(|| black_box(w.native(black_box(&args))))
+        });
+        for (tag, cfg) in [
+            ("unsound_vm", RunConfig::unsound()),
+            ("igen_f64", RunConfig::interval_f64()),
+            ("f64a_dspv_k8", RunConfig::affine_f64(8)),
+            ("f64a_dspv_k32", RunConfig::affine_f64(32)),
+        ] {
+            // Warm the prioritized-program cache outside the timer.
+            let _ = compiled.run(w.func, &args, &cfg);
+            group.bench_with_input(BenchmarkId::new(tag, w.name), &w, |b, w| {
+                b.iter(|| black_box(compiled.run(w.func, black_box(&args), &cfg).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates Fig. 10 of the paper: certified accuracy of `f64a-dspv`
+//! on `sor` and `luf` as the input matrix size `n` grows.
+//!
+//! The paper's observation: `sor` (computation depth O(1) per cell)
+//! keeps roughly constant accuracy for n > 30, while `luf` (depth O(n))
+//! decays to zero certified bits by n ≈ 60.
+//!
+//! Usage: `cargo run --release -p safegen-bench --bin fig10`
+
+use safegen::{Compiler, RunConfig};
+use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
+
+fn main() {
+    let sizes: Vec<usize> = if harness::quick() {
+        vec![10, 20, 40]
+    } else {
+        vec![10, 20, 30, 40, 50, 60]
+    };
+    let k = 16;
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    for &n in &sizes {
+        for w in [
+            Workload::new(WorkloadKind::Sor { n, iters: 10 }),
+            Workload::new(WorkloadKind::Luf { n }),
+        ] {
+            let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+            let mut m = harness::measure(&w, &compiled, &RunConfig::affine_f64(k));
+            m.config = format!("{} (n={n})", m.config);
+            rows.push(m);
+            eprintln!("fig10: {} n={} done", w.name, n);
+        }
+    }
+
+    harness::print_csv(&rows);
+
+    println!("\n== Fig. 10: certified bits of f64a-dspv (k={k}) vs n ==");
+    println!("{:<6} {:>10} {:>10}", "n", "sor", "luf");
+    for &n in &sizes {
+        let get = |bench: &str| {
+            rows.iter()
+                .find(|r| r.bench == bench && r.config.contains(&format!("(n={n})")))
+                .map(|r| r.acc_bits)
+                .unwrap_or(f64::NAN)
+        };
+        println!("{:<6} {:>10.1} {:>10.1}", n, get("sor"), get("luf"));
+    }
+    println!("\npaper shape: sor ~flat for n>30; luf decays to 0 bits by n~60");
+}

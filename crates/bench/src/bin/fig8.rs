@@ -1,0 +1,80 @@
+//! Regenerates Fig. 8 of the paper: certified accuracy vs slowdown for
+//! the SafeGen configurations on each benchmark, sweeping the symbol
+//! budget k = 8, 12, …, 48.
+//!
+//! Configurations plotted (paper notation):
+//! `f64a-srnn`, `f64a-ssnn`, `f64a-smpn`, `f64a-dsnn`, `f64a-dsnv`,
+//! `f64a-dspv`, `dda-dspn`.
+//!
+//! Output: CSV series (one row per point) plus a textual Pareto summary
+//! per benchmark. Usage:
+//! `cargo run --release -p safegen-bench --bin fig8`
+
+use safegen::{Compiler, DomainKind, RunConfig};
+use safegen_bench::{harness, Measurement, Workload};
+
+fn configs(k: usize) -> Vec<RunConfig> {
+    let mut v = vec![
+        RunConfig::mnemonic(k, "srnn").unwrap(),
+        RunConfig::mnemonic(k, "ssnn").unwrap(),
+        RunConfig::mnemonic(k, "smpn").unwrap(),
+        RunConfig::mnemonic(k, "dsnn").unwrap(),
+        RunConfig::mnemonic(k, "dsnv").unwrap(),
+        RunConfig::mnemonic(k, "dspv").unwrap(),
+    ];
+    // dda-dspn: double-double centers, prioritized, scalar.
+    let mut dd = RunConfig::affine_dd(k);
+    dd.kind = DomainKind::AffineDd;
+    v.push(dd);
+    v
+}
+
+fn main() {
+    let ks: Vec<usize> = if harness::quick() {
+        vec![8, 16, 32]
+    } else {
+        (8..=48).step_by(4).collect()
+    };
+    let suite = Workload::paper_suite();
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    for w in &suite {
+        let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+        for &k in &ks {
+            for cfg in configs(k) {
+                rows.push(harness::measure(w, &compiled, &cfg));
+            }
+        }
+        eprintln!("fig8: {} done", w.name);
+    }
+
+    harness::print_csv(&rows);
+
+    // Pareto front per benchmark (maximal accuracy for minimal slowdown).
+    for w in &suite {
+        let mut pts: Vec<&Measurement> = rows.iter().filter(|r| r.bench == w.name).collect();
+        pts.sort_by(|a, b| a.slowdown.partial_cmp(&b.slowdown).unwrap());
+        println!("\n== Fig. 8 {}: Pareto front (slowdown ↑, accuracy must ↑) ==", w.name);
+        let mut best = f64::NEG_INFINITY;
+        for p in pts {
+            if p.acc_bits > best {
+                best = p.acc_bits;
+                println!(
+                    "{:<24} acc {:>6.1} bits   slowdown {:>8.1}x",
+                    p.config, p.acc_bits, p.slowdown
+                );
+            }
+        }
+    }
+
+    // The paper's headline: f64a-dspv k=8 slowdown vs the unsound code.
+    println!("\n== f64a-dspv (k=8) slowdown vs unsound original ==");
+    for w in &suite {
+        if let Some(m) = rows
+            .iter()
+            .find(|r| r.bench == w.name && r.config == "f64a-dspv (k=8)")
+        {
+            println!("{:<8} {:>8.1}x (paper: 48x-185x)", w.name, m.slowdown);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Regenerates Fig. 9 of the paper: SafeGen (`f64a-dspv`, k = 8…48)
+//! against the prior-work baselines —
+//!
+//! * `yalaa-aff0`  (full AA, C++ library style),
+//! * `yalaa-aff1`  (input symbols + dedicated noise),
+//! * `ceres-affine` (bounded AA with compact-on-overflow, k = 8…48),
+//! * `IGen-f64` / `IGen-dd` (interval arithmetic),
+//! * `f64a-dspv-k̄` (large k: full AA through SafeGen's runtime).
+//!
+//! Also prints the paper's two headline ratios: SafeGen vs Ceres runtime
+//! at equal k (paper: 30–70×) and SafeGen-full-k vs yalaa-aff0 (paper:
+//! 3–6×). Usage: `cargo run --release -p safegen-bench --bin fig9`
+
+use safegen::{Compiler, RunConfig};
+use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
+
+/// The paper's "large enough that no fusion occurs" budgets.
+fn full_k(kind: WorkloadKind) -> usize {
+    match kind {
+        WorkloadKind::Henon { .. } => 800,
+        WorkloadKind::Sor { .. } => 13_000,
+        WorkloadKind::Fgm { .. } => 6_000,
+        // ~2n³/3 eliminations plus pivoting for n = 20.
+        WorkloadKind::Luf { .. } => 8_000,
+    }
+}
+
+fn main() {
+    let ks: Vec<usize> = if harness::quick() {
+        vec![8, 16, 32]
+    } else {
+        (8..=48).step_by(4).collect()
+    };
+    let suite = Workload::paper_suite();
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    for w in &suite {
+        let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+        for &k in &ks {
+            rows.push(harness::measure(w, &compiled, &RunConfig::affine_f64(k)));
+            rows.push(harness::measure(w, &compiled, &RunConfig::ceres(k)));
+        }
+        rows.push(harness::measure(w, &compiled, &RunConfig::yalaa_aff0()));
+        rows.push(harness::measure(w, &compiled, &RunConfig::yalaa_aff1()));
+        rows.push(harness::measure(w, &compiled, &RunConfig::interval_f64()));
+        rows.push(harness::measure(w, &compiled, &RunConfig::interval_dd()));
+        // Full-AA SafeGen (f64a-dspv-k̄): sorted placement, huge k.
+        let mut full = RunConfig::affine_f64(full_k(w.kind));
+        full.aa.placement = safegen::Placement::Sorted;
+        full.aa.vectorized = false;
+        rows.push(harness::measure(w, &compiled, &full));
+        eprintln!("fig9: {} done", w.name);
+    }
+
+    harness::print_csv(&rows);
+
+    println!("\n== SafeGen vs Ceres at equal k (runtime ratio; paper: 30-70x) ==");
+    for w in &suite {
+        for &k in &ks {
+            let sg = rows
+                .iter()
+                .find(|r| r.bench == w.name && r.config == format!("f64a-dspv (k={k})"));
+            let ce = rows
+                .iter()
+                .find(|r| r.bench == w.name && r.config == format!("ceres-affine (k={k})"));
+            if let (Some(sg), Some(ce)) = (sg, ce) {
+                println!(
+                    "{:<8} k={:<3} ceres/safegen = {:>6.1}x   acc: safegen {:>5.1} vs ceres {:>5.1}",
+                    w.name,
+                    k,
+                    ce.runtime / sg.runtime,
+                    sg.acc_bits,
+                    ce.acc_bits
+                );
+            }
+        }
+    }
+
+    println!("\n== Full AA: yalaa-aff0 vs SafeGen f64a-dspv-k̄ (paper: 3-6x) ==");
+    for w in &suite {
+        let ya = rows.iter().find(|r| r.bench == w.name && r.config == "yalaa-aff0");
+        let fk = rows.iter().find(|r| {
+            r.bench == w.name && r.config.starts_with("f64a-") && {
+                let k: usize = r
+                    .config
+                    .split("k=")
+                    .nth(1)
+                    .and_then(|s| s.trim_end_matches(')').parse().ok())
+                    .unwrap_or(0);
+                k >= 100
+            }
+        });
+        if let (Some(ya), Some(fk)) = (ya, fk) {
+            println!(
+                "{:<8} yalaa/safegen-full = {:>6.1}x   acc: safegen {:>5.1} vs yalaa {:>5.1}",
+                w.name,
+                ya.runtime / fk.runtime,
+                fk.acc_bits,
+                ya.acc_bits
+            );
+        }
+    }
+
+    println!("\n== IA comparison (paper: IA loses all bits on henon; fgm 7 bits) ==");
+    for w in &suite {
+        let ia = rows.iter().find(|r| r.bench == w.name && r.config == "IGen-f64");
+        let iadd = rows.iter().find(|r| r.bench == w.name && r.config == "IGen-dd");
+        let sg8 = rows
+            .iter()
+            .find(|r| r.bench == w.name && r.config == "f64a-dspv (k=8)");
+        if let (Some(ia), Some(iadd), Some(sg8)) = (ia, iadd, sg8) {
+            println!(
+                "{:<8} IGen-f64: {:>5.1} bits  IGen-dd: {:>5.1} bits  f64a-dspv(k=8): {:>5.1} bits \
+                 (slowdown {:.0}x vs IGen-f64 {:.0}x)",
+                w.name, ia.acc_bits, iadd.acc_bits, sg8.acc_bits, sg8.slowdown, ia.slowdown
+            );
+        }
+    }
+}

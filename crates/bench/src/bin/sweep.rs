@@ -1,0 +1,105 @@
+//! Ablation sweeps: how certified accuracy responds to iteration count,
+//! symbol budget, and prioritization — the tuning tool behind the
+//! DESIGN.md design-choice ablations.
+//!
+//! Usage:
+//! `cargo run --release -p safegen-bench --bin sweep [henon|fgm|prio]`
+
+use safegen::{Compiler, RunConfig};
+use safegen_bench::{harness, Workload, WorkloadKind};
+
+fn henon_sweep() {
+    println!("henon: accuracy vs iteration count (IA should die, AA survive)");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "iters", "IGen-f64", "IGen-dd", "k=8", "k=16", "k=48"
+    );
+    for iters in [40usize, 60, 80, 100, 120] {
+        let w = Workload::new(WorkloadKind::Henon { iters });
+        let c = Compiler::new().compile(&w.source).unwrap();
+        let acc = |cfg: &RunConfig| harness::measure(&w, &c, cfg).acc_bits;
+        println!(
+            "{:<6} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            iters,
+            acc(&RunConfig::interval_f64()),
+            acc(&RunConfig::interval_dd()),
+            acc(&RunConfig::affine_f64(8)),
+            acc(&RunConfig::affine_f64(16)),
+            acc(&RunConfig::affine_f64(48)),
+        );
+    }
+}
+
+fn fgm_sweep() {
+    println!("fgm: accuracy vs iteration count");
+    println!("{:<6} {:>9} {:>9} {:>9}", "iters", "IGen-f64", "k=8", "k=32");
+    for iters in [20usize, 40, 60, 80] {
+        let w = Workload::new(WorkloadKind::Fgm { n: 8, iters });
+        let c = Compiler::new().compile(&w.source).unwrap();
+        let acc = |cfg: &RunConfig| harness::measure(&w, &c, cfg).acc_bits;
+        println!(
+            "{:<6} {:>9.1} {:>9.1} {:>9.1}",
+            iters,
+            acc(&RunConfig::interval_f64()),
+            acc(&RunConfig::affine_f64(8)),
+            acc(&RunConfig::affine_f64(32)),
+        );
+    }
+}
+
+fn prio_sweep() {
+    println!("prioritization ablation: dspv (with) vs dsnv (without), per k");
+    for w in Workload::paper_suite() {
+        let c = Compiler::new().compile(&w.source).unwrap();
+        print!("{:<8}", w.name);
+        for k in [8usize, 16, 32] {
+            let with = harness::measure(&w, &c, &RunConfig::affine_f64(k)).acc_bits;
+            let without =
+                harness::measure(&w, &c, &RunConfig::mnemonic(k, "dsnv").unwrap()).acc_bits;
+            print!("  k={k}: {with:>5.1} vs {without:>5.1} ({:+.1})", with - without);
+        }
+        println!();
+    }
+}
+
+fn capacity_sweep() {
+    println!("variable-capacity extension (paper Sec. VIII future work):");
+    println!("sorted placement, k = 24; reuse-free ops throttled to k_low");
+    println!("{:<10} {:>10} {:>12} {:>12}", "k_low", "acc(bits)", "runtime", "vs uniform");
+    for w in Workload::paper_suite() {
+        let c = Compiler::new().compile(&w.source).unwrap();
+        let mut uniform = RunConfig::mnemonic(24, "sspn").unwrap();
+        uniform.aa.placement = safegen::Placement::Sorted;
+        let base = harness::measure(&w, &c, &uniform);
+        println!(
+            "{}: uniform acc {:.1} bits, runtime {:.3e}s",
+            w.name, base.acc_bits, base.runtime
+        );
+        for k_low in [2usize, 4, 8] {
+            let mut cfg = uniform.clone();
+            cfg.capacity_low = Some(k_low);
+            let m = harness::measure(&w, &c, &cfg);
+            println!(
+                "{:<10} {:>10.1} {:>11.3e}s {:>11.2}x",
+                k_low,
+                m.acc_bits,
+                m.runtime,
+                base.runtime / m.runtime
+            );
+        }
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "henon".into());
+    match which.as_str() {
+        "henon" => henon_sweep(),
+        "fgm" => fgm_sweep(),
+        "prio" => prio_sweep(),
+        "capacity" => capacity_sweep(),
+        other => {
+            eprintln!("unknown sweep `{other}`; expected henon|fgm|prio|capacity");
+            std::process::exit(1);
+        }
+    }
+}

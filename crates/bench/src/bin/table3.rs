@@ -1,0 +1,66 @@
+//! Regenerates Table III of the paper: certified accuracy (top) and
+//! speedup over `ss` (bottom) of the placement × fusion combinations
+//! `ss`, `sm`, `so`, `ds` at k = 40, without prioritization.
+//!
+//! Usage: `cargo run --release -p safegen-bench --bin table3`
+
+use safegen::{Compiler, RunConfig};
+use safegen_bench::{harness, Workload};
+
+fn main() {
+    let k = 40;
+    let combos = ["ssnn", "smnn", "sonn", "dsnn"];
+    let suite = Workload::paper_suite();
+
+    let mut rows = Vec::new();
+    for w in &suite {
+        let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+        for m in combos {
+            let cfg = RunConfig::mnemonic(k, m).unwrap();
+            rows.push(harness::measure(w, &compiled, &cfg));
+        }
+    }
+
+    harness::print_csv(&rows);
+
+    // Table III layout: accuracy block, then speedup-over-ss block.
+    println!("\n== Table III (top): certified accuracy in bits, k = {k} ==");
+    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "bench", "ss", "sm", "so", "ds");
+    for w in &suite {
+        let acc: Vec<f64> = combos
+            .iter()
+            .map(|m| {
+                rows.iter()
+                    .find(|r| r.bench == w.name && r.config.contains(&format!("-{m}")))
+                    .unwrap()
+                    .acc_bits
+            })
+            .collect();
+        println!(
+            "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            w.name, acc[0], acc[1], acc[2], acc[3]
+        );
+    }
+
+    println!("\n== Table III (bottom): speedup over ss, k = {k} ==");
+    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "bench", "ss", "sm", "so", "ds");
+    for w in &suite {
+        let times: Vec<f64> = combos
+            .iter()
+            .map(|m| {
+                rows.iter()
+                    .find(|r| r.bench == w.name && r.config.contains(&format!("-{m}")))
+                    .unwrap()
+                    .runtime
+            })
+            .collect();
+        println!(
+            "{:<8} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            w.name,
+            1.0,
+            times[0] / times[1],
+            times[0] / times[2],
+            times[0] / times[3]
+        );
+    }
+}

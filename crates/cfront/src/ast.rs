@@ -1,0 +1,396 @@
+//! Abstract syntax tree of the C subset.
+
+use crate::token::Span;
+
+/// A parsed translation unit: a list of function definitions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Unit {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+/// Scalar and array types of the subset.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `void` (return type only).
+    Void,
+    /// 32-bit signed integer (index arithmetic).
+    Int,
+    /// IEEE-754 single precision.
+    Float,
+    /// IEEE-754 double precision.
+    Double,
+    /// Fixed-size array `T name[n]` (or `T name[n][m]` when nested).
+    Array(Box<Ty>, usize),
+    /// Pointer parameter `T *p`, treated as an unsized array.
+    Ptr(Box<Ty>),
+}
+
+impl Ty {
+    /// The scalar element type at the bottom of arrays/pointers.
+    pub fn scalar(&self) -> &Ty {
+        match self {
+            Ty::Array(inner, _) | Ty::Ptr(inner) => inner.scalar(),
+            other => other,
+        }
+    }
+
+    /// True if the (scalar of the) type is floating-point.
+    pub fn is_float(&self) -> bool {
+        matches!(self.scalar(), Ty::Float | Ty::Double)
+    }
+
+    /// Number of index dimensions (0 for scalars).
+    pub fn rank(&self) -> usize {
+        match self {
+            Ty::Array(inner, _) | Ty::Ptr(inner) => 1 + inner.rank(),
+            _ => 0,
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Ty,
+    /// Name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body (a block).
+    pub body: Vec<Stmt>,
+    /// Location of the definition.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Declared type.
+    pub ty: Ty,
+    /// Name.
+    pub name: String,
+    /// Location.
+    pub span: Span,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `T name[=init];`
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `lhs op= rhs;` — `op` is [`AssignOp`].
+    Assign {
+        /// Assignment target (identifier or index expression).
+        lhs: Expr,
+        /// Plain or compound assignment.
+        op: AssignOp,
+        /// Right-hand side.
+        rhs: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `if (cond) then [else els]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// Canonical `for (init; cond; step) body`.
+    For {
+        /// Init statement (declaration or assignment); boxed, may be absent.
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Step statement (assignment or inc/dec).
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+    /// `return [expr];`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// A bare expression statement (e.g. a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Location.
+        span: Span,
+    },
+    /// `#pragma safegen <payload>` attached before the following statement.
+    Pragma {
+        /// Pragma payload (e.g. `prioritize(z)`).
+        payload: String,
+        /// Location.
+        span: Span,
+    },
+    /// `{ ... }` nested block.
+    Block {
+        /// Inner statements.
+        body: Vec<Stmt>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The statement's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::ExprStmt { span, .. }
+            | Stmt::Pragma { span, .. }
+            | Stmt::Block { span, .. } => *span,
+        }
+    }
+}
+
+/// Plain and compound assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// True for `+ - * /`.
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+
+    /// True for comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// C source text.
+    pub fn text(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit {
+        /// Value.
+        value: i64,
+        /// Location.
+        span: Span,
+    },
+    /// Floating literal.
+    FloatLit {
+        /// Value.
+        value: f64,
+        /// Location.
+        span: Span,
+    },
+    /// Identifier reference.
+    Ident {
+        /// Name.
+        name: String,
+        /// Location.
+        span: Span,
+    },
+    /// `base[idx]` (possibly chained for 2-D arrays).
+    Index {
+        /// Array or pointer expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Call to a known math function (`sqrt`, `fabs`, `fmin`, `fmax`).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Explicit cast `(T) expr`.
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::Ident { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Bin { span, .. }
+            | Expr::Un { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Cast { span, .. } => *span,
+        }
+    }
+
+    /// True if this expression can appear on the left of an assignment.
+    pub fn is_lvalue(&self) -> bool {
+        matches!(self, Expr::Ident { .. } | Expr::Index { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_helpers() {
+        let arr = Ty::Array(Box::new(Ty::Array(Box::new(Ty::Double), 4)), 3);
+        assert_eq!(arr.scalar(), &Ty::Double);
+        assert!(arr.is_float());
+        assert_eq!(arr.rank(), 2);
+        assert_eq!(Ty::Int.rank(), 0);
+        assert!(!Ty::Int.is_float());
+        let ptr = Ty::Ptr(Box::new(Ty::Float));
+        assert!(ptr.is_float());
+        assert_eq!(ptr.rank(), 1);
+    }
+
+    #[test]
+    fn binop_helpers() {
+        assert!(BinOp::Add.is_arith());
+        assert!(!BinOp::Lt.is_arith());
+        assert!(BinOp::Le.is_cmp());
+        assert_eq!(BinOp::Mul.text(), "*");
+    }
+
+    #[test]
+    fn lvalue_detection() {
+        let span = Span::default();
+        let id = Expr::Ident { name: "x".into(), span };
+        assert!(id.is_lvalue());
+        let lit = Expr::IntLit { value: 3, span };
+        assert!(!lit.is_lvalue());
+    }
+}

@@ -1,0 +1,75 @@
+//! Diagnostics.
+
+use crate::token::Span;
+use std::fmt;
+
+/// A single diagnostic with a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the source the problem is.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Error type of [`crate::parse`]: one or more diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// All collected diagnostics (at least one).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ParseError {
+    /// Wraps a single diagnostic.
+    pub fn single(d: Diagnostic) -> ParseError {
+        ParseError { diagnostics: vec![d] }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<Diagnostic> for ParseError {
+    fn from(d: Diagnostic) -> ParseError {
+        ParseError::single(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let d = Diagnostic::new("unexpected token", Span::new(0, 1, 3, 7));
+        assert_eq!(d.to_string(), "3:7: unexpected token");
+        let e = ParseError::single(d);
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Hand-written lexer for the C subset.
+
+use crate::error::{Diagnostic, ParseError};
+use crate::token::{Span, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unrecognized characters or malformed
+/// numeric literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let is_eof = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if is_eof {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let (line, col, start) = (self.line, self.col, self.pos);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(Diagnostic::new(
+                                "unterminated block comment",
+                                Span::new(start, self.pos, line, col),
+                            )
+                            .into());
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia()?;
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let c = self.peek();
+        if c == 0 {
+            return Ok(Token { kind: TokenKind::Eof, span: self.span_from(start, line, col) });
+        }
+        if c == b'#' {
+            return self.lex_pragma(start, line, col);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.lex_ident(start, line, col));
+        }
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_ascii_digit()) {
+            return self.lex_number(start, line, col);
+        }
+        self.bump();
+        let two = |lx: &mut Lexer<'a>, kind: TokenKind| {
+            lx.bump();
+            kind
+        };
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'+' => match self.peek() {
+                b'=' => two(self, TokenKind::PlusAssign),
+                b'+' => two(self, TokenKind::PlusPlus),
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                b'=' => two(self, TokenKind::MinusAssign),
+                b'-' => two(self, TokenKind::MinusMinus),
+                _ => TokenKind::Minus,
+            },
+            b'*' => match self.peek() {
+                b'=' => two(self, TokenKind::StarAssign),
+                _ => TokenKind::Star,
+            },
+            b'/' => match self.peek() {
+                b'=' => two(self, TokenKind::SlashAssign),
+                _ => TokenKind::Slash,
+            },
+            b'<' => match self.peek() {
+                b'=' => two(self, TokenKind::Le),
+                _ => TokenKind::Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => two(self, TokenKind::Ge),
+                _ => TokenKind::Gt,
+            },
+            b'=' => match self.peek() {
+                b'=' => two(self, TokenKind::EqEq),
+                _ => TokenKind::Assign,
+            },
+            b'!' => match self.peek() {
+                b'=' => two(self, TokenKind::NotEq),
+                _ => TokenKind::Not,
+            },
+            b'&' => match self.peek() {
+                b'&' => two(self, TokenKind::AmpAmp),
+                _ => TokenKind::Amp,
+            },
+            b'|' => match self.peek() {
+                b'|' => two(self, TokenKind::PipePipe),
+                _ => {
+                    return Err(Diagnostic::new(
+                        "unexpected character `|`",
+                        self.span_from(start, line, col),
+                    )
+                    .into())
+                }
+            },
+            other => {
+                return Err(Diagnostic::new(
+                    format!("unexpected character `{}`", other as char),
+                    self.span_from(start, line, col),
+                )
+                .into())
+            }
+        };
+        Ok(Token { kind, span: self.span_from(start, line, col) })
+    }
+
+    fn lex_ident(&mut self, start: usize, line: u32, col: u32) -> Token {
+        while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let kind = match text {
+            "double" => TokenKind::KwDouble,
+            "float" => TokenKind::KwFloat,
+            "int" => TokenKind::KwInt,
+            "void" => TokenKind::KwVoid,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "return" => TokenKind::KwReturn,
+            "const" => TokenKind::KwConst,
+            _ => TokenKind::Ident(text.to_string()),
+        };
+        Token { kind, span: self.span_from(start, line, col) }
+    }
+
+    fn lex_number(&mut self, start: usize, line: u32, col: u32) -> Result<Token, ParseError> {
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            is_float = true;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        // Suffixes: f/F (float), l/L, u/U are accepted and ignored.
+        while matches!(self.peek(), b'f' | b'F' | b'l' | b'L' | b'u' | b'U') {
+            if matches!(self.peek(), b'f' | b'F') {
+                is_float = true;
+            }
+            self.bump();
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .trim_end_matches(['f', 'F', 'l', 'L', 'u', 'U'])
+            .to_string();
+        let span = self.span_from(start, line, col);
+        let kind = if is_float {
+            TokenKind::FloatLit(text.parse::<f64>().map_err(|e| {
+                ParseError::single(Diagnostic::new(format!("bad float literal: {e}"), span))
+            })?)
+        } else {
+            TokenKind::IntLit(text.parse::<i64>().map_err(|e| {
+                ParseError::single(Diagnostic::new(format!("bad integer literal: {e}"), span))
+            })?)
+        };
+        Ok(Token { kind, span })
+    }
+
+    fn lex_pragma(&mut self, start: usize, line: u32, col: u32) -> Result<Token, ParseError> {
+        // Consume the whole line.
+        while self.peek() != b'\n' && self.peek() != 0 {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().trim();
+        let span = self.span_from(start, line, col);
+        let rest = text.trim_start_matches('#').trim_start();
+        let Some(rest) = rest.strip_prefix("pragma") else {
+            return Err(Diagnostic::new("only #pragma directives are supported", span).into());
+        };
+        let rest = rest.trim_start();
+        let Some(payload) = rest.strip_prefix("safegen") else {
+            // Unknown pragmas are ignored, like a real compiler would.
+            return self.next_token();
+        };
+        Ok(Token { kind: TokenKind::Pragma(payload.trim().to_string()), span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("double x = 0.5;"),
+            vec![
+                TokenKind::KwDouble,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::FloatLit(0.5),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_int_and_float_literals() {
+        assert_eq!(kinds("1")[0], TokenKind::IntLit(1));
+        assert_eq!(kinds("1.0")[0], TokenKind::FloatLit(1.0));
+        assert_eq!(kinds("1e3")[0], TokenKind::FloatLit(1000.0));
+        assert_eq!(kinds(".5")[0], TokenKind::FloatLit(0.5));
+        assert_eq!(kinds("2.5e-3")[0], TokenKind::FloatLit(0.0025));
+        assert_eq!(kinds("1.0f")[0], TokenKind::FloatLit(1.0));
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("a += b; i++; x <= y; p != q;")
+                .into_iter()
+                .filter(|k| {
+                    matches!(
+                        k,
+                        TokenKind::PlusAssign
+                            | TokenKind::PlusPlus
+                            | TokenKind::Le
+                            | TokenKind::NotEq
+                    )
+                })
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a /* comment */ b // line\nc");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn lexes_safegen_pragma() {
+        let ks = kinds("#pragma safegen prioritize(z)\nx");
+        assert_eq!(ks[0], TokenKind::Pragma("prioritize(z)".into()));
+    }
+
+    #[test]
+    fn ignores_unknown_pragma() {
+        let ks = kinds("#pragma omp parallel\nx");
+        assert_eq!(ks[0], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn keywords_not_identifiers() {
+        assert_eq!(kinds("for")[0], TokenKind::KwFor);
+        assert_eq!(kinds("forx")[0], TokenKind::Ident("forx".into()));
+    }
+}

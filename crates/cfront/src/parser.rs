@@ -1,0 +1,624 @@
+//! Recursive-descent parser with precedence-climbing expressions.
+
+use crate::ast::*;
+use crate::error::{Diagnostic, ParseError};
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic diagnostic encountered.
+///
+/// ```
+/// let unit = safegen_cfront::parse("void f(double x) { x = x + 1.0; }").unwrap();
+/// assert_eq!(unit.functions.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Unit, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at(TokenKind::Eof) {
+        functions.push(p.function()?);
+    }
+    Ok(Unit { functions })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn nth_kind(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn at(&self, kind: TokenKind) -> bool {
+        *self.peek_kind() == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.at(kind.clone()) {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(
+                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                self.peek().span,
+            )
+            .into())
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected identifier, found {}", other.describe()),
+                self.peek().span,
+            )
+            .into()),
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek_kind(),
+            TokenKind::KwDouble | TokenKind::KwFloat | TokenKind::KwInt | TokenKind::KwVoid
+        ) || (self.at(TokenKind::KwConst)
+            && matches!(
+                self.nth_kind(1),
+                TokenKind::KwDouble | TokenKind::KwFloat | TokenKind::KwInt
+            ))
+    }
+
+    fn base_type(&mut self) -> Result<Ty, ParseError> {
+        if self.at(TokenKind::KwConst) {
+            self.bump(); // const is accepted and dropped
+        }
+        let t = self.bump();
+        match t.kind {
+            TokenKind::KwDouble => Ok(Ty::Double),
+            TokenKind::KwFloat => Ok(Ty::Float),
+            TokenKind::KwInt => Ok(Ty::Int),
+            TokenKind::KwVoid => Ok(Ty::Void),
+            other => {
+                Err(Diagnostic::new(format!("expected type, found {}", other.describe()), t.span)
+                    .into())
+            }
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let start = self.peek().span;
+        let ret = self.base_type()?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(TokenKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if self.at(TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::LBrace)?;
+        let body = self.block_body()?;
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(Function { ret, name, params, body, span: start.merge(end) })
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let start = self.peek().span;
+        let mut ty = self.base_type()?;
+        while self.at(TokenKind::Star) {
+            self.bump();
+            ty = Ty::Ptr(Box::new(ty));
+        }
+        let (name, span) = self.expect_ident()?;
+        // Array parameters: `double a[10]` or `double a[10][10]` or `double a[]`.
+        let mut dims = Vec::new();
+        while self.at(TokenKind::LBracket) {
+            self.bump();
+            if self.at(TokenKind::RBracket) {
+                self.bump();
+                dims.push(None);
+            } else {
+                let t = self.bump();
+                match t.kind {
+                    TokenKind::IntLit(n) if n > 0 => dims.push(Some(n as usize)),
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!("expected array size, found {}", other.describe()),
+                            t.span,
+                        )
+                        .into())
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+            }
+        }
+        for dim in dims.into_iter().rev() {
+            ty = match dim {
+                Some(n) => Ty::Array(Box::new(ty), n),
+                None => Ty::Ptr(Box::new(ty)),
+            };
+        }
+        Ok(Param { ty, name, span: start.merge(span) })
+    }
+
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        while !self.at(TokenKind::RBrace) && !self.at(TokenKind::Eof) {
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind().clone() {
+            TokenKind::Pragma(payload) => {
+                self.bump();
+                Ok(Stmt::Pragma { payload, span })
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let body = self.block_body()?;
+                let end = self.expect(TokenKind::RBrace)?.span;
+                Ok(Stmt::Block { body, span: span.merge(end) })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value =
+                    if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt::Return { value, span: span.merge(end) })
+            }
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            _ if self.at_type() => {
+                let s = self.decl_stmt()?;
+                Ok(s)
+            }
+            _ => {
+                let s = self.assign_or_expr_stmt()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.peek().span;
+        let mut ty = self.base_type()?;
+        let (name, nspan) = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.at(TokenKind::LBracket) {
+            self.bump();
+            let t = self.bump();
+            match t.kind {
+                TokenKind::IntLit(n) if n > 0 => dims.push(n as usize),
+                other => {
+                    return Err(Diagnostic::new(
+                        format!("array size must be a positive integer literal, found {}", other.describe()),
+                        t.span,
+                    )
+                    .into())
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+        }
+        for n in dims.into_iter().rev() {
+            ty = Ty::Array(Box::new(ty), n);
+        }
+        let init = if self.at(TokenKind::Assign) {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?.span;
+        let _ = nspan;
+        Ok(Stmt::Decl { ty, name, init, span: start.merge(end) })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.expect(TokenKind::KwIf)?.span;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_body = self.stmt_or_block()?;
+        let else_body = if self.at(TokenKind::KwElse) {
+            self.bump();
+            self.stmt_or_block()?
+        } else {
+            Vec::new()
+        };
+        let end = else_body
+            .last()
+            .or(then_body.last())
+            .map(|s| s.span())
+            .unwrap_or(start);
+        Ok(Stmt::If { cond, then_body, else_body, span: start.merge(end) })
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.at(TokenKind::LBrace) {
+            self.bump();
+            let body = self.block_body()?;
+            self.expect(TokenKind::RBrace)?;
+            Ok(body)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.expect(TokenKind::KwFor)?.span;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.at(TokenKind::Semi) {
+            self.bump();
+            None
+        } else if self.at_type() {
+            Some(Box::new(self.decl_stmt()?))
+        } else {
+            let s = self.assign_or_expr_stmt()?;
+            self.expect(TokenKind::Semi)?;
+            Some(Box::new(s))
+        };
+        let cond = if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+        self.expect(TokenKind::Semi)?;
+        let step = if self.at(TokenKind::RParen) {
+            None
+        } else {
+            Some(Box::new(self.assign_or_expr_stmt()?))
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.stmt_or_block()?;
+        let end = body.last().map(|s| s.span()).unwrap_or(start);
+        Ok(Stmt::For { init, cond, step, body, span: start.merge(end) })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.expect(TokenKind::KwWhile)?.span;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.stmt_or_block()?;
+        let end = body.last().map(|s| s.span()).unwrap_or(start);
+        Ok(Stmt::While { cond, body, span: start.merge(end) })
+    }
+
+    /// Parses `lhs op= rhs`, `i++`, `i--` or a bare expression (no `;`).
+    fn assign_or_expr_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.peek().span;
+        let lhs = self.expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::StarAssign => Some(AssignOp::Mul),
+            TokenKind::SlashAssign => Some(AssignOp::Div),
+            TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                let t = self.bump();
+                if !lhs.is_lvalue() {
+                    return Err(Diagnostic::new("++/-- needs an lvalue", t.span).into());
+                }
+                let one = Expr::IntLit { value: 1, span: t.span };
+                let op = if t.kind == TokenKind::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
+                return Ok(Stmt::Assign { lhs, op, rhs: one, span: start.merge(t.span) });
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                if !lhs.is_lvalue() {
+                    return Err(
+                        Diagnostic::new("assignment target is not an lvalue", lhs.span()).into()
+                    );
+                }
+                self.bump();
+                let rhs = self.expr()?;
+                let span = start.merge(rhs.span());
+                Ok(Stmt::Assign { lhs, op, rhs, span })
+            }
+            None => {
+                let span = start.merge(lhs.span());
+                Ok(Stmt::ExprStmt { expr: lhs, span })
+            }
+        }
+    }
+
+    // -- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek_kind() {
+                TokenKind::PipePipe => (BinOp::Or, 1),
+                TokenKind::AmpAmp => (BinOp::And, 2),
+                TokenKind::EqEq => (BinOp::Eq, 3),
+                TokenKind::NotEq => (BinOp::Ne, 3),
+                TokenKind::Lt => (BinOp::Lt, 4),
+                TokenKind::Le => (BinOp::Le, 4),
+                TokenKind::Gt => (BinOp::Gt, 4),
+                TokenKind::Ge => (BinOp::Ge, 4),
+                TokenKind::Plus => (BinOp::Add, 5),
+                TokenKind::Minus => (BinOp::Sub, 5),
+                TokenKind::Star => (BinOp::Mul, 6),
+                TokenKind::Slash => (BinOp::Div, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(prec + 1)?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = span.merge(operand.span());
+                Ok(Expr::Un { op: UnOp::Neg, operand: Box::new(operand), span })
+            }
+            TokenKind::Not => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = span.merge(operand.span());
+                Ok(Expr::Un { op: UnOp::Not, operand: Box::new(operand), span })
+            }
+            // Cast `(T) expr` — lookahead distinguishes from parenthesis.
+            TokenKind::LParen
+                if matches!(
+                    self.nth_kind(1),
+                    TokenKind::KwDouble | TokenKind::KwFloat | TokenKind::KwInt
+                ) && *self.nth_kind(2) == TokenKind::RParen =>
+            {
+                self.bump();
+                let ty = self.base_type()?;
+                self.expect(TokenKind::RParen)?;
+                let operand = self.unary_expr()?;
+                let span = span.merge(operand.span());
+                Ok(Expr::Cast { ty, operand: Box::new(operand), span })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        while self.at(TokenKind::LBracket) {
+            self.bump();
+            let index = self.expr()?;
+            let end = self.expect(TokenKind::RBracket)?.span;
+            let span = e.span().merge(end);
+            e = Expr::Index { base: Box::new(e), index: Box::new(index), span };
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::IntLit(value) => Ok(Expr::IntLit { value, span: t.span }),
+            TokenKind::FloatLit(value) => Ok(Expr::FloatLit { value, span: t.span }),
+            TokenKind::Ident(name) => {
+                if self.at(TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at(TokenKind::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(TokenKind::RParen)?.span;
+                    Ok(Expr::Call { callee: name, args, span: t.span.merge(end) })
+                } else {
+                    Ok(Expr::Ident { name, span: t.span })
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(Diagnostic::new(
+                format!("expected expression, found {}", other.describe()),
+                t.span,
+            )
+            .into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_function() {
+        let u = parse("double f(double x) { return x * x; }").unwrap();
+        assert_eq!(u.functions.len(), 1);
+        let f = &u.functions[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.ret, Ty::Double);
+        assert_eq!(f.params[0].ty, Ty::Double);
+        assert!(matches!(f.body[0], Stmt::Return { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let u = parse("double f(double a, double b, double c) { return a + b * c; }").unwrap();
+        let Stmt::Return { value: Some(Expr::Bin { op, rhs, .. }), .. } = &u.functions[0].body[0]
+        else {
+            panic!("shape");
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_with_decl() {
+        let u = parse(
+            "void f(double a[10]) { for (int i = 0; i < 10; i++) { a[i] = a[i] + 1.0; } }",
+        )
+        .unwrap();
+        let Stmt::For { init, cond, step, body, .. } = &u.functions[0].body[0] else {
+            panic!("expected for");
+        };
+        assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
+        assert!(cond.is_some());
+        assert!(matches!(step.as_deref(), Some(Stmt::Assign { op: AssignOp::Add, .. })));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_2d_array_param_and_index() {
+        let u = parse("void f(double g[4][4]) { g[1][2] = 0.5; }").unwrap();
+        let p = &u.functions[0].params[0];
+        assert_eq!(p.ty, Ty::Array(Box::new(Ty::Array(Box::new(Ty::Double), 4)), 4));
+        let Stmt::Assign { lhs, .. } = &u.functions[0].body[0] else { panic!() };
+        assert!(matches!(lhs, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn parses_pointer_param() {
+        let u = parse("void f(double *p, int n) { p[0] = 1.0; }").unwrap();
+        assert_eq!(u.functions[0].params[0].ty, Ty::Ptr(Box::new(Ty::Double)));
+        assert_eq!(u.functions[0].params[1].ty, Ty::Int);
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let u = parse("double f(double x) { if (x < 0.0) { x = -x; } else x = x + 1.0; return x; }")
+            .unwrap();
+        let Stmt::If { then_body, else_body, .. } = &u.functions[0].body[0] else { panic!() };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn parses_while_and_compound_assign() {
+        let u = parse("void f(double x) { while (x < 10.0) { x *= 2.0; } }").unwrap();
+        let Stmt::While { body, .. } = &u.functions[0].body[0] else { panic!() };
+        assert!(matches!(body[0], Stmt::Assign { op: AssignOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_calls() {
+        let u = parse("double f(double x) { return sqrt(fabs(x)); }").unwrap();
+        let Stmt::Return { value: Some(Expr::Call { callee, args, .. }), .. } =
+            &u.functions[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(callee, "sqrt");
+        assert!(matches!(&args[0], Expr::Call { callee, .. } if callee == "fabs"));
+    }
+
+    #[test]
+    fn parses_cast() {
+        let u = parse("double f(int i) { return (double) i; }").unwrap();
+        let Stmt::Return { value: Some(Expr::Cast { ty, .. }), .. } = &u.functions[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*ty, Ty::Double);
+    }
+
+    #[test]
+    fn parses_pragma_statement() {
+        let u = parse(
+            "void f(double x) {\n#pragma safegen prioritize(x)\n x = x + 1.0; }",
+        )
+        .unwrap();
+        assert!(matches!(&u.functions[0].body[0], Stmt::Pragma { payload, .. } if payload == "prioritize(x)"));
+    }
+
+    #[test]
+    fn parses_unary_chain() {
+        let u = parse("double f(double x) { return --x + -(-x); }");
+        // `--x` lexes as decrement, which is a statement form, not unary
+        // minus twice: this must be a parse error in expression position.
+        assert!(u.is_err());
+        let u2 = parse("double f(double x) { return -(-x); }").unwrap();
+        assert!(matches!(
+            &u2.functions[0].body[0],
+            Stmt::Return { value: Some(Expr::Un { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("void f(double x) { 1.0 = x; }").is_err());
+    }
+
+    #[test]
+    fn reports_span_of_error() {
+        let err = parse("void f( { }").unwrap_err();
+        assert!(err.diagnostics[0].span.line >= 1);
+    }
+
+    #[test]
+    fn parses_multiple_functions() {
+        let u = parse("void f(double x) { } void g(double y) { }").unwrap();
+        assert_eq!(u.functions.len(), 2);
+    }
+
+    #[test]
+    fn parses_local_array_decl() {
+        let u = parse("void f() { double t[8]; t[0] = 1.0; }").unwrap();
+        let Stmt::Decl { ty, .. } = &u.functions[0].body[0] else { panic!() };
+        assert_eq!(*ty, Ty::Array(Box::new(Ty::Double), 8));
+    }
+
+    #[test]
+    fn logical_operators_precedence() {
+        let u = parse("void f(double x) { if (x < 1.0 && x > 0.0 || x == 2.0) x = 0.0; }").unwrap();
+        let Stmt::If { cond: Expr::Bin { op, .. }, .. } = &u.functions[0].body[0] else { panic!() };
+        assert_eq!(*op, BinOp::Or);
+    }
+}

@@ -1,0 +1,335 @@
+//! Pretty-printer: AST back to C source.
+//!
+//! Used for golden tests, for the SIMD-to-C-style preprocessing round trip,
+//! and by the sound-code emitter in the `safegen` crate as the scaffold of
+//! its output.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Prints a whole translation unit.
+pub fn print_unit(unit: &Unit) -> String {
+    let mut out = String::new();
+    for (i, f) in unit.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+/// Prints one function definition.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{} {}(", type_prefix(&f.ret), f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&declarator(&p.ty, &p.name));
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        print_stmt(&mut out, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The base-type prefix of a declaration (`double`, `int`, …).
+fn type_prefix(ty: &Ty) -> &'static str {
+    match ty.scalar() {
+        Ty::Void => "void",
+        Ty::Int => "int",
+        Ty::Float => "float",
+        Ty::Double => "double",
+        _ => unreachable!("scalar() returns a scalar"),
+    }
+}
+
+/// Renders `ty name` with C declarator syntax (arrays and pointers).
+fn declarator(ty: &Ty, name: &str) -> String {
+    fn suffix(ty: &Ty, out: &mut String) {
+        if let Ty::Array(inner, n) = ty {
+            let _ = write!(out, "[{n}]");
+            suffix(inner, out);
+        }
+    }
+    match ty {
+        Ty::Ptr(inner) => format!("{} *{}", type_prefix(inner), name),
+        Ty::Array(..) => {
+            let mut s = format!("{} {}", type_prefix(ty), name);
+            suffix(ty, &mut s);
+            s
+        }
+        _ => format!("{} {}", type_prefix(ty), name),
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Decl { ty, name, init, .. } => {
+            indent(out, level);
+            out.push_str(&declarator(ty, name));
+            if let Some(e) = init {
+                out.push_str(" = ");
+                out.push_str(&print_expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { lhs, op, rhs, .. } => {
+            indent(out, level);
+            let opstr = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+                AssignOp::Mul => "*=",
+                AssignOp::Div => "/=",
+            };
+            let _ = writeln!(out, "{} {} {};", print_expr(lhs), opstr, print_expr(rhs));
+        }
+        Stmt::If { cond, then_body, else_body, .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            for st in then_body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for st in else_body {
+                    print_stmt(out, st, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            indent(out, level);
+            out.push_str("for (");
+            if let Some(i) = init {
+                out.push_str(print_inline_stmt(i).trim_end_matches(";\n"));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&print_expr(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                out.push_str(print_inline_stmt(st).trim_end_matches(";\n"));
+            }
+            out.push_str(") {\n");
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return { value, .. } => {
+            indent(out, level);
+            match value {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", print_expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+        Stmt::Pragma { payload, .. } => {
+            // Pragmas print at column 0, like the preprocessor wrote them.
+            let _ = writeln!(out, "#pragma safegen {payload}");
+        }
+        Stmt::Block { body, .. } => {
+            indent(out, level);
+            out.push_str("{\n");
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn print_inline_stmt(s: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt(&mut out, s, 0);
+    out
+}
+
+/// Prints an expression with minimal (structural) parenthesization.
+pub fn print_expr(e: &Expr) -> String {
+    fn go(e: &Expr, parent_prec: u8, out: &mut String) {
+        match e {
+            Expr::IntLit { value, .. } => {
+                let _ = write!(out, "{value}");
+            }
+            Expr::FloatLit { value, .. } => {
+                // Round-trippable literal: always include a decimal point
+                // or exponent so it re-lexes as a float.
+                let s = format!("{value}");
+                let _ = if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    write!(out, "{s}")
+                } else {
+                    write!(out, "{s}.0")
+                };
+            }
+            Expr::Ident { name, .. } => out.push_str(name),
+            Expr::Index { base, index, .. } => {
+                go(base, 100, out);
+                out.push('[');
+                go(index, 0, out);
+                out.push(']');
+            }
+            Expr::Bin { op, lhs, rhs, .. } => {
+                let prec = bin_prec(*op);
+                let need = prec < parent_prec;
+                if need {
+                    out.push('(');
+                }
+                go(lhs, prec, out);
+                let _ = write!(out, " {} ", op.text());
+                go(rhs, prec + 1, out);
+                if need {
+                    out.push(')');
+                }
+            }
+            Expr::Un { op, operand, .. } => {
+                out.push(match op {
+                    UnOp::Neg => '-',
+                    UnOp::Not => '!',
+                });
+                // `--x` would lex as a decrement: parenthesize an operand
+                // that itself renders with a leading sign.
+                let mut inner = String::new();
+                go(operand, 99, &mut inner);
+                if inner.starts_with('-') || inner.starts_with('!') {
+                    out.push('(');
+                    out.push_str(&inner);
+                    out.push(')');
+                } else {
+                    out.push_str(&inner);
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                out.push_str(callee);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    go(a, 0, out);
+                }
+                out.push(')');
+            }
+            Expr::Cast { ty, operand, .. } => {
+                let _ = write!(out, "({}) ", type_prefix(ty));
+                go(operand, 99, out);
+            }
+        }
+    }
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    out
+}
+
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Parse → print → parse must be a fixpoint (ASTs equal modulo spans).
+    fn round_trip(src: &str) {
+        let u1 = parse(src).unwrap();
+        let printed = print_unit(&u1);
+        let u2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let p1 = print_unit(&u1);
+        let p2 = print_unit(&u2);
+        assert_eq!(p1, p2, "print/parse not idempotent for:\n{src}");
+    }
+
+    #[test]
+    fn round_trips_basics() {
+        round_trip("double f(double x) { return x * x + 1.0; }");
+        round_trip("void f(double a[4]) { for (int i = 0; i < 4; i++) a[i] = a[i] / 2.0; }");
+        round_trip("void f(double *p, int n) { while (n > 0) { p[0] += 1.5e-3; n -= 1; } }");
+        round_trip("double f(double x) { if (x < 0.0) { return -x; } else { return sqrt(x); } }");
+        round_trip("void g(double m[3][3]) { m[0][1] = m[1][0] * 2.0; }");
+    }
+
+    #[test]
+    fn parenthesization_preserves_shape() {
+        let u = parse("double f(double a, double b, double c) { return (a + b) * c; }").unwrap();
+        let s = print_function(&u.functions[0]);
+        assert!(s.contains("(a + b) * c"), "{s}");
+    }
+
+    #[test]
+    fn no_spurious_parens() {
+        let u = parse("double f(double a, double b, double c) { return a + b * c; }").unwrap();
+        let s = print_function(&u.functions[0]);
+        assert!(s.contains("a + b * c"), "{s}");
+    }
+
+    #[test]
+    fn float_literals_relex_as_floats() {
+        round_trip("double f() { return 1.0 + 2.5 + 1e10 + 0.001; }");
+        let u = parse("double f() { return 2.0; }").unwrap();
+        let s = print_unit(&u);
+        assert!(s.contains("2.0") || s.contains("2e0"), "{s}");
+    }
+
+    #[test]
+    fn prints_pragma() {
+        let u = parse("void f(double x) {\n#pragma safegen prioritize(x)\nx = x + 1.0; }").unwrap();
+        let s = print_unit(&u);
+        assert!(s.contains("#pragma safegen prioritize(x)"), "{s}");
+        round_trip("void f(double x) {\n#pragma safegen prioritize(x)\nx = x + 1.0; }");
+    }
+
+    #[test]
+    fn prints_declarators() {
+        let u = parse("void f(double *p, double a[2][3], int n) { }").unwrap();
+        let s = print_unit(&u);
+        assert!(s.contains("double *p"), "{s}");
+        assert!(s.contains("double a[2][3]"), "{s}");
+        assert!(s.contains("int n"), "{s}");
+    }
+
+    #[test]
+    fn unary_in_binary_context() {
+        round_trip("double f(double x) { return -x * 2.0 - -1.0; }");
+    }
+}

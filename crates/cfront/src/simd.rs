@@ -1,0 +1,494 @@
+//! SIMD-to-C preprocessing (paper Sec. IV-B, "Support of SIMD
+//! intrinsics").
+//!
+//! SafeGen accepts input functions written with x86 SIMD intrinsics; the
+//! preprocessing step lowers them to scalar C before the affine
+//! transformation (the paper reuses IGen's SIMD-to-C compiler for this).
+//! This module implements that lowering for the AVX double-precision
+//! subset numerical kernels use:
+//!
+//! | construct | lowering |
+//! |---|---|
+//! | `__m256d v;` / `__m256d v = e;` | four `double v__0 … v__3` |
+//! | `_mm256_set1_pd(x)` | the scalar `x` in every lane |
+//! | `_mm256_setzero_pd()` | `0.0` in every lane |
+//! | `_mm256_set_pd(a,b,c,d)` | lanes `d,c,b,a` (intel order) |
+//! | `_mm256_{add,sub,mul,div}_pd(a,b)` | lane-wise operator |
+//! | `_mm256_sqrt_pd(a)` | lane-wise `sqrt` |
+//! | `_mm256_{min,max}_pd(a,b)` | lane-wise `fmin`/`fmax` |
+//! | `_mm256_fmadd_pd(a,b,c)` | lane-wise `a*b + c` |
+//! | `_mm256_loadu_pd(&A[i])` | `A[i + lane]` |
+//! | `_mm256_storeu_pd(&A[i], v)` | `A[i + lane] = v__lane;` |
+//!
+//! The lowering is purely textual (token-directed): unrelated code is
+//! copied through verbatim, so the output is an ordinary program of the
+//! supported C subset.
+
+use crate::error::{Diagnostic, ParseError};
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Number of `f64` lanes in a `__m256d`.
+pub const LANES: usize = 4;
+
+/// Lowers the SIMD subset to scalar C. Source without intrinsics is
+/// returned unchanged (modulo nothing: the original string is cloned).
+///
+/// # Errors
+///
+/// Returns a diagnostic for intrinsics outside the supported subset or
+/// malformed vector statements.
+pub fn lower_simd(src: &str) -> Result<String, ParseError> {
+    if !src.contains("_mm") && !src.contains("__m256d") {
+        return Ok(src.to_string());
+    }
+    let tokens = lex_liberal(src)?;
+    let mut lx = Lowerer { src, tokens, pos: 0, out: String::new(), vecs: HashSet::new(), copied_to: 0 };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+/// Tokenizes, tolerating the `&` operator that only appears inside
+/// intrinsic arguments.
+fn lex_liberal(src: &str) -> Result<Vec<Token>, ParseError> {
+    lex(src)
+}
+
+struct Lowerer<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+    out: String,
+    /// Names declared as `__m256d`.
+    vecs: HashSet<String>,
+    /// Byte offset up to which the source has been copied out.
+    copied_to: usize,
+}
+
+/// A lane-wise scalar expression: one C string per lane.
+#[derive(Clone, Debug)]
+struct VecExpr {
+    lanes: [String; LANES],
+}
+
+impl VecExpr {
+    fn map1(a: &VecExpr, f: impl Fn(&str) -> String) -> VecExpr {
+        VecExpr { lanes: std::array::from_fn(|l| f(&a.lanes[l])) }
+    }
+
+    fn map2(a: &VecExpr, b: &VecExpr, f: impl Fn(&str, &str) -> String) -> VecExpr {
+        VecExpr { lanes: std::array::from_fn(|l| f(&a.lanes[l], &b.lanes[l])) }
+    }
+}
+
+impl Lowerer<'_> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if *self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(
+                format!("SIMD lowering: expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.peek_span(),
+            )
+            .into())
+        }
+    }
+
+    /// Copies the untouched source up to `until` into the output.
+    fn flush_to(&mut self, until: usize) {
+        if until > self.copied_to {
+            self.out.push_str(&self.src[self.copied_to..until]);
+            self.copied_to = until;
+        }
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => {
+                    self.flush_to(self.src.len());
+                    return Ok(());
+                }
+                TokenKind::Ident(name) if name == "__m256d" => {
+                    let start = self.peek_span().start;
+                    self.flush_to(start);
+                    self.lower_vec_decl()?;
+                }
+                TokenKind::Ident(name) if name == "_mm256_storeu_pd" => {
+                    let start = self.peek_span().start;
+                    self.flush_to(start);
+                    self.lower_store()?;
+                }
+                TokenKind::Ident(name) if self.vecs.contains(&name) => {
+                    // Possible re-assignment `v = <vector expr>;`
+                    if matches!(self.tokens[self.pos + 1].kind, TokenKind::Assign) {
+                        let start = self.peek_span().start;
+                        self.flush_to(start);
+                        self.lower_vec_assign()?;
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokenKind::Ident(name) if name.starts_with("_mm256") => {
+                    return Err(Diagnostic::new(
+                        format!("unsupported intrinsic `{name}` outside a vector statement"),
+                        self.peek_span(),
+                    )
+                    .into());
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// `__m256d v;` or `__m256d v = expr;`
+    fn lower_vec_decl(&mut self) -> Result<(), ParseError> {
+        self.bump(); // __m256d
+        let (name, _) = self.ident()?;
+        self.vecs.insert(name.clone());
+        let init = if *self.peek() == TokenKind::Assign {
+            self.bump();
+            Some(self.vec_expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?.span.end;
+        for l in 0..LANES {
+            match &init {
+                Some(v) => {
+                    let _ = write!(self.out, "double {name}__{l} = {};", v.lanes[l]);
+                }
+                None => {
+                    let _ = write!(self.out, "double {name}__{l};");
+                }
+            }
+            if l + 1 < LANES {
+                self.out.push(' ');
+            }
+        }
+        self.copied_to = end;
+        Ok(())
+    }
+
+    /// `v = expr;` for a known vector variable.
+    fn lower_vec_assign(&mut self) -> Result<(), ParseError> {
+        let (name, _) = self.ident()?;
+        self.expect(TokenKind::Assign)?;
+        let v = self.vec_expr()?;
+        let end = self.expect(TokenKind::Semi)?.span.end;
+        for l in 0..LANES {
+            let _ = write!(self.out, "{name}__{l} = {};", v.lanes[l]);
+            if l + 1 < LANES {
+                self.out.push(' ');
+            }
+        }
+        self.copied_to = end;
+        Ok(())
+    }
+
+    /// `_mm256_storeu_pd(&A[i], expr);`
+    fn lower_store(&mut self) -> Result<(), ParseError> {
+        self.bump(); // intrinsic name
+        self.expect(TokenKind::LParen)?;
+        let (base, index) = self.address()?;
+        self.expect(TokenKind::Comma)?;
+        let v = self.vec_expr()?;
+        self.expect(TokenKind::RParen)?;
+        let end = self.expect(TokenKind::Semi)?.span.end;
+        for l in 0..LANES {
+            let _ = write!(self.out, "{base}[{index} + {l}] = {};", v.lanes[l]);
+            if l + 1 < LANES {
+                self.out.push(' ');
+            }
+        }
+        self.copied_to = end;
+        Ok(())
+    }
+
+    /// Parses `&A[i]` or `A + i` into `(base, index-source-text)`.
+    fn address(&mut self) -> Result<(String, String), ParseError> {
+        if *self.peek() == TokenKind::Amp {
+            self.bump();
+            let (base, _) = self.ident()?;
+            self.expect(TokenKind::LBracket)?;
+            let idx = self.scalar_argument(&[TokenKind::RBracket])?;
+            self.expect(TokenKind::RBracket)?;
+            Ok((base, idx))
+        } else {
+            let (base, _) = self.ident()?;
+            if *self.peek() == TokenKind::Plus {
+                self.bump();
+                let idx = self.scalar_argument(&[TokenKind::Comma, TokenKind::RParen])?;
+                Ok((base, idx))
+            } else {
+                Ok((base, "0".to_string()))
+            }
+        }
+    }
+
+    /// A vector-valued expression: an intrinsic call or a vector variable.
+    fn vec_expr(&mut self) -> Result<VecExpr, ParseError> {
+        let span = self.peek_span();
+        let TokenKind::Ident(name) = self.peek().clone() else {
+            return Err(Diagnostic::new("expected a vector expression", span).into());
+        };
+        if self.vecs.contains(&name) {
+            self.bump();
+            return Ok(VecExpr {
+                lanes: std::array::from_fn(|l| format!("{name}__{l}")),
+            });
+        }
+        self.bump();
+        match name.as_str() {
+            "_mm256_setzero_pd" => {
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr { lanes: std::array::from_fn(|_| "0.0".to_string()) })
+            }
+            "_mm256_set1_pd" => {
+                self.expect(TokenKind::LParen)?;
+                let x = self.scalar_argument(&[TokenKind::RParen])?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr { lanes: std::array::from_fn(|_| format!("({x})")) })
+            }
+            "_mm256_set_pd" => {
+                // Intel order: highest lane first.
+                self.expect(TokenKind::LParen)?;
+                let mut args = Vec::new();
+                for i in 0..LANES {
+                    if i > 0 {
+                        self.expect(TokenKind::Comma)?;
+                    }
+                    args.push(self.scalar_argument(&[TokenKind::Comma, TokenKind::RParen])?);
+                }
+                self.expect(TokenKind::RParen)?;
+                args.reverse();
+                Ok(VecExpr { lanes: std::array::from_fn(|l| format!("({})", args[l])) })
+            }
+            "_mm256_loadu_pd" | "_mm256_load_pd" => {
+                self.expect(TokenKind::LParen)?;
+                let (base, idx) = self.address()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr {
+                    lanes: std::array::from_fn(|l| format!("{base}[{idx} + {l}]")),
+                })
+            }
+            "_mm256_add_pd" | "_mm256_sub_pd" | "_mm256_mul_pd" | "_mm256_div_pd" => {
+                let op = match name.as_str() {
+                    "_mm256_add_pd" => "+",
+                    "_mm256_sub_pd" => "-",
+                    "_mm256_mul_pd" => "*",
+                    _ => "/",
+                };
+                self.expect(TokenKind::LParen)?;
+                let a = self.vec_expr()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.vec_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr::map2(&a, &b, |x, y| format!("({x} {op} {y})")))
+            }
+            "_mm256_min_pd" | "_mm256_max_pd" => {
+                let f = if name == "_mm256_min_pd" { "fmin" } else { "fmax" };
+                self.expect(TokenKind::LParen)?;
+                let a = self.vec_expr()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.vec_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr::map2(&a, &b, |x, y| format!("{f}({x}, {y})")))
+            }
+            "_mm256_sqrt_pd" => {
+                self.expect(TokenKind::LParen)?;
+                let a = self.vec_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr::map1(&a, |x| format!("sqrt({x})")))
+            }
+            "_mm256_fmadd_pd" => {
+                self.expect(TokenKind::LParen)?;
+                let a = self.vec_expr()?;
+                self.expect(TokenKind::Comma)?;
+                let b = self.vec_expr()?;
+                self.expect(TokenKind::Comma)?;
+                let c = self.vec_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(VecExpr {
+                    lanes: std::array::from_fn(|l| {
+                        format!("({} * {} + {})", a.lanes[l], b.lanes[l], c.lanes[l])
+                    }),
+                })
+            }
+            other => Err(Diagnostic::new(
+                format!("unsupported SIMD intrinsic `{other}` (see safegen_cfront::simd docs)"),
+                span,
+            )
+            .into()),
+        }
+    }
+
+    /// Captures a scalar argument's source text up to (not including) a
+    /// terminator at the current nesting depth.
+    fn scalar_argument(&mut self, terminators: &[TokenKind]) -> Result<String, ParseError> {
+        let start = self.peek_span().start;
+        let mut depth = 0usize;
+        let mut end = start;
+        loop {
+            let k = self.peek().clone();
+            if depth == 0 && terminators.contains(&k) {
+                break;
+            }
+            match k {
+                TokenKind::LParen | TokenKind::LBracket => depth += 1,
+                TokenKind::RParen | TokenKind::RBracket => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Eof => {
+                    return Err(Diagnostic::new(
+                        "unterminated intrinsic argument",
+                        self.peek_span(),
+                    )
+                    .into())
+                }
+                _ => {}
+            }
+            end = self.bump().span.end;
+        }
+        Ok(self.src[start..end].trim().to_string())
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                Ok((name, t.span))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected identifier, found {}", other.describe()),
+                self.peek_span(),
+            )
+            .into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+
+    fn lower_ok(src: &str) -> String {
+        let out = lower_simd(src).unwrap();
+        // The lowered source must be valid subset C.
+        let unit = parse(&out).unwrap_or_else(|e| panic!("reparse: {e}\n{out}"));
+        let unit = crate::alpha::rename_unique(&unit);
+        analyze(&unit).unwrap_or_else(|e| panic!("analyze: {e}\n{out}"));
+        out
+    }
+
+    #[test]
+    fn passthrough_without_intrinsics() {
+        let src = "double f(double x) { return x * x; }";
+        assert_eq!(lower_simd(src).unwrap(), src);
+    }
+
+    #[test]
+    fn lowers_axpy_kernel() {
+        let src = "void axpy(double a, double x[8], double y[8]) {
+    for (int i = 0; i < 8; i += 4) {
+        __m256d va = _mm256_set1_pd(a);
+        __m256d vx = _mm256_loadu_pd(&x[i]);
+        __m256d vy = _mm256_loadu_pd(&y[i]);
+        __m256d r = _mm256_add_pd(_mm256_mul_pd(va, vx), vy);
+        _mm256_storeu_pd(&y[i], r);
+    }
+}";
+        let out = lower_ok(src);
+        assert!(out.contains("double va__0 = (a);"), "{out}");
+        assert!(out.contains("double vx__3 = x[i + 3];"), "{out}");
+        assert!(out.contains("double r__1 = ((va__1 * vx__1) + vy__1);"), "{out}");
+        assert!(out.contains("y[i + 2] = r__2;"), "{out}");
+        assert!(!out.contains("_mm256"), "{out}");
+    }
+
+    #[test]
+    fn lowers_reassignment() {
+        let src = "void f(double a[4]) {
+    __m256d v = _mm256_loadu_pd(&a[0]);
+    v = _mm256_mul_pd(v, v);
+    _mm256_storeu_pd(&a[0], v);
+}";
+        let out = lower_ok(src);
+        assert!(out.contains("v__0 = (v__0 * v__0);"), "{out}");
+    }
+
+    #[test]
+    fn lowers_setzero_set_pd_sqrt_minmax_fma() {
+        let src = "void f(double a[4]) {
+    __m256d z = _mm256_setzero_pd();
+    __m256d c = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
+    __m256d s = _mm256_sqrt_pd(c);
+    __m256d m = _mm256_max_pd(_mm256_min_pd(s, c), z);
+    __m256d r = _mm256_fmadd_pd(m, c, z);
+    _mm256_storeu_pd(&a[0], r);
+}";
+        let out = lower_ok(src);
+        assert!(out.contains("double z__0 = 0.0;"), "{out}");
+        // intel set order: lane 0 gets the LAST argument.
+        assert!(out.contains("double c__0 = (1.0);"), "{out}");
+        assert!(out.contains("double c__3 = (4.0);"), "{out}");
+        assert!(out.contains("sqrt((1.0))") || out.contains("sqrt(c__0)"), "{out}");
+        assert!(out.contains("fmax(fmin(s__2, c__2), z__2)"), "{out}");
+        assert!(out.contains("(m__1 * c__1 + z__1)"), "{out}");
+    }
+
+    #[test]
+    fn pointer_style_address() {
+        let src = "void f(double *p, int i) {
+    __m256d v = _mm256_loadu_pd(p + i);
+    _mm256_storeu_pd(p + i, v);
+}";
+        let out = lower_ok(src);
+        assert!(out.contains("p[i + 0]"), "{out}");
+        assert!(out.contains("p[i + 3] = v__3;"), "{out}");
+    }
+
+    #[test]
+    fn unsupported_intrinsic_rejected() {
+        let src = "void f(double a[4]) { __m256d v = _mm256_permute_pd(a, 5); }";
+        let err = lower_simd(src).unwrap_err();
+        assert!(err.to_string().contains("unsupported SIMD intrinsic"), "{err}");
+    }
+
+    #[test]
+    fn surrounding_code_untouched() {
+        let src = "double g(double x) { return x + 1.0; }
+void f(double a[4]) {
+    __m256d v = _mm256_loadu_pd(&a[0]);
+    _mm256_storeu_pd(&a[0], v);
+}";
+        let out = lower_ok(src);
+        assert!(out.contains("double g(double x) { return x + 1.0; }"), "{out}");
+    }
+}

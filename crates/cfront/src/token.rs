@@ -1,0 +1,192 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A half-open source region `[start, end)` in byte offsets, plus the
+/// 1-based line and column of its start — the location information the
+/// analysis pipeline threads from source to DAG and back (paper Sec. VI-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based source column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Span {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both operands.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, last) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: first.start,
+            end: last.end.max(first.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds of the supported C subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    // Keywords
+    KwDouble,
+    KwFloat,
+    KwInt,
+    KwVoid,
+    KwFor,
+    KwWhile,
+    KwIf,
+    KwElse,
+    KwReturn,
+    KwConst,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AmpAmp,
+    PipePipe,
+    Not,
+    Amp,
+    // Preprocessor-ish
+    /// A `#pragma safegen …` line; payload is the text after `safegen`.
+    Pragma(String),
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(v) => format!("integer `{v}`"),
+            TokenKind::FloatLit(v) => format!("float `{v}`"),
+            TokenKind::Pragma(_) => "#pragma".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            TokenKind::KwDouble => "double",
+            TokenKind::KwFloat => "float",
+            TokenKind::KwInt => "int",
+            TokenKind::KwVoid => "void",
+            TokenKind::KwFor => "for",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwConst => "const",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::SlashAssign => "/=",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::Lt => "<",
+            TokenKind::Gt => ">",
+            TokenKind::Le => "<=",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::PipePipe => "||",
+            TokenKind::Not => "!",
+            TokenKind::Amp => "&",
+            _ => "?",
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(0, 5, 1, 1);
+        let b = Span::new(10, 15, 2, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 15);
+        assert_eq!(m.line, 1);
+        let m2 = b.merge(a);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert!(!TokenKind::Plus.describe().is_empty());
+        assert!(TokenKind::Ident("x".into()).describe().contains('x'));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property test: random well-formed ASTs survive print → parse → print
+//! as a fixpoint, and analysis accepts them. This pins the printer and
+//! parser against each other far beyond the hand-written cases.
+
+use proptest::prelude::*;
+use safegen_cfront::{
+    analyze, parse, print_unit, AssignOp, BinOp, Expr, Function, Param, Span, Stmt, Ty, UnOp,
+    Unit,
+};
+
+fn sp() -> Span {
+    Span::default()
+}
+
+/// Random float-typed expression over variables x, y and array a[4].
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0.001f64..1000.0).prop_map(|value| Expr::FloatLit { value, span: sp() }),
+        prop_oneof![Just("x"), Just("y")]
+            .prop_map(|name| Expr::Ident { name: name.into(), span: sp() }),
+        (0i64..4).prop_map(|i| Expr::Index {
+            base: Box::new(Expr::Ident { name: "a".into(), span: sp() }),
+            index: Box::new(Expr::IntLit { value: i, span: sp() }),
+            span: sp(),
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (
+            prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)],
+            inner.clone(),
+            inner.clone()
+        )
+            .prop_map(|(op, l, r)| Expr::Bin {
+                op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+                span: sp(),
+            }),
+        inner.clone().prop_map(|e| Expr::Un {
+            op: UnOp::Neg,
+            operand: Box::new(e),
+            span: sp(),
+        }),
+        inner.clone().prop_map(|e| Expr::Call {
+            callee: "sqrt".into(),
+            args: vec![e],
+            span: sp(),
+        }),
+        (inner.clone(), inner).prop_map(|(l, r)| Expr::Call {
+            callee: "fmin".into(),
+            args: vec![l, r],
+            span: sp(),
+        }),
+    ]
+    .boxed()
+}
+
+/// Random statement writing to x, y or a[i].
+fn stmt() -> impl Strategy<Value = Stmt> {
+    (
+        prop_oneof![Just("x"), Just("y")],
+        prop_oneof![
+            Just(AssignOp::Set),
+            Just(AssignOp::Add),
+            Just(AssignOp::Sub),
+            Just(AssignOp::Mul)
+        ],
+        expr(3),
+    )
+        .prop_map(|(name, op, rhs)| Stmt::Assign {
+            lhs: Expr::Ident { name: name.into(), span: sp() },
+            op,
+            rhs,
+            span: sp(),
+        })
+}
+
+fn unit(stmts: Vec<Stmt>) -> Unit {
+    Unit {
+        functions: vec![Function {
+            ret: Ty::Void,
+            name: "f".into(),
+            params: vec![
+                Param { ty: Ty::Double, name: "x".into(), span: sp() },
+                Param { ty: Ty::Double, name: "y".into(), span: sp() },
+                Param { ty: Ty::Array(Box::new(Ty::Double), 4), name: "a".into(), span: sp() },
+            ],
+            body: stmts,
+            span: sp(),
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_print_is_fixpoint(stmts in prop::collection::vec(stmt(), 1..12)) {
+        let u = unit(stmts);
+        let p1 = print_unit(&u);
+        let reparsed = parse(&p1)
+            .unwrap_or_else(|e| panic!("printer produced unparsable code: {e}\n{p1}"));
+        analyze(&reparsed)
+            .unwrap_or_else(|e| panic!("printer produced unanalyzable code: {e}\n{p1}"));
+        let p2 = print_unit(&reparsed);
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn parsed_ast_preserves_literal_values(v in 0.0001f64..1e9) {
+        let src = format!("double f() {{ return {v:?}; }}");
+        let u = parse(&src).unwrap();
+        let Stmt::Return { value: Some(Expr::FloatLit { value, .. }), .. } =
+            &u.functions[0].body[0]
+        else {
+            panic!("unexpected shape");
+        };
+        // {:?} prints round-trippable f64 literals.
+        prop_assert_eq!(*value, v);
+    }
+}

@@ -1,0 +1,209 @@
+//! The SafeGen command-line interface: the shape of the paper's artifact.
+//!
+//! ```text
+//! safegen emit <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
+//! safegen run  <file.c> --fn NAME [--config MNEMONIC|ia|ia-dd|unsound]
+//!              [--k N] [--arg X]... [--array "x,y,z"]...
+//! safegen tac  <file.c>
+//! ```
+//!
+//! `emit` prints the sound C program (annotated with the max-reuse
+//! priorities); `run` executes the function under the chosen numeric
+//! configuration and prints the certified ranges; `tac` shows the
+//! three-address form the analysis operates on.
+
+use safegen::{ArgValue, Compiler, EmitPrecision, RunConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  safegen emit <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
+  safegen run  <file.c> --fn NAME [--config dspv|ssnn|...|ia|ia-dd|unsound]
+               [--k N] [--arg X]... [--int N]... [--array \"x,y,z\"]...
+  safegen tac  <file.c>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "emit" => cmd_emit(rest),
+        "run" => cmd_run(rest),
+        "tac" => cmd_tac(rest),
+        _ => usage(),
+    }
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn flag_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("safegen: {msg}");
+    ExitCode::FAILURE
+}
+
+fn cmd_emit(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else { return usage() };
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let precision = match flag_value(rest, "--precision").unwrap_or("f64") {
+        "f64" => EmitPrecision::F64,
+        "dd" => EmitPrecision::Dd,
+        "f32" => EmitPrecision::F32,
+        other => return fail(format!("unknown precision `{other}`")),
+    };
+    let k: usize = match flag_value(rest, "--k").unwrap_or("16").parse() {
+        Ok(k) => k,
+        Err(e) => return fail(format!("bad --k: {e}")),
+    };
+    let analysis = !rest.iter().any(|a| a == "--no-analysis");
+
+    let mut compiler = Compiler::new();
+    compiler.prioritize = analysis;
+    let compiled = match compiler.compile(&src) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let unit = if analysis {
+        match safegen_analysis::annotate_unit(&compiled.tac, k) {
+            Ok(u) => u,
+            Err(e) => return fail(e),
+        }
+    } else {
+        compiled.tac.clone()
+    };
+    let sema = match safegen_cfront::analyze(&unit) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    print!("{}", safegen::emit_c(&unit, &sema, precision));
+    ExitCode::SUCCESS
+}
+
+fn cmd_tac(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else { return usage() };
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    match Compiler::new().compile(&src) {
+        Ok(c) => {
+            print!("{}", safegen_cfront::print_unit(&c.tac));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_run(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else { return usage() };
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let Some(func) = flag_value(rest, "--fn") else {
+        return fail("--fn NAME is required");
+    };
+    let k: usize = match flag_value(rest, "--k").unwrap_or("16").parse() {
+        Ok(k) => k,
+        Err(e) => return fail(format!("bad --k: {e}")),
+    };
+    let config = match flag_value(rest, "--config").unwrap_or("dspv") {
+        "unsound" => RunConfig::unsound(),
+        "ia" => RunConfig::interval_f64(),
+        "ia-dd" => RunConfig::interval_dd(),
+        "yalaa-aff0" => RunConfig::yalaa_aff0(),
+        "yalaa-aff1" => RunConfig::yalaa_aff1(),
+        "ceres" => RunConfig::ceres(k),
+        "dda" => RunConfig::affine_dd(k),
+        m => match RunConfig::mnemonic(k, m) {
+            Ok(c) => c,
+            Err(e) => return fail(e),
+        },
+    };
+
+    // Assemble arguments in command-line order of kind-specific flags.
+    let mut args: Vec<ArgValue> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--arg" => {
+                let Some(v) = rest.get(i + 1) else { return usage() };
+                match v.parse::<f64>() {
+                    Ok(x) => args.push(ArgValue::Float(x)),
+                    Err(e) => return fail(format!("bad --arg `{v}`: {e}")),
+                }
+                i += 2;
+            }
+            "--int" => {
+                let Some(v) = rest.get(i + 1) else { return usage() };
+                match v.parse::<i64>() {
+                    Ok(x) => args.push(ArgValue::Int(x)),
+                    Err(e) => return fail(format!("bad --int `{v}`: {e}")),
+                }
+                i += 2;
+            }
+            "--array" => {
+                let Some(v) = rest.get(i + 1) else { return usage() };
+                let parsed: Result<Vec<f64>, _> =
+                    v.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(xs) => args.push(ArgValue::Array(xs)),
+                    Err(e) => return fail(format!("bad --array `{v}`: {e}")),
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let compiled = match Compiler::new().compile(&src) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let report = match compiled.run(func, &args, &config) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+
+    println!("configuration: {}", config.label());
+    if let Some((lo, hi)) = report.ret {
+        println!("return ∈ [{lo:.17e}, {hi:.17e}]");
+    }
+    for (name, ranges) in &report.arrays {
+        for (i, (lo, hi)) in ranges.iter().enumerate() {
+            println!("{name}[{i}] ∈ [{lo:.17e}, {hi:.17e}]");
+        }
+    }
+    if report.acc_bits.is_nan() {
+        println!("certified bits: n/a (no floating results)");
+    } else {
+        println!(
+            "certified bits (worst result): {:.1}",
+            report.acc_bits.max(f64::NEG_INFINITY)
+        );
+    }
+    if report.stats.undecided_branches > 0 {
+        println!(
+            "note: {} branch decision(s) were not soundly determined",
+            report.stats.undecided_branches
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,480 @@
+//! The compiler driver: the end-to-end SafeGen pipeline.
+
+use crate::domain::{CeresCtx, Domain, DomainKind, UnsoundF64};
+use crate::exec::{exec, ArgValue, RunStats};
+use crate::program::{compile_program, Program};
+use safegen_affine::baselines::{BaselineCtx, CeresAffine, YalaaAff0, YalaaAff1};
+use safegen_affine::{AaConfig, AaContext, AffineDd, AffineF32, AffineF64};
+use safegen_cfront::{ParseError, Sema, Unit};
+use safegen_interval::{IntervalDd, IntervalF64};
+use std::collections::HashMap;
+
+/// Compiler options.
+#[derive(Clone, Debug)]
+pub struct Compiler {
+    /// Run the max-reuse static analysis and annotate prioritized
+    /// variables (paper Sec. VI). The budget used for the analysis is the
+    /// `k` of the [`RunConfig`] used later; annotation happens lazily per
+    /// requested `k`.
+    pub prioritize: bool,
+    /// Static-analysis solver selection.
+    pub solver: safegen_analysis::SolveMode,
+    /// Apply the sound constant-folding optimization (paper Sec. IV-B).
+    pub fold_constants: bool,
+    /// Lower SIMD intrinsics in the input before parsing (paper Sec. IV-B,
+    /// the SIMD-to-C preprocessing step).
+    pub lower_simd: bool,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler {
+            prioritize: true,
+            solver: safegen_analysis::SolveMode::Auto,
+            fold_constants: true,
+            lower_simd: true,
+        }
+    }
+}
+
+/// A compiled unit: TAC form plus per-`k` annotated/compiled variants.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The TAC-form unit (the paper's preprocessed shape).
+    pub tac: Unit,
+    /// Semantic tables of `tac`.
+    pub sema: Sema,
+    prioritize: bool,
+    solver: safegen_analysis::SolveMode,
+    /// Cache: function → plain program.
+    plain: HashMap<String, Program>,
+    /// Cache: (function, k) → prioritized program.
+    prioritized: std::cell::RefCell<HashMap<(String, usize), Program>>,
+    /// Cache: (function, k, k_low, prioritized) → variable-capacity program.
+    var_capacity: std::cell::RefCell<HashMap<(String, usize, usize, bool), Program>>,
+}
+
+/// The numeric configuration of one run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Which domain evaluates the program.
+    pub kind: DomainKind,
+    /// Affine configuration (used by the affine kinds).
+    pub aa: AaConfig,
+    /// Use the statically-derived priorities (the `..p?` configurations).
+    pub prioritized: bool,
+    /// Variable-capacity extension: run operations outside every reuse
+    /// connection at this reduced budget (sorted placement only; see
+    /// `safegen_analysis::capacity`). `None` = uniform `k` (the paper's
+    /// published system).
+    pub capacity_low: Option<usize>,
+}
+
+impl RunConfig {
+    /// The original unsound program.
+    pub fn unsound() -> RunConfig {
+        RunConfig { kind: DomainKind::Unsound, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+    }
+
+    /// IGen-style interval arithmetic in `f64`.
+    pub fn interval_f64() -> RunConfig {
+        RunConfig { kind: DomainKind::IntervalF64, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+    }
+
+    /// IGen-style interval arithmetic in double-double.
+    pub fn interval_dd() -> RunConfig {
+        RunConfig { kind: DomainKind::IntervalDd, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+    }
+
+    /// `f64a-dspv`: the paper's flagship configuration at budget `k`.
+    pub fn affine_f64(k: usize) -> RunConfig {
+        RunConfig { kind: DomainKind::AffineF64, aa: AaConfig::new(k), prioritized: true, capacity_low: None }
+    }
+
+    /// `f32a-dspv`: single-precision centers (`f64` coefficients).
+    pub fn affine_f32(k: usize) -> RunConfig {
+        RunConfig {
+            kind: DomainKind::AffineF32,
+            aa: AaConfig::new(k),
+            prioritized: true,
+            capacity_low: None,
+        }
+    }
+
+    /// `dda-dspn`: double-double centers.
+    pub fn affine_dd(k: usize) -> RunConfig {
+        RunConfig {
+            kind: DomainKind::AffineDd,
+            aa: AaConfig::new(k).with_vectorized(false),
+            prioritized: true,
+            capacity_low: None,
+        }
+    }
+
+    /// An affine configuration from the paper's mnemonic, e.g.
+    /// `RunConfig::mnemonic(16, "dsnv")`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed mnemonics.
+    pub fn mnemonic(k: usize, m: &str) -> Result<RunConfig, String> {
+        let (aa, prioritized) = AaConfig::parse_mnemonic(k, m)?;
+        Ok(RunConfig { kind: DomainKind::AffineF64, aa, prioritized, capacity_low: None })
+    }
+
+    /// Yalaa `aff0` (full AA) baseline.
+    pub fn yalaa_aff0() -> RunConfig {
+        RunConfig { kind: DomainKind::YalaaAff0, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+    }
+
+    /// Yalaa `aff1` baseline.
+    pub fn yalaa_aff1() -> RunConfig {
+        RunConfig { kind: DomainKind::YalaaAff1, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+    }
+
+    /// Ceres baseline at budget `k`.
+    pub fn ceres(k: usize) -> RunConfig {
+        RunConfig { kind: DomainKind::Ceres, aa: AaConfig::new(k), prioritized: false, capacity_low: None }
+    }
+
+    /// A short label for plots (`f64a-dspv (k=16)` style).
+    pub fn label(&self) -> String {
+        let p = |b: bool, t: &str, f: &str| if b { t.to_string() } else { f.to_string() };
+        match self.kind {
+            DomainKind::Unsound => "unsound".into(),
+            DomainKind::IntervalF64 => "IGen-f64".into(),
+            DomainKind::IntervalDd => "IGen-dd".into(),
+            DomainKind::YalaaAff0 => "yalaa-aff0".into(),
+            DomainKind::YalaaAff1 => "yalaa-aff1".into(),
+            DomainKind::Ceres => format!("ceres-affine (k={})", self.aa.k),
+            kind => {
+                let prec = match kind {
+                    DomainKind::AffineF64 => "f64a",
+                    DomainKind::AffineDd => "dda",
+                    _ => "f32a",
+                };
+                let placement = match self.aa.placement {
+                    safegen_affine::Placement::Sorted => "s",
+                    safegen_affine::Placement::DirectMapped => "d",
+                };
+                let fusion = match self.aa.fusion {
+                    safegen_affine::Fusion::Smallest => "s",
+                    safegen_affine::Fusion::MeanThreshold => "m",
+                    safegen_affine::Fusion::Oldest => "o",
+                    safegen_affine::Fusion::Random => "r",
+                };
+                format!(
+                    "{prec}-{placement}{fusion}{}{} (k={})",
+                    p(self.prioritized, "p", "n"),
+                    p(self.aa.vectorized, "v", "n"),
+                    self.aa.k
+                )
+            }
+        }
+    }
+}
+
+/// Result of a sound run, reduced to plot-ready numbers.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Sound range of the returned value (if any).
+    pub ret: Option<(f64, f64)>,
+    /// Sound ranges of every array out-parameter.
+    pub arrays: Vec<(String, Vec<(f64, f64)>)>,
+    /// Worst-case certified bits over all result values (paper's metric:
+    /// "when a result consists of multiple values, we consider the one
+    /// with the lowest accuracy").
+    pub acc_bits: f64,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+impl Compiler {
+    /// Creates a compiler with default options (prioritization on).
+    pub fn new() -> Compiler {
+        Compiler::default()
+    }
+
+    /// Disables the static analysis.
+    pub fn without_prioritization(mut self) -> Compiler {
+        self.prioritize = false;
+        self
+    }
+
+    /// Parses, checks, and TAC-transforms `src`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexical, syntactic and semantic diagnostics.
+    pub fn compile(&self, src: &str) -> Result<Compiled, ParseError> {
+        let lowered;
+        let src = if self.lower_simd && src.contains("_mm") {
+            lowered = safegen_cfront::lower_simd(src)?;
+            &lowered
+        } else {
+            src
+        };
+        let unit = safegen_cfront::parse(src)?;
+        // Alpha-rename so shadowed/sibling declarations become unique —
+        // the strict no-shadowing rule then holds by construction.
+        let unit = safegen_cfront::rename_unique(&unit);
+        let unit = if self.fold_constants {
+            safegen_ir::fold_constants(&unit)
+        } else {
+            unit
+        };
+        let sema = safegen_cfront::analyze(&unit)?;
+        let tac = safegen_ir::to_tac(&unit, &sema);
+        let sema = safegen_cfront::analyze(&tac)?;
+        let mut plain = HashMap::new();
+        for f in &tac.functions {
+            plain.insert(f.name.clone(), compile_program(f, &sema)?);
+        }
+        Ok(Compiled {
+            tac,
+            sema,
+            prioritize: self.prioritize,
+            solver: self.solver,
+            plain,
+            prioritized: std::cell::RefCell::new(HashMap::new()),
+            var_capacity: std::cell::RefCell::new(HashMap::new()),
+        })
+    }
+}
+
+impl Compiled {
+    /// The bytecode program for `func`, without priority annotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` does not exist.
+    pub fn program(&self, func: &str) -> &Program {
+        &self.plain[func]
+    }
+
+    /// The bytecode program for `func` with `#pragma safegen prioritize`
+    /// protection compiled in for budget `k` (cached per `k`).
+    pub fn prioritized_program(&self, func: &str, k: usize) -> Program {
+        if let Some(p) = self.prioritized.borrow().get(&(func.to_string(), k)) {
+            return p.clone();
+        }
+        let f = self
+            .tac
+            .functions
+            .iter()
+            .find(|f| f.name == func)
+            .unwrap_or_else(|| panic!("unknown function `{func}`"));
+        let annotated = safegen_analysis::annotate_function(f, &self.sema, k, self.solver);
+        let prog = compile_program(&annotated, &self.sema)
+            .expect("annotated TAC must compile");
+        self.prioritized
+            .borrow_mut()
+            .insert((func.to_string(), k), prog.clone());
+        prog
+    }
+
+    /// The bytecode program with `#pragma safegen capacity` annotations
+    /// compiled in (variable-capacity extension): operations off every
+    /// reuse connection run at `k_low` symbols instead of `k`.
+    pub fn capacity_program(
+        &self,
+        func: &str,
+        k: usize,
+        k_low: usize,
+        prioritized: bool,
+    ) -> Program {
+        let key = (func.to_string(), k, k_low, prioritized);
+        if let Some(p) = self.var_capacity.borrow().get(&key) {
+            return p.clone();
+        }
+        let f = self
+            .tac
+            .functions
+            .iter()
+            .find(|f| f.name == func)
+            .unwrap_or_else(|| panic!("unknown function `{func}`"));
+        let base = if prioritized {
+            safegen_analysis::annotate_function(f, &self.sema, k, self.solver)
+        } else {
+            f.clone()
+        };
+        let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low);
+        let annotated = safegen_analysis::annotate_capacities(&base, &plan);
+        let prog = compile_program(&annotated, &self.sema)
+            .expect("capacity-annotated TAC must compile");
+        self.var_capacity.borrow_mut().insert(key, prog.clone());
+        prog
+    }
+
+    /// Runs `func` on `args` under `config` and reduces the outcome to a
+    /// [`RunReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the VM error message on execution failure.
+    pub fn run(
+        &self,
+        func: &str,
+        args: &[ArgValue],
+        config: &RunConfig,
+    ) -> Result<RunReport, String> {
+        let is_affine = matches!(
+            config.kind,
+            DomainKind::AffineF64 | DomainKind::AffineDd | DomainKind::AffineF32
+        );
+        let use_priorities = config.prioritized && self.prioritize && is_affine;
+        let owned;
+        let prog: &Program = if let (Some(k_low), true) = (config.capacity_low, is_affine) {
+            owned = self.capacity_program(func, config.aa.k, k_low, use_priorities);
+            &owned
+        } else if use_priorities {
+            owned = self.prioritized_program(func, config.aa.k);
+            &owned
+        } else {
+            self.program(func)
+        };
+        run_on(prog, args, config)
+    }
+}
+
+/// Runs an already-compiled program under a configuration.
+///
+/// # Errors
+///
+/// Returns the VM error message on execution failure.
+pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<RunReport, String> {
+    fn report<D: Domain>(r: crate::exec::RunResult<D>) -> RunReport {
+        let ret = r.ret.as_ref().map(|v| v.range());
+        let mut acc = f64::INFINITY;
+        if let Some(v) = &r.ret {
+            acc = acc.min(v.acc_bits());
+        }
+        let arrays: Vec<(String, Vec<(f64, f64)>)> = r
+            .arrays
+            .iter()
+            .map(|(n, vs)| (n.clone(), vs.iter().map(|v| v.range()).collect()))
+            .collect();
+        for (_, vs) in &r.arrays {
+            for v in vs {
+                acc = acc.min(v.acc_bits());
+            }
+        }
+        if acc == f64::INFINITY {
+            acc = f64::NAN; // nothing to certify (void function, no arrays)
+        }
+        RunReport { ret, arrays, acc_bits: acc, stats: r.stats }
+    }
+
+    let e = |e: crate::exec::ExecError| e.message;
+    match config.kind {
+        DomainKind::Unsound => exec::<UnsoundF64>(prog, args, &()).map(report).map_err(e),
+        DomainKind::IntervalF64 => exec::<IntervalF64>(prog, args, &()).map(report).map_err(e),
+        DomainKind::IntervalDd => exec::<IntervalDd>(prog, args, &()).map(report).map_err(e),
+        DomainKind::AffineF64 => {
+            let cx = AaContext::new(config.aa);
+            exec::<AffineF64>(prog, args, &cx).map(report).map_err(e)
+        }
+        DomainKind::AffineDd => {
+            let cx = AaContext::new(config.aa);
+            exec::<AffineDd>(prog, args, &cx).map(report).map_err(e)
+        }
+        DomainKind::AffineF32 => {
+            let cx = AaContext::new(config.aa);
+            exec::<AffineF32>(prog, args, &cx).map(report).map_err(e)
+        }
+        DomainKind::YalaaAff0 => {
+            let cx = BaselineCtx::new();
+            exec::<YalaaAff0>(prog, args, &cx).map(report).map_err(e)
+        }
+        DomainKind::YalaaAff1 => {
+            let cx = BaselineCtx::new();
+            exec::<YalaaAff1>(prog, args, &cx).map(report).map_err(e)
+        }
+        DomainKind::Ceres => {
+            let cx = CeresCtx { ctx: BaselineCtx::new(), k: config.aa.k };
+            exec::<CeresAffine>(prog, args, &cx).map(report).map_err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HENON_STEP: &str = "double henon(double x, double y) {
+        double xn = 1.0 - 1.05 * x * x + y;
+        return xn;
+    }";
+
+    #[test]
+    fn compile_and_run_all_domains() {
+        let c = Compiler::new().compile(HENON_STEP).unwrap();
+        let args = [0.3.into(), 0.4.into()];
+        let expected = 1.0 - 1.05 * 0.3 * 0.3 + 0.4;
+        for cfg in [
+            RunConfig::unsound(),
+            RunConfig::interval_f64(),
+            RunConfig::interval_dd(),
+            RunConfig::affine_f64(8),
+            RunConfig::affine_dd(8),
+            RunConfig::yalaa_aff0(),
+            RunConfig::yalaa_aff1(),
+            RunConfig::ceres(8),
+        ] {
+            let r = c.run("henon", &args, &cfg).unwrap();
+            let (lo, hi) = r.ret.unwrap();
+            assert!(
+                lo <= expected && expected <= hi,
+                "{}: [{lo}, {hi}] misses {expected}",
+                cfg.label()
+            );
+        }
+    }
+
+    #[test]
+    fn sound_domains_certify_many_bits_here() {
+        let c = Compiler::new().compile(HENON_STEP).unwrap();
+        let r = c
+            .run("henon", &[0.3.into(), 0.4.into()], &RunConfig::affine_f64(8))
+            .unwrap();
+        assert!(r.acc_bits > 40.0, "acc = {}", r.acc_bits);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(RunConfig::affine_f64(16).label(), "f64a-dspv (k=16)");
+        assert_eq!(RunConfig::interval_dd().label(), "IGen-dd");
+        assert_eq!(
+            RunConfig::mnemonic(8, "smnn").unwrap().label(),
+            "f64a-smnn (k=8)"
+        );
+        assert_eq!(RunConfig::yalaa_aff0().label(), "yalaa-aff0");
+    }
+
+    #[test]
+    fn prioritized_program_differs_when_reuse_exists() {
+        let src = "double f(double x, double y, double z) { return x*z - y*z; }";
+        let c = Compiler::new().compile(src).unwrap();
+        let plain = c.program("f").clone();
+        let prio = c.prioritized_program("f", 4);
+        assert!(prio.code.len() > plain.code.len(), "expected Protect instructions");
+    }
+
+    #[test]
+    fn run_report_covers_arrays() {
+        let src = "void f(double a[3]) { for (int i = 0; i < 3; i++) a[i] = a[i] * 0.1; }";
+        let c = Compiler::new().compile(src).unwrap();
+        let r = c
+            .run("f", &[vec![1.0, 2.0, 3.0].into()], &RunConfig::affine_f64(4))
+            .unwrap();
+        assert!(r.ret.is_none());
+        assert_eq!(r.arrays[0].1.len(), 3);
+        assert!(r.acc_bits.is_finite());
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        assert!(Compiler::new().compile("double f( {").is_err());
+        assert!(Compiler::new().compile("void f() { x = 1.0; }").is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! The domain-generic virtual machine.
+//!
+//! Executes a compiled [`Program`] under any numeric [`Domain`]. The same
+//! bytecode therefore yields the unsound original result, sound interval
+//! enclosures, or sound affine enclosures under every SafeGen
+//! configuration — the apples-to-apples setup of the paper's evaluation.
+
+use crate::domain::Domain;
+use crate::program::{ArrId, CmpOp, Instr, ParamBinding, Program};
+use std::fmt;
+
+/// An argument passed to [`exec`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Scalar floating-point input (becomes `x ± 1 ulp`).
+    Float(f64),
+    /// Integer input (sizes, iteration counts).
+    Int(i64),
+    /// Floating-point array input.
+    Array(Vec<f64>),
+}
+
+impl From<f64> for ArgValue {
+    fn from(x: f64) -> ArgValue {
+        ArgValue::Float(x)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(x: i64) -> ArgValue {
+        ArgValue::Int(x)
+    }
+}
+
+impl From<Vec<f64>> for ArgValue {
+    fn from(x: Vec<f64>) -> ArgValue {
+        ArgValue::Array(x)
+    }
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Floating-point (domain) operations executed.
+    pub fp_ops: u64,
+    /// Instructions executed in total.
+    pub instrs: u64,
+    /// Floating-point comparisons whose sound enclosures overlapped and
+    /// were decided by central values (see DESIGN.md §4.5).
+    pub undecided_branches: u64,
+}
+
+/// The outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult<D> {
+    /// Returned value, if the function returns one.
+    pub ret: Option<D>,
+    /// Final contents of every array parameter (out-parameters), in
+    /// program parameter order: `(name, values)`.
+    pub arrays: Vec<(String, Vec<D>)>,
+    /// Execution statistics.
+    pub stats: RunStats,
+}
+
+/// Errors during execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn err(message: impl Into<String>) -> ExecError {
+    ExecError { message: message.into() }
+}
+
+/// Upper bound on executed instructions (runaway-loop guard).
+const FUEL: u64 = 2_000_000_000;
+
+/// Executes `prog` under domain `D`.
+///
+/// `args` must match the program's parameters in order and kind. Array
+/// arguments determine the size of unsized (pointer) parameters.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on argument mismatch, out-of-bounds array access,
+/// or fuel exhaustion.
+pub fn exec<D: Domain>(
+    prog: &Program,
+    args: &[ArgValue],
+    cx: &D::Ctx,
+) -> Result<RunResult<D>, ExecError> {
+    if args.len() != prog.params.len() {
+        return Err(err(format!(
+            "{} arguments provided, {} expected",
+            args.len(),
+            prog.params.len()
+        )));
+    }
+    let zero = D::constant(0.0, cx);
+    let mut fregs: Vec<D> = vec![zero; prog.n_fregs.max(1)];
+    let mut iregs: Vec<i64> = vec![0; prog.n_iregs.max(1)];
+    let mut arrays: Vec<Vec<D>> = prog
+        .arrays
+        .iter()
+        .map(|a| vec![D::constant(0.0, cx); a.len])
+        .collect();
+
+    // Bind parameters.
+    for ((name, binding), arg) in prog.params.iter().zip(args) {
+        match (binding, arg) {
+            (ParamBinding::Float(r), ArgValue::Float(x)) => {
+                fregs[*r as usize] = D::from_input(*x, cx);
+            }
+            (ParamBinding::Int(r), ArgValue::Int(v)) => {
+                iregs[*r as usize] = *v;
+            }
+            (ParamBinding::Array(a), ArgValue::Array(xs)) => {
+                let decl = &prog.arrays[*a as usize];
+                if decl.len != 0 && decl.len != xs.len() {
+                    return Err(err(format!(
+                        "array `{name}` expects {} elements, got {}",
+                        decl.len,
+                        xs.len()
+                    )));
+                }
+                arrays[*a as usize] = xs.iter().map(|&x| D::from_input(x, cx)).collect();
+            }
+            (b, a) => {
+                return Err(err(format!("argument `{name}`: expected {b:?}, got {a:?}")));
+            }
+        }
+    }
+
+    let mut stats = RunStats::default();
+    let mut pc = 0usize;
+    let mut protect: Vec<u64> = Vec::new();
+    let mut pending_protect = false;
+    let mut pending_capacity = false;
+    let mut ret: Option<D> = None;
+
+    macro_rules! prot {
+        () => {{
+            if pending_protect {
+                pending_protect = false;
+                std::mem::take(&mut protect)
+            } else {
+                Vec::new()
+            }
+        }};
+    }
+
+    while pc < prog.code.len() {
+        stats.instrs += 1;
+        if stats.instrs > FUEL {
+            return Err(err("instruction budget exhausted (infinite loop?)"));
+        }
+        let fp_ops_before = stats.fp_ops;
+        match &prog.code[pc] {
+            Instr::Add(d, a, b) => {
+                let p = prot!();
+                fregs[*d as usize] = fregs[*a as usize].add(&fregs[*b as usize], cx, &p);
+                stats.fp_ops += 1;
+            }
+            Instr::Sub(d, a, b) => {
+                let p = prot!();
+                fregs[*d as usize] = fregs[*a as usize].sub(&fregs[*b as usize], cx, &p);
+                stats.fp_ops += 1;
+            }
+            Instr::Mul(d, a, b) => {
+                let p = prot!();
+                fregs[*d as usize] = fregs[*a as usize].mul(&fregs[*b as usize], cx, &p);
+                stats.fp_ops += 1;
+            }
+            Instr::Div(d, a, b) => {
+                let p = prot!();
+                fregs[*d as usize] = fregs[*a as usize].div(&fregs[*b as usize], cx, &p);
+                stats.fp_ops += 1;
+            }
+            Instr::Sqrt(d, a) => {
+                let p = prot!();
+                fregs[*d as usize] = fregs[*a as usize].sqrt(cx, &p);
+                stats.fp_ops += 1;
+            }
+            Instr::Abs(d, a) => {
+                fregs[*d as usize] = fregs[*a as usize].abs(cx);
+                stats.fp_ops += 1;
+            }
+            Instr::Neg(d, a) => {
+                fregs[*d as usize] = fregs[*a as usize].neg(cx);
+                stats.fp_ops += 1;
+            }
+            Instr::Min(d, a, b) => {
+                fregs[*d as usize] = fregs[*a as usize].min(&fregs[*b as usize], cx);
+                stats.fp_ops += 1;
+            }
+            Instr::Max(d, a, b) => {
+                fregs[*d as usize] = fregs[*a as usize].max(&fregs[*b as usize], cx);
+                stats.fp_ops += 1;
+            }
+            Instr::ConstF(d, c) => {
+                fregs[*d as usize] = D::constant(*c, cx);
+            }
+            Instr::MovF(d, s) => {
+                fregs[*d as usize] = fregs[*s as usize].clone();
+            }
+            Instr::CastIF(d, s) => {
+                fregs[*d as usize] = D::constant(iregs[*s as usize] as f64, cx);
+            }
+            Instr::LoadArr(d, arr, idx) => {
+                let i = iregs[*idx as usize];
+                let a = &arrays[*arr as usize];
+                let v = a
+                    .get(usize::try_from(i).map_err(|_| err("negative array index"))?)
+                    .ok_or_else(|| {
+                        err(format!(
+                            "index {i} out of bounds for `{}` (len {})",
+                            prog.arrays[*arr as usize].name,
+                            a.len()
+                        ))
+                    })?;
+                fregs[*d as usize] = v.clone();
+            }
+            Instr::StoreArr(arr, idx, s) => {
+                let i = iregs[*idx as usize];
+                let name = &prog.arrays[*arr as usize].name;
+                let a = &mut arrays[*arr as usize];
+                let len = a.len();
+                let slot = a
+                    .get_mut(usize::try_from(i).map_err(|_| err("negative array index"))?)
+                    .ok_or_else(|| err(format!("index {i} out of bounds for `{name}` (len {len})")))?;
+                *slot = fregs[*s as usize].clone();
+            }
+            Instr::ConstI(d, c) => iregs[*d as usize] = *c,
+            Instr::AddI(d, a, b) => iregs[*d as usize] = iregs[*a as usize] + iregs[*b as usize],
+            Instr::SubI(d, a, b) => iregs[*d as usize] = iregs[*a as usize] - iregs[*b as usize],
+            Instr::MulI(d, a, b) => iregs[*d as usize] = iregs[*a as usize] * iregs[*b as usize],
+            Instr::DivI(d, a, b) => {
+                let bv = iregs[*b as usize];
+                if bv == 0 {
+                    return Err(err("integer division by zero"));
+                }
+                iregs[*d as usize] = iregs[*a as usize] / bv;
+            }
+            Instr::MovI(d, s) => iregs[*d as usize] = iregs[*s as usize],
+            Instr::CastFI(d, s) => {
+                iregs[*d as usize] = fregs[*s as usize].center() as i64;
+            }
+            Instr::CmpI(op, d, a, b) => {
+                iregs[*d as usize] = i64::from(op.eval(iregs[*a as usize], iregs[*b as usize]));
+            }
+            Instr::CmpF(op, d, a, b) => {
+                let (x, y) = (&fregs[*a as usize], &fregs[*b as usize]);
+                let res = match op {
+                    CmpOp::Lt => x.try_lt(y),
+                    CmpOp::Gt => y.try_lt(x),
+                    CmpOp::Le => y.try_lt(x).map(|b| !b),
+                    CmpOp::Ge => x.try_lt(y).map(|b| !b),
+                    CmpOp::Eq | CmpOp::Ne => {
+                        let (xlo, xhi) = x.range();
+                        let (ylo, yhi) = y.range();
+                        if xhi < ylo || yhi < xlo {
+                            Some(*op == CmpOp::Ne)
+                        } else if xlo == xhi && ylo == yhi && xlo == ylo {
+                            Some(*op == CmpOp::Eq)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                let decided = match res {
+                    Some(v) => v,
+                    None => {
+                        stats.undecided_branches += 1;
+                        op.eval(x.center(), y.center())
+                    }
+                };
+                iregs[*d as usize] = i64::from(decided);
+            }
+            Instr::Jump(t) => {
+                pc = *t;
+                continue;
+            }
+            Instr::JumpIfZero(c, t) => {
+                if iregs[*c as usize] == 0 {
+                    pc = *t;
+                    continue;
+                }
+            }
+            Instr::Protect(r) => {
+                protect = fregs[*r as usize].protect_ids(cx);
+                pending_protect = true;
+            }
+            Instr::SetCapacity(k) => {
+                D::set_capacity(cx, *k as usize);
+                pending_capacity = true;
+            }
+            Instr::Ret(r) => {
+                ret = r.map(|r| fregs[r as usize].clone());
+                break;
+            }
+        }
+        // A capacity pragma covers exactly its (single-FP-op) statement.
+        if pending_capacity && stats.fp_ops > fp_ops_before {
+            D::reset_capacity(cx);
+            pending_capacity = false;
+        }
+        pc += 1;
+    }
+
+    let arrays_out: Vec<(String, Vec<D>)> = prog
+        .params
+        .iter()
+        .filter_map(|(name, b)| match b {
+            ParamBinding::Array(a) => {
+                Some((name.clone(), arrays[*a as usize].clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    let _ = ArrId::default();
+    Ok(RunResult { ret, arrays: arrays_out, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::UnsoundF64;
+    use crate::program::compile_program;
+    use safegen_affine::{AaConfig, AaContext, AffineF64};
+    use safegen_cfront::{analyze, parse};
+    use safegen_interval::IntervalF64;
+
+    fn compile(src: &str) -> Program {
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let tac = safegen_ir::to_tac(&unit, &sema);
+        let sema2 = analyze(&tac).unwrap();
+        compile_program(&tac.functions[0], &sema2).unwrap()
+    }
+
+    #[test]
+    fn unsound_matches_native_rust() {
+        let p = compile("double f(double a, double b) { return a * b + 0.1; }");
+        let r: RunResult<UnsoundF64> =
+            exec(&p, &[0.3.into(), 0.7.into()], &()).unwrap();
+        assert_eq!(r.ret.unwrap().0, 0.3 * 0.7 + 0.1);
+        assert_eq!(r.stats.fp_ops, 2);
+    }
+
+    #[test]
+    fn loop_executes_n_times() {
+        let p = compile(
+            "double f(double x, int n) {
+                 for (int i = 0; i < n; i++) { x = x * 0.5; }
+                 return x;
+             }",
+        );
+        let r: RunResult<UnsoundF64> = exec(&p, &[1024.0.into(), 10i64.into()], &()).unwrap();
+        assert_eq!(r.ret.unwrap().0, 1.0);
+        assert_eq!(r.stats.fp_ops, 10);
+    }
+
+    #[test]
+    fn array_out_parameter_returned() {
+        let p = compile(
+            "void scale(double a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] * 2.0; } }",
+        );
+        let r: RunResult<UnsoundF64> =
+            exec(&p, &[vec![1.0, 2.0, 3.0, 4.0].into()], &()).unwrap();
+        let (name, vals) = &r.arrays[0];
+        assert_eq!(name, "a");
+        let got: Vec<f64> = vals.iter().map(|v| v.0).collect();
+        assert_eq!(got, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn two_d_array_indexing() {
+        let p = compile(
+            "void t(double g[2][2]) { g[0][1] = g[1][0] + 10.0; }",
+        );
+        let r: RunResult<UnsoundF64> =
+            exec(&p, &[vec![1.0, 2.0, 3.0, 4.0].into()], &()).unwrap();
+        let got: Vec<f64> = r.arrays[0].1.iter().map(|v| v.0).collect();
+        assert_eq!(got, vec![1.0, 13.0, 3.0, 4.0]); // g[0][1] = g[1][0]+10 = 3+10
+    }
+
+    #[test]
+    fn branches_follow_comparison() {
+        let p = compile(
+            "double f(double x) { if (x < 0.0) { return -x; } return x; }",
+        );
+        let r: RunResult<UnsoundF64> = exec(&p, &[(-3.0).into()], &()).unwrap();
+        assert_eq!(r.ret.unwrap().0, 3.0);
+        let r: RunResult<UnsoundF64> = exec(&p, &[2.0.into()], &()).unwrap();
+        assert_eq!(r.ret.unwrap().0, 2.0);
+    }
+
+    #[test]
+    fn interval_run_encloses_unsound_run() {
+        let src = "double f(double x, double y) {
+            double s = x;
+            for (int i = 0; i < 20; i++) { s = s * y + x; }
+            return s;
+        }";
+        let p = compile(src);
+        let unsound: RunResult<UnsoundF64> =
+            exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
+        let sound: RunResult<IntervalF64> =
+            exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
+        let iv = sound.ret.unwrap();
+        assert!(iv.contains(unsound.ret.unwrap().0));
+    }
+
+    #[test]
+    fn affine_run_encloses_unsound_run() {
+        let src = "double f(double x, double y) {
+            double s = x;
+            for (int i = 0; i < 20; i++) { s = s * y - x * y; }
+            return s;
+        }";
+        let p = compile(src);
+        let unsound: RunResult<UnsoundF64> = exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
+        let ctx = AaContext::new(AaConfig::new(8));
+        let sound: RunResult<AffineF64> = exec(&p, &[0.3.into(), 0.9.into()], &ctx).unwrap();
+        let a = sound.ret.unwrap();
+        assert!(a.contains_f64(unsound.ret.unwrap().0));
+        assert!(sound.stats.fp_ops == unsound.stats.fp_ops);
+    }
+
+    #[test]
+    fn protect_instruction_consumed_by_next_op() {
+        let src = "void f(double x, double z) {\n#pragma safegen prioritize(z)\nx = x * z; }";
+        let p = compile(src);
+        let ctx = AaContext::new(AaConfig::new(2));
+        let r: RunResult<AffineF64> = exec(&p, &[1.0.into(), 2.0.into()], &ctx).unwrap();
+        assert!(r.ret.is_none());
+        assert_eq!(r.stats.fp_ops, 1);
+    }
+
+    #[test]
+    fn undecided_branch_counted() {
+        let src = "double f(double x) { if (x < 0.5) { return x; } return x + 1.0; }";
+        let p = compile(src);
+        // Range [0.5-u, 0.5+u] straddles the threshold once widened enough:
+        // force it by comparing against a value inside the input range.
+        let ctx = AaContext::new(AaConfig::new(4));
+        let r: RunResult<AffineF64> = exec(&p, &[0.5.into()], &ctx).unwrap();
+        assert_eq!(r.stats.undecided_branches, 1);
+    }
+
+    #[test]
+    fn argument_mismatch_errors() {
+        let p = compile("double f(double x) { return x; }");
+        let e = exec::<UnsoundF64>(&p, &[], &()).unwrap_err();
+        assert!(e.message.contains("expected"));
+        let e = exec::<UnsoundF64>(&p, &[1i64.into()], &()).unwrap_err();
+        assert!(e.message.contains('x'));
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let p = compile("void f(double a[2], int i) { a[i] = 1.0; }");
+        let e = exec::<UnsoundF64>(&p, &[vec![0.0, 0.0].into(), 5i64.into()], &()).unwrap_err();
+        assert!(e.message.contains("out of bounds"), "{e}");
+    }
+
+    #[test]
+    fn unsized_pointer_param_takes_any_length() {
+        let p = compile("void f(double *a, int n) { for (int i = 0; i < n; i++) a[i] = 0.5; }");
+        let r: RunResult<UnsoundF64> =
+            exec(&p, &[vec![1.0; 7].into(), 7i64.into()], &()).unwrap();
+        assert!(r.arrays[0].1.iter().all(|v| v.0 == 0.5));
+    }
+
+    #[test]
+    fn while_loop_terminates() {
+        let p = compile("double f(double x) { while (x < 100.0) { x = x * 2.0; } return x; }");
+        let r: RunResult<UnsoundF64> = exec(&p, &[1.0.into()], &()).unwrap();
+        assert_eq!(r.ret.unwrap().0, 128.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # safegen
+//!
+//! SafeGen-rs: a compiler for sound floating-point computations using
+//! affine arithmetic — the Rust reproduction of the CGO 2022 SafeGen
+//! system.
+//!
+//! Given a C function performing floating-point computations, SafeGen
+//! produces a *sound* version of the same computation: one that returns
+//! guaranteed enclosures of the results the original program would have
+//! produced in real arithmetic, together with a certificate of the number
+//! of correct bits.
+//!
+//! The crate wires the workspace together:
+//!
+//! * [`Compiler`] — the driver: parse → semantic analysis →
+//!   three-address-code transformation → (optional) max-reuse static
+//!   analysis and pragma annotation → artifacts.
+//! * [`mod@emit_c`] — the paper's actual artifact shape: sound C source
+//!   against the `aa_*` runtime API (Fig. 2).
+//! * [`program`]/[`mod@exec`] — a register bytecode and a virtual machine
+//!   that runs the compiled program under any numeric [`Domain`]:
+//!   the unsound original, interval arithmetic in `f64`/double-double
+//!   (the IGen baselines), every affine configuration of the paper, and
+//!   the Yalaa/Ceres library baselines — which is how the evaluation
+//!   measures accuracy and runtime self-contained in Rust.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use safegen::{Compiler, DomainKind, RunConfig};
+//!
+//! let src = "double f(double a, double b) { return a * b + 0.1; }";
+//! let compiled = Compiler::new().compile(src).unwrap();
+//! let report = compiled
+//!     .run("f", &[0.5.into(), 0.25.into()], &RunConfig::affine_f64(8))
+//!     .unwrap();
+//! let (lo, hi) = report.ret.unwrap();
+//! assert!(lo <= 0.5 * 0.25 + 0.1 && 0.5 * 0.25 + 0.1 <= hi);
+//! assert!(report.acc_bits > 40.0); // almost all bits certified
+//! let _ = DomainKind::AffineF64; // the domain that ran
+//! ```
+
+pub mod domain;
+pub mod driver;
+pub mod emit_c;
+pub mod exec;
+pub mod program;
+
+pub use domain::{Domain, DomainKind, UnsoundF64};
+pub use driver::{run_on, Compiled, Compiler, RunConfig, RunReport};
+pub use emit_c::{emit_c, EmitPrecision};
+pub use exec::{exec, ArgValue, RunResult, RunStats};
+pub use program::{compile_program, Program};
+
+pub use safegen_affine::{AaConfig, AaContext, Fusion, NoisePolicy, Placement};

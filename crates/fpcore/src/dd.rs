@@ -1,0 +1,452 @@
+//! Double-double ("dd") arithmetic.
+//!
+//! A [`Dd`] value is an unevaluated sum `hi + lo` of two `f64` with
+//! `|lo| ≤ ulp(hi)/2`, giving roughly 106 significand bits. This is the
+//! precision the paper calls `dd` (used for the `dda` affine type and the
+//! `IGen-dd` baseline), implemented with the classical Dekker/Knuth
+//! algorithms and FMA-based products.
+//!
+//! Besides round-to-nearest-style operations, the module exposes *widened*
+//! directed variants (`add_ru`, `mul_rd`, …) that pad the result by a proven
+//! relative-error bound so it can serve as a sound interval endpoint, and
+//! `*_with_err` variants returning an upper bound on the rounding error for
+//! use as affine error-symbol magnitudes.
+//!
+//! Relative-error bounds used (u = 2⁻⁵³, from Joldes–Muller–Popescu,
+//! "Tight and rigorous error bounds for basic building blocks of
+//! double-word arithmetic", with generous safety margins):
+//! add ≤ 4u², mul ≤ 8u², div ≤ 16u², sqrt ≤ 8u².
+
+use crate::eft::{quick_two_sum, two_prod, two_sum};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// u² with a 4× margin: relative error bound of double-double addition.
+pub const DD_ADD_REL: f64 = 4.0 * (f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
+/// Relative error bound of double-double multiplication (8u²).
+pub const DD_MUL_REL: f64 = 8.0 * (f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
+/// Relative error bound of double-double division (16u²).
+pub const DD_DIV_REL: f64 = 16.0 * (f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
+/// Relative error bound of double-double square root (8u²).
+pub const DD_SQRT_REL: f64 = 8.0 * (f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
+
+/// A double-double value: the unevaluated, non-overlapping sum `hi + lo`.
+///
+/// ```
+/// use safegen_fpcore::Dd;
+/// let third = Dd::from(1.0) / Dd::from(3.0);
+/// let one = third * Dd::from(3.0);
+/// assert!((one - Dd::from(1.0)).abs().hi() < 1e-31);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Dd {
+    hi: f64,
+    lo: f64,
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+
+    /// Creates a `Dd` from already-normalized components.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the pair is not normalized
+    /// (`hi + lo` must round to `hi`).
+    #[inline]
+    pub fn new(hi: f64, lo: f64) -> Dd {
+        debug_assert!(
+            hi.is_nan() || hi.is_infinite() || hi + lo == hi,
+            "non-normalized Dd: hi={hi}, lo={lo}"
+        );
+        Dd { hi, lo }
+    }
+
+    /// Creates a `Dd` from arbitrary components, renormalizing.
+    #[inline]
+    pub fn from_sum(a: f64, b: f64) -> Dd {
+        let (hi, lo) = two_sum(a, b);
+        Dd { hi, lo }
+    }
+
+    /// The exact sum `a + b` of two `f64` as a `Dd` (error-free).
+    #[inline]
+    pub fn from_two_sum(a: f64, b: f64) -> Dd {
+        let (hi, lo) = two_sum(a, b);
+        Dd { hi, lo }
+    }
+
+    /// The exact product `a * b` of two `f64` as a `Dd` (error-free for
+    /// normal-range products).
+    #[inline]
+    pub fn from_two_prod(a: f64, b: f64) -> Dd {
+        let (hi, lo) = two_prod(a, b);
+        Dd { hi, lo }
+    }
+
+    /// High (leading) component.
+    #[inline]
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// Low (trailing) component.
+    #[inline]
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Rounds to the nearest `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.hi.is_nan() || self.lo.is_nan()
+    }
+
+    /// True if the value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.hi.is_finite() && self.lo.is_finite()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Dd {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Multiplies by a power of two (exact).
+    #[inline]
+    pub fn scale_pow2(self, p: i32) -> Dd {
+        let f = 2.0f64.powi(p);
+        Dd { hi: self.hi * f, lo: self.lo * f }
+    }
+
+    /// Double-double square root (Karp–Markstein style).
+    ///
+    /// Returns NaN for negative input.
+    pub fn sqrt(self) -> Dd {
+        if self.hi < 0.0 {
+            return Dd { hi: f64::NAN, lo: f64::NAN };
+        }
+        if self.hi == 0.0 {
+            return Dd::ZERO;
+        }
+        let x = 1.0 / self.hi.sqrt();
+        let ax = self.hi * x;
+        let axx = Dd::from_two_prod(ax, ax);
+        let err = (self - axx).hi * (x * 0.5);
+        let (hi, lo) = quick_two_sum(ax, err);
+        Dd { hi, lo }
+    }
+
+    /// Reciprocal.
+    #[inline]
+    pub fn recip(self) -> Dd {
+        Dd::ONE / self
+    }
+
+    /// A sound upper bound on the rounding error of a dd operation with
+    /// relative error bound `rel`, as a single `f64` rounded upward.
+    #[inline]
+    pub fn err_bound(self, rel: f64) -> f64 {
+        if !self.is_finite() {
+            return f64::INFINITY;
+        }
+        let mag = self.hi.abs() + self.lo.abs();
+        // One extra next_up absorbs the rounding of the bound product itself.
+        (rel * mag).next_up().max(f64::MIN_POSITIVE)
+    }
+
+    /// Widened-upward addition: result ≥ exact `a + b`.
+    #[inline]
+    pub fn add_ru(self, rhs: Dd) -> Dd {
+        let s = self + rhs;
+        s.widen_up(s.err_bound(DD_ADD_REL))
+    }
+
+    /// Widened-downward addition: result ≤ exact `a + b`.
+    #[inline]
+    pub fn add_rd(self, rhs: Dd) -> Dd {
+        let s = self + rhs;
+        s.widen_down(s.err_bound(DD_ADD_REL))
+    }
+
+    /// Widened-upward multiplication.
+    #[inline]
+    pub fn mul_ru(self, rhs: Dd) -> Dd {
+        let p = self * rhs;
+        p.widen_up(p.err_bound(DD_MUL_REL))
+    }
+
+    /// Widened-downward multiplication.
+    #[inline]
+    pub fn mul_rd(self, rhs: Dd) -> Dd {
+        let p = self * rhs;
+        p.widen_down(p.err_bound(DD_MUL_REL))
+    }
+
+    /// Widened-upward division.
+    #[inline]
+    pub fn div_ru(self, rhs: Dd) -> Dd {
+        let q = self / rhs;
+        q.widen_up(q.err_bound(DD_DIV_REL))
+    }
+
+    /// Widened-downward division.
+    #[inline]
+    pub fn div_rd(self, rhs: Dd) -> Dd {
+        let q = self / rhs;
+        q.widen_down(q.err_bound(DD_DIV_REL))
+    }
+
+    /// Widened-upward square root.
+    #[inline]
+    pub fn sqrt_ru(self) -> Dd {
+        let s = self.sqrt();
+        s.widen_up(s.err_bound(DD_SQRT_REL))
+    }
+
+    /// Widened-downward square root (clamped at zero).
+    #[inline]
+    pub fn sqrt_rd(self) -> Dd {
+        let s = self.sqrt();
+        let w = s.widen_down(s.err_bound(DD_SQRT_REL));
+        if w.hi < 0.0 {
+            Dd::ZERO
+        } else {
+            w
+        }
+    }
+
+    #[inline]
+    fn widen_up(self, e: f64) -> Dd {
+        self + Dd::from(e)
+    }
+
+    #[inline]
+    fn widen_down(self, e: f64) -> Dd {
+        self - Dd::from(e)
+    }
+}
+
+impl From<f64> for Dd {
+    #[inline]
+    fn from(x: f64) -> Dd {
+        Dd { hi: x, lo: 0.0 }
+    }
+}
+
+impl From<Dd> for f64 {
+    #[inline]
+    fn from(x: Dd) -> f64 {
+        x.hi
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    #[inline]
+    fn neg(self) -> Dd {
+        Dd { hi: -self.hi, lo: -self.lo }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    /// Accurate double-double addition (Knuth-style, 20 flops).
+    #[inline]
+    fn add(self, rhs: Dd) -> Dd {
+        let (sh, se) = two_sum(self.hi, rhs.hi);
+        let (th, te) = two_sum(self.lo, rhs.lo);
+        let c = se + th;
+        let (vh, ve) = quick_two_sum(sh, c);
+        let w = te + ve;
+        let (hi, lo) = quick_two_sum(vh, w);
+        Dd { hi, lo }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    #[inline]
+    fn sub(self, rhs: Dd) -> Dd {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    /// FMA-based double-double multiplication.
+    #[inline]
+    fn mul(self, rhs: Dd) -> Dd {
+        let (ph, pe) = two_prod(self.hi, rhs.hi);
+        let t = self.hi.mul_add(rhs.lo, self.lo * rhs.hi);
+        let e = pe + t;
+        let (hi, lo) = quick_two_sum(ph, e);
+        Dd { hi, lo }
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    /// Long-division style double-double division.
+    #[inline]
+    fn div(self, rhs: Dd) -> Dd {
+        let q1 = self.hi / rhs.hi;
+        if !q1.is_finite() {
+            return Dd { hi: q1, lo: 0.0 };
+        }
+        let r = self - rhs * Dd::from(q1);
+        let q2 = r.hi / rhs.hi;
+        let r2 = r - rhs * Dd::from(q2);
+        let q3 = r2.hi / rhs.hi;
+        let (hi, lo) = quick_two_sum(q1, q2);
+        Dd::from_sum(hi, lo + q3)
+    }
+}
+
+impl PartialOrd for Dd {
+    #[inline]
+    fn partial_cmp(&self, other: &Dd) -> Option<Ordering> {
+        match self.hi.partial_cmp(&other.hi) {
+            Some(Ordering::Equal) => self.lo.partial_cmp(&other.lo),
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for Dd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Show enough digits that distinct dd values print distinctly.
+        write!(f, "{:.17e}{:+.17e}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sum_and_product() {
+        let s = Dd::from_two_sum(0.1, 0.2);
+        assert_eq!(s.hi(), 0.1 + 0.2);
+        assert_ne!(s.lo(), 0.0);
+        let p = Dd::from_two_prod(0.1, 0.1);
+        assert_eq!(p.hi(), 0.1 * 0.1);
+        assert_ne!(p.lo(), 0.0);
+    }
+
+    #[test]
+    fn addition_is_much_more_accurate_than_f64() {
+        // Sum 1 + 2^-60 + ... stays exact in dd, lost in f64.
+        let tiny = 2.0f64.powi(-60);
+        let x = Dd::from(1.0) + Dd::from(tiny);
+        assert_eq!(x.hi(), 1.0);
+        assert_eq!(x.lo(), tiny);
+        let y = x - Dd::from(1.0);
+        assert_eq!(y.hi(), tiny);
+    }
+
+    #[test]
+    fn one_third_round_trip() {
+        let third = Dd::ONE / Dd::from(3.0);
+        let err = (third * Dd::from(3.0) - Dd::ONE).abs();
+        assert!(err.hi() < 1e-31, "err = {}", err.hi());
+    }
+
+    #[test]
+    fn sqrt_two_squared() {
+        let r = Dd::from(2.0).sqrt();
+        let err = (r * r - Dd::from(2.0)).abs();
+        assert!(err.hi() < 1e-30, "err = {}", err.hi());
+    }
+
+    #[test]
+    fn sqrt_edge_cases() {
+        assert_eq!(Dd::ZERO.sqrt(), Dd::ZERO);
+        assert!(Dd::from(-1.0).sqrt().is_nan());
+        let exact = Dd::from(4.0).sqrt();
+        assert_eq!(exact.hi(), 2.0);
+        assert_eq!(exact.lo(), 0.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Dd::from(1.0) < Dd::from(2.0));
+        let a = Dd::from_two_sum(1.0, 1e-30);
+        assert!(Dd::from(1.0) < a);
+        assert!(a < Dd::from(1.0).add_ru(Dd::from(1e-20)));
+    }
+
+    #[test]
+    fn widened_ops_bracket_plain_ops() {
+        let a = Dd::ONE / Dd::from(3.0);
+        let b = Dd::ONE / Dd::from(7.0);
+        assert!(a.add_rd(b) <= a + b);
+        assert!(a + b <= a.add_ru(b));
+        assert!(a.mul_rd(b) <= a * b);
+        assert!(a * b <= a.mul_ru(b));
+        assert!(a.div_rd(b) <= a / b);
+        assert!(a / b <= a.div_ru(b));
+        assert!(a.sqrt_rd() <= a.sqrt());
+        assert!(a.sqrt() <= a.sqrt_ru());
+    }
+
+    #[test]
+    fn widened_ops_strictly_widen_inexact_results() {
+        let a = Dd::ONE / Dd::from(3.0);
+        let b = Dd::ONE / Dd::from(7.0);
+        assert!(a.mul_rd(b) < a.mul_ru(b));
+    }
+
+    #[test]
+    fn err_bound_positive_and_monotone() {
+        let x = Dd::from(1.0);
+        let e = x.err_bound(DD_ADD_REL);
+        assert!(e > 0.0);
+        let big = Dd::from(1e100);
+        assert!(big.err_bound(DD_ADD_REL) > e);
+        assert_eq!(Dd::from(f64::INFINITY).err_bound(DD_ADD_REL), f64::INFINITY);
+    }
+
+    #[test]
+    fn division_by_zero_gives_infinity() {
+        let q = Dd::ONE / Dd::ZERO;
+        assert!(q.hi().is_infinite());
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let a = Dd::from_two_sum(-1.0, -1e-20);
+        assert_eq!(a.abs(), -a);
+        assert_eq!(a.abs().hi(), 1.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let s = format!("{}", Dd::from(1.5));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn scale_pow2_exact() {
+        let a = Dd::ONE / Dd::from(3.0);
+        let b = a.scale_pow2(4);
+        let err = (b - a * Dd::from(16.0)).abs();
+        assert_eq!(err.hi(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # safegen-fpcore
+//!
+//! Sound floating-point primitives underpinning the SafeGen-rs workspace:
+//!
+//! * [`round`] — directed rounding (`RU`, round towards `+∞`; `RD`, round
+//!   towards `−∞`) implemented portably with *error-free transformations*
+//!   (EFTs) instead of FPU rounding-mode switches. Every interval and affine
+//!   operation in the upper crates bottoms out here.
+//! * [`eft`] — the underlying error-free transformations (TwoSum, FMA-based
+//!   TwoProd) that recover the exact rounding error of a `+`, `*`, `/` or
+//!   `sqrt` performed in round-to-nearest.
+//! * [`dd`] — double-double ("dd") arithmetic: an unevaluated sum of two
+//!   `f64` giving ≈106 bits of significand, used for the `dda` affine type
+//!   and the `IGen-dd` interval baseline, as well as for high-precision
+//!   reference results in tests.
+//! * [`metrics`] — the accuracy metric of the paper (Sec. VII, eq. 11–12):
+//!   `err(â)` is the base-2 logarithm of the number of `f64` values inside
+//!   the result range and `acc(â) = p − err(â)` is the number of certified
+//!   bits.
+//!
+//! ## Example
+//!
+//! ```
+//! use safegen_fpcore::round::{add_ru, add_rd};
+//!
+//! let lo = add_rd(0.1, 0.2);
+//! let hi = add_ru(0.1, 0.2);
+//! assert!(lo <= 0.1 + 0.2 && 0.1 + 0.2 <= hi);
+//! assert!(lo < hi); // 0.1 + 0.2 is inexact, so the bounds differ
+//! ```
+
+pub mod dd;
+pub mod eft;
+pub mod metrics;
+pub mod round;
+
+pub use dd::Dd;
+pub use metrics::{acc_bits, count_floats, err_bits, F64_MANTISSA_BITS};

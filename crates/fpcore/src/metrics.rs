@@ -1,0 +1,229 @@
+//! Accuracy metrics of the paper (Sec. VII, eq. 11–12).
+//!
+//! The error of a sound result range `[lo, hi]` is measured as the base-2
+//! logarithm of the number of `f64` values inside the range:
+//!
+//! ```text
+//! err = log2 |{ x ∈ F : lo ≤ x ≤ hi }|
+//! acc = p − err          (p = 53 mantissa bits for f64)
+//! ```
+//!
+//! `acc` is the number of *certified* most-significant mantissa bits shared
+//! by the exact result and any floating-point value inside the range.
+
+/// Mantissa bits of `f64` (including the implicit leading bit).
+pub const F64_MANTISSA_BITS: u32 = 53;
+/// Mantissa bits of `f32` (including the implicit leading bit).
+pub const F32_MANTISSA_BITS: u32 = 24;
+/// Effective mantissa bits of double-double precision.
+pub const DD_MANTISSA_BITS: u32 = 106;
+
+/// Maps an `f64` to an `i64` such that the map is strictly monotone on
+/// non-NaN values and consecutive floats map to consecutive integers
+/// (`-0.0` and `+0.0` both map to 0).
+#[inline]
+pub fn to_ordered(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    if b >= 0 {
+        b
+    } else {
+        i64::MIN.wrapping_sub(b)
+    }
+}
+
+/// Number of `f64` values in the closed range `[lo, hi]`, saturating at
+/// `u64::MAX` when an endpoint is infinite (the paper's "no bits certified").
+///
+/// Returns 0 if `lo > hi` or either endpoint is NaN.
+///
+/// ```
+/// use safegen_fpcore::count_floats;
+/// assert_eq!(count_floats(1.0, 1.0), 1);
+/// assert_eq!(count_floats(1.0, 1.0f64.next_up()), 2);
+/// ```
+#[inline]
+pub fn count_floats(lo: f64, hi: f64) -> u64 {
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return 0;
+    }
+    if lo.is_infinite() || hi.is_infinite() {
+        return u64::MAX;
+    }
+    (to_ordered(hi) - to_ordered(lo)) as u64 + 1
+}
+
+/// `err([lo, hi])`: base-2 logarithm of the number of floats in the range
+/// (paper eq. 11). `+∞` when the range is unbounded or contains NaN.
+pub fn err_bits(lo: f64, hi: f64) -> f64 {
+    if lo.is_nan() || hi.is_nan() {
+        return f64::INFINITY;
+    }
+    let n = count_floats(lo, hi);
+    if n == u64::MAX {
+        f64::INFINITY
+    } else if n == 0 {
+        // Empty range: a (vacuously) perfect certificate; callers never
+        // produce this for sound results.
+        0.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+/// `acc([lo, hi]) = p − err` (paper eq. 12): certified bits for a result
+/// range at precision `p` mantissa bits. `−∞` when nothing is certified
+/// because the range is unbounded.
+///
+/// The value may legitimately be negative (the range spans several binades);
+/// display code typically clamps at 0 "certified" bits.
+///
+/// ```
+/// use safegen_fpcore::{acc_bits, F64_MANTISSA_BITS};
+/// // A point range certifies all 53 bits.
+/// assert_eq!(acc_bits(2.0, 2.0, F64_MANTISSA_BITS), 53.0);
+/// ```
+pub fn acc_bits(lo: f64, hi: f64, p: u32) -> f64 {
+    p as f64 - err_bits(lo, hi)
+}
+
+/// The unit in the last place of `x`: the gap between `|x|` and the next
+/// float away from zero. Used to build the 1-ulp error symbols for constants
+/// and benchmark inputs.
+///
+/// ```
+/// use safegen_fpcore::metrics::ulp;
+/// assert_eq!(ulp(1.0), f64::EPSILON);
+/// ```
+#[inline]
+pub fn ulp(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    let a = x.abs();
+    a.next_up() - a
+}
+
+/// Number of floats strictly between `a` and `b` plus one — the "ulp
+/// distance" used in tests to compare against reference results.
+#[inline]
+pub fn ulps_between(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    (to_ordered(a) - to_ordered(b)).unsigned_abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_is_monotone_across_zero() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                to_ordered(w[0]) <= to_ordered(w[1]),
+                "not monotone at {:?}",
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_consecutive_floats_are_adjacent() {
+        for &x in &[1.0f64, -1.0, 0.0, 1e-300, -1e300, f64::MIN_POSITIVE] {
+            assert_eq!(to_ordered(x.next_up()) - to_ordered(x), 1, "at {x}");
+        }
+    }
+
+    #[test]
+    fn count_point_range() {
+        assert_eq!(count_floats(std::f64::consts::PI, std::f64::consts::PI), 1);
+    }
+
+    #[test]
+    fn count_across_zero() {
+        // [-tiny, +tiny] = tiny, 0, -tiny → but -0/+0 collapse:
+        let t = f64::MIN_POSITIVE * f64::EPSILON; // smallest subnormal
+        assert_eq!(count_floats(-t, t), 3);
+    }
+
+    #[test]
+    fn count_unbounded_saturates() {
+        assert_eq!(count_floats(f64::NEG_INFINITY, 0.0), u64::MAX);
+        assert_eq!(count_floats(0.0, f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn count_invalid_ranges() {
+        assert_eq!(count_floats(2.0, 1.0), 0);
+        assert_eq!(count_floats(f64::NAN, 1.0), 0);
+    }
+
+    #[test]
+    fn err_and_acc_point() {
+        assert_eq!(err_bits(1.0, 1.0), 0.0);
+        assert_eq!(acc_bits(1.0, 1.0, F64_MANTISSA_BITS), 53.0);
+    }
+
+    #[test]
+    fn err_one_ulp_range() {
+        // Two floats in range → err = 1 bit → 52 bits certified.
+        let hi = 1.0f64.next_up();
+        assert_eq!(err_bits(1.0, hi), 1.0);
+        assert_eq!(acc_bits(1.0, hi, F64_MANTISSA_BITS), 52.0);
+    }
+
+    #[test]
+    fn err_unbounded_is_infinite() {
+        assert_eq!(err_bits(f64::NEG_INFINITY, f64::INFINITY), f64::INFINITY);
+        assert_eq!(
+            acc_bits(f64::NEG_INFINITY, f64::INFINITY, F64_MANTISSA_BITS),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn acc_matches_intuition_for_wide_range() {
+        // Range of ~2^40 ulps around 1.0 → about 13 bits certified.
+        let lo = 1.0;
+        let mut hi = 1.0f64;
+        for _ in 0..8 {
+            hi += ulp(hi) * 2.0f64.powi(37) / 8.0;
+        }
+        let acc = acc_bits(lo, hi, F64_MANTISSA_BITS);
+        assert!(acc > 10.0 && acc < 20.0, "acc = {acc}");
+    }
+
+    #[test]
+    fn ulp_values() {
+        assert_eq!(ulp(1.0), f64::EPSILON);
+        assert_eq!(ulp(-1.0), f64::EPSILON);
+        assert_eq!(ulp(2.0), 2.0 * f64::EPSILON);
+        assert_eq!(ulp(0.0), f64::MIN_POSITIVE * f64::EPSILON);
+        assert!(ulp(f64::NAN).is_nan());
+        assert_eq!(ulp(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn ulps_between_symmetric() {
+        assert_eq!(ulps_between(1.0, 1.0f64.next_up()), 1);
+        assert_eq!(ulps_between(1.0f64.next_up(), 1.0), 1);
+        assert_eq!(ulps_between(1.0, 1.0), 0);
+        assert_eq!(ulps_between(-0.0, 0.0), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the directed-rounding and double-double layers.
+//!
+//! The central soundness invariant of the whole workspace is established
+//! here: for every operation, `RD(result) ≤ exact ≤ RU(result)`, where the
+//! exact value is recovered via error-free transformations or double-double
+//! reference arithmetic.
+
+use proptest::prelude::*;
+use safegen_fpcore::dd::Dd;
+use safegen_fpcore::metrics::{count_floats, to_ordered, ulp, ulps_between};
+use safegen_fpcore::round::*;
+
+/// Finite, not-absurdly-scaled doubles: the range the benchmarks live in,
+/// plus several orders of magnitude of margin in both directions.
+fn moderate_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e150f64..1e150f64,
+        -1.0f64..1.0f64,
+        Just(0.0),
+        Just(-0.0),
+        Just(1.0),
+        Just(-1.0),
+        Just(f64::MIN_POSITIVE),
+        Just(-f64::MIN_POSITIVE),
+    ]
+}
+
+/// Any finite double, including subnormals and huge values.
+fn any_finite_f64() -> impl Strategy<Value = f64> {
+    any::<f64>().prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn add_brackets_exact(a in any_finite_f64(), b in any_finite_f64()) {
+        let exact = Dd::from_two_sum(a, b);
+        let lo = add_rd(a, b);
+        let hi = add_ru(a, b);
+        prop_assert!(lo <= hi);
+        if exact.is_finite() {
+            prop_assert!(Dd::from(lo) <= exact, "lo={lo} exact={exact}");
+            prop_assert!(exact <= Dd::from(hi), "hi={hi} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn add_bounds_are_tight(a in moderate_f64(), b in moderate_f64()) {
+        // RU and RD are at most one ulp above/below the RN result.
+        let s = a + b;
+        if s.is_finite() {
+            prop_assert!(add_ru(a, b) <= s.next_up());
+            prop_assert!(add_rd(a, b) >= s.next_down());
+        }
+    }
+
+    #[test]
+    fn mul_brackets_exact(a in moderate_f64(), b in moderate_f64()) {
+        let exact = Dd::from_two_prod(a, b);
+        let lo = mul_rd(a, b);
+        let hi = mul_ru(a, b);
+        prop_assert!(lo <= hi);
+        if exact.is_finite() && (a * b).abs() > 1e-280 {
+            prop_assert!(Dd::from(lo) <= exact);
+            prop_assert!(exact <= Dd::from(hi));
+        } else if (a * b).is_finite() {
+            // Deep-underflow products: only check the one-ulp bracket around
+            // round-to-nearest, which dominates the true error there.
+            prop_assert!(lo <= a * b && a * b <= hi);
+        }
+    }
+
+    #[test]
+    fn div_brackets_quotient(a in moderate_f64(), b in moderate_f64()) {
+        prop_assume!(b != 0.0);
+        let q = a / b;
+        prop_assume!(q.is_finite());
+        let lo = div_rd(a, b);
+        let hi = div_ru(a, b);
+        prop_assert!(lo <= q && q <= hi);
+        // Verify via residual: lo*b <= a <= hi*b (sign of b fixed).
+        if q.abs() > 1e-280 && q.abs() < 1e280 {
+            let exact_num = Dd::from(a);
+            let lo_back = Dd::from_two_prod(lo, b);
+            let hi_back = Dd::from_two_prod(hi, b);
+            if b > 0.0 {
+                prop_assert!(lo_back <= exact_num && exact_num <= hi_back);
+            } else {
+                prop_assert!(hi_back <= exact_num && exact_num <= lo_back);
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_brackets_exact(a in 0.0f64..1e300) {
+        let lo = sqrt_rd(a);
+        let hi = sqrt_ru(a);
+        prop_assert!(lo <= hi);
+        prop_assert!(Dd::from_two_prod(lo, lo) <= Dd::from(a));
+        prop_assert!(Dd::from(a) <= Dd::from_two_prod(hi, hi));
+    }
+
+    #[test]
+    fn rd_is_neg_ru_of_neg(a in any_finite_f64(), b in any_finite_f64()) {
+        prop_assert_eq!(add_rd(a, b), -add_ru(-a, -b));
+        prop_assert_eq!(mul_rd(a, b), -mul_ru(-a, b));
+    }
+
+    #[test]
+    fn with_err_covers_exact_sum(a in any_finite_f64(), b in any_finite_f64()) {
+        let (s, e) = add_with_err(a, b);
+        let exact = Dd::from_two_sum(a, b);
+        if s.is_finite() && exact.is_finite() {
+            prop_assert!(Dd::from(s) - Dd::from(e) <= exact);
+            prop_assert!(exact <= Dd::from(s) + Dd::from(e));
+        }
+    }
+
+    #[test]
+    fn with_err_covers_exact_product(a in moderate_f64(), b in moderate_f64()) {
+        let (p, e) = mul_with_err(a, b);
+        let exact = Dd::from_two_prod(a, b);
+        if p.is_finite() && exact.is_finite() && (p == 0.0 || p.abs() > 1e-280) {
+            prop_assert!(Dd::from(p) - Dd::from(e) <= exact);
+            prop_assert!(exact <= Dd::from(p) + Dd::from(e));
+        }
+    }
+
+    #[test]
+    fn with_err_covers_exact_quotient(a in moderate_f64(), b in moderate_f64()) {
+        prop_assume!(b != 0.0);
+        let (q, e) = div_with_err(a, b);
+        prop_assume!(q.is_finite() && q != 0.0 && q.abs() > 1e-280 && q.abs() < 1e280);
+        // exact = q + r/b with r recovered exactly
+        let r = safegen_fpcore::eft::div_residual(a, b, q);
+        prop_assert!((r / b).abs() <= e, "residual {} > err {}", (r / b).abs(), e);
+    }
+
+    #[test]
+    fn dd_add_consistent_with_f64(a in moderate_f64(), b in moderate_f64()) {
+        let s = Dd::from(a) + Dd::from(b);
+        prop_assume!(s.is_finite());
+        // dd addition of two f64s is exact
+        prop_assert_eq!(s, Dd::from_two_sum(a, b));
+    }
+
+    #[test]
+    fn dd_mul_matches_two_prod(a in moderate_f64(), b in moderate_f64()) {
+        prop_assume!((a * b).is_finite() && (a * b).abs() > 1e-280);
+        let p = Dd::from(a) * Dd::from(b);
+        prop_assert_eq!(p, Dd::from_two_prod(a, b));
+    }
+
+    #[test]
+    fn dd_div_high_accuracy(a in 1e-100f64..1e100, b in 1e-100f64..1e100) {
+        let q = Dd::from(a) / Dd::from(b);
+        // Residual a - q*b relative to a should be ~1e-32 at most.
+        let back = q * Dd::from(b);
+        let rel = ((back - Dd::from(a)).abs() / Dd::from(a)).hi();
+        prop_assert!(rel < 1e-29, "rel = {rel}");
+    }
+
+    #[test]
+    fn dd_widened_ops_bracket(a in 1e-100f64..1e100, b in 1e-100f64..1e100) {
+        let (x, y) = (Dd::from(a), Dd::from(b));
+        prop_assert!(x.add_rd(y) <= x + y && x + y <= x.add_ru(y));
+        prop_assert!(x.mul_rd(y) <= x * y && x * y <= x.mul_ru(y));
+        prop_assert!(x.div_rd(y) <= x / y && x / y <= x.div_ru(y));
+    }
+
+    #[test]
+    fn ordered_map_monotone(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        if a < b {
+            prop_assert!(to_ordered(a) <= to_ordered(b));
+        }
+        if a == b {
+            prop_assert_eq!(to_ordered(a), to_ordered(b));
+        }
+    }
+
+    #[test]
+    fn count_floats_shrinks_with_range(lo in moderate_f64(), w in 0u8..100) {
+        prop_assume!(lo.is_finite());
+        let mut hi = lo;
+        for _ in 0..w {
+            hi = hi.next_up();
+        }
+        prop_assume!(hi.is_finite());
+        prop_assert_eq!(count_floats(lo, hi), w as u64 + 1);
+    }
+
+    #[test]
+    fn ulp_is_positive_gap(x in moderate_f64()) {
+        prop_assume!(x.is_finite());
+        let u = ulp(x);
+        prop_assert!(u > 0.0);
+        prop_assert_eq!(ulps_between(x.abs(), x.abs() + u), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # safegen-interval
+//!
+//! Sound interval arithmetic (IA) — the substrate of the IGen baseline the
+//! paper compares against (Sec. II-A, II-C, VII-B).
+//!
+//! An interval `[lo, hi]` represents every real number between its bounds;
+//! every operation rounds the lower endpoint towards `−∞` and the upper
+//! endpoint towards `+∞` (via [`safegen_fpcore::round`]), so the exact real
+//! result of a computation is always contained in the result interval.
+//!
+//! Two precisions are provided, matching IGen's `f64` and double-double
+//! output modes:
+//!
+//! * [`IntervalF64`] — endpoints are `f64` (IGen-f64).
+//! * [`IntervalDd`] — endpoints are [`Dd`] double-doubles (IGen-dd).
+//!
+//! IA is cheap but suffers from the *dependency problem*: it cannot track
+//! correlations, so `x - x` over `[0,1]` yields `[-1,1]`, not `0`. Affine
+//! arithmetic (crate `safegen-affine`) exists to fix exactly this.
+//!
+//! ```
+//! use safegen_interval::IntervalF64;
+//!
+//! let x = IntervalF64::new(0.0, 1.0);
+//! let d = x - x; // the dependency problem: IA cannot see the correlation
+//! assert_eq!(d.lo(), -1.0);
+//! assert_eq!(d.hi(), 1.0);
+//! ```
+
+mod dd_interval;
+mod f64_interval;
+
+pub use dd_interval::IntervalDd;
+pub use f64_interval::IntervalF64;
+
+pub use safegen_fpcore::Dd;

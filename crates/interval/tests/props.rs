@@ -1,0 +1,137 @@
+//! Property tests: interval arithmetic soundness against double-double
+//! reference computations, and structural invariants (inclusion isotonicity,
+//! widths never negative).
+
+use proptest::prelude::*;
+use safegen_fpcore::Dd;
+use safegen_interval::{IntervalDd, IntervalF64};
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![-1e6f64..1e6f64, -1.0f64..1.0f64, Just(0.0), Just(1.0), Just(-1.0)]
+}
+
+/// An interval around a base point with a small width.
+fn interval() -> impl Strategy<Value = IntervalF64> {
+    (small_f64(), 0.0f64..1e-3).prop_map(|(c, w)| IntervalF64::new(c - w, c + w))
+}
+
+proptest! {
+    #[test]
+    fn add_contains_exact(a in interval(), b in interval(), ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+        // Pick arbitrary representatives inside each operand.
+        let x = a.lo() + ta * (a.hi() - a.lo());
+        let y = b.lo() + tb * (b.hi() - b.lo());
+        let exact = Dd::from_two_sum(x, y);
+        let s = a + b;
+        prop_assert!(Dd::from(s.lo()) <= exact && exact <= Dd::from(s.hi()));
+    }
+
+    #[test]
+    fn mul_contains_exact(a in interval(), b in interval(), ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+        let x = a.lo() + ta * (a.hi() - a.lo());
+        let y = b.lo() + tb * (b.hi() - b.lo());
+        let exact = Dd::from_two_prod(x, y);
+        let p = a * b;
+        prop_assert!(Dd::from(p.lo()) <= exact && exact <= Dd::from(p.hi()),
+            "{x}*{y} = {exact} outside {p}");
+    }
+
+    #[test]
+    fn div_contains_quotient(a in interval(), b in interval(), ta in 0.0f64..1.0) {
+        prop_assume!(!b.contains(0.0));
+        let x = a.lo() + ta * (a.hi() - a.lo());
+        let q = a / b;
+        // q must contain x / y for the endpoints y = b.lo and b.hi.
+        for y in [b.lo(), b.hi()] {
+            let approx = x / y;
+            prop_assert!(q.lo() <= approx && approx <= q.hi());
+        }
+    }
+
+    #[test]
+    fn sub_self_contains_zero(a in interval()) {
+        let d = a - a;
+        prop_assert!(d.contains(0.0));
+    }
+
+    #[test]
+    fn sqrt_contains_exact(c in 0.0f64..1e6, w in 0.0f64..1e-3) {
+        let a = IntervalF64::new(c, c + w);
+        let r = a.sqrt();
+        let s = c.sqrt();
+        prop_assert!(r.lo() <= s && s <= r.hi());
+    }
+
+    #[test]
+    fn inclusion_isotonicity_add(a in interval(), b in interval(), shrink in 0.0f64..0.5) {
+        // a' ⊆ a, b' ⊆ b  ⇒  a'+b' ⊆ a+b
+        let a2 = IntervalF64::new(
+            a.lo() + shrink * (a.hi() - a.lo()),
+            a.hi() - shrink * (a.hi() - a.lo()),
+        );
+        let b2 = IntervalF64::new(
+            b.lo() + shrink * (b.hi() - b.lo()),
+            b.hi() - shrink * (b.hi() - b.lo()),
+        );
+        prop_assert!((a + b).encloses(a2 + b2));
+    }
+
+    #[test]
+    fn inclusion_isotonicity_mul(a in interval(), b in interval(), shrink in 0.0f64..0.5) {
+        let a2 = IntervalF64::new(
+            a.lo() + shrink * (a.hi() - a.lo()),
+            a.hi() - shrink * (a.hi() - a.lo()),
+        );
+        let b2 = IntervalF64::new(
+            b.lo() + shrink * (b.hi() - b.lo()),
+            b.hi() - shrink * (b.hi() - b.lo()),
+        );
+        prop_assert!((a * b).encloses(a2 * b2));
+    }
+
+    #[test]
+    fn widths_nonnegative(a in interval(), b in interval()) {
+        for r in [a + b, a - b, a * b] {
+            prop_assert!(r.lo() <= r.hi());
+            prop_assert!(r.width() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn neg_involution(a in interval()) {
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn dd_interval_add_contains(x in small_f64(), y in small_f64()) {
+        let a = IntervalDd::point(Dd::from(x));
+        let b = IntervalDd::point(Dd::from(y));
+        let s = a + b;
+        let exact = Dd::from_two_sum(x, y);
+        prop_assert!(s.lo() <= exact && exact <= s.hi());
+    }
+
+    #[test]
+    fn dd_interval_mul_contains(x in -1e3f64..1e3, y in -1e3f64..1e3) {
+        let a = IntervalDd::point(Dd::from(x));
+        let b = IntervalDd::point(Dd::from(y));
+        let p = a * b;
+        let exact = Dd::from_two_prod(x, y);
+        prop_assert!(p.lo() <= exact && exact <= p.hi());
+    }
+
+    #[test]
+    fn dd_tighter_than_f64(x in 0.001f64..1e3, y in 0.001f64..1e3) {
+        // Long chains: dd interval grows slower than f64 interval.
+        let mut a64 = IntervalF64::constant(x);
+        let mut add = IntervalDd::constant(x);
+        let b64 = IntervalF64::constant(y);
+        let bdd = IntervalDd::constant(y);
+        for _ in 0..8 {
+            a64 = a64 * b64 + b64;
+            add = add * bdd + bdd;
+        }
+        prop_assume!(a64.width().is_finite());
+        prop_assert!(add.width_f64() <= a64.width() * 1.0000001);
+    }
+}

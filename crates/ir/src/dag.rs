@@ -1,0 +1,618 @@
+//! Computation DAG construction (paper Sec. VI-C, "DAG construction").
+//!
+//! Walks a TAC-form function and produces the directed acyclic graph whose
+//! nodes are floating-point operations (the source nodes are input
+//! variables) and whose edges are data dependencies. Loop bodies are
+//! traversed **once** and loop-carried dependencies are dropped, matching
+//! the paper's analysis; conditional branches contribute both arms.
+//!
+//! Array elements with constant indices are tracked individually; a store
+//! through a non-constant index conservatively retargets the whole array
+//! (subsequent loads of any element of that array see that store).
+
+use safegen_cfront::{BinOp, Expr, Function, Sema, Span, Stmt, Ty, UnOp};
+use std::collections::HashMap;
+
+/// Index of a node in the DAG.
+pub type NodeId = usize;
+
+/// Kinds of DAG nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// A source node: an input variable (parameter or element thereof).
+    Input(String),
+    /// A floating-point constant.
+    Const(f64),
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Negation.
+    Neg,
+    /// `sqrt`.
+    Sqrt,
+    /// `fabs`.
+    Abs,
+    /// `fmin`.
+    Min,
+    /// `fmax`.
+    Max,
+    /// Precision cast.
+    Cast,
+}
+
+impl NodeKind {
+    /// True for source (input) nodes.
+    pub fn is_input(&self) -> bool {
+        matches!(self, NodeKind::Input(_))
+    }
+}
+
+/// One node of the computation DAG.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The operation (or input) this node represents.
+    pub kind: NodeKind,
+    /// Operand nodes (empty for inputs and constants).
+    pub args: Vec<NodeId>,
+    /// Source location of the operation — the hook for pragma insertion.
+    pub span: Span,
+    /// The variable the TAC line assigns to, if any (`_t3`, `x`, …).
+    pub var: Option<String>,
+}
+
+/// The computation DAG of one function.
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    nodes: Vec<Node>,
+}
+
+impl Dag {
+    /// All nodes, indexed by [`NodeId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes (inputs + operations).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of operation (non-source) nodes.
+    pub fn op_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.kind.is_input() && !matches!(n.kind, NodeKind::Const(_))).count()
+    }
+
+    /// Number of input (source) nodes.
+    pub fn input_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_input()).count()
+    }
+
+    /// The parents (operand nodes) of `id`.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id].args
+    }
+
+    /// Children lists: `children[v]` = nodes having `v` as an operand.
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch = vec![Vec::new(); self.nodes.len()];
+        for (id, n) in self.nodes.iter().enumerate() {
+            for &a in &n.args {
+                if !ch[a].contains(&id) {
+                    ch[a].push(id);
+                }
+            }
+        }
+        ch
+    }
+
+    /// For every node, the number of its ancestors **including itself** —
+    /// the paper's reuse profit `ρ(s)` (Definition 3).
+    ///
+    /// Computed with bitsets; nodes are already in topological order
+    /// (construction order).
+    pub fn ancestor_counts(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let words = n.div_ceil(64);
+        let mut sets: Vec<Vec<u64>> = Vec::with_capacity(n);
+        let mut counts = vec![0usize; n];
+        for id in 0..n {
+            let mut set = vec![0u64; words];
+            set[id / 64] |= 1 << (id % 64);
+            // Clone arg sets out to appease the borrow checker cheaply.
+            for &a in &self.nodes[id].args {
+                debug_assert!(a < id, "args must precede the node (topological order)");
+                let (before, _) = sets.split_at(id.min(sets.len()));
+                let aset = &before[a];
+                for (w, &aw) in set.iter_mut().zip(aset.iter()) {
+                    *w |= aw;
+                }
+            }
+            counts[id] = set.iter().map(|w| w.count_ones() as usize).sum();
+            sets.push(set);
+        }
+        counts
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+}
+
+/// Storage location key for dependence tracking.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Loc {
+    Scalar(String),
+    /// Array element with constant flat index. (Non-constant accesses are
+    /// tracked through `Builder::smeared` instead.)
+    Elem(String, Vec<i64>),
+}
+
+struct Builder<'a> {
+    dag: Dag,
+    sema: &'a Sema,
+    func: &'a str,
+    /// Last definition of each tracked location.
+    defs: HashMap<Loc, NodeId>,
+    /// Arrays that have been "smeared" by a non-constant store.
+    smeared: HashMap<String, NodeId>,
+    /// Known constant values of integer variables (loop unrolling is not
+    /// performed; indices inside loop bodies are simply non-constant).
+    int_env: HashMap<String, i64>,
+}
+
+/// Builds the computation DAG of a TAC-form function.
+///
+/// The function should be in TAC form (see [`crate::to_tac`]); non-TAC
+/// inputs still work, but node-to-line mapping degrades.
+pub fn build_dag(f: &Function, sema: &Sema) -> Dag {
+    let mut b = Builder {
+        dag: Dag::default(),
+        sema,
+        func: &f.name,
+        defs: HashMap::new(),
+        smeared: HashMap::new(),
+        int_env: HashMap::new(),
+    };
+    // Source nodes for floating-point parameters.
+    for p in &f.params {
+        if p.ty.is_float() && p.ty.rank() == 0 {
+            let id = b.dag.push(Node {
+                kind: NodeKind::Input(p.name.clone()),
+                args: vec![],
+                span: p.span,
+                var: Some(p.name.clone()),
+            });
+            b.defs.insert(Loc::Scalar(p.name.clone()), id);
+        } else if p.ty.is_float() {
+            // Arrays/pointers: one source node per array (element-wise
+            // sources appear lazily on first constant-index read).
+            let id = b.dag.push(Node {
+                kind: NodeKind::Input(p.name.clone()),
+                args: vec![],
+                span: p.span,
+                var: Some(p.name.clone()),
+            });
+            b.smeared.insert(p.name.clone(), id);
+        }
+    }
+    b.block(&f.body);
+    b.dag
+}
+
+impl Builder<'_> {
+    fn block(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { ty, name, init, .. } => {
+                if ty == &Ty::Int {
+                    if let Some(v) = init.as_ref().and_then(|e| self.eval_int(e)) {
+                        self.int_env.insert(name.clone(), v);
+                    } else {
+                        self.int_env.remove(name);
+                    }
+                    return;
+                }
+                if let Some(e) = init {
+                    if ty.is_float() && ty.rank() == 0 {
+                        let id = self.expr(e, Some(name.clone()));
+                        self.defs.insert(Loc::Scalar(name.clone()), id);
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, span, .. } => {
+                let lty = self.sema.type_of(self.func, lhs);
+                if lty == Ty::Int {
+                    if let Expr::Ident { name, .. } = lhs {
+                        match self.eval_int(rhs) {
+                            Some(v) => {
+                                self.int_env.insert(name.clone(), v);
+                            }
+                            None => {
+                                self.int_env.remove(name);
+                            }
+                        }
+                    }
+                    return;
+                }
+                let var_name = match lhs {
+                    Expr::Ident { name, .. } => Some(name.clone()),
+                    _ => None,
+                };
+                let id = self.expr(rhs, var_name);
+                let _ = span;
+                self.store(lhs, id);
+            }
+            Stmt::If { cond: _, then_body, else_body, .. } => {
+                // Both arms contribute; defs merge by last-writer-wins,
+                // which over-approximates join points (fine for the
+                // analysis, which is advisory).
+                self.block(then_body);
+                self.block(else_body);
+            }
+            Stmt::For { init, cond: _, step, body, .. } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                // Loop indices vary: kill constant knowledge of the
+                // induction variable before walking the body once.
+                if let Some(st) = step {
+                    if let Stmt::Assign { lhs: Expr::Ident { name, .. }, .. } = &**st {
+                        self.int_env.remove(name);
+                    }
+                }
+                self.block(body);
+            }
+            Stmt::While { cond: _, body, .. } => {
+                self.block(body);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    if self.sema.type_of(self.func, e).is_float() {
+                        self.expr(e, None);
+                    }
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                if self.sema.type_of(self.func, expr).is_float() {
+                    self.expr(expr, None);
+                }
+            }
+            Stmt::Pragma { .. } => {}
+            Stmt::Block { body, .. } => self.block(body),
+        }
+    }
+
+    fn store(&mut self, lhs: &Expr, id: NodeId) {
+        match lhs {
+            Expr::Ident { name, .. } => {
+                self.defs.insert(Loc::Scalar(name.clone()), id);
+            }
+            Expr::Index { .. } => {
+                let (base, idxs) = flatten_index(lhs);
+                match idxs.iter().map(|e| self.eval_int(e)).collect::<Option<Vec<_>>>() {
+                    Some(consts) => {
+                        self.defs.insert(Loc::Elem(base, consts), id);
+                    }
+                    None => {
+                        // Non-constant store smears the array.
+                        self.defs.retain(|loc, _| !matches!(loc, Loc::Elem(b, _) if *b == base));
+                        self.smeared.insert(base, id);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn load(&mut self, e: &Expr) -> NodeId {
+        match e {
+            Expr::Ident { name, span } => {
+                if let Some(&id) = self.defs.get(&Loc::Scalar(name.clone())) {
+                    return id;
+                }
+                // First use of an undefined-but-declared scalar: a source.
+                let id = self.dag.push(Node {
+                    kind: NodeKind::Input(name.clone()),
+                    args: vec![],
+                    span: *span,
+                    var: Some(name.clone()),
+                });
+                self.defs.insert(Loc::Scalar(name.clone()), id);
+                id
+            }
+            Expr::Index { span, .. } => {
+                let (base, idxs) = flatten_index(e);
+                if let Some(consts) = idxs.iter().map(|i| self.eval_int(i)).collect::<Option<Vec<_>>>() {
+                    if let Some(&id) = self.defs.get(&Loc::Elem(base.clone(), consts.clone())) {
+                        return id;
+                    }
+                    if let Some(&smear) = self.smeared.get(&base) {
+                        return smear;
+                    }
+                    // Fresh element source.
+                    let name = format!("{base}{consts:?}");
+                    let id = self.dag.push(Node {
+                        kind: NodeKind::Input(name.clone()),
+                        args: vec![],
+                        span: *span,
+                        var: Some(name),
+                    });
+                    self.defs.insert(Loc::Elem(base, consts), id);
+                    return id;
+                }
+                // Non-constant load: depends on the whole array.
+                if let Some(&smear) = self.smeared.get(&base) {
+                    return smear;
+                }
+                let id = self.dag.push(Node {
+                    kind: NodeKind::Input(base.clone()),
+                    args: vec![],
+                    span: *span,
+                    var: Some(base.clone()),
+                });
+                self.smeared.insert(base, id);
+                id
+            }
+            _ => self.expr(e, None),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, var: Option<String>) -> NodeId {
+        match e {
+            Expr::FloatLit { value, span } => self.dag.push(Node {
+                kind: NodeKind::Const(*value),
+                args: vec![],
+                span: *span,
+                var,
+            }),
+            Expr::IntLit { value, span } => self.dag.push(Node {
+                kind: NodeKind::Const(*value as f64),
+                args: vec![],
+                span: *span,
+                var,
+            }),
+            Expr::Ident { .. } | Expr::Index { .. } => {
+                let id = self.load(e);
+                // An aliasing TAC line `x = t;` re-tags the node so pragma
+                // placement can reference it; the node itself is shared.
+                id
+            }
+            Expr::Bin { op, lhs, rhs, span } => {
+                let l = self.load_or_expr(lhs);
+                let r = self.load_or_expr(rhs);
+                let kind = match op {
+                    BinOp::Add => NodeKind::Add,
+                    BinOp::Sub => NodeKind::Sub,
+                    BinOp::Mul => NodeKind::Mul,
+                    BinOp::Div => NodeKind::Div,
+                    // Comparisons inside FP context do not occur in TAC.
+                    _ => NodeKind::Add,
+                };
+                self.dag.push(Node { kind, args: vec![l, r], span: *span, var })
+            }
+            Expr::Un { op: UnOp::Neg, operand, span } => {
+                let a = self.load_or_expr(operand);
+                self.dag.push(Node { kind: NodeKind::Neg, args: vec![a], span: *span, var })
+            }
+            Expr::Un { op: UnOp::Not, operand, span } => {
+                let a = self.load_or_expr(operand);
+                self.dag.push(Node { kind: NodeKind::Cast, args: vec![a], span: *span, var })
+            }
+            Expr::Call { callee, args, span } => {
+                let a: Vec<NodeId> = args.iter().map(|x| self.load_or_expr(x)).collect();
+                let kind = match callee.as_str() {
+                    "sqrt" => NodeKind::Sqrt,
+                    "fabs" => NodeKind::Abs,
+                    "fmin" => NodeKind::Min,
+                    "fmax" => NodeKind::Max,
+                    _ => NodeKind::Cast,
+                };
+                self.dag.push(Node { kind, args: a, span: *span, var })
+            }
+            Expr::Cast { operand, span, .. } => {
+                let a = self.load_or_expr(operand);
+                self.dag.push(Node { kind: NodeKind::Cast, args: vec![a], span: *span, var })
+            }
+        }
+    }
+
+    fn load_or_expr(&mut self, e: &Expr) -> NodeId {
+        match e {
+            Expr::Ident { .. } | Expr::Index { .. } => self.load(e),
+            _ => self.expr(e, None),
+        }
+    }
+
+    fn eval_int(&self, e: &Expr) -> Option<i64> {
+        match e {
+            Expr::IntLit { value, .. } => Some(*value),
+            Expr::Ident { name, .. } => self.int_env.get(name).copied(),
+            Expr::Bin { op, lhs, rhs, .. } => {
+                let l = self.eval_int(lhs)?;
+                let r = self.eval_int(rhs)?;
+                match op {
+                    BinOp::Add => Some(l + r),
+                    BinOp::Sub => Some(l - r),
+                    BinOp::Mul => Some(l * r),
+                    BinOp::Div if r != 0 => Some(l / r),
+                    _ => None,
+                }
+            }
+            Expr::Un { op: UnOp::Neg, operand, .. } => Some(-self.eval_int(operand)?),
+            _ => None,
+        }
+    }
+}
+
+/// Decomposes `a[i][j]` into `("a", [i, j])`.
+fn flatten_index(e: &Expr) -> (String, Vec<&Expr>) {
+    let mut idxs = Vec::new();
+    let mut cur = e;
+    while let Expr::Index { base, index, .. } = cur {
+        idxs.push(&**index);
+        cur = base;
+    }
+    idxs.reverse();
+    let name = match cur {
+        Expr::Ident { name, .. } => name.clone(),
+        _ => "<expr>".to_string(),
+    };
+    (name, idxs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safegen_cfront::{analyze, parse};
+
+    fn dag_of(src: &str) -> Dag {
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let tac = crate::to_tac(&unit, &sema);
+        let sema2 = analyze(&tac).unwrap();
+        build_dag(&tac.functions[0], &sema2)
+    }
+
+    #[test]
+    fn fig4_shape() {
+        // x·z − y·z: 3 inputs, 2 muls, 1 sub; z reused by both muls.
+        let d = dag_of("double f(double x, double y, double z) { return x * z - y * z; }");
+        assert_eq!(d.input_count(), 3);
+        assert_eq!(d.op_count(), 3);
+        let ch = d.children();
+        // z is input node 2 (third param) and must have two children.
+        let z = d
+            .nodes()
+            .iter()
+            .position(|n| matches!(&n.kind, NodeKind::Input(s) if s == "z"))
+            .unwrap();
+        assert_eq!(ch[z].len(), 2);
+    }
+
+    #[test]
+    fn ancestor_counts_match_fig4() {
+        let d = dag_of("double f(double x, double y, double z) { return x * z - y * z; }");
+        let counts = d.ancestor_counts();
+        // Inputs have count 1; muls have 3 (two inputs + self);
+        // the sub has all 6.
+        for (i, n) in d.nodes().iter().enumerate() {
+            match n.kind {
+                NodeKind::Input(_) => assert_eq!(counts[i], 1),
+                NodeKind::Mul => assert_eq!(counts[i], 3),
+                NodeKind::Sub => assert_eq!(counts[i], 6),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_reassignment_updates_deps() {
+        let d = dag_of(
+            "double f(double x) { double a = x * 2.0; a = a + 1.0; return a * a; }",
+        );
+        // a*a: both operands are the node of a+1.
+        let last = d.nodes().last().unwrap();
+        assert_eq!(last.kind, NodeKind::Mul);
+        assert_eq!(last.args[0], last.args[1]);
+    }
+
+    #[test]
+    fn constant_indices_tracked_individually() {
+        let d = dag_of(
+            "void f(double a[4]) { a[0] = a[1] * 2.0; a[2] = a[0] + a[1]; }",
+        );
+        // a[0] in the second statement must be the mul node, and a[1] the
+        // same source both times.
+        let add = d.nodes().iter().find(|n| n.kind == NodeKind::Add).unwrap();
+        let mul_id = d.nodes().iter().position(|n| n.kind == NodeKind::Mul).unwrap();
+        assert!(add.args.contains(&mul_id));
+    }
+
+    #[test]
+    fn nonconstant_store_smears_array() {
+        let d = dag_of(
+            "void f(double a[4], int i) { a[i] = a[0] * 2.0; a[1] = a[2] + 1.0; }",
+        );
+        // After a[i] = …, the load a[2] must depend on the smeared store
+        // (the mul node), not a fresh source.
+        let mul_id = d.nodes().iter().position(|n| n.kind == NodeKind::Mul).unwrap();
+        let add = d.nodes().iter().find(|n| n.kind == NodeKind::Add).unwrap();
+        assert!(add.args.contains(&mul_id), "smeared load must see the store");
+    }
+
+    #[test]
+    fn loop_carried_dependencies_dropped() {
+        let d = dag_of(
+            "void f(double x) { for (int i = 0; i < 10; i++) { x = x * 0.5; } }",
+        );
+        // Body walked once: a single mul whose x operand is the input.
+        assert_eq!(d.op_count(), 1);
+        let mul = d.nodes().iter().find(|n| n.kind == NodeKind::Mul).unwrap();
+        assert!(matches!(d.nodes()[mul.args[0]].kind, NodeKind::Input(_) | NodeKind::Const(_)));
+    }
+
+    #[test]
+    fn loop_index_becomes_nonconstant() {
+        let d = dag_of(
+            "void f(double a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; } }",
+        );
+        // a[i] load inside the loop hits the whole-array source.
+        assert!(d.input_count() >= 1);
+        assert_eq!(d.op_count(), 1);
+    }
+
+    #[test]
+    fn both_branches_contribute() {
+        let d = dag_of(
+            "void f(double x, double y) { if (x < y) { x = x * 2.0; } else { x = x + 1.0; } }",
+        );
+        assert_eq!(d.op_count(), 2);
+    }
+
+    #[test]
+    fn sqrt_and_builtins() {
+        let d = dag_of("double f(double x) { return sqrt(fabs(x)); }");
+        assert!(d.nodes().iter().any(|n| n.kind == NodeKind::Sqrt));
+        assert!(d.nodes().iter().any(|n| n.kind == NodeKind::Abs));
+    }
+
+    #[test]
+    fn nodes_topologically_ordered() {
+        let d = dag_of(
+            "double f(double a, double b) { double s = a + b; double p = s * a; return p - b; }",
+        );
+        for (id, n) in d.nodes().iter().enumerate() {
+            for &arg in &n.args {
+                assert!(arg < id);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_map_to_source() {
+        let src = "double f(double a, double b) { return a * b - 0.5; }";
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let tac = crate::to_tac(&unit, &sema);
+        let sema2 = analyze(&tac).unwrap();
+        let d = build_dag(&tac.functions[0], &sema2);
+        let mul = d.nodes().iter().find(|n| n.kind == NodeKind::Mul).unwrap();
+        assert!(src[mul.span.start..mul.span.end].contains('*'));
+    }
+}

@@ -1,0 +1,322 @@
+//! Sound constant folding (paper Sec. IV-B: "SafeGen also supports the
+//! constant folding optimization soundly").
+//!
+//! Folding `c₁ op c₂` into a single literal is only sound if the folded
+//! literal's conservative ±1 ulp enclosure (the convention applied to
+//! every non-integral constant) still covers the *true real value* of the
+//! original expression, including the up-to-1-ulp uncertainty of each
+//! original literal. The pass therefore evaluates candidate folds in
+//! double-double, propagates the operand uncertainties, and only folds
+//! when the accumulated uncertainty fits under the folded literal's own
+//! ulp — otherwise the expression is left for the affine runtime, which
+//! tracks the error exactly.
+//!
+//! Integral constants are exact, so integer-valued arithmetic
+//! (`2.0 * 8.0`, `1.0 - 1.0`) always folds; mixed cases fold exactly when
+//! provably sound.
+
+use safegen_cfront::{BinOp, Expr, Function, Stmt, UnOp, Unit};
+use safegen_fpcore::metrics::ulp;
+use safegen_fpcore::round::{add_ru, mul_ru};
+use safegen_fpcore::Dd;
+
+/// A constant value with a sound bound on its distance from the true real
+/// value of the source expression.
+#[derive(Clone, Copy, Debug)]
+struct KnownConst {
+    /// dd enclosure center of the expression's value.
+    value: Dd,
+    /// `|true real value − value| ≤ err` (accounts for literal
+    /// uncertainties and dd rounding).
+    err: f64,
+}
+
+impl KnownConst {
+    fn of_literal(x: f64) -> KnownConst {
+        let err = if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+            0.0 // integral literals are exact by convention
+        } else {
+            ulp(x)
+        };
+        KnownConst { value: Dd::from(x), err }
+    }
+
+    /// Fold sound as a plain literal? The double nearest the dd value must
+    /// cover the true value within its own 1-ulp convention.
+    fn foldable(self) -> Option<f64> {
+        let f = self.value.to_f64();
+        if !f.is_finite() {
+            return None;
+        }
+        // distance(true, f) ≤ |dd − f| + err; must be ≤ ulp(f) (the
+        // convention's budget), or be exactly zero for integral results.
+        let dd_gap = (self.value - Dd::from(f)).abs().hi();
+        let total = add_ru(dd_gap, self.err);
+        let budget = if f.fract() == 0.0 && f.abs() < 2f64.powi(53) {
+            // Integral results claim exactness: only a perfectly exact
+            // fold is allowed.
+            0.0
+        } else {
+            ulp(f)
+        };
+        (total <= budget).then_some(f)
+    }
+}
+
+/// Applies sound constant folding to every function.
+pub fn fold_constants(unit: &Unit) -> Unit {
+    let functions = unit
+        .functions
+        .iter()
+        .map(|f| Function {
+            ret: f.ret.clone(),
+            name: f.name.clone(),
+            params: f.params.clone(),
+            body: fold_block(&f.body),
+            span: f.span,
+        })
+        .collect();
+    Unit { functions }
+}
+
+fn fold_block(body: &[Stmt]) -> Vec<Stmt> {
+    body.iter().map(fold_stmt).collect()
+}
+
+fn fold_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Decl { ty, name, init, span } => Stmt::Decl {
+            ty: ty.clone(),
+            name: name.clone(),
+            init: init.as_ref().map(fold_expr),
+            span: *span,
+        },
+        Stmt::Assign { lhs, op, rhs, span } => Stmt::Assign {
+            lhs: lhs.clone(),
+            op: *op,
+            rhs: fold_expr(rhs),
+            span: *span,
+        },
+        Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+            cond: fold_expr(cond),
+            then_body: fold_block(then_body),
+            else_body: fold_block(else_body),
+            span: *span,
+        },
+        Stmt::For { init, cond, step, body, span } => Stmt::For {
+            init: init.as_ref().map(|i| Box::new(fold_stmt(i))),
+            cond: cond.as_ref().map(fold_expr),
+            step: step.as_ref().map(|st| Box::new(fold_stmt(st))),
+            body: fold_block(body),
+            span: *span,
+        },
+        Stmt::While { cond, body, span } => Stmt::While {
+            cond: fold_expr(cond),
+            body: fold_block(body),
+            span: *span,
+        },
+        Stmt::Return { value, span } => Stmt::Return {
+            value: value.as_ref().map(fold_expr),
+            span: *span,
+        },
+        Stmt::ExprStmt { expr, span } => {
+            Stmt::ExprStmt { expr: fold_expr(expr), span: *span }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Rewrites an expression, folding maximal sound constant subtrees.
+fn fold_expr(e: &Expr) -> Expr {
+    match try_eval(e) {
+        Some(k) => {
+            if let Some(f) = k.foldable() {
+                return Expr::FloatLit { value: f, span: e.span() };
+            }
+            descend(e)
+        }
+        None => descend(e),
+    }
+}
+
+fn descend(e: &Expr) -> Expr {
+    match e {
+        Expr::Bin { op, lhs, rhs, span } => Expr::Bin {
+            op: *op,
+            lhs: Box::new(fold_expr(lhs)),
+            rhs: Box::new(fold_expr(rhs)),
+            span: *span,
+        },
+        Expr::Un { op, operand, span } => Expr::Un {
+            op: *op,
+            operand: Box::new(fold_expr(operand)),
+            span: *span,
+        },
+        Expr::Call { callee, args, span } => Expr::Call {
+            callee: callee.clone(),
+            args: args.iter().map(fold_expr).collect(),
+            span: *span,
+        },
+        Expr::Index { base, index, span } => Expr::Index {
+            base: base.clone(),
+            index: Box::new(fold_expr(index)),
+            span: *span,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Evaluates a pure-constant floating expression to a [`KnownConst`];
+/// `None` if the tree contains variables or unsupported operations.
+fn try_eval(e: &Expr) -> Option<KnownConst> {
+    match e {
+        Expr::FloatLit { value, .. } => Some(KnownConst::of_literal(*value)),
+        Expr::Un { op: UnOp::Neg, operand, .. } => {
+            let k = try_eval(operand)?;
+            Some(KnownConst { value: -k.value, err: k.err })
+        }
+        Expr::Bin { op, lhs, rhs, .. } if op.is_arith() => {
+            let a = try_eval(lhs)?;
+            let b = try_eval(rhs)?;
+            // dd evaluation; uncertainty propagation with RU margins plus
+            // the dd rounding itself. When both operands are exact single
+            // doubles, TwoSum/TwoProd make `+`, `−`, `*` error-free and no
+            // dd margin applies.
+            let dd_rel = 1e-30;
+            let eft_exact = a.err == 0.0
+                && b.err == 0.0
+                && a.value.lo() == 0.0
+                && b.value.lo() == 0.0;
+            let (value, err) = match op {
+                BinOp::Add => {
+                    let v = a.value + b.value;
+                    let e = if eft_exact {
+                        0.0
+                    } else {
+                        add_ru(add_ru(a.err, b.err), dd_rel * v.abs().hi())
+                    };
+                    (v, e)
+                }
+                BinOp::Sub => {
+                    let v = a.value - b.value;
+                    let e = if eft_exact {
+                        0.0
+                    } else {
+                        add_ru(add_ru(a.err, b.err), dd_rel * v.abs().hi())
+                    };
+                    (v, e)
+                }
+                BinOp::Mul => {
+                    let v = a.value * b.value;
+                    let e = if eft_exact {
+                        0.0
+                    } else {
+                        let p = add_ru(
+                            mul_ru(a.err, b.value.abs().hi() + b.err),
+                            mul_ru(b.err, a.value.abs().hi() + a.err),
+                        );
+                        add_ru(p, dd_rel * v.abs().hi())
+                    };
+                    (v, e)
+                }
+                BinOp::Div => {
+                    let denom = b.value.abs().hi();
+                    if denom <= b.err * 2.0 || denom == 0.0 {
+                        return None; // divisor range may touch zero
+                    }
+                    let v = a.value / b.value;
+                    let p = add_ru(
+                        a.err / (denom - b.err),
+                        mul_ru(b.err, v.abs().hi() / (denom - b.err)),
+                    );
+                    (v, add_ru(p, dd_rel * v.abs().hi()))
+                }
+                _ => return None,
+            };
+            Some(KnownConst { value, err })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safegen_cfront::{analyze, parse, print_unit};
+
+    fn folded(src: &str) -> String {
+        let u = parse(src).unwrap();
+        let f = fold_constants(&u);
+        analyze(&f).unwrap();
+        print_unit(&f)
+    }
+
+    #[test]
+    fn integral_arithmetic_folds() {
+        let out = folded("double f() { return 2.0 * 8.0 + 1.0; }");
+        assert!(out.contains("return 17.0;"), "{out}");
+    }
+
+    #[test]
+    fn exact_binary_fractions_fold() {
+        // 1.25 is ±1ulp by convention, so 1.0 − 1.25 may NOT fold to the
+        // "exact" integral claim... it is non-integral (−0.25) and the
+        // propagated uncertainty (1 ulp of 1.25 ≈ 2.2e-16) exceeds
+        // ulp(−0.25) ≈ 5.6e-17 — so it must stay unfolded.
+        let out = folded("double f() { return 1.0 - 1.25; }");
+        assert!(out.contains("1.0 - 1.25"), "{out}");
+    }
+
+    #[test]
+    fn half_scaling_folds() {
+        // 0.5 is non-integral → ±1 ulp(0.5); 0.5*8.0 = 4.0 integral →
+        // budget 0 → must not fold (uncertainty 8·ulp(0.5) > 0).
+        let out = folded("double f() { return 0.5 * 8.0; }");
+        assert!(out.contains("0.5 * 8.0"), "{out}");
+        // But integral×integral stays foldable even through negation.
+        let out = folded("double f() { return -(3.0 * 4.0); }");
+        assert!(out.contains("return -12.0;") || out.contains("return -12e0;"), "{out}");
+    }
+
+    #[test]
+    fn inexact_sum_not_folded() {
+        let out = folded("double f() { return 0.1 + 0.2; }");
+        assert!(out.contains("0.1 + 0.2"), "{out}");
+    }
+
+    #[test]
+    fn variables_block_folding() {
+        let out = folded("double f(double x) { return x * 2.0 + 1.0; }");
+        assert!(out.contains("x * 2.0 + 1.0"), "{out}");
+    }
+
+    #[test]
+    fn folds_inside_statements() {
+        let out = folded(
+            "void f(double a[4]) {
+                for (int i = 0; i < 4; i++) {
+                    a[i] = a[i] * (2.0 * 2.0);
+                }
+            }",
+        );
+        assert!(out.contains("a[i] * 4.0"), "{out}");
+    }
+
+    #[test]
+    fn division_by_uncertain_zero_not_folded() {
+        let out = folded("double f() { return 1.0 / (2.0 - 2.0); }");
+        // 2.0−2.0 folds to 0.0 but the division must not fold.
+        assert!(out.contains('/'), "{out}");
+    }
+
+    #[test]
+    fn folding_preserves_program_semantics() {
+        // Sound run of the folded and unfolded programs must both contain
+        // the dd reference.
+        let src = "double f(double x) { return x + 16.0 * 4.0 - 63.0; }";
+        let u = parse(src).unwrap();
+        let f = fold_constants(&u);
+        let printed = print_unit(&f);
+        assert!(printed.contains("64.0"), "{printed}");
+    }
+}

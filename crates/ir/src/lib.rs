@@ -1,0 +1,34 @@
+//! # safegen-ir
+//!
+//! The middle-end of SafeGen-rs (paper Sec. VI-C):
+//!
+//! * [`tac`] — the **three-address-code transformation**: a source-to-source
+//!   pass that flattens every floating-point expression so each FP
+//!   operation sits on its own line in a fresh temporary. This is the form
+//!   the static analysis annotates (each DAG node ↔ one source line) and
+//!   the backend transforms.
+//! * [`dag`] — the **computation DAG**: nodes are floating-point
+//!   operations (sources are the input variables), edges are data
+//!   dependencies. Loop bodies are traversed once and loop-carried
+//!   dependencies are dropped, exactly as the paper's analysis does.
+//!
+//! ```
+//! let unit = safegen_cfront::parse(
+//!     "double f(double x, double y, double z) { return x * z - y * z; }",
+//! ).unwrap();
+//! let sema = safegen_cfront::analyze(&unit).unwrap();
+//! let tac = safegen_ir::to_tac(&unit, &sema);
+//! let sema2 = safegen_cfront::analyze(&tac).unwrap();
+//! let dag = safegen_ir::build_dag(&tac.functions[0], &sema2);
+//! // two multiplies, one subtract, three inputs
+//! assert_eq!(dag.op_count(), 3);
+//! assert_eq!(dag.input_count(), 3);
+//! ```
+
+pub mod dag;
+pub mod fold;
+pub mod tac;
+
+pub use dag::{build_dag, Dag, Node, NodeId, NodeKind};
+pub use fold::fold_constants;
+pub use tac::to_tac;

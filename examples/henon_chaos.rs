@@ -1,0 +1,56 @@
+//! The Hénon map: where interval arithmetic dies and affine arithmetic
+//! survives (the paper's headline benchmark).
+//!
+//! Iterating `x' = 1 − 1.05·x² + y`, `y' = 0.3·x` amplifies input
+//! uncertainty exponentially. Interval arithmetic additionally suffers the
+//! dependency problem and loses *all* certified bits — even with
+//! double-double endpoints — while bounded affine arithmetic keeps
+//! tracking the correlations and certifies dozens of bits.
+//!
+//! Run with: `cargo run --release --example henon_chaos`
+
+use safegen_suite::safegen::{Compiler, RunConfig};
+
+fn henon_src(iters: usize) -> String {
+    format!(
+        "void henon(double x, double y, double out[2]) {{
+            for (int i = 0; i < {iters}; i++) {{
+                double xn = 1.0 - 1.05 * x * x + y;
+                y = 0.3 * x;
+                x = xn;
+            }}
+            out[0] = x;
+            out[1] = y;
+        }}"
+    )
+}
+
+fn main() {
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "iters", "IGen-f64", "IGen-dd", "AA k=8", "AA k=16", "AA k=48"
+    );
+    for iters in [25usize, 50, 75, 100] {
+        let compiled = Compiler::new().compile(&henon_src(iters)).unwrap();
+        let args = [0.3.into(), 0.4.into(), vec![0.0, 0.0].into()];
+        let acc = |cfg: &RunConfig| {
+            compiled
+                .run("henon", &args, cfg)
+                .unwrap()
+                .acc_bits
+                .max(0.0)
+        };
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            iters,
+            acc(&RunConfig::interval_f64()),
+            acc(&RunConfig::interval_dd()),
+            acc(&RunConfig::affine_f64(8)),
+            acc(&RunConfig::affine_f64(16)),
+            acc(&RunConfig::affine_f64(48)),
+        );
+    }
+    println!("\ncertified bits per configuration; 0 = the result is worthless.");
+    println!("IA cannot be saved by more precision (IGen-dd dies too):");
+    println!("only tracking correlations (AA) delays the collapse.");
+}

@@ -1,0 +1,46 @@
+//! Certified Model Predictive Control: the fast gradient method with a
+//! soundness certificate.
+//!
+//! MPC runs an optimizer inside a feedback loop; round-off errors in the
+//! solver can destabilize the controlled plant, which is why sound
+//! floating-point matters in this domain (paper Sec. I, [3], [4]). This
+//! example solves a box-constrained QP with the fast gradient method and
+//! certifies how many bits of the returned control input are correct.
+//!
+//! Run with: `cargo run --release --example mpc_fgm`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safegen_bench::{Workload, WorkloadKind};
+use safegen_suite::safegen::{Compiler, RunConfig};
+
+fn main() {
+    let n = 8;
+    let w = Workload::new(WorkloadKind::Fgm { n, iters: 40 });
+    let compiled = Compiler::new().compile(&w.source).expect("fgm compiles");
+
+    let mut rng = StdRng::seed_from_u64(2022);
+    let args = w.args(&mut rng);
+    let reference = w.native(&args);
+
+    println!("fast gradient method, n = {n}, 40 iterations\n");
+    for cfg in [
+        RunConfig::interval_f64(),
+        RunConfig::affine_f64(8),
+        RunConfig::affine_f64(32),
+    ] {
+        let r = compiled.run("fgm", &args, &cfg).unwrap();
+        let out = &r.arrays.last().unwrap().1;
+        println!("{} — certified bits (worst coordinate): {:.1}", cfg.label(), r.acc_bits);
+        for (i, ((lo, hi), x)) in out.iter().zip(&reference).enumerate().take(3) {
+            println!("  x[{i}] ∈ [{lo:.15}, {hi:.15}]   (f64 run: {x:.15})");
+            assert!(lo <= x && x <= hi);
+        }
+        println!("  …");
+    }
+    println!(
+        "\nA controller can accept the solution only if enough bits are certified —\n\
+         the affine configurations certify more than interval arithmetic at the\n\
+         same double precision."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: compile a tiny C function into a sound computation and
+//! read off the certificate.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use safegen_suite::safegen::{Compiler, RunConfig};
+
+fn main() {
+    // The input program: ordinary (unsound) C floating-point code.
+    let src = r#"
+        double poly(double x) {
+            double r = 1.0;
+            for (int i = 0; i < 12; i++) {
+                r = r * x - 0.3;
+            }
+            return r;
+        }
+    "#;
+
+    // Compile once; run under any numeric configuration.
+    let compiled = Compiler::new().compile(src).expect("valid program");
+
+    let x = 0.73;
+    // Reference: what the unsound program computes.
+    let unsound = compiled
+        .run("poly", &[x.into()], &RunConfig::unsound())
+        .unwrap();
+    let (v, _) = unsound.ret.unwrap();
+    println!("unsound f64 result:          {v:.17}");
+
+    // The same computation, soundly, under a few configurations.
+    for cfg in [
+        RunConfig::interval_f64(),
+        RunConfig::affine_f64(8),
+        RunConfig::affine_f64(32),
+        RunConfig::affine_dd(16),
+    ] {
+        let r = compiled.run("poly", &[x.into()], &cfg).unwrap();
+        let (lo, hi) = r.ret.unwrap();
+        println!(
+            "{:<18} certified bits: {:>5.1}   range: [{lo:.17}, {hi:.17}]",
+            cfg.label(),
+            r.acc_bits
+        );
+        assert!(lo <= v && v <= hi, "sound range must contain the f64 result");
+    }
+
+    println!("\nEvery range above is guaranteed to contain the exact real-arithmetic result.");
+}

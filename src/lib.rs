@@ -1,0 +1,10 @@
+//! Umbrella crate: re-exports the SafeGen-rs workspace for the integration
+//! tests and examples that live at the repository root.
+pub use safegen;
+pub use safegen_affine as affine;
+pub use safegen_analysis as analysis;
+pub use safegen_cfront as cfront;
+pub use safegen_fpcore as fpcore;
+pub use safegen_ilp as ilp;
+pub use safegen_interval as interval;
+pub use safegen_ir as ir;

@@ -1,0 +1,225 @@
+//! End-to-end integration tests: C source in, certified enclosures out,
+//! across every numeric domain, checked against high-precision references.
+
+use safegen_suite::fpcore::Dd;
+use safegen_suite::safegen::{ArgValue, Compiler, RunConfig};
+
+/// All sound configurations worth exercising end-to-end.
+fn sound_configs() -> Vec<RunConfig> {
+    let mut v = vec![
+        RunConfig::interval_f64(),
+        RunConfig::interval_dd(),
+        RunConfig::yalaa_aff0(),
+        RunConfig::yalaa_aff1(),
+        RunConfig::ceres(8),
+        RunConfig::affine_dd(8),
+        RunConfig::affine_f32(8),
+    ];
+    for k in [2usize, 8, 24] {
+        v.push(RunConfig::affine_f64(k));
+        v.push(RunConfig::mnemonic(k, "ssnn").unwrap());
+        v.push(RunConfig::mnemonic(k, "smpn").unwrap());
+        v.push(RunConfig::mnemonic(k, "sonn").unwrap());
+        v.push(RunConfig::mnemonic(k, "srnn").unwrap());
+        v.push(RunConfig::mnemonic(k, "dsnn").unwrap());
+        v.push(RunConfig::mnemonic(k, "dsnv").unwrap());
+    }
+    v
+}
+
+/// Checks that every sound config's output range contains the dd
+/// reference of the returned value.
+fn assert_sound(src: &str, func: &str, args: &[ArgValue], reference: Dd) {
+    let compiled = Compiler::new().compile(src).unwrap();
+    for cfg in sound_configs() {
+        let r = compiled.run(func, args, &cfg).unwrap();
+        let (lo, hi) = r.ret.expect("function returns a value");
+        assert!(
+            Dd::from(lo) <= reference && reference <= Dd::from(hi),
+            "{}: reference {reference} outside [{lo}, {hi}]\nsource: {src}",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn polynomial_horner() {
+    // p(x) = ((x - 0.5)x + 0.25)x - 0.125 at x = 0.3, Horner form.
+    let src = "double p(double x) {
+        double r = x - 0.5;
+        r = r * x + 0.25;
+        r = r * x - 0.125;
+        return r;
+    }";
+    let x = Dd::from(0.3);
+    let reference = ((x - Dd::from(0.5)) * x + Dd::from(0.25)) * x - Dd::from(0.125);
+    assert_sound(src, "p", &[0.3.into()], reference);
+}
+
+#[test]
+fn cancellation_chain() {
+    // (a + b)² − a² − 2ab − b² = 0 exactly in real arithmetic.
+    let src = "double f(double a, double b) {
+        double s = a + b;
+        double s2 = s * s;
+        double r = s2 - a * a;
+        r = r - 2.0 * a * b;
+        r = r - b * b;
+        return r;
+    }";
+    let compiled = Compiler::new().compile(src).unwrap();
+    for cfg in sound_configs() {
+        let r = compiled.run("f", &[0.7.into(), 0.4.into()], &cfg).unwrap();
+        let (lo, hi) = r.ret.unwrap();
+        // Everything is O(ulp) of the working precision: even IA must stay
+        // tight here (f32a centers make the ulp ~2^-24 instead of 2^-53).
+        let tight = if cfg.label().starts_with("f32a") { 1e-5 } else { 1e-13 };
+        assert!(lo <= tight && hi >= -tight, "{}: 0 outside [{lo}, {hi}]", cfg.label());
+        assert!(hi - lo < tight, "{}: width {}", cfg.label(), hi - lo);
+    }
+}
+
+#[test]
+fn loop_accumulation() {
+    let src = "double acc(double x, int n) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) {
+            s = s + x * x;
+        }
+        return s;
+    }";
+    let x = Dd::from(0.1);
+    let mut reference = Dd::ZERO;
+    for _ in 0..25 {
+        reference = reference + x * x;
+    }
+    assert_sound(src, "acc", &[0.1.into(), 25i64.into()], reference);
+}
+
+#[test]
+fn division_and_sqrt() {
+    let src = "double f(double a, double b) {
+        double q = a / b;
+        return sqrt(q + 1.0);
+    }";
+    let reference = (Dd::from(0.9) / Dd::from(1.7) + Dd::ONE).sqrt();
+    assert_sound(src, "f", &[0.9.into(), 1.7.into()], reference);
+}
+
+#[test]
+fn branches_on_sound_values() {
+    let src = "double f(double x) {
+        if (x < 0.25) {
+            return x * 2.0;
+        } else {
+            return x + 1.0;
+        }
+    }";
+    // Well away from the threshold: all domains decide the branch soundly.
+    assert_sound(src, "f", &[0.1.into()], Dd::from(0.2));
+    assert_sound(src, "f", &[0.9.into()], Dd::from(1.9));
+}
+
+#[test]
+fn arrays_and_nested_loops() {
+    let src = "void smooth(double a[6]) {
+        for (int it = 0; it < 3; it++) {
+            for (int i = 1; i < 5; i++) {
+                a[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+            }
+        }
+    }";
+    let compiled = Compiler::new().compile(src).unwrap();
+    let input = vec![0.1, 0.9, 0.3, 0.7, 0.5, 0.2];
+    // dd reference
+    let mut reference: Vec<Dd> = input.iter().map(|&x| Dd::from(x)).collect();
+    for _ in 0..3 {
+        for i in 1..5 {
+            reference[i] = Dd::from(0.25) * reference[i - 1]
+                + Dd::from(0.5) * reference[i]
+                + Dd::from(0.25) * reference[i + 1];
+        }
+    }
+    for cfg in sound_configs() {
+        let r = compiled.run("smooth", &[input.clone().into()], &cfg).unwrap();
+        let out = &r.arrays[0].1;
+        for ((lo, hi), reference) in out.iter().zip(&reference) {
+            assert!(
+                Dd::from(*lo) <= *reference && *reference <= Dd::from(*hi),
+                "{}: {reference} outside [{lo}, {hi}]",
+                cfg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn shadowed_names_compile_and_run() {
+    let src = "double f(double x) {
+        double t = x * 2.0;
+        for (int i = 0; i < 2; i++) {
+            double t = x + 1.0;
+            x = t * 0.5;
+        }
+        for (int i = 0; i < 2; i++) {
+            x = x + t;
+        }
+        return x;
+    }";
+    let compiled = Compiler::new().compile(src).unwrap();
+    let unsound = compiled.run("f", &[0.3.into()], &RunConfig::unsound()).unwrap();
+    let (v, _) = unsound.ret.unwrap();
+    // Native semantics: t = 0.6; x: 0.3→(1.3*0.5)=0.65→(1.65*0.5)=0.825;
+    // then +0.6 twice = 2.025.
+    assert!((v - 2.025).abs() < 1e-12, "v = {v}");
+    let sound = compiled.run("f", &[0.3.into()], &RunConfig::affine_f64(8)).unwrap();
+    let (lo, hi) = sound.ret.unwrap();
+    assert!(lo <= v && v <= hi);
+}
+
+#[test]
+fn affine_beats_interval_on_dependent_code() {
+    // x·(1−x) + x·x − x = 0 in real arithmetic: heavy reuse of x.
+    let src = "double f(double x) {
+        double a = 1.0 - x;
+        double r = x * a + x * x - x;
+        return r;
+    }";
+    let compiled = Compiler::new().compile(src).unwrap();
+    let ia = compiled.run("f", &[0.6.into()], &RunConfig::interval_f64()).unwrap();
+    let aa = compiled.run("f", &[0.6.into()], &RunConfig::affine_f64(8)).unwrap();
+    let (ilo, ihi) = ia.ret.unwrap();
+    let (alo, ahi) = aa.ret.unwrap();
+    assert!(
+        (ahi - alo) < (ihi - ilo),
+        "AA [{alo},{ahi}] not tighter than IA [{ilo},{ihi}]"
+    );
+}
+
+#[test]
+fn undecided_branches_are_counted_and_sound() {
+    let src = "double f(double x) {
+        if (x < 0.5) {
+            return x * 2.0;
+        }
+        return x * 4.0;
+    }";
+    let compiled = Compiler::new().compile(src).unwrap();
+    // Input exactly at the threshold: the ±1ulp input range straddles it.
+    let r = compiled.run("f", &[0.5.into()], &RunConfig::affine_f64(8)).unwrap();
+    assert_eq!(r.stats.undecided_branches, 1);
+}
+
+#[test]
+fn stats_fp_ops_match_across_domains() {
+    let src = "double f(double x) {
+        double s = 0.0;
+        for (int i = 0; i < 7; i++) { s = s + x; }
+        return s;
+    }";
+    let compiled = Compiler::new().compile(src).unwrap();
+    let a = compiled.run("f", &[0.1.into()], &RunConfig::unsound()).unwrap();
+    let b = compiled.run("f", &[0.1.into()], &RunConfig::affine_f64(4)).unwrap();
+    assert_eq!(a.stats.fp_ops, b.stats.fp_ops);
+    assert_eq!(a.stats.fp_ops, 7);
+}

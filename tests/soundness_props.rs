@@ -1,0 +1,139 @@
+//! Property tests through the *whole compiler*: random straight-line
+//! programs are generated as C source, compiled, and executed under every
+//! domain; the sound ranges must contain a tolerance-widened double-double
+//! reference result.
+
+use proptest::prelude::*;
+use safegen_suite::fpcore::Dd;
+use safegen_suite::safegen::{Compiler, RunConfig};
+
+/// A random straight-line program over three inputs plus its dd reference
+/// evaluator.
+#[derive(Clone, Debug)]
+struct Prog {
+    src: String,
+    ops: Vec<(usize, usize, usize)>, // (op, lhs idx, rhs idx)
+}
+
+fn prog_strategy() -> impl Strategy<Value = Prog> {
+    prop::collection::vec((0usize..4, 0usize..6, 0usize..6), 1..15).prop_map(|ops| {
+        let mut src = String::from("double f(double a, double b, double c) {\n");
+        src.push_str("    double v0 = a;\n    double v1 = b;\n    double v2 = c;\n");
+        let mut n = 3;
+        for &(op, l, r) in &ops {
+            let sym = ["+", "-", "*", "+"][op];
+            src.push_str(&format!(
+                "    double v{} = v{} {} v{};\n",
+                n,
+                l % n,
+                sym,
+                r % n
+            ));
+            n += 1;
+        }
+        src.push_str(&format!("    return v{};\n}}\n", n - 1));
+        Prog { src, ops }
+    })
+}
+
+fn dd_reference(p: &Prog, a: f64, b: f64, c: f64) -> (Dd, f64) {
+    let mut vals = vec![Dd::from(a), Dd::from(b), Dd::from(c)];
+    let mut tols = vec![0.0f64, 0.0, 0.0];
+    for &(op, l, r) in &p.ops {
+        let n = vals.len();
+        let (x, tx) = (vals[l % n], tols[l % n]);
+        let (y, ty) = (vals[r % n], tols[r % n]);
+        let (v, t) = match op {
+            0 | 3 => (x + y, tx + ty + 1e-29 * (x + y).abs().hi()),
+            1 => (x - y, tx + ty + 1e-29 * (x - y).abs().hi()),
+            _ => (
+                x * y,
+                tx * y.abs().hi() + ty * x.abs().hi() + 1e-29 * (x * y).abs().hi(),
+            ),
+        };
+        vals.push(v);
+        tols.push(t);
+    }
+    (*vals.last().unwrap(), *tols.last().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_programs_are_sound(
+        p in prog_strategy(),
+        a in 0.1f64..2.0,
+        b in 0.1f64..2.0,
+        c in 0.1f64..2.0,
+    ) {
+        let (reference, tol) = dd_reference(&p, a, b, c);
+        prop_assume!(reference.abs().hi() < 1e100);
+        let compiled = Compiler::new().compile(&p.src).unwrap();
+        let configs = [
+            RunConfig::interval_f64(),
+            RunConfig::interval_dd(),
+            RunConfig::affine_f64(2),
+            RunConfig::affine_f64(6),
+            RunConfig::affine_f64(16),
+            RunConfig::affine_dd(6),
+            RunConfig::mnemonic(6, "sonn").unwrap(),
+            RunConfig::mnemonic(6, "srnn").unwrap(),
+            RunConfig::mnemonic(6, "smpn").unwrap(),
+            RunConfig::yalaa_aff0(),
+            RunConfig::yalaa_aff1(),
+            RunConfig::ceres(6),
+        ];
+        for cfg in configs {
+            let r = compiled.run("f", &[a.into(), b.into(), c.into()], &cfg).unwrap();
+            let (lo, hi) = r.ret.unwrap();
+            prop_assert!(
+                Dd::from(lo) - Dd::from(tol) <= reference
+                    && reference <= Dd::from(hi) + Dd::from(tol),
+                "{}: {reference} (±{tol:e}) outside [{lo}, {hi}]\n{}",
+                cfg.label(),
+                p.src
+            );
+        }
+    }
+
+    #[test]
+    fn unsound_vm_matches_native_semantics(
+        p in prog_strategy(),
+        a in 0.1f64..2.0,
+        b in 0.1f64..2.0,
+        c in 0.1f64..2.0,
+    ) {
+        // Native f64 evaluation of the same op list.
+        let mut vals = vec![a, b, c];
+        for &(op, l, r) in &p.ops {
+            let n = vals.len();
+            let (x, y) = (vals[l % n], vals[r % n]);
+            vals.push(match op { 0 | 3 => x + y, 1 => x - y, _ => x * y });
+        }
+        let expected = *vals.last().unwrap();
+        let compiled = Compiler::new().compile(&p.src).unwrap();
+        let r = compiled.run("f", &[a.into(), b.into(), c.into()], &RunConfig::unsound()).unwrap();
+        prop_assert_eq!(r.ret.unwrap().0, expected);
+    }
+
+    #[test]
+    fn larger_k_never_certifies_fewer_bits_substantially(
+        p in prog_strategy(),
+        a in 0.1f64..2.0,
+    ) {
+        let compiled = Compiler::new().compile(&p.src).unwrap();
+        let args = [a.into(), (a * 0.7).into(), (a * 1.3).into()];
+        let small = compiled.run("f", &args, &RunConfig::mnemonic(4, "ssnn").unwrap()).unwrap();
+        let large = compiled.run("f", &args, &RunConfig::mnemonic(32, "ssnn").unwrap()).unwrap();
+        // Larger budgets keep strictly more correlations under the same
+        // policy; tiny metric wobbles aside, accuracy must not regress.
+        prop_assert!(
+            large.acc_bits >= small.acc_bits - 0.9,
+            "k=32 {} < k=4 {}\n{}",
+            large.acc_bits,
+            small.acc_bits,
+            p.src
+        );
+    }
+}
