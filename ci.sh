@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, format, lint — entirely offline.
+#
+# The workspace has no registry dependencies (rand/proptest/criterion
+# resolve to the vendored shims in vendor/), so every step below works
+# without network access. Run from the repository root: ./ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

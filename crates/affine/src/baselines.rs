@@ -200,7 +200,11 @@ impl YalaaAff1 {
     pub fn from_input(x: f64, ctx: &BaselineCtx) -> YalaaAff1 {
         let mut terms = BTreeMap::new();
         terms.insert(ctx.fresh(), metrics::ulp(x));
-        YalaaAff1 { center: x, terms, noise: 0.0 }
+        YalaaAff1 {
+            center: x,
+            terms,
+            noise: 0.0,
+        }
     }
 
     /// A source constant (uncertainty goes straight to the noise term).
@@ -210,13 +214,21 @@ impl YalaaAff1 {
         } else {
             0.0
         };
-        YalaaAff1 { center: x, terms: BTreeMap::new(), noise }
+        YalaaAff1 {
+            center: x,
+            terms: BTreeMap::new(),
+            noise,
+        }
     }
 
     /// A value `center ± noise` with no correlated symbols (interval-style
     /// fallback for derived operations).
     pub fn with_noise(center: f64, noise: f64, _ctx: &BaselineCtx) -> YalaaAff1 {
-        YalaaAff1 { center, terms: BTreeMap::new(), noise: noise.max(0.0) }
+        YalaaAff1 {
+            center,
+            terms: BTreeMap::new(),
+            noise: noise.max(0.0),
+        }
     }
 
     /// Radius including the accumulated noise.
@@ -255,7 +267,11 @@ impl YalaaAff1 {
                 }
             }
         }
-        YalaaAff1 { center, terms, noise }
+        YalaaAff1 {
+            center,
+            terms,
+            noise,
+        }
     }
 
     /// Subtraction.
@@ -276,7 +292,13 @@ impl YalaaAff1 {
     /// noise (uncorrelated).
     pub fn mul(&self, rhs: &YalaaAff1) -> YalaaAff1 {
         let (center, e0) = mul_with_err(self.center, rhs.center);
-        let mag = |a: f64, b: f64| if a == 0.0 || b == 0.0 { 0.0 } else { mul_ru(a, b) };
+        let mag = |a: f64, b: f64| {
+            if a == 0.0 || b == 0.0 {
+                0.0
+            } else {
+                mul_ru(a, b)
+            }
+        };
         let mut noise = add_ru(e0, mag(self.radius(), rhs.radius()));
         noise = add_ru(noise, mag(rhs.center.abs(), self.noise));
         noise = add_ru(noise, mag(self.center.abs(), rhs.noise));
@@ -304,7 +326,11 @@ impl YalaaAff1 {
                 }
             }
         }
-        YalaaAff1 { center, terms, noise }
+        YalaaAff1 {
+            center,
+            terms,
+            noise,
+        }
     }
 }
 
@@ -326,7 +352,11 @@ impl CeresAffine {
     pub fn from_input(x: f64, k: usize, ctx: &BaselineCtx) -> CeresAffine {
         let mut terms = BTreeMap::new();
         terms.insert(ctx.fresh(), metrics::ulp(x));
-        CeresAffine { center: x, terms, k }
+        CeresAffine {
+            center: x,
+            terms,
+            k,
+        }
     }
 
     /// A source constant.
@@ -335,7 +365,11 @@ impl CeresAffine {
         if x.fract() != 0.0 || x.abs() >= 2f64.powi(53) {
             terms.insert(ctx.fresh(), metrics::ulp(x));
         }
-        CeresAffine { center: x, terms, k }
+        CeresAffine {
+            center: x,
+            terms,
+            k,
+        }
     }
 
     /// A value `center ± radius` carried by one fresh symbol.
@@ -369,7 +403,12 @@ impl CeresAffine {
         self.terms.len()
     }
 
-    fn compact(mut terms: BTreeMap<u64, f64>, mut noise: f64, k: usize, ctx: &BaselineCtx) -> BTreeMap<u64, f64> {
+    fn compact(
+        mut terms: BTreeMap<u64, f64>,
+        mut noise: f64,
+        k: usize,
+        ctx: &BaselineCtx,
+    ) -> BTreeMap<u64, f64> {
         let budget = k.saturating_sub(usize::from(noise > 0.0));
         if terms.len() > budget {
             // Persistent style: collect, sort by magnitude, rebuild.
@@ -412,7 +451,11 @@ impl CeresAffine {
             }
         }
         let terms = Self::compact(terms, noise, self.k, ctx);
-        CeresAffine { center, terms, k: self.k }
+        CeresAffine {
+            center,
+            terms,
+            k: self.k,
+        }
     }
 
     /// Subtraction.
@@ -462,7 +505,11 @@ impl CeresAffine {
             }
         }
         let terms = Self::compact(terms, noise, self.k, ctx);
-        CeresAffine { center, terms, k: self.k }
+        CeresAffine {
+            center,
+            terms,
+            k: self.k,
+        }
     }
 }
 

@@ -8,9 +8,7 @@
 //! symbols.
 
 use safegen_fpcore::dd::{DD_ADD_REL, DD_DIV_REL, DD_MUL_REL, DD_SQRT_REL};
-use safegen_fpcore::round::{
-    add_rd, add_ru, add_with_err, div_with_err, mul_with_err,
-};
+use safegen_fpcore::round::{add_rd, add_ru, add_with_err, div_with_err, mul_with_err};
 use safegen_fpcore::Dd;
 use std::fmt::{Debug, Display};
 

@@ -175,6 +175,18 @@ impl Default for AaConfig {
 /// A context is cheap and single-threaded (interior mutability via `Cell`);
 /// create one per computation. All affine values combined in an operation
 /// must come from the same context.
+///
+/// # Threading
+///
+/// `AaContext` is `Send` but deliberately **not** `Sync`: symbol
+/// allocation and the fusion RNG go through `Cell`s with no
+/// synchronization, which keeps the hot allocation path a plain load and
+/// store. To evaluate in parallel, **share only the [`AaConfig`]**
+/// (`Copy`, `Send + Sync`) and build one `AaContext` per thread — or,
+/// stronger, one per computation, which is what `safegen`'s batch engine
+/// does so that symbol ids and RNG state never leak between work items
+/// and results stay bit-identical for every thread count. These
+/// properties are asserted at compile time below.
 #[derive(Debug)]
 pub struct AaContext {
     config: AaConfig,
@@ -299,6 +311,15 @@ impl Protect<'_> {
         }
     }
 }
+
+// The documented threading contract: configurations may be shared
+// across threads, contexts may be moved into one.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<AaConfig>();
+    assert_send::<AaContext>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -58,7 +58,11 @@ pub(crate) fn linear_slot(
             let left = Term::new(ia, ca);
             let right = Term::new(ib, sign_b * cb);
             let keep_left = resolve_conflict(left, right, ctx.config().fusion, ctx, protect);
-            let (kept, fused) = if keep_left { (left, right) } else { (right, left) };
+            let (kept, fused) = if keep_left {
+                (left, right)
+            } else {
+                (right, left)
+            };
             *out_id = kept.id;
             *out_coeff = kept.coeff;
             noise.add_abs(fused.coeff);
@@ -121,7 +125,11 @@ pub(crate) fn mul_slot<C: CenterValue>(
             let left = Term::new(ia, sa);
             let right = Term::new(ib, sb);
             let keep_left = resolve_conflict(left, right, ctx.config().fusion, ctx, protect);
-            let (kept, fused) = if keep_left { (left, right) } else { (right, left) };
+            let (kept, fused) = if keep_left {
+                (left, right)
+            } else {
+                (right, left)
+            };
             if kept.coeff != 0.0 {
                 *out_id = kept.id;
                 *out_coeff = kept.coeff;
@@ -304,8 +312,17 @@ mod tests {
         let (ai, ac) = slots(4, &[(1, 1.0)]);
         let (bi, bc) = slots(4, &[(1, 2.0)]);
         let mut noise = ErrAcc::default();
-        let (ids, coeffs) =
-            merge_mul_direct(2.0f64, 3.0f64, &ai, &ac, &bi, &bc, &c, Protect::None, &mut noise);
+        let (ids, coeffs) = merge_mul_direct(
+            2.0f64,
+            3.0f64,
+            &ai,
+            &ac,
+            &bi,
+            &bc,
+            &c,
+            Protect::None,
+            &mut noise,
+        );
         // a0·b1 + b0·a1 = 2·2 + 3·1 = 7
         assert_eq!(ids[1], 1);
         assert_eq!(coeffs[1], 7.0);
@@ -318,8 +335,17 @@ mod tests {
         let (bi, bc) = slots(4, &[(5, 1.0)]);
         let mut noise = ErrAcc::default();
         // a0 = 10, b0 = 2: candidates are b0·a1 = 2 (id 1), a0·b5 = 10 (id 5).
-        let (ids, coeffs) =
-            merge_mul_direct(10.0f64, 2.0f64, &ai, &ac, &bi, &bc, &c, Protect::None, &mut noise);
+        let (ids, coeffs) = merge_mul_direct(
+            10.0f64,
+            2.0f64,
+            &ai,
+            &ac,
+            &bi,
+            &bc,
+            &c,
+            Protect::None,
+            &mut noise,
+        );
         assert_eq!(ids[1], 5); // SP keeps the 10
         assert_eq!(coeffs[1], 10.0);
         assert_eq!(noise.value(), 2.0);

@@ -106,7 +106,11 @@ impl<C: CenterValue> Affine<C> {
         if conv_err > 0.0 {
             repr.push_fresh(ctx.fresh_symbol(), conv_err, ctx.k());
         }
-        Affine { center, repr, acc_noise: 0.0 }
+        Affine {
+            center,
+            repr,
+            acc_noise: 0.0,
+        }
     }
 
     /// A form for a source-program constant, following the paper's
@@ -121,7 +125,11 @@ impl<C: CenterValue> Affine<C> {
         let mut repr = Repr::empty(ctx);
         let mag = add_ru(metrics::ulp(x), conv_err);
         repr.push_fresh(ctx.fresh_symbol(), mag, ctx.k());
-        Affine { center, repr, acc_noise: 0.0 }
+        Affine {
+            center,
+            repr,
+            acc_noise: 0.0,
+        }
     }
 
     /// An input variable: central value `x` with one fresh symbol of
@@ -132,7 +140,11 @@ impl<C: CenterValue> Affine<C> {
         let mut repr = Repr::empty(ctx);
         let mag = add_ru(metrics::ulp(x), conv_err);
         repr.push_fresh(ctx.fresh_symbol(), mag, ctx.k());
-        Affine { center, repr, acc_noise: 0.0 }
+        Affine {
+            center,
+            repr,
+            acc_noise: 0.0,
+        }
     }
 
     /// A form enclosing the interval `[lo, hi]` with a single fresh symbol.
@@ -147,18 +159,30 @@ impl<C: CenterValue> Affine<C> {
         let rad = sub_ru(hi, mid).max(sub_ru(mid, lo));
         let mut repr = Repr::empty(ctx);
         repr.push_fresh(ctx.fresh_symbol(), add_ru(rad, conv_err), ctx.k());
-        Affine { center, repr, acc_noise: 0.0 }
+        Affine {
+            center,
+            repr,
+            acc_noise: 0.0,
+        }
     }
 
     /// The "anything" form: infinite radius, certifies nothing. Produced by
     /// division through zero and overflow.
     pub fn entire(ctx: &AaContext) -> Affine<C> {
         let (center, _) = C::from_f64(0.0);
-        Affine { center, repr: Repr::empty(ctx), acc_noise: f64::INFINITY }
+        Affine {
+            center,
+            repr: Repr::empty(ctx),
+            acc_noise: f64::INFINITY,
+        }
     }
 
     pub(crate) fn from_parts(center: C, repr: Repr, acc_noise: f64) -> Affine<C> {
-        Affine { center, repr, acc_noise }
+        Affine {
+            center,
+            repr,
+            acc_noise,
+        }
     }
 
     // -- accessors ----------------------------------------------------------
@@ -314,7 +338,13 @@ impl<C: CenterValue> Affine<C> {
 
 impl<C: CenterValue> fmt::Display for Affine<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ± {:e} ({} syms)", self.center, self.radius(), self.n_symbols())
+        write!(
+            f,
+            "{} ± {:e} ({} syms)",
+            self.center,
+            self.radius(),
+            self.n_symbols()
+        )
     }
 }
 

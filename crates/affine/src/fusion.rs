@@ -244,10 +244,28 @@ mod tests {
         let old_small = Term::new(1, 0.1);
         let new_big = Term::new(9, 5.0);
         // SP keeps the bigger magnitude.
-        assert!(!resolve_conflict(old_small, new_big, Fusion::Smallest, &c, Protect::None));
+        assert!(!resolve_conflict(
+            old_small,
+            new_big,
+            Fusion::Smallest,
+            &c,
+            Protect::None
+        ));
         // OP keeps the newer id.
-        assert!(!resolve_conflict(old_small, new_big, Fusion::Oldest, &c, Protect::None));
-        assert!(resolve_conflict(new_big, old_small, Fusion::Oldest, &c, Protect::None));
+        assert!(!resolve_conflict(
+            old_small,
+            new_big,
+            Fusion::Oldest,
+            &c,
+            Protect::None
+        ));
+        assert!(resolve_conflict(
+            new_big,
+            old_small,
+            Fusion::Oldest,
+            &c,
+            Protect::None
+        ));
     }
 
     #[test]
@@ -256,8 +274,20 @@ mod tests {
         let prot = [1u64];
         let protected_term = Term::new(1, 0.001);
         let other = Term::new(9, 100.0);
-        assert!(resolve_conflict(protected_term, other, Fusion::Smallest, &c, Protect::Ids(&prot)));
-        assert!(!resolve_conflict(other, protected_term, Fusion::Smallest, &c, Protect::Ids(&prot)));
+        assert!(resolve_conflict(
+            protected_term,
+            other,
+            Fusion::Smallest,
+            &c,
+            Protect::Ids(&prot)
+        ));
+        assert!(!resolve_conflict(
+            other,
+            protected_term,
+            Fusion::Smallest,
+            &c,
+            Protect::Ids(&prot)
+        ));
     }
 
     #[test]

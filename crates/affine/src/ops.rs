@@ -73,8 +73,14 @@ impl<C: CenterValue> Affine<C> {
                 finalize_sorted(center, terms, noise.value(), acc, ctx, protect)
             }
             (
-                Repr::Direct { ids: ai, coeffs: ac },
-                Repr::Direct { ids: bi, coeffs: bc },
+                Repr::Direct {
+                    ids: ai,
+                    coeffs: ac,
+                },
+                Repr::Direct {
+                    ids: bi,
+                    coeffs: bc,
+                },
             ) => {
                 let (ids, coeffs) = if ctx.config().vectorized {
                     vector::merge_linear_vec(ai, ac, bi, bc, sign_b, ctx, protect, &mut noise)
@@ -110,8 +116,14 @@ impl<C: CenterValue> Affine<C> {
                 finalize_sorted(center, terms, noise.value(), acc, ctx, protect)
             }
             (
-                Repr::Direct { ids: ai, coeffs: ac },
-                Repr::Direct { ids: bi, coeffs: bc },
+                Repr::Direct {
+                    ids: ai,
+                    coeffs: ac,
+                },
+                Repr::Direct {
+                    ids: bi,
+                    coeffs: bc,
+                },
             ) => {
                 let (ids, coeffs) = if ctx.config().vectorized {
                     vector::merge_mul_vec(
@@ -171,10 +183,10 @@ impl<C: CenterValue> Affine<C> {
         // decreasing on [l, u], so its extremes are at the endpoints.
         // All quantities are computed with directed rounding.
         let alpha = -div_rd(1.0, mul_ru(u, u)); // any value near −1/u² is valid
-        // d(l) and d(u), outward-rounded. d is only *approximately*
-        // monotone once α is a rounded value, so take min/max of sound
-        // endpoint enclosures plus the (tiny) interior correction at the
-        // critical point x* = 1/√(−α), which lies within ~1 ulp of u.
+                                                // d(l) and d(u), outward-rounded. d is only *approximately*
+                                                // monotone once α is a rounded value, so take min/max of sound
+                                                // endpoint enclosures plus the (tiny) interior correction at the
+                                                // critical point x* = 1/√(−α), which lies within ~1 ulp of u.
         let (dl_lo, dl_hi) = d_recip_bounds(l, alpha);
         let (du_lo, du_hi) = d_recip_bounds(u, alpha);
         // Interior critical value: d(x*) = 2√(−α) ≥ d(u); include it.
@@ -186,7 +198,11 @@ impl<C: CenterValue> Affine<C> {
         // delta covers |d(x) − ζ| with margin: widen by one rounding step.
         let delta = add_ru(delta, safegen_fpcore::metrics::ulp(dmax));
 
-        let (alpha, zeta) = if negate { (alpha, -zeta) } else { (alpha, zeta) };
+        let (alpha, zeta) = if negate {
+            (alpha, -zeta)
+        } else {
+            (alpha, zeta)
+        };
         self.linear_approx(alpha, zeta, delta, ctx, protect)
     }
 
@@ -456,9 +472,7 @@ pub(crate) fn finalize_direct<C: CenterValue>(
 ) -> Affine<C> {
     let mut repr = Repr::Direct { ids, coeffs };
     match ctx.config().noise {
-        NoisePolicy::Dedicated => {
-            Affine::from_parts(center, repr, add_ru(acc_noise, noise))
-        }
+        NoisePolicy::Dedicated => Affine::from_parts(center, repr, add_ru(acc_noise, noise)),
         NoisePolicy::Fresh => {
             if noise > 0.0 {
                 repr.push_fresh(ctx.fresh_symbol(), noise, ctx.k());
@@ -585,7 +599,11 @@ mod tests {
             let a = Affine::<f64>::from_input(1.0, &c);
             let b = Affine::<f64>::from_input(3.0, &c);
             let q = a.div(&b, &c, Protect::None);
-            assert!(q.contains_dd(Dd::ONE / Dd::from(3.0)), "range = {:?}", q.range());
+            assert!(
+                q.contains_dd(Dd::ONE / Dd::from(3.0)),
+                "range = {:?}",
+                q.range()
+            );
             // And reasonably tight.
             let (lo, hi) = q.range();
             assert!(hi - lo < 1e-10, "width = {}", hi - lo);
@@ -629,7 +647,11 @@ mod tests {
         for c in both_placements(8) {
             let a = Affine::<f64>::from_input(2.0, &c);
             let r = a.sqrt(&c, Protect::None);
-            assert!(r.contains_dd(Dd::from(2.0).sqrt()), "range = {:?}", r.range());
+            assert!(
+                r.contains_dd(Dd::from(2.0).sqrt()),
+                "range = {:?}",
+                r.range()
+            );
         }
     }
 
@@ -760,7 +782,10 @@ mod tests {
         let t2 = x.mul(&y, &c1, Protect::None);
         let d1 = t1.sub(&t2, &c1, Protect::None);
         let (lo, hi) = d1.range();
-        assert!(lo <= -1.4 && hi >= 1.4, "IA-like behaviour expected, got [{lo},{hi}]");
+        assert!(
+            lo <= -1.4 && hi >= 1.4,
+            "IA-like behaviour expected, got [{lo},{hi}]"
+        );
 
         // The same computation with a healthy budget cancels.
         let c8 = ctx(8, Placement::Sorted);
@@ -787,7 +812,11 @@ mod tests {
             );
             let z = Affine::<f64>::from_interval(0.9, 1.1, &c); // oldest symbol
             let zids = z.symbol_ids();
-            let prot = if protect_input { Protect::Ids(&zids) } else { Protect::None };
+            let prot = if protect_input {
+                Protect::Ids(&zids)
+            } else {
+                Protect::None
+            };
             let x = Affine::<f64>::from_interval(0.95, 1.05, &c);
             let y = Affine::<f64>::from_interval(0.95, 1.05, &c);
             let t1 = x.mul(&z, &c, prot);
@@ -818,8 +847,11 @@ mod tests {
             assert!(p.contains_f64(0.0));
             // sqrt of x·x where x has tiny symbols dips below zero and
             // poisons; multiplying by an exact zero must stay clean.
-            let x = Affine::<f64>::constant(0.5, &c)
-                .sub(&Affine::<f64>::constant(0.5, &c), &c, Protect::None);
+            let x = Affine::<f64>::constant(0.5, &c).sub(
+                &Affine::<f64>::constant(0.5, &c),
+                &c,
+                Protect::None,
+            );
             let sq = x.mul(&x, &c, Protect::None);
             let r = sq.sqrt(&c, Protect::None);
             let z = zero.mul(&r, &c, Protect::None);

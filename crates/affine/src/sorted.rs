@@ -14,12 +14,7 @@ use safegen_fpcore::round::add_with_err;
 /// `sign_b` is `+1.0` for addition and `-1.0` for subtraction. Exact
 /// rounding errors of coefficient additions accumulate in `noise`.
 /// Zero-coefficient results are dropped (full cancellation).
-pub(crate) fn merge_linear(
-    a: &[Term],
-    b: &[Term],
-    sign_b: f64,
-    noise: &mut ErrAcc,
-) -> Vec<Term> {
+pub(crate) fn merge_linear(a: &[Term], b: &[Term], sign_b: f64, noise: &mut ErrAcc) -> Vec<Term> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

@@ -22,7 +22,10 @@ pub struct Term {
 
 impl Term {
     /// An empty direct-mapped slot.
-    pub const EMPTY: Term = Term { id: NO_SYMBOL, coeff: 0.0 };
+    pub const EMPTY: Term = Term {
+        id: NO_SYMBOL,
+        coeff: 0.0,
+    };
 
     /// Creates a term.
     #[inline]

@@ -103,9 +103,7 @@ fn check_soundness(cfg: AaConfig, inputs: &[f64], ops: &[Op]) -> Result<(), Test
                 (
                     vals[a % n].div(&vals[b % n], &ctx, Protect::None),
                     r,
-                    ta / babs
-                        + tb * ra.abs().hi() / (babs * babs)
-                        + DD_REF_REL * r.abs().hi(),
+                    ta / babs + tb * ra.abs().hi() / (babs * babs) + DD_REF_REL * r.abs().hi(),
                 )
             }
             Op::Const(c) => (Affine::constant(c, &ctx), Dd::from(c), 0.0),

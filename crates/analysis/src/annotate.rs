@@ -82,13 +82,24 @@ fn insert_pragmas(f: &Function, plan: &HashMap<(usize, usize), String>) -> Funct
                     }
                     out.push(s.clone());
                 }
-                Stmt::If { cond, then_body, else_body, span } => out.push(Stmt::If {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                } => out.push(Stmt::If {
                     cond: cond.clone(),
                     then_body: rewrite(then_body, plan),
                     else_body: rewrite(else_body, plan),
                     span: *span,
                 }),
-                Stmt::For { init, cond, step, body, span } => out.push(Stmt::For {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span,
+                } => out.push(Stmt::For {
                     init: init.clone(),
                     cond: cond.clone(),
                     step: step.clone(),
@@ -100,9 +111,10 @@ fn insert_pragmas(f: &Function, plan: &HashMap<(usize, usize), String>) -> Funct
                     body: rewrite(body, plan),
                     span: *span,
                 }),
-                Stmt::Block { body, span } => {
-                    out.push(Stmt::Block { body: rewrite(body, plan), span: *span })
-                }
+                Stmt::Block { body, span } => out.push(Stmt::Block {
+                    body: rewrite(body, plan),
+                    span: *span,
+                }),
                 other => out.push(other.clone()),
             }
         }

@@ -78,13 +78,24 @@ pub fn annotate_capacities(f: &Function, plan: &HashMap<(usize, usize), usize>) 
                     }
                     out.push(s.clone());
                 }
-                Stmt::If { cond, then_body, else_body, span } => out.push(Stmt::If {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span,
+                } => out.push(Stmt::If {
                     cond: cond.clone(),
                     then_body: rewrite(then_body, plan),
                     else_body: rewrite(else_body, plan),
                     span: *span,
                 }),
-                Stmt::For { init, cond, step, body, span } => out.push(Stmt::For {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span,
+                } => out.push(Stmt::For {
                     init: init.clone(),
                     cond: cond.clone(),
                     step: step.clone(),
@@ -96,9 +107,10 @@ pub fn annotate_capacities(f: &Function, plan: &HashMap<(usize, usize), usize>) 
                     body: rewrite(body, plan),
                     span: *span,
                 }),
-                Stmt::Block { body, span } => {
-                    out.push(Stmt::Block { body: rewrite(body, plan), span: *span })
-                }
+                Stmt::Block { body, span } => out.push(Stmt::Block {
+                    body: rewrite(body, plan),
+                    span: *span,
+                }),
                 other => out.push(other.clone()),
             }
         }
@@ -136,7 +148,9 @@ mod tests {
         let f = &tac.functions[0];
         let plan = capacity_plan(f, &sema, k_low);
         let n = plan.len();
-        let annotated = Unit { functions: vec![annotate_capacities(f, &plan)] };
+        let annotated = Unit {
+            functions: vec![annotate_capacities(f, &plan)],
+        };
         // Annotated output must remain a valid program.
         let printed = print_unit(&annotated);
         let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));

@@ -161,7 +161,10 @@ fn solve_ilp(reuses: &[Reuse], cap: &dyn Fn(NodeId) -> usize) -> PriorityAssignm
     }
 
     let sol = safegen_ilp::solve(&p, 2_000_000);
-    let mut pa = PriorityAssignment { exact: sol.optimal, ..Default::default() };
+    let mut pa = PriorityAssignment {
+        exact: sol.optimal,
+        ..Default::default()
+    };
     for (i, r) in reuses.iter().enumerate() {
         if sol.values[i] {
             pa.total_profit += r.profit;
@@ -188,7 +191,12 @@ fn solve_ilp(reuses: &[Reuse], cap: &dyn Fn(NodeId) -> usize) -> PriorityAssignm
 fn solve_greedy(reuses: &[Reuse], cap: &dyn Fn(NodeId) -> usize) -> PriorityAssignment {
     let mut order: Vec<usize> = (0..reuses.len()).collect();
     // Highest profit first; tie-break on smaller connections (cheaper).
-    order.sort_by_key(|&i| (std::cmp::Reverse(reuses[i].profit), reuses[i].connection.len()));
+    order.sort_by_key(|&i| {
+        (
+            std::cmp::Reverse(reuses[i].profit),
+            reuses[i].connection.len(),
+        )
+    });
     let mut pa = PriorityAssignment::default();
     // load[v] = set of symbols currently protected at v.
     let mut load: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
@@ -330,7 +338,10 @@ mod tests {
         for r in &pa.realized {
             let protected = &pa.pi[&r.source];
             for v in &r.connection {
-                assert!(protected.contains(v), "connection node {v} unprotected in {r:?}");
+                assert!(
+                    protected.contains(v),
+                    "connection node {v} unprotected in {r:?}"
+                );
             }
         }
     }
@@ -376,7 +387,12 @@ mod tests {
         let dag = dag_of(diamond_src());
         let single = crate::reuse::find_reuses_multi(&dag, 1);
         let multi = crate::reuse::find_reuses_multi(&dag, 3);
-        assert!(multi.len() > single.len(), "{} !> {}", multi.len(), single.len());
+        assert!(
+            multi.len() > single.len(),
+            "{} !> {}",
+            multi.len(),
+            single.len()
+        );
         // All alternatives for one pair must be distinct connections.
         use std::collections::BTreeSet;
         let mut seen: BTreeSet<(NodeId, NodeId, Vec<NodeId>)> = BTreeSet::new();
@@ -433,8 +449,12 @@ mod tests {
             .filter(|(_, n)| n.kind == NodeKind::Mul)
             .map(|(i, _)| i)
             .collect();
-        let blocked =
-            solve_max_reuse_caps(&reuses, &|v| usize::from(v != muls[0]), true, SolveMode::Ilp);
+        let blocked = solve_max_reuse_caps(
+            &reuses,
+            &|v| usize::from(v != muls[0]),
+            true,
+            SolveMode::Ilp,
+        );
         assert_eq!(blocked.total_profit, 0);
     }
 
@@ -449,7 +469,12 @@ mod tests {
             }",
         );
         let reuses = find_reuses(&dag);
-        let pa = solve_max_reuse_caps(&reuses, &|v| if v % 2 == 0 { 2 } else { 1 }, true, SolveMode::Ilp);
+        let pa = solve_max_reuse_caps(
+            &reuses,
+            &|v| if v % 2 == 0 { 2 } else { 1 },
+            true,
+            SolveMode::Ilp,
+        );
         // Recheck loads against the heterogeneous caps.
         for v in 0..dag.len() {
             assert!(pa.protected_at(v).len() <= if v % 2 == 0 { 2 } else { 1 });

@@ -142,8 +142,12 @@ pub fn find_reuses_multi(dag: &Dag, per_pair: usize) -> Vec<Reuse> {
                     if have >= per_pair {
                         continue;
                     }
-                    let Some(p1) = shortest_path(dag, s, u, &anc, None) else { continue };
-                    let Some(p2) = shortest_path(dag, s, v, &anc, None) else { continue };
+                    let Some(p1) = shortest_path(dag, s, u, &anc, None) else {
+                        continue;
+                    };
+                    let Some(p2) = shortest_path(dag, s, v, &anc, None) else {
+                        continue;
+                    };
                     let base = merge_paths(&p1, &p2);
                     push_unique(&mut out, s, t, base.clone(), profits[s]);
                     // Detour alternatives: re-route either leg around each
@@ -190,7 +194,12 @@ fn push_unique(out: &mut Vec<Reuse>, s: NodeId, t: NodeId, connection: Vec<NodeI
         .iter()
         .any(|r| r.source == s && r.target == t && r.connection == connection)
     {
-        out.push(Reuse { source: s, target: t, connection, profit });
+        out.push(Reuse {
+            source: s,
+            target: t,
+            connection,
+            profit,
+        });
     }
 }
 
@@ -221,7 +230,11 @@ mod tests {
         let dag = dag_of("double f(double x, double y, double z) { return x*z - y*z; }");
         let reuses = find_reuses(&dag);
         let z = input_id(&dag, "z");
-        let sub = dag.nodes().iter().position(|n| n.kind == NodeKind::Sub).unwrap();
+        let sub = dag
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Sub)
+            .unwrap();
         let r = reuses
             .iter()
             .find(|r| r.source == z && r.target == sub)
@@ -265,8 +278,15 @@ mod tests {
         );
         let reuses = find_reuses(&dag);
         let x = input_id(&dag, "x");
-        let sub = dag.nodes().iter().position(|n| n.kind == NodeKind::Sub).unwrap();
-        let r = reuses.iter().find(|r| r.source == x && r.target == sub).unwrap();
+        let sub = dag
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Sub)
+            .unwrap();
+        let r = reuses
+            .iter()
+            .find(|r| r.source == x && r.target == sub)
+            .unwrap();
         assert_eq!(r.connection.len(), 4, "{r:?}"); // 4 muls on the two paths
     }
 
@@ -280,9 +300,20 @@ mod tests {
              }",
         );
         let reuses = find_reuses(&dag);
-        let add = dag.nodes().iter().position(|n| n.kind == NodeKind::Add).unwrap();
-        let sub = dag.nodes().iter().position(|n| n.kind == NodeKind::Sub).unwrap();
-        let r = reuses.iter().find(|r| r.source == add && r.target == sub).unwrap();
+        let add = dag
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Add)
+            .unwrap();
+        let sub = dag
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Sub)
+            .unwrap();
+        let r = reuses
+            .iter()
+            .find(|r| r.source == add && r.target == sub)
+            .unwrap();
         // ρ(s) = a, b, s = 3.
         assert_eq!(r.profit, 3);
         // a and b are also reused at the sub (through s).

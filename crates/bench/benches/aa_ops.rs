@@ -26,14 +26,22 @@ fn operands(ctx: &AaContext) -> (AffineF64, AffineF64) {
     }
     // Normalize magnitudes to avoid overflow in the timing loop.
     let scale = AffineF64::exact(1e-3, ctx);
-    (a.mul(&scale, ctx, Protect::None), b.mul(&scale, ctx, Protect::None))
+    (
+        a.mul(&scale, ctx, Protect::None),
+        b.mul(&scale, ctx, Protect::None),
+    )
 }
 
 fn bench_add_mul(c: &mut Criterion) {
     let mut group = c.benchmark_group("aa_ops");
     for &k in &[8usize, 16, 32, 48] {
         for (tag, cfg) in [
-            ("ss", AaConfig::new(k).with_placement(Placement::Sorted).with_vectorized(false)),
+            (
+                "ss",
+                AaConfig::new(k)
+                    .with_placement(Placement::Sorted)
+                    .with_vectorized(false),
+            ),
             ("ds", AaConfig::new(k).with_vectorized(false)),
             ("dsv", AaConfig::new(k).with_vectorized(true)),
         ] {

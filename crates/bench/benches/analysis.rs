@@ -16,7 +16,13 @@ fn bench_compile_pipeline(c: &mut Criterion) {
         Workload::new(WorkloadKind::Fgm { n: 8, iters: 40 }),
     ] {
         group.bench_with_input(BenchmarkId::new("compile", w.name), &w, |b, w| {
-            b.iter(|| black_box(safegen::Compiler::new().compile(black_box(&w.source)).unwrap()))
+            b.iter(|| {
+                black_box(
+                    safegen::Compiler::new()
+                        .compile(black_box(&w.source))
+                        .unwrap(),
+                )
+            })
         });
         let compiled = safegen::Compiler::new().compile(&w.source).unwrap();
         group.bench_with_input(BenchmarkId::new("prioritize_k16", w.name), &w, |b, w| {

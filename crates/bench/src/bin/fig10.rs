@@ -11,6 +11,7 @@ use safegen::{Compiler, RunConfig};
 use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
 
 fn main() {
+    harness::announce("fig10");
     let sizes: Vec<usize> = if harness::quick() {
         vec![10, 20, 40]
     } else {
@@ -24,7 +25,9 @@ fn main() {
             Workload::new(WorkloadKind::Sor { n, iters: 10 }),
             Workload::new(WorkloadKind::Luf { n }),
         ] {
-            let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+            let compiled = Compiler::new()
+                .compile(&w.source)
+                .expect("workload compiles");
             let mut m = harness::measure(&w, &compiled, &RunConfig::affine_f64(k));
             m.config = format!("{} (n={n})", m.config);
             rows.push(m);

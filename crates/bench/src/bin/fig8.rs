@@ -30,6 +30,7 @@ fn configs(k: usize) -> Vec<RunConfig> {
 }
 
 fn main() {
+    harness::announce("fig8");
     let ks: Vec<usize> = if harness::quick() {
         vec![8, 16, 32]
     } else {
@@ -39,7 +40,9 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
 
     for w in &suite {
-        let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+        let compiled = Compiler::new()
+            .compile(&w.source)
+            .expect("workload compiles");
         for &k in &ks {
             for cfg in configs(k) {
                 rows.push(harness::measure(w, &compiled, &cfg));
@@ -54,7 +57,10 @@ fn main() {
     for w in &suite {
         let mut pts: Vec<&Measurement> = rows.iter().filter(|r| r.bench == w.name).collect();
         pts.sort_by(|a, b| a.slowdown.partial_cmp(&b.slowdown).unwrap());
-        println!("\n== Fig. 8 {}: Pareto front (slowdown ↑, accuracy must ↑) ==", w.name);
+        println!(
+            "\n== Fig. 8 {}: Pareto front (slowdown ↑, accuracy must ↑) ==",
+            w.name
+        );
         let mut best = f64::NEG_INFINITY;
         for p in pts {
             if p.acc_bits > best {

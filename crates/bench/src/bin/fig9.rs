@@ -26,6 +26,7 @@ fn full_k(kind: WorkloadKind) -> usize {
 }
 
 fn main() {
+    harness::announce("fig9");
     let ks: Vec<usize> = if harness::quick() {
         vec![8, 16, 32]
     } else {
@@ -35,7 +36,9 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
 
     for w in &suite {
-        let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+        let compiled = Compiler::new()
+            .compile(&w.source)
+            .expect("workload compiles");
         for &k in &ks {
             rows.push(harness::measure(w, &compiled, &RunConfig::affine_f64(k)));
             rows.push(harness::measure(w, &compiled, &RunConfig::ceres(k)));
@@ -78,7 +81,9 @@ fn main() {
 
     println!("\n== Full AA: yalaa-aff0 vs SafeGen f64a-dspv-k̄ (paper: 3-6x) ==");
     for w in &suite {
-        let ya = rows.iter().find(|r| r.bench == w.name && r.config == "yalaa-aff0");
+        let ya = rows
+            .iter()
+            .find(|r| r.bench == w.name && r.config == "yalaa-aff0");
         let fk = rows.iter().find(|r| {
             r.bench == w.name && r.config.starts_with("f64a-") && {
                 let k: usize = r
@@ -103,8 +108,12 @@ fn main() {
 
     println!("\n== IA comparison (paper: IA loses all bits on henon; fgm 7 bits) ==");
     for w in &suite {
-        let ia = rows.iter().find(|r| r.bench == w.name && r.config == "IGen-f64");
-        let iadd = rows.iter().find(|r| r.bench == w.name && r.config == "IGen-dd");
+        let ia = rows
+            .iter()
+            .find(|r| r.bench == w.name && r.config == "IGen-f64");
+        let iadd = rows
+            .iter()
+            .find(|r| r.bench == w.name && r.config == "IGen-dd");
         let sg8 = rows
             .iter()
             .find(|r| r.bench == w.name && r.config == "f64a-dspv (k=8)");

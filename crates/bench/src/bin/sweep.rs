@@ -32,7 +32,10 @@ fn henon_sweep() {
 
 fn fgm_sweep() {
     println!("fgm: accuracy vs iteration count");
-    println!("{:<6} {:>9} {:>9} {:>9}", "iters", "IGen-f64", "k=8", "k=32");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9}",
+        "iters", "IGen-f64", "k=8", "k=32"
+    );
     for iters in [20usize, 40, 60, 80] {
         let w = Workload::new(WorkloadKind::Fgm { n: 8, iters });
         let c = Compiler::new().compile(&w.source).unwrap();
@@ -56,7 +59,10 @@ fn prio_sweep() {
             let with = harness::measure(&w, &c, &RunConfig::affine_f64(k)).acc_bits;
             let without =
                 harness::measure(&w, &c, &RunConfig::mnemonic(k, "dsnv").unwrap()).acc_bits;
-            print!("  k={k}: {with:>5.1} vs {without:>5.1} ({:+.1})", with - without);
+            print!(
+                "  k={k}: {with:>5.1} vs {without:>5.1} ({:+.1})",
+                with - without
+            );
         }
         println!();
     }
@@ -65,7 +71,10 @@ fn prio_sweep() {
 fn capacity_sweep() {
     println!("variable-capacity extension (paper Sec. VIII future work):");
     println!("sorted placement, k = 24; reuse-free ops throttled to k_low");
-    println!("{:<10} {:>10} {:>12} {:>12}", "k_low", "acc(bits)", "runtime", "vs uniform");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "k_low", "acc(bits)", "runtime", "vs uniform"
+    );
     for w in Workload::paper_suite() {
         let c = Compiler::new().compile(&w.source).unwrap();
         let mut uniform = RunConfig::mnemonic(24, "sspn").unwrap();
@@ -91,6 +100,7 @@ fn capacity_sweep() {
 }
 
 fn main() {
+    harness::announce("sweep");
     let which = std::env::args().nth(1).unwrap_or_else(|| "henon".into());
     match which.as_str() {
         "henon" => henon_sweep(),

@@ -8,13 +8,16 @@ use safegen::{Compiler, RunConfig};
 use safegen_bench::{harness, Workload};
 
 fn main() {
+    harness::announce("table3");
     let k = 40;
     let combos = ["ssnn", "smnn", "sonn", "dsnn"];
     let suite = Workload::paper_suite();
 
     let mut rows = Vec::new();
     for w in &suite {
-        let compiled = Compiler::new().compile(&w.source).expect("workload compiles");
+        let compiled = Compiler::new()
+            .compile(&w.source)
+            .expect("workload compiles");
         for m in combos {
             let cfg = RunConfig::mnemonic(k, m).unwrap();
             rows.push(harness::measure(w, &compiled, &cfg));
@@ -25,7 +28,10 @@ fn main() {
 
     // Table III layout: accuracy block, then speedup-over-ss block.
     println!("\n== Table III (top): certified accuracy in bits, k = {k} ==");
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "bench", "ss", "sm", "so", "ds");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "ss", "sm", "so", "ds"
+    );
     for w in &suite {
         let acc: Vec<f64> = combos
             .iter()
@@ -43,7 +49,10 @@ fn main() {
     }
 
     println!("\n== Table III (bottom): speedup over ss, k = {k} ==");
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "bench", "ss", "sm", "so", "ds");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "bench", "ss", "sm", "so", "ds"
+    );
     for w in &suite {
         let times: Vec<f64> = combos
             .iter()

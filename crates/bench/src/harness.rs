@@ -5,11 +5,21 @@
 //! affine forms with a random central value and one symbol of `1 ulp` —
 //! and reports the **median runtime** and the **average worst-case
 //! certified accuracy** across runs.
+//!
+//! Repetitions are independent, so they run through the parallel
+//! [`safegen::batch`] engine: `SAFEGEN_THREADS` picks the worker count
+//! (default: all available cores; `1` forces the serial path). Each
+//! repetition's inputs come from its own RNG seeded by `BASE_SEED ^ rep`,
+//! which makes every reported number except wall time **bit-identical
+//! for any thread count** — see `safegen::batch` and
+//! `tests/batch_parallel.rs`.
 
 use crate::workloads::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use safegen::batch::{run_batch_with, BatchOptions};
 use safegen::{Compiled, RunConfig};
+use std::sync::Once;
 use std::time::Instant;
 
 /// One measured configuration on one workload.
@@ -31,17 +41,61 @@ pub struct Measurement {
     pub undecided: f64,
 }
 
+/// Seed of every measurement series; repetition `i` draws its inputs
+/// from `StdRng::seed_from_u64(BASE_SEED ^ i)`.
+pub const BASE_SEED: u64 = 0xC60_2022;
+
+fn env_usize(name: &'static str, default: usize, warn: &'static Once) -> usize {
+    match std::env::var(name) {
+        Ok(s) => match s.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                warn.call_once(|| {
+                    eprintln!("warning: {name}={s:?} is not a number; using default {default}");
+                });
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
 /// Number of measurement repetitions (`SAFEGEN_REPS`, default 30).
+/// An unparsable value falls back to the default with a warning (once).
 pub fn reps() -> usize {
-    std::env::var("SAFEGEN_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30)
+    static WARN: Once = Once::new();
+    env_usize("SAFEGEN_REPS", 30, &WARN)
+}
+
+/// Worker threads for batch evaluation (`SAFEGEN_THREADS`; `0` or unset
+/// = all available cores, `1` = serial). An unparsable value falls back
+/// to the default with a warning (once).
+pub fn threads() -> usize {
+    static WARN: Once = Once::new();
+    env_usize("SAFEGEN_THREADS", 0, &WARN)
 }
 
 /// True when `SAFEGEN_QUICK=1`: binaries shrink their sweeps.
 pub fn quick() -> bool {
-    std::env::var("SAFEGEN_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SAFEGEN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Prints the harness configuration banner (worker count, repetitions)
+/// to stderr; figure binaries call this once at startup so a saved log
+/// records how its numbers were produced.
+pub fn announce(binary: &str) {
+    let t = threads();
+    let shown = BatchOptions::with_threads(t).resolve(usize::MAX);
+    eprintln!(
+        "{binary}: SAFEGEN_REPS={} SAFEGEN_THREADS={} ({} worker{}){}",
+        reps(),
+        t,
+        shown,
+        if shown == 1 { "" } else { "s" },
+        if quick() { " [SAFEGEN_QUICK]" } else { "" },
+    );
 }
 
 /// Median of a slice (not in-place).
@@ -52,30 +106,41 @@ fn median(xs: &[f64]) -> f64 {
 }
 
 /// Measures `config` on `workload` (already compiled): median runtime and
-/// mean worst-case accuracy over [`reps`] random inputs.
+/// mean worst-case accuracy over [`reps`] random inputs, evaluated on
+/// [`threads`] workers.
 ///
 /// # Panics
 ///
 /// Panics if the program fails to execute (the workloads are known-good).
 pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> Measurement {
     let n = reps();
-    let mut rng = StdRng::seed_from_u64(0xC60_2022);
-    let mut times = Vec::with_capacity(n);
-    let mut accs = Vec::with_capacity(n);
-    let mut undecided = 0u64;
-    // Warm the prioritized-program cache outside the timed region (the
+    let prog = compiled.program_for(workload.func, config);
+    let make_input = |seed: u64, _i: usize| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        workload.args(&mut rng)
+    };
+    // Warm the instruction/allocator caches outside the timed region (the
     // paper reports generation takes < 1 s and is not part of runtime).
-    let _ = compiled.run(workload.func, &workload.args(&mut rng), config);
-    for _ in 0..n {
-        let args = workload.args(&mut rng);
-        let t0 = Instant::now();
-        let rep = compiled
-            .run(workload.func, &args, config)
-            .unwrap_or_else(|e| panic!("{} under {}: {e}", workload.name, config.label()));
-        times.push(t0.elapsed().as_secs_f64());
-        accs.push(if rep.acc_bits.is_finite() { rep.acc_bits } else { 0.0 }.max(0.0));
-        undecided += rep.stats.undecided_branches;
-    }
+    let _ = safegen::run_on(&prog, &make_input(BASE_SEED, 0), config);
+    let batch = run_batch_with(
+        &prog,
+        n,
+        BASE_SEED,
+        make_input,
+        config,
+        &BatchOptions::with_threads(threads()),
+    )
+    .unwrap_or_else(|e| panic!("{} under {}: {e}", workload.name, config.label()));
+
+    let times: Vec<f64> = batch.items.iter().map(|it| it.elapsed_s).collect();
+    let accs: Vec<f64> = batch
+        .items
+        .iter()
+        .map(|it| {
+            let a = it.report.acc_bits;
+            if a.is_finite() { a } else { 0.0 }.max(0.0)
+        })
+        .collect();
     let native_runtime = measure_native(workload);
     let runtime = median(&times);
     Measurement {
@@ -85,20 +150,22 @@ pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> 
         native_runtime,
         slowdown: runtime / native_runtime,
         acc_bits: accs.iter().sum::<f64>() / accs.len() as f64,
-        undecided: undecided as f64 / n as f64,
+        undecided: batch.stats.undecided_branches as f64 / n as f64,
     }
 }
 
 /// Median native (plain `f64`, compiled Rust) runtime of the workload —
-/// the unsound baseline of every slowdown figure.
+/// the unsound baseline of every slowdown figure. Runs serially (the
+/// native kernels are too fast for per-item parallel timing to help)
+/// on the same per-repetition seeds as [`measure`].
 pub fn measure_native(workload: &Workload) -> f64 {
     let n = reps();
-    let mut rng = StdRng::seed_from_u64(0xC60_2022);
     let mut times = Vec::with_capacity(n);
     // Batch enough inner iterations that the clock resolution is
     // irrelevant for the small kernels.
     let inner = 16;
-    for _ in 0..n {
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(BASE_SEED ^ i as u64);
         let args = workload.args(&mut rng);
         let t0 = Instant::now();
         let mut sink = 0.0f64;
@@ -144,8 +211,13 @@ mod tests {
     use crate::workloads::WorkloadKind;
     use safegen::Compiler;
 
+    /// The env-mutating tests below share process-global state; serialize
+    /// them so the parallel test runner cannot interleave their settings.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn measurement_produces_sane_numbers() {
+        let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("SAFEGEN_REPS", "3");
         let w = Workload::new(WorkloadKind::Henon { iters: 10 });
         let compiled = Compiler::new().compile(&w.source).unwrap();
@@ -155,6 +227,33 @@ mod tests {
         assert!(m.slowdown > 1.0, "sound must cost more than native");
         assert!(m.acc_bits >= 0.0 && m.acc_bits <= 53.0);
         std::env::remove_var("SAFEGEN_REPS");
+    }
+
+    #[test]
+    fn accuracy_is_thread_count_invariant() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SAFEGEN_REPS", "6");
+        let w = Workload::new(WorkloadKind::Henon { iters: 10 });
+        let compiled = Compiler::new().compile(&w.source).unwrap();
+        std::env::set_var("SAFEGEN_THREADS", "1");
+        let serial = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        std::env::set_var("SAFEGEN_THREADS", "3");
+        let parallel = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        std::env::remove_var("SAFEGEN_THREADS");
+        std::env::remove_var("SAFEGEN_REPS");
+        assert_eq!(serial.acc_bits, parallel.acc_bits);
+        assert_eq!(serial.undecided, parallel.undecided);
+    }
+
+    #[test]
+    fn env_parsing_defaults_on_garbage() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SAFEGEN_REPS", "thirty");
+        assert_eq!(reps(), 30);
+        std::env::remove_var("SAFEGEN_REPS");
+        std::env::set_var("SAFEGEN_THREADS", "many");
+        assert_eq!(threads(), 0);
+        std::env::remove_var("SAFEGEN_THREADS");
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl Workload {
                 ArgValue::Array(vec![0.0, 0.0]),
             ],
             WorkloadKind::Sor { n, .. } => {
-                vec![ArgValue::Array((0..n * n).map(|_| rng.gen::<f64>()).collect())]
+                vec![ArgValue::Array(
+                    (0..n * n).map(|_| rng.gen::<f64>()).collect(),
+                )]
             }
             WorkloadKind::Luf { n } => {
                 // Uniform random matrix in [0, 1) with a mild diagonal
@@ -155,8 +157,9 @@ impl Workload {
                 // touch the box: saturation would reset the affine forms to
                 // exact constants and erase the error history the benchmark
                 // is supposed to accumulate.
-                let x0: Vec<f64> =
-                    (0..n).map(|i| xbar[i] + 0.1 * (rng.gen::<f64>() - 0.5)).collect();
+                let x0: Vec<f64> = (0..n)
+                    .map(|i| xbar[i] + 0.1 * (rng.gen::<f64>() - 0.5))
+                    .collect();
                 vec![
                     ArgValue::Array(h),
                     ArgValue::Array(g),
@@ -488,7 +491,9 @@ mod tests {
         let args = w.args(&mut rng);
         let native = w.native(&args);
         let compiled = Compiler::new().compile(&w.source).unwrap();
-        let rep = compiled.run(w.func, &args, &RunConfig::affine_f64(12)).unwrap();
+        let rep = compiled
+            .run(w.func, &args, &RunConfig::affine_f64(12))
+            .unwrap();
         // Pivoting order may differ only if comparisons were undecided;
         // with well-separated magnitudes they are decided, so the outputs
         // must enclose the native factorization.
@@ -501,9 +506,9 @@ mod tests {
     #[test]
     fn paper_suite_compiles() {
         for w in Workload::paper_suite() {
-            Compiler::new().compile(&w.source).unwrap_or_else(|e| {
-                panic!("{} failed to compile: {e}\n{}", w.name, w.source)
-            });
+            Compiler::new()
+                .compile(&w.source)
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}\n{}", w.name, w.source));
         }
     }
 

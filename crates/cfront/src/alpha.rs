@@ -19,7 +19,10 @@ pub fn rename_unique(unit: &Unit) -> Unit {
         .functions
         .iter()
         .map(|f| {
-            let mut cx = Renamer { scopes: vec![HashMap::new()], used: HashSet::new() };
+            let mut cx = Renamer {
+                scopes: vec![HashMap::new()],
+                used: HashSet::new(),
+            };
             for p in &f.params {
                 // Parameter names are kept verbatim (they are the ABI).
                 cx.used.insert(p.name.clone());
@@ -86,12 +89,22 @@ impl Renamer {
 
     fn stmt(&mut self, s: &Stmt) -> Stmt {
         match s {
-            Stmt::Decl { ty, name, init, span } => {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 // Initializer sees the *outer* binding (C semantics for
                 // our subset: no self-referential initializers).
                 let init = init.as_ref().map(|e| self.expr(e));
                 let name = self.declare(name);
-                Stmt::Decl { ty: ty.clone(), name, init, span: *span }
+                Stmt::Decl {
+                    ty: ty.clone(),
+                    name,
+                    init,
+                    span: *span,
+                }
             }
             Stmt::Assign { lhs, op, rhs, span } => Stmt::Assign {
                 lhs: self.expr(lhs),
@@ -99,13 +112,24 @@ impl Renamer {
                 rhs: self.expr(rhs),
                 span: *span,
             },
-            Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => Stmt::If {
                 cond: self.expr(cond),
                 then_body: self.scoped_block(then_body),
                 else_body: self.scoped_block(else_body),
                 span: *span,
             },
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 // The for-header opens a scope covering init/cond/step/body.
                 self.scopes.push(HashMap::new());
                 let init = init.as_ref().map(|i| Box::new(self.stmt(i)));
@@ -113,7 +137,13 @@ impl Renamer {
                 let step = step.as_ref().map(|st| Box::new(self.stmt(st)));
                 let body = self.block(body);
                 self.scopes.pop();
-                Stmt::For { init, cond, step, body, span: *span }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    span: *span,
+                }
             }
             Stmt::While { cond, body, span } => Stmt::While {
                 cond: self.expr(cond),
@@ -124,9 +154,10 @@ impl Renamer {
                 value: value.as_ref().map(|e| self.expr(e)),
                 span: *span,
             },
-            Stmt::ExprStmt { expr, span } => {
-                Stmt::ExprStmt { expr: self.expr(expr), span: *span }
-            }
+            Stmt::ExprStmt { expr, span } => Stmt::ExprStmt {
+                expr: self.expr(expr),
+                span: *span,
+            },
             Stmt::Pragma { payload, span } => {
                 // Rewrite prioritize(v) with the visible binding of v.
                 let payload = payload
@@ -135,11 +166,15 @@ impl Renamer {
                     .and_then(|v| self.lookup(v.trim()))
                     .map(|fresh| format!("prioritize({fresh})"))
                     .unwrap_or_else(|| payload.clone());
-                Stmt::Pragma { payload, span: *span }
+                Stmt::Pragma {
+                    payload,
+                    span: *span,
+                }
             }
-            Stmt::Block { body, span } => {
-                Stmt::Block { body: self.scoped_block(body), span: *span }
-            }
+            Stmt::Block { body, span } => Stmt::Block {
+                body: self.scoped_block(body),
+                span: *span,
+            },
         }
     }
 

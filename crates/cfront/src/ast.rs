@@ -388,7 +388,10 @@ mod tests {
     #[test]
     fn lvalue_detection() {
         let span = Span::default();
-        let id = Expr::Ident { name: "x".into(), span };
+        let id = Expr::Ident {
+            name: "x".into(),
+            span,
+        };
         assert!(id.is_lvalue());
         let lit = Expr::IntLit { value: 3, span };
         assert!(!lit.is_lvalue());

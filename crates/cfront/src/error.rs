@@ -15,7 +15,10 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates a diagnostic.
     pub fn new(message: impl Into<String>, span: Span) -> Diagnostic {
-        Diagnostic { message: message.into(), span }
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -37,7 +40,9 @@ pub struct ParseError {
 impl ParseError {
     /// Wraps a single diagnostic.
     pub fn single(d: Diagnostic) -> ParseError {
-        ParseError { diagnostics: vec![d] }
+        ParseError {
+            diagnostics: vec![d],
+        }
     }
 }
 

@@ -17,7 +17,12 @@ struct Lexer<'a> {
 /// Returns a [`ParseError`] on unrecognized characters or malformed
 /// numeric literals.
 pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
     let mut out = Vec::new();
     loop {
         let tok = lx.next_token()?;
@@ -95,7 +100,10 @@ impl<'a> Lexer<'a> {
         let (start, line, col) = (self.pos, self.line, self.col);
         let c = self.peek();
         if c == 0 {
-            return Ok(Token { kind: TokenKind::Eof, span: self.span_from(start, line, col) });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: self.span_from(start, line, col),
+            });
         }
         if c == b'#' {
             return self.lex_pragma(start, line, col);
@@ -176,7 +184,10 @@ impl<'a> Lexer<'a> {
                 .into())
             }
         };
-        Ok(Token { kind, span: self.span_from(start, line, col) })
+        Ok(Token {
+            kind,
+            span: self.span_from(start, line, col),
+        })
     }
 
     fn lex_ident(&mut self, start: usize, line: u32, col: u32) -> Token {
@@ -197,7 +208,10 @@ impl<'a> Lexer<'a> {
             "const" => TokenKind::KwConst,
             _ => TokenKind::Ident(text.to_string()),
         };
-        Token { kind, span: self.span_from(start, line, col) }
+        Token {
+            kind,
+            span: self.span_from(start, line, col),
+        }
     }
 
     fn lex_number(&mut self, start: usize, line: u32, col: u32) -> Result<Token, ParseError> {
@@ -251,7 +265,9 @@ impl<'a> Lexer<'a> {
         while self.peek() != b'\n' && self.peek() != 0 {
             self.bump();
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().trim();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .trim();
         let span = self.span_from(start, line, col);
         let rest = text.trim_start_matches('#').trim_start();
         let Some(rest) = rest.strip_prefix("pragma") else {
@@ -262,7 +278,10 @@ impl<'a> Lexer<'a> {
             // Unknown pragmas are ignored, like a real compiler would.
             return self.next_token();
         };
-        Ok(Token { kind: TokenKind::Pragma(payload.trim().to_string()), span })
+        Ok(Token {
+            kind: TokenKind::Pragma(payload.trim().to_string()),
+            span,
+        })
     }
 }
 

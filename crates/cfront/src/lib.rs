@@ -46,10 +46,10 @@ mod token;
 
 pub use alpha::rename_unique;
 pub use ast::*;
-pub use simd::lower_simd;
 pub use error::{Diagnostic, ParseError};
 pub use lexer::lex;
 pub use parser::parse;
 pub use printer::{print_expr, print_function, print_unit};
 pub use sema::{analyze, FnInfo, Sema, VarInfo};
+pub use simd::lower_simd;
 pub use token::{Span, Token, TokenKind};

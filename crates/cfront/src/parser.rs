@@ -60,7 +60,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             Err(Diagnostic::new(
-                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_kind().describe()
+                ),
                 self.peek().span,
             )
             .into())
@@ -102,10 +106,11 @@ impl Parser {
             TokenKind::KwFloat => Ok(Ty::Float),
             TokenKind::KwInt => Ok(Ty::Int),
             TokenKind::KwVoid => Ok(Ty::Void),
-            other => {
-                Err(Diagnostic::new(format!("expected type, found {}", other.describe()), t.span)
-                    .into())
-            }
+            other => Err(Diagnostic::new(
+                format!("expected type, found {}", other.describe()),
+                t.span,
+            )
+            .into()),
         }
     }
 
@@ -129,7 +134,13 @@ impl Parser {
         self.expect(TokenKind::LBrace)?;
         let body = self.block_body()?;
         let end = self.expect(TokenKind::RBrace)?.span;
-        Ok(Function { ret, name, params, body, span: start.merge(end) })
+        Ok(Function {
+            ret,
+            name,
+            params,
+            body,
+            span: start.merge(end),
+        })
     }
 
     fn param(&mut self) -> Result<Param, ParseError> {
@@ -168,7 +179,11 @@ impl Parser {
                 None => Ty::Ptr(Box::new(ty)),
             };
         }
-        Ok(Param { ty, name, span: start.merge(span) })
+        Ok(Param {
+            ty,
+            name,
+            span: start.merge(span),
+        })
     }
 
     fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -190,14 +205,23 @@ impl Parser {
                 self.bump();
                 let body = self.block_body()?;
                 let end = self.expect(TokenKind::RBrace)?.span;
-                Ok(Stmt::Block { body, span: span.merge(end) })
+                Ok(Stmt::Block {
+                    body,
+                    span: span.merge(end),
+                })
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value =
-                    if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt::Return { value, span: span.merge(end) })
+                Ok(Stmt::Return {
+                    value,
+                    span: span.merge(end),
+                })
             }
             TokenKind::KwIf => self.if_stmt(),
             TokenKind::KwFor => self.for_stmt(),
@@ -226,7 +250,10 @@ impl Parser {
                 TokenKind::IntLit(n) if n > 0 => dims.push(n as usize),
                 other => {
                     return Err(Diagnostic::new(
-                        format!("array size must be a positive integer literal, found {}", other.describe()),
+                        format!(
+                            "array size must be a positive integer literal, found {}",
+                            other.describe()
+                        ),
                         t.span,
                     )
                     .into())
@@ -245,7 +272,12 @@ impl Parser {
         };
         let end = self.expect(TokenKind::Semi)?.span;
         let _ = nspan;
-        Ok(Stmt::Decl { ty, name, init, span: start.merge(end) })
+        Ok(Stmt::Decl {
+            ty,
+            name,
+            init,
+            span: start.merge(end),
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -265,7 +297,12 @@ impl Parser {
             .or(then_body.last())
             .map(|s| s.span())
             .unwrap_or(start);
-        Ok(Stmt::If { cond, then_body, else_body, span: start.merge(end) })
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span: start.merge(end),
+        })
     }
 
     fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -292,7 +329,11 @@ impl Parser {
             self.expect(TokenKind::Semi)?;
             Some(Box::new(s))
         };
-        let cond = if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+        let cond = if self.at(TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::Semi)?;
         let step = if self.at(TokenKind::RParen) {
             None
@@ -302,7 +343,13 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         let body = self.stmt_or_block()?;
         let end = body.last().map(|s| s.span()).unwrap_or(start);
-        Ok(Stmt::For { init, cond, step, body, span: start.merge(end) })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span: start.merge(end),
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -312,7 +359,11 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         let body = self.stmt_or_block()?;
         let end = body.last().map(|s| s.span()).unwrap_or(start);
-        Ok(Stmt::While { cond, body, span: start.merge(end) })
+        Ok(Stmt::While {
+            cond,
+            body,
+            span: start.merge(end),
+        })
     }
 
     /// Parses `lhs op= rhs`, `i++`, `i--` or a bare expression (no `;`).
@@ -330,9 +381,21 @@ impl Parser {
                 if !lhs.is_lvalue() {
                     return Err(Diagnostic::new("++/-- needs an lvalue", t.span).into());
                 }
-                let one = Expr::IntLit { value: 1, span: t.span };
-                let op = if t.kind == TokenKind::PlusPlus { AssignOp::Add } else { AssignOp::Sub };
-                return Ok(Stmt::Assign { lhs, op, rhs: one, span: start.merge(t.span) });
+                let one = Expr::IntLit {
+                    value: 1,
+                    span: t.span,
+                };
+                let op = if t.kind == TokenKind::PlusPlus {
+                    AssignOp::Add
+                } else {
+                    AssignOp::Sub
+                };
+                return Ok(Stmt::Assign {
+                    lhs,
+                    op,
+                    rhs: one,
+                    span: start.merge(t.span),
+                });
             }
             _ => None,
         };
@@ -340,7 +403,7 @@ impl Parser {
             Some(op) => {
                 if !lhs.is_lvalue() {
                     return Err(
-                        Diagnostic::new("assignment target is not an lvalue", lhs.span()).into()
+                        Diagnostic::new("assignment target is not an lvalue", lhs.span()).into(),
                     );
                 }
                 self.bump();
@@ -385,7 +448,12 @@ impl Parser {
             self.bump();
             let rhs = self.bin_expr(prec + 1)?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -397,13 +465,21 @@ impl Parser {
                 self.bump();
                 let operand = self.unary_expr()?;
                 let span = span.merge(operand.span());
-                Ok(Expr::Un { op: UnOp::Neg, operand: Box::new(operand), span })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    operand: Box::new(operand),
+                    span,
+                })
             }
             TokenKind::Not => {
                 self.bump();
                 let operand = self.unary_expr()?;
                 let span = span.merge(operand.span());
-                Ok(Expr::Un { op: UnOp::Not, operand: Box::new(operand), span })
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    operand: Box::new(operand),
+                    span,
+                })
             }
             // Cast `(T) expr` — lookahead distinguishes from parenthesis.
             TokenKind::LParen
@@ -417,7 +493,11 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let operand = self.unary_expr()?;
                 let span = span.merge(operand.span());
-                Ok(Expr::Cast { ty, operand: Box::new(operand), span })
+                Ok(Expr::Cast {
+                    ty,
+                    operand: Box::new(operand),
+                    span,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -430,7 +510,11 @@ impl Parser {
             let index = self.expr()?;
             let end = self.expect(TokenKind::RBracket)?.span;
             let span = e.span().merge(end);
-            e = Expr::Index { base: Box::new(e), index: Box::new(index), span };
+            e = Expr::Index {
+                base: Box::new(e),
+                index: Box::new(index),
+                span,
+            };
         }
         Ok(e)
     }
@@ -438,8 +522,14 @@ impl Parser {
     fn primary_expr(&mut self) -> Result<Expr, ParseError> {
         let t = self.bump();
         match t.kind {
-            TokenKind::IntLit(value) => Ok(Expr::IntLit { value, span: t.span }),
-            TokenKind::FloatLit(value) => Ok(Expr::FloatLit { value, span: t.span }),
+            TokenKind::IntLit(value) => Ok(Expr::IntLit {
+                value,
+                span: t.span,
+            }),
+            TokenKind::FloatLit(value) => Ok(Expr::FloatLit {
+                value,
+                span: t.span,
+            }),
             TokenKind::Ident(name) => {
                 if self.at(TokenKind::LParen) {
                     self.bump();
@@ -455,7 +545,11 @@ impl Parser {
                         }
                     }
                     let end = self.expect(TokenKind::RParen)?.span;
-                    Ok(Expr::Call { callee: name, args, span: t.span.merge(end) })
+                    Ok(Expr::Call {
+                        callee: name,
+                        args,
+                        span: t.span.merge(end),
+                    })
                 } else {
                     Ok(Expr::Ident { name, span: t.span })
                 }
@@ -492,7 +586,10 @@ mod tests {
     #[test]
     fn precedence_mul_over_add() {
         let u = parse("double f(double a, double b, double c) { return a + b * c; }").unwrap();
-        let Stmt::Return { value: Some(Expr::Bin { op, rhs, .. }), .. } = &u.functions[0].body[0]
+        let Stmt::Return {
+            value: Some(Expr::Bin { op, rhs, .. }),
+            ..
+        } = &u.functions[0].body[0]
         else {
             panic!("shape");
         };
@@ -502,16 +599,28 @@ mod tests {
 
     #[test]
     fn parses_for_loop_with_decl() {
-        let u = parse(
-            "void f(double a[10]) { for (int i = 0; i < 10; i++) { a[i] = a[i] + 1.0; } }",
-        )
-        .unwrap();
-        let Stmt::For { init, cond, step, body, .. } = &u.functions[0].body[0] else {
+        let u =
+            parse("void f(double a[10]) { for (int i = 0; i < 10; i++) { a[i] = a[i] + 1.0; } }")
+                .unwrap();
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } = &u.functions[0].body[0]
+        else {
             panic!("expected for");
         };
         assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
         assert!(cond.is_some());
-        assert!(matches!(step.as_deref(), Some(Stmt::Assign { op: AssignOp::Add, .. })));
+        assert!(matches!(
+            step.as_deref(),
+            Some(Stmt::Assign {
+                op: AssignOp::Add,
+                ..
+            })
+        ));
         assert_eq!(body.len(), 1);
     }
 
@@ -519,8 +628,13 @@ mod tests {
     fn parses_2d_array_param_and_index() {
         let u = parse("void f(double g[4][4]) { g[1][2] = 0.5; }").unwrap();
         let p = &u.functions[0].params[0];
-        assert_eq!(p.ty, Ty::Array(Box::new(Ty::Array(Box::new(Ty::Double), 4)), 4));
-        let Stmt::Assign { lhs, .. } = &u.functions[0].body[0] else { panic!() };
+        assert_eq!(
+            p.ty,
+            Ty::Array(Box::new(Ty::Array(Box::new(Ty::Double), 4)), 4)
+        );
+        let Stmt::Assign { lhs, .. } = &u.functions[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(lhs, Expr::Index { .. }));
     }
 
@@ -533,9 +647,17 @@ mod tests {
 
     #[test]
     fn parses_if_else() {
-        let u = parse("double f(double x) { if (x < 0.0) { x = -x; } else x = x + 1.0; return x; }")
-            .unwrap();
-        let Stmt::If { then_body, else_body, .. } = &u.functions[0].body[0] else { panic!() };
+        let u =
+            parse("double f(double x) { if (x < 0.0) { x = -x; } else x = x + 1.0; return x; }")
+                .unwrap();
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &u.functions[0].body[0]
+        else {
+            panic!()
+        };
         assert_eq!(then_body.len(), 1);
         assert_eq!(else_body.len(), 1);
     }
@@ -543,15 +665,25 @@ mod tests {
     #[test]
     fn parses_while_and_compound_assign() {
         let u = parse("void f(double x) { while (x < 10.0) { x *= 2.0; } }").unwrap();
-        let Stmt::While { body, .. } = &u.functions[0].body[0] else { panic!() };
-        assert!(matches!(body[0], Stmt::Assign { op: AssignOp::Mul, .. }));
+        let Stmt::While { body, .. } = &u.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            body[0],
+            Stmt::Assign {
+                op: AssignOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_calls() {
         let u = parse("double f(double x) { return sqrt(fabs(x)); }").unwrap();
-        let Stmt::Return { value: Some(Expr::Call { callee, args, .. }), .. } =
-            &u.functions[0].body[0]
+        let Stmt::Return {
+            value: Some(Expr::Call { callee, args, .. }),
+            ..
+        } = &u.functions[0].body[0]
         else {
             panic!()
         };
@@ -562,7 +694,10 @@ mod tests {
     #[test]
     fn parses_cast() {
         let u = parse("double f(int i) { return (double) i; }").unwrap();
-        let Stmt::Return { value: Some(Expr::Cast { ty, .. }), .. } = &u.functions[0].body[0]
+        let Stmt::Return {
+            value: Some(Expr::Cast { ty, .. }),
+            ..
+        } = &u.functions[0].body[0]
         else {
             panic!()
         };
@@ -571,11 +706,11 @@ mod tests {
 
     #[test]
     fn parses_pragma_statement() {
-        let u = parse(
-            "void f(double x) {\n#pragma safegen prioritize(x)\n x = x + 1.0; }",
-        )
-        .unwrap();
-        assert!(matches!(&u.functions[0].body[0], Stmt::Pragma { payload, .. } if payload == "prioritize(x)"));
+        let u =
+            parse("void f(double x) {\n#pragma safegen prioritize(x)\n x = x + 1.0; }").unwrap();
+        assert!(
+            matches!(&u.functions[0].body[0], Stmt::Pragma { payload, .. } if payload == "prioritize(x)")
+        );
     }
 
     #[test]
@@ -587,7 +722,10 @@ mod tests {
         let u2 = parse("double f(double x) { return -(-x); }").unwrap();
         assert!(matches!(
             &u2.functions[0].body[0],
-            Stmt::Return { value: Some(Expr::Un { .. }), .. }
+            Stmt::Return {
+                value: Some(Expr::Un { .. }),
+                ..
+            }
         ));
     }
 
@@ -611,14 +749,22 @@ mod tests {
     #[test]
     fn parses_local_array_decl() {
         let u = parse("void f() { double t[8]; t[0] = 1.0; }").unwrap();
-        let Stmt::Decl { ty, .. } = &u.functions[0].body[0] else { panic!() };
+        let Stmt::Decl { ty, .. } = &u.functions[0].body[0] else {
+            panic!()
+        };
         assert_eq!(*ty, Ty::Array(Box::new(Ty::Double), 8));
     }
 
     #[test]
     fn logical_operators_precedence() {
         let u = parse("void f(double x) { if (x < 1.0 && x > 0.0 || x == 2.0) x = 0.0; }").unwrap();
-        let Stmt::If { cond: Expr::Bin { op, .. }, .. } = &u.functions[0].body[0] else { panic!() };
+        let Stmt::If {
+            cond: Expr::Bin { op, .. },
+            ..
+        } = &u.functions[0].body[0]
+        else {
+            panic!()
+        };
         assert_eq!(*op, BinOp::Or);
     }
 }

@@ -95,7 +95,12 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             };
             let _ = writeln!(out, "{} {} {};", print_expr(lhs), opstr, print_expr(rhs));
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             indent(out, level);
             let _ = writeln!(out, "if ({}) {{", print_expr(cond));
             for st in then_body {
@@ -113,7 +118,13 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
                 out.push_str("}\n");
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             indent(out, level);
             out.push_str("for (");
             if let Some(i) = init {
@@ -189,11 +200,13 @@ pub fn print_expr(e: &Expr) -> String {
                 // Round-trippable literal: always include a decimal point
                 // or exponent so it re-lexes as a float.
                 let s = format!("{value}");
-                let _ = if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
-                    write!(out, "{s}")
-                } else {
-                    write!(out, "{s}.0")
-                };
+                let _ =
+                    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN")
+                    {
+                        write!(out, "{s}")
+                    } else {
+                        write!(out, "{s}.0")
+                    };
             }
             Expr::Ident { name, .. } => out.push_str(name),
             Expr::Index { base, index, .. } => {

@@ -71,7 +71,10 @@ fn type_of_expr(vars: &HashMap<String, VarInfo>, e: &Expr) -> Result<Ty, Diagnos
             let bt = type_of_expr(vars, base)?;
             let it = type_of_expr(vars, index)?;
             if it != Ty::Int {
-                return Err(Diagnostic::new("array index must be an int expression", index.span()));
+                return Err(Diagnostic::new(
+                    "array index must be an int expression",
+                    index.span(),
+                ));
             }
             match bt {
                 Ty::Array(inner, _) | Ty::Ptr(inner) => Ok(*inner),
@@ -85,7 +88,10 @@ fn type_of_expr(vars: &HashMap<String, VarInfo>, e: &Expr) -> Result<Ty, Diagnos
             let lt = type_of_expr(vars, lhs)?;
             let rt = type_of_expr(vars, rhs)?;
             if lt.rank() > 0 || rt.rank() > 0 {
-                return Err(Diagnostic::new("arithmetic on arrays is not supported", *span));
+                return Err(Diagnostic::new(
+                    "arithmetic on arrays is not supported",
+                    *span,
+                ));
             }
             if op.is_cmp() || matches!(op, BinOp::And | BinOp::Or) {
                 return Ok(Ty::Int);
@@ -149,10 +155,20 @@ pub fn analyze(unit: &Unit) -> Result<Sema, ParseError> {
             }
             if info
                 .vars
-                .insert(p.name.clone(), VarInfo { ty: p.ty.clone(), is_param: true, span: p.span })
+                .insert(
+                    p.name.clone(),
+                    VarInfo {
+                        ty: p.ty.clone(),
+                        is_param: true,
+                        span: p.span,
+                    },
+                )
                 .is_some()
             {
-                diags.push(Diagnostic::new(format!("duplicate parameter `{}`", p.name), p.span));
+                diags.push(Diagnostic::new(
+                    format!("duplicate parameter `{}`", p.name),
+                    p.span,
+                ));
             }
         }
         check_block(&f.body, &mut info, &f.ret, &mut diags);
@@ -173,16 +189,31 @@ fn check_block(body: &[Stmt], info: &mut FnInfo, ret: &Ty, diags: &mut Vec<Diagn
 
 fn check_stmt(s: &Stmt, info: &mut FnInfo, ret: &Ty, diags: &mut Vec<Diagnostic>) {
     match s {
-        Stmt::Decl { ty, name, init, span } => {
+        Stmt::Decl {
+            ty,
+            name,
+            init,
+            span,
+        } => {
             if let Some(e) = init {
                 check_expr(e, info, diags);
                 if ty.rank() > 0 {
-                    diags.push(Diagnostic::new("array initializers are not supported", *span));
+                    diags.push(Diagnostic::new(
+                        "array initializers are not supported",
+                        *span,
+                    ));
                 }
             }
             if info
                 .vars
-                .insert(name.clone(), VarInfo { ty: ty.clone(), is_param: false, span: *span })
+                .insert(
+                    name.clone(),
+                    VarInfo {
+                        ty: ty.clone(),
+                        is_param: false,
+                        span: *span,
+                    },
+                )
                 .is_some()
             {
                 diags.push(Diagnostic::new(
@@ -206,12 +237,23 @@ fn check_stmt(s: &Stmt, info: &mut FnInfo, ret: &Ty, diags: &mut Vec<Diagnostic>
                 }
             }
         }
-        Stmt::If { cond, then_body, else_body, .. } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
             check_expr(cond, info, diags);
             check_block(then_body, info, ret, diags);
             check_block(else_body, info, ret, diags);
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             if let Some(i) = init {
                 check_stmt(i, info, ret, diags);
             }
@@ -230,9 +272,7 @@ fn check_stmt(s: &Stmt, info: &mut FnInfo, ret: &Ty, diags: &mut Vec<Diagnostic>
         Stmt::Return { value, span } => match (value, *ret == Ty::Void) {
             (None, true) => {}
             (None, false) => diags.push(Diagnostic::new("missing return value", *span)),
-            (Some(_), true) => {
-                diags.push(Diagnostic::new("void function returns a value", *span))
-            }
+            (Some(_), true) => diags.push(Diagnostic::new("void function returns a value", *span)),
             (Some(e), false) => {
                 check_expr(e, info, diags);
             }
@@ -298,9 +338,13 @@ mod tests {
         let unit = parse(src).unwrap();
         let s = analyze(&unit).unwrap();
         let ty = |expr_src: &str| {
-            let u = parse(&format!("void g(double x, int i, double a[4]) {{ double t = {expr_src}; }}"))
-                .unwrap();
-            let Stmt::Decl { init: Some(e), .. } = &u.functions[0].body[0] else { panic!() };
+            let u = parse(&format!(
+                "void g(double x, int i, double a[4]) {{ double t = {expr_src}; }}"
+            ))
+            .unwrap();
+            let Stmt::Decl { init: Some(e), .. } = &u.functions[0].body[0] else {
+                panic!()
+            };
             let s2 = analyze(&u).unwrap();
             s2.type_of("g", e)
         };
@@ -358,8 +402,13 @@ mod tests {
 
     #[test]
     fn validates_pragma_payload() {
-        assert!(analyze_src("void f(double x) {\n#pragma safegen prioritize(x)\nx = x + 1.0; }").is_ok());
-        assert!(analyze_src("void f(double x) {\n#pragma safegen frobnicate\nx = x + 1.0; }").is_err());
+        assert!(
+            analyze_src("void f(double x) {\n#pragma safegen prioritize(x)\nx = x + 1.0; }")
+                .is_ok()
+        );
+        assert!(
+            analyze_src("void f(double x) {\n#pragma safegen frobnicate\nx = x + 1.0; }").is_err()
+        );
     }
 
     #[test]

@@ -45,7 +45,14 @@ pub fn lower_simd(src: &str) -> Result<String, ParseError> {
         return Ok(src.to_string());
     }
     let tokens = lex_liberal(src)?;
-    let mut lx = Lowerer { src, tokens, pos: 0, out: String::new(), vecs: HashSet::new(), copied_to: 0 };
+    let mut lx = Lowerer {
+        src,
+        tokens,
+        pos: 0,
+        out: String::new(),
+        vecs: HashSet::new(),
+        copied_to: 0,
+    };
     lx.run()?;
     Ok(lx.out)
 }
@@ -75,11 +82,15 @@ struct VecExpr {
 
 impl VecExpr {
     fn map1(a: &VecExpr, f: impl Fn(&str) -> String) -> VecExpr {
-        VecExpr { lanes: std::array::from_fn(|l| f(&a.lanes[l])) }
+        VecExpr {
+            lanes: std::array::from_fn(|l| f(&a.lanes[l])),
+        }
     }
 
     fn map2(a: &VecExpr, b: &VecExpr, f: impl Fn(&str, &str) -> String) -> VecExpr {
-        VecExpr { lanes: std::array::from_fn(|l| f(&a.lanes[l], &b.lanes[l])) }
+        VecExpr {
+            lanes: std::array::from_fn(|l| f(&a.lanes[l], &b.lanes[l])),
+        }
     }
 }
 
@@ -105,7 +116,11 @@ impl Lowerer<'_> {
             Ok(self.bump())
         } else {
             Err(Diagnostic::new(
-                format!("SIMD lowering: expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "SIMD lowering: expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 self.peek_span(),
             )
             .into())
@@ -263,13 +278,17 @@ impl Lowerer<'_> {
             "_mm256_setzero_pd" => {
                 self.expect(TokenKind::LParen)?;
                 self.expect(TokenKind::RParen)?;
-                Ok(VecExpr { lanes: std::array::from_fn(|_| "0.0".to_string()) })
+                Ok(VecExpr {
+                    lanes: std::array::from_fn(|_| "0.0".to_string()),
+                })
             }
             "_mm256_set1_pd" => {
                 self.expect(TokenKind::LParen)?;
                 let x = self.scalar_argument(&[TokenKind::RParen])?;
                 self.expect(TokenKind::RParen)?;
-                Ok(VecExpr { lanes: std::array::from_fn(|_| format!("({x})")) })
+                Ok(VecExpr {
+                    lanes: std::array::from_fn(|_| format!("({x})")),
+                })
             }
             "_mm256_set_pd" => {
                 // Intel order: highest lane first.
@@ -283,7 +302,9 @@ impl Lowerer<'_> {
                 }
                 self.expect(TokenKind::RParen)?;
                 args.reverse();
-                Ok(VecExpr { lanes: std::array::from_fn(|l| format!("({})", args[l])) })
+                Ok(VecExpr {
+                    lanes: std::array::from_fn(|l| format!("({})", args[l])),
+                })
             }
             "_mm256_loadu_pd" | "_mm256_load_pd" => {
                 self.expect(TokenKind::LParen)?;
@@ -308,7 +329,11 @@ impl Lowerer<'_> {
                 Ok(VecExpr::map2(&a, &b, |x, y| format!("({x} {op} {y})")))
             }
             "_mm256_min_pd" | "_mm256_max_pd" => {
-                let f = if name == "_mm256_min_pd" { "fmin" } else { "fmax" };
+                let f = if name == "_mm256_min_pd" {
+                    "fmin"
+                } else {
+                    "fmax"
+                };
                 self.expect(TokenKind::LParen)?;
                 let a = self.vec_expr()?;
                 self.expect(TokenKind::Comma)?;
@@ -427,7 +452,10 @@ mod tests {
         let out = lower_ok(src);
         assert!(out.contains("double va__0 = (a);"), "{out}");
         assert!(out.contains("double vx__3 = x[i + 3];"), "{out}");
-        assert!(out.contains("double r__1 = ((va__1 * vx__1) + vy__1);"), "{out}");
+        assert!(
+            out.contains("double r__1 = ((va__1 * vx__1) + vy__1);"),
+            "{out}"
+        );
         assert!(out.contains("y[i + 2] = r__2;"), "{out}");
         assert!(!out.contains("_mm256"), "{out}");
     }
@@ -458,7 +486,10 @@ mod tests {
         // intel set order: lane 0 gets the LAST argument.
         assert!(out.contains("double c__0 = (1.0);"), "{out}");
         assert!(out.contains("double c__3 = (4.0);"), "{out}");
-        assert!(out.contains("sqrt((1.0))") || out.contains("sqrt(c__0)"), "{out}");
+        assert!(
+            out.contains("sqrt((1.0))") || out.contains("sqrt(c__0)"),
+            "{out}"
+        );
         assert!(out.contains("fmax(fmin(s__2, c__2), z__2)"), "{out}");
         assert!(out.contains("(m__1 * c__1 + z__1)"), "{out}");
     }
@@ -478,7 +509,10 @@ mod tests {
     fn unsupported_intrinsic_rejected() {
         let src = "void f(double a[4]) { __m256d v = _mm256_permute_pd(a, 5); }";
         let err = lower_simd(src).unwrap_err();
-        assert!(err.to_string().contains("unsupported SIMD intrinsic"), "{err}");
+        assert!(
+            err.to_string().contains("unsupported SIMD intrinsic"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -489,6 +523,9 @@ void f(double a[4]) {
     _mm256_storeu_pd(&a[0], v);
 }";
         let out = lower_ok(src);
-        assert!(out.contains("double g(double x) { return x + 1.0; }"), "{out}");
+        assert!(
+            out.contains("double g(double x) { return x + 1.0; }"),
+            "{out}"
+        );
     }
 }

@@ -20,7 +20,12 @@ pub struct Span {
 impl Span {
     /// Creates a span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Span {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The smallest span covering both operands.

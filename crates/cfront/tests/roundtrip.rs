@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use safegen_cfront::{
-    analyze, parse, print_unit, AssignOp, BinOp, Expr, Function, Param, Span, Stmt, Ty, UnOp,
-    Unit,
+    analyze, parse, print_unit, AssignOp, BinOp, Expr, Function, Param, Span, Stmt, Ty, UnOp, Unit,
 };
 
 fn sp() -> Span {
@@ -16,11 +15,19 @@ fn sp() -> Span {
 fn expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = prop_oneof![
         (0.001f64..1000.0).prop_map(|value| Expr::FloatLit { value, span: sp() }),
-        prop_oneof![Just("x"), Just("y")]
-            .prop_map(|name| Expr::Ident { name: name.into(), span: sp() }),
+        prop_oneof![Just("x"), Just("y")].prop_map(|name| Expr::Ident {
+            name: name.into(),
+            span: sp()
+        }),
         (0i64..4).prop_map(|i| Expr::Index {
-            base: Box::new(Expr::Ident { name: "a".into(), span: sp() }),
-            index: Box::new(Expr::IntLit { value: i, span: sp() }),
+            base: Box::new(Expr::Ident {
+                name: "a".into(),
+                span: sp()
+            }),
+            index: Box::new(Expr::IntLit {
+                value: i,
+                span: sp()
+            }),
             span: sp(),
         }),
     ];
@@ -31,7 +38,12 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
     prop_oneof![
         leaf,
         (
-            prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)],
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div)
+            ],
             inner.clone(),
             inner.clone()
         )
@@ -73,7 +85,10 @@ fn stmt() -> impl Strategy<Value = Stmt> {
         expr(3),
     )
         .prop_map(|(name, op, rhs)| Stmt::Assign {
-            lhs: Expr::Ident { name: name.into(), span: sp() },
+            lhs: Expr::Ident {
+                name: name.into(),
+                span: sp(),
+            },
             op,
             rhs,
             span: sp(),
@@ -86,9 +101,21 @@ fn unit(stmts: Vec<Stmt>) -> Unit {
             ret: Ty::Void,
             name: "f".into(),
             params: vec![
-                Param { ty: Ty::Double, name: "x".into(), span: sp() },
-                Param { ty: Ty::Double, name: "y".into(), span: sp() },
-                Param { ty: Ty::Array(Box::new(Ty::Double), 4), name: "a".into(), span: sp() },
+                Param {
+                    ty: Ty::Double,
+                    name: "x".into(),
+                    span: sp(),
+                },
+                Param {
+                    ty: Ty::Double,
+                    name: "y".into(),
+                    span: sp(),
+                },
+                Param {
+                    ty: Ty::Array(Box::new(Ty::Double), 4),
+                    name: "a".into(),
+                    span: sp(),
+                },
             ],
             body: stmts,
             span: sp(),

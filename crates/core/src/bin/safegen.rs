@@ -50,14 +50,15 @@ fn flag_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("safegen: {msg}");
     ExitCode::FAILURE
 }
 
 fn cmd_emit(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else { return usage() };
+    let Some(path) = rest.first() else {
+        return usage();
+    };
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
@@ -97,7 +98,9 @@ fn cmd_emit(rest: &[String]) -> ExitCode {
 }
 
 fn cmd_tac(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else { return usage() };
+    let Some(path) = rest.first() else {
+        return usage();
+    };
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
@@ -112,7 +115,9 @@ fn cmd_tac(rest: &[String]) -> ExitCode {
 }
 
 fn cmd_run(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else { return usage() };
+    let Some(path) = rest.first() else {
+        return usage();
+    };
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
@@ -144,7 +149,9 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     while i < rest.len() {
         match rest[i].as_str() {
             "--arg" => {
-                let Some(v) = rest.get(i + 1) else { return usage() };
+                let Some(v) = rest.get(i + 1) else {
+                    return usage();
+                };
                 match v.parse::<f64>() {
                     Ok(x) => args.push(ArgValue::Float(x)),
                     Err(e) => return fail(format!("bad --arg `{v}`: {e}")),
@@ -152,7 +159,9 @@ fn cmd_run(rest: &[String]) -> ExitCode {
                 i += 2;
             }
             "--int" => {
-                let Some(v) = rest.get(i + 1) else { return usage() };
+                let Some(v) = rest.get(i + 1) else {
+                    return usage();
+                };
                 match v.parse::<i64>() {
                     Ok(x) => args.push(ArgValue::Int(x)),
                     Err(e) => return fail(format!("bad --int `{v}`: {e}")),
@@ -160,7 +169,9 @@ fn cmd_run(rest: &[String]) -> ExitCode {
                 i += 2;
             }
             "--array" => {
-                let Some(v) = rest.get(i + 1) else { return usage() };
+                let Some(v) = rest.get(i + 1) else {
+                    return usage();
+                };
                 let parsed: Result<Vec<f64>, _> =
                     v.split(',').map(|s| s.trim().parse::<f64>()).collect();
                 match parsed {

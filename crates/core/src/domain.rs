@@ -294,13 +294,29 @@ impl Domain for IntervalDd {
         IntervalDd::abs(*self)
     }
     fn min(&self, rhs: &Self, _: &()) -> Self {
-        let lo = if self.lo() < rhs.lo() { self.lo() } else { rhs.lo() };
-        let hi = if self.hi() < rhs.hi() { self.hi() } else { rhs.hi() };
+        let lo = if self.lo() < rhs.lo() {
+            self.lo()
+        } else {
+            rhs.lo()
+        };
+        let hi = if self.hi() < rhs.hi() {
+            self.hi()
+        } else {
+            rhs.hi()
+        };
         IntervalDd::new(lo, hi)
     }
     fn max(&self, rhs: &Self, _: &()) -> Self {
-        let lo = if self.lo() > rhs.lo() { self.lo() } else { rhs.lo() };
-        let hi = if self.hi() > rhs.hi() { self.hi() } else { rhs.hi() };
+        let lo = if self.lo() > rhs.lo() {
+            self.lo()
+        } else {
+            rhs.lo()
+        };
+        let hi = if self.hi() > rhs.hi() {
+            self.hi()
+        } else {
+            rhs.hi()
+        };
         IntervalDd::new(lo, hi)
     }
     fn range(&self) -> (f64, f64) {
@@ -454,8 +470,7 @@ impl Domain for YalaaAff0 {
         if lo <= 0.0 && hi >= 0.0 {
             return interval_to_aff0(f64::NEG_INFINITY, f64::INFINITY, cx);
         }
-        let q = IntervalF64::new(self.range().0, self.range().1)
-            / IntervalF64::new(lo, hi);
+        let q = IntervalF64::new(self.range().0, self.range().1) / IntervalF64::new(lo, hi);
         interval_to_aff0(q.lo(), q.hi(), cx)
     }
     fn sqrt(&self, cx: &BaselineCtx, _: &[u64]) -> Self {
@@ -576,7 +591,10 @@ impl Domain for YalaaAff1 {
         } else if hi <= 0.0 {
             YalaaAff1::neg(self)
         } else {
-            { let (m, r) = mid_rad(0.0, hi.max(-lo)); YalaaAff1::with_noise(m, r, cx) }
+            {
+                let (m, r) = mid_rad(0.0, hi.max(-lo));
+                YalaaAff1::with_noise(m, r, cx)
+            }
         }
     }
     fn min(&self, rhs: &Self, cx: &BaselineCtx) -> Self {
@@ -669,7 +687,10 @@ impl Domain for CeresAffine {
         } else if hi <= 0.0 {
             CeresAffine::neg(self)
         } else {
-            { let (m, r) = mid_rad(0.0, hi.max(-lo)); CeresAffine::with_symbol(m, r, cx.k, &cx.ctx) }
+            {
+                let (m, r) = mid_rad(0.0, hi.max(-lo));
+                CeresAffine::with_symbol(m, r, cx.k, &cx.ctx)
+            }
         }
     }
     fn min(&self, rhs: &Self, cx: &CeresCtx) -> Self {
@@ -765,7 +786,10 @@ mod tests {
         let (lo, hi) = Domain::range(&p);
         assert!(lo <= 0.125 && 0.125 <= hi);
 
-        let ccx = CeresCtx { ctx: BaselineCtx::new(), k: 8 };
+        let ccx = CeresCtx {
+            ctx: BaselineCtx::new(),
+            k: 8,
+        };
         let a = <CeresAffine as Domain>::from_input(0.5, &ccx);
         let s = Domain::sub(&a, &a, &ccx, &[]);
         let (lo, hi) = Domain::range(&s);

@@ -73,22 +73,42 @@ pub struct RunConfig {
 impl RunConfig {
     /// The original unsound program.
     pub fn unsound() -> RunConfig {
-        RunConfig { kind: DomainKind::Unsound, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::Unsound,
+            aa: AaConfig::new(1),
+            prioritized: false,
+            capacity_low: None,
+        }
     }
 
     /// IGen-style interval arithmetic in `f64`.
     pub fn interval_f64() -> RunConfig {
-        RunConfig { kind: DomainKind::IntervalF64, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::IntervalF64,
+            aa: AaConfig::new(1),
+            prioritized: false,
+            capacity_low: None,
+        }
     }
 
     /// IGen-style interval arithmetic in double-double.
     pub fn interval_dd() -> RunConfig {
-        RunConfig { kind: DomainKind::IntervalDd, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::IntervalDd,
+            aa: AaConfig::new(1),
+            prioritized: false,
+            capacity_low: None,
+        }
     }
 
     /// `f64a-dspv`: the paper's flagship configuration at budget `k`.
     pub fn affine_f64(k: usize) -> RunConfig {
-        RunConfig { kind: DomainKind::AffineF64, aa: AaConfig::new(k), prioritized: true, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::AffineF64,
+            aa: AaConfig::new(k),
+            prioritized: true,
+            capacity_low: None,
+        }
     }
 
     /// `f32a-dspv`: single-precision centers (`f64` coefficients).
@@ -119,22 +139,42 @@ impl RunConfig {
     /// Returns a message for malformed mnemonics.
     pub fn mnemonic(k: usize, m: &str) -> Result<RunConfig, String> {
         let (aa, prioritized) = AaConfig::parse_mnemonic(k, m)?;
-        Ok(RunConfig { kind: DomainKind::AffineF64, aa, prioritized, capacity_low: None })
+        Ok(RunConfig {
+            kind: DomainKind::AffineF64,
+            aa,
+            prioritized,
+            capacity_low: None,
+        })
     }
 
     /// Yalaa `aff0` (full AA) baseline.
     pub fn yalaa_aff0() -> RunConfig {
-        RunConfig { kind: DomainKind::YalaaAff0, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::YalaaAff0,
+            aa: AaConfig::new(1),
+            prioritized: false,
+            capacity_low: None,
+        }
     }
 
     /// Yalaa `aff1` baseline.
     pub fn yalaa_aff1() -> RunConfig {
-        RunConfig { kind: DomainKind::YalaaAff1, aa: AaConfig::new(1), prioritized: false, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::YalaaAff1,
+            aa: AaConfig::new(1),
+            prioritized: false,
+            capacity_low: None,
+        }
     }
 
     /// Ceres baseline at budget `k`.
     pub fn ceres(k: usize) -> RunConfig {
-        RunConfig { kind: DomainKind::Ceres, aa: AaConfig::new(k), prioritized: false, capacity_low: None }
+        RunConfig {
+            kind: DomainKind::Ceres,
+            aa: AaConfig::new(k),
+            prioritized: false,
+            capacity_low: None,
+        }
     }
 
     /// A short label for plots (`f64a-dspv (k=16)` style).
@@ -265,8 +305,7 @@ impl Compiled {
             .find(|f| f.name == func)
             .unwrap_or_else(|| panic!("unknown function `{func}`"));
         let annotated = safegen_analysis::annotate_function(f, &self.sema, k, self.solver);
-        let prog = compile_program(&annotated, &self.sema)
-            .expect("annotated TAC must compile");
+        let prog = compile_program(&annotated, &self.sema).expect("annotated TAC must compile");
         self.prioritized
             .borrow_mut()
             .insert((func.to_string(), k), prog.clone());
@@ -300,10 +339,39 @@ impl Compiled {
         };
         let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low);
         let annotated = safegen_analysis::annotate_capacities(&base, &plan);
-        let prog = compile_program(&annotated, &self.sema)
-            .expect("capacity-annotated TAC must compile");
+        let prog =
+            compile_program(&annotated, &self.sema).expect("capacity-annotated TAC must compile");
         self.var_capacity.borrow_mut().insert(key, prog.clone());
         prog
+    }
+
+    /// The program variant `config` selects for `func`: the
+    /// capacity-annotated program when `capacity_low` is set, the
+    /// prioritized program when priorities apply, the plain program
+    /// otherwise.
+    ///
+    /// The returned [`Program`] is plain data (`Send + Sync`), detached
+    /// from this `Compiled`'s internal caches — hand it to
+    /// [`run_on`] or the [`batch`](crate::batch) engine freely, including
+    /// across threads. (`Compiled` itself is not `Sync`: its lazy
+    /// program caches use `RefCell`.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` does not exist.
+    pub fn program_for(&self, func: &str, config: &RunConfig) -> Program {
+        let is_affine = matches!(
+            config.kind,
+            DomainKind::AffineF64 | DomainKind::AffineDd | DomainKind::AffineF32
+        );
+        let use_priorities = config.prioritized && self.prioritize && is_affine;
+        if let (Some(k_low), true) = (config.capacity_low, is_affine) {
+            self.capacity_program(func, config.aa.k, k_low, use_priorities)
+        } else if use_priorities {
+            self.prioritized_program(func, config.aa.k)
+        } else {
+            self.program(func).clone()
+        }
     }
 
     /// Runs `func` on `args` under `config` and reduces the outcome to a
@@ -318,22 +386,23 @@ impl Compiled {
         args: &[ArgValue],
         config: &RunConfig,
     ) -> Result<RunReport, String> {
-        let is_affine = matches!(
-            config.kind,
-            DomainKind::AffineF64 | DomainKind::AffineDd | DomainKind::AffineF32
-        );
-        let use_priorities = config.prioritized && self.prioritize && is_affine;
-        let owned;
-        let prog: &Program = if let (Some(k_low), true) = (config.capacity_low, is_affine) {
-            owned = self.capacity_program(func, config.aa.k, k_low, use_priorities);
-            &owned
-        } else if use_priorities {
-            owned = self.prioritized_program(func, config.aa.k);
-            &owned
-        } else {
-            self.program(func)
-        };
-        run_on(prog, args, config)
+        run_on(&self.program_for(func, config), args, config)
+    }
+
+    /// Evaluates `func` over a batch of input sets in parallel — the
+    /// one-call form of [`batch::run_batch`](crate::batch::run_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index item's error on execution failure.
+    pub fn run_batch(
+        &self,
+        func: &str,
+        inputs: &[Vec<ArgValue>],
+        config: &RunConfig,
+        opts: &crate::batch::BatchOptions,
+    ) -> Result<crate::batch::BatchResult, String> {
+        crate::batch::run_batch(&self.program_for(func, config), inputs, config, opts)
     }
 }
 
@@ -362,7 +431,12 @@ pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<R
         if acc == f64::INFINITY {
             acc = f64::NAN; // nothing to certify (void function, no arrays)
         }
-        RunReport { ret, arrays, acc_bits: acc, stats: r.stats }
+        RunReport {
+            ret,
+            arrays,
+            acc_bits: acc,
+            stats: r.stats,
+        }
     }
 
     let e = |e: crate::exec::ExecError| e.message;
@@ -391,7 +465,10 @@ pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<R
             exec::<YalaaAff1>(prog, args, &cx).map(report).map_err(e)
         }
         DomainKind::Ceres => {
-            let cx = CeresCtx { ctx: BaselineCtx::new(), k: config.aa.k };
+            let cx = CeresCtx {
+                ctx: BaselineCtx::new(),
+                k: config.aa.k,
+            };
             exec::<CeresAffine>(prog, args, &cx).map(report).map_err(e)
         }
     }
@@ -435,7 +512,11 @@ mod tests {
     fn sound_domains_certify_many_bits_here() {
         let c = Compiler::new().compile(HENON_STEP).unwrap();
         let r = c
-            .run("henon", &[0.3.into(), 0.4.into()], &RunConfig::affine_f64(8))
+            .run(
+                "henon",
+                &[0.3.into(), 0.4.into()],
+                &RunConfig::affine_f64(8),
+            )
             .unwrap();
         assert!(r.acc_bits > 40.0, "acc = {}", r.acc_bits);
     }
@@ -457,7 +538,10 @@ mod tests {
         let c = Compiler::new().compile(src).unwrap();
         let plain = c.program("f").clone();
         let prio = c.prioritized_program("f", 4);
-        assert!(prio.code.len() > plain.code.len(), "expected Protect instructions");
+        assert!(
+            prio.code.len() > plain.code.len(),
+            "expected Protect instructions"
+        );
     }
 
     #[test]
@@ -465,7 +549,11 @@ mod tests {
         let src = "void f(double a[3]) { for (int i = 0; i < 3; i++) a[i] = a[i] * 0.1; }";
         let c = Compiler::new().compile(src).unwrap();
         let r = c
-            .run("f", &[vec![1.0, 2.0, 3.0].into()], &RunConfig::affine_f64(4))
+            .run(
+                "f",
+                &[vec![1.0, 2.0, 3.0].into()],
+                &RunConfig::affine_f64(4),
+            )
             .unwrap();
         assert!(r.ret.is_none());
         assert_eq!(r.arrays[0].1.len(), 3);

@@ -78,7 +78,9 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 fn err(message: impl Into<String>) -> ExecError {
-    ExecError { message: message.into() }
+    ExecError {
+        message: message.into(),
+    }
 }
 
 /// Upper bound on executed instructions (runaway-loop guard).
@@ -236,7 +238,9 @@ pub fn exec<D: Domain>(
                 let len = a.len();
                 let slot = a
                     .get_mut(usize::try_from(i).map_err(|_| err("negative array index"))?)
-                    .ok_or_else(|| err(format!("index {i} out of bounds for `{name}` (len {len})")))?;
+                    .ok_or_else(|| {
+                        err(format!("index {i} out of bounds for `{name}` (len {len})"))
+                    })?;
                 *slot = fregs[*s as usize].clone();
             }
             Instr::ConstI(d, c) => iregs[*d as usize] = *c,
@@ -320,14 +324,16 @@ pub fn exec<D: Domain>(
         .params
         .iter()
         .filter_map(|(name, b)| match b {
-            ParamBinding::Array(a) => {
-                Some((name.clone(), arrays[*a as usize].clone()))
-            }
+            ParamBinding::Array(a) => Some((name.clone(), arrays[*a as usize].clone())),
             _ => None,
         })
         .collect();
     let _ = ArrId::default();
-    Ok(RunResult { ret, arrays: arrays_out, stats })
+    Ok(RunResult {
+        ret,
+        arrays: arrays_out,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -350,8 +356,7 @@ mod tests {
     #[test]
     fn unsound_matches_native_rust() {
         let p = compile("double f(double a, double b) { return a * b + 0.1; }");
-        let r: RunResult<UnsoundF64> =
-            exec(&p, &[0.3.into(), 0.7.into()], &()).unwrap();
+        let r: RunResult<UnsoundF64> = exec(&p, &[0.3.into(), 0.7.into()], &()).unwrap();
         assert_eq!(r.ret.unwrap().0, 0.3 * 0.7 + 0.1);
         assert_eq!(r.stats.fp_ops, 2);
     }
@@ -374,8 +379,7 @@ mod tests {
         let p = compile(
             "void scale(double a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] * 2.0; } }",
         );
-        let r: RunResult<UnsoundF64> =
-            exec(&p, &[vec![1.0, 2.0, 3.0, 4.0].into()], &()).unwrap();
+        let r: RunResult<UnsoundF64> = exec(&p, &[vec![1.0, 2.0, 3.0, 4.0].into()], &()).unwrap();
         let (name, vals) = &r.arrays[0];
         assert_eq!(name, "a");
         let got: Vec<f64> = vals.iter().map(|v| v.0).collect();
@@ -384,20 +388,15 @@ mod tests {
 
     #[test]
     fn two_d_array_indexing() {
-        let p = compile(
-            "void t(double g[2][2]) { g[0][1] = g[1][0] + 10.0; }",
-        );
-        let r: RunResult<UnsoundF64> =
-            exec(&p, &[vec![1.0, 2.0, 3.0, 4.0].into()], &()).unwrap();
+        let p = compile("void t(double g[2][2]) { g[0][1] = g[1][0] + 10.0; }");
+        let r: RunResult<UnsoundF64> = exec(&p, &[vec![1.0, 2.0, 3.0, 4.0].into()], &()).unwrap();
         let got: Vec<f64> = r.arrays[0].1.iter().map(|v| v.0).collect();
         assert_eq!(got, vec![1.0, 13.0, 3.0, 4.0]); // g[0][1] = g[1][0]+10 = 3+10
     }
 
     #[test]
     fn branches_follow_comparison() {
-        let p = compile(
-            "double f(double x) { if (x < 0.0) { return -x; } return x; }",
-        );
+        let p = compile("double f(double x) { if (x < 0.0) { return -x; } return x; }");
         let r: RunResult<UnsoundF64> = exec(&p, &[(-3.0).into()], &()).unwrap();
         assert_eq!(r.ret.unwrap().0, 3.0);
         let r: RunResult<UnsoundF64> = exec(&p, &[2.0.into()], &()).unwrap();
@@ -412,10 +411,8 @@ mod tests {
             return s;
         }";
         let p = compile(src);
-        let unsound: RunResult<UnsoundF64> =
-            exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
-        let sound: RunResult<IntervalF64> =
-            exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
+        let unsound: RunResult<UnsoundF64> = exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
+        let sound: RunResult<IntervalF64> = exec(&p, &[0.3.into(), 0.9.into()], &()).unwrap();
         let iv = sound.ret.unwrap();
         assert!(iv.contains(unsound.ret.unwrap().0));
     }
@@ -476,8 +473,7 @@ mod tests {
     #[test]
     fn unsized_pointer_param_takes_any_length() {
         let p = compile("void f(double *a, int n) { for (int i = 0; i < n; i++) a[i] = 0.5; }");
-        let r: RunResult<UnsoundF64> =
-            exec(&p, &[vec![1.0; 7].into(), 7i64.into()], &()).unwrap();
+        let r: RunResult<UnsoundF64> = exec(&p, &[vec![1.0; 7].into(), 7i64.into()], &()).unwrap();
         assert!(r.arrays[0].1.iter().all(|v| v.0 == 0.5));
     }
 

@@ -23,6 +23,9 @@
 //!   (the IGen baselines), every affine configuration of the paper, and
 //!   the Yalaa/Ceres library baselines — which is how the evaluation
 //!   measures accuracy and runtime self-contained in Rust.
+//! * [`mod@batch`] — parallel evaluation of one compiled program over
+//!   many input sets, with results bit-identical to the serial path
+//!   (see the module docs for the threading and determinism model).
 //!
 //! ## Quickstart
 //!
@@ -40,12 +43,14 @@
 //! let _ = DomainKind::AffineF64; // the domain that ran
 //! ```
 
+pub mod batch;
 pub mod domain;
 pub mod driver;
 pub mod emit_c;
 pub mod exec;
 pub mod program;
 
+pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult};
 pub use domain::{Domain, DomainKind, UnsoundF64};
 pub use driver::{run_on, Compiled, Compiler, RunConfig, RunReport};
 pub use emit_c::{emit_c, EmitPrecision};

@@ -306,7 +306,12 @@ impl Codegen<'_> {
         }
         let len = dims.iter().product::<usize>();
         let id = self.arrays.len() as ArrId;
-        self.arrays.push(ArrayDecl { name: name.to_string(), len, dims, is_param });
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            len,
+            dims,
+            is_param,
+        });
         self.names.insert(name.to_string(), Binding::A(id));
         Ok(id)
     }
@@ -346,7 +351,12 @@ impl Codegen<'_> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), ParseError> {
         match s {
-            Stmt::Decl { ty, name, init, span } => {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 match ty {
                     Ty::Int => {
                         let r = self.fresh_i();
@@ -428,7 +438,12 @@ impl Codegen<'_> {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body, span } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
                 let c = self.cond_expr(cond)?;
                 let jz = self.code.len();
                 self.emit(Instr::JumpIfZero(c, usize::MAX), *span);
@@ -447,7 +462,13 @@ impl Codegen<'_> {
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 if let Some(i) = init {
                     self.stmt(i)?;
                 }
@@ -532,7 +553,12 @@ impl Codegen<'_> {
                 }
                 Ok(dst)
             }
-            Expr::Bin { op: BinOp::And, lhs, rhs, span } => {
+            Expr::Bin {
+                op: BinOp::And,
+                lhs,
+                rhs,
+                span,
+            } => {
                 // Non-short-circuit AND: both sides are side-effect-free in
                 // the subset, so multiplication of 0/1 flags is equivalent.
                 let a = self.cond_expr(lhs)?;
@@ -541,7 +567,12 @@ impl Codegen<'_> {
                 self.emit(Instr::MulI(dst, a, b), *span);
                 Ok(dst)
             }
-            Expr::Bin { op: BinOp::Or, lhs, rhs, span } => {
+            Expr::Bin {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+                span,
+            } => {
                 let a = self.cond_expr(lhs)?;
                 let b = self.cond_expr(rhs)?;
                 // a | b  ≡  (a + b) != 0
@@ -553,7 +584,11 @@ impl Codegen<'_> {
                 self.emit(Instr::CmpI(CmpOp::Ne, dst, sum, zero), *span);
                 Ok(dst)
             }
-            Expr::Un { op: UnOp::Not, operand, span } => {
+            Expr::Un {
+                op: UnOp::Not,
+                operand,
+                span,
+            } => {
                 let a = self.cond_expr(operand)?;
                 let zero = self.fresh_i();
                 self.emit(Instr::ConstI(zero, 0), *span);
@@ -592,7 +627,11 @@ impl Codegen<'_> {
                 Ok(dst)
             }
             Expr::Bin { .. } => self.cond_expr(e),
-            Expr::Un { op: UnOp::Neg, operand, span } => {
+            Expr::Un {
+                op: UnOp::Neg,
+                operand,
+                span,
+            } => {
                 let a = self.int_expr(operand)?;
                 let zero = self.fresh_i();
                 self.emit(Instr::ConstI(zero, 0), *span);
@@ -600,17 +639,17 @@ impl Codegen<'_> {
                 self.emit(Instr::SubI(dst, zero, a), *span);
                 Ok(dst)
             }
-            Expr::Cast { ty: Ty::Int, operand, span } => {
+            Expr::Cast {
+                ty: Ty::Int,
+                operand,
+                span,
+            } => {
                 let f = self.float_operand(operand)?;
                 let dst = self.fresh_i();
                 self.emit(Instr::CastFI(dst, f), *span);
                 Ok(dst)
             }
-            other => Err(Diagnostic::new(
-                "unsupported integer expression",
-                other.span(),
-            )
-            .into()),
+            other => Err(Diagnostic::new("unsupported integer expression", other.span()).into()),
         }
     }
 
@@ -626,7 +665,9 @@ impl Codegen<'_> {
                     self.emit(Instr::CastIF(dst, r), *span);
                     Ok(dst)
                 }
-                _ => Err(Diagnostic::new(format!("`{name}` is not a float variable"), *span).into()),
+                _ => {
+                    Err(Diagnostic::new(format!("`{name}` is not a float variable"), *span).into())
+                }
             },
             _ => self.float_expr(e),
         }
@@ -670,39 +711,39 @@ impl Codegen<'_> {
                 };
                 self.emit(ins, *span);
             }
-            Expr::Un { op: UnOp::Neg, operand, span } => {
+            Expr::Un {
+                op: UnOp::Neg,
+                operand,
+                span,
+            } => {
                 let a = self.float_operand(operand)?;
                 self.emit(Instr::Neg(dst, a), *span);
             }
-            Expr::Call { callee, args, span } => {
-                match (callee.as_str(), args.as_slice()) {
-                    ("sqrt", [x]) => {
-                        let a = self.float_operand(x)?;
-                        self.emit(Instr::Sqrt(dst, a), *span);
-                    }
-                    ("fabs", [x]) => {
-                        let a = self.float_operand(x)?;
-                        self.emit(Instr::Abs(dst, a), *span);
-                    }
-                    ("fmin", [x, y]) => {
-                        let a = self.float_operand(x)?;
-                        let b = self.float_operand(y)?;
-                        self.emit(Instr::Min(dst, a, b), *span);
-                    }
-                    ("fmax", [x, y]) => {
-                        let a = self.float_operand(x)?;
-                        let b = self.float_operand(y)?;
-                        self.emit(Instr::Max(dst, a, b), *span);
-                    }
-                    _ => {
-                        return Err(Diagnostic::new(
-                            format!("unsupported call `{callee}`"),
-                            *span,
-                        )
-                        .into())
-                    }
+            Expr::Call { callee, args, span } => match (callee.as_str(), args.as_slice()) {
+                ("sqrt", [x]) => {
+                    let a = self.float_operand(x)?;
+                    self.emit(Instr::Sqrt(dst, a), *span);
                 }
-            }
+                ("fabs", [x]) => {
+                    let a = self.float_operand(x)?;
+                    self.emit(Instr::Abs(dst, a), *span);
+                }
+                ("fmin", [x, y]) => {
+                    let a = self.float_operand(x)?;
+                    let b = self.float_operand(y)?;
+                    self.emit(Instr::Min(dst, a, b), *span);
+                }
+                ("fmax", [x, y]) => {
+                    let a = self.float_operand(x)?;
+                    let b = self.float_operand(y)?;
+                    self.emit(Instr::Max(dst, a, b), *span);
+                }
+                _ => {
+                    return Err(
+                        Diagnostic::new(format!("unsupported call `{callee}`"), *span).into(),
+                    )
+                }
+            },
             Expr::Cast { operand, span, .. } => {
                 let ot = self.sema.type_of(self.func, operand);
                 if ot.is_float() {
@@ -780,7 +821,10 @@ mod tests {
         let p = compile_src("double f(double a, double b) { return a * b + 0.1; }");
         assert!(p.code.iter().any(|i| matches!(i, Instr::Mul(..))));
         assert!(p.code.iter().any(|i| matches!(i, Instr::Add(..))));
-        assert!(p.code.iter().any(|i| matches!(i, Instr::ConstF(_, c) if *c == 0.1)));
+        assert!(p
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::ConstF(_, c) if *c == 0.1)));
         assert!(matches!(p.code.last(), Some(Instr::Ret(None))));
         assert_eq!(p.params.len(), 2);
     }
@@ -818,7 +862,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(p.code.iter().any(|i| matches!(i, Instr::CmpF(CmpOp::Lt, ..))));
+        assert!(p
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::CmpF(CmpOp::Lt, ..))));
     }
 
     #[test]
@@ -833,14 +880,24 @@ mod tests {
         let p = compile_src(
             "void f(double x, double z) {\n#pragma safegen prioritize(z)\nx = x * z; }",
         );
-        let prot = p.code.iter().position(|i| matches!(i, Instr::Protect(_))).unwrap();
-        let mul = p.code.iter().position(|i| matches!(i, Instr::Mul(..))).unwrap();
+        let prot = p
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Protect(_)))
+            .unwrap();
+        let mul = p
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Mul(..)))
+            .unwrap();
         assert!(prot < mul, "Protect must precede the operation");
     }
 
     #[test]
     fn builtins_compile() {
-        let p = compile_src("double f(double x, double y) { return fmax(fmin(sqrt(x), fabs(y)), 0.0); }");
+        let p = compile_src(
+            "double f(double x, double y) { return fmax(fmin(sqrt(x), fabs(y)), 0.0); }",
+        );
         assert!(p.code.iter().any(|i| matches!(i, Instr::Sqrt(..))));
         assert!(p.code.iter().any(|i| matches!(i, Instr::Abs(..))));
         assert!(p.code.iter().any(|i| matches!(i, Instr::Min(..))));

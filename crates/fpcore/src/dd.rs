@@ -132,7 +132,10 @@ impl Dd {
     #[inline]
     pub fn scale_pow2(self, p: i32) -> Dd {
         let f = 2.0f64.powi(p);
-        Dd { hi: self.hi * f, lo: self.lo * f }
+        Dd {
+            hi: self.hi * f,
+            lo: self.lo * f,
+        }
     }
 
     /// Double-double square root (Karp–Markstein style).
@@ -140,7 +143,10 @@ impl Dd {
     /// Returns NaN for negative input.
     pub fn sqrt(self) -> Dd {
         if self.hi < 0.0 {
-            return Dd { hi: f64::NAN, lo: f64::NAN };
+            return Dd {
+                hi: f64::NAN,
+                lo: f64::NAN,
+            };
         }
         if self.hi == 0.0 {
             return Dd::ZERO;
@@ -261,7 +267,10 @@ impl Neg for Dd {
     type Output = Dd;
     #[inline]
     fn neg(self) -> Dd {
-        Dd { hi: -self.hi, lo: -self.lo }
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
     }
 }
 

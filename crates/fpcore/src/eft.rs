@@ -168,7 +168,11 @@ mod tests {
         assert_ne!(r, 0.0);
         let exact_above = r > 0.0;
         // Cross-check against next_up: q bumped towards exact side.
-        let bumped = if exact_above { q.next_up() } else { q.next_down() };
+        let bumped = if exact_above {
+            q.next_up()
+        } else {
+            q.next_down()
+        };
         // |bumped*3 - 1| should be on the other side.
         let r2 = div_residual(1.0, 3.0, bumped);
         assert!(r.signum() != r2.signum() || r2 == 0.0);

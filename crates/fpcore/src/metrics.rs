@@ -49,7 +49,10 @@ pub fn count_floats(lo: f64, hi: f64) -> u64 {
     if lo.is_infinite() || hi.is_infinite() {
         return u64::MAX;
     }
-    (to_ordered(hi) - to_ordered(lo)) as u64 + 1
+    // The ordered distance can exceed i64::MAX for very wide ranges
+    // (e.g. [-1e300, 1e300]); with hi >= lo it always fits in u64, so
+    // compute it there.
+    to_ordered(hi).wrapping_sub(to_ordered(lo)) as u64 + 1
 }
 
 /// `err([lo, hi])`: base-2 logarithm of the number of floats in the range
@@ -113,7 +116,11 @@ pub fn ulps_between(a: f64, b: f64) -> u64 {
     if a.is_nan() || b.is_nan() {
         return u64::MAX;
     }
-    (to_ordered(a) - to_ordered(b)).unsigned_abs()
+    let (a, b) = (to_ordered(a), to_ordered(b));
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    // As in `count_floats`, the distance can exceed i64::MAX but always
+    // fits in u64.
+    hi.wrapping_sub(lo) as u64
 }
 
 #[cfg(test)]

@@ -110,7 +110,11 @@ pub fn mul_ru(a: f64, b: f64) -> f64 {
         // Exact product underflowed completely; it is nonzero with the sign
         // of a*b. Upper bound: smallest positive subnormal if positive,
         // else 0 (well, -0 rounding up is 0).
-        return if (a > 0.0) == (b > 0.0) { f64::MIN_POSITIVE * f64::EPSILON } else { 0.0 };
+        return if (a > 0.0) == (b > 0.0) {
+            f64::MIN_POSITIVE * f64::EPSILON
+        } else {
+            0.0
+        };
     }
     if p != 0.0 && p.abs() < EFT_GUARD {
         // e may be inexact this deep; one full ulp dominates the RN error.

@@ -49,7 +49,11 @@ pub struct Problem {
 impl Problem {
     /// Creates a problem with `n` binary variables and zero objective.
     pub fn new(n: usize) -> Problem {
-        Problem { n, objective: vec![0.0; n], constraints: Vec::new() }
+        Problem {
+            n,
+            objective: vec![0.0; n],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -76,7 +80,10 @@ impl Problem {
         for &(v, _) in terms {
             assert!(v < self.n, "variable {v} out of range");
         }
-        self.constraints.push(Constraint { terms: terms.to_vec(), bound });
+        self.constraints.push(Constraint {
+            terms: terms.to_vec(),
+            bound,
+        });
     }
 }
 
@@ -101,7 +108,11 @@ impl fmt::Display for Solution {
             "objective {} ({}, {})",
             self.objective,
             if self.optimal { "optimal" } else { "incumbent" },
-            if self.feasible { "feasible" } else { "infeasible" },
+            if self.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            },
         )
     }
 }
@@ -144,7 +155,12 @@ pub fn solve_greedy(p: &Problem) -> Solution {
     }
     let objective = dot(&p.objective, &values);
     let feasible = check(p, &values);
-    Solution { values, objective, optimal: false, feasible }
+    Solution {
+        values,
+        objective,
+        optimal: false,
+        feasible,
+    }
 }
 
 fn dot(c: &[f64], x: &[bool]) -> f64 {
@@ -153,7 +169,12 @@ fn dot(c: &[f64], x: &[bool]) -> f64 {
 
 fn check(p: &Problem, x: &[bool]) -> bool {
     p.constraints.iter().all(|c| {
-        let lhs: f64 = c.terms.iter().filter(|&&(v, _)| x[v]).map(|&(_, a)| a).sum();
+        let lhs: f64 = c
+            .terms
+            .iter()
+            .filter(|&&(v, _)| x[v])
+            .map(|&(_, a)| a)
+            .sum();
         lhs <= c.bound + 1e-9
     })
 }
@@ -200,7 +221,12 @@ pub fn solve(p: &Problem, max_nodes: u64) -> Solution {
     } else {
         let zero = vec![false; p.n];
         let feasible = check(p, &zero);
-        Solution { values: zero, objective: 0.0, optimal: false, feasible }
+        Solution {
+            values: zero,
+            objective: 0.0,
+            optimal: false,
+            feasible,
+        }
     };
     if !best.feasible {
         // Even all-zero violates some constraint (negative bound): report.
@@ -253,8 +279,7 @@ pub fn solve(p: &Problem, max_nodes: u64) -> Solution {
             }
         }
         // Branch x_v = 1 first (the profitable direction).
-        let fits = cx
-            .membership[v]
+        let fits = cx.membership[v]
             .iter()
             .all(|&(ci, a)| cx.slack[ci] - a >= cx.rem_neg[ci] - EPS);
         if fits {
@@ -271,8 +296,7 @@ pub fn solve(p: &Problem, max_nodes: u64) -> Solution {
             }
         }
         // Branch x_v = 0: completable iff slack can still cover rem_neg.
-        let ok0 = cx
-            .membership[v]
+        let ok0 = cx.membership[v]
             .iter()
             .all(|&(ci, _)| cx.slack[ci] >= cx.rem_neg[ci] - EPS);
         if ok0 {
@@ -421,7 +445,9 @@ mod tests {
         // Deterministic pseudo-random instances, n <= 10.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 100.0
         };
         for trial in 0..25 {
@@ -457,7 +483,9 @@ mod tests {
     fn matches_brute_force_with_negative_coefficients() {
         let mut state = 0x9e3779b9u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 100.0
         };
         for trial in 0..25 {

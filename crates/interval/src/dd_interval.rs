@@ -27,11 +27,17 @@ pub struct IntervalDd {
 
 impl IntervalDd {
     /// The point interval `[0, 0]`.
-    pub const ZERO: IntervalDd = IntervalDd { lo: Dd::ZERO, hi: Dd::ZERO };
+    pub const ZERO: IntervalDd = IntervalDd {
+        lo: Dd::ZERO,
+        hi: Dd::ZERO,
+    };
 
     /// The full real line.
     pub fn entire() -> IntervalDd {
-        IntervalDd { lo: Dd::from(f64::NEG_INFINITY), hi: Dd::from(f64::INFINITY) }
+        IntervalDd {
+            lo: Dd::from(f64::NEG_INFINITY),
+            hi: Dd::from(f64::INFINITY),
+        }
     }
 
     /// Creates an interval from its endpoints.
@@ -41,7 +47,10 @@ impl IntervalDd {
     /// Panics if `lo > hi`.
     #[inline]
     pub fn new(lo: Dd, hi: Dd) -> IntervalDd {
-        assert!(lo <= hi || lo.partial_cmp(&hi).is_none(), "invalid interval [{lo}, {hi}]");
+        assert!(
+            lo <= hi || lo.partial_cmp(&hi).is_none(),
+            "invalid interval [{lo}, {hi}]"
+        );
         IntervalDd { lo, hi }
     }
 
@@ -95,10 +104,20 @@ impl IntervalDd {
     /// Sound square root (lower endpoint clamped at zero).
     pub fn sqrt(self) -> IntervalDd {
         if self.hi < Dd::ZERO {
-            return IntervalDd { lo: Dd::from(f64::NAN), hi: Dd::from(f64::NAN) };
+            return IntervalDd {
+                lo: Dd::from(f64::NAN),
+                hi: Dd::from(f64::NAN),
+            };
         }
-        let lo = if self.lo <= Dd::ZERO { Dd::ZERO } else { self.lo.sqrt_rd() };
-        IntervalDd { lo, hi: self.hi.sqrt_ru() }
+        let lo = if self.lo <= Dd::ZERO {
+            Dd::ZERO
+        } else {
+            self.lo.sqrt_rd()
+        };
+        IntervalDd {
+            lo,
+            hi: self.hi.sqrt_ru(),
+        }
     }
 
     /// Absolute value.
@@ -108,8 +127,15 @@ impl IntervalDd {
         } else if self.hi <= Dd::ZERO {
             -self
         } else {
-            let m = if -self.lo > self.hi { -self.lo } else { self.hi };
-            IntervalDd { lo: Dd::ZERO, hi: m }
+            let m = if -self.lo > self.hi {
+                -self.lo
+            } else {
+                self.hi
+            };
+            IntervalDd {
+                lo: Dd::ZERO,
+                hi: m,
+            }
         }
     }
 
@@ -127,7 +153,12 @@ impl IntervalDd {
         if w == Dd::ZERO {
             return DD_MANTISSA_BITS as f64;
         }
-        let mag = self.lo.abs().hi().max(self.hi.abs().hi()).max(f64::MIN_POSITIVE);
+        let mag = self
+            .lo
+            .abs()
+            .hi()
+            .max(self.hi.abs().hi())
+            .max(f64::MIN_POSITIVE);
         // Number of dd-representable steps in the range ≈ w / (mag * 2^-106).
         let steps = w.hi() / (mag * 2f64.powi(-(DD_MANTISSA_BITS as i32)));
         DD_MANTISSA_BITS as f64 - steps.max(1.0).log2()
@@ -137,8 +168,16 @@ impl IntervalDd {
     /// configurations on the same axis (as Fig. 9 does for IGen-dd).
     pub fn acc_bits_f64(self) -> f64 {
         // Round endpoints outward to f64 before counting.
-        let lo = if Dd::from(self.lo.hi()) <= self.lo { self.lo.hi() } else { self.lo.hi().next_down() };
-        let hi = if Dd::from(self.hi.hi()) >= self.hi { self.hi.hi() } else { self.hi.hi().next_up() };
+        let lo = if Dd::from(self.lo.hi()) <= self.lo {
+            self.lo.hi()
+        } else {
+            self.lo.hi().next_down()
+        };
+        let hi = if Dd::from(self.hi.hi()) >= self.hi {
+            self.hi.hi()
+        } else {
+            self.hi.hi().next_up()
+        };
         acc_bits(lo, hi, safegen_fpcore::F64_MANTISSA_BITS)
     }
 }
@@ -160,7 +199,10 @@ impl Neg for IntervalDd {
     type Output = IntervalDd;
     #[inline]
     fn neg(self) -> IntervalDd {
-        IntervalDd { lo: -self.hi, hi: -self.lo }
+        IntervalDd {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 
@@ -168,7 +210,10 @@ impl Add for IntervalDd {
     type Output = IntervalDd;
     #[inline]
     fn add(self, rhs: IntervalDd) -> IntervalDd {
-        IntervalDd { lo: self.lo.add_rd(rhs.lo), hi: self.hi.add_ru(rhs.hi) }
+        IntervalDd {
+            lo: self.lo.add_rd(rhs.lo),
+            hi: self.hi.add_ru(rhs.hi),
+        }
     }
 }
 
@@ -176,7 +221,10 @@ impl Sub for IntervalDd {
     type Output = IntervalDd;
     #[inline]
     fn sub(self, rhs: IntervalDd) -> IntervalDd {
-        IntervalDd { lo: self.lo.add_rd(-rhs.hi), hi: self.hi.add_ru(-rhs.lo) }
+        IntervalDd {
+            lo: self.lo.add_rd(-rhs.hi),
+            hi: self.hi.add_ru(-rhs.lo),
+        }
     }
 }
 

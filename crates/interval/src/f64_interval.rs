@@ -31,7 +31,10 @@ impl IntervalF64 {
     /// The point interval `[0, 0]`.
     pub const ZERO: IntervalF64 = IntervalF64 { lo: 0.0, hi: 0.0 };
     /// The full real line, `[-∞, +∞]`.
-    pub const ENTIRE: IntervalF64 = IntervalF64 { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+    pub const ENTIRE: IntervalF64 = IntervalF64 {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
 
     /// Creates an interval from its endpoints.
     ///
@@ -40,7 +43,10 @@ impl IntervalF64 {
     /// Panics if `lo > hi` (NaN endpoints are allowed and poison results).
     #[inline]
     pub fn new(lo: f64, hi: f64) -> IntervalF64 {
-        assert!(lo <= hi || lo.partial_cmp(&hi).is_none(), "invalid interval [{lo}, {hi}]");
+        assert!(
+            lo <= hi || lo.partial_cmp(&hi).is_none(),
+            "invalid interval [{lo}, {hi}]"
+        );
         IntervalF64 { lo, hi }
     }
 
@@ -56,7 +62,10 @@ impl IntervalF64 {
     #[inline]
     pub fn constant(x: f64) -> IntervalF64 {
         let u = ulp(x);
-        IntervalF64 { lo: sub_rd(x, u), hi: add_ru(x, u) }
+        IntervalF64 {
+            lo: sub_rd(x, u),
+            hi: add_ru(x, u),
+        }
     }
 
     /// Lower endpoint.
@@ -104,7 +113,10 @@ impl IntervalF64 {
     /// Convex hull of two intervals.
     #[inline]
     pub fn hull(self, other: IntervalF64) -> IntervalF64 {
-        IntervalF64 { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        IntervalF64 {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// Sound square root: the lower endpoint is clamped at zero when the
@@ -112,10 +124,20 @@ impl IntervalF64 {
     /// interval yields NaN endpoints.
     pub fn sqrt(self) -> IntervalF64 {
         if self.hi < 0.0 {
-            return IntervalF64 { lo: f64::NAN, hi: f64::NAN };
+            return IntervalF64 {
+                lo: f64::NAN,
+                hi: f64::NAN,
+            };
         }
-        let lo = if self.lo <= 0.0 { 0.0 } else { sqrt_rd(self.lo) };
-        IntervalF64 { lo, hi: sqrt_ru(self.hi) }
+        let lo = if self.lo <= 0.0 {
+            0.0
+        } else {
+            sqrt_rd(self.lo)
+        };
+        IntervalF64 {
+            lo,
+            hi: sqrt_ru(self.hi),
+        }
     }
 
     /// Absolute value.
@@ -125,20 +147,29 @@ impl IntervalF64 {
         } else if self.hi <= 0.0 {
             -self
         } else {
-            IntervalF64 { lo: 0.0, hi: self.hi.max(-self.lo) }
+            IntervalF64 {
+                lo: 0.0,
+                hi: self.hi.max(-self.lo),
+            }
         }
     }
 
     /// Minimum of two intervals (element-wise over all pairs).
     #[inline]
     pub fn min(self, other: IntervalF64) -> IntervalF64 {
-        IntervalF64 { lo: self.lo.min(other.lo), hi: self.hi.min(other.hi) }
+        IntervalF64 {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// Maximum of two intervals (element-wise over all pairs).
     #[inline]
     pub fn max(self, other: IntervalF64) -> IntervalF64 {
-        IntervalF64 { lo: self.lo.max(other.lo), hi: self.hi.max(other.hi) }
+        IntervalF64 {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// `err` metric of the paper (eq. 11) for this interval.
@@ -173,7 +204,10 @@ impl Neg for IntervalF64 {
     type Output = IntervalF64;
     #[inline]
     fn neg(self) -> IntervalF64 {
-        IntervalF64 { lo: -self.hi, hi: -self.lo }
+        IntervalF64 {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 }
 
@@ -181,7 +215,10 @@ impl Add for IntervalF64 {
     type Output = IntervalF64;
     #[inline]
     fn add(self, rhs: IntervalF64) -> IntervalF64 {
-        IntervalF64 { lo: add_rd(self.lo, rhs.lo), hi: add_ru(self.hi, rhs.hi) }
+        IntervalF64 {
+            lo: add_rd(self.lo, rhs.lo),
+            hi: add_ru(self.hi, rhs.hi),
+        }
     }
 }
 
@@ -189,7 +226,10 @@ impl Sub for IntervalF64 {
     type Output = IntervalF64;
     #[inline]
     fn sub(self, rhs: IntervalF64) -> IntervalF64 {
-        IntervalF64 { lo: sub_rd(self.lo, rhs.hi), hi: sub_ru(self.hi, rhs.lo) }
+        IntervalF64 {
+            lo: sub_rd(self.lo, rhs.hi),
+            hi: sub_ru(self.hi, rhs.lo),
+        }
     }
 }
 
@@ -200,8 +240,14 @@ impl Mul for IntervalF64 {
     #[inline]
     fn mul(self, rhs: IntervalF64) -> IntervalF64 {
         let (a, b, c, d) = (self.lo, self.hi, rhs.lo, rhs.hi);
-        let lo = mul_rd(a, c).min(mul_rd(a, d)).min(mul_rd(b, c)).min(mul_rd(b, d));
-        let hi = mul_ru(a, c).max(mul_ru(a, d)).max(mul_ru(b, c)).max(mul_ru(b, d));
+        let lo = mul_rd(a, c)
+            .min(mul_rd(a, d))
+            .min(mul_rd(b, c))
+            .min(mul_rd(b, d));
+        let hi = mul_ru(a, c)
+            .max(mul_ru(a, d))
+            .max(mul_ru(b, c))
+            .max(mul_ru(b, d));
         IntervalF64 { lo, hi }
     }
 }
@@ -214,14 +260,23 @@ impl Div for IntervalF64 {
     fn div(self, rhs: IntervalF64) -> IntervalF64 {
         if rhs.lo <= 0.0 && rhs.hi >= 0.0 {
             return if rhs.is_nan() || self.is_nan() {
-                IntervalF64 { lo: f64::NAN, hi: f64::NAN }
+                IntervalF64 {
+                    lo: f64::NAN,
+                    hi: f64::NAN,
+                }
             } else {
                 IntervalF64::ENTIRE
             };
         }
         let (a, b, c, d) = (self.lo, self.hi, rhs.lo, rhs.hi);
-        let lo = div_rd(a, c).min(div_rd(a, d)).min(div_rd(b, c)).min(div_rd(b, d));
-        let hi = div_ru(a, c).max(div_ru(a, d)).max(div_ru(b, c)).max(div_ru(b, d));
+        let lo = div_rd(a, c)
+            .min(div_rd(a, d))
+            .min(div_rd(b, c))
+            .min(div_rd(b, d));
+        let hi = div_ru(a, c)
+            .max(div_ru(a, d))
+            .max(div_ru(b, c))
+            .max(div_ru(b, d));
         IntervalF64 { lo, hi }
     }
 }
@@ -331,8 +386,14 @@ mod tests {
     #[test]
     fn abs_cases() {
         assert_eq!(IntervalF64::new(1.0, 2.0).abs(), IntervalF64::new(1.0, 2.0));
-        assert_eq!(IntervalF64::new(-2.0, -1.0).abs(), IntervalF64::new(1.0, 2.0));
-        assert_eq!(IntervalF64::new(-3.0, 2.0).abs(), IntervalF64::new(0.0, 3.0));
+        assert_eq!(
+            IntervalF64::new(-2.0, -1.0).abs(),
+            IntervalF64::new(1.0, 2.0)
+        );
+        assert_eq!(
+            IntervalF64::new(-3.0, 2.0).abs(),
+            IntervalF64::new(0.0, 3.0)
+        );
     }
 
     #[test]

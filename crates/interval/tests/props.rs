@@ -7,7 +7,13 @@ use safegen_fpcore::Dd;
 use safegen_interval::{IntervalDd, IntervalF64};
 
 fn small_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![-1e6f64..1e6f64, -1.0f64..1.0f64, Just(0.0), Just(1.0), Just(-1.0)]
+    prop_oneof![
+        -1e6f64..1e6f64,
+        -1.0f64..1.0f64,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0)
+    ]
 }
 
 /// An interval around a base point with a small width.

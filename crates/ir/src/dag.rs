@@ -89,7 +89,10 @@ impl Dag {
 
     /// Number of operation (non-source) nodes.
     pub fn op_count(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.kind.is_input() && !matches!(n.kind, NodeKind::Const(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| !n.kind.is_input() && !matches!(n.kind, NodeKind::Const(_)))
+            .count()
     }
 
     /// Number of input (source) nodes.
@@ -258,21 +261,36 @@ impl Builder<'_> {
                 let _ = span;
                 self.store(lhs, id);
             }
-            Stmt::If { cond: _, then_body, else_body, .. } => {
+            Stmt::If {
+                cond: _,
+                then_body,
+                else_body,
+                ..
+            } => {
                 // Both arms contribute; defs merge by last-writer-wins,
                 // which over-approximates join points (fine for the
                 // analysis, which is advisory).
                 self.block(then_body);
                 self.block(else_body);
             }
-            Stmt::For { init, cond: _, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond: _,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.stmt(i);
                 }
                 // Loop indices vary: kill constant knowledge of the
                 // induction variable before walking the body once.
                 if let Some(st) = step {
-                    if let Stmt::Assign { lhs: Expr::Ident { name, .. }, .. } = &**st {
+                    if let Stmt::Assign {
+                        lhs: Expr::Ident { name, .. },
+                        ..
+                    } = &**st
+                    {
                         self.int_env.remove(name);
                     }
                 }
@@ -305,13 +323,18 @@ impl Builder<'_> {
             }
             Expr::Index { .. } => {
                 let (base, idxs) = flatten_index(lhs);
-                match idxs.iter().map(|e| self.eval_int(e)).collect::<Option<Vec<_>>>() {
+                match idxs
+                    .iter()
+                    .map(|e| self.eval_int(e))
+                    .collect::<Option<Vec<_>>>()
+                {
                     Some(consts) => {
                         self.defs.insert(Loc::Elem(base, consts), id);
                     }
                     None => {
                         // Non-constant store smears the array.
-                        self.defs.retain(|loc, _| !matches!(loc, Loc::Elem(b, _) if *b == base));
+                        self.defs
+                            .retain(|loc, _| !matches!(loc, Loc::Elem(b, _) if *b == base));
                         self.smeared.insert(base, id);
                     }
                 }
@@ -338,7 +361,11 @@ impl Builder<'_> {
             }
             Expr::Index { span, .. } => {
                 let (base, idxs) = flatten_index(e);
-                if let Some(consts) = idxs.iter().map(|i| self.eval_int(i)).collect::<Option<Vec<_>>>() {
+                if let Some(consts) = idxs
+                    .iter()
+                    .map(|i| self.eval_int(i))
+                    .collect::<Option<Vec<_>>>()
+                {
                     if let Some(&id) = self.defs.get(&Loc::Elem(base.clone(), consts.clone())) {
                         return id;
                     }
@@ -404,15 +431,38 @@ impl Builder<'_> {
                     // Comparisons inside FP context do not occur in TAC.
                     _ => NodeKind::Add,
                 };
-                self.dag.push(Node { kind, args: vec![l, r], span: *span, var })
+                self.dag.push(Node {
+                    kind,
+                    args: vec![l, r],
+                    span: *span,
+                    var,
+                })
             }
-            Expr::Un { op: UnOp::Neg, operand, span } => {
+            Expr::Un {
+                op: UnOp::Neg,
+                operand,
+                span,
+            } => {
                 let a = self.load_or_expr(operand);
-                self.dag.push(Node { kind: NodeKind::Neg, args: vec![a], span: *span, var })
+                self.dag.push(Node {
+                    kind: NodeKind::Neg,
+                    args: vec![a],
+                    span: *span,
+                    var,
+                })
             }
-            Expr::Un { op: UnOp::Not, operand, span } => {
+            Expr::Un {
+                op: UnOp::Not,
+                operand,
+                span,
+            } => {
                 let a = self.load_or_expr(operand);
-                self.dag.push(Node { kind: NodeKind::Cast, args: vec![a], span: *span, var })
+                self.dag.push(Node {
+                    kind: NodeKind::Cast,
+                    args: vec![a],
+                    span: *span,
+                    var,
+                })
             }
             Expr::Call { callee, args, span } => {
                 let a: Vec<NodeId> = args.iter().map(|x| self.load_or_expr(x)).collect();
@@ -423,11 +473,21 @@ impl Builder<'_> {
                     "fmax" => NodeKind::Max,
                     _ => NodeKind::Cast,
                 };
-                self.dag.push(Node { kind, args: a, span: *span, var })
+                self.dag.push(Node {
+                    kind,
+                    args: a,
+                    span: *span,
+                    var,
+                })
             }
             Expr::Cast { operand, span, .. } => {
                 let a = self.load_or_expr(operand);
-                self.dag.push(Node { kind: NodeKind::Cast, args: vec![a], span: *span, var })
+                self.dag.push(Node {
+                    kind: NodeKind::Cast,
+                    args: vec![a],
+                    span: *span,
+                    var,
+                })
             }
         }
     }
@@ -454,7 +514,11 @@ impl Builder<'_> {
                     _ => None,
                 }
             }
-            Expr::Un { op: UnOp::Neg, operand, .. } => Some(-self.eval_int(operand)?),
+            Expr::Un {
+                op: UnOp::Neg,
+                operand,
+                ..
+            } => Some(-self.eval_int(operand)?),
             _ => None,
         }
     }
@@ -523,9 +587,7 @@ mod tests {
 
     #[test]
     fn scalar_reassignment_updates_deps() {
-        let d = dag_of(
-            "double f(double x) { double a = x * 2.0; a = a + 1.0; return a * a; }",
-        );
+        let d = dag_of("double f(double x) { double a = x * 2.0; a = a + 1.0; return a * a; }");
         // a*a: both operands are the node of a+1.
         let last = d.nodes().last().unwrap();
         assert_eq!(last.kind, NodeKind::Mul);
@@ -534,44 +596,51 @@ mod tests {
 
     #[test]
     fn constant_indices_tracked_individually() {
-        let d = dag_of(
-            "void f(double a[4]) { a[0] = a[1] * 2.0; a[2] = a[0] + a[1]; }",
-        );
+        let d = dag_of("void f(double a[4]) { a[0] = a[1] * 2.0; a[2] = a[0] + a[1]; }");
         // a[0] in the second statement must be the mul node, and a[1] the
         // same source both times.
         let add = d.nodes().iter().find(|n| n.kind == NodeKind::Add).unwrap();
-        let mul_id = d.nodes().iter().position(|n| n.kind == NodeKind::Mul).unwrap();
+        let mul_id = d
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Mul)
+            .unwrap();
         assert!(add.args.contains(&mul_id));
     }
 
     #[test]
     fn nonconstant_store_smears_array() {
-        let d = dag_of(
-            "void f(double a[4], int i) { a[i] = a[0] * 2.0; a[1] = a[2] + 1.0; }",
-        );
+        let d = dag_of("void f(double a[4], int i) { a[i] = a[0] * 2.0; a[1] = a[2] + 1.0; }");
         // After a[i] = …, the load a[2] must depend on the smeared store
         // (the mul node), not a fresh source.
-        let mul_id = d.nodes().iter().position(|n| n.kind == NodeKind::Mul).unwrap();
+        let mul_id = d
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Mul)
+            .unwrap();
         let add = d.nodes().iter().find(|n| n.kind == NodeKind::Add).unwrap();
-        assert!(add.args.contains(&mul_id), "smeared load must see the store");
+        assert!(
+            add.args.contains(&mul_id),
+            "smeared load must see the store"
+        );
     }
 
     #[test]
     fn loop_carried_dependencies_dropped() {
-        let d = dag_of(
-            "void f(double x) { for (int i = 0; i < 10; i++) { x = x * 0.5; } }",
-        );
+        let d = dag_of("void f(double x) { for (int i = 0; i < 10; i++) { x = x * 0.5; } }");
         // Body walked once: a single mul whose x operand is the input.
         assert_eq!(d.op_count(), 1);
         let mul = d.nodes().iter().find(|n| n.kind == NodeKind::Mul).unwrap();
-        assert!(matches!(d.nodes()[mul.args[0]].kind, NodeKind::Input(_) | NodeKind::Const(_)));
+        assert!(matches!(
+            d.nodes()[mul.args[0]].kind,
+            NodeKind::Input(_) | NodeKind::Const(_)
+        ));
     }
 
     #[test]
     fn loop_index_becomes_nonconstant() {
-        let d = dag_of(
-            "void f(double a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; } }",
-        );
+        let d =
+            dag_of("void f(double a[4]) { for (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; } }");
         // a[i] load inside the loop hits the whole-array source.
         assert!(d.input_count() >= 1);
         assert_eq!(d.op_count(), 1);

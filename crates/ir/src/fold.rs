@@ -38,7 +38,10 @@ impl KnownConst {
         } else {
             ulp(x)
         };
-        KnownConst { value: Dd::from(x), err }
+        KnownConst {
+            value: Dd::from(x),
+            err,
+        }
     }
 
     /// Fold sound as a plain literal? The double nearest the dd value must
@@ -85,7 +88,12 @@ fn fold_block(body: &[Stmt]) -> Vec<Stmt> {
 
 fn fold_stmt(s: &Stmt) -> Stmt {
     match s {
-        Stmt::Decl { ty, name, init, span } => Stmt::Decl {
+        Stmt::Decl {
+            ty,
+            name,
+            init,
+            span,
+        } => Stmt::Decl {
             ty: ty.clone(),
             name: name.clone(),
             init: init.as_ref().map(fold_expr),
@@ -97,13 +105,24 @@ fn fold_stmt(s: &Stmt) -> Stmt {
             rhs: fold_expr(rhs),
             span: *span,
         },
-        Stmt::If { cond, then_body, else_body, span } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span,
+        } => Stmt::If {
             cond: fold_expr(cond),
             then_body: fold_block(then_body),
             else_body: fold_block(else_body),
             span: *span,
         },
-        Stmt::For { init, cond, step, body, span } => Stmt::For {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        } => Stmt::For {
             init: init.as_ref().map(|i| Box::new(fold_stmt(i))),
             cond: cond.as_ref().map(fold_expr),
             step: step.as_ref().map(|st| Box::new(fold_stmt(st))),
@@ -119,9 +138,10 @@ fn fold_stmt(s: &Stmt) -> Stmt {
             value: value.as_ref().map(fold_expr),
             span: *span,
         },
-        Stmt::ExprStmt { expr, span } => {
-            Stmt::ExprStmt { expr: fold_expr(expr), span: *span }
-        }
+        Stmt::ExprStmt { expr, span } => Stmt::ExprStmt {
+            expr: fold_expr(expr),
+            span: *span,
+        },
         other => other.clone(),
     }
 }
@@ -131,7 +151,10 @@ fn fold_expr(e: &Expr) -> Expr {
     match try_eval(e) {
         Some(k) => {
             if let Some(f) = k.foldable() {
-                return Expr::FloatLit { value: f, span: e.span() };
+                return Expr::FloatLit {
+                    value: f,
+                    span: e.span(),
+                };
             }
             descend(e)
         }
@@ -171,9 +194,16 @@ fn descend(e: &Expr) -> Expr {
 fn try_eval(e: &Expr) -> Option<KnownConst> {
     match e {
         Expr::FloatLit { value, .. } => Some(KnownConst::of_literal(*value)),
-        Expr::Un { op: UnOp::Neg, operand, .. } => {
+        Expr::Un {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } => {
             let k = try_eval(operand)?;
-            Some(KnownConst { value: -k.value, err: k.err })
+            Some(KnownConst {
+                value: -k.value,
+                err: k.err,
+            })
         }
         Expr::Bin { op, lhs, rhs, .. } if op.is_arith() => {
             let a = try_eval(lhs)?;
@@ -183,10 +213,8 @@ fn try_eval(e: &Expr) -> Option<KnownConst> {
             // doubles, TwoSum/TwoProd make `+`, `−`, `*` error-free and no
             // dd margin applies.
             let dd_rel = 1e-30;
-            let eft_exact = a.err == 0.0
-                && b.err == 0.0
-                && a.value.lo() == 0.0
-                && b.value.lo() == 0.0;
+            let eft_exact =
+                a.err == 0.0 && b.err == 0.0 && a.value.lo() == 0.0 && b.value.lo() == 0.0;
             let (value, err) = match op {
                 BinOp::Add => {
                     let v = a.value + b.value;
@@ -275,7 +303,10 @@ mod tests {
         assert!(out.contains("0.5 * 8.0"), "{out}");
         // But integral×integral stays foldable even through negation.
         let out = folded("double f() { return -(3.0 * 4.0); }");
-        assert!(out.contains("return -12.0;") || out.contains("return -12e0;"), "{out}");
+        assert!(
+            out.contains("return -12.0;") || out.contains("return -12e0;"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub fn to_tac(unit: &Unit, sema: &Sema) -> Unit {
         .functions
         .iter()
         .map(|f| {
-            let mut cx = TacCx { sema, func: f.name.clone(), next_tmp: 0 };
+            let mut cx = TacCx {
+                sema,
+                func: f.name.clone(),
+                next_tmp: 0,
+            };
             let body = cx.block(&f.body);
             Function {
                 ret: f.ret.clone(),
@@ -58,7 +62,12 @@ impl TacCx<'_> {
 
     fn stmt(&mut self, s: &Stmt, out: &mut Vec<Stmt>) {
         match s {
-            Stmt::Decl { ty, name, init, span } => {
+            Stmt::Decl {
+                ty,
+                name,
+                init,
+                span,
+            } => {
                 let init = init.as_ref().map(|e| {
                     if ty.is_float() {
                         // The declaration line itself may hold one FP op.
@@ -67,7 +76,12 @@ impl TacCx<'_> {
                         e.clone()
                     }
                 });
-                out.push(Stmt::Decl { ty: ty.clone(), name: name.clone(), init, span: *span });
+                out.push(Stmt::Decl {
+                    ty: ty.clone(),
+                    name: name.clone(),
+                    init,
+                    span: *span,
+                });
             }
             Stmt::Assign { lhs, op, rhs, span } => {
                 let is_f = self.is_float(lhs);
@@ -104,13 +118,29 @@ impl TacCx<'_> {
                     span: *span,
                 });
             }
-            Stmt::If { cond, then_body, else_body, span } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
                 let cond = self.flatten_cond(cond, out);
                 let then_body = self.block(then_body);
                 let else_body = self.block(else_body);
-                out.push(Stmt::If { cond, then_body, else_body, span: *span });
+                out.push(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    span: *span,
+                });
             }
-            Stmt::For { init, cond, step, body, span } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                span,
+            } => {
                 // Loop control is integer arithmetic; leave it be. (FP
                 // temporaries must not be hoisted out of the body either.)
                 let init = init.as_ref().map(|i| {
@@ -126,12 +156,22 @@ impl TacCx<'_> {
                     Box::new(tmp.pop().unwrap())
                 });
                 let body = self.block(body);
-                out.push(Stmt::For { init, cond: cond.clone(), step, body, span: *span });
+                out.push(Stmt::For {
+                    init,
+                    cond: cond.clone(),
+                    step,
+                    body,
+                    span: *span,
+                });
             }
             Stmt::While { cond, body, span } => {
                 let cond = self.flatten_cond(cond, out);
                 let body = self.block(body);
-                out.push(Stmt::While { cond, body, span: *span });
+                out.push(Stmt::While {
+                    cond,
+                    body,
+                    span: *span,
+                });
             }
             Stmt::Return { value, span } => {
                 let value = value.as_ref().map(|e| {
@@ -141,7 +181,10 @@ impl TacCx<'_> {
                         e.clone()
                     }
                 });
-                out.push(Stmt::Return { value: value.clone(), span: *span });
+                out.push(Stmt::Return {
+                    value: value.clone(),
+                    span: *span,
+                });
             }
             Stmt::ExprStmt { expr, span } => {
                 let expr = if self.is_float(expr) {
@@ -164,14 +207,37 @@ impl TacCx<'_> {
     fn flatten_cond(&mut self, cond: &Expr, out: &mut Vec<Stmt>) -> Expr {
         match cond {
             Expr::Bin { op, lhs, rhs, span } if op.is_cmp() => {
-                let l = if self.is_float(lhs) { self.flatten_operand(lhs, out) } else { (**lhs).clone() };
-                let r = if self.is_float(rhs) { self.flatten_operand(rhs, out) } else { (**rhs).clone() };
-                Expr::Bin { op: *op, lhs: Box::new(l), rhs: Box::new(r), span: *span }
+                let l = if self.is_float(lhs) {
+                    self.flatten_operand(lhs, out)
+                } else {
+                    (**lhs).clone()
+                };
+                let r = if self.is_float(rhs) {
+                    self.flatten_operand(rhs, out)
+                } else {
+                    (**rhs).clone()
+                };
+                Expr::Bin {
+                    op: *op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                    span: *span,
+                }
             }
-            Expr::Bin { op: op @ (BinOp::And | BinOp::Or), lhs, rhs, span } => {
+            Expr::Bin {
+                op: op @ (BinOp::And | BinOp::Or),
+                lhs,
+                rhs,
+                span,
+            } => {
                 let l = self.flatten_cond(lhs, out);
                 let r = self.flatten_cond(rhs, out);
-                Expr::Bin { op: *op, lhs: Box::new(l), rhs: Box::new(r), span: *span }
+                Expr::Bin {
+                    op: *op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                    span: *span,
+                }
             }
             other => other.clone(),
         }
@@ -181,9 +247,10 @@ impl TacCx<'_> {
     /// access), emitting temporaries for every operation.
     fn flatten_operand(&mut self, e: &Expr, out: &mut Vec<Stmt>) -> Expr {
         match e {
-            Expr::IntLit { .. } | Expr::FloatLit { .. } | Expr::Ident { .. } | Expr::Index { .. } => {
-                e.clone()
-            }
+            Expr::IntLit { .. }
+            | Expr::FloatLit { .. }
+            | Expr::Ident { .. }
+            | Expr::Index { .. } => e.clone(),
             _ => {
                 let top = self.flatten_top(e, out);
                 self.spill(top, e.span(), out)
@@ -198,15 +265,28 @@ impl TacCx<'_> {
             Expr::Bin { op, lhs, rhs, span } if op.is_arith() => {
                 let l = self.flatten_operand(lhs, out);
                 let r = self.flatten_operand(rhs, out);
-                Expr::Bin { op: *op, lhs: Box::new(l), rhs: Box::new(r), span: *span }
+                Expr::Bin {
+                    op: *op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                    span: *span,
+                }
             }
             Expr::Un { op, operand, span } => {
                 let inner = self.flatten_operand(operand, out);
-                Expr::Un { op: *op, operand: Box::new(inner), span: *span }
+                Expr::Un {
+                    op: *op,
+                    operand: Box::new(inner),
+                    span: *span,
+                }
             }
             Expr::Call { callee, args, span } => {
                 let args = args.iter().map(|a| self.flatten_operand(a, out)).collect();
-                Expr::Call { callee: callee.clone(), args, span: *span }
+                Expr::Call {
+                    callee: callee.clone(),
+                    args,
+                    span: *span,
+                }
             }
             Expr::Cast { ty, operand, span } => {
                 let inner = if self.is_float(operand) {
@@ -214,7 +294,11 @@ impl TacCx<'_> {
                 } else {
                     (**operand).clone()
                 };
-                Expr::Cast { ty: ty.clone(), operand: Box::new(inner), span: *span }
+                Expr::Cast {
+                    ty: ty.clone(),
+                    operand: Box::new(inner),
+                    span: *span,
+                }
             }
             other => other.clone(),
         }
@@ -223,7 +307,12 @@ impl TacCx<'_> {
     /// Emits `double _tN = <e>;` and returns `_tN`.
     fn spill(&mut self, e: Expr, span: safegen_cfront::Span, out: &mut Vec<Stmt>) -> Expr {
         let name = self.fresh();
-        out.push(Stmt::Decl { ty: Ty::Double, name: name.clone(), init: Some(e), span });
+        out.push(Stmt::Decl {
+            ty: Ty::Double,
+            name: name.clone(),
+            init: Some(e),
+            span,
+        });
         Expr::Ident { name, span }
     }
 }
@@ -263,9 +352,11 @@ mod tests {
                 Stmt::Decl { init: Some(e), .. } => fp_ops_in_expr(e),
                 Stmt::Assign { rhs, .. } => fp_ops_in_expr(rhs),
                 Stmt::Return { value: Some(e), .. } => fp_ops_in_expr(e),
-                Stmt::If { then_body, else_body, .. } => {
-                    max_ops_per_stmt(then_body).max(max_ops_per_stmt(else_body))
-                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => max_ops_per_stmt(then_body).max(max_ops_per_stmt(else_body)),
                 Stmt::For { body, .. } | Stmt::While { body, .. } | Stmt::Block { body, .. } => {
                     max_ops_per_stmt(body)
                 }
@@ -294,10 +385,19 @@ mod tests {
 
     #[test]
     fn leaves_integer_arithmetic_alone() {
-        let t = tac_of("void f(double a[8]) { for (int i = 0; i < 4; i++) a[i + 1] = a[i] + 1.0; }");
-        let Stmt::For { body, .. } = &t.functions[0].body[0] else { panic!() };
+        let t =
+            tac_of("void f(double a[8]) { for (int i = 0; i < 4; i++) a[i + 1] = a[i] + 1.0; }");
+        let Stmt::For { body, .. } = &t.functions[0].body[0] else {
+            panic!()
+        };
         // a[i+1] index arithmetic must not be spilled.
-        let Stmt::Assign { lhs: Expr::Index { index, .. }, .. } = &body[0] else { panic!() };
+        let Stmt::Assign {
+            lhs: Expr::Index { index, .. },
+            ..
+        } = &body[0]
+        else {
+            panic!()
+        };
         assert!(matches!(**index, Expr::Bin { op: BinOp::Add, .. }));
     }
 
@@ -346,16 +446,21 @@ mod tests {
         let sema = analyze(&unit).unwrap();
         let t = to_tac(&unit, &sema);
         // The temp decl for a*b must carry the span of `a * b` in `src`.
-        let Stmt::Decl { init: Some(_), span, .. } = &t.functions[0].body[0] else { panic!() };
+        let Stmt::Decl {
+            init: Some(_),
+            span,
+            ..
+        } = &t.functions[0].body[0]
+        else {
+            panic!()
+        };
         let text = &src[span.start..span.end];
         assert!(text.contains('*'), "span text = {text:?}");
     }
 
     #[test]
     fn preserves_pragmas() {
-        let t = tac_of(
-            "void f(double x) {\n#pragma safegen prioritize(x)\nx = x * x + 1.0; }",
-        );
+        let t = tac_of("void f(double x) {\n#pragma safegen prioritize(x)\nx = x * x + 1.0; }");
         assert!(print_unit(&t).contains("#pragma safegen prioritize(x)"));
     }
 

@@ -1,0 +1,77 @@
+//! Thread-scaling study of the parallel batch engine: evaluates one
+//! workload over a fixed batch of random inputs at 1, 2, 4, … workers
+//! and prints the speedup over the serial path — while verifying that
+//! every enclosure stays bit-identical to the serial result (the
+//! engine's determinism guarantee; see `safegen::batch`).
+//!
+//! Run with: `cargo run --release --example batch_scaling`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safegen_bench::{Workload, WorkloadKind};
+use safegen_suite::safegen::batch::{run_batch_with, BatchOptions};
+use safegen_suite::safegen::{Compiler, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    let w = Workload::new(WorkloadKind::Sor { n: 12, iters: 10 });
+    let cfg = RunConfig::affine_f64(16);
+    let n = 64;
+    let base_seed = 0x5CA1_AB1E;
+
+    let compiled = Compiler::new().compile(&w.source).unwrap();
+    let prog = compiled.program_for(w.func, &cfg);
+    let make_input = |seed: u64, _i: usize| w.args(&mut StdRng::seed_from_u64(seed));
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize];
+    while *counts.last().unwrap() * 2 <= cores {
+        counts.push(counts.last().unwrap() * 2);
+    }
+
+    println!(
+        "batch of {n} × {} under {} ({cores} cores available)",
+        w.name,
+        cfg.label()
+    );
+    println!(
+        "{:<8} {:>10} {:>9} {:>14}",
+        "threads", "wall(s)", "speedup", "bit-identical"
+    );
+
+    let mut serial_items = None;
+    let mut serial_wall = 0.0;
+    for &t in &counts {
+        let t0 = Instant::now();
+        let batch = run_batch_with(
+            &prog,
+            n,
+            base_seed,
+            make_input,
+            &cfg,
+            &BatchOptions::with_threads(t),
+        )
+        .unwrap();
+        let wall = t0.elapsed().as_secs_f64();
+
+        let rets: Vec<_> = batch.items.iter().map(|it| it.report.ret).collect();
+        let identical = match &serial_items {
+            None => {
+                serial_items = Some(rets);
+                serial_wall = wall;
+                true
+            }
+            Some(serial) => serial == &rets,
+        };
+        assert!(identical, "parallel results diverged from serial at t={t}");
+        println!(
+            "{:<8} {:>10.3} {:>8.2}x {:>14}",
+            t,
+            wall,
+            serial_wall / wall,
+            "yes"
+        );
+    }
+}

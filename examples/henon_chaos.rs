@@ -33,13 +33,7 @@ fn main() {
     for iters in [25usize, 50, 75, 100] {
         let compiled = Compiler::new().compile(&henon_src(iters)).unwrap();
         let args = [0.3.into(), 0.4.into(), vec![0.0, 0.0].into()];
-        let acc = |cfg: &RunConfig| {
-            compiled
-                .run("henon", &args, cfg)
-                .unwrap()
-                .acc_bits
-                .max(0.0)
-        };
+        let acc = |cfg: &RunConfig| compiled.run("henon", &args, cfg).unwrap().acc_bits.max(0.0);
         println!(
             "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
             iters,

@@ -31,7 +31,11 @@ fn main() {
     ] {
         let r = compiled.run("fgm", &args, &cfg).unwrap();
         let out = &r.arrays.last().unwrap().1;
-        println!("{} — certified bits (worst coordinate): {:.1}", cfg.label(), r.acc_bits);
+        println!(
+            "{} — certified bits (worst coordinate): {:.1}",
+            cfg.label(),
+            r.acc_bits
+        );
         for (i, ((lo, hi), x)) in out.iter().zip(&reference).enumerate().take(3) {
             println!("  x[{i}] ∈ [{lo:.15}, {hi:.15}]   (f64 run: {x:.15})");
             assert!(lo <= x && x <= hi);

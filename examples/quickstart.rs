@@ -42,7 +42,10 @@ fn main() {
             cfg.label(),
             r.acc_bits
         );
-        assert!(lo <= v && v <= hi, "sound range must contain the f64 result");
+        assert!(
+            lo <= v && v <= hi,
+            "sound range must contain the f64 result"
+        );
     }
 
     println!("\nEvery range above is guaranteed to contain the exact real-arithmetic result.");

@@ -1,0 +1,140 @@
+//! Pins the batch engine's determinism contract: evaluating a workload
+//! batch on several worker threads produces results **bit-identical** to
+//! the serial path — per-item enclosures, per-item certified bits, and
+//! the aggregated execution counters (DESIGN.md § Parallel batch
+//! execution).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safegen_bench::{Workload, WorkloadKind};
+use safegen_suite::safegen::batch::{run_batch_with, BatchOptions, BatchResult};
+use safegen_suite::safegen::{Compiler, RunConfig};
+
+const BASE_SEED: u64 = 0xBA7C_2022;
+const N: usize = 18; // not a multiple of the engine's chunk size
+
+fn batch(w: &Workload, cfg: &RunConfig, threads: usize) -> BatchResult {
+    let compiled = Compiler::new().compile(&w.source).unwrap();
+    let prog = compiled.program_for(w.func, cfg);
+    run_batch_with(
+        &prog,
+        N,
+        BASE_SEED,
+        |seed, _i| w.args(&mut StdRng::seed_from_u64(seed)),
+        cfg,
+        &BatchOptions::with_threads(threads),
+    )
+    .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, cfg.label()))
+}
+
+/// `f64` equality to the last bit. `==` would treat the NaN endpoints a
+/// diverging workload legitimately produces as unequal to themselves;
+/// comparing representations is both stricter and NaN-stable.
+fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn same_range(a: (f64, f64), b: (f64, f64)) -> bool {
+    same_bits(a.0, b.0) && same_bits(a.1, b.1)
+}
+
+fn assert_bit_identical(serial: &BatchResult, parallel: &BatchResult, label: &str) {
+    assert_eq!(serial.items.len(), parallel.items.len(), "{label}");
+    for (s, p) in serial.items.iter().zip(&parallel.items) {
+        assert_eq!(s.index, p.index, "{label}: item order");
+        match (s.report.ret, p.report.ret) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert!(
+                same_range(a, b),
+                "{label}: item {} ret {a:?} vs {b:?}",
+                s.index
+            ),
+            (a, b) => panic!("{label}: item {} ret {a:?} vs {b:?}", s.index),
+        }
+        assert_eq!(s.report.arrays.len(), p.report.arrays.len(), "{label}");
+        for ((sn, sv), (pn, pv)) in s.report.arrays.iter().zip(&p.report.arrays) {
+            assert_eq!(sn, pn, "{label}: item {} array name", s.index);
+            assert_eq!(sv.len(), pv.len(), "{label}: item {} array len", s.index);
+            for (j, (a, b)) in sv.iter().zip(pv).enumerate() {
+                assert!(
+                    same_range(*a, *b),
+                    "{label}: item {} {sn}[{j}] {a:?} vs {b:?}",
+                    s.index
+                );
+            }
+        }
+        let (sa, pa) = (s.report.acc_bits, p.report.acc_bits);
+        assert!(
+            same_bits(sa, pa),
+            "{label}: item {} acc_bits {sa} vs {pa}",
+            s.index
+        );
+        assert_eq!(
+            s.report.stats, p.report.stats,
+            "{label}: item {} stats",
+            s.index
+        );
+    }
+    assert_eq!(serial.stats, parallel.stats, "{label}: aggregated stats");
+}
+
+#[test]
+fn parallel_batches_match_serial_across_workloads_and_domains() {
+    let workloads = [
+        Workload::new(WorkloadKind::Henon { iters: 60 }),
+        Workload::new(WorkloadKind::Sor { n: 6, iters: 8 }),
+        Workload::new(WorkloadKind::Luf { n: 8 }),
+    ];
+    let configs = [RunConfig::affine_f64(8), RunConfig::interval_f64()];
+    for w in &workloads {
+        for cfg in &configs {
+            let serial = batch(w, cfg, 1);
+            assert_eq!(serial.threads, 1);
+            for threads in [2, 4] {
+                let par = batch(w, cfg, threads);
+                assert_eq!(par.threads, threads);
+                assert_bit_identical(
+                    &serial,
+                    &par,
+                    &format!("{} / {} / {threads} threads", w.name, cfg.label()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_fusion_policy_is_also_schedule_invariant() {
+    // The fusion RNG lives in the per-item context, so even the Random
+    // policy — the obvious way to accidentally share mutable state —
+    // must not observe the schedule.
+    let w = Workload::new(WorkloadKind::Henon { iters: 60 });
+    let cfg = RunConfig::mnemonic(8, "drnn").unwrap();
+    let serial = batch(&w, &cfg, 1);
+    let par = batch(&w, &cfg, 4);
+    assert_bit_identical(&serial, &par, "henon / drnn / 4 threads");
+}
+
+#[test]
+fn compiled_run_batch_convenience_matches_engine() {
+    let w = Workload::new(WorkloadKind::Henon { iters: 30 });
+    let cfg = RunConfig::affine_f64(8);
+    let compiled = Compiler::new().compile(&w.source).unwrap();
+    let inputs: Vec<_> = (0..7)
+        .map(|i| w.args(&mut StdRng::seed_from_u64(BASE_SEED ^ i)))
+        .collect();
+    let via_method = compiled
+        .run_batch(w.func, &inputs, &cfg, &BatchOptions::with_threads(2))
+        .unwrap();
+    for (item, args) in via_method.items.iter().zip(&inputs) {
+        let direct = compiled.run(w.func, args, &cfg).unwrap();
+        assert!(same_bits(item.report.acc_bits, direct.acc_bits));
+        for ((sn, sv), (pn, pv)) in item.report.arrays.iter().zip(&direct.arrays) {
+            assert_eq!(sn, pn);
+            for (a, b) in sv.iter().zip(pv) {
+                assert!(same_range(*a, *b), "{a:?} vs {b:?}");
+            }
+        }
+        assert_eq!(item.report.stats, direct.stats);
+    }
+}

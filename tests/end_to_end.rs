@@ -73,8 +73,16 @@ fn cancellation_chain() {
         let (lo, hi) = r.ret.unwrap();
         // Everything is O(ulp) of the working precision: even IA must stay
         // tight here (f32a centers make the ulp ~2^-24 instead of 2^-53).
-        let tight = if cfg.label().starts_with("f32a") { 1e-5 } else { 1e-13 };
-        assert!(lo <= tight && hi >= -tight, "{}: 0 outside [{lo}, {hi}]", cfg.label());
+        let tight = if cfg.label().starts_with("f32a") {
+            1e-5
+        } else {
+            1e-13
+        };
+        assert!(
+            lo <= tight && hi >= -tight,
+            "{}: 0 outside [{lo}, {hi}]",
+            cfg.label()
+        );
         assert!(hi - lo < tight, "{}: width {}", cfg.label(), hi - lo);
     }
 }
@@ -141,7 +149,9 @@ fn arrays_and_nested_loops() {
         }
     }
     for cfg in sound_configs() {
-        let r = compiled.run("smooth", &[input.clone().into()], &cfg).unwrap();
+        let r = compiled
+            .run("smooth", &[input.clone().into()], &cfg)
+            .unwrap();
         let out = &r.arrays[0].1;
         for ((lo, hi), reference) in out.iter().zip(&reference) {
             assert!(
@@ -167,12 +177,16 @@ fn shadowed_names_compile_and_run() {
         return x;
     }";
     let compiled = Compiler::new().compile(src).unwrap();
-    let unsound = compiled.run("f", &[0.3.into()], &RunConfig::unsound()).unwrap();
+    let unsound = compiled
+        .run("f", &[0.3.into()], &RunConfig::unsound())
+        .unwrap();
     let (v, _) = unsound.ret.unwrap();
     // Native semantics: t = 0.6; x: 0.3→(1.3*0.5)=0.65→(1.65*0.5)=0.825;
     // then +0.6 twice = 2.025.
     assert!((v - 2.025).abs() < 1e-12, "v = {v}");
-    let sound = compiled.run("f", &[0.3.into()], &RunConfig::affine_f64(8)).unwrap();
+    let sound = compiled
+        .run("f", &[0.3.into()], &RunConfig::affine_f64(8))
+        .unwrap();
     let (lo, hi) = sound.ret.unwrap();
     assert!(lo <= v && v <= hi);
 }
@@ -186,8 +200,12 @@ fn affine_beats_interval_on_dependent_code() {
         return r;
     }";
     let compiled = Compiler::new().compile(src).unwrap();
-    let ia = compiled.run("f", &[0.6.into()], &RunConfig::interval_f64()).unwrap();
-    let aa = compiled.run("f", &[0.6.into()], &RunConfig::affine_f64(8)).unwrap();
+    let ia = compiled
+        .run("f", &[0.6.into()], &RunConfig::interval_f64())
+        .unwrap();
+    let aa = compiled
+        .run("f", &[0.6.into()], &RunConfig::affine_f64(8))
+        .unwrap();
     let (ilo, ihi) = ia.ret.unwrap();
     let (alo, ahi) = aa.ret.unwrap();
     assert!(
@@ -206,7 +224,9 @@ fn undecided_branches_are_counted_and_sound() {
     }";
     let compiled = Compiler::new().compile(src).unwrap();
     // Input exactly at the threshold: the ±1ulp input range straddles it.
-    let r = compiled.run("f", &[0.5.into()], &RunConfig::affine_f64(8)).unwrap();
+    let r = compiled
+        .run("f", &[0.5.into()], &RunConfig::affine_f64(8))
+        .unwrap();
     assert_eq!(r.stats.undecided_branches, 1);
 }
 
@@ -218,8 +238,12 @@ fn stats_fp_ops_match_across_domains() {
         return s;
     }";
     let compiled = Compiler::new().compile(src).unwrap();
-    let a = compiled.run("f", &[0.1.into()], &RunConfig::unsound()).unwrap();
-    let b = compiled.run("f", &[0.1.into()], &RunConfig::affine_f64(4)).unwrap();
+    let a = compiled
+        .run("f", &[0.1.into()], &RunConfig::unsound())
+        .unwrap();
+    let b = compiled
+        .run("f", &[0.1.into()], &RunConfig::affine_f64(4))
+        .unwrap();
     assert_eq!(a.stats.fp_ops, b.stats.fp_ops);
     assert_eq!(a.stats.fp_ops, 7);
 }

@@ -21,7 +21,9 @@ const SIMD_AXPY: &str = "void axpy(double a, double x[8], double y[8]) {
 
 #[test]
 fn simd_input_compiles_and_runs_soundly() {
-    let compiled = Compiler::new().compile(SIMD_AXPY).expect("SIMD input accepted");
+    let compiled = Compiler::new()
+        .compile(SIMD_AXPY)
+        .expect("SIMD input accepted");
     let a = 0.3;
     let x: Vec<f64> = (0..8).map(|i| 0.1 * i as f64 + 0.05).collect();
     let y: Vec<f64> = (0..8).map(|i| 0.2 * i as f64 + 0.01).collect();
@@ -40,7 +42,11 @@ fn simd_input_compiles_and_runs_soundly() {
             "lane {i}: {reference} outside [{lo}, {hi}]"
         );
     }
-    assert!(r.acc_bits > 40.0, "one fma's worth of error: {}", r.acc_bits);
+    assert!(
+        r.acc_bits > 40.0,
+        "one fma's worth of error: {}",
+        r.acc_bits
+    );
 }
 
 #[test]
@@ -55,7 +61,10 @@ fn simd_input_matches_scalar_equivalent_unsoundly() {
     let args = [0.25.into(), x.into(), y.into()];
     let a = cs.run("axpy", &args, &RunConfig::unsound()).unwrap();
     let b = cv.run("axpy", &args, &RunConfig::unsound()).unwrap();
-    assert_eq!(a.arrays, b.arrays, "SIMD lowering must match scalar semantics");
+    assert_eq!(
+        a.arrays, b.arrays,
+        "SIMD lowering must match scalar semantics"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -75,8 +84,12 @@ fn constant_folding_reduces_ops_and_stays_sound() {
     let cw = with.compile(src).unwrap();
     let co = without.compile(src).unwrap();
 
-    let rw = cw.run("f", &[0.3.into()], &RunConfig::affine_f64(8)).unwrap();
-    let ro = co.run("f", &[0.3.into()], &RunConfig::affine_f64(8)).unwrap();
+    let rw = cw
+        .run("f", &[0.3.into()], &RunConfig::affine_f64(8))
+        .unwrap();
+    let ro = co
+        .run("f", &[0.3.into()], &RunConfig::affine_f64(8))
+        .unwrap();
     assert!(
         rw.stats.fp_ops < ro.stats.fp_ops,
         "folding must remove operations ({} vs {})",
@@ -97,7 +110,9 @@ fn folding_never_applies_to_inexact_decimals() {
     let src = "double f(double x) { return x + (0.1 + 0.2); }";
     let compiled = Compiler::new().compile(src).unwrap();
     // 0.1 + 0.2 must still execute as an operation (2 ops total).
-    let r = compiled.run("f", &[1.0.into()], &RunConfig::unsound()).unwrap();
+    let r = compiled
+        .run("f", &[1.0.into()], &RunConfig::unsound())
+        .unwrap();
     assert_eq!(r.stats.fp_ops, 2);
 }
 
@@ -129,9 +144,14 @@ fn variable_capacity_is_sound() {
     let unsound = compiled.run("f", &args, &RunConfig::unsound()).unwrap();
     let (v, _) = unsound.ret.unwrap();
     for k_low in [1usize, 2, 4] {
-        let r = compiled.run("f", &args, &sorted_cfg(16, Some(k_low))).unwrap();
+        let r = compiled
+            .run("f", &args, &sorted_cfg(16, Some(k_low)))
+            .unwrap();
         let (lo, hi) = r.ret.unwrap();
-        assert!(lo <= v && v <= hi, "k_low={k_low}: {v} outside [{lo}, {hi}]");
+        assert!(
+            lo <= v && v <= hi,
+            "k_low={k_low}: {v} outside [{lo}, {hi}]"
+        );
     }
 }
 

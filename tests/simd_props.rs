@@ -18,7 +18,12 @@ enum VOp {
 fn vop() -> impl Strategy<Value = VOp> {
     prop_oneof![
         (0usize..4).prop_map(VOp::Load),
-        (0usize..4, prop_oneof![Just("add"), Just("sub"), Just("mul")], 0usize..4, 0usize..4)
+        (
+            0usize..4,
+            prop_oneof![Just("add"), Just("sub"), Just("mul")],
+            0usize..4,
+            0usize..4
+        )
             .prop_map(|(d, o, a, b)| VOp::Bin(d, o, a, b)),
         (0usize..4, 0usize..4, 0usize..4, 0usize..4).prop_map(|(d, a, b, c)| VOp::Fma(d, a, b, c)),
         (0usize..4, any::<bool>(), 0usize..4, 0usize..4)
@@ -57,8 +62,7 @@ fn sources(ops: &[VOp]) -> (String, String) {
                 }
             }
             VOp::Fma(d, x, y, z) => {
-                vec_body
-                    .push_str(&format!("    v{d} = _mm256_fmadd_pd(v{x}, v{y}, v{z});\n"));
+                vec_body.push_str(&format!("    v{d} = _mm256_fmadd_pd(v{x}, v{y}, v{z});\n"));
                 for l in 0..4 {
                     sca_body.push_str(&format!("    v{d}_{l} = v{x}_{l} * v{y}_{l} + v{z}_{l};\n"));
                 }

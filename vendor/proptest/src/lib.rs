@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the slice of the proptest API its property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` and
+//!   per-test `#[test]` attributes),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//!   [`prop_oneof!`],
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_filter`, and `boxed`,
+//! * range strategies (`0.1f64..2.0`, `0usize..8`, …), tuples of
+//!   strategies, [`Just`](strategy::Just),
+//!   [`collection::vec`], and [`any`](arbitrary::any) for `f64`/`bool`.
+//!
+//! See `vendor/README.md` for the vendoring policy.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the `Debug` rendering
+//!   of the generated input instead of a minimized counterexample.
+//! * **No persistence.** `proptest-regressions` files are ignored; runs
+//!   are deterministic from a fixed base seed (override with the
+//!   `PROPTEST_SEED` environment variable) so failures reproduce without
+//!   a seed file.
+//! * `PROPTEST_CASES` overrides the case count globally, like upstream.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Namespaced strategy constructors (`prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a
+/// failure) when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+///
+/// The `#[test]` attribute on each function is written explicitly (as
+/// upstream proptest requires) and passed through.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run_proptest(
+                    &config,
+                    stringify!($name),
+                    &strategy,
+                    |values| {
+                        let ($($pat,)+) = values;
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}

@@ -1,0 +1,287 @@
+//! The [`Strategy`] trait and its combinators (API subset).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of a type (API subset of
+/// `proptest::strategy::Strategy`; generation only, no shrinking).
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Debug,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keeps only values satisfying a predicate (regenerating others).
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        Filter {
+            source: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Debug,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Local rejection sampling: regenerate until the predicate holds.
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 10000 consecutive values",
+            self.whence
+        )
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type (what
+/// [`prop_oneof!`](crate::prop_oneof) builds).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// --- Range strategies ------------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start < self.end);
+        // Interpolation keeps huge spans (1e-100..1e100) finite.
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let x = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                debug_assert!(self.start < self.end);
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+// --- Tuple strategies ------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / v0);
+tuple_strategy!(S0 / v0, S1 / v1);
+tuple_strategy!(S0 / v0, S1 / v1, S2 / v2);
+tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3);
+tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+tuple_strategy!(S0 / v0, S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let f = (0.1f64..2.0).generate(&mut rng);
+            assert!((0.1..2.0).contains(&f));
+            let u = (0usize..8).generate(&mut rng);
+            assert!(u < 8);
+            let i = (-3i64..4).generate(&mut rng);
+            assert!((-3..4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_filter_boxed_union_compose() {
+        let mut rng = TestRng::new(2);
+        let s = crate::prop_oneof![(0usize..4).prop_map(|x| x * 2), Just(99usize),]
+            .prop_filter("not zero", |&x| x != 0);
+        let cloned = s.clone();
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == 99 || (v % 2 == 0 && v != 0 && v <= 6));
+            let _ = cloned.generate(&mut rng);
+        }
+        let b: BoxedStrategy<usize> = s.boxed();
+        let _ = b.clone().generate(&mut rng);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::new(3);
+        let (a, b, c, d) = (
+            0usize..2,
+            0.0f64..1.0,
+            Just(7u8),
+            (0i64..5).prop_map(|i| -i),
+        )
+            .generate(&mut rng);
+        assert!(a < 2);
+        assert!((0.0..1.0).contains(&b));
+        assert_eq!(c, 7);
+        assert!((-4..=0).contains(&d));
+    }
+}

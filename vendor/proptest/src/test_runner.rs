@@ -1,0 +1,216 @@
+//! Case generation and execution: the runner behind [`proptest!`].
+//!
+//! [`proptest!`]: crate::proptest
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Deterministic test-case RNG (splitmix64). Exposed so strategies can
+/// draw from it; not part of the public proptest API surface.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform index in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated; fails the test.
+    Fail(String),
+    /// The inputs did not meet an assumption; the case is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) case with a reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Outcome of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (API subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Fixed base seed: runs are reproducible without a regressions file.
+const BASE_SEED: u64 = 0x5AFE_6E4E_2022_CC01;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: generates inputs from `strategy`, applies
+/// `test`, and panics (with the failing input's `Debug` form) on the
+/// first failure. Deterministic per test name; `PROPTEST_SEED` overrides
+/// the base seed.
+pub fn run_proptest<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> TestCaseResult,
+) {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(BASE_SEED)
+        ^ fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::new(base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+        attempt += 1;
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejected}) before reaching {} successes",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing case(s): \
+                     {reason}\n  failing input: {rendered}\n  \
+                     (deterministic; rerun reproduces it — no shrinking in \
+                     the vendored shim)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_deterministic() {
+        let mut a = TestRng::new(5);
+        let mut b = TestRng::new(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert!((0.0..1.0).contains(&a.unit_f64()));
+        assert!(a.index(10) < 10);
+    }
+
+    #[test]
+    fn runner_counts_cases() {
+        let cfg = ProptestConfig::with_cases(10);
+        let mut runs = 0;
+        run_proptest(&cfg, "counts", &(0.0f64..1.0), |x| {
+            assert!((0.0..1.0).contains(&x));
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failing input")]
+    fn runner_reports_failures() {
+        let cfg = ProptestConfig::with_cases(10);
+        run_proptest(&cfg, "fails", &(0.0f64..1.0), |_| {
+            Err(TestCaseError::fail("always"))
+        });
+    }
+
+    #[test]
+    fn rejects_are_not_failures() {
+        let cfg = ProptestConfig::with_cases(5);
+        let mut flip = false;
+        run_proptest(&cfg, "rejects", &(0.0f64..1.0), |_| {
+            flip = !flip;
+            if flip {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}
