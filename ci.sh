@@ -20,4 +20,21 @@ cargo fmt --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== observability smoke (profile + metrics JSON) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/kernel.c" <<'EOF'
+double poly(double x) {
+    double r = 1.0;
+    for (int i = 0; i < 10; i++) {
+        r = r * x - 0.3;
+    }
+    return r;
+}
+EOF
+SAFEGEN_METRICS_OUT="$SMOKE_DIR/metrics" \
+    ./target/release/safegen profile "$SMOKE_DIR/kernel.c" poly --k 4 \
+    | grep -q "error-attribution profile"
+./target/release/json_check "$SMOKE_DIR/metrics.jsonl" "$SMOKE_DIR/metrics.summary.json"
+
 echo "ci.sh: all checks passed"

@@ -194,6 +194,30 @@ pub struct AaContext {
     rng: Cell<u64>,
     /// Per-operation capacity override (see [`AaContext::set_op_capacity`]).
     op_k: Cell<usize>,
+    /// Event counters (see [`AaCounters`]); bumped only on the fusion
+    /// paths, never per operation, so they cost nothing on the fast path.
+    counters: Cell<AaCounters>,
+}
+
+/// Counters of symbol-losing events in one [`AaContext`].
+///
+/// Fusing and condensing are where an affine computation *loses
+/// correlation information* — the width the final form reports is still
+/// sound, but it can no longer cancel against the victims. These
+/// counters make that loss observable per run; `safegen`'s VM surfaces
+/// them in its `RunStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AaCounters {
+    /// Budget-overflow fusion events under sorted placement: how many
+    /// times an operation's result exceeded `k` symbols and a victim set
+    /// was fused into a fresh symbol (paper eq. 6).
+    pub fusion_events: u64,
+    /// Total symbols fused away across all `fusion_events`.
+    pub fused_symbols: u64,
+    /// Condensations under direct-mapped placement: slot conflicts where
+    /// one symbol's magnitude was absorbed into the other's slot
+    /// (including a fresh noise symbol landing on an occupied slot).
+    pub condensations: u64,
 }
 
 impl AaContext {
@@ -211,6 +235,7 @@ impl AaContext {
             next_id: Cell::new(0),
             rng: Cell::new(0x9E37_79B9_7F4A_7C15),
             op_k: Cell::new(config.k),
+            counters: Cell::new(AaCounters::default()),
         }
     }
 
@@ -263,6 +288,30 @@ impl AaContext {
     #[inline]
     pub fn symbols_allocated(&self) -> u64 {
         self.next_id.get()
+    }
+
+    /// Snapshot of the fusion/condensation counters.
+    #[inline]
+    pub fn counters(&self) -> AaCounters {
+        self.counters.get()
+    }
+
+    /// Records one budget-overflow fusion event that fused `victims`
+    /// symbols (sorted placement).
+    #[inline]
+    pub(crate) fn note_fusion(&self, victims: u64) {
+        let mut c = self.counters.get();
+        c.fusion_events += 1;
+        c.fused_symbols += victims;
+        self.counters.set(c);
+    }
+
+    /// Records one slot-conflict condensation (direct-mapped placement).
+    #[inline]
+    pub(crate) fn note_condensation(&self) {
+        let mut c = self.counters.get();
+        c.condensations += 1;
+        self.counters.set(c);
     }
 
     /// xorshift64* step for the random fusion policy (deterministic per

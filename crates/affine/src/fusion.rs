@@ -142,6 +142,7 @@ pub(crate) fn resolve_conflict(
     ctx: &AaContext,
     protect: Protect<'_>,
 ) -> bool {
+    ctx.note_condensation();
     let lp = protect.contains(left.id);
     let rp = protect.contains(right.id);
     if lp != rp {

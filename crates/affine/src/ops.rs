@@ -452,6 +452,7 @@ fn fuse_selected(
     protect: Protect<'_>,
 ) -> f64 {
     let mut victims = select_victims(terms, excess, ctx.config().fusion, ctx, protect);
+    ctx.note_fusion(victims.len() as u64);
     victims.sort_unstable();
     for &i in victims.iter().rev() {
         noise = add_ru(noise, terms[i].coeff.abs());
@@ -475,7 +476,14 @@ pub(crate) fn finalize_direct<C: CenterValue>(
         NoisePolicy::Dedicated => Affine::from_parts(center, repr, add_ru(acc_noise, noise)),
         NoisePolicy::Fresh => {
             if noise > 0.0 {
-                repr.push_fresh(ctx.fresh_symbol(), noise, ctx.k());
+                let id = ctx.fresh_symbol();
+                if let Repr::Direct { ids, .. } = &repr {
+                    let slot = (id % ids.len() as u64) as usize;
+                    if ids[slot] != NO_SYMBOL {
+                        ctx.note_condensation();
+                    }
+                }
+                repr.push_fresh(id, noise, ctx.k());
             }
             Affine::from_parts(center, repr, acc_noise)
         }

@@ -49,4 +49,6 @@ fn main() {
         println!("{:<6} {:>10.1} {:>10.1}", n, get("sor"), get("luf"));
     }
     println!("\npaper shape: sor ~flat for n>30; luf decays to 0 bits by n~60");
+
+    harness::export("fig10", &rows);
 }

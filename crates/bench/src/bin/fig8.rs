@@ -83,4 +83,6 @@ fn main() {
             println!("{:<8} {:>8.1}x (paper: 48x-185x)", w.name, m.slowdown);
         }
     }
+
+    harness::export("fig8", &rows);
 }

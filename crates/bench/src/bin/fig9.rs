@@ -125,4 +125,6 @@ fn main() {
             );
         }
     }
+
+    harness::export("fig9", &rows);
 }

@@ -6,9 +6,17 @@
 //! `cargo run --release -p safegen-bench --bin sweep [henon|fgm|prio]`
 
 use safegen::{Compiler, RunConfig};
-use safegen_bench::{harness, Workload, WorkloadKind};
+use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
 
-fn henon_sweep() {
+/// Measures and tags the configuration label with the sweep variable so
+/// each point stays identifiable in the exported JSON.
+fn point(w: &Workload, c: &safegen::Compiled, cfg: &RunConfig, tag: &str) -> Measurement {
+    let mut m = harness::measure(w, c, cfg);
+    m.config = format!("{} {tag}", m.config);
+    m
+}
+
+fn henon_sweep(rows: &mut Vec<Measurement>) {
     println!("henon: accuracy vs iteration count (IA should die, AA survive)");
     println!(
         "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
@@ -17,7 +25,13 @@ fn henon_sweep() {
     for iters in [40usize, 60, 80, 100, 120] {
         let w = Workload::new(WorkloadKind::Henon { iters });
         let c = Compiler::new().compile(&w.source).unwrap();
-        let acc = |cfg: &RunConfig| harness::measure(&w, &c, cfg).acc_bits;
+        let tag = format!("(iters={iters})");
+        let mut acc = |cfg: &RunConfig| {
+            let m = point(&w, &c, cfg, &tag);
+            let a = m.acc_bits;
+            rows.push(m);
+            a
+        };
         println!(
             "{:<6} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
             iters,
@@ -30,7 +44,7 @@ fn henon_sweep() {
     }
 }
 
-fn fgm_sweep() {
+fn fgm_sweep(rows: &mut Vec<Measurement>) {
     println!("fgm: accuracy vs iteration count");
     println!(
         "{:<6} {:>9} {:>9} {:>9}",
@@ -39,7 +53,13 @@ fn fgm_sweep() {
     for iters in [20usize, 40, 60, 80] {
         let w = Workload::new(WorkloadKind::Fgm { n: 8, iters });
         let c = Compiler::new().compile(&w.source).unwrap();
-        let acc = |cfg: &RunConfig| harness::measure(&w, &c, cfg).acc_bits;
+        let tag = format!("(iters={iters})");
+        let mut acc = |cfg: &RunConfig| {
+            let m = point(&w, &c, cfg, &tag);
+            let a = m.acc_bits;
+            rows.push(m);
+            a
+        };
         println!(
             "{:<6} {:>9.1} {:>9.1} {:>9.1}",
             iters,
@@ -50,25 +70,33 @@ fn fgm_sweep() {
     }
 }
 
-fn prio_sweep() {
+fn prio_sweep(rows: &mut Vec<Measurement>) {
     println!("prioritization ablation: dspv (with) vs dsnv (without), per k");
     for w in Workload::paper_suite() {
         let c = Compiler::new().compile(&w.source).unwrap();
         print!("{:<8}", w.name);
         for k in [8usize, 16, 32] {
-            let with = harness::measure(&w, &c, &RunConfig::affine_f64(k)).acc_bits;
-            let without =
-                harness::measure(&w, &c, &RunConfig::mnemonic(k, "dsnv").unwrap()).acc_bits;
-            print!(
-                "  k={k}: {with:>5.1} vs {without:>5.1} ({:+.1})",
-                with - without
+            let with = point(&w, &c, &RunConfig::affine_f64(k), "(prio)");
+            let without = point(
+                &w,
+                &c,
+                &RunConfig::mnemonic(k, "dsnv").unwrap(),
+                "(no-prio)",
             );
+            print!(
+                "  k={k}: {:>5.1} vs {:>5.1} ({:+.1})",
+                with.acc_bits,
+                without.acc_bits,
+                with.acc_bits - without.acc_bits
+            );
+            rows.push(with);
+            rows.push(without);
         }
         println!();
     }
 }
 
-fn capacity_sweep() {
+fn capacity_sweep(rows: &mut Vec<Measurement>) {
     println!("variable-capacity extension (paper Sec. VIII future work):");
     println!("sorted placement, k = 24; reuse-free ops throttled to k_low");
     println!(
@@ -79,22 +107,25 @@ fn capacity_sweep() {
         let c = Compiler::new().compile(&w.source).unwrap();
         let mut uniform = RunConfig::mnemonic(24, "sspn").unwrap();
         uniform.aa.placement = safegen::Placement::Sorted;
-        let base = harness::measure(&w, &c, &uniform);
+        let base = point(&w, &c, &uniform, "(uniform)");
         println!(
             "{}: uniform acc {:.1} bits, runtime {:.3e}s",
             w.name, base.acc_bits, base.runtime
         );
+        let base_runtime = base.runtime;
+        rows.push(base);
         for k_low in [2usize, 4, 8] {
             let mut cfg = uniform.clone();
             cfg.capacity_low = Some(k_low);
-            let m = harness::measure(&w, &c, &cfg);
+            let m = point(&w, &c, &cfg, &format!("(k_low={k_low})"));
             println!(
                 "{:<10} {:>10.1} {:>11.3e}s {:>11.2}x",
                 k_low,
                 m.acc_bits,
                 m.runtime,
-                base.runtime / m.runtime
+                base_runtime / m.runtime
             );
+            rows.push(m);
         }
     }
 }
@@ -102,14 +133,16 @@ fn capacity_sweep() {
 fn main() {
     harness::announce("sweep");
     let which = std::env::args().nth(1).unwrap_or_else(|| "henon".into());
+    let mut rows: Vec<Measurement> = Vec::new();
     match which.as_str() {
-        "henon" => henon_sweep(),
-        "fgm" => fgm_sweep(),
-        "prio" => prio_sweep(),
-        "capacity" => capacity_sweep(),
+        "henon" => henon_sweep(&mut rows),
+        "fgm" => fgm_sweep(&mut rows),
+        "prio" => prio_sweep(&mut rows),
+        "capacity" => capacity_sweep(&mut rows),
         other => {
             eprintln!("unknown sweep `{other}`; expected henon|fgm|prio|capacity");
             std::process::exit(1);
         }
     }
+    harness::export(&format!("sweep_{which}"), &rows);
 }

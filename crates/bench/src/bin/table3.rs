@@ -72,4 +72,6 @@ fn main() {
             times[0] / times[3]
         );
     }
+
+    harness::export("table3", &rows);
 }

@@ -17,10 +17,46 @@
 use crate::workloads::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safegen::batch::{run_batch_with, BatchOptions};
+use safegen::batch::{run_batch_with, BatchOptions, WorkerStats};
 use safegen::{Compiled, RunConfig};
+use safegen_telemetry as telemetry;
+use safegen_telemetry::json::Json;
+use std::path::PathBuf;
 use std::sync::Once;
 use std::time::Instant;
+
+/// Minimum, median and maximum of a per-repetition statistic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatRange {
+    /// Smallest per-repetition value.
+    pub min: f64,
+    /// Median (upper) per-repetition value.
+    pub median: f64,
+    /// Largest per-repetition value.
+    pub max: f64,
+}
+
+impl StatRange {
+    /// Aggregates a non-empty sample; all-NaN/empty input yields zeros.
+    pub fn of(xs: &[f64]) -> StatRange {
+        if xs.is_empty() {
+            return StatRange::default();
+        }
+        StatRange {
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            median: median(xs),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("min", Json::from(self.min)),
+            ("median", Json::from(self.median)),
+            ("max", Json::from(self.max)),
+        ])
+    }
+}
 
 /// One measured configuration on one workload.
 #[derive(Clone, Debug)]
@@ -39,6 +75,19 @@ pub struct Measurement {
     pub acc_bits: f64,
     /// Mean undecided branches per run.
     pub undecided: f64,
+    /// Per-repetition instruction counts.
+    pub instrs: StatRange,
+    /// Per-repetition floating-point operation counts.
+    pub fp_ops: StatRange,
+    /// Per-repetition undecided branch counts.
+    pub undecided_range: StatRange,
+    /// Mean fusion events per run (0 for non-affine configurations).
+    pub fusions: f64,
+    /// Mean condensations per run (0 for non-affine configurations).
+    pub condensations: f64,
+    /// Per-worker utilization of the batch run (one entry on the serial
+    /// path).
+    pub workers: Vec<WorkerStats>,
 }
 
 /// Seed of every measurement series; repetition `i` draws its inputs
@@ -83,9 +132,11 @@ pub fn quick() -> bool {
 }
 
 /// Prints the harness configuration banner (worker count, repetitions)
-/// to stderr; figure binaries call this once at startup so a saved log
-/// records how its numbers were produced.
+/// to stderr and installs the telemetry recorder from the environment
+/// (`SAFEGEN_TRACE` / `SAFEGEN_METRICS_OUT`); figure binaries call this
+/// once at startup so a saved log records how its numbers were produced.
 pub fn announce(binary: &str) {
+    telemetry::init_from_env(binary);
     let t = threads();
     let shown = BatchOptions::with_threads(t).resolve(usize::MAX);
     eprintln!(
@@ -141,9 +192,19 @@ pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> 
             if a.is_finite() { a } else { 0.0 }.max(0.0)
         })
         .collect();
+    // Aggregate the per-repetition execution statistics — every
+    // repetition's RunStats, not just the batch total.
+    let per_rep = |f: fn(&safegen::RunStats) -> u64| -> Vec<f64> {
+        batch
+            .items
+            .iter()
+            .map(|it| f(&it.report.stats) as f64)
+            .collect()
+    };
+    let undecided_per_rep = per_rep(|s| s.undecided_branches);
     let native_runtime = measure_native(workload);
     let runtime = median(&times);
-    Measurement {
+    let m = Measurement {
         bench: workload.name.to_string(),
         config: config.label(),
         runtime,
@@ -151,7 +212,17 @@ pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> 
         slowdown: runtime / native_runtime,
         acc_bits: accs.iter().sum::<f64>() / accs.len() as f64,
         undecided: batch.stats.undecided_branches as f64 / n as f64,
+        instrs: StatRange::of(&per_rep(|s| s.instrs)),
+        fp_ops: StatRange::of(&per_rep(|s| s.fp_ops)),
+        undecided_range: StatRange::of(&undecided_per_rep),
+        fusions: batch.stats.fusions as f64 / n as f64,
+        condensations: batch.stats.condensations as f64 / n as f64,
+        workers: batch.workers.clone(),
+    };
+    if telemetry::enabled() {
+        telemetry::record("measurement", vec![("measurement", m.to_json())]);
     }
+    m
 }
 
 /// Median native (plain `f64`, compiled Rust) runtime of the workload —
@@ -187,6 +258,91 @@ pub fn print_csv(rows: &[Measurement]) {
             "{},{},{:.2},{:.2},{:.3e},{:.3e},{:.1}",
             m.bench, m.config, m.acc_bits, m.slowdown, m.runtime, m.native_runtime, m.undecided
         );
+    }
+}
+
+impl Measurement {
+    /// The measurement as a JSON object (`results/BENCH_*.json` rows).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::from(self.bench.as_str())),
+            ("config", Json::from(self.config.as_str())),
+            ("median_ns", Json::from(self.runtime * 1e9)),
+            ("native_ns", Json::from(self.native_runtime * 1e9)),
+            ("slowdown", Json::from(self.slowdown)),
+            ("speedup_vs_native", Json::from(1.0 / self.slowdown)),
+            ("acc_bits", Json::from(self.acc_bits)),
+            ("undecided_mean", Json::from(self.undecided)),
+            ("instrs", self.instrs.to_json()),
+            ("fp_ops", self.fp_ops.to_json()),
+            ("undecided", self.undecided_range.to_json()),
+            ("fusions_mean", Json::from(self.fusions)),
+            ("condensations_mean", Json::from(self.condensations)),
+            (
+                "workers",
+                Json::Arr(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            Json::obj(vec![
+                                ("worker", Json::from(w.worker)),
+                                ("items", Json::from(w.items)),
+                                ("busy_s", Json::from(w.busy_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The whole result set as one JSON document.
+pub fn rows_to_json(binary: &str, rows: &[Measurement]) -> Json {
+    Json::obj(vec![
+        ("binary", Json::from(binary)),
+        ("reps", Json::from(reps())),
+        ("base_seed", Json::from(BASE_SEED)),
+        (
+            "measurements",
+            Json::Arr(rows.iter().map(Measurement::to_json).collect()),
+        ),
+    ])
+}
+
+/// Prints the measurements as one JSON document on stdout.
+pub fn print_json(binary: &str, rows: &[Measurement]) {
+    println!("{}", rows_to_json(binary, rows));
+}
+
+/// Writes the measurements to `results/BENCH_<binary>.json` (creating
+/// `results/` when needed) and returns the path.
+///
+/// # Errors
+///
+/// Returns the I/O error message on failure.
+pub fn write_json(binary: &str, rows: &[Measurement]) -> Result<PathBuf, String> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join(format!("BENCH_{binary}.json"));
+    std::fs::write(&path, format!("{}\n", rows_to_json(binary, rows)))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// The standard ending of every figure binary: writes
+/// `results/BENCH_<binary>.json` and flushes the telemetry sink (the
+/// JSONL event log, when `SAFEGEN_METRICS_OUT` is set). Failures are
+/// reported on stderr, never fatal — the tables already went to stdout.
+pub fn export(binary: &str, rows: &[Measurement]) {
+    match write_json(binary, rows) {
+        Ok(path) => eprintln!("{binary}: wrote {}", path.display()),
+        Err(e) => eprintln!("{binary}: could not write results: {e}"),
+    }
+    match telemetry::flush() {
+        Ok(Some(summary)) => eprintln!("{binary}: metrics written ({})", summary.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("{binary}: failed to write metrics: {e}"),
     }
 }
 
@@ -260,5 +416,45 @@ mod tests {
     fn median_odd_even() {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 3.0); // upper median
+    }
+
+    #[test]
+    fn stat_range_of_samples() {
+        let r = StatRange::of(&[3.0, 1.0, 2.0]);
+        assert_eq!((r.min, r.median, r.max), (1.0, 2.0, 3.0));
+        assert_eq!(StatRange::of(&[]), StatRange::default());
+    }
+
+    #[test]
+    fn measurement_aggregates_per_rep_stats() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SAFEGEN_REPS", "4");
+        let w = Workload::new(WorkloadKind::Henon { iters: 10 });
+        let compiled = Compiler::new().compile(&w.source).unwrap();
+        let m = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        std::env::remove_var("SAFEGEN_REPS");
+        // Same program, same iteration count: every repetition executes
+        // the same instruction stream.
+        assert!(m.instrs.min > 0.0);
+        assert_eq!(m.instrs.min, m.instrs.max);
+        assert_eq!(m.fp_ops.min, m.fp_ops.median);
+        assert!(!m.workers.is_empty());
+        assert_eq!(m.workers.iter().map(|w| w.items).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn json_export_is_valid() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SAFEGEN_REPS", "2");
+        let w = Workload::new(WorkloadKind::Henon { iters: 5 });
+        let compiled = Compiler::new().compile(&w.source).unwrap();
+        let m = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        std::env::remove_var("SAFEGEN_REPS");
+        let doc = rows_to_json("test", &[m]).to_string();
+        let parsed = safegen_telemetry::json::parse(&doc).expect("valid JSON");
+        let rows = parsed.get("measurements").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("bench").unwrap().as_str().unwrap(), "henon");
+        assert!(rows[0].get("median_ns").unwrap().as_f64().unwrap() > 0.0);
     }
 }

@@ -15,9 +15,17 @@
 //!
 //! Set `SAFEGEN_REPS` (default 30, the paper's repetition count) and
 //! `SAFEGEN_QUICK=1` (smaller sweeps) to trade fidelity for time.
+//!
+//! Every binary also writes its full result set to
+//! `results/BENCH_<binary>.json`, and honors `SAFEGEN_TRACE=1` /
+//! `SAFEGEN_METRICS_OUT=<prefix>` (see `safegen-telemetry`) for
+//! per-phase timing and structured event logs.
 
 pub mod harness;
 pub mod workloads;
 
-pub use harness::{measure, measure_native, print_csv, print_table, Measurement};
+pub use harness::{
+    export, measure, measure_native, print_csv, print_json, print_table, write_json, Measurement,
+    StatRange,
+};
 pub use workloads::{Workload, WorkloadKind};

@@ -64,6 +64,8 @@
 use crate::driver::{run_on, RunConfig, RunReport};
 use crate::exec::{ArgValue, RunStats};
 use crate::program::Program;
+use safegen_telemetry as telemetry;
+use safegen_telemetry::json::Json;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -141,6 +143,23 @@ pub struct BatchResult {
     pub stats: RunStats,
     /// Worker count actually used.
     pub threads: usize,
+    /// Per-worker utilization, ordered by worker index. Unlike
+    /// everything else in the result this is timing data, so it varies
+    /// between runs; only the *sum* of `items` is invariant (= the
+    /// batch size).
+    pub workers: Vec<WorkerStats>,
+}
+
+/// What one worker thread did during a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index in `0..threads`.
+    pub worker: usize,
+    /// Items this worker evaluated.
+    pub items: usize,
+    /// Seconds spent generating inputs and running items (excludes time
+    /// blocked on the result lock and waiting for work).
+    pub busy_s: f64,
 }
 
 /// Indices are handed out in chunks to amortize cursor contention while
@@ -216,30 +235,56 @@ fn run_batch_on(
         })
     };
 
+    let mut workers: Vec<WorkerStats>;
     if threads == 1 {
+        let t0 = Instant::now();
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = Some(run_item(i));
         }
+        workers = vec![WorkerStats {
+            worker: 0,
+            items: n,
+            busy_s: t0.elapsed().as_secs_f64(),
+        }];
     } else {
         let cursor = AtomicUsize::new(0);
         let out = Mutex::new(&mut slots);
+        let worker_log = Mutex::new(Vec::with_capacity(threads));
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+            for w in 0..threads {
+                let worker_log = &worker_log;
+                let cursor = &cursor;
+                let out = &out;
+                let run_item = &run_item;
+                scope.spawn(move || {
+                    let mut done = 0usize;
+                    let mut busy_s = 0.0f64;
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(n);
+                        // Compute outside the lock; hold it only to store.
+                        let t0 = Instant::now();
+                        let produced: Vec<_> = (start..end).map(|i| (i, run_item(i))).collect();
+                        busy_s += t0.elapsed().as_secs_f64();
+                        done += end - start;
+                        let mut slots = out.lock().unwrap();
+                        for (i, r) in produced {
+                            slots[i] = Some(r);
+                        }
                     }
-                    let end = (start + CHUNK).min(n);
-                    // Compute outside the lock; hold it only to store.
-                    let produced: Vec<_> = (start..end).map(|i| (i, run_item(i))).collect();
-                    let mut slots = out.lock().unwrap();
-                    for (i, r) in produced {
-                        slots[i] = Some(r);
-                    }
+                    worker_log.lock().unwrap().push(WorkerStats {
+                        worker: w,
+                        items: done,
+                        busy_s,
+                    });
                 });
             }
         });
+        workers = worker_log.into_inner().unwrap();
+        workers.sort_by_key(|w| w.worker);
     }
 
     let mut items = Vec::with_capacity(n);
@@ -249,12 +294,39 @@ fn run_batch_on(
         stats.fp_ops += item.report.stats.fp_ops;
         stats.instrs += item.report.stats.instrs;
         stats.undecided_branches += item.report.stats.undecided_branches;
+        stats.fusions += item.report.stats.fusions;
+        stats.condensations += item.report.stats.condensations;
         items.push(item);
+    }
+    if telemetry::enabled() {
+        telemetry::record(
+            "batch",
+            vec![
+                ("n", Json::from(n)),
+                ("threads", Json::from(threads)),
+                (
+                    "workers",
+                    Json::Arr(
+                        workers
+                            .iter()
+                            .map(|w| {
+                                Json::obj(vec![
+                                    ("worker", Json::from(w.worker)),
+                                    ("items", Json::from(w.items)),
+                                    ("busy_s", Json::from(w.busy_s)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        );
     }
     Ok(BatchResult {
         items,
         stats,
         threads,
+        workers,
     })
 }
 
@@ -358,6 +430,25 @@ mod tests {
                 assert_eq!(a.is_ok(), b.is_ok());
             }
         }
+    }
+
+    #[test]
+    fn worker_stats_cover_all_items() {
+        let c = Compiler::new().compile(SRC).unwrap();
+        let cfg = RunConfig::affine_f64(8);
+        let prog = c.program_for("g", &cfg);
+        let par = run_batch(&prog, &inputs(23), &cfg, &BatchOptions::with_threads(3)).unwrap();
+        assert_eq!(par.workers.len(), 3);
+        assert_eq!(par.workers.iter().map(|w| w.items).sum::<usize>(), 23);
+        assert!(par.workers.iter().all(|w| w.busy_s >= 0.0));
+        assert_eq!(
+            par.workers.iter().map(|w| w.worker).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+
+        let serial = run_batch(&prog, &inputs(5), &cfg, &BatchOptions::serial()).unwrap();
+        assert_eq!(serial.workers.len(), 1);
+        assert_eq!(serial.workers[0].items, 5);
     }
 
     #[test]

@@ -1,42 +1,66 @@
 //! The SafeGen command-line interface: the shape of the paper's artifact.
 //!
 //! ```text
-//! safegen emit <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
-//! safegen run  <file.c> --fn NAME [--config MNEMONIC|ia|ia-dd|unsound]
-//!              [--k N] [--arg X]... [--array "x,y,z"]...
-//! safegen tac  <file.c>
+//! safegen emit    <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
+//! safegen run     <file.c> --fn NAME [--config MNEMONIC|ia|ia-dd|unsound]
+//!                 [--k N] [--arg X]... [--array "x,y,z"]...
+//! safegen profile <file.c> <func> [--config MNEMONIC|dda] [--k N]
+//!                 [--arg X]... [--int N]... [--array "x,y,z"]...
+//! safegen tac     <file.c>
 //! ```
 //!
 //! `emit` prints the sound C program (annotated with the max-reuse
 //! priorities); `run` executes the function under the chosen numeric
-//! configuration and prints the certified ranges; `tac` shows the
-//! three-address form the analysis operates on.
+//! configuration and prints the certified ranges; `profile` runs the
+//! function with symbol tracing and prints the error-attribution table
+//! (which source locations the final enclosure width comes from); `tac`
+//! shows the three-address form the analysis operates on.
+//!
+//! All subcommands honor `SAFEGEN_TRACE=1` (span timing on stderr) and
+//! `SAFEGEN_METRICS_OUT=<prefix>` (JSONL event log + summary JSON).
 
+use safegen::program::ParamBinding;
 use safegen::{ArgValue, Compiler, EmitPrecision, RunConfig};
+use safegen_telemetry as telemetry;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  safegen emit <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
-  safegen run  <file.c> --fn NAME [--config dspv|ssnn|...|ia|ia-dd|unsound]
-               [--k N] [--arg X]... [--int N]... [--array \"x,y,z\"]...
-  safegen tac  <file.c>"
+  safegen emit    <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
+  safegen run     <file.c> --fn NAME [--config dspv|ssnn|...|ia|ia-dd|unsound]
+                  [--k N] [--arg X]... [--int N]... [--array \"x,y,z\"]...
+  safegen profile <file.c> <func> [--config dspv|ssnn|...|dda] [--k N]
+                  [--arg X]... [--int N]... [--array \"x,y,z\"]...
+  safegen tac     <file.c>
+
+environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
+             SAFEGEN_METRICS_OUT=<prefix> writes <prefix>.jsonl and
+             <prefix>.summary.json"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
+    telemetry::init_from_env("safegen");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "emit" => cmd_emit(rest),
         "run" => cmd_run(rest),
+        "profile" => cmd_profile(rest),
         "tac" => cmd_tac(rest),
         _ => usage(),
+    };
+    match telemetry::flush() {
+        Ok(Some(summary)) => eprintln!("safegen: metrics written ({})", summary.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("safegen: failed to write metrics: {e}"),
     }
+    telemetry::shutdown();
+    code
 }
 
 fn read_source(path: &str) -> Result<String, String> {
@@ -114,6 +138,64 @@ fn cmd_tac(rest: &[String]) -> ExitCode {
     }
 }
 
+/// Parses `--arg X`, `--int N`, `--array "x,y,z"` flags in command-line
+/// order into VM argument values.
+fn parse_args(rest: &[String]) -> Result<Vec<ArgValue>, String> {
+    let mut args: Vec<ArgValue> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--arg" => {
+                let v = rest.get(i + 1).ok_or("--arg needs a value")?;
+                let x = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --arg `{v}`: {e}"))?;
+                args.push(ArgValue::Float(x));
+                i += 2;
+            }
+            "--int" => {
+                let v = rest.get(i + 1).ok_or("--int needs a value")?;
+                let x = v
+                    .parse::<i64>()
+                    .map_err(|e| format!("bad --int `{v}`: {e}"))?;
+                args.push(ArgValue::Int(x));
+                i += 2;
+            }
+            "--array" => {
+                let v = rest.get(i + 1).ok_or("--array needs a value")?;
+                let xs: Vec<f64> = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad --array `{v}`: {e}"))?;
+                args.push(ArgValue::Array(xs));
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(args)
+}
+
+/// Deterministic default inputs for a program when the user passed no
+/// `--arg`/`--int`/`--array` flags: varied floats in (0, 1), iteration
+/// counts of 8, arrays filled with the same varied sequence.
+fn default_args(prog: &safegen::Program) -> Vec<ArgValue> {
+    let vary = |i: usize| 0.3 + 0.17 * (i % 5) as f64; // 0.3, 0.47, …, 0.98
+    prog.params
+        .iter()
+        .enumerate()
+        .map(|(i, (_, binding))| match binding {
+            ParamBinding::Float(_) => ArgValue::Float(vary(i)),
+            ParamBinding::Int(_) => ArgValue::Int(8),
+            ParamBinding::Array(id) => {
+                let len = prog.arrays[*id as usize].len;
+                ArgValue::Array((0..len).map(vary).collect())
+            }
+        })
+        .collect()
+}
+
 fn cmd_run(rest: &[String]) -> ExitCode {
     let Some(path) = rest.first() else {
         return usage();
@@ -143,46 +225,10 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         },
     };
 
-    // Assemble arguments in command-line order of kind-specific flags.
-    let mut args: Vec<ArgValue> = Vec::new();
-    let mut i = 0;
-    while i < rest.len() {
-        match rest[i].as_str() {
-            "--arg" => {
-                let Some(v) = rest.get(i + 1) else {
-                    return usage();
-                };
-                match v.parse::<f64>() {
-                    Ok(x) => args.push(ArgValue::Float(x)),
-                    Err(e) => return fail(format!("bad --arg `{v}`: {e}")),
-                }
-                i += 2;
-            }
-            "--int" => {
-                let Some(v) = rest.get(i + 1) else {
-                    return usage();
-                };
-                match v.parse::<i64>() {
-                    Ok(x) => args.push(ArgValue::Int(x)),
-                    Err(e) => return fail(format!("bad --int `{v}`: {e}")),
-                }
-                i += 2;
-            }
-            "--array" => {
-                let Some(v) = rest.get(i + 1) else {
-                    return usage();
-                };
-                let parsed: Result<Vec<f64>, _> =
-                    v.split(',').map(|s| s.trim().parse::<f64>()).collect();
-                match parsed {
-                    Ok(xs) => args.push(ArgValue::Array(xs)),
-                    Err(e) => return fail(format!("bad --array `{v}`: {e}")),
-                }
-                i += 2;
-            }
-            _ => i += 1,
-        }
-    }
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
 
     let compiled = match Compiler::new().compile(&src) {
         Ok(c) => c,
@@ -215,6 +261,77 @@ fn cmd_run(rest: &[String]) -> ExitCode {
             "note: {} branch decision(s) were not soundly determined",
             report.stats.undecided_branches
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_profile(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    // The function is the second positional argument (with --fn accepted
+    // as an alias for symmetry with `run`).
+    let positional = rest
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str);
+    let Some(func) = positional.or_else(|| flag_value(rest, "--fn")) else {
+        return fail("usage: safegen profile <file.c> <func> [...]");
+    };
+    let k: usize = match flag_value(rest, "--k").unwrap_or("16").parse() {
+        Ok(k) => k,
+        Err(e) => return fail(format!("bad --k: {e}")),
+    };
+    let config = match flag_value(rest, "--config").unwrap_or("dspv") {
+        "dda" => RunConfig::affine_dd(k),
+        m => match RunConfig::mnemonic(k, m) {
+            Ok(c) => c,
+            Err(e) => return fail(format!("{e} (profiling needs an affine configuration)")),
+        },
+    };
+
+    let compiled = match Compiler::new().compile(&src) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let has_func = compiled.tac.functions.iter().any(|f| f.name == func);
+    if !has_func {
+        return fail(format!("no function `{func}` in {path}"));
+    }
+    let prog = compiled.program_for(func, &config);
+    let mut args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    if args.is_empty() {
+        args = default_args(&prog);
+        let shown: Vec<String> = prog
+            .params
+            .iter()
+            .zip(&args)
+            .map(|((name, _), a)| match a {
+                ArgValue::Float(x) => format!("{name}={x}"),
+                ArgValue::Int(n) => format!("{name}={n}"),
+                ArgValue::Array(xs) => format!("{name}=[{} values]", xs.len()),
+            })
+            .collect();
+        eprintln!(
+            "safegen: no inputs given, using defaults: {}",
+            shown.join(", ")
+        );
+    }
+
+    let report = match safegen::profile(&prog, &args, &config) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    print!("{}", report.render());
+    if telemetry::enabled() {
+        telemetry::record("profile", vec![("report", report.to_json())]);
     }
     ExitCode::SUCCESS
 }

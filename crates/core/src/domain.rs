@@ -109,6 +109,32 @@ pub trait Domain: Sized + Clone {
 
     /// Restores the configured symbol budget.
     fn reset_capacity(_cx: &Self::Ctx) {}
+
+    /// Error symbols the context has allocated so far; `0` for domains
+    /// without a symbol allocator. Allocation is monotone, so the VM's
+    /// tracer maps symbol-id *ranges* back to the instruction that
+    /// allocated them (the basis of the error-provenance profiler).
+    fn symbols_allocated(_cx: &Self::Ctx) -> u64 {
+        0
+    }
+
+    /// `(fusion events, condensations)` the context has recorded so far
+    /// (see `safegen_affine::AaCounters`); `(0, 0)` for fusion-free
+    /// domains.
+    fn fusion_counters(_cx: &Self::Ctx) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// The `(symbol id, coefficient)` noise terms of this value — the raw
+    /// material of error attribution. Empty for non-affine domains.
+    fn noise_terms(&self) -> Vec<(u64, f64)> {
+        Vec::new()
+    }
+
+    /// Accumulated noise not tied to any symbol (dedicated-noise modes).
+    fn uncorrelated_noise(&self) -> f64 {
+        0.0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +454,22 @@ impl<C: CenterValue> Domain for Affine<C> {
     #[inline]
     fn reset_capacity(cx: &AaContext) {
         cx.reset_op_capacity();
+    }
+    #[inline]
+    fn symbols_allocated(cx: &AaContext) -> u64 {
+        cx.symbols_allocated()
+    }
+    #[inline]
+    fn fusion_counters(cx: &AaContext) -> (u64, u64) {
+        let c = cx.counters();
+        (c.fusion_events, c.condensations)
+    }
+    fn noise_terms(&self) -> Vec<(u64, f64)> {
+        self.terms().iter().map(|t| (t.id, t.coeff)).collect()
+    }
+    #[inline]
+    fn uncorrelated_noise(&self) -> f64 {
+        self.acc_noise()
     }
 }
 

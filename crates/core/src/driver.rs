@@ -7,6 +7,7 @@ use safegen_affine::baselines::{BaselineCtx, CeresAffine, YalaaAff0, YalaaAff1};
 use safegen_affine::{AaConfig, AaContext, AffineDd, AffineF32, AffineF64};
 use safegen_cfront::{ParseError, Sema, Unit};
 use safegen_interval::{IntervalDd, IntervalF64};
+use safegen_telemetry as telemetry;
 use std::collections::HashMap;
 
 /// Compiler options.
@@ -249,27 +250,30 @@ impl Compiler {
     pub fn compile(&self, src: &str) -> Result<Compiled, ParseError> {
         let lowered;
         let src = if self.lower_simd && src.contains("_mm") {
-            lowered = safegen_cfront::lower_simd(src)?;
+            lowered = telemetry::span("compile.lower_simd", || safegen_cfront::lower_simd(src))?;
             &lowered
         } else {
             src
         };
-        let unit = safegen_cfront::parse(src)?;
+        let unit = telemetry::span("compile.parse", || safegen_cfront::parse(src))?;
         // Alpha-rename so shadowed/sibling declarations become unique —
         // the strict no-shadowing rule then holds by construction.
         let unit = safegen_cfront::rename_unique(&unit);
         let unit = if self.fold_constants {
-            safegen_ir::fold_constants(&unit)
+            telemetry::span("compile.fold", || safegen_ir::fold_constants(&unit))
         } else {
             unit
         };
-        let sema = safegen_cfront::analyze(&unit)?;
-        let tac = safegen_ir::to_tac(&unit, &sema);
-        let sema = safegen_cfront::analyze(&tac)?;
+        let sema = telemetry::span("compile.sema", || safegen_cfront::analyze(&unit))?;
+        let tac = telemetry::span("compile.tac", || safegen_ir::to_tac(&unit, &sema));
+        let sema = telemetry::span("compile.sema", || safegen_cfront::analyze(&tac))?;
         let mut plain = HashMap::new();
-        for f in &tac.functions {
-            plain.insert(f.name.clone(), compile_program(f, &sema)?);
-        }
+        telemetry::span("compile.bytecode", || -> Result<(), ParseError> {
+            for f in &tac.functions {
+                plain.insert(f.name.clone(), compile_program(f, &sema)?);
+            }
+            Ok(())
+        })?;
         Ok(Compiled {
             tac,
             sema,
@@ -304,7 +308,9 @@ impl Compiled {
             .iter()
             .find(|f| f.name == func)
             .unwrap_or_else(|| panic!("unknown function `{func}`"));
-        let annotated = safegen_analysis::annotate_function(f, &self.sema, k, self.solver);
+        let annotated = telemetry::span("compile.prioritize", || {
+            safegen_analysis::annotate_function(f, &self.sema, k, self.solver)
+        });
         let prog = compile_program(&annotated, &self.sema).expect("annotated TAC must compile");
         self.prioritized
             .borrow_mut()
@@ -337,8 +343,10 @@ impl Compiled {
         } else {
             f.clone()
         };
-        let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low);
-        let annotated = safegen_analysis::annotate_capacities(&base, &plan);
+        let annotated = telemetry::span("compile.capacity", || {
+            let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low);
+            safegen_analysis::annotate_capacities(&base, &plan)
+        });
         let prog =
             compile_program(&annotated, &self.sema).expect("capacity-annotated TAC must compile");
         self.var_capacity.borrow_mut().insert(key, prog.clone());
@@ -440,7 +448,7 @@ pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<R
     }
 
     let e = |e: crate::exec::ExecError| e.message;
-    match config.kind {
+    telemetry::span("vm.exec", || match config.kind {
         DomainKind::Unsound => exec::<UnsoundF64>(prog, args, &()).map(report).map_err(e),
         DomainKind::IntervalF64 => exec::<IntervalF64>(prog, args, &()).map(report).map_err(e),
         DomainKind::IntervalDd => exec::<IntervalDd>(prog, args, &()).map(report).map_err(e),
@@ -471,7 +479,7 @@ pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<R
             };
             exec::<CeresAffine>(prog, args, &cx).map(report).map_err(e)
         }
-    }
+    })
 }
 
 #[cfg(test)]

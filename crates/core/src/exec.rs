@@ -48,6 +48,67 @@ pub struct RunStats {
     /// Floating-point comparisons whose sound enclosures overlapped and
     /// were decided by central values (see DESIGN.md §4.5).
     pub undecided_branches: u64,
+    /// Budget-overflow fusion events during this run (sorted placement;
+    /// 0 for non-affine domains). Deterministic per input and config.
+    pub fusions: u64,
+    /// Slot-conflict condensations during this run (direct-mapped
+    /// placement; 0 for non-affine domains). Deterministic per input
+    /// and config.
+    pub condensations: u64,
+}
+
+/// Where a traced symbol allocation happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceSite {
+    /// Binding of the `i`-th program parameter (input uncertainty).
+    Param(usize),
+    /// The instruction at this `pc` (its round-off noise, and any fused
+    /// or condensed symbols it absorbed).
+    Instr(usize),
+}
+
+/// Observes symbol allocations during a run. The VM is generic over the
+/// tracer and [`NoTrace`] has `ACTIVE = false`, so the tracing hooks
+/// compile out entirely on the default [`exec`] path — tracing is
+/// zero-cost unless [`exec_traced`] is used.
+pub trait ExecTracer {
+    /// Whether the hooks are live; `false` lets the optimizer delete them.
+    const ACTIVE: bool;
+    /// Symbols `first..last` were allocated at `site`.
+    fn record(&mut self, site: TraceSite, first: u64, last: u64);
+}
+
+/// The inert tracer behind [`exec`].
+pub struct NoTrace;
+
+impl ExecTracer for NoTrace {
+    const ACTIVE: bool = false;
+    #[inline(always)]
+    fn record(&mut self, _: TraceSite, _: u64, _: u64) {}
+}
+
+/// Records every symbol-id range with its allocation site, in allocation
+/// order (so ranges are sorted and disjoint — symbol ids are monotone).
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTrace {
+    /// `(site, first id, one past last id)` per allocating step.
+    pub allocs: Vec<(TraceSite, u64, u64)>,
+}
+
+impl SymbolTrace {
+    /// The site that allocated symbol `id`, if any.
+    pub fn site_of(&self, id: u64) -> Option<TraceSite> {
+        let i = self.allocs.partition_point(|&(_, first, _)| first <= id);
+        let (site, first, last) = *self.allocs.get(i.checked_sub(1)?)?;
+        (first <= id && id < last).then_some(site)
+    }
+}
+
+impl ExecTracer for SymbolTrace {
+    const ACTIVE: bool = true;
+    fn record(&mut self, site: TraceSite, first: u64, last: u64) {
+        self.allocs.push((site, first, last));
+    }
 }
 
 /// The outcome of a run.
@@ -100,6 +161,33 @@ pub fn exec<D: Domain>(
     args: &[ArgValue],
     cx: &D::Ctx,
 ) -> Result<RunResult<D>, ExecError> {
+    exec_inner(prog, args, cx, &mut NoTrace)
+}
+
+/// Executes `prog` like [`exec`] while recording, per parameter binding
+/// and per executed instruction, the range of error-symbol ids it
+/// allocated — the raw data of the error-provenance profiler
+/// (`safegen::profile`).
+///
+/// # Errors
+///
+/// Same conditions as [`exec`].
+pub fn exec_traced<D: Domain>(
+    prog: &Program,
+    args: &[ArgValue],
+    cx: &D::Ctx,
+) -> Result<(RunResult<D>, SymbolTrace), ExecError> {
+    let mut trace = SymbolTrace::default();
+    let result = exec_inner(prog, args, cx, &mut trace)?;
+    Ok((result, trace))
+}
+
+fn exec_inner<D: Domain, T: ExecTracer>(
+    prog: &Program,
+    args: &[ArgValue],
+    cx: &D::Ctx,
+    tracer: &mut T,
+) -> Result<RunResult<D>, ExecError> {
     if args.len() != prog.params.len() {
         return Err(err(format!(
             "{} arguments provided, {} expected",
@@ -116,8 +204,17 @@ pub fn exec<D: Domain>(
         .map(|a| vec![D::constant(0.0, cx); a.len])
         .collect();
 
+    // Counter snapshots: run stats report per-run deltas even when the
+    // caller reuses one context across runs.
+    let (fusions_at_entry, condensations_at_entry) = D::fusion_counters(cx);
+
     // Bind parameters.
-    for ((name, binding), arg) in prog.params.iter().zip(args) {
+    for (index, ((name, binding), arg)) in prog.params.iter().zip(args).enumerate() {
+        let syms_before = if T::ACTIVE {
+            D::symbols_allocated(cx)
+        } else {
+            0
+        };
         match (binding, arg) {
             (ParamBinding::Float(r), ArgValue::Float(x)) => {
                 fregs[*r as usize] = D::from_input(*x, cx);
@@ -138,6 +235,12 @@ pub fn exec<D: Domain>(
             }
             (b, a) => {
                 return Err(err(format!("argument `{name}`: expected {b:?}, got {a:?}")));
+            }
+        }
+        if T::ACTIVE {
+            let syms_after = D::symbols_allocated(cx);
+            if syms_after > syms_before {
+                tracer.record(TraceSite::Param(index), syms_before, syms_after);
             }
         }
     }
@@ -166,6 +269,11 @@ pub fn exec<D: Domain>(
             return Err(err("instruction budget exhausted (infinite loop?)"));
         }
         let fp_ops_before = stats.fp_ops;
+        let syms_before = if T::ACTIVE {
+            D::symbols_allocated(cx)
+        } else {
+            0
+        };
         match &prog.code[pc] {
             Instr::Add(d, a, b) => {
                 let p = prot!();
@@ -317,8 +425,18 @@ pub fn exec<D: Domain>(
             D::reset_capacity(cx);
             pending_capacity = false;
         }
+        if T::ACTIVE {
+            let syms_after = D::symbols_allocated(cx);
+            if syms_after > syms_before {
+                tracer.record(TraceSite::Instr(pc), syms_before, syms_after);
+            }
+        }
         pc += 1;
     }
+
+    let (fusions_at_exit, condensations_at_exit) = D::fusion_counters(cx);
+    stats.fusions = fusions_at_exit - fusions_at_entry;
+    stats.condensations = condensations_at_exit - condensations_at_entry;
 
     let arrays_out: Vec<(String, Vec<D>)> = prog
         .params
@@ -339,7 +457,7 @@ pub fn exec<D: Domain>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::domain::UnsoundF64;
+    use crate::domain::{Domain, UnsoundF64};
     use crate::program::compile_program;
     use safegen_affine::{AaConfig, AaContext, AffineF64};
     use safegen_cfront::{analyze, parse};
@@ -452,6 +570,85 @@ mod tests {
         let ctx = AaContext::new(AaConfig::new(4));
         let r: RunResult<AffineF64> = exec(&p, &[0.5.into()], &ctx).unwrap();
         assert_eq!(r.stats.undecided_branches, 1);
+    }
+
+    #[test]
+    fn fusion_counter_fires_on_sorted_budget_overflow() {
+        // A k = 2 budget under sorted placement overflows on every
+        // multiply-add once the form carries two symbols, forcing
+        // oldest-symbol fusion (the `sonn` configuration).
+        let src = "double f(double x) {
+            double s = x;
+            for (int i = 0; i < 8; i++) { s = s * x + x; }
+            return s;
+        }";
+        let p = compile(src);
+        let (cfg, _) = AaConfig::parse_mnemonic(2, "sonn").unwrap();
+        let ctx = AaContext::new(cfg);
+        let r: RunResult<AffineF64> = exec(&p, &[0.7.into()], &ctx).unwrap();
+        assert!(r.stats.fusions > 0, "expected sorted-placement fusions");
+        assert_eq!(r.stats.condensations, 0, "no slots under sorted placement");
+    }
+
+    #[test]
+    fn condensation_counter_fires_under_direct_mapping() {
+        let src = "double f(double x) {
+            double s = x;
+            for (int i = 0; i < 8; i++) { s = s * x + x; }
+            return s;
+        }";
+        let p = compile(src);
+        let ctx = AaContext::new(AaConfig::new(2)); // direct-mapped, k = 2
+        let r: RunResult<AffineF64> = exec(&p, &[0.7.into()], &ctx).unwrap();
+        assert!(r.stats.condensations > 0, "expected slot conflicts");
+        assert_eq!(r.stats.fusions, 0, "no budget fusion under direct mapping");
+    }
+
+    #[test]
+    fn counters_zero_without_symbol_pressure() {
+        let p = compile("double f(double x) { return x * x; }");
+        let ctx = AaContext::new(AaConfig::full()); // unbounded, never fuses
+        let r: RunResult<AffineF64> = exec(&p, &[0.7.into()], &ctx).unwrap();
+        assert_eq!((r.stats.fusions, r.stats.condensations), (0, 0));
+        let r: RunResult<UnsoundF64> = exec(&p, &[0.7.into()], &()).unwrap();
+        assert_eq!((r.stats.fusions, r.stats.condensations), (0, 0));
+    }
+
+    #[test]
+    fn stats_are_deltas_when_context_is_reused() {
+        let src = "double f(double x) {
+            double s = x;
+            for (int i = 0; i < 8; i++) { s = s * x + x; }
+            return s;
+        }";
+        let p = compile(src);
+        let ctx = AaContext::new(AaConfig::new(2));
+        let a: RunResult<AffineF64> = exec(&p, &[0.7.into()], &ctx).unwrap();
+        let b: RunResult<AffineF64> = exec(&p, &[0.7.into()], &ctx).unwrap();
+        assert_eq!(a.stats.condensations, b.stats.condensations);
+    }
+
+    #[test]
+    fn traced_run_attributes_symbols_to_sites() {
+        let p = compile("double f(double x) { return x * x - x; }");
+        let ctx = AaContext::new(AaConfig::full());
+        let (r, trace) = exec_traced::<AffineF64>(&p, &[0.7.into()], &ctx).unwrap();
+        // The first allocation is the input symbol of parameter 0.
+        assert_eq!(trace.allocs.first().map(|a| a.0), Some(TraceSite::Param(0)));
+        assert_eq!(trace.site_of(0), Some(TraceSite::Param(0)));
+        // Every surviving symbol of the result maps back to a site, and
+        // the ranges are disjoint and sorted.
+        for (id, _) in Domain::noise_terms(r.ret.as_ref().unwrap()) {
+            assert!(trace.site_of(id).is_some(), "symbol {id} unattributed");
+        }
+        for w in trace.allocs.windows(2) {
+            assert!(w[0].2 <= w[1].1, "ranges overlap: {w:?}");
+        }
+        assert_eq!(trace.site_of(u64::MAX), None);
+        // Tracing does not change results.
+        let plain: RunResult<AffineF64> =
+            exec(&p, &[0.7.into()], &AaContext::new(AaConfig::full())).unwrap();
+        assert_eq!(plain.ret.unwrap().range(), r.ret.unwrap().range());
     }
 
     #[test]

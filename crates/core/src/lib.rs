@@ -48,13 +48,15 @@ pub mod domain;
 pub mod driver;
 pub mod emit_c;
 pub mod exec;
+pub mod profile;
 pub mod program;
 
-pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult};
+pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult, WorkerStats};
 pub use domain::{Domain, DomainKind, UnsoundF64};
 pub use driver::{run_on, Compiled, Compiler, RunConfig, RunReport};
 pub use emit_c::{emit_c, EmitPrecision};
-pub use exec::{exec, ArgValue, RunResult, RunStats};
+pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
+pub use profile::{profile, ErrorSource, ProfileReport};
 pub use program::{compile_program, Program};
 
 pub use safegen_affine::{AaConfig, AaContext, Fusion, NoisePolicy, Placement};

@@ -109,6 +109,30 @@ pub fn ulp(x: f64) -> f64 {
     a.next_up() - a
 }
 
+/// Width of a result range `[lo, hi]`: `hi − lo`, rounded up so a sound
+/// range never under-reports its width. `+∞` for unbounded ranges, NaN
+/// if an endpoint is NaN, and 0 for empty ranges (`lo > hi`).
+///
+/// The error-provenance profiler reports this next to per-symbol
+/// contributions, so both are conservative in the same direction.
+///
+/// ```
+/// use safegen_fpcore::metrics::range_width;
+/// assert_eq!(range_width(1.0, 1.5), 0.5);
+/// assert_eq!(range_width(2.0, 1.0), 0.0);
+/// assert_eq!(range_width(f64::NEG_INFINITY, 0.0), f64::INFINITY);
+/// ```
+#[inline]
+pub fn range_width(lo: f64, hi: f64) -> f64 {
+    if lo.is_nan() || hi.is_nan() {
+        return f64::NAN;
+    }
+    if lo > hi {
+        return 0.0;
+    }
+    crate::round::sub_ru(hi, lo)
+}
+
 /// Number of floats strictly between `a` and `b` plus one — the "ulp
 /// distance" used in tests to compare against reference results.
 #[inline]
@@ -214,6 +238,17 @@ mod tests {
         }
         let acc = acc_bits(lo, hi, F64_MANTISSA_BITS);
         assert!(acc > 10.0 && acc < 20.0, "acc = {acc}");
+    }
+
+    #[test]
+    fn range_width_is_outward_rounded() {
+        assert_eq!(range_width(1.0, 1.0), 0.0);
+        assert!(range_width(-1e-300, 1e308) >= 1e308);
+        assert_eq!(range_width(3.0, 2.0), 0.0);
+        assert!(range_width(f64::NAN, 1.0).is_nan());
+        // Upward rounding: never smaller than the exact difference.
+        let (lo, hi) = (0.1, 0.3);
+        assert!(range_width(lo, hi) >= hi - lo);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Validates JSON / JSONL files written by the telemetry sink — the
+//! std-only checker `ci.sh` runs against `SAFEGEN_METRICS_OUT` output
+//! and `results/BENCH_*.json`.
+//!
+//! Usage: `json_check <file>...` — a path ending in `.jsonl` is checked
+//! line by line, anything else as one document. Exits non-zero on the
+//! first malformed file.
+
+use safegen_telemetry::json;
+
+fn check(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if path.ends_with(".jsonl") {
+        let mut n = 0;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            n += 1;
+        }
+        Ok(n)
+    } else {
+        json::parse(&text).map_err(|e| e.to_string())?;
+        Ok(1)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: json_check <file>...");
+        std::process::exit(2);
+    }
+    for path in &args {
+        match check(path) {
+            Ok(n) => println!("{path}: OK ({n} document{})", if n == 1 { "" } else { "s" }),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! # safegen-telemetry
+//!
+//! Observability for SafeGen-rs: phase/VM span timing, structured events,
+//! and a metrics sink that writes **JSONL** (one event per line) plus a
+//! **summary JSON** — all `std`-only, per the repo's offline policy.
+//!
+//! ## Model
+//!
+//! A process has at most one global [`Recorder`], installed by
+//! [`init_from_env`] (or [`init`] in tests) and guarded by a mutex. Every
+//! hook first checks a relaxed [`AtomicBool`]; when telemetry is disabled
+//! — the default — each hook is **one atomic load and nothing else**, so
+//! instrumented code paths cost nothing measurable (verified against the
+//! `aa_ops` benchmark). The hooks sit at phase granularity (compile
+//! phases, one VM run, one measurement), never inside per-operation hot
+//! loops.
+//!
+//! ## Environment knobs
+//!
+//! | variable | effect |
+//! |----------|--------|
+//! | `SAFEGEN_TRACE=1` | enable; echo span timings to stderr as they close |
+//! | `SAFEGEN_METRICS_OUT=prefix` | enable; [`flush`] writes `prefix.jsonl` + `prefix.summary.json` |
+//!
+//! Both may be combined. A `prefix` ending in `.jsonl` is accepted and
+//! stripped, so `SAFEGEN_METRICS_OUT=run1.jsonl` and
+//! `SAFEGEN_METRICS_OUT=run1` name the same pair of files.
+//!
+//! ## Event shape
+//!
+//! Every JSONL line is an object with at least `{"kind": ..., "t": ...}`
+//! where `t` is seconds since the recorder was installed. Span events add
+//! `{"name", "elapsed_s"}`; other producers (the VM batch engine, the
+//! bench harness) attach their own fields. The summary aggregates event
+//! counts per kind and total time per span name.
+
+pub mod json;
+
+use json::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// The in-memory event buffer behind the global facade.
+#[derive(Debug)]
+pub struct Recorder {
+    binary: String,
+    t0: Instant,
+    trace: bool,
+    out: Option<PathBuf>,
+    /// Serialized JSONL lines, in record order.
+    lines: Vec<String>,
+    /// Per-kind event counts, insertion-ordered.
+    kinds: Vec<(String, u64)>,
+    /// Per-span-name (count, total seconds), insertion-ordered.
+    spans: Vec<(String, u64, f64)>,
+}
+
+impl Recorder {
+    fn new(binary: &str, trace: bool, out: Option<PathBuf>) -> Recorder {
+        Recorder {
+            binary: binary.to_string(),
+            t0: Instant::now(),
+            trace,
+            out,
+            lines: Vec::new(),
+            kinds: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: &str, fields: Vec<(&str, Json)>) {
+        let mut obj = vec![
+            ("kind", Json::from(kind)),
+            ("t", Json::from(self.t0.elapsed().as_secs_f64())),
+        ];
+        obj.extend(fields);
+        self.lines.push(Json::obj(obj).to_string());
+        match self.kinds.iter_mut().find(|(k, _)| k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.kinds.push((kind.to_string(), 1)),
+        }
+    }
+
+    fn note_span(&mut self, name: &str, elapsed_s: f64) {
+        match self.spans.iter_mut().find(|(n, _, _)| n == name) {
+            Some((_, c, t)) => {
+                *c += 1;
+                *t += elapsed_s;
+            }
+            None => self.spans.push((name.to_string(), 1, elapsed_s)),
+        }
+    }
+
+    fn summary(&self) -> Json {
+        Json::obj(vec![
+            ("binary", Json::from(self.binary.as_str())),
+            ("wall_s", Json::from(self.t0.elapsed().as_secs_f64())),
+            ("events", Json::from(self.lines.len())),
+            (
+                "kinds",
+                Json::Obj(
+                    self.kinds
+                        .iter()
+                        .map(|(k, n)| (k.clone(), Json::from(*n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Json::Obj(
+                    self.spans
+                        .iter()
+                        .map(|(name, count, total)| {
+                            (
+                                name.clone(),
+                                Json::obj(vec![
+                                    ("count", Json::from(*count)),
+                                    ("total_s", Json::from(*total)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// True when a recorder is installed. One relaxed atomic load; callers
+/// use it to skip building event fields entirely.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs the global recorder according to `SAFEGEN_TRACE` /
+/// `SAFEGEN_METRICS_OUT` (see the crate docs). A no-op when neither is
+/// set; replaces any previous recorder when one is.
+pub fn init_from_env(binary: &str) {
+    let trace = std::env::var("SAFEGEN_TRACE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let out = std::env::var("SAFEGEN_METRICS_OUT")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from);
+    if trace || out.is_some() {
+        init(binary, trace, out);
+    }
+}
+
+/// Installs the global recorder explicitly (tests and tools).
+pub fn init(binary: &str, trace: bool, out: Option<PathBuf>) {
+    let mut guard = RECORDER.lock().unwrap();
+    *guard = Some(Recorder::new(binary, trace, out));
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Removes the recorder and disables all hooks (tests).
+pub fn shutdown() {
+    let mut guard = RECORDER.lock().unwrap();
+    *guard = None;
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Records one event. A no-op unless [`enabled`]; prefer
+/// `if telemetry::enabled() { ... }` around expensive field construction.
+pub fn record(kind: &str, fields: Vec<(&str, Json)>) {
+    if !enabled() {
+        return;
+    }
+    if let Some(rec) = RECORDER.lock().unwrap().as_mut() {
+        rec.push(kind, fields);
+    }
+}
+
+/// Times `f` as a named span. When telemetry is disabled this is one
+/// atomic load around a direct call; when enabled it records a `span`
+/// event (and echoes to stderr under `SAFEGEN_TRACE=1`).
+pub fn span<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    let elapsed = t0.elapsed().as_secs_f64();
+    if let Some(rec) = RECORDER.lock().unwrap().as_mut() {
+        rec.push(
+            "span",
+            vec![
+                ("name", Json::from(name)),
+                ("elapsed_s", Json::from(elapsed)),
+            ],
+        );
+        rec.note_span(name, elapsed);
+        if rec.trace {
+            eprintln!("[trace] {name}: {:.3e} s", elapsed);
+        }
+    }
+    out
+}
+
+/// Writes the accumulated events to `<prefix>.jsonl` and the summary to
+/// `<prefix>.summary.json` when `SAFEGEN_METRICS_OUT` (or [`init`]'s
+/// `out`) named a prefix. Returns the summary path when files were
+/// written. Safe to call repeatedly; later calls rewrite the files with
+/// the grown buffer.
+///
+/// # Errors
+///
+/// Returns the I/O error message if a file cannot be written.
+pub fn flush() -> Result<Option<PathBuf>, String> {
+    let guard = RECORDER.lock().unwrap();
+    let Some(rec) = guard.as_ref() else {
+        return Ok(None);
+    };
+    let Some(prefix) = rec.out.as_ref() else {
+        return Ok(None);
+    };
+    let prefix = normalize_prefix(prefix);
+    let jsonl = prefix.with_extension("jsonl");
+    let summary = prefix.with_extension("summary.json");
+    write_lines(&jsonl, &rec.lines).map_err(|e| format!("{}: {e}", jsonl.display()))?;
+    write_lines(&summary, &[rec.summary().to_string()])
+        .map_err(|e| format!("{}: {e}", summary.display()))?;
+    Ok(Some(summary))
+}
+
+fn normalize_prefix(p: &Path) -> PathBuf {
+    match p.extension() {
+        Some(ext) if ext == "jsonl" => p.with_extension(""),
+        _ => p.to_path_buf(),
+    }
+}
+
+fn write_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recorder is process-global; serialize the tests that install it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn temp_prefix(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("safegen-telemetry-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn disabled_hooks_are_inert() {
+        let _l = LOCK.lock().unwrap();
+        shutdown();
+        assert!(!enabled());
+        record("x", vec![]);
+        assert_eq!(span("s", || 41 + 1), 42);
+        assert_eq!(flush().unwrap(), None);
+    }
+
+    #[test]
+    fn events_and_summary_round_trip_through_files() {
+        let _l = LOCK.lock().unwrap();
+        let prefix = temp_prefix("roundtrip");
+        init("unit-test", false, Some(prefix.clone()));
+        record("measurement", vec![("bench", Json::from("henon"))]);
+        record("measurement", vec![("bench", Json::from("sor"))]);
+        let got = span("phase.x", || 7);
+        assert_eq!(got, 7);
+        let summary_path = flush().unwrap().expect("files written");
+        shutdown();
+
+        let jsonl = std::fs::read_to_string(prefix.with_extension("jsonl")).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = json::parse(line).unwrap();
+            assert!(v.get("kind").is_some() && v.get("t").is_some());
+        }
+        assert_eq!(
+            json::parse(lines[0])
+                .unwrap()
+                .get("bench")
+                .unwrap()
+                .as_str(),
+            Some("henon")
+        );
+
+        let summary = json::parse(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        assert_eq!(summary.get("binary").unwrap().as_str(), Some("unit-test"));
+        assert_eq!(summary.get("events").unwrap().as_f64(), Some(3.0));
+        let kinds = summary.get("kinds").unwrap();
+        assert_eq!(kinds.get("measurement").unwrap().as_f64(), Some(2.0));
+        assert_eq!(kinds.get("span").unwrap().as_f64(), Some(1.0));
+        let spans = summary.get("spans").unwrap();
+        assert_eq!(
+            spans.get("phase.x").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+
+        let _ = std::fs::remove_file(prefix.with_extension("jsonl"));
+        let _ = std::fs::remove_file(summary_path);
+    }
+
+    #[test]
+    fn jsonl_suffix_on_prefix_is_stripped() {
+        let _l = LOCK.lock().unwrap();
+        let prefix = temp_prefix("suffix");
+        init("t", false, Some(prefix.with_extension("jsonl")));
+        record("e", vec![]);
+        let summary = flush().unwrap().unwrap();
+        shutdown();
+        assert_eq!(summary, prefix.with_extension("summary.json"));
+        assert!(prefix.with_extension("jsonl").exists());
+        let _ = std::fs::remove_file(prefix.with_extension("jsonl"));
+        let _ = std::fs::remove_file(summary);
+    }
+
+    #[test]
+    fn init_from_env_is_inert_without_knobs() {
+        let _l = LOCK.lock().unwrap();
+        shutdown();
+        std::env::remove_var("SAFEGEN_TRACE");
+        std::env::remove_var("SAFEGEN_METRICS_OUT");
+        init_from_env("t");
+        assert!(!enabled());
+    }
+}

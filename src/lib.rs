@@ -8,3 +8,4 @@ pub use safegen_fpcore as fpcore;
 pub use safegen_ilp as ilp;
 pub use safegen_interval as interval;
 pub use safegen_ir as ir;
+pub use safegen_telemetry as telemetry;

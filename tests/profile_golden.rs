@@ -1,0 +1,110 @@
+//! Golden test for the error-provenance profiler: on a known kernel the
+//! attribution must point at the loop body — the line whose operations
+//! allocate (and, under fusion, absorb) the surviving error symbols —
+//! and the fractions must account for the whole enclosure width.
+
+use safegen_suite::safegen::{profile, Compiler, RunConfig, TraceSite};
+use safegen_suite::telemetry::json;
+
+/// The quickstart polynomial kernel: ten rounds of `r = r * x - 0.3`.
+/// All roundoff happens on line 4 (the loop body); the only other error
+/// source is the ±1 ulp uncertainty of the input `x`.
+const POLY: &str = "double poly(double x) {
+    double r = 1.0;
+    for (int i = 0; i < 10; i++) {
+        r = r * x - 0.3;
+    }
+    return r;
+}";
+
+#[test]
+fn top_error_source_is_the_loop_body() {
+    let c = Compiler::new().compile(POLY).unwrap();
+    let cfg = RunConfig::affine_f64(4);
+    let prog = c.program_for("poly", &cfg);
+    let report = profile(&prog, &[0.3.into()], &cfg).unwrap();
+
+    // The top-ranked source must be an instruction on line 4 — the loop
+    // body is where every multiply, subtract, and constant conversion
+    // rounds (the exact winner among them may shift with eval order, the
+    // line may not).
+    let top = &report.sources[0];
+    assert!(
+        matches!(top.site, TraceSite::Instr(_)),
+        "top source should be an instruction, got {top:?}"
+    );
+    assert_eq!(
+        top.location.map(|(line, _)| line),
+        Some(4),
+        "top source should sit on the loop body line: {}",
+        report.render()
+    );
+    assert!(
+        top.fraction > 0.2,
+        "dominant source is not dominant: {top:?}"
+    );
+
+    // The input's 1-ulp symbol survives and must be attributed to the
+    // parameter binding, not an instruction.
+    assert!(
+        report
+            .sources
+            .iter()
+            .any(|s| s.site == TraceSite::Param(0) && s.width > 0.0),
+        "input uncertainty missing from:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn attribution_is_exhaustive() {
+    let c = Compiler::new().compile(POLY).unwrap();
+    let cfg = RunConfig::affine_f64(4);
+    let prog = c.program_for("poly", &cfg);
+    let report = profile(&prog, &[0.3.into()], &cfg).unwrap();
+
+    assert!(report.total_width > 0.0);
+    let attributed: f64 = report.sources.iter().map(|s| s.fraction).sum();
+    let sum = attributed + report.unattributed / report.total_width;
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "fractions must sum to 1.0, got {sum}"
+    );
+
+    // The symbol widths together can never exceed the reported range
+    // width (the range additionally includes outward rounding).
+    assert!(report.total_width <= report.ret_width * (1.0 + 1e-12));
+
+    // The enclosure must still contain the exact unsound value.
+    let mut exact = 1.0f64;
+    for _ in 0..10 {
+        exact = exact * 0.3 - 0.3;
+    }
+    let (lo, hi) = report.ret.unwrap();
+    assert!(lo <= exact && exact <= hi, "[{lo}, {hi}] misses {exact}");
+}
+
+#[test]
+fn report_is_stable_and_machine_readable() {
+    let c = Compiler::new().compile(POLY).unwrap();
+    let cfg = RunConfig::affine_f64(4);
+    let prog = c.program_for("poly", &cfg);
+    let a = profile(&prog, &[0.3.into()], &cfg).unwrap();
+    let b = profile(&prog, &[0.3.into()], &cfg).unwrap();
+
+    // Deterministic: same program, same input, same ranking and text.
+    assert_eq!(a.render(), b.render());
+
+    // The JSON form round-trips through the strict parser and agrees
+    // with the table.
+    let parsed = json::parse(&a.to_json().to_string()).unwrap();
+    let sources = parsed.get("sources").unwrap().as_arr().unwrap();
+    assert_eq!(sources.len(), a.sources.len());
+    assert_eq!(
+        sources[0].get("location").unwrap().as_str(),
+        a.sources[0]
+            .location
+            .map(|(l, c)| format!("{l}:{c}"))
+            .as_deref()
+    );
+}
