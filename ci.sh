@@ -37,4 +37,10 @@ SAFEGEN_METRICS_OUT="$SMOKE_DIR/metrics" \
     | grep -q "error-attribution profile"
 ./target/release/json_check "$SMOKE_DIR/metrics.jsonl" "$SMOKE_DIR/metrics.summary.json"
 
+echo "== differential fuzz smoke (deterministic seed, must be clean) =="
+SAFEGEN_METRICS_OUT="$SMOKE_DIR/fuzz" \
+    ./target/release/safegen fuzz --iters 200 --seed 0xC60 --out "$SMOKE_DIR/fuzzout" \
+    | grep -q " 0 counterexamples"
+./target/release/json_check "$SMOKE_DIR/fuzz.jsonl" "$SMOKE_DIR/fuzz.summary.json"
+
 echo "ci.sh: all checks passed"

@@ -40,6 +40,7 @@ mod error;
 mod lexer;
 mod parser;
 mod printer;
+mod reabsorb;
 mod sema;
 pub mod simd;
 mod token;
@@ -50,6 +51,7 @@ pub use error::{Diagnostic, ParseError};
 pub use lexer::lex;
 pub use parser::parse;
 pub use printer::{print_expr, print_function, print_unit};
+pub use reabsorb::reparse_emitted;
 pub use sema::{analyze, FnInfo, Sema, VarInfo};
 pub use simd::lower_simd;
 pub use token::{Span, Token, TokenKind};

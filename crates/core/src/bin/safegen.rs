@@ -7,6 +7,7 @@
 //! safegen profile <file.c> <func> [--config MNEMONIC|dda] [--k N]
 //!                 [--arg X]... [--int N]... [--array "x,y,z"]...
 //! safegen tac     <file.c>
+//! safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR]
 //! ```
 //!
 //! `emit` prints the sound C program (annotated with the max-reuse
@@ -14,7 +15,11 @@
 //! configuration and prints the certified ranges; `profile` runs the
 //! function with symbol tracing and prints the error-attribution table
 //! (which source locations the final enclosure width comes from); `tac`
-//! shows the three-address form the analysis operates on.
+//! shows the three-address form the analysis operates on; `fuzz` runs
+//! the differential soundness fuzzer (generated programs checked against
+//! an exact rational oracle and cross-engine invariants), writing
+//! minimized counterexamples under `--out` (default `results/fuzz`) and
+//! exiting nonzero if any are found.
 //!
 //! All subcommands honor `SAFEGEN_TRACE=1` (span timing on stderr) and
 //! `SAFEGEN_METRICS_OUT=<prefix>` (JSONL event log + summary JSON).
@@ -33,6 +38,7 @@ fn usage() -> ExitCode {
   safegen profile <file.c> <func> [--config dspv|ssnn|...|dda] [--k N]
                   [--arg X]... [--int N]... [--array \"x,y,z\"]...
   safegen tac     <file.c>
+  safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR]
 
 environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
              SAFEGEN_METRICS_OUT=<prefix> writes <prefix>.jsonl and
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "profile" => cmd_profile(rest),
         "tac" => cmd_tac(rest),
+        "fuzz" => cmd_fuzz(rest),
         _ => usage(),
     };
     match telemetry::flush() {
@@ -334,4 +341,61 @@ fn cmd_profile(rest: &[String]) -> ExitCode {
         telemetry::record("profile", vec![("report", report.to_json())]);
     }
     ExitCode::SUCCESS
+}
+
+/// Parses a seed, accepting both decimal and `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let (digits, radix) = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => (hex, 16),
+        None => (s, 10),
+    };
+    u64::from_str_radix(digits, radix).map_err(|e| format!("bad --seed `{s}`: {e}"))
+}
+
+fn cmd_fuzz(rest: &[String]) -> ExitCode {
+    let mut opts = safegen::FuzzOpts::default();
+    if let Some(v) = flag_value(rest, "--iters") {
+        match v.parse() {
+            Ok(n) => opts.iters = n,
+            Err(e) => return fail(format!("bad --iters `{v}`: {e}")),
+        }
+    }
+    if let Some(v) = flag_value(rest, "--seed") {
+        match parse_seed(v) {
+            Ok(s) => opts.seed = s,
+            Err(e) => return fail(e),
+        }
+    }
+    if let Some(v) = flag_value(rest, "--k") {
+        match v.parse() {
+            Ok(k) => opts.k = k,
+            Err(e) => return fail(format!("bad --k `{v}`: {e}")),
+        }
+    }
+    if let Some(v) = flag_value(rest, "--out") {
+        opts.out_dir = v.into();
+    }
+    let summary = match safegen::run_fuzz(&opts) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    println!("{}", summary.render());
+    if summary.counterexamples.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for cex in &summary.counterexamples {
+            eprintln!(
+                "safegen: counterexample (iter {}, fn {}, kind {}): {}",
+                cex.iter,
+                cex.func,
+                cex.kind,
+                cex.path.display()
+            );
+        }
+        eprintln!(
+            "safegen: replay with `safegen fuzz --seed {:#x} --iters {}`",
+            opts.seed, opts.iters
+        );
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,648 @@
+//! The differential soundness checker and the `safegen fuzz` loop.
+//!
+//! For each generated program (see `safegen-fuzz`) and each of its
+//! functions, [`check_source`] compiles once and then cross-examines the
+//! whole stack:
+//!
+//! 1. **Exact enclosure** — the program is interpreted over exact
+//!    rationals ([`crate::oracle`]) at the concrete input point; every
+//!    sound domain (`igen-f64`, `igen-dd`, AA-f64, AA-dd) must report a
+//!    range containing the true value. The check is *skipped per run*
+//!    when that run took an undecided branch (the VM then follows
+//!    centers, a documented approximation whose path may differ from the
+//!    real one) and when the oracle declines (sqrt, exact division by
+//!    zero, representation growth) — skips are counted, never passed.
+//! 2. **Serial ≡ batch** — the batch engine must reproduce the serial
+//!    VM's range bit-for-bit on the same input.
+//! 3. **AA-dd ⊆ AA-f64** — the higher-precision-center configuration
+//!    must not *widen*: its range stays inside the f64-center range up to
+//!    two ulps of slack per endpoint (center rounding may legitimately
+//!    shift an endpoint by an ulp or so). Compared only when both runs
+//!    decided every branch soundly.
+//! 4. **Emit round-trip** — emitted sound C, reparsed via
+//!    [`safegen_cfront::reparse_emitted`] and recompiled, must produce
+//!    the bit-identical `igen-f64` range.
+//!
+//! Non-finite range endpoints (overflow to ∞ is sound; NaN is a
+//! *degradation*, not an unsoundness) are recorded as anomalies, not
+//! failures.
+//!
+//! [`run_fuzz`] drives iterations deterministically from a seed; on any
+//! hard failure it re-renders candidates through the `safegen-fuzz`
+//! shrinker and writes a minimized, replayable `.c` counterexample (with
+//! its inputs in the header comment) under the output directory.
+
+use crate::oracle::{eval_exact, EvalLimits};
+use crate::{emit_c, ArgValue, BatchOptions, Compiler, EmitPrecision, RunConfig, RunReport};
+use safegen_fuzz::{generate_seeded, render, shrink, FuzzProgram, GenLimits};
+use safegen_telemetry::json::Json;
+use safegen_telemetry::{self as telemetry};
+use std::path::{Path, PathBuf};
+
+/// Knobs for a single differential check.
+#[derive(Clone, Debug)]
+pub struct CheckOpts {
+    /// Affine symbol budget for the AA configurations.
+    pub k: usize,
+    /// Oracle resource limits.
+    pub oracle_limits: EvalLimits,
+}
+
+impl Default for CheckOpts {
+    fn default() -> CheckOpts {
+        CheckOpts {
+            k: 16,
+            oracle_limits: EvalLimits::default(),
+        }
+    }
+}
+
+/// One hard failure found by the checker.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// Failure class: `compile`, `run-error`, `enclosure`,
+    /// `batch-mismatch`, `dd-widening`, `roundtrip`.
+    pub kind: String,
+    /// Human-readable specifics (config label, ranges, exact value).
+    pub detail: String,
+}
+
+/// Outcome of checking one function at one input point.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Soundness violations and cross-engine disagreements.
+    pub failures: Vec<CheckFailure>,
+    /// Soft findings (NaN endpoints, overflow degradations).
+    pub anomalies: Vec<String>,
+    /// Exact-enclosure checks actually performed (one per sound config
+    /// that had a decided path and a finite range).
+    pub exact_checks: u64,
+    /// Why the rational oracle declined, if it did.
+    pub oracle_skip: Option<String>,
+}
+
+impl CheckReport {
+    fn fail(&mut self, kind: &str, detail: String) {
+        self.failures.push(CheckFailure {
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// True when no hard failure was found.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn fmt_range(r: Option<(f64, f64)>) -> String {
+    match r {
+        Some((lo, hi)) => format!("[{lo:e}, {hi:e}]"),
+        None => "(void)".to_string(),
+    }
+}
+
+/// Two ulps of slack, symmetric: endpoints that differ only by center
+/// rounding between the dd and f64 pipelines stay inside it.
+fn ulps_down(x: f64, n: u32) -> f64 {
+    let mut v = x;
+    for _ in 0..n {
+        v = v.next_down();
+    }
+    v
+}
+
+fn ulps_up(x: f64, n: u32) -> f64 {
+    let mut v = x;
+    for _ in 0..n {
+        v = v.next_up();
+    }
+    v
+}
+
+/// Compiles `src` and differentially checks `func` at the point `inputs`.
+///
+/// Every failure mode is reported in the [`CheckReport`] — including
+/// compile errors (kind `compile`), so shrinkers can minimize those too.
+pub fn check_source(src: &str, func: &str, inputs: &[f64], opts: &CheckOpts) -> CheckReport {
+    let mut report = CheckReport::default();
+    let compiled = match Compiler::new().compile(src) {
+        Ok(c) => c,
+        Err(e) => {
+            report.fail("compile", e.to_string());
+            return report;
+        }
+    };
+    if !compiled.tac.functions.iter().any(|f| f.name == func) {
+        report.fail("compile", format!("no function `{func}` in source"));
+        return report;
+    }
+    let args: Vec<ArgValue> = inputs.iter().map(|&x| ArgValue::Float(x)).collect();
+
+    // Ground truth at the exact input point.
+    let exact = match eval_exact(compiled.program(func), &args, &opts.oracle_limits) {
+        Ok(v) => v,
+        Err(e) => {
+            report.oracle_skip = Some(e.to_string());
+            None
+        }
+    };
+
+    // 1. Exact enclosure under every sound domain.
+    let sound_configs = [
+        RunConfig::interval_f64(),
+        RunConfig::interval_dd(),
+        RunConfig::affine_f64(opts.k),
+        RunConfig::affine_dd(opts.k),
+    ];
+    let mut reports: Vec<Option<RunReport>> = Vec::new();
+    for config in &sound_configs {
+        let r = match compiled.run(func, &args, config) {
+            Ok(r) => r,
+            Err(e) => {
+                report.fail("run-error", format!("{}: {e}", config.label()));
+                reports.push(None);
+                continue;
+            }
+        };
+        if let Some((lo, hi)) = r.ret {
+            if lo.is_nan() || hi.is_nan() {
+                report
+                    .anomalies
+                    .push(format!("{}: NaN range endpoint", config.label()));
+            } else if let Some(x) = &exact {
+                if r.stats.undecided_branches == 0 {
+                    report.exact_checks += 1;
+                    if !x.in_range(lo, hi) {
+                        report.fail(
+                            "enclosure",
+                            format!(
+                                "{}: [{lo:e}, {hi:e}] does not contain exact {x}",
+                                config.label()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        reports.push(Some(r));
+    }
+
+    // The unsound original must at least execute.
+    if let Err(e) = compiled.run(func, &args, &RunConfig::unsound()) {
+        report.fail("run-error", format!("unsound: {e}"));
+    }
+
+    // 2. Serial ≡ batch, bit-identical, on the AA-f64 configuration.
+    let aa = RunConfig::affine_f64(opts.k);
+    if let Some(Some(serial)) = reports.get(2) {
+        match compiled.run_batch(
+            func,
+            std::slice::from_ref(&args),
+            &aa,
+            &BatchOptions::default(),
+        ) {
+            Ok(batch) => {
+                let b = batch.items[0].report.ret;
+                let bits = |r: Option<(f64, f64)>| r.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+                if bits(serial.ret) != bits(b) {
+                    report.fail(
+                        "batch-mismatch",
+                        format!(
+                            "serial {} != batch {} under {}",
+                            fmt_range(serial.ret),
+                            fmt_range(b),
+                            aa.label()
+                        ),
+                    );
+                }
+            }
+            Err(e) => report.fail("run-error", format!("batch: {e}")),
+        }
+    }
+
+    // 3. AA-dd vs AA-f64 (both paths fully decided). This fuzzer
+    // *refuted* the tempting metamorphic invariant "AA-dd ⊆ AA-f64":
+    // where AA-f64 cancels to an exact [0, 0] the dd pipeline keeps
+    // subnormal-scale noise, and at near-cancellations dd's conservative
+    // rounding terms can legitimately exceed the f64 width many-fold —
+    // both ranges stay sound (checked against the exact oracle above),
+    // they are just not pointwise nested. The comparison is therefore a
+    // soft anomaly, kept as a telemetry signal for accuracy regressions
+    // rather than a hard failure.
+    if let (Some(Some(f64r)), Some(Some(ddr))) = (reports.get(2), reports.get(3)) {
+        if f64r.stats.undecided_branches == 0 && ddr.stats.undecided_branches == 0 {
+            if let (Some((flo, fhi)), Some((dlo, dhi))) = (f64r.ret, ddr.ret) {
+                let all_finite =
+                    flo.is_finite() && fhi.is_finite() && dlo.is_finite() && dhi.is_finite();
+                if all_finite && (dlo < ulps_down(flo, 2) || dhi > ulps_up(fhi, 2)) {
+                    report.anomalies.push(format!(
+                        "AA-dd [{dlo:e}, {dhi:e}] not enclosed by AA-f64 [{flo:e}, {fhi:e}]"
+                    ));
+                }
+            }
+        }
+    }
+
+    // 4. Emit → reparse → recompile → identical igen-f64 range.
+    roundtrip_check(&compiled, src, func, &args, &mut report);
+
+    report
+}
+
+fn roundtrip_check(
+    compiled: &crate::Compiled,
+    _src: &str,
+    func: &str,
+    args: &[ArgValue],
+    report: &mut CheckReport,
+) {
+    let sema = match safegen_cfront::analyze(&compiled.tac) {
+        Ok(s) => s,
+        Err(e) => {
+            report.fail("roundtrip", format!("TAC re-analysis failed: {e}"));
+            return;
+        }
+    };
+    let emitted = emit_c(&compiled.tac, &sema, EmitPrecision::F64);
+    let unit = match safegen_cfront::reparse_emitted(&emitted) {
+        Ok(u) => u,
+        Err(e) => {
+            report.fail("roundtrip", format!("emitted C does not reparse: {e}"));
+            return;
+        }
+    };
+    let reparsed_src = safegen_cfront::print_unit(&unit);
+    let recompiled = match Compiler::new().compile(&reparsed_src) {
+        Ok(c) => c,
+        Err(e) => {
+            report.fail("roundtrip", format!("reparsed C does not recompile: {e}"));
+            return;
+        }
+    };
+    let ia = RunConfig::interval_f64();
+    let a = compiled.run(func, args, &ia);
+    let b = recompiled.run(func, args, &ia);
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            let bits = |r: Option<(f64, f64)>| r.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+            if bits(a.ret) != bits(b.ret) {
+                report.fail(
+                    "roundtrip",
+                    format!(
+                        "igen-f64 range changed across emit/reparse: {} != {}",
+                        fmt_range(a.ret),
+                        fmt_range(b.ret)
+                    ),
+                );
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            report.fail("roundtrip", format!("igen-f64 run failed: {e}"));
+        }
+    }
+}
+
+/// Parses the `/* safegen-fuzz: fn=NAME inputs=a,b */` header lines a
+/// rendered program (or corpus file) carries, returning each function
+/// name with its input point. Malformed lines are skipped.
+pub fn parse_corpus_header(src: &str) -> Vec<(String, Vec<f64>)> {
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let Some(rest) = line
+            .trim()
+            .strip_prefix("/* safegen-fuzz:")
+            .and_then(|r| r.strip_suffix("*/"))
+        else {
+            continue;
+        };
+        let mut func = None;
+        let mut inputs = None;
+        for field in rest.split_whitespace() {
+            if let Some(name) = field.strip_prefix("fn=") {
+                func = Some(name.to_string());
+            } else if let Some(vals) = field.strip_prefix("inputs=") {
+                inputs = vals
+                    .split(',')
+                    .map(|v| v.parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
+                    .ok();
+            }
+        }
+        if let (Some(f), Some(i)) = (func, inputs) {
+            out.push((f, i));
+        }
+    }
+    out
+}
+
+/// Options for the fuzzing loop.
+#[derive(Clone, Debug)]
+pub struct FuzzOpts {
+    /// Number of programs to generate and check.
+    pub iters: u64,
+    /// Seed: same seed ⇒ same programs, same verdicts.
+    pub seed: u64,
+    /// Affine symbol budget.
+    pub k: usize,
+    /// Where minimized counterexamples are written.
+    pub out_dir: PathBuf,
+    /// Budget for `still_fails` probes during shrinking.
+    pub max_shrink_checks: usize,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> FuzzOpts {
+        FuzzOpts {
+            iters: 200,
+            seed: 0xC60,
+            k: 16,
+            out_dir: PathBuf::from("results/fuzz"),
+            max_shrink_checks: 300,
+        }
+    }
+}
+
+/// A written counterexample.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Iteration that produced the failing program.
+    pub iter: u64,
+    /// Failing function name.
+    pub func: String,
+    /// Failure class (see [`CheckFailure::kind`]).
+    pub kind: String,
+    /// Minimized program file (empty path if the write failed).
+    pub path: PathBuf,
+}
+
+/// Aggregate results of a fuzz run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzSummary {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Function/input points checked.
+    pub functions_checked: u64,
+    /// Exact-enclosure comparisons performed.
+    pub exact_checks: u64,
+    /// Function points where the rational oracle declined.
+    pub oracle_skips: u64,
+    /// Soft anomalies (NaN endpoints etc.).
+    pub anomalies: u64,
+    /// Minimized counterexamples (empty on a clean run).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl FuzzSummary {
+    /// One-line human summary.
+    pub fn render(&self) -> String {
+        format!(
+            "fuzz: {} iters, {} function points, {} exact checks, \
+             {} oracle skips, {} anomalies, {} counterexamples",
+            self.iters,
+            self.functions_checked,
+            self.exact_checks,
+            self.oracle_skips,
+            self.anomalies,
+            self.counterexamples.len()
+        )
+    }
+}
+
+fn check_fuzz_program(prog: &FuzzProgram, opts: &CheckOpts) -> Vec<(String, CheckReport)> {
+    let src = render(prog);
+    prog.function_names()
+        .into_iter()
+        .enumerate()
+        .map(|(fi, name)| {
+            let report = check_source(&src, &name, &prog.inputs[fi], opts);
+            (name, report)
+        })
+        .collect()
+}
+
+/// Runs the deterministic fuzz loop.
+///
+/// # Errors
+///
+/// Only I/O problems (creating the output directory) are errors; found
+/// counterexamples are reported in the summary, not as `Err`.
+pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzSummary, String> {
+    let limits = GenLimits::default();
+    let check_opts = CheckOpts {
+        k: opts.k,
+        ..CheckOpts::default()
+    };
+    let mut summary = FuzzSummary {
+        iters: opts.iters,
+        ..FuzzSummary::default()
+    };
+    for iter in 0..opts.iters {
+        let prog = generate_seeded(opts.seed, iter, &limits);
+        for (func, report) in check_fuzz_program(&prog, &check_opts) {
+            summary.functions_checked += 1;
+            summary.exact_checks += report.exact_checks;
+            summary.anomalies += report.anomalies.len() as u64;
+            if report.oracle_skip.is_some() {
+                summary.oracle_skips += 1;
+            }
+            if report.passed() {
+                continue;
+            }
+            let first = &report.failures[0];
+            let kind = first.kind.clone();
+            let minimized = minimize(&prog, &kind, &check_opts, opts.max_shrink_checks);
+            let path =
+                write_counterexample(&opts.out_dir, opts.seed, iter, &func, first, &minimized)
+                    .unwrap_or_default();
+            if telemetry::enabled() {
+                telemetry::record(
+                    "fuzz_counterexample",
+                    vec![
+                        ("iter", Json::from(iter as usize)),
+                        ("func", Json::from(func.as_str())),
+                        ("kind", Json::from(kind.as_str())),
+                        ("detail", Json::from(first.detail.as_str())),
+                    ],
+                );
+            }
+            summary.counterexamples.push(Counterexample {
+                iter,
+                func: func.clone(),
+                kind,
+                path,
+            });
+        }
+    }
+    if telemetry::enabled() {
+        telemetry::record(
+            "fuzz_summary",
+            vec![
+                ("iters", Json::from(summary.iters as usize)),
+                (
+                    "functions_checked",
+                    Json::from(summary.functions_checked as usize),
+                ),
+                ("exact_checks", Json::from(summary.exact_checks as usize)),
+                ("oracle_skips", Json::from(summary.oracle_skips as usize)),
+                ("anomalies", Json::from(summary.anomalies as usize)),
+                ("counterexamples", Json::from(summary.counterexamples.len())),
+            ],
+        );
+    }
+    Ok(summary)
+}
+
+/// Shrinks `prog` while any function still fails with the same kind.
+fn minimize(
+    prog: &FuzzProgram,
+    kind: &str,
+    check_opts: &CheckOpts,
+    max_checks: usize,
+) -> FuzzProgram {
+    let mut still_fails = |cand: &FuzzProgram| {
+        check_fuzz_program(cand, check_opts)
+            .iter()
+            .any(|(_, r)| r.failures.iter().any(|f| f.kind == kind))
+    };
+    let (minimized, _stats) = shrink(prog, &mut still_fails, max_checks);
+    minimized
+}
+
+fn write_counterexample(
+    out_dir: &Path,
+    seed: u64,
+    iter: u64,
+    func: &str,
+    failure: &CheckFailure,
+    minimized: &FuzzProgram,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(format!("cex-seed{seed:#x}-iter{iter}.c"));
+    // Comment-safe: the detail must not terminate the block comment early.
+    let detail = failure.detail.replace("*/", "* /");
+    let body = format!(
+        "/* safegen-fuzz counterexample\n \
+         * seed={seed:#x} iter={iter} fn={func} kind={kind}\n \
+         * {detail}\n \
+         * replay: cargo test --test fuzz_replay -- after copying this file\n \
+         *         into tests/corpus/, or `safegen fuzz --seed {seed:#x}`.\n \
+         */\n{src}",
+        kind = failure.kind,
+        src = render(minimized)
+    );
+    std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_program_passes_all_checks() {
+        let src = "/* safegen-fuzz: fn=f inputs=0.5,0.25 */\n\
+                   double f(double a, double b) { return a * b + 0.1; }";
+        let report = check_source(src, "f", &[0.5, 0.25], &CheckOpts::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.exact_checks >= 4, "{report:?}");
+        assert!(report.oracle_skip.is_none());
+    }
+
+    #[test]
+    fn division_and_branches_check_exactly() {
+        let src = "double f(double x) {\n\
+                   double d = x / (x * x + 0.5);\n\
+                   if (d < 0.25) { d = d + 1.0; } else { d = d - 1.0; }\n\
+                   return d; }";
+        let report = check_source(src, "f", &[1.5], &CheckOpts::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.exact_checks >= 1);
+    }
+
+    #[test]
+    fn sqrt_skips_oracle_but_keeps_metamorphic_checks() {
+        let src = "double f(double x) { return sqrt(fabs(x) + 0.5); }";
+        let report = check_source(src, "f", &[1.0], &CheckOpts::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.exact_checks, 0);
+        assert!(report.oracle_skip.as_deref().unwrap().contains("sqrt"));
+    }
+
+    #[test]
+    fn compile_errors_are_reported_not_panicked() {
+        let report = check_source(
+            "double f(double x) { return y; }",
+            "f",
+            &[1.0],
+            &CheckOpts::default(),
+        );
+        assert!(!report.passed());
+        assert_eq!(report.failures[0].kind, "compile");
+        let report = check_source(
+            "double f(double x) { return x; }",
+            "g",
+            &[1.0],
+            &CheckOpts::default(),
+        );
+        assert_eq!(report.failures[0].kind, "compile");
+    }
+
+    #[test]
+    fn corpus_header_round_trips() {
+        let prog = generate_seeded(0xC60, 3, &GenLimits::default());
+        let src = render(&prog);
+        let parsed = parse_corpus_header(&src);
+        assert_eq!(parsed.len(), prog.functions.len());
+        for (fi, (name, inputs)) in parsed.iter().enumerate() {
+            assert_eq!(name, &format!("f{fi}"));
+            let same = inputs
+                .iter()
+                .zip(&prog.inputs[fi])
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "inputs drifted through the header: {inputs:?}");
+        }
+        assert!(parse_corpus_header("no header here").is_empty());
+    }
+
+    #[test]
+    fn counterexample_files_are_replayable() {
+        let prog = generate_seeded(7, 0, &GenLimits::default());
+        let failure = CheckFailure {
+            kind: "enclosure".to_string(),
+            detail: "synthetic */ detail".to_string(),
+        };
+        let dir = std::env::temp_dir().join("safegen-fuzz-cex-test");
+        let path = write_counterexample(&dir, 7, 0, "f0", &failure, &prog).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        // The detail must not have terminated the comment early: the
+        // replay header must survive and parse back to the same points.
+        let parsed = parse_corpus_header(&written);
+        assert_eq!(parsed.len(), prog.functions.len());
+        assert_eq!(parsed[0].1.len(), prog.inputs[0].len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn small_fuzz_run_is_deterministic_and_clean() {
+        let dir = std::env::temp_dir().join("safegen-fuzz-selftest");
+        let opts = FuzzOpts {
+            iters: 10,
+            seed: 0xC60,
+            out_dir: dir,
+            ..FuzzOpts::default()
+        };
+        let a = run_fuzz(&opts).unwrap();
+        let b = run_fuzz(&opts).unwrap();
+        assert_eq!(a.functions_checked, b.functions_checked);
+        assert_eq!(a.exact_checks, b.exact_checks);
+        assert_eq!(a.oracle_skips, b.oracle_skips);
+        assert!(
+            a.counterexamples.is_empty(),
+            "soundness counterexamples: {:?}",
+            a.counterexamples
+        );
+        assert!(a.exact_checks > 0, "oracle never engaged: {a:?}");
+    }
+}

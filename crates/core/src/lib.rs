@@ -48,6 +48,8 @@ pub mod domain;
 pub mod driver;
 pub mod emit_c;
 pub mod exec;
+pub mod fuzzer;
+pub mod oracle;
 pub mod profile;
 pub mod program;
 
@@ -56,6 +58,10 @@ pub use domain::{Domain, DomainKind, UnsoundF64};
 pub use driver::{run_on, Compiled, Compiler, RunConfig, RunReport};
 pub use emit_c::{emit_c, EmitPrecision};
 pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
+pub use fuzzer::{
+    check_source, parse_corpus_header, run_fuzz, CheckOpts, CheckReport, FuzzOpts, FuzzSummary,
+};
+pub use oracle::{eval_exact, EvalLimits, OracleError};
 pub use profile::{profile, ErrorSource, ProfileReport};
 pub use program::{compile_program, Program};
 

@@ -1,0 +1,331 @@
+//! Exact rational interpretation of compiled bytecode — the ground truth
+//! for differential soundness testing.
+//!
+//! [`eval_exact`] runs a [`Program`] over [`safegen_rational::Rational`]
+//! values with **no rounding anywhere**: every finite `f64` input and
+//! constant is a dyadic rational, `+ − × ÷`, negation, `fabs`,
+//! `fmin`/`fmax`, comparisons, and integer control flow are all exact, so
+//! the returned value is the true real-arithmetic result of the program
+//! at the given input point. A sound domain run on the same point must
+//! produce a range that encloses it — that is the whole-pipeline check
+//! `safegen fuzz` and the soundness property tests build on.
+//!
+//! ## What the oracle refuses to decide
+//!
+//! The oracle only answers when it can answer *exactly*; everything else
+//! is a typed [`OracleError`] that callers treat as "skip the exact check
+//! for this program", never as a pass or a failure:
+//!
+//! * [`Unsupported`](OracleError::Unsupported) — `sqrt` (irrational in
+//!   general), float→int truncation (needs bigint division), array state,
+//!   and non-finite inputs/constants.
+//! * [`DivByZero`](OracleError::DivByZero) — the *exact* divisor is zero.
+//!   (A float run may divide by a tiny-but-nonzero value; the exact one
+//!   is what matters here.)
+//! * [`TooBig`](OracleError::TooBig) — a value's numerator or denominator
+//!   outgrew [`EvalLimits::max_bits`]. Division-heavy chains can make
+//!   exact representations grow multiplicatively; the cap keeps the fuzz
+//!   loop's worst case bounded and deterministic.
+//! * [`Fuel`](OracleError::Fuel) — instruction budget exhausted (runaway
+//!   loop guard; generated programs never get close).
+
+use crate::program::{Instr, ParamBinding, Program};
+use crate::ArgValue;
+use safegen_rational::Rational;
+
+/// Reasons the oracle declines to produce an exact result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OracleError {
+    /// A construct with no exact rational semantics (or unimplemented
+    /// state, like arrays). The payload names it for telemetry.
+    Unsupported(&'static str),
+    /// Exact division by exactly zero (float or integer).
+    DivByZero,
+    /// A value's representation exceeded the size cap.
+    TooBig,
+    /// Instruction budget exhausted.
+    Fuel,
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Unsupported(what) => write!(f, "not exactly representable: {what}"),
+            OracleError::DivByZero => write!(f, "exact division by zero"),
+            OracleError::TooBig => write!(f, "exact representation exceeded size cap"),
+            OracleError::Fuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+/// Resource limits for an exact evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalLimits {
+    /// Max bits of any value's numerator or denominator.
+    pub max_bits: usize,
+    /// Max executed instructions.
+    pub fuel: u64,
+}
+
+impl Default for EvalLimits {
+    fn default() -> EvalLimits {
+        EvalLimits {
+            max_bits: 1 << 14,
+            fuel: 100_000,
+        }
+    }
+}
+
+/// Evaluates `prog` exactly at the given point inputs.
+///
+/// Returns the exact return value, or `None` for a void function.
+///
+/// # Errors
+///
+/// See [`OracleError`]; all variants mean "no exact answer", not "the
+/// program is wrong".
+pub fn eval_exact(
+    prog: &Program,
+    args: &[ArgValue],
+    limits: &EvalLimits,
+) -> Result<Option<Rational>, OracleError> {
+    let mut fregs = vec![Rational::zero(); prog.n_fregs];
+    let mut iregs = vec![0i64; prog.n_iregs];
+
+    if args.len() != prog.params.len() {
+        return Err(OracleError::Unsupported("argument arity mismatch"));
+    }
+    for ((_, binding), arg) in prog.params.iter().zip(args) {
+        match (binding, arg) {
+            (ParamBinding::Float(r), ArgValue::Float(x)) => {
+                fregs[*r as usize] =
+                    Rational::from_f64(*x).ok_or(OracleError::Unsupported("non-finite input"))?;
+            }
+            (ParamBinding::Int(r), ArgValue::Int(n)) => iregs[*r as usize] = *n,
+            (ParamBinding::Array(_), _) => {
+                return Err(OracleError::Unsupported("array parameters"))
+            }
+            _ => return Err(OracleError::Unsupported("argument kind mismatch")),
+        }
+    }
+
+    let grow_check = |v: &Rational| -> Result<Rational, OracleError> {
+        if v.bits() > limits.max_bits {
+            Err(OracleError::TooBig)
+        } else {
+            Ok(v.clone())
+        }
+    };
+    let constant = |c: f64| -> Result<Rational, OracleError> {
+        Rational::from_f64(c).ok_or(OracleError::Unsupported("non-finite constant"))
+    };
+
+    let mut pc = 0usize;
+    let mut fuel = limits.fuel;
+    while pc < prog.code.len() {
+        if fuel == 0 {
+            return Err(OracleError::Fuel);
+        }
+        fuel -= 1;
+        let next = pc + 1;
+        match &prog.code[pc] {
+            Instr::Add(d, a, b) => {
+                let v = fregs[*a as usize].add(&fregs[*b as usize]);
+                fregs[*d as usize] = grow_check(&v)?;
+            }
+            Instr::Sub(d, a, b) => {
+                let v = fregs[*a as usize].sub(&fregs[*b as usize]);
+                fregs[*d as usize] = grow_check(&v)?;
+            }
+            Instr::Mul(d, a, b) => {
+                let v = fregs[*a as usize].mul(&fregs[*b as usize]);
+                fregs[*d as usize] = grow_check(&v)?;
+            }
+            Instr::Div(d, a, b) => {
+                let q = fregs[*a as usize]
+                    .div(&fregs[*b as usize])
+                    .ok_or(OracleError::DivByZero)?;
+                fregs[*d as usize] = grow_check(&q)?;
+            }
+            Instr::Sqrt(..) => return Err(OracleError::Unsupported("sqrt")),
+            Instr::Abs(d, a) => fregs[*d as usize] = fregs[*a as usize].abs(),
+            Instr::Neg(d, a) => fregs[*d as usize] = fregs[*a as usize].neg(),
+            Instr::Min(d, a, b) => {
+                fregs[*d as usize] = fregs[*a as usize].min_val(&fregs[*b as usize]);
+            }
+            Instr::Max(d, a, b) => {
+                fregs[*d as usize] = fregs[*a as usize].max_val(&fregs[*b as usize]);
+            }
+            Instr::ConstF(d, c) => fregs[*d as usize] = constant(*c)?,
+            Instr::MovF(d, s) => fregs[*d as usize] = fregs[*s as usize].clone(),
+            Instr::CastIF(d, s) => fregs[*d as usize] = Rational::from_i64(iregs[*s as usize]),
+            Instr::LoadArr(..) | Instr::StoreArr(..) => {
+                return Err(OracleError::Unsupported("array state"))
+            }
+            Instr::ConstI(d, c) => iregs[*d as usize] = *c,
+            Instr::AddI(d, a, b) => {
+                iregs[*d as usize] = iregs[*a as usize]
+                    .checked_add(iregs[*b as usize])
+                    .ok_or(OracleError::Unsupported("int overflow"))?;
+            }
+            Instr::SubI(d, a, b) => {
+                iregs[*d as usize] = iregs[*a as usize]
+                    .checked_sub(iregs[*b as usize])
+                    .ok_or(OracleError::Unsupported("int overflow"))?;
+            }
+            Instr::MulI(d, a, b) => {
+                iregs[*d as usize] = iregs[*a as usize]
+                    .checked_mul(iregs[*b as usize])
+                    .ok_or(OracleError::Unsupported("int overflow"))?;
+            }
+            Instr::DivI(d, a, b) => {
+                iregs[*d as usize] = iregs[*a as usize]
+                    .checked_div(iregs[*b as usize])
+                    .ok_or(OracleError::DivByZero)?;
+            }
+            Instr::MovI(d, s) => iregs[*d as usize] = iregs[*s as usize],
+            Instr::CastFI(..) => {
+                // Exact truncation toward zero needs bigint division,
+                // which the kernel deliberately does not have.
+                return Err(OracleError::Unsupported("float→int truncation"));
+            }
+            Instr::CmpI(op, d, a, b) => {
+                iregs[*d as usize] = op.eval(iregs[*a as usize], iregs[*b as usize]) as i64;
+            }
+            Instr::CmpF(op, d, a, b) => {
+                // Branch decisions are exact here — there is no "undecided"
+                // case for point values.
+                iregs[*d as usize] = op.eval(&fregs[*a as usize], &fregs[*b as usize]) as i64;
+            }
+            Instr::Jump(t) => {
+                pc = *t;
+                continue;
+            }
+            Instr::JumpIfZero(c, t) => {
+                if iregs[*c as usize] == 0 {
+                    pc = *t;
+                    continue;
+                }
+            }
+            Instr::Protect(_) | Instr::SetCapacity(_) => {}
+            Instr::Ret(r) => return Ok(r.map(|r| fregs[r as usize].clone())),
+        }
+        pc = next;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+
+    fn exact(src: &str, func: &str, inputs: &[f64]) -> Result<Option<Rational>, OracleError> {
+        let compiled = Compiler::new().compile(src).unwrap();
+        let args: Vec<ArgValue> = inputs.iter().map(|&x| ArgValue::Float(x)).collect();
+        eval_exact(compiled.program(func), &args, &EvalLimits::default())
+    }
+
+    #[test]
+    fn straight_line_matches_hand_computation() {
+        // 0.1 + 0.2 exactly, with f64-rounded literals: the result is NOT
+        // the f64 0.3 but sits within one ulp of 0.30000000000000004.
+        let r = exact("double f(double x) { return x + 0.2; }", "f", &[0.1])
+            .unwrap()
+            .unwrap();
+        let fp: f64 = 0.1 + 0.2;
+        assert_ne!(r.cmp_f64(0.3), Some(std::cmp::Ordering::Equal));
+        assert!(r.in_range(fp.next_down(), fp.next_up()));
+    }
+
+    #[test]
+    fn division_is_exact_and_zero_guarded() {
+        let r = exact("double f(double x) { return 1.0 / x; }", "f", &[4.0])
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.cmp_f64(0.25), Some(std::cmp::Ordering::Equal));
+        assert_eq!(
+            exact("double f(double x) { return 1.0 / x; }", "f", &[0.0]),
+            Err(OracleError::DivByZero)
+        );
+    }
+
+    #[test]
+    fn branches_decided_exactly() {
+        let src =
+            "double f(double x) { if (x < 0.5) { return x + 1.0; } else { return x - 1.0; } }";
+        let lo = exact(src, "f", &[0.25]).unwrap().unwrap();
+        assert_eq!(lo.cmp_f64(1.25), Some(std::cmp::Ordering::Equal));
+        let hi = exact(src, "f", &[0.75]).unwrap().unwrap();
+        assert_eq!(hi.cmp_f64(-0.25), Some(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn loop_accumulation_is_exact() {
+        let src = "double f(double x) {\n\
+                   double s = 0.0;\n\
+                   for (int i = 0; i < 10; i++) { s = s + x; }\n\
+                   return s; }";
+        // 10 × 0.1 exactly is 10 × (0.1's rounded value), not 1.0.
+        let r = exact(src, "f", &[0.1]).unwrap().unwrap();
+        assert_ne!(r.cmp_f64(1.0), Some(std::cmp::Ordering::Equal));
+        let ten_x = Rational::from_f64(0.1)
+            .unwrap()
+            .mul(&Rational::from_i64(10));
+        assert_eq!(r, ten_x);
+    }
+
+    #[test]
+    fn min_max_abs_neg_are_exact() {
+        let src = "double f(double x, double y) { return fmax(fabs(-x), fmin(x, y)); }";
+        let r = exact(src, "f", &[-1.5, 2.0]).unwrap().unwrap();
+        assert_eq!(r.cmp_f64(1.5), Some(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn sqrt_and_nonfinite_inputs_are_refused() {
+        assert_eq!(
+            exact("double f(double x) { return sqrt(x); }", "f", &[2.0]),
+            Err(OracleError::Unsupported("sqrt"))
+        );
+        assert_eq!(
+            exact("double f(double x) { return x; }", "f", &[f64::NAN]),
+            Err(OracleError::Unsupported("non-finite input"))
+        );
+    }
+
+    #[test]
+    fn growth_cap_triggers_deterministically() {
+        // Repeated division by 3 makes the denominator pick up odd factors
+        // the power-of-two normalization cannot strip.
+        let src = "double f(double x) {\n\
+                   double d = 3.0;\n\
+                   for (int i = 0; i < 40000; i++) { x = x / d; }\n\
+                   return x; }";
+        let err = exact(src, "f", &[1.0]).unwrap_err();
+        assert!(
+            matches!(err, OracleError::TooBig | OracleError::Fuel),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fuel_guard_stops_runaway_loops() {
+        let src = "double f(double x) { while (x < 1.0) { x = x * 1.0; } return x; }";
+        assert_eq!(exact(src, "f", &[0.5]), Err(OracleError::Fuel));
+    }
+
+    #[test]
+    fn int_arithmetic_and_promotion() {
+        let src = "double f(double x, int n) { return x * (n + 2); }";
+        let compiled = Compiler::new().compile(src).unwrap();
+        let r = eval_exact(
+            compiled.program("f"),
+            &[ArgValue::Float(0.5), ArgValue::Int(6)],
+            &EvalLimits::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.cmp_f64(4.0), Some(std::cmp::Ordering::Equal));
+    }
+}

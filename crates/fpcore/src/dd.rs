@@ -31,6 +31,17 @@ pub const DD_DIV_REL: f64 = 16.0 * (f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
 /// Relative error bound of double-double square root (8u²).
 pub const DD_SQRT_REL: f64 = 8.0 * (f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
 
+/// Below this magnitude (`2^-900`) the multiplicative EFTs inside the dd
+/// division and square-root refinements can underflow; such operands are
+/// rescaled by exact powers of two first. (Bit pattern: biased exponent
+/// 123, zero mantissa.)
+const DEEP_GUARD: f64 = f64::from_bits(0x07B0_0000_0000_0000);
+
+/// Above this magnitude (`2^900`) the refinement products inside dd
+/// division and square root can overflow even when the true result is
+/// finite (e.g. `MAX / 3`); such operands are rescaled down first.
+const BIG_GUARD: f64 = f64::from_bits(0x7830_0000_0000_0000);
+
 /// A double-double value: the unevaluated, non-overlapping sum `hi + lo`.
 ///
 /// ```
@@ -150,6 +161,17 @@ impl Dd {
         }
         if self.hi == 0.0 {
             return Dd::ZERO;
+        }
+        if self.hi < DEEP_GUARD {
+            // Deep-subnormal radicands make the Karp–Markstein residual
+            // underflow (its TwoProd is no longer exact). Rescale by an
+            // even power of two — exact in both directions here.
+            return self.scale_pow2(600).sqrt().scale_pow2(-300);
+        }
+        if self.hi > BIG_GUARD {
+            // Near-overflow radicands make the residual's square
+            // overflow. Same rescaling, downward.
+            return self.scale_pow2(-600).sqrt().scale_pow2(300);
         }
         let x = 1.0 / self.hi.sqrt();
         let ax = self.hi * x;
@@ -276,15 +298,26 @@ impl Neg for Dd {
 
 impl Add for Dd {
     type Output = Dd;
-    /// Accurate double-double addition (Knuth-style, 20 flops).
+    /// Accurate double-double addition (Knuth-style).
+    ///
+    /// The renormalization steps use full TwoSum rather than FastTwoSum:
+    /// when the high words cancel, the combined low-word term can exceed
+    /// the cancelled high sum, violating FastTwoSum's `|a| ≥ |b|`
+    /// precondition (caught by differential testing against the exact
+    /// rational oracle with subnormal operands).
     #[inline]
     fn add(self, rhs: Dd) -> Dd {
         let (sh, se) = two_sum(self.hi, rhs.hi);
+        if !sh.is_finite() {
+            // Overflow (or NaN operand): propagate the IEEE result
+            // instead of letting the error terms turn it into NaN.
+            return Dd { hi: sh, lo: 0.0 };
+        }
         let (th, te) = two_sum(self.lo, rhs.lo);
         let c = se + th;
-        let (vh, ve) = quick_two_sum(sh, c);
+        let (vh, ve) = two_sum(sh, c);
         let w = te + ve;
-        let (hi, lo) = quick_two_sum(vh, w);
+        let (hi, lo) = two_sum(vh, w);
         Dd { hi, lo }
     }
 }
@@ -303,6 +336,10 @@ impl Mul for Dd {
     #[inline]
     fn mul(self, rhs: Dd) -> Dd {
         let (ph, pe) = two_prod(self.hi, rhs.hi);
+        if !ph.is_finite() {
+            // Overflow (or NaN operand): see `Add`.
+            return Dd { hi: ph, lo: 0.0 };
+        }
         let t = self.hi.mul_add(rhs.lo, self.lo * rhs.hi);
         let e = pe + t;
         let (hi, lo) = quick_two_sum(ph, e);
@@ -318,6 +355,28 @@ impl Div for Dd {
         let q1 = self.hi / rhs.hi;
         if !q1.is_finite() {
             return Dd { hi: q1, lo: 0.0 };
+        }
+        // Operands outside (2^-900, 2^900) break the refinement steps:
+        // deep-subnormal ones make its TwoProd inexact (quotients were
+        // observed u-accurate instead of u²-accurate against the exact
+        // rational oracle), near-overflow ones make `q1·rhs` overflow
+        // into NaN (e.g. MAX / 3). Rescale each such operand by an exact
+        // power of two; only the final rescale of the quotient can
+        // round, and only when the true quotient is itself subnormal.
+        let scale_of = |h: f64| -> i32 {
+            let m = h.abs();
+            if m != 0.0 && m < DEEP_GUARD {
+                600
+            } else if m > BIG_GUARD {
+                -600
+            } else {
+                0
+            }
+        };
+        let (sa, sb) = (scale_of(self.hi), scale_of(rhs.hi));
+        if sa != 0 || sb != 0 {
+            let q = self.scale_pow2(sa) / rhs.scale_pow2(sb);
+            return q.scale_pow2(sb - sa);
         }
         let r = self - rhs * Dd::from(q1);
         let q2 = r.hi / rhs.hi;

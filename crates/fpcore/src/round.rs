@@ -155,8 +155,13 @@ pub fn div_ru(a: f64, b: f64) -> f64 {
         // Rounding up maps -0 to -0 which compares equal to 0; fine.
         return q;
     }
-    if q.abs() < EFT_GUARD {
-        // Residual exactness not guaranteed; bump unconditionally.
+    if q.abs() < EFT_GUARD || a.abs() < EFT_GUARD {
+        // Residual exactness not guaranteed; bump unconditionally. The
+        // dividend guard matters too: the residual a − q·b has the
+        // granularity of the product q·b ≈ a, so a deep-subnormal
+        // dividend can flush a nonzero residual to zero even when the
+        // quotient itself is comfortably normal (found by the exact
+        // rational oracle at div(5e-324, 1.2e-310)).
         return bump_up(q);
     }
     let r = div_residual(a, b, q);
@@ -185,6 +190,13 @@ pub fn sqrt_ru(a: f64) -> f64 {
     if s.is_nan() || s.is_infinite() || a == 0.0 {
         return s;
     }
+    if a < EFT_GUARD {
+        // The exact residual a − s² scales like a·2⁻⁵³ and its granularity
+        // like ulp(s)²: below the guard the FMA can flush a nonzero
+        // residual to zero, silently skipping the bump (an *unsoundness*,
+        // not just slack). One unconditional ulp is always a sound bound.
+        return bump_up(s);
+    }
     let r = sqrt_residual(a, s);
     if r > 0.0 {
         bump_up(s)
@@ -199,6 +211,10 @@ pub fn sqrt_rd(a: f64) -> f64 {
     let s = a.sqrt();
     if s.is_nan() || s.is_infinite() || a == 0.0 {
         return s;
+    }
+    if a < EFT_GUARD {
+        // See sqrt_ru: the residual's sign is unusable this deep.
+        return bump_down(s).max(0.0);
     }
     let r = sqrt_residual(a, s);
     if r < 0.0 {

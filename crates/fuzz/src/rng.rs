@@ -1,0 +1,120 @@
+//! A tiny, fully deterministic PRNG for the fuzzer.
+//!
+//! splitmix64 seeds a xoshiro256++-style state; we only need statistical
+//! spread and byte-for-byte reproducibility across platforms, not
+//! cryptographic quality. Keeping it local (rather than depending on the
+//! vendored `rand` shim) lets `safegen-fuzz` stay a leaf crate whose
+//! output is a pure function of the seed forever — corpus files and CI
+//! seeds must never shift because a shared dependency changed.
+
+/// Deterministic fuzzer RNG. Same seed ⇒ same stream, on every platform.
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FuzzRng {
+    /// Expands a 64-bit seed into the full state via splitmix64 (the
+    /// construction recommended by the xoshiro authors).
+    pub fn new(seed: u64) -> FuzzRng {
+        let mut sm = seed;
+        FuzzRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)`. `n` must be nonzero. Uses the widening
+    /// multiply trick; the tiny modulo bias is irrelevant for fuzzing.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform in the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform float in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = FuzzRng::new(0xC60);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = FuzzRng::new(0xC60);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = FuzzRng::new(0xC61);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = FuzzRng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below(5);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut r = FuzzRng::new(42);
+        for _ in 0..100 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

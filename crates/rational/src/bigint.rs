@@ -1,0 +1,404 @@
+//! Arbitrary-precision integers: the minimum the exact-rational oracle
+//! needs, and nothing more.
+//!
+//! [`BigUint`] stores little-endian 64-bit limbs with no trailing zero
+//! limbs (so the empty vector is zero and representations are unique).
+//! The operation set is deliberately division-free — rational comparison
+//! is done by cross-multiplication, and common powers of two are stripped
+//! with shifts — which keeps every operation simple, allocation-bounded,
+//! and easy to audit. Schoolbook multiplication is ample at oracle sizes
+//! (a few thousand bits; callers cap growth, see
+//! [`crate::Rational::bits`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An unsigned arbitrary-precision integer.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, most significant limb nonzero (empty = 0).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub const fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a single limb.
+    pub fn from_u64(x: u64) -> BigUint {
+        if x == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![x] }
+        }
+    }
+
+    fn from_limbs(mut limbs: Vec<u64>) -> BigUint {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Number of trailing zero bits (0 for zero, by convention).
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return 64 * i + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Magnitude comparison.
+    pub fn cmp_mag(&self, other: &BigUint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (the oracle always subtracts the smaller
+    /// magnitude; signs are handled one level up).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_mag(other) != Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// `self × other` (schoolbook with 128-bit accumulation).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self << n`.
+    pub fn shl(&self, n: usize) -> BigUint {
+        if self.is_zero() || n == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self >> n` (truncating).
+    pub fn shr(&self, n: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (n / 64, n % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    l |= next << (64 - bit_shift);
+                }
+            }
+            out.push(l);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// The leading (up to 64) significant bits as a limb plus the power
+    /// of two they sit at: `self ≈ mantissa × 2^exp`, exact when
+    /// `bits() ≤ 64` and truncated otherwise. Zero returns `(0, 0)`.
+    pub fn leading_u64(&self) -> (u64, i64) {
+        let bits = self.bits();
+        if bits <= 64 {
+            (self.limbs.first().copied().unwrap_or(0), 0)
+        } else {
+            let shift = bits - 64;
+            (self.shr(shift).limbs[0], shift as i64)
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Hex rendering: exact, cheap, and division-free.
+        if self.is_zero() {
+            return write!(f, "0x0");
+        }
+        write!(f, "0x{:x}", self.limbs.last().unwrap())?;
+        for l in self.limbs.iter().rev().skip(1) {
+            write!(f, "{l:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A signed arbitrary-precision integer (sign–magnitude; zero is never
+/// negative).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BigInt {
+    /// True iff the value is strictly negative.
+    neg: bool,
+    /// Magnitude.
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub const fn zero() -> BigInt {
+        BigInt {
+            neg: false,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// From sign and magnitude (normalizes `-0`).
+    pub fn new(neg: bool, mag: BigUint) -> BigInt {
+        BigInt {
+            neg: neg && !mag.is_zero(),
+            mag,
+        }
+    }
+
+    /// From a machine integer.
+    pub fn from_i64(x: i64) -> BigInt {
+        BigInt::new(x < 0, BigUint::from_u64(x.unsigned_abs()))
+    }
+
+    /// Magnitude.
+    pub fn mag(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        BigInt::new(!self.neg, self.mag.clone())
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        if self.neg == other.neg {
+            return BigInt::new(self.neg, self.mag.add(&other.mag));
+        }
+        match self.mag.cmp_mag(&other.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::new(self.neg, self.mag.sub(&other.mag)),
+            Ordering::Less => BigInt::new(other.neg, other.mag.sub(&self.mag)),
+        }
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// `self × other`.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        BigInt::new(self.neg != other.neg, self.mag.mul(&other.mag))
+    }
+
+    /// `self × other` for an unsigned right factor.
+    pub fn mul_mag(&self, other: &BigUint) -> BigInt {
+        BigInt::new(self.neg, self.mag.mul(other))
+    }
+
+    /// Signed comparison.
+    pub fn cmp_signed(&self, other: &BigInt) -> Ordering {
+        match (self.neg, other.neg) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.mag.cmp_mag(&other.mag),
+            (true, true) => other.mag.cmp_mag(&self.mag),
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.neg {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(x: u64) -> BigUint {
+        BigUint::from_u64(x)
+    }
+
+    #[test]
+    fn add_sub_carry_chains() {
+        let a = big(u64::MAX);
+        let two = a.add(&big(1)); // 2^64
+        assert_eq!(two.bits(), 65);
+        assert_eq!(two.sub(&big(1)), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = big(u64::MAX);
+        let sq = a.mul(&a); // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expect = BigUint::one()
+            .shl(128)
+            .sub(&BigUint::one().shl(65))
+            .add(&BigUint::one());
+        assert_eq!(sq, expect);
+        assert_eq!(sq.bits(), 128);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big(0xDEAD_BEEF_0123_4567);
+        for n in [0, 1, 13, 64, 65, 130] {
+            assert_eq!(a.shl(n).shr(n), a, "shift {n}");
+        }
+        assert_eq!(a.shl(7).trailing_zeros(), a.trailing_zeros() + 7);
+    }
+
+    #[test]
+    fn comparison_orders_by_magnitude() {
+        assert_eq!(big(5).cmp_mag(&big(5)), Ordering::Equal);
+        assert_eq!(big(4).cmp_mag(&big(5)), Ordering::Less);
+        assert_eq!(big(1).shl(64).cmp_mag(&big(u64::MAX)), Ordering::Greater);
+    }
+
+    #[test]
+    fn signed_arithmetic() {
+        let a = BigInt::from_i64(-7);
+        let b = BigInt::from_i64(3);
+        assert_eq!(a.add(&b), BigInt::from_i64(-4));
+        assert_eq!(a.sub(&b), BigInt::from_i64(-10));
+        assert_eq!(a.mul(&b), BigInt::from_i64(-21));
+        assert_eq!(a.mul(&a), BigInt::from_i64(49));
+        assert_eq!(a.cmp_signed(&b), Ordering::Less);
+        assert_eq!(
+            BigInt::from_i64(i64::MIN).neg().cmp_signed(&BigInt::zero()),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let z = BigInt::new(true, BigUint::zero());
+        assert!(!z.is_negative());
+        assert_eq!(z, BigInt::zero());
+    }
+
+    #[test]
+    fn leading_u64_small_and_large() {
+        let (m, e) = big(1).leading_u64();
+        assert_eq!((m, e), (1, 0));
+        let big_val = big(0b1011).shl(100);
+        let (m, e) = big_val.leading_u64();
+        // Value = 0b1011 × 2^100; mantissa must reproduce it at exponent e.
+        assert_eq!(BigUint::from_u64(m).shl(e as usize), big_val);
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(format!("{}", BigUint::zero()), "0x0");
+        assert_eq!(format!("{}", big(255)), "0xff");
+        assert_eq!(format!("{}", BigUint::one().shl(64)), "0x10000000000000000");
+    }
+}

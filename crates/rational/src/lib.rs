@@ -1,0 +1,477 @@
+//! # safegen-rational
+//!
+//! Exact rational arithmetic over arbitrary-precision integers — the
+//! ground-truth **oracle** behind SafeGen-rs differential soundness
+//! testing (`safegen fuzz`, `tests/soundness_props.rs`, and the fpcore
+//! primitive property tests).
+//!
+//! Every finite `f64` is a dyadic rational, so any program built from
+//! `+ − × ÷`, negation, `fabs`, `fmin`/`fmax`, comparisons, and exact
+//! integer control flow has an *exactly representable* real-arithmetic
+//! result. [`Rational`] computes it with no rounding whatsoever; the
+//! sound enclosures the compiler emits can then be checked against the
+//! true value instead of against another floating-point approximation.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Exactness** — there is no operation in this crate that rounds.
+//! 2. **Auditability** — the integer kernel ([`bigint`]) is
+//!    division-free: comparisons cross-multiply and normalization only
+//!    strips common powers of two, so every code path is shifts, adds,
+//!    and schoolbook multiplication.
+//! 3. **Bounded growth** — representations are *not* reduced to lowest
+//!    terms (that would need gcd/division); callers watch [`Rational::bits`]
+//!    and abandon a computation that grows past their budget, which is the
+//!    honest behaviour for an oracle: report "too expensive to decide
+//!    exactly" rather than approximate.
+//!
+//! ```
+//! use safegen_rational::Rational;
+//! let tenth = Rational::from_f64(0.1).unwrap(); // the *rounded* 0.1
+//! let sum = tenth.add(&tenth).add(&tenth);
+//! // 0.1 + 0.1 + 0.1 in f64 is famously not 0.3 — the oracle agrees:
+//! assert!(sum != Rational::from_f64(0.3).unwrap());
+//! // but the exact sum is enclosed by one ulp around the f64 result:
+//! let approx: f64 = 0.1 + 0.1 + 0.1;
+//! assert!(sum.in_range(approx.next_down(), approx.next_up()));
+//! ```
+
+pub mod bigint;
+
+pub use bigint::{BigInt, BigUint};
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num / den` with `den > 0`.
+///
+/// Not necessarily in lowest terms (see the crate docs); equality and
+/// ordering are value-based (cross-multiplied), so representation never
+/// leaks.
+#[derive(Clone, Debug)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Rational {
+    /// Zero.
+    pub fn zero() -> Rational {
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Rational {
+        Rational::from_i64(1)
+    }
+
+    /// From a machine integer (exact).
+    pub fn from_i64(x: i64) -> Rational {
+        Rational {
+            num: BigInt::from_i64(x),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The exact value of a finite `f64`; `None` for NaN and ±∞.
+    ///
+    /// Decodes the IEEE-754 representation directly: every finite double
+    /// is `±m × 2^p` with integers `m < 2^53` and `−1074 ≤ p ≤ 971`.
+    pub fn from_f64(x: f64) -> Option<Rational> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mantissa, pow2) = if biased == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        let m = BigUint::from_u64(mantissa);
+        let r = if pow2 >= 0 {
+            Rational {
+                num: BigInt::new(neg, m.shl(pow2 as usize)),
+                den: BigUint::one(),
+            }
+        } else {
+            Rational {
+                num: BigInt::new(neg, m),
+                den: BigUint::one().shl((-pow2) as usize),
+            }
+        };
+        Some(r.normalized())
+    }
+
+    /// Strips the common power of two from numerator and denominator
+    /// (full gcd reduction would need division; powers of two cover the
+    /// dyadic chains that dominate oracle workloads).
+    fn normalized(self) -> Rational {
+        if self.num.is_zero() {
+            return Rational::zero();
+        }
+        let t = self
+            .num
+            .mag()
+            .trailing_zeros()
+            .min(self.den.trailing_zeros());
+        if t == 0 {
+            return self;
+        }
+        Rational {
+            num: BigInt::new(self.num.is_negative(), self.num.mag().shr(t)),
+            den: self.den.shr(t),
+        }
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Representation size: max significant bits of numerator and
+    /// denominator. The growth guard for oracle callers.
+    pub fn bits(&self) -> usize {
+        self.num.mag().bits().max(self.den.bits())
+    }
+
+    /// `−self`.
+    pub fn neg(&self) -> Rational {
+        Rational {
+            num: self.num.neg(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// `|self|`.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: BigInt::new(false, self.num.mag().clone()),
+            den: self.den.clone(),
+        }
+    }
+
+    /// `self + other` (exact).
+    pub fn add(&self, other: &Rational) -> Rational {
+        let num = self
+            .num
+            .mul_mag(&other.den)
+            .add(&other.num.mul_mag(&self.den));
+        let den = self.den.mul(&other.den);
+        Rational { num, den }.normalized()
+    }
+
+    /// `self − other` (exact).
+    pub fn sub(&self, other: &Rational) -> Rational {
+        self.add(&other.neg())
+    }
+
+    /// `self × other` (exact).
+    pub fn mul(&self, other: &Rational) -> Rational {
+        Rational {
+            num: self.num.mul(&other.num),
+            den: self.den.mul(&other.den),
+        }
+        .normalized()
+    }
+
+    /// `self ÷ other` (exact); `None` when `other` is zero.
+    pub fn div(&self, other: &Rational) -> Option<Rational> {
+        if other.is_zero() {
+            return None;
+        }
+        let num = self.num.mul_mag(&other.den);
+        let den = self.den.mul(other.num.mag());
+        let r = Rational {
+            num: BigInt::new(
+                num.is_negative() != other.num.is_negative(),
+                num.mag().clone(),
+            ),
+            den,
+        };
+        Some(r.normalized())
+    }
+
+    /// `self²` (exact).
+    pub fn square(&self) -> Rational {
+        self.mul(self)
+    }
+
+    /// Value comparison by cross-multiplication (exact, division-free).
+    pub fn cmp_val(&self, other: &Rational) -> Ordering {
+        self.num
+            .mul_mag(&other.den)
+            .cmp_signed(&other.num.mul_mag(&self.den))
+    }
+
+    /// Comparison against an `f64`. ±∞ compare as beyond every rational;
+    /// NaN returns `None`.
+    pub fn cmp_f64(&self, x: f64) -> Option<Ordering> {
+        if x.is_nan() {
+            return None;
+        }
+        if x == f64::INFINITY {
+            return Some(Ordering::Less);
+        }
+        if x == f64::NEG_INFINITY {
+            return Some(Ordering::Greater);
+        }
+        Some(self.cmp_val(&Rational::from_f64(x).expect("finite")))
+    }
+
+    /// `lo ≤ self ≤ hi` with IEEE interval-endpoint conventions: infinite
+    /// endpoints are unbounded sides, any NaN endpoint fails containment.
+    pub fn in_range(&self, lo: f64, hi: f64) -> bool {
+        let Some(lo_ord) = self.cmp_f64(lo) else {
+            return false;
+        };
+        let Some(hi_ord) = self.cmp_f64(hi) else {
+            return false;
+        };
+        lo_ord != Ordering::Less && hi_ord != Ordering::Greater
+    }
+
+    /// The smaller of two rationals (by value).
+    pub fn min_val(&self, other: &Rational) -> Rational {
+        if self.cmp_val(other) == Ordering::Greater {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// The larger of two rationals (by value).
+    pub fn max_val(&self, other: &Rational) -> Rational {
+        if self.cmp_val(other) == Ordering::Less {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// A close `f64` approximation (for *reporting only* — accurate to a
+    /// couple of ulps, computed from the leading 64 bits of numerator and
+    /// denominator; never used in soundness decisions).
+    pub fn to_f64_approx(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let (nm, ne) = self.num.mag().leading_u64();
+        let (dm, de) = self.den.leading_u64();
+        let q = (nm as f64 / dm as f64) * pow2_f64(ne - de);
+        if self.num.is_negative() {
+            -q
+        } else {
+            q
+        }
+    }
+}
+
+/// `2^e` in f64, saturating to 0 / ∞ outside the exponent range.
+fn pow2_f64(e: i64) -> f64 {
+    if e < -1100 {
+        0.0
+    } else if e > 1100 {
+        f64::INFINITY
+    } else {
+        let mut r = 1.0f64;
+        let (mut left, step) = if e >= 0 { (e, 2.0) } else { (-e, 0.5) };
+        let mut base: f64 = step;
+        // Exponentiation by squaring on the f64 exponent (exact while in
+        // range; the saturation above keeps intermediate values finite).
+        while left > 0 {
+            if left & 1 == 1 {
+                r *= base;
+            }
+            base *= base;
+            left >>= 1;
+        }
+        r
+    }
+}
+
+impl PartialEq for Rational {
+    fn eq(&self, other: &Rational) -> bool {
+        self.cmp_val(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Rational {}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        self.cmp_val(other)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} (≈{:e})", self.num, self.den, self.to_f64_approx())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: f64) -> Rational {
+        Rational::from_f64(x).unwrap()
+    }
+
+    #[test]
+    fn f64_round_trip_classes() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            0.5,
+            1.5,
+            f64::MIN_POSITIVE,                // smallest normal
+            f64::MIN_POSITIVE * f64::EPSILON, // smallest subnormal
+            f64::MAX,
+            -f64::MAX,
+            1.0 + f64::EPSILON,
+        ] {
+            let v = r(x);
+            assert_eq!(v.cmp_f64(x), Some(Ordering::Equal), "{x}");
+            let approx = v.to_f64_approx();
+            assert!(
+                (approx - x).abs() <= x.abs() * 1e-15,
+                "{x} approximated as {approx}"
+            );
+        }
+        assert!(Rational::from_f64(f64::NAN).is_none());
+        assert!(Rational::from_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn exact_field_identities() {
+        let a = r(0.1);
+        let b = r(0.3);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.mul(&b).div(&b).unwrap(), a);
+        assert_eq!(a.sub(&a), Rational::zero());
+        assert_eq!(a.neg().abs(), a);
+        assert_eq!(a.div(&a).unwrap(), Rational::one());
+        assert!(r(0.5).div(&Rational::zero()).is_none());
+    }
+
+    #[test]
+    fn point_one_times_three_is_not_point_three() {
+        // The classic: (f64 0.1) × 3 ≠ (f64 0.3) exactly, and the oracle
+        // resolves the inequality in the right direction.
+        let sum = r(0.1).add(&r(0.1)).add(&r(0.1));
+        assert!(sum > r(0.3));
+        assert!(sum < r(0.3f64.next_up()));
+    }
+
+    #[test]
+    fn in_range_endpoint_conventions() {
+        let v = r(1.5);
+        assert!(v.in_range(1.5, 1.5));
+        assert!(v.in_range(f64::NEG_INFINITY, f64::INFINITY));
+        assert!(v.in_range(1.0, 2.0));
+        assert!(!v.in_range(1.6, 2.0));
+        assert!(!v.in_range(1.0, 1.4));
+        assert!(!v.in_range(f64::NAN, 2.0));
+        assert!(!v.in_range(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn ordering_spans_signs_and_magnitudes() {
+        let mut xs = vec![
+            r(-2.5),
+            r(-0.1),
+            Rational::zero(),
+            r(1e-300),
+            r(0.1),
+            r(3.0),
+        ];
+        let sorted = xs.clone();
+        xs.reverse();
+        xs.sort();
+        assert_eq!(xs, sorted);
+    }
+
+    #[test]
+    fn subnormal_and_huge_arithmetic_stays_exact() {
+        let tiny = r(f64::MIN_POSITIVE * f64::EPSILON);
+        let half = tiny.div(&r(2.0)).unwrap();
+        assert!(half > Rational::zero());
+        assert!(half < tiny);
+        assert_eq!(half.add(&half), tiny);
+
+        let huge = r(f64::MAX);
+        let twice = huge.add(&huge); // overflows f64, exact here
+        assert_eq!(twice.cmp_f64(f64::MAX), Some(Ordering::Greater));
+        assert_eq!(twice.div(&r(2.0)).unwrap(), huge);
+        assert!(twice.in_range(f64::MAX, f64::INFINITY));
+    }
+
+    #[test]
+    fn bits_growth_is_observable() {
+        let mut v = r(1.0 / 3.0_f64.recip()); // 3.0 — exact
+        assert!(v.bits() <= 2);
+        let third = Rational::one().div(&r(3.0)).unwrap();
+        v = third.clone();
+        let mut prev = v.bits();
+        for _ in 0..5 {
+            v = v.mul(&third);
+            assert!(v.bits() >= prev);
+            prev = v.bits();
+        }
+    }
+
+    #[test]
+    fn normalization_strips_twos_only() {
+        // 1/2 + 1/2 = 1 exactly with denominator reduced back to 1.
+        let half = r(0.5);
+        let one = half.add(&half);
+        assert_eq!(one, Rational::one());
+        assert_eq!(one.bits(), 1);
+    }
+
+    #[test]
+    fn min_max_follow_value_order() {
+        let a = r(-1.0);
+        let b = r(2.0);
+        assert_eq!(a.min_val(&b), a);
+        assert_eq!(a.max_val(&b), b);
+    }
+
+    #[test]
+    fn pow2_saturation() {
+        assert_eq!(pow2_f64(0), 1.0);
+        assert_eq!(pow2_f64(10), 1024.0);
+        assert_eq!(pow2_f64(-1), 0.5);
+        assert_eq!(pow2_f64(5000), f64::INFINITY);
+        assert_eq!(pow2_f64(-5000), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_approximation() {
+        let s = format!("{}", r(0.75));
+        assert!(s.contains('/'), "{s}");
+    }
+}

@@ -5,7 +5,9 @@ pub use safegen_affine as affine;
 pub use safegen_analysis as analysis;
 pub use safegen_cfront as cfront;
 pub use safegen_fpcore as fpcore;
+pub use safegen_fuzz as fuzz;
 pub use safegen_ilp as ilp;
 pub use safegen_interval as interval;
 pub use safegen_ir as ir;
+pub use safegen_rational as rational;
 pub use safegen_telemetry as telemetry;

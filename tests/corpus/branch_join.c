@@ -1,0 +1,15 @@
+/* safegen-fuzz: fn=pick inputs=0.25,1.75 */
+
+/* An if/else whose guard is soundly decidable at the given inputs
+ * (the operand ranges are far apart), so every domain must take the
+ * same path the exact oracle takes and the enclosure check applies
+ * with no undecided-branch skip. */
+double pick(double a, double b) {
+    double r = 0.0;
+    if (a < b) {
+        r = a + b;
+    } else {
+        r = a * b;
+    }
+    return r;
+}

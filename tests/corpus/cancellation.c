@@ -1,0 +1,13 @@
+/* safegen-fuzz: fn=cancel inputs=0.0014 */
+
+/* Minimized witness for the refuted "AA-dd range is enclosed by the
+ * AA-f64 range" metamorphic invariant: AA-f64 cancels the self-
+ * subtraction to an exact [0, 0], while the double-double pipeline's
+ * conservative per-operation rounding terms leave subnormal-scale noise
+ * around zero. Both results are sound enclosures of the exact value 0;
+ * the fuzzer records the comparison as an anomaly, never a failure.
+ * See DESIGN.md section 7. */
+double cancel(double a) {
+    double d = a - a;
+    return d;
+}

@@ -1,0 +1,12 @@
+/* safegen-fuzz: fn=qdiv inputs=1.5,0.25 */
+
+/* Division with the denominator bounded away from zero (>= 0.5), the
+ * shape the generator uses so the exact rational oracle never sees a
+ * division by zero. Exercises the AA inverse linearization and the
+ * directed-rounding division guards that the rational-oracle grid
+ * tests tightened for subnormal dividends. */
+double qdiv(double a, double b) {
+    double den = b * b + 0.5;
+    double q = a / den;
+    return q;
+}

@@ -1,0 +1,13 @@
+/* safegen-fuzz: fn=horner inputs=0.75 */
+
+/* A bounded multiply-accumulate loop: each trip compounds the affine
+ * noise terms, so this is where a k-budget merge policy first has to
+ * condense symbols. The exact oracle unrolls the same four trips in
+ * rational arithmetic. */
+double horner(double x) {
+    double r = 1.0;
+    for (int i = 0; i < 4; i++) {
+        r = r * x - 0.3;
+    }
+    return r;
+}

@@ -1,0 +1,18 @@
+/* safegen-fuzz: fn=scale inputs=0.6,-0.5 */
+/* safegen-fuzz: fn=blend inputs=1.25,0.3,0.8 */
+
+/* A multi-function translation unit: each function is checked at its
+ * own input point from its own header line, the shape the generator
+ * emits when it produces more than one function per iteration. */
+double scale(double a, double b) {
+    double s = a * b;
+    double t = s + a;
+    return t;
+}
+
+double blend(double x, double y, double z) {
+    double m = x * y;
+    double n = m - z;
+    double o = n / (y * y + 0.5);
+    return o;
+}

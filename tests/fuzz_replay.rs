@@ -1,0 +1,77 @@
+//! Replays the minimized corpus under `tests/corpus/` through the full
+//! differential checker (`safegen::check_source`). Every corpus file is
+//! a C source whose `/* safegen-fuzz: fn=.. inputs=.. */` header lines
+//! make it self-describing: the same format the fuzzer writes for
+//! counterexamples, so a shrunk failure can be promoted to a permanent
+//! regression test by copying the file here.
+
+use safegen_suite::safegen::{check_source, parse_corpus_header, CheckOpts};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_files_have_replayable_headers() {
+    let mut n_files = 0;
+    for entry in fs::read_dir(corpus_dir()).expect("tests/corpus exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        n_files += 1;
+        let src = fs::read_to_string(&path).unwrap();
+        let cases = parse_corpus_header(&src);
+        assert!(
+            !cases.is_empty(),
+            "{}: no `/* safegen-fuzz: fn=.. inputs=.. */` header",
+            path.display()
+        );
+    }
+    assert!(n_files >= 3, "corpus unexpectedly small: {n_files} files");
+}
+
+#[test]
+fn corpus_replays_clean_through_every_check() {
+    let opts = CheckOpts::default();
+    for entry in fs::read_dir(corpus_dir()).expect("tests/corpus exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("c") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).unwrap();
+        for (func, inputs) in parse_corpus_header(&src) {
+            let report = check_source(&src, &func, &inputs, &opts);
+            assert!(
+                report.passed(),
+                "{} fn={func}: {:?}",
+                path.display(),
+                report.failures
+            );
+            assert!(
+                report.exact_checks > 0 || report.oracle_skip.is_some(),
+                "{} fn={func}: no exact check ran and the oracle did not decline",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The cancellation witness must keep demonstrating what it documents:
+/// AA-f64 collapses `a - a` to exactly zero width while AA-dd keeps
+/// (sound) rounding noise, i.e. the dd range is *not* inside the f64
+/// range — the reason the fuzzer treats that comparison as telemetry.
+#[test]
+fn cancellation_witness_still_refutes_dd_subset_invariant() {
+    let src = fs::read_to_string(corpus_dir().join("cancellation.c")).unwrap();
+    let (func, inputs) = parse_corpus_header(&src).remove(0);
+    let report = check_source(&src, &func, &inputs, &CheckOpts::default());
+    assert!(report.passed(), "{:?}", report.failures);
+    assert!(
+        report.anomalies.iter().any(|a| a.contains("not enclosed")),
+        "expected a dd-vs-f64 width anomaly, got: {:?}",
+        report.anomalies
+    );
+}
