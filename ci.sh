@@ -20,6 +20,9 @@ cargo fmt --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== golden IR snapshots (optimized CFG dumps must not drift) =="
+cargo test -q --test ir_golden
+
 echo "== observability smoke (profile + metrics JSON) =="
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -37,10 +40,21 @@ SAFEGEN_METRICS_OUT="$SMOKE_DIR/metrics" \
     | grep -q "error-attribution profile"
 ./target/release/json_check "$SMOKE_DIR/metrics.jsonl" "$SMOKE_DIR/metrics.summary.json"
 
-echo "== differential fuzz smoke (deterministic seed, must be clean) =="
+echo "== differential fuzz smoke (incl. pass-differential; must be clean) =="
 SAFEGEN_METRICS_OUT="$SMOKE_DIR/fuzz" \
     ./target/release/safegen fuzz --iters 200 --seed 0xC60 --out "$SMOKE_DIR/fuzzout" \
     | grep -q " 0 counterexamples"
 ./target/release/json_check "$SMOKE_DIR/fuzz.jsonl" "$SMOKE_DIR/fuzz.summary.json"
+
+echo "== pass pipeline smoke (optimized and unoptimized agree) =="
+./target/release/safegen ir "$SMOKE_DIR/kernel.c" | grep -q "^cfg poly"
+# Unsound (concrete f64) results must be bit-identical across pipelines;
+# sound enclosures may differ in width (CSE legitimately merges noise
+# symbols) and are cross-checked by the fuzz pass-differential above.
+SAFEGEN_PASSES=none ./target/release/safegen run "$SMOKE_DIR/kernel.c" \
+    --fn poly --config unsound --arg 0.3 > "$SMOKE_DIR/run_unopt.txt"
+SAFEGEN_PASSES=default ./target/release/safegen run "$SMOKE_DIR/kernel.c" \
+    --fn poly --config unsound --arg 0.3 > "$SMOKE_DIR/run_opt.txt"
+diff "$SMOKE_DIR/run_unopt.txt" "$SMOKE_DIR/run_opt.txt"
 
 echo "ci.sh: all checks passed"

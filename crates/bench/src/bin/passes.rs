@@ -1,0 +1,65 @@
+//! Measures the mid-end pass pipeline (CSE, copy propagation, DCE,
+//! register allocation) on the paper suite: executed instructions,
+//! floating-point operation counts and runtime of each workload compiled
+//! through the optimizing pipeline vs with passes disabled
+//! (`SAFEGEN_PASSES=none`), under both the unsound original and the
+//! flagship `f64a-dspv` configuration.
+//!
+//! The per-repetition `instrs`/`fp_ops` ranges of both variants land in
+//! `results/BENCH_passes.json` (the unoptimized rows carry a ` [no-opt]`
+//! config suffix). Usage:
+//! `cargo run --release -p safegen-bench --bin passes`
+
+use safegen::RunConfig;
+use safegen_bench::{harness, Measurement, Workload};
+
+fn main() {
+    harness::announce("passes");
+    let suite = Workload::paper_suite();
+    let k = 8;
+    let mut rows: Vec<Measurement> = Vec::new();
+    let mut pairs: Vec<(Measurement, Measurement)> = Vec::new();
+
+    for w in &suite {
+        for cfg in [RunConfig::unsound(), RunConfig::affine_f64(k)] {
+            let (opt, unopt) = harness::measure_pass_impact(w, &cfg);
+            pairs.push((opt.clone(), unopt.clone()));
+            rows.push(opt);
+            rows.push(unopt);
+        }
+        eprintln!("passes: {} done", w.name);
+    }
+
+    harness::print_csv(&rows);
+
+    println!("\n== pass pipeline impact (optimizing vs none) ==");
+    println!(
+        "{:<8} {:<24} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "bench", "config", "instrs", "instrs[no]", "saved", "fp_ops", "fp[no]"
+    );
+    for (opt, unopt) in &pairs {
+        let saved = if unopt.instrs.median > 0.0 {
+            100.0 * (1.0 - opt.instrs.median / unopt.instrs.median)
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:<24} {:>12.0} {:>12.0} {:>8.1}% {:>9.0} {:>9.0}",
+            opt.bench,
+            opt.config,
+            opt.instrs.median,
+            unopt.instrs.median,
+            saved,
+            opt.fp_ops.median,
+            unopt.fp_ops.median
+        );
+        assert!(
+            opt.instrs.median <= unopt.instrs.median,
+            "{} under {}: the pipeline must never add executed instructions",
+            opt.bench,
+            opt.config
+        );
+    }
+
+    harness::export("passes", &rows);
+}

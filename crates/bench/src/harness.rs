@@ -18,7 +18,7 @@ use crate::workloads::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use safegen::batch::{run_batch_with, BatchOptions, WorkerStats};
-use safegen::{Compiled, RunConfig};
+use safegen::{Compiled, Compiler, PassManager, RunConfig};
 use safegen_telemetry as telemetry;
 use safegen_telemetry::json::Json;
 use std::path::PathBuf;
@@ -223,6 +223,30 @@ pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> 
         telemetry::record("measurement", vec![("measurement", m.to_json())]);
     }
     m
+}
+
+/// Measures the mid-end pass pipeline's impact: the same workload and
+/// configuration measured twice, once compiled through the optimizing
+/// pipeline and once with passes disabled. The unoptimized row's config
+/// label carries a ` [no-opt]` suffix so both rows coexist in one
+/// `BENCH_*.json` document (compare their `instrs`/`fp_ops` ranges).
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or execute.
+pub fn measure_pass_impact(workload: &Workload, config: &RunConfig) -> (Measurement, Measurement) {
+    let optimized = Compiler::new()
+        .with_passes(PassManager::optimizing())
+        .compile(&workload.source)
+        .expect("workload compiles");
+    let unoptimized = Compiler::new()
+        .with_passes(PassManager::none())
+        .compile(&workload.source)
+        .expect("workload compiles");
+    let opt = measure(workload, &optimized, config);
+    let mut unopt = measure(workload, &unoptimized, config);
+    unopt.config.push_str(" [no-opt]");
+    (opt, unopt)
 }
 
 /// Median native (plain `f64`, compiled Rust) runtime of the workload —

@@ -7,22 +7,28 @@
 //! safegen profile <file.c> <func> [--config MNEMONIC|dda] [--k N]
 //!                 [--arg X]... [--int N]... [--array "x,y,z"]...
 //! safegen tac     <file.c>
+//! safegen ir      <file.c> [--fn NAME] [--passes LIST]
 //! safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR]
 //! ```
 //!
 //! `emit` prints the sound C program (annotated with the max-reuse
 //! priorities); `run` executes the function under the chosen numeric
-//! configuration and prints the certified ranges; `profile` runs the
-//! function with symbol tracing and prints the error-attribution table
-//! (which source locations the final enclosure width comes from); `tac`
-//! shows the three-address form the analysis operates on; `fuzz` runs
-//! the differential soundness fuzzer (generated programs checked against
-//! an exact rational oracle and cross-engine invariants), writing
-//! minimized counterexamples under `--out` (default `results/fuzz`) and
-//! exiting nonzero if any are found.
+//! configuration and prints the certified ranges (`--dump-ir` prints the
+//! optimized CFG IR to stderr first); `profile` runs the function with
+//! symbol tracing and prints the error-attribution table (which source
+//! locations the final enclosure width comes from); `tac` shows the
+//! three-address form the analysis operates on; `ir` dumps the CFG IR
+//! after the pass pipeline (`--passes none` or a comma list like
+//! `cse,dce` selects pipelines explicitly); `fuzz` runs the differential
+//! soundness fuzzer (generated programs checked against an exact rational
+//! oracle, cross-engine invariants and the optimized/unoptimized
+//! pass-differential), writing minimized counterexamples under `--out`
+//! (default `results/fuzz`) and exiting nonzero if any are found.
 //!
-//! All subcommands honor `SAFEGEN_TRACE=1` (span timing on stderr) and
-//! `SAFEGEN_METRICS_OUT=<prefix>` (JSONL event log + summary JSON).
+//! All subcommands honor `SAFEGEN_TRACE=1` (span timing on stderr),
+//! `SAFEGEN_METRICS_OUT=<prefix>` (JSONL event log + summary JSON) and
+//! `SAFEGEN_PASSES` (the mid-level pass pipeline: unset/`default`,
+//! `none`, or a comma list of `cse`, `copy-prop`, `dce`, `regalloc`).
 
 use safegen::program::ParamBinding;
 use safegen::{ArgValue, Compiler, EmitPrecision, RunConfig};
@@ -35,14 +41,18 @@ fn usage() -> ExitCode {
   safegen emit    <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
   safegen run     <file.c> --fn NAME [--config dspv|ssnn|...|ia|ia-dd|unsound]
                   [--k N] [--arg X]... [--int N]... [--array \"x,y,z\"]...
+                  [--dump-ir]
   safegen profile <file.c> <func> [--config dspv|ssnn|...|dda] [--k N]
                   [--arg X]... [--int N]... [--array \"x,y,z\"]...
   safegen tac     <file.c>
+  safegen ir      <file.c> [--fn NAME] [--passes none|default|cse,dce,...]
   safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR]
 
 environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
              SAFEGEN_METRICS_OUT=<prefix> writes <prefix>.jsonl and
-             <prefix>.summary.json"
+             <prefix>.summary.json;
+             SAFEGEN_PASSES selects the optimizing pass pipeline
+             (unset/default = cse,copy-prop,dce,regalloc; none = off)"
     );
     ExitCode::from(2)
 }
@@ -58,6 +68,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "profile" => cmd_profile(rest),
         "tac" => cmd_tac(rest),
+        "ir" => cmd_ir(rest),
         "fuzz" => cmd_fuzz(rest),
         _ => usage(),
     };
@@ -143,6 +154,40 @@ fn cmd_tac(rest: &[String]) -> ExitCode {
         }
         Err(e) => fail(e),
     }
+}
+
+fn cmd_ir(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let mut compiler = Compiler::new();
+    if let Some(list) = flag_value(rest, "--passes") {
+        match safegen::PassManager::from_spec(list) {
+            Ok(pm) => compiler = compiler.with_passes(pm),
+            Err(e) => return fail(e),
+        }
+    }
+    let compiled = match compiler.compile(&src) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let only = flag_value(rest, "--fn");
+    for f in &compiled.tac.functions {
+        if only.is_some_and(|name| name != f.name) {
+            continue;
+        }
+        print!("{}", compiled.dump_ir(&f.name));
+    }
+    if let Some(name) = only {
+        if !compiled.tac.functions.iter().any(|f| f.name == name) {
+            return fail(format!("no function `{name}` in {path}"));
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses `--arg X`, `--int N`, `--array "x,y,z"` flags in command-line
@@ -241,6 +286,12 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail(e),
     };
+    if !compiled.tac.functions.iter().any(|f| f.name == func) {
+        return fail(format!("no function `{func}` in {path}"));
+    }
+    if rest.iter().any(|a| a == "--dump-ir") {
+        eprint!("{}", compiled.dump_ir(func));
+    }
     let report = match compiled.run(func, &args, &config) {
         Ok(r) => r,
         Err(e) => return fail(e),

@@ -2,13 +2,15 @@
 
 use crate::domain::{CeresCtx, Domain, DomainKind, UnsoundF64};
 use crate::exec::{exec, ArgValue, RunStats};
-use crate::program::{compile_program, Program};
+use crate::program::{compile_program_with, Program};
 use safegen_affine::baselines::{BaselineCtx, CeresAffine, YalaaAff0, YalaaAff1};
 use safegen_affine::{AaConfig, AaContext, AffineDd, AffineF32, AffineF64};
 use safegen_cfront::{ParseError, Sema, Unit};
 use safegen_interval::{IntervalDd, IntervalF64};
+use safegen_ir::PassManager;
 use safegen_telemetry as telemetry;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Compiler options.
 #[derive(Clone, Debug)]
@@ -25,6 +27,9 @@ pub struct Compiler {
     /// Lower SIMD intrinsics in the input before parsing (paper Sec. IV-B,
     /// the SIMD-to-C preprocessing step).
     pub lower_simd: bool,
+    /// Mid-level pass pipeline. `None` resolves `SAFEGEN_PASSES` at
+    /// [`Compiler::compile`] time (the optimizing default when unset).
+    pub passes: Option<PassManager>,
 }
 
 impl Default for Compiler {
@@ -34,6 +39,7 @@ impl Default for Compiler {
             solver: safegen_analysis::SolveMode::Auto,
             fold_constants: true,
             lower_simd: true,
+            passes: None,
         }
     }
 }
@@ -45,14 +51,16 @@ pub struct Compiled {
     pub tac: Unit,
     /// Semantic tables of `tac`.
     pub sema: Sema,
+    /// The pass pipeline every program variant is compiled with.
+    pub passes: PassManager,
     prioritize: bool,
     solver: safegen_analysis::SolveMode,
     /// Cache: function → plain program.
     plain: HashMap<String, Program>,
     /// Cache: (function, k) → prioritized program.
-    prioritized: std::cell::RefCell<HashMap<(String, usize), Program>>,
+    prioritized: Mutex<HashMap<(String, usize), Program>>,
     /// Cache: (function, k, k_low, prioritized) → variable-capacity program.
-    var_capacity: std::cell::RefCell<HashMap<(String, usize, usize, bool), Program>>,
+    var_capacity: Mutex<HashMap<(String, usize, usize, bool), Program>>,
 }
 
 /// The numeric configuration of one run.
@@ -242,6 +250,14 @@ impl Compiler {
         self
     }
 
+    /// Uses an explicit pass pipeline instead of resolving
+    /// `SAFEGEN_PASSES` (e.g. `PassManager::none()` to measure the
+    /// unoptimized baseline).
+    pub fn with_passes(mut self, pm: PassManager) -> Compiler {
+        self.passes = Some(pm);
+        self
+    }
+
     /// Parses, checks, and TAC-transforms `src`.
     ///
     /// # Errors
@@ -265,23 +281,35 @@ impl Compiler {
             unit
         };
         let sema = telemetry::span("compile.sema", || safegen_cfront::analyze(&unit))?;
-        let tac = telemetry::span("compile.tac", || safegen_ir::to_tac(&unit, &sema));
-        let sema = telemetry::span("compile.sema", || safegen_cfront::analyze(&tac))?;
+        // The TAC transform threads the semantic tables through (declaring
+        // its fresh temporaries as it goes), so the unit is analyzed once.
+        let (tac, sema) =
+            telemetry::span("compile.tac", || safegen_ir::to_tac_with_sema(&unit, &sema));
+        let passes = match &self.passes {
+            Some(pm) => pm.clone(),
+            None => PassManager::from_env().map_err(|e| {
+                ParseError::from(safegen_cfront::Diagnostic::new(
+                    e,
+                    safegen_cfront::Span::default(),
+                ))
+            })?,
+        };
         let mut plain = HashMap::new();
         telemetry::span("compile.bytecode", || -> Result<(), ParseError> {
             for f in &tac.functions {
-                plain.insert(f.name.clone(), compile_program(f, &sema)?);
+                plain.insert(f.name.clone(), compile_program_with(f, &sema, &passes)?);
             }
             Ok(())
         })?;
         Ok(Compiled {
             tac,
             sema,
+            passes,
             prioritize: self.prioritize,
             solver: self.solver,
             plain,
-            prioritized: std::cell::RefCell::new(HashMap::new()),
-            var_capacity: std::cell::RefCell::new(HashMap::new()),
+            prioritized: Mutex::new(HashMap::new()),
+            var_capacity: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -296,24 +324,55 @@ impl Compiled {
         &self.plain[func]
     }
 
-    /// The bytecode program for `func` with `#pragma safegen prioritize`
-    /// protection compiled in for budget `k` (cached per `k`).
-    pub fn prioritized_program(&self, func: &str, k: usize) -> Program {
-        if let Some(p) = self.prioritized.borrow().get(&(func.to_string(), k)) {
-            return p.clone();
-        }
-        let f = self
-            .tac
+    /// Recompiles `func` with an explicit pass pipeline, bypassing the
+    /// caches — e.g. `PassManager::none()` for the unoptimized baseline
+    /// the pass-differential fuzzer and the benchmarks compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` does not exist.
+    pub fn program_with_passes(&self, func: &str, pm: &PassManager) -> Program {
+        let f = self.function(func);
+        compile_program_with(f, &self.sema, pm).expect("TAC that compiled once must recompile")
+    }
+
+    /// The CFG IR of `func` after this unit's pass pipeline ran — the
+    /// `--dump-ir` debug view (deterministic, suitable for golden tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` does not exist.
+    pub fn dump_ir(&self, func: &str) -> String {
+        let f = self.function(func);
+        let mut cfg =
+            safegen_ir::lower_function(f, &self.sema).expect("TAC that compiled once must lower");
+        self.passes.run(&mut cfg);
+        cfg.dump()
+    }
+
+    fn function(&self, func: &str) -> &safegen_cfront::Function {
+        self.tac
             .functions
             .iter()
             .find(|f| f.name == func)
-            .unwrap_or_else(|| panic!("unknown function `{func}`"));
+            .unwrap_or_else(|| panic!("unknown function `{func}`"))
+    }
+
+    /// The bytecode program for `func` with `#pragma safegen prioritize`
+    /// protection compiled in for budget `k` (cached per `k`).
+    pub fn prioritized_program(&self, func: &str, k: usize) -> Program {
+        if let Some(p) = self.prioritized.lock().unwrap().get(&(func.to_string(), k)) {
+            return p.clone();
+        }
+        let f = self.function(func);
         let annotated = telemetry::span("compile.prioritize", || {
             safegen_analysis::annotate_function(f, &self.sema, k, self.solver)
         });
-        let prog = compile_program(&annotated, &self.sema).expect("annotated TAC must compile");
+        let prog = compile_program_with(&annotated, &self.sema, &self.passes)
+            .expect("annotated TAC must compile");
         self.prioritized
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert((func.to_string(), k), prog.clone());
         prog
     }
@@ -329,15 +388,10 @@ impl Compiled {
         prioritized: bool,
     ) -> Program {
         let key = (func.to_string(), k, k_low, prioritized);
-        if let Some(p) = self.var_capacity.borrow().get(&key) {
+        if let Some(p) = self.var_capacity.lock().unwrap().get(&key) {
             return p.clone();
         }
-        let f = self
-            .tac
-            .functions
-            .iter()
-            .find(|f| f.name == func)
-            .unwrap_or_else(|| panic!("unknown function `{func}`"));
+        let f = self.function(func);
         let base = if prioritized {
             safegen_analysis::annotate_function(f, &self.sema, k, self.solver)
         } else {
@@ -347,9 +401,9 @@ impl Compiled {
             let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low);
             safegen_analysis::annotate_capacities(&base, &plan)
         });
-        let prog =
-            compile_program(&annotated, &self.sema).expect("capacity-annotated TAC must compile");
-        self.var_capacity.borrow_mut().insert(key, prog.clone());
+        let prog = compile_program_with(&annotated, &self.sema, &self.passes)
+            .expect("capacity-annotated TAC must compile");
+        self.var_capacity.lock().unwrap().insert(key, prog.clone());
         prog
     }
 
@@ -359,10 +413,9 @@ impl Compiled {
     /// otherwise.
     ///
     /// The returned [`Program`] is plain data (`Send + Sync`), detached
-    /// from this `Compiled`'s internal caches — hand it to
-    /// [`run_on`] or the [`batch`](crate::batch) engine freely, including
-    /// across threads. (`Compiled` itself is not `Sync`: its lazy
-    /// program caches use `RefCell`.)
+    /// from this `Compiled`'s internal caches. `Compiled` itself is also
+    /// `Sync` — the lazy program caches are `Mutex`-guarded — so threads
+    /// may request program variants from a shared `&Compiled` directly.
     ///
     /// # Panics
     ///
@@ -572,5 +625,48 @@ mod tests {
     fn compile_errors_surface() {
         assert!(Compiler::new().compile("double f( {").is_err());
         assert!(Compiler::new().compile("void f() { x = 1.0; }").is_err());
+    }
+
+    #[test]
+    fn explicit_pipeline_controls_optimization() {
+        let src = "double f(double x) { double a = x * x; double b = x * x; return a + b; }";
+        let opt = Compiler::new().compile(src).unwrap();
+        let unopt = Compiler::new()
+            .with_passes(PassManager::none())
+            .compile(src)
+            .unwrap();
+        assert!(opt.program("f").code.len() < unopt.program("f").code.len());
+        // The cached plain program matches an explicit recompile.
+        let again = unopt.program_with_passes("f", &PassManager::none());
+        assert_eq!(unopt.program("f").code, again.code);
+    }
+
+    #[test]
+    fn program_caches_are_thread_safe() {
+        // Regression test: the lazy per-k caches were RefCell-based, which
+        // made a shared &Compiled unusable from the batch engine's worker
+        // threads. Hammer both caches from several threads at once.
+        let src = "double f(double x, double y, double z) { return x*z - y*z; }";
+        let c = Compiler::new().compile(src).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..8 {
+                        let k = 2 + (t + i) % 4;
+                        let p = c.prioritized_program("f", k);
+                        assert!(!p.code.is_empty());
+                        let q = c.capacity_program("f", k, 1, t % 2 == 0);
+                        assert!(!q.code.is_empty());
+                        let cfg = RunConfig::affine_f64(k);
+                        let _ = c.program_for("f", &cfg);
+                    }
+                });
+            }
+        });
+        // Same k from two threads must have produced identical programs.
+        let a = c.prioritized_program("f", 3);
+        let b = c.prioritized_program("f", 3);
+        assert_eq!(a.code, b.code);
     }
 }

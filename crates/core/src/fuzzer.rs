@@ -22,6 +22,13 @@
 //! 4. **Emit round-trip** — emitted sound C, reparsed via
 //!    [`safegen_cfront::reparse_emitted`] and recompiled, must produce
 //!    the bit-identical `igen-f64` range.
+//! 5. **Pass-differential** — the optimizing pass pipeline must be
+//!    semantics-preserving: the optimized and unoptimized
+//!    (`PassManager::none()`) programs must agree bit-for-bit under the
+//!    Unsound domain (concrete `f64` arithmetic, including arrays), the
+//!    optimized program must never execute *more* instructions, and the
+//!    unoptimized program must also enclose the exact oracle value under
+//!    every sound domain (the optimized one is checked in step 1).
 //!
 //! Non-finite range endpoints (overflow to ∞ is sound; NaN is a
 //! *degradation*, not an unsoundness) are recorded as anomalies, not
@@ -33,7 +40,10 @@
 //! its inputs in the header comment) under the output directory.
 
 use crate::oracle::{eval_exact, EvalLimits};
-use crate::{emit_c, ArgValue, BatchOptions, Compiler, EmitPrecision, RunConfig, RunReport};
+use crate::{
+    emit_c, run_on, ArgValue, BatchOptions, Compiler, EmitPrecision, PassManager, RunConfig,
+    RunReport,
+};
 use safegen_fuzz::{generate_seeded, render, shrink, FuzzProgram, GenLimits};
 use safegen_telemetry::json::Json;
 use safegen_telemetry::{self as telemetry};
@@ -61,7 +71,8 @@ impl Default for CheckOpts {
 #[derive(Clone, Debug)]
 pub struct CheckFailure {
     /// Failure class: `compile`, `run-error`, `enclosure`,
-    /// `batch-mismatch`, `dd-widening`, `roundtrip`.
+    /// `batch-mismatch`, `dd-widening`, `roundtrip`,
+    /// `pass-differential`.
     pub kind: String,
     /// Human-readable specifics (config label, ranges, exact value).
     pub detail: String,
@@ -188,8 +199,9 @@ pub fn check_source(src: &str, func: &str, inputs: &[f64], opts: &CheckOpts) -> 
         reports.push(Some(r));
     }
 
-    // The unsound original must at least execute.
-    if let Err(e) = compiled.run(func, &args, &RunConfig::unsound()) {
+    // The unsound original must at least execute (kept for step 5).
+    let opt_unsound = compiled.run(func, &args, &RunConfig::unsound());
+    if let Err(e) = &opt_unsound {
         report.fail("run-error", format!("unsound: {e}"));
     }
 
@@ -247,6 +259,72 @@ pub fn check_source(src: &str, func: &str, inputs: &[f64], opts: &CheckOpts) -> 
     // 4. Emit → reparse → recompile → identical igen-f64 range.
     roundtrip_check(&compiled, src, func, &args, &mut report);
 
+    // 5. Pass-differential: the optimizer must be semantics-preserving.
+    let unopt = compiled.program_with_passes(func, &PassManager::none());
+    if let Ok(a) = &opt_unsound {
+        match run_on(&unopt, &args, &RunConfig::unsound()) {
+            Ok(b) => {
+                let bits = |r: Option<(f64, f64)>| r.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+                let arr_bits = |r: &RunReport| -> Vec<(String, Vec<(u64, u64)>)> {
+                    r.arrays
+                        .iter()
+                        .map(|(n, vs)| {
+                            let vs = vs.iter().map(|(lo, hi)| (lo.to_bits(), hi.to_bits()));
+                            (n.clone(), vs.collect())
+                        })
+                        .collect()
+                };
+                if bits(a.ret) != bits(b.ret) || arr_bits(a) != arr_bits(&b) {
+                    report.fail(
+                        "pass-differential",
+                        format!(
+                            "unsound results diverge: optimized {} != unoptimized {}",
+                            fmt_range(a.ret),
+                            fmt_range(b.ret)
+                        ),
+                    );
+                }
+                if a.stats.instrs > b.stats.instrs {
+                    report.fail(
+                        "pass-differential",
+                        format!(
+                            "optimized program executed more instructions \
+                             ({} > {})",
+                            a.stats.instrs, b.stats.instrs
+                        ),
+                    );
+                }
+            }
+            Err(e) => report.fail(
+                "pass-differential",
+                format!("unoptimized unsound run failed where optimized ran: {e}"),
+            ),
+        }
+    }
+    // The unoptimized program must also enclose the exact value under
+    // every sound domain (mirrors step 1 on the optimized program).
+    if let Some(x) = &exact {
+        for config in &sound_configs {
+            let Ok(r) = run_on(&unopt, &args, config) else {
+                continue; // optimized-side errors are already reported
+            };
+            let Some((lo, hi)) = r.ret else { continue };
+            if lo.is_nan() || hi.is_nan() || r.stats.undecided_branches != 0 {
+                continue;
+            }
+            report.exact_checks += 1;
+            if !x.in_range(lo, hi) {
+                report.fail(
+                    "pass-differential",
+                    format!(
+                        "{} unoptimized: [{lo:e}, {hi:e}] does not contain exact {x}",
+                        config.label()
+                    ),
+                );
+            }
+        }
+    }
+
     report
 }
 
@@ -257,14 +335,9 @@ fn roundtrip_check(
     args: &[ArgValue],
     report: &mut CheckReport,
 ) {
-    let sema = match safegen_cfront::analyze(&compiled.tac) {
-        Ok(s) => s,
-        Err(e) => {
-            report.fail("roundtrip", format!("TAC re-analysis failed: {e}"));
-            return;
-        }
-    };
-    let emitted = emit_c(&compiled.tac, &sema, EmitPrecision::F64);
+    // The driver threads the semantic tables through the TAC transform,
+    // so the emitter reuses them instead of re-analyzing.
+    let emitted = emit_c(&compiled.tac, &compiled.sema, EmitPrecision::F64);
     let unit = match safegen_cfront::reparse_emitted(&emitted) {
         Ok(u) => u,
         Err(e) => {
@@ -568,6 +641,30 @@ mod tests {
         assert!(report.passed(), "{:?}", report.failures);
         assert_eq!(report.exact_checks, 0);
         assert!(report.oracle_skip.as_deref().unwrap().contains("sqrt"));
+    }
+
+    #[test]
+    fn pass_differential_compares_against_unoptimized() {
+        // Duplicate subexpressions, a dead temporary and a copy chain:
+        // the pipeline rewrites this program substantially, so the
+        // differential genuinely compares two different instruction
+        // streams.
+        let src = "double f(double x, double y) {\n\
+                   double a = x * y;\n\
+                   double b = x * y;\n\
+                   double dead = x + 1.0;\n\
+                   double c = a;\n\
+                   return b + c; }";
+        let compiled = Compiler::new().compile(src).unwrap();
+        let unopt = compiled.program_with_passes("f", &PassManager::none());
+        assert!(
+            compiled.program("f").code.len() < unopt.code.len(),
+            "optimizer should have rewritten this program"
+        );
+        let report = check_source(src, "f", &[0.75, -1.25], &CheckOpts::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        // Step 5 doubles the enclosure coverage: 4 optimized + 4 unoptimized.
+        assert!(report.exact_checks >= 8, "{report:?}");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!
 //! * [`Compiler`] — the driver: parse → semantic analysis →
 //!   three-address-code transformation → (optional) max-reuse static
-//!   analysis and pragma annotation → artifacts.
+//!   analysis and pragma annotation → CFG lowering and the optimizing
+//!   pass pipeline (CSE, copy propagation, dead-code elimination,
+//!   register allocation; configurable via `SAFEGEN_PASSES` or
+//!   [`Compiler::with_passes`]) → artifacts.
 //! * [`mod@emit_c`] — the paper's actual artifact shape: sound C source
 //!   against the `aa_*` runtime API (Fig. 2).
 //! * [`program`]/[`mod@exec`] — a register bytecode and a virtual machine
@@ -56,13 +59,14 @@ pub mod program;
 pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult, WorkerStats};
 pub use domain::{Domain, DomainKind, UnsoundF64};
 pub use driver::{run_on, Compiled, Compiler, RunConfig, RunReport};
-pub use emit_c::{emit_c, EmitPrecision};
+pub use emit_c::{emit_c, emit_c_from_cfg, EmitPrecision};
 pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
 pub use fuzzer::{
     check_source, parse_corpus_header, run_fuzz, CheckOpts, CheckReport, FuzzOpts, FuzzSummary,
 };
 pub use oracle::{eval_exact, EvalLimits, OracleError};
 pub use profile::{profile, ErrorSource, ProfileReport};
-pub use program::{compile_program, Program};
+pub use program::{compile_program, compile_program_with, emit_program, Instr, Program};
 
 pub use safegen_affine::{AaConfig, AaContext, Fusion, NoisePolicy, Placement};
+pub use safegen_ir::{lower_function, pass_by_name, Cfg, Pass, PassManager};

@@ -1,4 +1,4 @@
-//! Register bytecode and the AST → bytecode compiler.
+//! Register bytecode and the CFG → bytecode emitter.
 //!
 //! The VM executes programs compiled to a small register machine:
 //! floating-point values (of whatever numeric domain) live in an `FReg`
@@ -6,62 +6,20 @@
 //! resolved at compile time, so executing an instruction costs a couple of
 //! array indexings — keeping the VM dispatch overhead small relative to
 //! the O(k) affine kernels the evaluation measures.
+//!
+//! Compilation goes through the shared CFG middle-end: the function is
+//! lowered once (see [`safegen_ir::lower_function`]), the configured
+//! [`PassManager`] pipeline optimizes the CFG in place, and
+//! [`emit_program`] linearizes the blocks — in creation order, eliding
+//! jumps to the next block — into the flat instruction stream the VM
+//! dispatches over.
 
-use safegen_cfront::{
-    AssignOp, BinOp, Diagnostic, Expr, Function, ParseError, Sema, Span, Stmt, Ty, UnOp,
-};
-use std::collections::HashMap;
+use safegen_cfront::{Diagnostic, Function, ParseError, Sema, Span};
+use safegen_ir::cfg::{Cfg, Inst, Terminator};
+use safegen_ir::PassManager;
 use std::fmt;
 
-/// Float-register index.
-pub type FReg = u32;
-/// Integer-register index.
-pub type IReg = u32;
-/// Array-table index.
-pub type ArrId = u32;
-
-/// Integer comparison operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CmpOp {
-    /// `<`
-    Lt,
-    /// `<=`
-    Le,
-    /// `>`
-    Gt,
-    /// `>=`
-    Ge,
-    /// `==`
-    Eq,
-    /// `!=`
-    Ne,
-}
-
-impl CmpOp {
-    fn of(op: BinOp) -> CmpOp {
-        match op {
-            BinOp::Lt => CmpOp::Lt,
-            BinOp::Le => CmpOp::Le,
-            BinOp::Gt => CmpOp::Gt,
-            BinOp::Ge => CmpOp::Ge,
-            BinOp::Eq => CmpOp::Eq,
-            BinOp::Ne => CmpOp::Ne,
-            _ => unreachable!("not a comparison"),
-        }
-    }
-
-    /// Applies the comparison to two ordered values.
-    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
-        match self {
-            CmpOp::Lt => a < b,
-            CmpOp::Le => a <= b,
-            CmpOp::Gt => a > b,
-            CmpOp::Ge => a >= b,
-            CmpOp::Eq => a == b,
-            CmpOp::Ne => a != b,
-        }
-    }
-}
+pub use safegen_ir::cfg::{ArrId, ArrayDecl, CmpOp, FReg, IReg, ParamBinding};
 
 /// One bytecode instruction.
 #[derive(Clone, Debug, PartialEq)]
@@ -131,30 +89,6 @@ pub enum Instr {
     Ret(Option<FReg>),
 }
 
-/// An array declared in the program.
-#[derive(Clone, Debug, PartialEq)]
-pub struct ArrayDecl {
-    /// Source name.
-    pub name: String,
-    /// Total element count (flattened).
-    pub len: usize,
-    /// Dimensions (1 or 2 entries).
-    pub dims: Vec<usize>,
-    /// True if the array is a parameter (bound to caller data).
-    pub is_param: bool,
-}
-
-/// How a parameter is bound at run time.
-#[derive(Clone, Debug, PartialEq)]
-pub enum ParamBinding {
-    /// Scalar float parameter in the given register.
-    Float(FReg),
-    /// Integer parameter in the given register.
-    Int(IReg),
-    /// Array parameter in the array table.
-    Array(ArrId),
-}
-
 /// A compiled program: instructions plus the register/array layout.
 #[derive(Clone, Debug)]
 pub struct Program {
@@ -184,622 +118,133 @@ impl fmt::Display for Program {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-enum Binding {
-    F(FReg),
-    I(IReg),
-    A(ArrId),
-}
-
-struct Codegen<'a> {
-    sema: &'a Sema,
-    func: &'a str,
-    code: Vec<Instr>,
-    spans: Vec<Span>,
-    names: HashMap<String, Binding>,
-    arrays: Vec<ArrayDecl>,
-    n_fregs: u32,
-    n_iregs: u32,
-}
-
-/// Compiles a function of the supported subset to bytecode.
+/// Compiles a function of the supported subset to bytecode, running the
+/// pass pipeline configured by `SAFEGEN_PASSES` (the optimizing default
+/// when unset — see [`PassManager::from_env`]).
 ///
 /// # Errors
 ///
-/// Returns a diagnostic for constructs the bytecode cannot express
-/// (currently: none for programs that pass semantic analysis, except
-/// whole-array assignments which sema already rejects).
+/// Returns a diagnostic for constructs the IR cannot express, or for an
+/// invalid `SAFEGEN_PASSES` value.
 pub fn compile_program(f: &Function, sema: &Sema) -> Result<Program, ParseError> {
-    let mut cg = Codegen {
-        sema,
-        func: &f.name,
-        code: Vec::new(),
-        spans: Vec::new(),
-        names: HashMap::new(),
-        arrays: Vec::new(),
-        n_fregs: 0,
-        n_iregs: 0,
-    };
-    let mut params = Vec::new();
-    for p in &f.params {
-        let binding = match &p.ty {
-            Ty::Int => {
-                let r = cg.fresh_i();
-                cg.names.insert(p.name.clone(), Binding::I(r));
-                ParamBinding::Int(r)
-            }
-            Ty::Float | Ty::Double => {
-                let r = cg.fresh_f();
-                cg.names.insert(p.name.clone(), Binding::F(r));
-                ParamBinding::Float(r)
-            }
-            t if t.rank() > 0 => {
-                let a = cg.declare_array(&p.name, t, true, p.span)?;
-                ParamBinding::Array(a)
-            }
-            other => {
-                return Err(Diagnostic::new(
-                    format!("unsupported parameter type {other:?}"),
-                    p.span,
-                )
-                .into())
-            }
-        };
-        params.push((p.name.clone(), binding));
-    }
-    cg.block(&f.body)?;
-    // Implicit return at the end of void functions.
-    cg.emit(Instr::Ret(None), f.span);
-    Ok(Program {
-        name: f.name.clone(),
-        code: cg.code,
-        n_fregs: cg.n_fregs as usize,
-        n_iregs: cg.n_iregs as usize,
-        arrays: cg.arrays,
-        params,
-        spans: cg.spans,
-    })
+    let pm = PassManager::from_env().map_err(|e| ParseError::from(Diagnostic::new(e, f.span)))?;
+    compile_program_with(f, sema, &pm)
 }
 
-impl Codegen<'_> {
-    fn fresh_f(&mut self) -> FReg {
-        self.n_fregs += 1;
-        self.n_fregs - 1
-    }
+/// Compiles a function with an explicit pass pipeline.
+///
+/// # Errors
+///
+/// Returns a diagnostic for constructs the IR cannot express.
+pub fn compile_program_with(
+    f: &Function,
+    sema: &Sema,
+    pm: &PassManager,
+) -> Result<Program, ParseError> {
+    let mut cfg = safegen_ir::lower_function(f, sema)?;
+    pm.run(&mut cfg);
+    Ok(emit_program(&cfg))
+}
 
-    fn fresh_i(&mut self) -> IReg {
-        self.n_iregs += 1;
-        self.n_iregs - 1
-    }
-
-    fn emit(&mut self, i: Instr, span: Span) {
-        self.code.push(i);
-        self.spans.push(span);
-    }
-
-    fn declare_array(
-        &mut self,
-        name: &str,
-        ty: &Ty,
-        is_param: bool,
-        span: Span,
-    ) -> Result<ArrId, ParseError> {
-        let mut dims = Vec::new();
-        let mut cur = ty;
-        loop {
-            match cur {
-                Ty::Array(inner, n) => {
-                    dims.push(*n);
-                    cur = inner;
-                }
-                Ty::Ptr(inner) => {
-                    // Unsized parameter arrays: size bound at run time
-                    // (recorded as 0 here).
-                    dims.push(0);
-                    cur = inner;
-                }
-                _ => break,
-            }
-        }
-        if dims.len() > 2 {
-            return Err(Diagnostic::new("arrays of rank > 2 are not supported", span).into());
-        }
-        let len = dims.iter().product::<usize>();
-        let id = self.arrays.len() as ArrId;
-        self.arrays.push(ArrayDecl {
-            name: name.to_string(),
-            len,
-            dims,
-            is_param,
-        });
-        self.names.insert(name.to_string(), Binding::A(id));
-        Ok(id)
-    }
-
-    fn block(&mut self, body: &[Stmt]) -> Result<(), ParseError> {
-        let mut pending_pragma: Option<(String, Span)> = None;
-        let mut pending_capacity: Option<(u32, Span)> = None;
-        for s in body {
-            if let Stmt::Pragma { payload, span } = s {
-                if let Some(var) = payload
-                    .strip_prefix("prioritize(")
-                    .and_then(|r| r.strip_suffix(')'))
-                {
-                    pending_pragma = Some((var.trim().to_string(), *span));
-                } else if let Some(k) = payload
-                    .strip_prefix("capacity(")
-                    .and_then(|r| r.strip_suffix(')'))
-                    .and_then(|v| v.trim().parse::<u32>().ok())
-                {
-                    pending_capacity = Some((k, *span));
-                }
-                continue;
-            }
-            if let Some((k, span)) = pending_capacity.take() {
-                self.emit(Instr::SetCapacity(k), span);
-            }
-            if let Some((var, span)) = pending_pragma.take() {
-                if let Some(Binding::F(r)) = self.names.get(&var).copied() {
-                    self.emit(Instr::Protect(r), span);
-                }
-                // Pragmas naming arrays or unknowns are ignored (advisory).
-            }
-            self.stmt(s)?;
-        }
-        Ok(())
-    }
-
-    fn stmt(&mut self, s: &Stmt) -> Result<(), ParseError> {
-        match s {
-            Stmt::Decl {
-                ty,
-                name,
-                init,
-                span,
-            } => {
-                match ty {
-                    Ty::Int => {
-                        let r = self.fresh_i();
-                        self.names.insert(name.clone(), Binding::I(r));
-                        if let Some(e) = init {
-                            let v = self.int_expr(e)?;
-                            self.emit(Instr::MovI(r, v), *span);
-                        }
-                    }
-                    Ty::Float | Ty::Double => {
-                        let r = self.fresh_f();
-                        if let Some(e) = init {
-                            self.float_expr_into(e, r)?;
-                        }
-                        self.names.insert(name.clone(), Binding::F(r));
-                    }
-                    t if t.rank() > 0 => {
-                        self.declare_array(name, t, false, *span)?;
-                    }
-                    other => {
-                        return Err(Diagnostic::new(
-                            format!("unsupported declaration type {other:?}"),
-                            *span,
-                        )
-                        .into())
-                    }
-                }
-                Ok(())
-            }
-            Stmt::Assign { lhs, op, rhs, span } => {
-                debug_assert_eq!(*op, AssignOp::Set, "TAC expands compound assignment");
-                // Non-TAC inputs may still carry compound ops; expand here.
-                let rhs_expr = if *op == AssignOp::Set {
-                    rhs.clone()
+/// Linearizes a CFG into the flat bytecode the VM executes.
+///
+/// Blocks are laid out in creation order. A `Jump` to the next block is
+/// elided; a `Branch` whose taken target is the next block becomes a
+/// single `JumpIfZero` to the other target (the layout the classic
+/// single-pass code generator produced).
+pub fn emit_program(cfg: &Cfg) -> Program {
+    let n = cfg.blocks.len();
+    let mut sizes = vec![0usize; n];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let term_size = match &block.term {
+            Terminator::Jump(t) => usize::from(*t != b + 1),
+            Terminator::Branch(_, t, _) => {
+                if *t == b + 1 {
+                    1
                 } else {
-                    let bin = match op {
-                        AssignOp::Add => BinOp::Add,
-                        AssignOp::Sub => BinOp::Sub,
-                        AssignOp::Mul => BinOp::Mul,
-                        AssignOp::Div => BinOp::Div,
-                        AssignOp::Set => unreachable!(),
-                    };
-                    Expr::Bin {
-                        op: bin,
-                        lhs: Box::new(lhs.clone()),
-                        rhs: Box::new(rhs.clone()),
-                        span: *span,
-                    }
-                };
-                let lty = self.sema.type_of(self.func, lhs);
-                if lty == Ty::Int {
-                    let v = self.int_expr(&rhs_expr)?;
-                    let Expr::Ident { name, .. } = lhs else {
-                        return Err(
-                            Diagnostic::new("int array assignment unsupported", *span).into()
-                        );
-                    };
-                    let Some(Binding::I(r)) = self.names.get(name).copied() else {
-                        return Err(Diagnostic::new("unknown int variable", *span).into());
-                    };
-                    self.emit(Instr::MovI(r, v), *span);
-                    return Ok(());
-                }
-                match lhs {
-                    Expr::Ident { name, .. } => {
-                        let Some(Binding::F(r)) = self.names.get(name).copied() else {
-                            return Err(Diagnostic::new("unknown float variable", *span).into());
-                        };
-                        self.float_expr_into(&rhs_expr, r)?;
-                    }
-                    Expr::Index { .. } => {
-                        let v = self.float_expr(&rhs_expr)?;
-                        let (arr, idx) = self.array_index(lhs)?;
-                        self.emit(Instr::StoreArr(arr, idx, v), *span);
-                    }
-                    _ => {
-                        return Err(Diagnostic::new("bad assignment target", *span).into());
-                    }
-                }
-                Ok(())
-            }
-            Stmt::If {
-                cond,
-                then_body,
-                else_body,
-                span,
-            } => {
-                let c = self.cond_expr(cond)?;
-                let jz = self.code.len();
-                self.emit(Instr::JumpIfZero(c, usize::MAX), *span);
-                self.block(then_body)?;
-                if else_body.is_empty() {
-                    let end = self.code.len();
-                    self.patch_jump(jz, end);
-                } else {
-                    let jmp = self.code.len();
-                    self.emit(Instr::Jump(usize::MAX), *span);
-                    let else_start = self.code.len();
-                    self.patch_jump(jz, else_start);
-                    self.block(else_body)?;
-                    let end = self.code.len();
-                    self.patch_jump(jmp, end);
-                }
-                Ok(())
-            }
-            Stmt::For {
-                init,
-                cond,
-                step,
-                body,
-                span,
-            } => {
-                if let Some(i) = init {
-                    self.stmt(i)?;
-                }
-                let loop_start = self.code.len();
-                let jz = match cond {
-                    Some(c) => {
-                        let r = self.cond_expr(c)?;
-                        let jz = self.code.len();
-                        self.emit(Instr::JumpIfZero(r, usize::MAX), *span);
-                        Some(jz)
-                    }
-                    None => None,
-                };
-                self.block(body)?;
-                if let Some(st) = step {
-                    self.stmt(st)?;
-                }
-                self.emit(Instr::Jump(loop_start), *span);
-                let end = self.code.len();
-                if let Some(jz) = jz {
-                    self.patch_jump(jz, end);
-                }
-                Ok(())
-            }
-            Stmt::While { cond, body, span } => {
-                let loop_start = self.code.len();
-                let r = self.cond_expr(cond)?;
-                let jz = self.code.len();
-                self.emit(Instr::JumpIfZero(r, usize::MAX), *span);
-                self.block(body)?;
-                self.emit(Instr::Jump(loop_start), *span);
-                let end = self.code.len();
-                self.patch_jump(jz, end);
-                Ok(())
-            }
-            Stmt::Return { value, span } => {
-                let r = match value {
-                    Some(e) => Some(self.float_expr(e)?),
-                    None => None,
-                };
-                self.emit(Instr::Ret(r), *span);
-                Ok(())
-            }
-            Stmt::ExprStmt { expr, span } => {
-                // Evaluate for effect (calls have none in the subset, but
-                // keep the evaluation for uniformity).
-                if self.sema.type_of(self.func, expr).is_float() {
-                    self.float_expr(expr)?;
-                } else {
-                    self.int_expr(expr)?;
-                }
-                let _ = span;
-                Ok(())
-            }
-            Stmt::Pragma { .. } => Ok(()), // handled in block()
-            Stmt::Block { body, .. } => self.block(body),
-        }
-    }
-
-    fn patch_jump(&mut self, at: usize, target: usize) {
-        match &mut self.code[at] {
-            Instr::Jump(t) | Instr::JumpIfZero(_, t) => *t = target,
-            other => unreachable!("patching non-jump {other:?}"),
-        }
-    }
-
-    /// Compiles a condition to an int register holding 0/1.
-    fn cond_expr(&mut self, e: &Expr) -> Result<IReg, ParseError> {
-        match e {
-            Expr::Bin { op, lhs, rhs, span } if op.is_cmp() => {
-                let lt = self.sema.type_of(self.func, lhs);
-                let rt = self.sema.type_of(self.func, rhs);
-                let dst = self.fresh_i();
-                if lt.is_float() || rt.is_float() {
-                    let a = self.float_operand(lhs)?;
-                    let b = self.float_operand(rhs)?;
-                    self.emit(Instr::CmpF(CmpOp::of(*op), dst, a, b), *span);
-                } else {
-                    let a = self.int_expr(lhs)?;
-                    let b = self.int_expr(rhs)?;
-                    self.emit(Instr::CmpI(CmpOp::of(*op), dst, a, b), *span);
-                }
-                Ok(dst)
-            }
-            Expr::Bin {
-                op: BinOp::And,
-                lhs,
-                rhs,
-                span,
-            } => {
-                // Non-short-circuit AND: both sides are side-effect-free in
-                // the subset, so multiplication of 0/1 flags is equivalent.
-                let a = self.cond_expr(lhs)?;
-                let b = self.cond_expr(rhs)?;
-                let dst = self.fresh_i();
-                self.emit(Instr::MulI(dst, a, b), *span);
-                Ok(dst)
-            }
-            Expr::Bin {
-                op: BinOp::Or,
-                lhs,
-                rhs,
-                span,
-            } => {
-                let a = self.cond_expr(lhs)?;
-                let b = self.cond_expr(rhs)?;
-                // a | b  ≡  (a + b) != 0
-                let sum = self.fresh_i();
-                self.emit(Instr::AddI(sum, a, b), *span);
-                let zero = self.fresh_i();
-                self.emit(Instr::ConstI(zero, 0), *span);
-                let dst = self.fresh_i();
-                self.emit(Instr::CmpI(CmpOp::Ne, dst, sum, zero), *span);
-                Ok(dst)
-            }
-            Expr::Un {
-                op: UnOp::Not,
-                operand,
-                span,
-            } => {
-                let a = self.cond_expr(operand)?;
-                let zero = self.fresh_i();
-                self.emit(Instr::ConstI(zero, 0), *span);
-                let dst = self.fresh_i();
-                self.emit(Instr::CmpI(CmpOp::Eq, dst, a, zero), *span);
-                Ok(dst)
-            }
-            other => self.int_expr(other),
-        }
-    }
-
-    /// Compiles an int-typed expression into a register.
-    fn int_expr(&mut self, e: &Expr) -> Result<IReg, ParseError> {
-        match e {
-            Expr::IntLit { value, span } => {
-                let r = self.fresh_i();
-                self.emit(Instr::ConstI(r, *value), *span);
-                Ok(r)
-            }
-            Expr::Ident { name, span } => match self.names.get(name).copied() {
-                Some(Binding::I(r)) => Ok(r),
-                _ => Err(Diagnostic::new(format!("`{name}` is not an int variable"), *span).into()),
-            },
-            Expr::Bin { op, lhs, rhs, span } if op.is_arith() => {
-                let a = self.int_expr(lhs)?;
-                let b = self.int_expr(rhs)?;
-                let dst = self.fresh_i();
-                let ins = match op {
-                    BinOp::Add => Instr::AddI(dst, a, b),
-                    BinOp::Sub => Instr::SubI(dst, a, b),
-                    BinOp::Mul => Instr::MulI(dst, a, b),
-                    BinOp::Div => Instr::DivI(dst, a, b),
-                    _ => unreachable!(),
-                };
-                self.emit(ins, *span);
-                Ok(dst)
-            }
-            Expr::Bin { .. } => self.cond_expr(e),
-            Expr::Un {
-                op: UnOp::Neg,
-                operand,
-                span,
-            } => {
-                let a = self.int_expr(operand)?;
-                let zero = self.fresh_i();
-                self.emit(Instr::ConstI(zero, 0), *span);
-                let dst = self.fresh_i();
-                self.emit(Instr::SubI(dst, zero, a), *span);
-                Ok(dst)
-            }
-            Expr::Cast {
-                ty: Ty::Int,
-                operand,
-                span,
-            } => {
-                let f = self.float_operand(operand)?;
-                let dst = self.fresh_i();
-                self.emit(Instr::CastFI(dst, f), *span);
-                Ok(dst)
-            }
-            other => Err(Diagnostic::new("unsupported integer expression", other.span()).into()),
-        }
-    }
-
-    /// Loads a float operand (identifier, literal, array element, or a
-    /// nested expression) into a register.
-    fn float_operand(&mut self, e: &Expr) -> Result<FReg, ParseError> {
-        match e {
-            Expr::Ident { name, span } => match self.names.get(name).copied() {
-                Some(Binding::F(r)) => Ok(r),
-                Some(Binding::I(r)) => {
-                    // Implicit int → float promotion.
-                    let dst = self.fresh_f();
-                    self.emit(Instr::CastIF(dst, r), *span);
-                    Ok(dst)
-                }
-                _ => {
-                    Err(Diagnostic::new(format!("`{name}` is not a float variable"), *span).into())
-                }
-            },
-            _ => self.float_expr(e),
-        }
-    }
-
-    /// Compiles a float expression into a fresh register.
-    fn float_expr(&mut self, e: &Expr) -> Result<FReg, ParseError> {
-        let dst = self.fresh_f();
-        self.float_expr_into(e, dst)?;
-        Ok(dst)
-    }
-
-    /// Compiles a float expression, placing the result in `dst`.
-    fn float_expr_into(&mut self, e: &Expr, dst: FReg) -> Result<(), ParseError> {
-        match e {
-            Expr::FloatLit { value, span } => {
-                self.emit(Instr::ConstF(dst, *value), *span);
-            }
-            Expr::IntLit { value, span } => {
-                self.emit(Instr::ConstF(dst, *value as f64), *span);
-            }
-            Expr::Ident { .. } => {
-                let src = self.float_operand(e)?;
-                if src != dst {
-                    self.emit(Instr::MovF(dst, src), e.span());
+                    2
                 }
             }
-            Expr::Index { span, .. } => {
-                let (arr, idx) = self.array_index(e)?;
-                self.emit(Instr::LoadArr(dst, arr, idx), *span);
-            }
-            Expr::Bin { op, lhs, rhs, span } if op.is_arith() => {
-                let a = self.float_operand(lhs)?;
-                let b = self.float_operand(rhs)?;
-                let ins = match op {
-                    BinOp::Add => Instr::Add(dst, a, b),
-                    BinOp::Sub => Instr::Sub(dst, a, b),
-                    BinOp::Mul => Instr::Mul(dst, a, b),
-                    BinOp::Div => Instr::Div(dst, a, b),
-                    _ => unreachable!(),
-                };
-                self.emit(ins, *span);
-            }
-            Expr::Un {
-                op: UnOp::Neg,
-                operand,
-                span,
-            } => {
-                let a = self.float_operand(operand)?;
-                self.emit(Instr::Neg(dst, a), *span);
-            }
-            Expr::Call { callee, args, span } => match (callee.as_str(), args.as_slice()) {
-                ("sqrt", [x]) => {
-                    let a = self.float_operand(x)?;
-                    self.emit(Instr::Sqrt(dst, a), *span);
-                }
-                ("fabs", [x]) => {
-                    let a = self.float_operand(x)?;
-                    self.emit(Instr::Abs(dst, a), *span);
-                }
-                ("fmin", [x, y]) => {
-                    let a = self.float_operand(x)?;
-                    let b = self.float_operand(y)?;
-                    self.emit(Instr::Min(dst, a, b), *span);
-                }
-                ("fmax", [x, y]) => {
-                    let a = self.float_operand(x)?;
-                    let b = self.float_operand(y)?;
-                    self.emit(Instr::Max(dst, a, b), *span);
-                }
-                _ => {
-                    return Err(
-                        Diagnostic::new(format!("unsupported call `{callee}`"), *span).into(),
-                    )
-                }
-            },
-            Expr::Cast { operand, span, .. } => {
-                let ot = self.sema.type_of(self.func, operand);
-                if ot.is_float() {
-                    let a = self.float_operand(operand)?;
-                    if a != dst {
-                        self.emit(Instr::MovF(dst, a), *span);
-                    }
-                } else {
-                    let a = self.int_expr(operand)?;
-                    self.emit(Instr::CastIF(dst, a), *span);
-                }
-            }
-            other => {
-                return Err(Diagnostic::new("unsupported float expression", other.span()).into())
-            }
-        }
-        Ok(())
-    }
-
-    /// Compiles `a[i]` / `a[i][j]` into `(array, flat-index-register)`.
-    fn array_index(&mut self, e: &Expr) -> Result<(ArrId, IReg), ParseError> {
-        // Collect base and index chain.
-        let mut idxs: Vec<&Expr> = Vec::new();
-        let mut cur = e;
-        while let Expr::Index { base, index, .. } = cur {
-            idxs.push(index);
-            cur = base;
-        }
-        idxs.reverse();
-        let Expr::Ident { name, span } = cur else {
-            return Err(Diagnostic::new("computed array bases unsupported", e.span()).into());
+            Terminator::Ret(_) => 1,
         };
-        let Some(Binding::A(arr)) = self.names.get(name).copied() else {
-            return Err(Diagnostic::new(format!("`{name}` is not an array"), *span).into());
-        };
-        let dims = self.arrays[arr as usize].dims.clone();
-        if idxs.len() != dims.len() {
-            return Err(Diagnostic::new(
-                format!("expected {} indices, got {}", dims.len(), idxs.len()),
-                e.span(),
-            )
-            .into());
+        sizes[b] = block.insts.len() + term_size;
+    }
+    let mut offsets = vec![0usize; n];
+    for b in 1..n {
+        offsets[b] = offsets[b - 1] + sizes[b - 1];
+    }
+    let mut code = Vec::new();
+    let mut spans = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for ins in &block.insts {
+            code.push(instr_of(&ins.inst));
+            spans.push(ins.span);
         }
-        let mut flat = self.int_expr(idxs[0])?;
-        for (d, idx) in idxs.iter().enumerate().skip(1) {
-            // flat = flat * dim[d] + idx
-            let dim = self.fresh_i();
-            self.emit(Instr::ConstI(dim, dims[d] as i64), e.span());
-            let scaled = self.fresh_i();
-            self.emit(Instr::MulI(scaled, flat, dim), e.span());
-            let i = self.int_expr(idx)?;
-            let sum = self.fresh_i();
-            self.emit(Instr::AddI(sum, scaled, i), e.span());
-            flat = sum;
+        match &block.term {
+            Terminator::Jump(t) => {
+                if *t != b + 1 {
+                    code.push(Instr::Jump(offsets[*t]));
+                    spans.push(block.term_span);
+                }
+            }
+            Terminator::Branch(c, t, e) => {
+                // Fall through into the taken target when adjacent.
+                code.push(Instr::JumpIfZero(*c, offsets[*e]));
+                spans.push(block.term_span);
+                if *t != b + 1 {
+                    code.push(Instr::Jump(offsets[*t]));
+                    spans.push(block.term_span);
+                }
+            }
+            Terminator::Ret(r) => {
+                code.push(Instr::Ret(*r));
+                spans.push(block.term_span);
+            }
         }
-        Ok((arr, flat))
+    }
+    debug_assert_eq!(code.len(), offsets[n - 1] + sizes[n - 1]);
+    Program {
+        name: cfg.name.clone(),
+        code,
+        n_fregs: cfg.n_fregs as usize,
+        n_iregs: cfg.n_iregs as usize,
+        arrays: cfg.arrays.clone(),
+        params: cfg
+            .params
+            .iter()
+            .map(|(name, binding, _)| (name.clone(), binding.clone()))
+            .collect(),
+        spans,
+    }
+}
+
+fn instr_of(i: &Inst) -> Instr {
+    match *i {
+        Inst::Add(d, a, b) => Instr::Add(d, a, b),
+        Inst::Sub(d, a, b) => Instr::Sub(d, a, b),
+        Inst::Mul(d, a, b) => Instr::Mul(d, a, b),
+        Inst::Div(d, a, b) => Instr::Div(d, a, b),
+        Inst::Sqrt(d, a) => Instr::Sqrt(d, a),
+        Inst::Abs(d, a) => Instr::Abs(d, a),
+        Inst::Neg(d, a) => Instr::Neg(d, a),
+        Inst::Min(d, a, b) => Instr::Min(d, a, b),
+        Inst::Max(d, a, b) => Instr::Max(d, a, b),
+        Inst::ConstF(d, c) => Instr::ConstF(d, c),
+        Inst::MovF(d, s) => Instr::MovF(d, s),
+        Inst::CastIF(d, s) => Instr::CastIF(d, s),
+        Inst::LoadArr(d, a, idx) => Instr::LoadArr(d, a, idx),
+        Inst::StoreArr(a, idx, s) => Instr::StoreArr(a, idx, s),
+        Inst::ConstI(d, c) => Instr::ConstI(d, c),
+        Inst::AddI(d, a, b) => Instr::AddI(d, a, b),
+        Inst::SubI(d, a, b) => Instr::SubI(d, a, b),
+        Inst::MulI(d, a, b) => Instr::MulI(d, a, b),
+        Inst::DivI(d, a, b) => Instr::DivI(d, a, b),
+        Inst::MovI(d, s) => Instr::MovI(d, s),
+        Inst::CastFI(d, s) => Instr::CastFI(d, s),
+        Inst::CmpI(op, d, a, b) => Instr::CmpI(op, d, a, b),
+        Inst::CmpF(op, d, a, b) => Instr::CmpF(op, d, a, b),
+        Inst::Protect(r) => Instr::Protect(r),
+        Inst::SetCapacity(k) => Instr::SetCapacity(k),
     }
 }
 
@@ -811,9 +256,15 @@ mod tests {
     fn compile_src(src: &str) -> Program {
         let unit = parse(src).unwrap();
         let sema = analyze(&unit).unwrap();
-        let tac = safegen_ir::to_tac(&unit, &sema);
-        let sema2 = analyze(&tac).unwrap();
-        compile_program(&tac.functions[0], &sema2).unwrap()
+        let (tac, sema) = safegen_ir::to_tac_with_sema(&unit, &sema);
+        compile_program_with(&tac.functions[0], &sema, &PassManager::optimizing()).unwrap()
+    }
+
+    fn compile_unopt(src: &str) -> Program {
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let (tac, sema) = safegen_ir::to_tac_with_sema(&unit, &sema);
+        compile_program_with(&tac.functions[0], &sema, &PassManager::none()).unwrap()
     }
 
     #[test]
@@ -931,6 +382,41 @@ mod tests {
     #[test]
     fn spans_align_with_code() {
         let p = compile_src("double f(double a, double b) { return a / b; }");
+        assert_eq!(p.code.len(), p.spans.len());
+    }
+
+    #[test]
+    fn optimization_shrinks_code_and_registers() {
+        let src = "double f(double x) { double a = x * x; double b = x * x; return a + b; }";
+        let unopt = compile_unopt(src);
+        let opt = compile_src(src);
+        assert!(opt.code.len() < unopt.code.len());
+        assert!(opt.n_fregs < unopt.n_fregs);
+        // Only one multiply survives CSE.
+        assert_eq!(
+            opt.code
+                .iter()
+                .filter(|i| matches!(i, Instr::Mul(..)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn optimized_jump_targets_stay_valid() {
+        let p = compile_src(
+            "double f(double x, int n) {
+                double s = 0.0;
+                for (int i = 0; i < n; i++) { double t = x * x; s = s + t; }
+                if (s > 10.0) { s = s / 2.0; } else { s = s * 2.0; }
+                return s;
+            }",
+        );
+        for ins in &p.code {
+            if let Instr::Jump(t) | Instr::JumpIfZero(_, t) = ins {
+                assert!(*t <= p.code.len(), "target out of range: {ins:?}");
+            }
+        }
         assert_eq!(p.code.len(), p.spans.len());
     }
 }

@@ -1,17 +1,25 @@
 //! Computation DAG construction (paper Sec. VI-C, "DAG construction").
 //!
-//! Walks a TAC-form function and produces the directed acyclic graph whose
+//! Builds, from the lowered CFG form of a function (see
+//! [`crate::cfg::lower_function`]), the directed acyclic graph whose
 //! nodes are floating-point operations (the source nodes are input
-//! variables) and whose edges are data dependencies. Loop bodies are
-//! traversed **once** and loop-carried dependencies are dropped, matching
-//! the paper's analysis; conditional branches contribute both arms.
+//! variables) and whose edges are data dependencies. Blocks are walked
+//! once in layout order, so loop bodies contribute once and loop-carried
+//! dependencies are dropped, matching the paper's analysis; conditional
+//! branches contribute both arms. Instructions marked as belonging to a
+//! branch condition are skipped — the analysis considers data flow only.
 //!
-//! Array elements with constant indices are tracked individually; a store
-//! through a non-constant index conservatively retargets the whole array
-//! (subsequent loads of any element of that array see that store).
+//! Array elements with constant flat indices are tracked individually; a
+//! store through a non-constant index conservatively retargets the whole
+//! array (subsequent loads of any element of that array see that store).
+//!
+//! The DAG is always built from the **unoptimized** CFG: the max-reuse
+//! analysis ranks source operations, so it must see every operation the
+//! programmer wrote, not the post-CSE/DCE residue.
 
-use safegen_cfront::{BinOp, Expr, Function, Sema, Span, Stmt, Ty, UnOp};
-use std::collections::HashMap;
+use crate::cfg::{ArrId, Cfg, FReg, IReg, Inst, ParamBinding};
+use safegen_cfront::{Function, Sema, Span};
+use std::collections::{HashMap, HashSet};
 
 /// Index of a node in the DAG.
 pub type NodeId = usize;
@@ -152,392 +160,302 @@ impl Dag {
     }
 }
 
-/// Storage location key for dependence tracking.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum Loc {
-    Scalar(String),
-    /// Array element with constant flat index. (Non-constant accesses are
-    /// tracked through `Builder::smeared` instead.)
-    Elem(String, Vec<i64>),
-}
-
-struct Builder<'a> {
-    dag: Dag,
-    sema: &'a Sema,
-    func: &'a str,
-    /// Last definition of each tracked location.
-    defs: HashMap<Loc, NodeId>,
-    /// Arrays that have been "smeared" by a non-constant store.
-    smeared: HashMap<String, NodeId>,
-    /// Known constant values of integer variables (loop unrolling is not
-    /// performed; indices inside loop bodies are simply non-constant).
-    int_env: HashMap<String, i64>,
-}
-
 /// Builds the computation DAG of a TAC-form function.
 ///
-/// The function should be in TAC form (see [`crate::to_tac`]); non-TAC
-/// inputs still work, but node-to-line mapping degrades.
+/// Lowers the function to the CFG IR and delegates to
+/// [`build_dag_from_cfg`]. Functions the IR cannot express yield an
+/// empty DAG (the backend reports the error; the analysis is advisory).
 pub fn build_dag(f: &Function, sema: &Sema) -> Dag {
-    let mut b = Builder {
-        dag: Dag::default(),
-        sema,
-        func: &f.name,
-        defs: HashMap::new(),
-        smeared: HashMap::new(),
-        int_env: HashMap::new(),
-    };
-    // Source nodes for floating-point parameters.
-    for p in &f.params {
-        if p.ty.is_float() && p.ty.rank() == 0 {
-            let id = b.dag.push(Node {
-                kind: NodeKind::Input(p.name.clone()),
-                args: vec![],
-                span: p.span,
-                var: Some(p.name.clone()),
-            });
-            b.defs.insert(Loc::Scalar(p.name.clone()), id);
-        } else if p.ty.is_float() {
-            // Arrays/pointers: one source node per array (element-wise
-            // sources appear lazily on first constant-index read).
-            let id = b.dag.push(Node {
-                kind: NodeKind::Input(p.name.clone()),
-                args: vec![],
-                span: p.span,
-                var: Some(p.name.clone()),
-            });
-            b.smeared.insert(p.name.clone(), id);
-        }
-    }
-    b.block(&f.body);
-    b.dag
+    crate::cfg::lower_function(f, sema)
+        .map(|cfg| build_dag_from_cfg(&cfg))
+        .unwrap_or_default()
 }
 
-impl Builder<'_> {
-    fn block(&mut self, body: &[Stmt]) {
-        for s in body {
-            self.stmt(s);
+/// Builds the computation DAG from a lowered (unoptimized) CFG.
+pub fn build_dag_from_cfg(cfg: &Cfg) -> Dag {
+    // Int registers written more than once (loop induction variables and
+    // their friends) are never constant-tracked: the blocks are walked
+    // once in layout order, so the init-block write would otherwise leak
+    // a stale constant into the loop body.
+    let mut def_count: HashMap<IReg, u32> = HashMap::new();
+    for block in &cfg.blocks {
+        for ins in &block.insts {
+            if let Some(d) = ins.inst.def_i() {
+                *def_count.entry(d).or_insert(0) += 1;
+            }
         }
     }
-
-    fn stmt(&mut self, s: &Stmt) {
-        match s {
-            Stmt::Decl { ty, name, init, .. } => {
-                if ty == &Ty::Int {
-                    if let Some(v) = init.as_ref().and_then(|e| self.eval_int(e)) {
-                        self.int_env.insert(name.clone(), v);
-                    } else {
-                        self.int_env.remove(name);
-                    }
-                    return;
-                }
-                if let Some(e) = init {
-                    if ty.is_float() && ty.rank() == 0 {
-                        let id = self.expr(e, Some(name.clone()));
-                        self.defs.insert(Loc::Scalar(name.clone()), id);
-                    }
-                }
-            }
-            Stmt::Assign { lhs, rhs, span, .. } => {
-                let lty = self.sema.type_of(self.func, lhs);
-                if lty == Ty::Int {
-                    if let Expr::Ident { name, .. } = lhs {
-                        match self.eval_int(rhs) {
-                            Some(v) => {
-                                self.int_env.insert(name.clone(), v);
-                            }
-                            None => {
-                                self.int_env.remove(name);
-                            }
-                        }
-                    }
-                    return;
-                }
-                let var_name = match lhs {
-                    Expr::Ident { name, .. } => Some(name.clone()),
-                    _ => None,
-                };
-                let id = self.expr(rhs, var_name);
-                let _ = span;
-                self.store(lhs, id);
-            }
-            Stmt::If {
-                cond: _,
-                then_body,
-                else_body,
-                ..
-            } => {
-                // Both arms contribute; defs merge by last-writer-wins,
-                // which over-approximates join points (fine for the
-                // analysis, which is advisory).
-                self.block(then_body);
-                self.block(else_body);
-            }
-            Stmt::For {
-                init,
-                cond: _,
-                step,
-                body,
-                ..
-            } => {
-                if let Some(i) = init {
-                    self.stmt(i);
-                }
-                // Loop indices vary: kill constant knowledge of the
-                // induction variable before walking the body once.
-                if let Some(st) = step {
-                    if let Stmt::Assign {
-                        lhs: Expr::Ident { name, .. },
-                        ..
-                    } = &**st
-                    {
-                        self.int_env.remove(name);
-                    }
-                }
-                self.block(body);
-            }
-            Stmt::While { cond: _, body, .. } => {
-                self.block(body);
-            }
-            Stmt::Return { value, .. } => {
-                if let Some(e) = value {
-                    if self.sema.type_of(self.func, e).is_float() {
-                        self.expr(e, None);
-                    }
-                }
-            }
-            Stmt::ExprStmt { expr, .. } => {
-                if self.sema.type_of(self.func, expr).is_float() {
-                    self.expr(expr, None);
-                }
-            }
-            Stmt::Pragma { .. } => {}
-            Stmt::Block { body, .. } => self.block(body),
-        }
-    }
-
-    fn store(&mut self, lhs: &Expr, id: NodeId) {
-        match lhs {
-            Expr::Ident { name, .. } => {
-                self.defs.insert(Loc::Scalar(name.clone()), id);
-            }
-            Expr::Index { .. } => {
-                let (base, idxs) = flatten_index(lhs);
-                match idxs
-                    .iter()
-                    .map(|e| self.eval_int(e))
-                    .collect::<Option<Vec<_>>>()
-                {
-                    Some(consts) => {
-                        self.defs.insert(Loc::Elem(base, consts), id);
-                    }
-                    None => {
-                        // Non-constant store smears the array.
-                        self.defs
-                            .retain(|loc, _| !matches!(loc, Loc::Elem(b, _) if *b == base));
-                        self.smeared.insert(base, id);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
-    fn load(&mut self, e: &Expr) -> NodeId {
-        match e {
-            Expr::Ident { name, span } => {
-                if let Some(&id) = self.defs.get(&Loc::Scalar(name.clone())) {
-                    return id;
-                }
-                // First use of an undefined-but-declared scalar: a source.
-                let id = self.dag.push(Node {
+    let mut b = CfgDag {
+        dag: Dag::default(),
+        cfg,
+        defs_f: HashMap::new(),
+        int_inputs: HashMap::new(),
+        elem_defs: HashMap::new(),
+        smeared: HashMap::new(),
+        int_consts: HashMap::new(),
+        multi_def: def_count
+            .into_iter()
+            .filter(|(_, c)| *c > 1)
+            .map(|(r, _)| r)
+            .collect(),
+    };
+    // Source nodes for floating-point and array parameters; integer
+    // parameters become sources lazily on first float-context use.
+    for (name, binding, span) in &cfg.params {
+        match binding {
+            ParamBinding::Float(r) => {
+                let id = b.dag.push(Node {
                     kind: NodeKind::Input(name.clone()),
                     args: vec![],
                     span: *span,
                     var: Some(name.clone()),
                 });
-                self.defs.insert(Loc::Scalar(name.clone()), id);
-                id
+                b.defs_f.insert(*r, id);
             }
-            Expr::Index { span, .. } => {
-                let (base, idxs) = flatten_index(e);
-                if let Some(consts) = idxs
-                    .iter()
-                    .map(|i| self.eval_int(i))
-                    .collect::<Option<Vec<_>>>()
-                {
-                    if let Some(&id) = self.defs.get(&Loc::Elem(base.clone(), consts.clone())) {
-                        return id;
-                    }
-                    if let Some(&smear) = self.smeared.get(&base) {
-                        return smear;
-                    }
-                    // Fresh element source.
-                    let name = format!("{base}{consts:?}");
-                    let id = self.dag.push(Node {
-                        kind: NodeKind::Input(name.clone()),
-                        args: vec![],
-                        span: *span,
-                        var: Some(name),
-                    });
-                    self.defs.insert(Loc::Elem(base, consts), id);
-                    return id;
-                }
-                // Non-constant load: depends on the whole array.
-                if let Some(&smear) = self.smeared.get(&base) {
-                    return smear;
-                }
-                let id = self.dag.push(Node {
-                    kind: NodeKind::Input(base.clone()),
+            ParamBinding::Array(a) => {
+                // One source node per array (element-wise sources appear
+                // lazily on first constant-index read of local arrays).
+                let id = b.dag.push(Node {
+                    kind: NodeKind::Input(name.clone()),
                     args: vec![],
                     span: *span,
-                    var: Some(base.clone()),
+                    var: Some(name.clone()),
                 });
-                self.smeared.insert(base, id);
-                id
+                b.smeared.insert(*a, id);
             }
-            _ => self.expr(e, None),
+            ParamBinding::Int(_) => {}
         }
     }
-
-    fn expr(&mut self, e: &Expr, var: Option<String>) -> NodeId {
-        match e {
-            Expr::FloatLit { value, span } => self.dag.push(Node {
-                kind: NodeKind::Const(*value),
-                args: vec![],
-                span: *span,
-                var,
-            }),
-            Expr::IntLit { value, span } => self.dag.push(Node {
-                kind: NodeKind::Const(*value as f64),
-                args: vec![],
-                span: *span,
-                var,
-            }),
-            Expr::Ident { .. } | Expr::Index { .. } => {
-                let id = self.load(e);
-                // An aliasing TAC line `x = t;` re-tags the node so pragma
-                // placement can reference it; the node itself is shared.
-                id
+    for block in &cfg.blocks {
+        for ins in &block.insts {
+            if ins.cond {
+                // Branch-condition instructions carry no data flow the
+                // paper's analysis considers.
+                continue;
             }
-            Expr::Bin { op, lhs, rhs, span } => {
-                let l = self.load_or_expr(lhs);
-                let r = self.load_or_expr(rhs);
-                let kind = match op {
-                    BinOp::Add => NodeKind::Add,
-                    BinOp::Sub => NodeKind::Sub,
-                    BinOp::Mul => NodeKind::Mul,
-                    BinOp::Div => NodeKind::Div,
-                    // Comparisons inside FP context do not occur in TAC.
-                    _ => NodeKind::Add,
-                };
-                self.dag.push(Node {
-                    kind,
-                    args: vec![l, r],
-                    span: *span,
-                    var,
-                })
-            }
-            Expr::Un {
-                op: UnOp::Neg,
-                operand,
-                span,
-            } => {
-                let a = self.load_or_expr(operand);
-                self.dag.push(Node {
-                    kind: NodeKind::Neg,
-                    args: vec![a],
-                    span: *span,
-                    var,
-                })
-            }
-            Expr::Un {
-                op: UnOp::Not,
-                operand,
-                span,
-            } => {
-                let a = self.load_or_expr(operand);
-                self.dag.push(Node {
-                    kind: NodeKind::Cast,
-                    args: vec![a],
-                    span: *span,
-                    var,
-                })
-            }
-            Expr::Call { callee, args, span } => {
-                let a: Vec<NodeId> = args.iter().map(|x| self.load_or_expr(x)).collect();
-                let kind = match callee.as_str() {
-                    "sqrt" => NodeKind::Sqrt,
-                    "fabs" => NodeKind::Abs,
-                    "fmin" => NodeKind::Min,
-                    "fmax" => NodeKind::Max,
-                    _ => NodeKind::Cast,
-                };
-                self.dag.push(Node {
-                    kind,
-                    args: a,
-                    span: *span,
-                    var,
-                })
-            }
-            Expr::Cast { operand, span, .. } => {
-                let a = self.load_or_expr(operand);
-                self.dag.push(Node {
-                    kind: NodeKind::Cast,
-                    args: vec![a],
-                    span: *span,
-                    var,
-                })
-            }
+            b.instr(&ins.inst, ins.span, ins.var.clone());
         }
     }
-
-    fn load_or_expr(&mut self, e: &Expr) -> NodeId {
-        match e {
-            Expr::Ident { .. } | Expr::Index { .. } => self.load(e),
-            _ => self.expr(e, None),
-        }
-    }
-
-    fn eval_int(&self, e: &Expr) -> Option<i64> {
-        match e {
-            Expr::IntLit { value, .. } => Some(*value),
-            Expr::Ident { name, .. } => self.int_env.get(name).copied(),
-            Expr::Bin { op, lhs, rhs, .. } => {
-                let l = self.eval_int(lhs)?;
-                let r = self.eval_int(rhs)?;
-                match op {
-                    BinOp::Add => Some(l + r),
-                    BinOp::Sub => Some(l - r),
-                    BinOp::Mul => Some(l * r),
-                    BinOp::Div if r != 0 => Some(l / r),
-                    _ => None,
-                }
-            }
-            Expr::Un {
-                op: UnOp::Neg,
-                operand,
-                ..
-            } => Some(-self.eval_int(operand)?),
-            _ => None,
-        }
-    }
+    b.dag
 }
 
-/// Decomposes `a[i][j]` into `("a", [i, j])`.
-fn flatten_index(e: &Expr) -> (String, Vec<&Expr>) {
-    let mut idxs = Vec::new();
-    let mut cur = e;
-    while let Expr::Index { base, index, .. } = cur {
-        idxs.push(&**index);
-        cur = base;
+struct CfgDag<'a> {
+    dag: Dag,
+    cfg: &'a Cfg,
+    /// Node currently held by each float register.
+    defs_f: HashMap<FReg, NodeId>,
+    /// Shared source node per named integer variable (int → float casts).
+    int_inputs: HashMap<String, NodeId>,
+    /// Last definition of each constant-indexed array element.
+    elem_defs: HashMap<(ArrId, i64), NodeId>,
+    /// Arrays "smeared" by a non-constant store (or array parameters).
+    smeared: HashMap<ArrId, NodeId>,
+    /// Known constant values of single-definition integer registers.
+    int_consts: HashMap<IReg, i64>,
+    /// Int registers with more than one definition (never const-tracked).
+    multi_def: HashSet<IReg>,
+}
+
+impl CfgDag<'_> {
+    /// The node a float register holds; reading a never-written register
+    /// materializes a source node named after its home variable.
+    fn resolve_f(&mut self, r: FReg, span: Span) -> NodeId {
+        if let Some(&id) = self.defs_f.get(&r) {
+            return id;
+        }
+        let name = self
+            .cfg
+            .fnames
+            .get(r as usize)
+            .and_then(|n| n.clone())
+            .unwrap_or_else(|| format!("f{r}"));
+        let id = self.dag.push(Node {
+            kind: NodeKind::Input(name.clone()),
+            args: vec![],
+            span,
+            var: Some(name),
+        });
+        self.defs_f.insert(r, id);
+        id
     }
-    idxs.reverse();
-    let name = match cur {
-        Expr::Ident { name, .. } => name.clone(),
-        _ => "<expr>".to_string(),
-    };
-    (name, idxs)
+
+    /// Reconstructs the per-dimension display name of an element from its
+    /// flat index (`a[3]` of a 2-D `a[2][2]` renders as `a[1, 1]`).
+    fn elem_name(&self, arr: ArrId, flat: i64) -> String {
+        let a = &self.cfg.arrays[arr as usize];
+        let consts: Vec<i64> = if a.dims.len() == 2 && a.dims[1] > 0 {
+            vec![flat / a.dims[1] as i64, flat % a.dims[1] as i64]
+        } else {
+            vec![flat]
+        };
+        format!("{}{consts:?}", a.name)
+    }
+
+    fn set_int(&mut self, d: IReg, v: Option<i64>) {
+        match v {
+            Some(c) if !self.multi_def.contains(&d) => {
+                self.int_consts.insert(d, c);
+            }
+            _ => {
+                self.int_consts.remove(&d);
+            }
+        }
+    }
+
+    fn int_of(&self, r: IReg) -> Option<i64> {
+        self.int_consts.get(&r).copied()
+    }
+
+    fn op(&mut self, kind: NodeKind, args: Vec<NodeId>, span: Span, var: Option<String>) -> NodeId {
+        self.dag.push(Node {
+            kind,
+            args,
+            span,
+            var,
+        })
+    }
+
+    fn instr(&mut self, ins: &Inst, span: Span, var: Option<String>) {
+        match *ins {
+            Inst::ConstF(d, c) => {
+                let id = self.op(NodeKind::Const(c), vec![], span, var);
+                self.defs_f.insert(d, id);
+            }
+            Inst::MovF(d, s) => {
+                // Aliasing move: the node is shared, no new node.
+                let id = self.resolve_f(s, span);
+                self.defs_f.insert(d, id);
+            }
+            Inst::Add(d, a, b)
+            | Inst::Sub(d, a, b)
+            | Inst::Mul(d, a, b)
+            | Inst::Div(d, a, b)
+            | Inst::Min(d, a, b)
+            | Inst::Max(d, a, b) => {
+                let l = self.resolve_f(a, span);
+                let r = self.resolve_f(b, span);
+                let kind = match ins {
+                    Inst::Add(..) => NodeKind::Add,
+                    Inst::Sub(..) => NodeKind::Sub,
+                    Inst::Mul(..) => NodeKind::Mul,
+                    Inst::Div(..) => NodeKind::Div,
+                    Inst::Min(..) => NodeKind::Min,
+                    _ => NodeKind::Max,
+                };
+                let id = self.op(kind, vec![l, r], span, var);
+                self.defs_f.insert(d, id);
+            }
+            Inst::Sqrt(d, a) | Inst::Abs(d, a) | Inst::Neg(d, a) => {
+                let x = self.resolve_f(a, span);
+                let kind = match ins {
+                    Inst::Sqrt(..) => NodeKind::Sqrt,
+                    Inst::Abs(..) => NodeKind::Abs,
+                    _ => NodeKind::Neg,
+                };
+                let id = self.op(kind, vec![x], span, var);
+                self.defs_f.insert(d, id);
+            }
+            Inst::CastIF(d, s) => {
+                let name = self.cfg.inames.get(s as usize).and_then(|n| n.clone());
+                let id = match name {
+                    Some(n) => match self.int_inputs.get(&n) {
+                        Some(&id) => id,
+                        None => {
+                            // A named integer read in float context is a
+                            // source, shared across its uses.
+                            let id =
+                                self.op(NodeKind::Input(n.clone()), vec![], span, Some(n.clone()));
+                            self.int_inputs.insert(n, id);
+                            id
+                        }
+                    },
+                    None => self.op(NodeKind::Cast, vec![], span, var),
+                };
+                self.defs_f.insert(d, id);
+            }
+            Inst::LoadArr(d, arr, idx) => {
+                let id = match self.int_of(idx) {
+                    Some(flat) => {
+                        if let Some(&id) = self.elem_defs.get(&(arr, flat)) {
+                            id
+                        } else if let Some(&smear) = self.smeared.get(&arr) {
+                            smear
+                        } else {
+                            // Fresh element source.
+                            let name = self.elem_name(arr, flat);
+                            let id =
+                                self.op(NodeKind::Input(name.clone()), vec![], span, Some(name));
+                            self.elem_defs.insert((arr, flat), id);
+                            id
+                        }
+                    }
+                    None => {
+                        // Non-constant load: depends on the whole array.
+                        if let Some(&smear) = self.smeared.get(&arr) {
+                            smear
+                        } else {
+                            let base = self.cfg.arrays[arr as usize].name.clone();
+                            let id =
+                                self.op(NodeKind::Input(base.clone()), vec![], span, Some(base));
+                            self.smeared.insert(arr, id);
+                            id
+                        }
+                    }
+                };
+                self.defs_f.insert(d, id);
+            }
+            Inst::StoreArr(arr, idx, s) => {
+                let val = self.resolve_f(s, span);
+                match self.int_of(idx) {
+                    Some(flat) => {
+                        self.elem_defs.insert((arr, flat), val);
+                    }
+                    None => {
+                        // Non-constant store smears the array.
+                        self.elem_defs.retain(|(a, _), _| *a != arr);
+                        self.smeared.insert(arr, val);
+                    }
+                }
+            }
+            Inst::ConstI(d, c) => self.set_int(d, Some(c)),
+            Inst::AddI(d, a, b) => {
+                let v = self
+                    .int_of(a)
+                    .zip(self.int_of(b))
+                    .map(|(x, y)| x.wrapping_add(y));
+                self.set_int(d, v);
+            }
+            Inst::SubI(d, a, b) => {
+                let v = self
+                    .int_of(a)
+                    .zip(self.int_of(b))
+                    .map(|(x, y)| x.wrapping_sub(y));
+                self.set_int(d, v);
+            }
+            Inst::MulI(d, a, b) => {
+                let v = self
+                    .int_of(a)
+                    .zip(self.int_of(b))
+                    .map(|(x, y)| x.wrapping_mul(y));
+                self.set_int(d, v);
+            }
+            Inst::DivI(d, a, b) => {
+                let v = match (self.int_of(a), self.int_of(b)) {
+                    (Some(x), Some(y)) if y != 0 => Some(x / y),
+                    _ => None,
+                };
+                self.set_int(d, v);
+            }
+            Inst::MovI(d, s) => {
+                let v = self.int_of(s);
+                self.set_int(d, v);
+            }
+            Inst::CastFI(d, _) | Inst::CmpI(_, d, ..) | Inst::CmpF(_, d, ..) => {
+                self.set_int(d, None);
+            }
+            Inst::Protect(_) | Inst::SetCapacity(_) => {}
+        }
+    }
 }
 
 #[cfg(test)]

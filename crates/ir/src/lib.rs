@@ -7,6 +7,16 @@
 //!   operation sits on its own line in a fresh temporary. This is the form
 //!   the static analysis annotates (each DAG node ↔ one source line) and
 //!   the backend transforms.
+//! * [`cfg`] — the **CFG IR**: each TAC function is lowered once into
+//!   basic blocks of three-address instructions over virtual registers,
+//!   with per-instruction source-span provenance. The bytecode emitter,
+//!   the DAG analysis, the C emitter, the profiler and the exact oracle
+//!   all consume this one lowered form.
+//! * [`passes`] — the **optimizing pass pipeline** over the CFG: sound
+//!   common-subexpression elimination, copy propagation, dead-code
+//!   elimination, and liveness-based register allocation, run by a
+//!   [`PassManager`] that honors the `SAFEGEN_PASSES` environment
+//!   variable.
 //! * [`dag`] — the **computation DAG**: nodes are floating-point
 //!   operations (sources are the input variables), edges are data
 //!   dependencies. Loop bodies are traversed once and loop-carried
@@ -17,18 +27,27 @@
 //!     "double f(double x, double y, double z) { return x * z - y * z; }",
 //! ).unwrap();
 //! let sema = safegen_cfront::analyze(&unit).unwrap();
-//! let tac = safegen_ir::to_tac(&unit, &sema);
-//! let sema2 = safegen_cfront::analyze(&tac).unwrap();
-//! let dag = safegen_ir::build_dag(&tac.functions[0], &sema2);
+//! let (tac, sema) = safegen_ir::to_tac_with_sema(&unit, &sema);
+//! let dag = safegen_ir::build_dag(&tac.functions[0], &sema);
 //! // two multiplies, one subtract, three inputs
 //! assert_eq!(dag.op_count(), 3);
 //! assert_eq!(dag.input_count(), 3);
+//! // The same function lowers to the CFG IR the backend consumes.
+//! let cfg = safegen_ir::lower_function(&tac.functions[0], &sema).unwrap();
+//! assert!(cfg.inst_count() >= 3);
 //! ```
 
+pub mod cfg;
 pub mod dag;
 pub mod fold;
+pub mod passes;
 pub mod tac;
 
-pub use dag::{build_dag, Dag, Node, NodeId, NodeKind};
+pub use cfg::{
+    lower_function, ArrId, ArrayDecl, Block, BlockId, Cfg, CfgInstr, CmpOp, FReg, IReg, Inst,
+    ParamBinding, Terminator,
+};
+pub use dag::{build_dag, build_dag_from_cfg, Dag, Node, NodeId, NodeKind};
 pub use fold::fold_constants;
-pub use tac::to_tac;
+pub use passes::{pass_by_name, Pass, PassManager};
+pub use tac::{to_tac, to_tac_with_sema};

@@ -1,0 +1,977 @@
+//! Optimization passes over the CFG IR, and the pass manager that runs
+//! them.
+//!
+//! Every pass must be *sound* for every numeric domain the VM can run a
+//! program under, including the affine domains where an instruction
+//! allocates noise symbols:
+//!
+//! * **CSE** merges instructions that compute bit-identical values from
+//!   the same registers. Under affine domains, re-using one affine form
+//!   for both occurrences *correlates* their noise symbols — which is
+//!   exactly the max-reuse insight of the paper: correlation never
+//!   widens an enclosure, it only lets later cancellation tighten it.
+//! * **Copy propagation** forwards `MovF`/`MovI` sources; moves allocate
+//!   no symbols, so forwarding the source register is the identity on
+//!   every domain.
+//! * **DCE** removes instructions whose results are never observed.
+//!   Removed FP ops would have allocated noise symbols, but symbols of a
+//!   dead value never flow into a live one, so enclosures of observed
+//!   values are unchanged. Ops that can trap (`DivI`, array accesses)
+//!   and the pragma instructions are never removed.
+//! * **Register allocation** renumbers registers by liveness-derived
+//!   interference; renaming storage cannot change any computed value.
+//!
+//! Instructions pinned by a pending `#pragma safegen` (see
+//! [`crate::cfg::pinned_seeded`]) are never merged or removed, so the
+//! pragma applies to the same operation before and after optimization.
+
+use crate::cfg::{pinned_seeded, ArrId, Cfg, CmpOp, FReg, IReg, Inst, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// A named rewrite of a [`Cfg`].
+pub trait Pass {
+    /// Stable name, as accepted by `SAFEGEN_PASSES`.
+    fn name(&self) -> &'static str;
+    /// Rewrites the CFG in place; returns true if anything changed.
+    fn run(&self, cfg: &mut Cfg) -> bool;
+}
+
+/// Looks a pass up by its `SAFEGEN_PASSES` name.
+pub fn pass_by_name(name: &str) -> Option<Box<dyn Pass>> {
+    match name {
+        "cse" => Some(Box::new(Cse)),
+        "copy-prop" | "copyprop" => Some(Box::new(CopyProp)),
+        "dce" => Some(Box::new(Dce)),
+        "regalloc" => Some(Box::new(RegAlloc)),
+        _ => None,
+    }
+}
+
+/// An ordered list of passes to run on every lowered function.
+///
+/// The list is stored by name (cheap to clone, `Send`/`Sync`), so a
+/// `PassManager` can live inside shared compiler state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassManager {
+    names: Vec<String>,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::optimizing()
+    }
+}
+
+impl PassManager {
+    /// The default optimizing pipeline: cse → copy-prop → dce → regalloc.
+    ///
+    /// CSE first (it introduces copies), copy propagation to forward
+    /// them, DCE to drop the then-dead moves and any dead code, and
+    /// register allocation last, once the instruction mix is final.
+    pub fn optimizing() -> Self {
+        Self {
+            names: ["cse", "copy-prop", "dce", "regalloc"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+        }
+    }
+
+    /// The empty pipeline: lower and emit with no optimization.
+    pub fn none() -> Self {
+        Self { names: Vec::new() }
+    }
+
+    /// Builds a pipeline from pass names (`SAFEGEN_PASSES` syntax).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown pass.
+    pub fn from_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Result<Self, String> {
+        let mut v = Vec::new();
+        for n in names {
+            let n = n.trim();
+            if n.is_empty() {
+                continue;
+            }
+            if pass_by_name(n).is_none() {
+                return Err(format!(
+                    "unknown pass `{n}` (known: cse, copy-prop, dce, regalloc)"
+                ));
+            }
+            v.push(n.to_string());
+        }
+        Ok(Self { names: v })
+    }
+
+    /// Parses a pipeline spec (the `SAFEGEN_PASSES`/`--passes` syntax):
+    /// empty, `none` or `off` → no passes; `default` → the optimizing
+    /// pipeline; otherwise a comma-separated pass list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown pass.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let v = spec.trim();
+        if v.is_empty() || v == "none" || v == "off" {
+            Ok(Self::none())
+        } else if v == "default" {
+            Ok(Self::optimizing())
+        } else {
+            Self::from_names(v.split(','))
+        }
+    }
+
+    /// Reads `SAFEGEN_PASSES` (unset → the optimizing pipeline) and
+    /// parses it with [`PassManager::from_spec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown pass.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("SAFEGEN_PASSES") {
+            Err(_) => Ok(Self::optimizing()),
+            Ok(v) => Self::from_spec(&v),
+        }
+    }
+
+    /// The pass names, in run order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// True when no passes will run.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Runs the pipeline on one CFG; returns true if anything changed.
+    pub fn run(&self, cfg: &mut Cfg) -> bool {
+        let mut changed = false;
+        for n in &self.names {
+            let pass = pass_by_name(n).expect("validated at construction");
+            changed |= pass.run(cfg);
+        }
+        changed
+    }
+}
+
+/// Per-instruction pin masks for every block, with pending pragma state
+/// propagated across block edges (forward may-analysis: a block entry is
+/// pending if any predecessor exits pending).
+fn pinned_map(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.blocks.len();
+    let mut in_prot = vec![false; n];
+    let mut in_cap = vec![false; n];
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            let (_, out_prot, out_cap) = pinned_seeded(&cfg.blocks[b], in_prot[b], in_cap[b]);
+            for s in cfg.blocks[b].term.successors() {
+                if out_prot && !in_prot[s] {
+                    in_prot[s] = true;
+                    changed = true;
+                }
+                if out_cap && !in_cap[s] {
+                    in_cap[s] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (0..n)
+        .map(|b| pinned_seeded(&cfg.blocks[b], in_prot[b], in_cap[b]).0)
+        .collect()
+}
+
+/// A set of live registers, split by register file.
+#[derive(Clone, PartialEq, Eq)]
+struct LiveSet {
+    f: Vec<bool>,
+    i: Vec<bool>,
+}
+
+impl LiveSet {
+    fn new(nf: usize, ni: usize) -> Self {
+        Self {
+            f: vec![false; nf],
+            i: vec![false; ni],
+        }
+    }
+
+    fn union(&mut self, other: &LiveSet) {
+        for (a, b) in self.f.iter_mut().zip(&other.f) {
+            *a |= *b;
+        }
+        for (a, b) in self.i.iter_mut().zip(&other.i) {
+            *a |= *b;
+        }
+    }
+
+    fn live_f(&self, r: FReg) -> bool {
+        self.f[r as usize]
+    }
+
+    fn live_i(&self, r: IReg) -> bool {
+        self.i[r as usize]
+    }
+
+    fn iter_f(&self) -> impl Iterator<Item = FReg> + '_ {
+        self.f
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(r, _)| r as FReg)
+    }
+
+    fn iter_i(&self) -> impl Iterator<Item = IReg> + '_ {
+        self.i
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(r, _)| r as IReg)
+    }
+}
+
+/// Registers the terminator reads.
+fn term_uses(term: &Terminator, live: &mut LiveSet) {
+    match term {
+        Terminator::Branch(c, ..) => live.i[*c as usize] = true,
+        Terminator::Ret(Some(r)) => live.f[*r as usize] = true,
+        _ => {}
+    }
+}
+
+/// Backward transfer for one instruction: kill the def, gen the uses.
+fn step_backward(ins: &Inst, live: &mut LiveSet) {
+    if let Some(d) = ins.def_f() {
+        live.f[d as usize] = false;
+    }
+    if let Some(d) = ins.def_i() {
+        live.i[d as usize] = false;
+    }
+    for u in ins.uses_f() {
+        live.f[u as usize] = true;
+    }
+    for u in ins.uses_i() {
+        live.i[u as usize] = true;
+    }
+}
+
+/// True if the instruction's result is unobserved in `live`.
+fn def_is_dead(ins: &Inst, live: &LiveSet) -> bool {
+    match (ins.def_f(), ins.def_i()) {
+        (Some(d), _) => !live.live_f(d),
+        (_, Some(d)) => !live.live_i(d),
+        _ => false,
+    }
+}
+
+/// True for instructions DCE may delete when dead: anything without a
+/// side effect the VM observes. `DivI` and array accesses can trap,
+/// `StoreArr` writes memory, and the pragma instructions steer the
+/// domain, so they all stay.
+fn removable(ins: &Inst) -> bool {
+    !matches!(
+        ins,
+        Inst::DivI(..)
+            | Inst::LoadArr(..)
+            | Inst::StoreArr(..)
+            | Inst::Protect(..)
+            | Inst::SetCapacity(..)
+    )
+}
+
+/// Backward liveness fixpoint. Returns per-block live-in / live-out
+/// sets. With `dce_pins` set, uses of instructions that are themselves
+/// dead and removable (per the given pin masks) do not count — the
+/// precise variant DCE needs to delete whole dead chains in one sweep.
+fn liveness(cfg: &Cfg, dce_pins: Option<&[Vec<bool>]>) -> (Vec<LiveSet>, Vec<LiveSet>) {
+    let n = cfg.blocks.len();
+    let nf = cfg.n_fregs as usize;
+    let ni = cfg.n_iregs as usize;
+    let mut live_in = vec![LiveSet::new(nf, ni); n];
+    let mut live_out = vec![LiveSet::new(nf, ni); n];
+    loop {
+        let mut changed = false;
+        for b in (0..n).rev() {
+            let mut out = LiveSet::new(nf, ni);
+            for s in cfg.blocks[b].term.successors() {
+                out.union(&live_in[s]);
+            }
+            let mut inn = out.clone();
+            term_uses(&cfg.blocks[b].term, &mut inn);
+            for (ii, ins) in cfg.blocks[b].insts.iter().enumerate().rev() {
+                if let Some(pins) = dce_pins {
+                    if def_is_dead(&ins.inst, &inn) && removable(&ins.inst) && !pins[b][ii] {
+                        continue; // will be deleted; its uses are not real
+                    }
+                }
+                step_backward(&ins.inst, &mut inn);
+            }
+            if out != live_out[b] {
+                live_out[b] = out;
+                changed = true;
+            }
+            if inn != live_in[b] {
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (live_in, live_out)
+}
+
+/// Rewrites every register the instruction reads.
+fn map_uses(ins: &mut Inst, mf: &impl Fn(FReg) -> FReg, mi: &impl Fn(IReg) -> IReg) {
+    match ins {
+        Inst::Add(_, a, b)
+        | Inst::Sub(_, a, b)
+        | Inst::Mul(_, a, b)
+        | Inst::Div(_, a, b)
+        | Inst::Min(_, a, b)
+        | Inst::Max(_, a, b)
+        | Inst::CmpF(_, _, a, b) => {
+            *a = mf(*a);
+            *b = mf(*b);
+        }
+        Inst::Sqrt(_, a) | Inst::Abs(_, a) | Inst::Neg(_, a) | Inst::MovF(_, a) => *a = mf(*a),
+        Inst::StoreArr(_, idx, s) => {
+            *idx = mi(*idx);
+            *s = mf(*s);
+        }
+        Inst::CastFI(_, s) | Inst::Protect(s) => *s = mf(*s),
+        Inst::AddI(_, a, b)
+        | Inst::SubI(_, a, b)
+        | Inst::MulI(_, a, b)
+        | Inst::DivI(_, a, b)
+        | Inst::CmpI(_, _, a, b) => {
+            *a = mi(*a);
+            *b = mi(*b);
+        }
+        Inst::MovI(_, s) | Inst::CastIF(_, s) => *s = mi(*s),
+        Inst::LoadArr(_, _, idx) => *idx = mi(*idx),
+        Inst::ConstF(..) | Inst::ConstI(..) | Inst::SetCapacity(..) => {}
+    }
+}
+
+/// Rewrites the register the instruction writes, if any.
+fn map_defs(ins: &mut Inst, mf: &impl Fn(FReg) -> FReg, mi: &impl Fn(IReg) -> IReg) {
+    match ins {
+        Inst::Add(d, ..)
+        | Inst::Sub(d, ..)
+        | Inst::Mul(d, ..)
+        | Inst::Div(d, ..)
+        | Inst::Sqrt(d, ..)
+        | Inst::Abs(d, ..)
+        | Inst::Neg(d, ..)
+        | Inst::Min(d, ..)
+        | Inst::Max(d, ..)
+        | Inst::ConstF(d, ..)
+        | Inst::MovF(d, ..)
+        | Inst::CastIF(d, ..)
+        | Inst::LoadArr(d, ..) => *d = mf(*d),
+        Inst::ConstI(d, ..)
+        | Inst::AddI(d, ..)
+        | Inst::SubI(d, ..)
+        | Inst::MulI(d, ..)
+        | Inst::DivI(d, ..)
+        | Inst::MovI(d, ..)
+        | Inst::CastFI(d, ..)
+        | Inst::CmpI(_, d, ..)
+        | Inst::CmpF(_, d, ..) => *d = mi(*d),
+        Inst::StoreArr(..) | Inst::Protect(..) | Inst::SetCapacity(..) => {}
+    }
+}
+
+/// Value-number key for CSE. Float keys are order-sensitive (FP ops do
+/// not commute bit-for-bit); the int `add`/`mul` keys are canonicalized
+/// since integer arithmetic is exact.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Key {
+    /// FP op: opcode tag + operand registers in source order.
+    F(u8, Vec<FReg>),
+    /// Float constant, by bit pattern.
+    FConst(u64),
+    /// Int → float cast.
+    FCast(IReg),
+    /// Array load (invalidated by stores to the same array).
+    FLoad(ArrId, IReg),
+    /// Int op: opcode tag + operands (canonicalized if commutative).
+    I(u8, IReg, IReg),
+    /// Int constant.
+    IConst(i64),
+    /// Int/float comparison producing an int flag.
+    ICmp(CmpOp, IReg, IReg),
+    FCmp(CmpOp, FReg, FReg),
+}
+
+fn key_of(ins: &Inst) -> Option<Key> {
+    Some(match *ins {
+        Inst::Add(_, a, b) => Key::F(0, vec![a, b]),
+        Inst::Sub(_, a, b) => Key::F(1, vec![a, b]),
+        Inst::Mul(_, a, b) => Key::F(2, vec![a, b]),
+        Inst::Div(_, a, b) => Key::F(3, vec![a, b]),
+        Inst::Min(_, a, b) => Key::F(4, vec![a, b]),
+        Inst::Max(_, a, b) => Key::F(5, vec![a, b]),
+        Inst::Sqrt(_, a) => Key::F(6, vec![a]),
+        Inst::Abs(_, a) => Key::F(7, vec![a]),
+        Inst::Neg(_, a) => Key::F(8, vec![a]),
+        Inst::ConstF(_, c) => Key::FConst(c.to_bits()),
+        Inst::CastIF(_, s) => Key::FCast(s),
+        Inst::LoadArr(_, arr, idx) => Key::FLoad(arr, idx),
+        Inst::ConstI(_, c) => Key::IConst(c),
+        Inst::AddI(_, a, b) => Key::I(0, a.min(b), a.max(b)),
+        Inst::SubI(_, a, b) => Key::I(1, a, b),
+        Inst::MulI(_, a, b) => Key::I(2, a.min(b), a.max(b)),
+        Inst::DivI(_, a, b) => Key::I(3, a, b),
+        Inst::CmpI(op, _, a, b) => Key::ICmp(op, a, b),
+        Inst::CmpF(op, _, a, b) => Key::FCmp(op, a, b),
+        _ => return None,
+    })
+}
+
+fn key_reads_f(k: &Key, r: FReg) -> bool {
+    match k {
+        Key::F(_, ops) => ops.contains(&r),
+        Key::FCmp(_, a, b) => *a == r || *b == r,
+        _ => false,
+    }
+}
+
+fn key_reads_i(k: &Key, r: IReg) -> bool {
+    match k {
+        Key::FCast(s) => *s == r,
+        Key::FLoad(_, idx) => *idx == r,
+        Key::I(_, a, b) | Key::ICmp(_, a, b) => *a == r || *b == r,
+        _ => false,
+    }
+}
+
+/// Common-subexpression elimination (block-local value numbering).
+///
+/// A repeated instruction is replaced with a move from the first
+/// occurrence's destination. Sound in every domain: the merged values
+/// are bit-identical concretely, and under affine domains sharing one
+/// affine form correlates the noise symbols of the two occurrences,
+/// which never widens and typically tightens downstream enclosures.
+/// Pragma-pinned instructions are neither merged away nor used as merge
+/// sources.
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, cfg: &mut Cfg) -> bool {
+        let pins = pinned_map(cfg);
+        let mut changed = false;
+        for (bi, block) in cfg.blocks.iter_mut().enumerate() {
+            let mut ftab: HashMap<Key, FReg> = HashMap::new();
+            let mut itab: HashMap<Key, IReg> = HashMap::new();
+            for (ii, ins) in block.insts.iter_mut().enumerate() {
+                let key = if pins[bi][ii] {
+                    None // pinned: not a merge candidate in either role
+                } else {
+                    key_of(&ins.inst)
+                };
+                // Replace with a move if the value is already available.
+                if let Some(k) = &key {
+                    if let Some(df) = ins.inst.def_f() {
+                        if let Some(&prev) = ftab.get(k) {
+                            ins.inst = Inst::MovF(df, prev);
+                            changed = true;
+                        }
+                    } else if let Some(di) = ins.inst.def_i() {
+                        if let Some(&prev) = itab.get(k) {
+                            ins.inst = Inst::MovI(di, prev);
+                            changed = true;
+                        }
+                    }
+                }
+                // A store may change any element of its array.
+                if let Inst::StoreArr(arr, _, _) = ins.inst {
+                    ftab.retain(|k, _| !matches!(k, Key::FLoad(a, _) if *a == arr));
+                }
+                // The def invalidates keys mentioning the old value.
+                if let Some(d) = ins.inst.def_f() {
+                    ftab.retain(|k, v| *v != d && !key_reads_f(k, d));
+                    itab.retain(|k, _| !key_reads_f(k, d));
+                }
+                if let Some(d) = ins.inst.def_i() {
+                    itab.retain(|k, v| *v != d && !key_reads_i(k, d));
+                    ftab.retain(|k, _| !key_reads_i(k, d));
+                }
+                // Record the new value — unless the instruction clobbers
+                // one of its own operands (the key no longer describes
+                // what the destination holds).
+                if let (Some(k), false) = (key_of(&ins.inst), pins[bi][ii]) {
+                    let self_clobber = match (ins.inst.def_f(), ins.inst.def_i()) {
+                        (Some(d), _) => key_reads_f(&k, d),
+                        (_, Some(d)) => key_reads_i(&k, d),
+                        _ => false,
+                    };
+                    if !self_clobber {
+                        if let Some(d) = ins.inst.def_f() {
+                            ftab.insert(k, d);
+                        } else if let Some(d) = ins.inst.def_i() {
+                            itab.insert(k, d);
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Copy propagation (block-local).
+///
+/// Forwards `MovF`/`MovI` sources into later uses and drops identity
+/// moves. Moves allocate no noise symbols, so using the source register
+/// directly is the identity in every domain.
+pub struct CopyProp;
+
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+
+    fn run(&self, cfg: &mut Cfg) -> bool {
+        let mut changed = false;
+        for block in &mut cfg.blocks {
+            let mut cf: HashMap<FReg, FReg> = HashMap::new();
+            let mut ci: HashMap<IReg, IReg> = HashMap::new();
+            let old = std::mem::take(&mut block.insts);
+            for mut ins in old {
+                let before = ins.inst.clone();
+                map_uses(&mut ins.inst, &|r| cf.get(&r).copied().unwrap_or(r), &|r| {
+                    ci.get(&r).copied().unwrap_or(r)
+                });
+                if ins.inst != before {
+                    changed = true;
+                }
+                match ins.inst {
+                    Inst::MovF(d, s) if d == s => {
+                        changed = true; // identity move: drop
+                        continue;
+                    }
+                    Inst::MovI(d, s) if d == s => {
+                        changed = true;
+                        continue;
+                    }
+                    Inst::MovF(d, s) => {
+                        cf.retain(|k, v| *k != d && *v != d);
+                        cf.insert(d, s);
+                        block.insts.push(ins);
+                    }
+                    Inst::MovI(d, s) => {
+                        ci.retain(|k, v| *k != d && *v != d);
+                        ci.insert(d, s);
+                        block.insts.push(ins);
+                    }
+                    _ => {
+                        if let Some(d) = ins.inst.def_f() {
+                            cf.retain(|k, v| *k != d && *v != d);
+                        }
+                        if let Some(d) = ins.inst.def_i() {
+                            ci.retain(|k, v| *k != d && *v != d);
+                        }
+                        block.insts.push(ins);
+                    }
+                }
+            }
+            match &mut block.term {
+                Terminator::Branch(c, ..) => {
+                    if let Some(&s) = ci.get(c) {
+                        *c = s;
+                        changed = true;
+                    }
+                }
+                Terminator::Ret(Some(r)) => {
+                    if let Some(&s) = cf.get(r) {
+                        *r = s;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        changed
+    }
+}
+
+/// Dead-code elimination.
+///
+/// Deletes instructions whose destination register is dead, using the
+/// precise liveness variant so whole dead chains disappear in one run.
+/// Never touches instructions that can trap, stores, pragmas, or
+/// pragma-pinned FP ops.
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, cfg: &mut Cfg) -> bool {
+        let mut any = false;
+        loop {
+            let pins = pinned_map(cfg);
+            let (_, live_out) = liveness(cfg, Some(&pins));
+            let mut changed = false;
+            for (b, block) in cfg.blocks.iter_mut().enumerate() {
+                let mut live = live_out[b].clone();
+                term_uses(&block.term, &mut live);
+                let mut keep = vec![true; block.insts.len()];
+                for (ii, ins) in block.insts.iter().enumerate().rev() {
+                    if def_is_dead(&ins.inst, &live) && removable(&ins.inst) && !pins[b][ii] {
+                        keep[ii] = false;
+                        changed = true;
+                        continue;
+                    }
+                    step_backward(&ins.inst, &mut live);
+                }
+                if keep.iter().any(|k| !k) {
+                    let mut it = keep.iter();
+                    block.insts.retain(|_| *it.next().unwrap());
+                }
+            }
+            if !changed {
+                break;
+            }
+            any = true;
+        }
+        any
+    }
+}
+
+/// Liveness-based register allocation.
+///
+/// Builds an interference graph from global liveness and greedily
+/// recolors both register files, shrinking per-worker VM state.
+/// Parameters are colored first and mutually interfere (their registers
+/// are bound by the caller before entry); registers live into the entry
+/// block additionally interfere with every parameter, because uninitial-
+/// ized registers must keep reading the VM's zero-init, not a parameter.
+pub struct RegAlloc;
+
+impl Pass for RegAlloc {
+    fn name(&self) -> &'static str {
+        "regalloc"
+    }
+
+    fn run(&self, cfg: &mut Cfg) -> bool {
+        let nf = cfg.n_fregs as usize;
+        let ni = cfg.n_iregs as usize;
+        if nf == 0 && ni == 0 {
+            return false;
+        }
+        let (live_in, live_out) = liveness(cfg, None);
+        let mut adj_f: Vec<HashSet<u32>> = vec![HashSet::new(); nf];
+        let mut adj_i: Vec<HashSet<u32>> = vec![HashSet::new(); ni];
+        let edge = |adj: &mut Vec<HashSet<u32>>, a: u32, b: u32| {
+            if a != b {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        };
+        let fparams: Vec<FReg> = cfg
+            .params
+            .iter()
+            .filter_map(|(_, b, _)| match b {
+                crate::cfg::ParamBinding::Float(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        let iparams: Vec<IReg> = cfg
+            .params
+            .iter()
+            .filter_map(|(_, b, _)| match b {
+                crate::cfg::ParamBinding::Int(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        for &p in &fparams {
+            for &q in &fparams {
+                edge(&mut adj_f, p, q);
+            }
+            for r in live_in[0].iter_f() {
+                edge(&mut adj_f, p, r);
+            }
+        }
+        for &p in &iparams {
+            for &q in &iparams {
+                edge(&mut adj_i, p, q);
+            }
+            for r in live_in[0].iter_i() {
+                edge(&mut adj_i, p, r);
+            }
+        }
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let mut live = live_out[b].clone();
+            term_uses(&block.term, &mut live);
+            for ins in block.insts.iter().rev() {
+                // A def interferes with everything live across it — even
+                // a dead def must not clobber a live register.
+                if let Some(d) = ins.inst.def_f() {
+                    for l in live.iter_f() {
+                        edge(&mut adj_f, d, l);
+                    }
+                }
+                if let Some(d) = ins.inst.def_i() {
+                    for l in live.iter_i() {
+                        edge(&mut adj_i, d, l);
+                    }
+                }
+                step_backward(&ins.inst, &mut live);
+            }
+        }
+        let color_f = color(nf, &adj_f, &fparams);
+        let color_i = color(ni, &adj_i, &iparams);
+        let mf = |r: FReg| color_f[r as usize];
+        let mi = |r: IReg| color_i[r as usize];
+        let identity = color_f.iter().enumerate().all(|(i, &c)| c == i as u32)
+            && color_i.iter().enumerate().all(|(i, &c)| c == i as u32);
+        for block in &mut cfg.blocks {
+            for ins in &mut block.insts {
+                map_uses(&mut ins.inst, &mf, &mi);
+                map_defs(&mut ins.inst, &mf, &mi);
+            }
+            match &mut block.term {
+                Terminator::Branch(c, ..) => *c = mi(*c),
+                Terminator::Ret(Some(r)) => *r = mf(*r),
+                _ => {}
+            }
+            // Renumbering can turn moves into no-ops; drop them.
+            block.insts.retain(|ins| match ins.inst {
+                Inst::MovF(d, s) => d != s,
+                Inst::MovI(d, s) => d != s,
+                _ => true,
+            });
+        }
+        for (_, binding, _) in &mut cfg.params {
+            match binding {
+                crate::cfg::ParamBinding::Float(r) => *r = mf(*r),
+                crate::cfg::ParamBinding::Int(r) => *r = mi(*r),
+                crate::cfg::ParamBinding::Array(_) => {}
+            }
+        }
+        let new_nf = color_f.iter().copied().max().map_or(0, |m| m + 1);
+        let new_ni = color_i.iter().copied().max().map_or(0, |m| m + 1);
+        cfg.n_fregs = new_nf;
+        cfg.n_iregs = new_ni;
+        // Home names keyed by original register numbers no longer apply.
+        cfg.fnames = vec![None; new_nf as usize];
+        cfg.inames = vec![None; new_ni as usize];
+        for (name, binding, _) in &cfg.params {
+            match binding {
+                crate::cfg::ParamBinding::Float(r) => {
+                    cfg.fnames[*r as usize] = Some(name.clone());
+                }
+                crate::cfg::ParamBinding::Int(r) => {
+                    cfg.inames[*r as usize] = Some(name.clone());
+                }
+                crate::cfg::ParamBinding::Array(_) => {}
+            }
+        }
+        !identity
+    }
+}
+
+/// Greedy graph coloring; `first` registers (parameters) are colored
+/// before the rest so callers' binding order stays dense and stable.
+fn color(n: usize, adj: &[HashSet<u32>], first: &[u32]) -> Vec<u32> {
+    let mut colors = vec![u32::MAX; n];
+    let order = first
+        .iter()
+        .copied()
+        .chain((0..n as u32).filter(|r| !first.contains(r)));
+    for r in order {
+        if colors[r as usize] != u32::MAX {
+            continue;
+        }
+        let used: HashSet<u32> = adj[r as usize]
+            .iter()
+            .map(|&x| colors[x as usize])
+            .filter(|&c| c != u32::MAX)
+            .collect();
+        let mut c = 0;
+        while used.contains(&c) {
+            c += 1;
+        }
+        colors[r as usize] = c;
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safegen_cfront::{analyze, parse};
+
+    fn lower(src: &str) -> Cfg {
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let (tac, sema) = crate::to_tac_with_sema(&unit, &sema);
+        crate::lower_function(&tac.functions[0], &sema).unwrap()
+    }
+
+    fn optimized(src: &str) -> Cfg {
+        let mut cfg = lower(src);
+        PassManager::optimizing().run(&mut cfg);
+        cfg
+    }
+
+    fn count(cfg: &Cfg, pred: impl Fn(&Inst) -> bool) -> usize {
+        cfg.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| pred(&i.inst))
+            .count()
+    }
+
+    #[test]
+    fn cse_merges_duplicate_fp_ops() {
+        let cfg =
+            optimized("double f(double x) { double a = x * x; double b = x * x; return a + b; }");
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Mul(..))), 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Add(..))), 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::MovF(..))), 0);
+    }
+
+    #[test]
+    fn cse_respects_redefinition() {
+        // x changes between the two products: they must not merge.
+        let cfg = optimized(
+            "double f(double x, double y) {
+                double a = x * y; x = x + 1.0; double b = x * y; return a + b; }",
+        );
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Mul(..))), 2);
+    }
+
+    #[test]
+    fn dce_removes_dead_computation() {
+        let cfg = optimized("double f(double x) { double d = x * 2.0; return x; }");
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Mul(..))), 0);
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::ConstF(..))), 0);
+    }
+
+    #[test]
+    fn dce_keeps_loop_carried_values() {
+        let cfg = optimized(
+            "double f(double x) { for (int i = 0; i < 3; i++) { x = x * 0.5; } return x; }",
+        );
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Mul(..))), 1);
+    }
+
+    #[test]
+    fn copy_prop_forwards_aliases() {
+        let cfg = optimized("double f(double x) { double y = x; return y * y; }");
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::MovF(..))), 0);
+        assert_eq!(cfg.inst_count(), 1, "only the multiply remains");
+    }
+
+    #[test]
+    fn regalloc_shrinks_register_file() {
+        let src = "double f(double x) {
+            double a = x + 1.0; double b = a * 2.0; double c = b - 3.0; return c; }";
+        let unopt = lower(src);
+        let opt = optimized(src);
+        assert!(
+            opt.n_fregs < unopt.n_fregs,
+            "{} !< {}",
+            opt.n_fregs,
+            unopt.n_fregs
+        );
+    }
+
+    #[test]
+    fn pinned_ops_survive_cse_and_dce() {
+        let cfg = optimized(
+            "void f(double x, double z) { double a = x * z;\n#pragma safegen prioritize(z)\nx = x * z; }",
+        );
+        // The unprotected duplicate is dead and removable; the protected
+        // one must survive with its pragma.
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Mul(..))), 1);
+        assert_eq!(count(&cfg, |i| matches!(i, Inst::Protect(..))), 1);
+        let b0 = &cfg.blocks[0];
+        let prot = b0
+            .insts
+            .iter()
+            .position(|i| matches!(i.inst, Inst::Protect(_)))
+            .unwrap();
+        let mul = b0
+            .insts
+            .iter()
+            .position(|i| matches!(i.inst, Inst::Mul(..)))
+            .unwrap();
+        assert!(prot < mul, "protect still precedes its operation");
+    }
+
+    #[test]
+    fn pending_pragma_crosses_block_edges() {
+        // The pragma precedes the `if`; the protected multiply sits in
+        // the then-block, so the pin must flow across the branch edge.
+        let cfg = lower(
+            "void f(double x, double z, int n) {
+                #pragma safegen prioritize(z)
+                if (n < 1) { x = x * z; }
+            }",
+        );
+        let pins = pinned_map(&cfg);
+        let (b, i) = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .find_map(|(b, blk)| {
+                blk.insts
+                    .iter()
+                    .position(|i| matches!(i.inst, Inst::Mul(..)))
+                    .map(|i| (b, i))
+            })
+            .unwrap();
+        assert!(pins[b][i], "multiply in branch target must stay pinned");
+    }
+
+    #[test]
+    fn spans_and_provenance_survive_optimization() {
+        let cfg = optimized("double f(double x) { double y = x * x; return y; }");
+        let mul = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .find(|i| matches!(i.inst, Inst::Mul(..)))
+            .unwrap();
+        assert_eq!(mul.var.as_deref(), Some("y"));
+        assert!(mul.span.end > mul.span.start);
+    }
+
+    #[test]
+    fn pass_manager_rejects_unknown_names() {
+        assert!(PassManager::from_names(["cse", "bogus"]).is_err());
+        let pm = PassManager::from_names(["dce", " cse "]).unwrap();
+        assert_eq!(pm.names(), ["dce", "cse"]);
+    }
+
+    #[test]
+    fn pass_manager_reads_environment() {
+        // Sole test touching SAFEGEN_PASSES: no other test in this
+        // binary may read it concurrently.
+        std::env::set_var("SAFEGEN_PASSES", "cse,dce");
+        assert_eq!(PassManager::from_env().unwrap().names(), ["cse", "dce"]);
+        std::env::set_var("SAFEGEN_PASSES", "none");
+        assert!(PassManager::from_env().unwrap().is_empty());
+        std::env::set_var("SAFEGEN_PASSES", "nonsense");
+        assert!(PassManager::from_env().is_err());
+        std::env::remove_var("SAFEGEN_PASSES");
+        assert_eq!(PassManager::from_env().unwrap(), PassManager::optimizing());
+    }
+}

@@ -10,10 +10,19 @@
 //! and calls / unary negations of floating type are flattened as well.
 //! Integer expressions (loop indices) are left untouched.
 
-use safegen_cfront::{AssignOp, BinOp, Expr, Function, Sema, Stmt, Ty, Unit};
+use safegen_cfront::{AssignOp, BinOp, Expr, Function, Sema, Stmt, Ty, Unit, VarInfo};
 
 /// Applies the TAC transformation to every function in the unit.
 pub fn to_tac(unit: &Unit, sema: &Sema) -> Unit {
+    to_tac_with_sema(unit, sema).0
+}
+
+/// Like [`to_tac`], but also returns a `Sema` extended with the
+/// temporaries the transformation introduced, so consumers of the TAC
+/// unit do not need to re-run `analyze` on it. The returned `Sema` is
+/// exactly what `analyze` would produce on the returned unit.
+pub fn to_tac_with_sema(unit: &Unit, sema: &Sema) -> (Unit, Sema) {
+    let mut out_sema = sema.clone();
     let functions = unit
         .functions
         .iter()
@@ -22,8 +31,23 @@ pub fn to_tac(unit: &Unit, sema: &Sema) -> Unit {
                 sema,
                 func: f.name.clone(),
                 next_tmp: 0,
+                temps: Vec::new(),
             };
             let body = cx.block(&f.body);
+            let info = out_sema
+                .functions
+                .get_mut(&f.name)
+                .expect("sema covers every function in the unit");
+            for (name, span) in cx.temps {
+                info.vars.insert(
+                    name,
+                    VarInfo {
+                        ty: Ty::Double,
+                        is_param: false,
+                        span,
+                    },
+                );
+            }
             Function {
                 ret: f.ret.clone(),
                 name: f.name.clone(),
@@ -33,13 +57,17 @@ pub fn to_tac(unit: &Unit, sema: &Sema) -> Unit {
             }
         })
         .collect();
-    Unit { functions }
+    (Unit { functions }, out_sema)
 }
 
 struct TacCx<'a> {
     sema: &'a Sema,
     func: String,
     next_tmp: u32,
+    /// Every `_tN` this function's transform spilled, with the span of the
+    /// source expression it names — recorded so `to_tac_with_sema` can
+    /// extend the semantic tables without a second `analyze` pass.
+    temps: Vec<(String, safegen_cfront::Span)>,
 }
 
 impl TacCx<'_> {
@@ -307,6 +335,7 @@ impl TacCx<'_> {
     /// Emits `double _tN = <e>;` and returns `_tN`.
     fn spill(&mut self, e: Expr, span: safegen_cfront::Span, out: &mut Vec<Stmt>) -> Expr {
         let name = self.fresh();
+        self.temps.push((name.clone(), span));
         out.push(Stmt::Decl {
             ty: Ty::Double,
             name: name.clone(),
@@ -462,6 +491,26 @@ mod tests {
     fn preserves_pragmas() {
         let t = tac_of("void f(double x) {\n#pragma safegen prioritize(x)\nx = x * x + 1.0; }");
         assert!(print_unit(&t).contains("#pragma safegen prioritize(x)"));
+    }
+
+    #[test]
+    fn threaded_sema_matches_reanalysis() {
+        let src = "double f(double a, double b) { return a * b + 0.1; }
+            void g(double x, double a[4]) {
+                for (int i = 0; i < 3; i++) { if (x * 2.0 < a[i] + 1.0) { x = x * 0.5 + 1.0; } }
+            }";
+        let unit = parse(src).unwrap();
+        let sema = analyze(&unit).unwrap();
+        let (tac, threaded) = to_tac_with_sema(&unit, &sema);
+        let reanalyzed = analyze(&tac).unwrap();
+        assert_eq!(threaded.functions.len(), reanalyzed.functions.len());
+        for (fname, info) in &reanalyzed.functions {
+            let tinfo = threaded.functions.get(fname).unwrap();
+            assert_eq!(info.vars.len(), tinfo.vars.len(), "{fname}");
+            for (var, vi) in &info.vars {
+                assert_eq!(Some(vi), tinfo.vars.get(var), "{fname}.{var}");
+            }
+        }
     }
 
     #[test]

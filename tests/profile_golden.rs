@@ -3,7 +3,7 @@
 //! allocate (and, under fusion, absorb) the surviving error symbols —
 //! and the fractions must account for the whole enclosure width.
 
-use safegen_suite::safegen::{profile, Compiler, RunConfig, TraceSite};
+use safegen_suite::safegen::{profile, Compiler, PassManager, RunConfig, TraceSite};
 use safegen_suite::telemetry::json;
 
 /// The quickstart polynomial kernel: ten rounds of `r = r * x - 0.3`.
@@ -82,6 +82,92 @@ fn attribution_is_exhaustive() {
     }
     let (lo, hi) = report.ret.unwrap();
     assert!(lo <= exact && exact <= hi, "[{lo}, {hi}] misses {exact}");
+}
+
+/// The pass pipeline must not orphan the profiler's line attribution:
+/// after CSE merges the duplicated multiply and DCE deletes the dead
+/// statement, every surviving error source still points at a real source
+/// line of the *original* program — and the dead line attributes nothing.
+#[test]
+fn optimized_attribution_keeps_source_lines() {
+    const SRC: &str = "double f(double x) {
+    double a = x * x;
+    double dead = x + 7.0;
+    double b = x * x;
+    return a * b;
+}";
+    let c = Compiler::new().compile(SRC).unwrap();
+    // Non-prioritized configuration: prioritization pins the protected
+    // multiplies (Protect changes noise-symbol placement, so CSE soundly
+    // refuses to merge them); the plain program is where CSE engages.
+    let cfg = RunConfig::mnemonic(4, "dsnv").unwrap();
+    let prog = c.program_for("f", &cfg);
+    // Sanity: the optimizer actually rewrote this function (the golden
+    // would be vacuous against an unoptimized program).
+    let unopt = c.program_with_passes("f", &PassManager::none());
+    assert!(
+        prog.code.len() < unopt.code.len(),
+        "expected CSE/DCE to shrink the program ({} vs {})",
+        prog.code.len(),
+        unopt.code.len()
+    );
+
+    let report = profile(&prog, &[0.7.into()], &cfg).unwrap();
+    let instr_lines: Vec<u32> = report
+        .sources
+        .iter()
+        .filter(|s| matches!(s.site, TraceSite::Instr(_)))
+        .filter_map(|s| s.location.map(|(line, _)| line))
+        .collect();
+    assert!(
+        !instr_lines.is_empty(),
+        "no instruction attribution survived optimization:\n{}",
+        report.render()
+    );
+    // Surviving rounding error comes from the one remaining `x * x`
+    // (line 2, the CSE representative) and the final multiply (line 5).
+    assert!(
+        instr_lines.iter().all(|&l| l == 2 || l == 5),
+        "unexpected attribution lines {instr_lines:?} in:\n{}",
+        report.render()
+    );
+    assert!(
+        !instr_lines.contains(&3),
+        "dead code must not attribute error:\n{}",
+        report.render()
+    );
+    // The input's 1-ulp symbol still attributes to the parameter.
+    assert!(
+        report.sources.iter().any(|s| s.site == TraceSite::Param(0)),
+        "parameter attribution lost:\n{}",
+        report.render()
+    );
+    // And the optimized enclosure still contains the exact value.
+    let x = 0.7f64;
+    let exact = (x * x) * (x * x);
+    let (lo, hi) = report.ret.unwrap();
+    assert!(lo <= exact && exact <= hi, "[{lo}, {hi}] misses {exact}");
+}
+
+/// Optimized and unoptimized profiles of the same run agree on *where*
+/// the error comes from (the loop body dominates both), even though the
+/// registers differ.
+#[test]
+fn optimization_preserves_dominant_source() {
+    let cfg = RunConfig::affine_f64(4);
+    let c = Compiler::new().compile(POLY).unwrap();
+    let opt_prog = c.program_for("poly", &cfg);
+    let unopt_prog = c.program_with_passes("poly", &PassManager::none());
+    let opt = profile(&opt_prog, &[0.3.into()], &cfg).unwrap();
+    let unopt = profile(&unopt_prog, &[0.3.into()], &cfg).unwrap();
+    let top_line = |r: &safegen_suite::safegen::ProfileReport| {
+        r.sources
+            .iter()
+            .find(|s| matches!(s.site, TraceSite::Instr(_)))
+            .and_then(|s| s.location.map(|(line, _)| line))
+    };
+    assert_eq!(top_line(&opt), Some(4));
+    assert_eq!(top_line(&opt), top_line(&unopt));
 }
 
 #[test]
