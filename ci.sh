@@ -57,4 +57,41 @@ SAFEGEN_PASSES=default ./target/release/safegen run "$SMOKE_DIR/kernel.c" \
     --fn poly --config unsound --arg 0.3 > "$SMOKE_DIR/run_opt.txt"
 diff "$SMOKE_DIR/run_unopt.txt" "$SMOKE_DIR/run_opt.txt"
 
+echo "== docs gate (rustdoc warning-free + doc-tests) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+cargo test -q --doc --workspace
+
+echo "== artifact round-trip gate (.sga spec + bit-identical replay) =="
+cargo test -q --test artifact_spec --test artifact_roundtrip
+SAFEGEN_CACHE_DIR="$SMOKE_DIR/cache" \
+    ./target/release/safegen compile "$SMOKE_DIR/kernel.c" \
+    -o "$SMOKE_DIR/kernel.sga" --k 4
+./target/release/safegen run "$SMOKE_DIR/kernel.sga" \
+    --fn poly --config dspv --k 4 --arg 0.3 > "$SMOKE_DIR/run_sga.txt"
+./target/release/safegen run "$SMOKE_DIR/kernel.c" \
+    --fn poly --config dspv --k 4 --arg 0.3 > "$SMOKE_DIR/run_src.txt"
+diff "$SMOKE_DIR/run_sga.txt" "$SMOKE_DIR/run_src.txt"
+# The second compile must come from the content-addressed cache.
+SAFEGEN_CACHE_DIR="$SMOKE_DIR/cache" \
+    ./target/release/safegen compile "$SMOKE_DIR/kernel.c" \
+    -o "$SMOKE_DIR/kernel2.sga" --k 4 2>&1 | grep -q "cache"
+cmp "$SMOKE_DIR/kernel.sga" "$SMOKE_DIR/kernel2.sga"
+
+echo "== serve smoke (daemon + socket requests + clean shutdown) =="
+SAFEGEN_METRICS_OUT="$SMOKE_DIR/serve" \
+    ./target/release/safegen serve "$SMOKE_DIR/kernel.sga" \
+    --socket "$SMOKE_DIR/sg.sock" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SMOKE_DIR/sg.sock" ] && break; sleep 0.1; done
+./target/release/safegen request --socket "$SMOKE_DIR/sg.sock" \
+    '{"op":"ping"}' | grep -q '"ok":true'
+./target/release/safegen request --socket "$SMOKE_DIR/sg.sock" \
+    '{"op":"eval","func":"poly","config":"dspv","k":4,"args":[0.3]}' \
+    | grep -q '"acc_bits"'
+./target/release/safegen request --socket "$SMOKE_DIR/sg.sock" \
+    '{"op":"shutdown"}' | grep -q '"bye":true'
+wait "$SERVE_PID"
+test ! -e "$SMOKE_DIR/sg.sock"
+./target/release/json_check "$SMOKE_DIR/serve.jsonl" "$SMOKE_DIR/serve.summary.json"
+
 echo "ci.sh: all checks passed"

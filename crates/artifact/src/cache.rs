@@ -1,0 +1,172 @@
+//! The on-disk content-addressed compile cache.
+//!
+//! `safegen run file.c` pays front-end + mid-end cost on every
+//! invocation even when the source has not changed. The cache removes
+//! that: compilation outputs are stored as `.sga` artifacts keyed by a
+//! hash of everything that determines them — the source text, the
+//! compile options, and the artifact format version — so a repeat
+//! compile is a single file read plus the artifact validator.
+//!
+//! The key is a SHA-256 over **length-prefixed** parts (a raw
+//! concatenation would let `("ab","c")` and `("a","bc")` collide), and
+//! the stored artifact carries its own content hash in the header, so a
+//! corrupted cache entry fails validation on load and is treated as a
+//! miss rather than ever being executed.
+//!
+//! The cache directory is `$SAFEGEN_CACHE_DIR` when set, else
+//! `.safegen-cache/` under the current directory. Writes are atomic
+//! (temp file + rename) so concurrent compiles never observe a torn
+//! entry.
+
+use crate::hash::Sha256;
+use crate::{Artifact, ArtifactError, FORMAT_VERSION};
+use std::path::PathBuf;
+
+/// Environment variable overriding the cache directory.
+pub const CACHE_DIR_ENV: &str = "SAFEGEN_CACHE_DIR";
+
+/// The default cache directory name (under the current directory).
+pub const DEFAULT_CACHE_DIR: &str = ".safegen-cache";
+
+/// The cache directory currently in effect.
+pub fn cache_dir() -> PathBuf {
+    match std::env::var_os(CACHE_DIR_ENV) {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(DEFAULT_CACHE_DIR),
+    }
+}
+
+/// Derives the cache key for a compilation: SHA-256 (hex) over the
+/// length-prefixed source text and option strings, bound to the artifact
+/// [`FORMAT_VERSION`] so a format bump invalidates every old entry.
+///
+/// ```
+/// use safegen_artifact::cache::compile_key;
+/// let k1 = compile_key("double f() { return 1.0; }", &["k=8"]);
+/// let k2 = compile_key("double f() { return 2.0; }", &["k=8"]);
+/// let k3 = compile_key("double f() { return 1.0; }", &["k=16"]);
+/// assert_ne!(k1, k2); // source changes the key
+/// assert_ne!(k1, k3); // options change the key
+/// assert_eq!(k1, compile_key("double f() { return 1.0; }", &["k=8"]));
+/// ```
+pub fn compile_key(source: &str, options: &[&str]) -> String {
+    let mut h = Sha256::new();
+    let mut part = |bytes: &[u8]| {
+        h.update(&(bytes.len() as u64).to_le_bytes());
+        h.update(bytes);
+    };
+    part(b"safegen-compile-key");
+    part(&FORMAT_VERSION.to_le_bytes());
+    part(source.as_bytes());
+    for opt in options {
+        part(opt.as_bytes());
+    }
+    Sha256::hex(&h.finish())
+}
+
+/// The path a given key's artifact is stored at.
+pub fn entry_path(key: &str) -> PathBuf {
+    cache_dir().join(format!("{key}.sga"))
+}
+
+/// Looks up `key`, returning the cached artifact when present **and**
+/// valid. A missing file is a miss; a file that fails artifact
+/// validation (torn write, stale format, bit rot) is also treated as a
+/// miss — the caller recompiles and overwrites it.
+pub fn load(key: &str) -> Option<Artifact> {
+    Artifact::read_file(&entry_path(key)).ok()
+}
+
+/// Stores `artifact` under `key`, creating the cache directory on first
+/// use. The write is atomic, so concurrent stores of the same key are
+/// safe (last writer wins, both writers produced identical bytes).
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] when the directory cannot be created or the
+/// file cannot be written; callers may ignore it (a cold cache is only
+/// a performance loss, never a correctness one).
+pub fn store(key: &str, artifact: &Artifact) -> Result<(), ArtifactError> {
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ArtifactError::Io(format!("create {}: {e}", dir.display())))?;
+    artifact.write_file(&entry_path(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArtifactMeta, ProgramVariant, VariantKind};
+    use safegen_cfront::Span;
+    use safegen_ir::cfg::ParamBinding;
+    use safegen_ir::{Instr, Program};
+
+    fn tiny_artifact() -> Artifact {
+        Artifact {
+            meta: ArtifactMeta::new("t.c"),
+            programs: vec![ProgramVariant {
+                func: "t".into(),
+                kind: VariantKind::Plain,
+                program: Program {
+                    name: "t".into(),
+                    code: vec![Instr::Ret(Some(0))],
+                    n_fregs: 1,
+                    n_iregs: 0,
+                    arrays: vec![],
+                    params: vec![("x".into(), ParamBinding::Float(0))],
+                    spans: vec![Span::default()],
+                },
+            }],
+        }
+    }
+
+    /// Serializes env mutation: tests in this module all touch
+    /// `SAFEGEN_CACHE_DIR`.
+    fn with_cache_dir<R>(f: impl FnOnce(&std::path::Path) -> R) -> R {
+        use std::sync::Mutex;
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "sga-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::env::set_var(CACHE_DIR_ENV, &dir);
+        let r = f(&dir);
+        std::env::remove_var(CACHE_DIR_ENV);
+        let _ = std::fs::remove_dir_all(&dir);
+        r
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        with_cache_dir(|_| {
+            let a = tiny_artifact();
+            let key = compile_key("double t(double x) { return x; }", &[]);
+            assert!(load(&key).is_none(), "cold cache must miss");
+            store(&key, &a).unwrap();
+            assert_eq!(load(&key).unwrap(), a);
+        });
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        with_cache_dir(|_| {
+            let a = tiny_artifact();
+            let key = compile_key("src", &["opt"]);
+            store(&key, &a).unwrap();
+            let path = entry_path(&key);
+            let mut bytes = std::fs::read(&path).unwrap();
+            *bytes.last_mut().unwrap() ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(load(&key).is_none(), "corrupt entry must read as a miss");
+        });
+    }
+
+    #[test]
+    fn key_parts_do_not_concatenate_ambiguously() {
+        // Length prefixing: shifting a byte between parts changes the key.
+        assert_ne!(compile_key("ab", &["c"]), compile_key("a", &["bc"]));
+        assert_ne!(compile_key("x", &["y", "z"]), compile_key("x", &["yz"]));
+    }
+}

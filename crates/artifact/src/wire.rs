@@ -1,0 +1,280 @@
+//! Little-endian wire primitives for the artifact body.
+//!
+//! All multi-byte integers in a `.sga` file are little-endian
+//! (`docs/ARTIFACT.md` §2). The [`Reader`] is strict: every read is
+//! bounds-checked, strings must be valid UTF-8, and the decoder's caller
+//! checks that no bytes remain — a truncated or oversized body is a
+//! format error, never a panic or a silent acceptance.
+
+use std::fmt;
+
+/// A decode failure: what was being read and at which byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// What the reader was trying to decode (e.g. `"u32"`, `"string"`).
+    pub what: &'static str,
+    /// Byte offset into the buffer where the read started.
+    pub offset: usize,
+    /// Problem description.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decoding {} at byte {}: {}",
+            self.what, self.offset, self.reason
+        )
+    }
+}
+
+/// Appends length-prefixed and fixed-width values to a byte buffer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern, little-endian.
+    /// NaN payloads and signed zeros round-trip exactly.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes raw bytes (no length prefix).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a UTF-8 string as `u32` byte length + bytes.
+    pub fn string(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Bounds-checked reader over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError {
+                what,
+                offset: self.pos,
+                reason: "input truncated",
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern (exact, including NaNs).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8, "f64")?.try_into().unwrap(),
+        )))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let start = self.pos;
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError {
+                what: "string",
+                offset: start,
+                reason: "length exceeds remaining input",
+            });
+        }
+        let bytes = self.take(len, "string")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError {
+            what: "string",
+            offset: start,
+            reason: "invalid UTF-8",
+        })
+    }
+
+    /// Reads a `u32` element count for a sequence whose elements occupy at
+    /// least `min_elem_bytes` each, rejecting counts the remaining input
+    /// cannot possibly hold (so a corrupted count cannot trigger a huge
+    /// allocation before the truncation is noticed).
+    pub fn count(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize, WireError> {
+        let start = self.pos;
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError {
+                what,
+                offset: start,
+                reason: "count exceeds remaining input",
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN with payload
+        w.string("κ symbols");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert_eq!(r.string().unwrap(), "κ symbols");
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(7);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        let e = r.u64().unwrap_err();
+        assert_eq!(e.reason, "input truncated");
+    }
+
+    #[test]
+    fn string_rejects_bad_utf8_and_overlong_length() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            Reader::new(&bad).string().unwrap_err().reason,
+            "invalid UTF-8"
+        );
+
+        let mut overlong = Vec::new();
+        overlong.extend_from_slice(&100u32.to_le_bytes());
+        overlong.push(b'x');
+        assert_eq!(
+            Reader::new(&overlong).string().unwrap_err().reason,
+            "length exceeds remaining input"
+        );
+    }
+
+    #[test]
+    fn count_guards_allocation() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let e = Reader::new(&huge).count(4, "instrs").unwrap_err();
+        assert_eq!(e.reason, "count exceeds remaining input");
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! The measurement harness (and any user evaluating a sound function over
 //! an input sweep) runs the *same* program on *many* argument vectors.
-//! Each run is independent — [`run_on`](crate::run_on) builds a fresh
+//! Each run is independent — [`run_on`] builds a fresh
 //! domain context per call — so the batch is embarrassingly parallel.
 //! This module distributes the items over `std::thread::scope` workers
 //! (std-only; no external thread-pool dependency).
@@ -17,7 +17,7 @@
 //!   **single-threaded by design** — it tracks noise-symbol allocation
 //!   through `Cell`s, so it is `Send` but not `Sync` and is never shared.
 //!   The engine does not even share one context per worker: every *item*
-//!   gets a fresh context inside [`run_on`](crate::run_on), built from
+//!   gets a fresh context inside [`run_on`], built from
 //!   the shared (`Copy`) [`AaConfig`](safegen_affine::AaConfig). Fresh
 //!   per-item contexts are what make results independent of how items
 //!   are scheduled onto workers.

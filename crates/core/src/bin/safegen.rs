@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! safegen emit    <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
-//! safegen run     <file.c> --fn NAME [--config MNEMONIC|ia|ia-dd|unsound]
+//! safegen compile <file.c> -o <prog.sga> [--k N,N,...] [--k-low N,N,...]
+//!                 [--no-analysis] [--no-cache]
+//! safegen run     <file.c|prog.sga> --fn NAME
+//!                 [--config MNEMONIC|ia|ia-dd|unsound]
 //!                 [--k N] [--arg X]... [--array "x,y,z"]...
+//! safegen serve   <prog.sga|file.c> --socket PATH [--k N,N,...]
+//! safegen request --socket PATH <json>
 //! safegen profile <file.c> <func> [--config MNEMONIC|dda] [--k N]
 //!                 [--arg X]... [--int N]... [--array "x,y,z"]...
 //! safegen tac     <file.c>
@@ -12,9 +17,17 @@
 //! ```
 //!
 //! `emit` prints the sound C program (annotated with the max-reuse
-//! priorities); `run` executes the function under the chosen numeric
-//! configuration and prints the certified ranges (`--dump-ir` prints the
-//! optimized CFG IR to stderr first); `profile` runs the function with
+//! priorities); `compile` packages the compiled programs as a versioned,
+//! content-hashed `.sga` artifact (see `docs/ARTIFACT.md`), consulting
+//! the content-addressed compile cache (`SAFEGEN_CACHE_DIR`, default
+//! `.safegen-cache/`); `run` executes the function under the chosen
+//! numeric configuration and prints the certified ranges — from source,
+//! or from a `.sga` artifact with zero recompilation (`--dump-ir` prints
+//! the optimized CFG IR to stderr first, source input only); `serve`
+//! loads an artifact once and answers evaluation requests over a
+//! Unix-domain socket until a shutdown request (the protocol is
+//! documented in `safegen::serve`); `request` sends one JSON request
+//! line to a serving daemon and prints the response; `profile` runs the function with
 //! symbol tracing and prints the error-attribution table (which source
 //! locations the final enclosure width comes from); `tac` shows the
 //! three-address form the analysis operates on; `ir` dumps the CFG IR
@@ -39,9 +52,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   safegen emit    <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
-  safegen run     <file.c> --fn NAME [--config dspv|ssnn|...|ia|ia-dd|unsound]
+  safegen compile <file.c> -o <prog.sga> [--k N,N,...] [--k-low N,N,...]
+                  [--no-analysis] [--no-cache]
+  safegen run     <file.c|prog.sga> --fn NAME
+                  [--config dspv|ssnn|...|ia|ia-dd|unsound]
                   [--k N] [--arg X]... [--int N]... [--array \"x,y,z\"]...
                   [--dump-ir]
+  safegen serve   <prog.sga|file.c> --socket PATH [--k N,N,...]
+  safegen request --socket PATH <json>
   safegen profile <file.c> <func> [--config dspv|ssnn|...|dda] [--k N]
                   [--arg X]... [--int N]... [--array \"x,y,z\"]...
   safegen tac     <file.c>
@@ -52,7 +70,9 @@ environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
              SAFEGEN_METRICS_OUT=<prefix> writes <prefix>.jsonl and
              <prefix>.summary.json;
              SAFEGEN_PASSES selects the optimizing pass pipeline
-             (unset/default = cse,copy-prop,dce,regalloc; none = off)"
+             (unset/default = cse,copy-prop,dce,regalloc; none = off);
+             SAFEGEN_CACHE_DIR relocates the compile cache
+             (default .safegen-cache/)"
     );
     ExitCode::from(2)
 }
@@ -65,7 +85,10 @@ fn main() -> ExitCode {
     };
     let code = match cmd.as_str() {
         "emit" => cmd_emit(rest),
+        "compile" => cmd_compile(rest),
         "run" => cmd_run(rest),
+        "serve" => cmd_serve(rest),
+        "request" => cmd_request(rest),
         "profile" => cmd_profile(rest),
         "tac" => cmd_tac(rest),
         "ir" => cmd_ir(rest),
@@ -137,6 +160,127 @@ fn cmd_emit(rest: &[String]) -> ExitCode {
     };
     print!("{}", safegen::emit_c(&unit, &sema, precision));
     ExitCode::SUCCESS
+}
+
+/// Parses a comma-separated `usize` list flag, e.g. `--k 8,16,32`.
+fn parse_list(rest: &[String], name: &str) -> Result<Option<Vec<usize>>, String> {
+    match flag_value(rest, name) {
+        None => Ok(None),
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some)
+            .map_err(|e| format!("bad {name} `{v}`: {e}")),
+    }
+}
+
+/// Builds `BuildOptions` from the shared `compile`/`serve` flags.
+fn build_options(path: &str, rest: &[String]) -> Result<safegen::BuildOptions, String> {
+    let mut opts = safegen::BuildOptions::new(path);
+    if let Some(ks) = parse_list(rest, "--k")? {
+        opts.ks = ks;
+    }
+    if let Some(k_lows) = parse_list(rest, "--k-low")? {
+        opts.k_lows = k_lows;
+    }
+    opts.analysis = !rest.iter().any(|a| a == "--no-analysis");
+    opts.use_cache = !rest.iter().any(|a| a == "--no-cache");
+    Ok(opts)
+}
+
+fn cmd_compile(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let Some(out) = flag_value(rest, "-o").or_else(|| flag_value(rest, "--out")) else {
+        return fail("-o <prog.sga> is required");
+    };
+    let src = match read_source(path) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let opts = match build_options(path, rest) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let (artifact, cache_hit) = match safegen::compile_to_artifact_cached(&src, &opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = artifact.write_file(std::path::Path::new(out)) {
+        return fail(e);
+    }
+    eprintln!(
+        "safegen: wrote {out} ({} program variant(s), id {}{})",
+        artifact.programs.len(),
+        &artifact.id()[..16],
+        if cache_hit { ", compile cache hit" } else { "" }
+    );
+    ExitCode::SUCCESS
+}
+
+/// Loads an artifact for `serve`: directly from `.sga`, or by compiling
+/// a `.c` source (through the compile cache).
+fn load_or_compile(path: &str, rest: &[String]) -> Result<safegen::Artifact, String> {
+    if path.ends_with(".sga") {
+        return safegen::Artifact::read_file(std::path::Path::new(path)).map_err(|e| e.to_string());
+    }
+    let src = read_source(path)?;
+    let opts = build_options(path, rest)?;
+    safegen::compile_to_artifact_cached(&src, &opts).map(|(a, _)| a)
+}
+
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    let Some(path) = rest.first() else {
+        return usage();
+    };
+    let Some(socket) = flag_value(rest, "--socket") else {
+        return fail("--socket PATH is required");
+    };
+    let artifact = match load_or_compile(path, rest) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    eprintln!(
+        "safegen: serving `{}` ({} program variant(s)) on {socket}",
+        artifact.meta.name,
+        artifact.programs.len()
+    );
+    let opts = safegen::ServeOptions {
+        socket: socket.into(),
+    };
+    match safegen::serve(artifact, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_request(rest: &[String]) -> ExitCode {
+    let Some(socket) = flag_value(rest, "--socket") else {
+        return fail("--socket PATH is required");
+    };
+    let socket_at = rest.iter().position(|a| a == "--socket").unwrap();
+    let Some(body) = rest
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| *i != socket_at && *i != socket_at + 1 && !a.starts_with("--"))
+        .map(|(_, a)| a)
+        .next_back()
+    else {
+        return fail("a JSON request is required, e.g. '{\"op\":\"ping\"}'");
+    };
+    let body = match safegen_telemetry::json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("bad request JSON: {e}")),
+    };
+    match safegen::request(std::path::Path::new(socket), &body) {
+        Ok(resp) => {
+            println!("{resp}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
 }
 
 fn cmd_tac(rest: &[String]) -> ExitCode {
@@ -252,10 +396,6 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     let Some(path) = rest.first() else {
         return usage();
     };
-    let src = match read_source(path) {
-        Ok(s) => s,
-        Err(e) => return fail(e),
-    };
     let Some(func) = flag_value(rest, "--fn") else {
         return fail("--fn NAME is required");
     };
@@ -263,18 +403,9 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         Ok(k) => k,
         Err(e) => return fail(format!("bad --k: {e}")),
     };
-    let config = match flag_value(rest, "--config").unwrap_or("dspv") {
-        "unsound" => RunConfig::unsound(),
-        "ia" => RunConfig::interval_f64(),
-        "ia-dd" => RunConfig::interval_dd(),
-        "yalaa-aff0" => RunConfig::yalaa_aff0(),
-        "yalaa-aff1" => RunConfig::yalaa_aff1(),
-        "ceres" => RunConfig::ceres(k),
-        "dda" => RunConfig::affine_dd(k),
-        m => match RunConfig::mnemonic(k, m) {
-            Ok(c) => c,
-            Err(e) => return fail(e),
-        },
+    let config = match RunConfig::from_cli(flag_value(rest, "--config").unwrap_or("dspv"), k) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
     };
 
     let args = match parse_args(rest) {
@@ -282,19 +413,36 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
 
-    let compiled = match Compiler::new().compile(&src) {
-        Ok(c) => c,
-        Err(e) => return fail(e),
-    };
-    if !compiled.tac.functions.iter().any(|f| f.name == func) {
-        return fail(format!("no function `{func}` in {path}"));
-    }
-    if rest.iter().any(|a| a == "--dump-ir") {
-        eprint!("{}", compiled.dump_ir(func));
-    }
-    let report = match compiled.run(func, &args, &config) {
-        Ok(r) => r,
-        Err(e) => return fail(e),
+    let report = if path.ends_with(".sga") {
+        // Artifact input: strictly validate, select, execute — no
+        // front-end or mid-end work at all.
+        let artifact = match safegen::Artifact::read_file(std::path::Path::new(path)) {
+            Ok(a) => a,
+            Err(e) => return fail(e),
+        };
+        match safegen::run_artifact(&artifact, func, &args, &config) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        }
+    } else {
+        let src = match read_source(path) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
+        let compiled = match Compiler::new().compile(&src) {
+            Ok(c) => c,
+            Err(e) => return fail(e),
+        };
+        if !compiled.tac.functions.iter().any(|f| f.name == func) {
+            return fail(format!("no function `{func}` in {path}"));
+        }
+        if rest.iter().any(|a| a == "--dump-ir") {
+            eprint!("{}", compiled.dump_ir(func));
+        }
+        match compiled.run(func, &args, &config) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        }
     };
 
     println!("configuration: {}", config.label());

@@ -5,12 +5,12 @@ use crate::exec::{exec, ArgValue, RunStats};
 use crate::program::{compile_program_with, Program};
 use safegen_affine::baselines::{BaselineCtx, CeresAffine, YalaaAff0, YalaaAff1};
 use safegen_affine::{AaConfig, AaContext, AffineDd, AffineF32, AffineF64};
+use safegen_artifact::VariantKind;
 use safegen_cfront::{ParseError, Sema, Unit};
 use safegen_interval::{IntervalDd, IntervalF64};
 use safegen_ir::PassManager;
 use safegen_telemetry as telemetry;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Compiler options.
 #[derive(Clone, Debug)]
@@ -44,7 +44,15 @@ impl Default for Compiler {
     }
 }
 
-/// A compiled unit: TAC form plus per-`k` annotated/compiled variants.
+/// A compiled unit: TAC form plus precompiled program variants.
+///
+/// All program state is **immutable after construction** — there are no
+/// interior-mutability caches, so any number of threads can request
+/// variants from a shared `&Compiled` without ever contending a lock
+/// (the serve daemon's hot path). Variants beyond the plain programs are
+/// precomputed with [`Compiled::precompile`]; a request for a variant
+/// that was not precomputed compiles it fresh (a pure function of the
+/// immutable TAC — slower, never wrong).
 #[derive(Debug)]
 pub struct Compiled {
     /// The TAC-form unit (the paper's preprocessed shape).
@@ -55,12 +63,10 @@ pub struct Compiled {
     pub passes: PassManager,
     prioritize: bool,
     solver: safegen_analysis::SolveMode,
-    /// Cache: function → plain program.
+    /// Function → plain program (every function always has one).
     plain: HashMap<String, Program>,
-    /// Cache: (function, k) → prioritized program.
-    prioritized: Mutex<HashMap<(String, usize), Program>>,
-    /// Cache: (function, k, k_low, prioritized) → variable-capacity program.
-    var_capacity: Mutex<HashMap<(String, usize, usize, bool), Program>>,
+    /// Precomputed annotated variants: (function, kind) → program.
+    variants: HashMap<(String, VariantKind), Program>,
 }
 
 /// The numeric configuration of one run.
@@ -186,6 +192,29 @@ impl RunConfig {
         }
     }
 
+    /// Parses the CLI's `--config` vocabulary (`unsound`, `ia`, `ia-dd`,
+    /// `yalaa-aff0`, `yalaa-aff1`, `ceres`, `dda`, or a four-letter
+    /// affine mnemonic like `dspv`) at budget `k` — shared by
+    /// `safegen run`, the serve daemon's request decoding, and the
+    /// artifact-aware `safegen run <file.sga>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for names that are neither a known
+    /// configuration nor a valid mnemonic.
+    pub fn from_cli(name: &str, k: usize) -> Result<RunConfig, String> {
+        Ok(match name {
+            "unsound" => RunConfig::unsound(),
+            "ia" => RunConfig::interval_f64(),
+            "ia-dd" => RunConfig::interval_dd(),
+            "yalaa-aff0" => RunConfig::yalaa_aff0(),
+            "yalaa-aff1" => RunConfig::yalaa_aff1(),
+            "ceres" => RunConfig::ceres(k),
+            "dda" => RunConfig::affine_dd(k),
+            m => RunConfig::mnemonic(k, m)?,
+        })
+    }
+
     /// A short label for plots (`f64a-dspv (k=16)` style).
     pub fn label(&self) -> String {
         let p = |b: bool, t: &str, f: &str| if b { t.to_string() } else { f.to_string() };
@@ -308,13 +337,19 @@ impl Compiler {
             prioritize: self.prioritize,
             solver: self.solver,
             plain,
-            prioritized: Mutex::new(HashMap::new()),
-            var_capacity: Mutex::new(HashMap::new()),
+            variants: HashMap::new(),
         })
     }
 }
 
 impl Compiled {
+    /// Whether the max-reuse static analysis was enabled for this unit
+    /// (recorded in artifact metadata so a loaded artifact selects
+    /// variants the same way the in-memory unit would).
+    pub fn prioritize(&self) -> bool {
+        self.prioritize
+    }
+
     /// The bytecode program for `func`, without priority annotations.
     ///
     /// # Panics
@@ -358,23 +393,108 @@ impl Compiled {
             .unwrap_or_else(|| panic!("unknown function `{func}`"))
     }
 
-    /// The bytecode program for `func` with `#pragma safegen prioritize`
-    /// protection compiled in for budget `k` (cached per `k`).
-    pub fn prioritized_program(&self, func: &str, k: usize) -> Program {
-        if let Some(p) = self.prioritized.lock().unwrap().get(&(func.to_string(), k)) {
-            return p.clone();
-        }
+    /// Compiles the `kind` variant of `func` from scratch — a pure
+    /// function of the immutable TAC, callable concurrently from any
+    /// number of threads. Used by [`Compiled::precompile`] and as the
+    /// fallback when a variant was not precomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` does not exist.
+    pub fn compile_variant(&self, func: &str, kind: VariantKind) -> Program {
         let f = self.function(func);
-        let annotated = telemetry::span("compile.prioritize", || {
-            safegen_analysis::annotate_function(f, &self.sema, k, self.solver)
-        });
-        let prog = compile_program_with(&annotated, &self.sema, &self.passes)
-            .expect("annotated TAC must compile");
-        self.prioritized
-            .lock()
-            .unwrap()
-            .insert((func.to_string(), k), prog.clone());
-        prog
+        match kind {
+            VariantKind::Plain => self.plain[func].clone(),
+            VariantKind::Prioritized { k } => {
+                let annotated = telemetry::span("compile.prioritize", || {
+                    safegen_analysis::annotate_function(f, &self.sema, k as usize, self.solver)
+                });
+                compile_program_with(&annotated, &self.sema, &self.passes)
+                    .expect("annotated TAC must compile")
+            }
+            VariantKind::Capacity {
+                k,
+                k_low,
+                prioritized,
+            } => {
+                let base = if prioritized {
+                    safegen_analysis::annotate_function(f, &self.sema, k as usize, self.solver)
+                } else {
+                    f.clone()
+                };
+                let annotated = telemetry::span("compile.capacity", || {
+                    let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low as usize);
+                    safegen_analysis::annotate_capacities(&base, &plan)
+                });
+                compile_program_with(&annotated, &self.sema, &self.passes)
+                    .expect("capacity-annotated TAC must compile")
+            }
+        }
+    }
+
+    /// The `kind` variant of `func`: the precomputed program when
+    /// [`Compiled::precompile`] covered it (a lock-free map read), a
+    /// fresh [`Compiled::compile_variant`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` does not exist.
+    pub fn variant(&self, func: &str, kind: VariantKind) -> Program {
+        match kind {
+            VariantKind::Plain => self.plain[func].clone(),
+            kind => match self.variants.get(&(func.to_string(), kind)) {
+                Some(p) => p.clone(),
+                None => self.compile_variant(func, kind),
+            },
+        }
+    }
+
+    /// Precomputes the given variant kinds for **every** function in the
+    /// unit, making later [`Compiled::variant`] /
+    /// [`Compiled::program_for`] calls for them lock-free map reads.
+    /// [`VariantKind::Plain`] entries are skipped (always precompiled).
+    ///
+    /// This is the only mutation `Compiled` supports, and it requires
+    /// `&mut self` — once the value is shared (e.g. behind an `Arc` in
+    /// the serve daemon), its program state is frozen.
+    pub fn precompile(&mut self, kinds: &[VariantKind]) {
+        let funcs: Vec<String> = self.tac.functions.iter().map(|f| f.name.clone()).collect();
+        for func in &funcs {
+            for &kind in kinds {
+                if kind == VariantKind::Plain {
+                    continue;
+                }
+                let key = (func.clone(), kind);
+                if !self.variants.contains_key(&key) {
+                    let prog = self.compile_variant(func, kind);
+                    self.variants.insert(key, prog);
+                }
+            }
+        }
+    }
+
+    /// The precomputed variants, in deterministic order (plain programs
+    /// first, then annotated variants sorted by function and kind) — the
+    /// artifact builder's iteration order.
+    pub fn all_variants(&self) -> Vec<(String, VariantKind, &Program)> {
+        let mut out: Vec<(String, VariantKind, &Program)> = Vec::new();
+        for f in &self.tac.functions {
+            out.push((f.name.clone(), VariantKind::Plain, &self.plain[&f.name]));
+        }
+        let mut rest: Vec<(String, VariantKind, &Program)> = self
+            .variants
+            .iter()
+            .map(|((f, k), p)| (f.clone(), *k, p))
+            .collect();
+        rest.sort_by_key(|(f, k, _)| (f.clone(), format!("{k}")));
+        out.extend(rest);
+        out
+    }
+
+    /// The bytecode program for `func` with `#pragma safegen prioritize`
+    /// protection compiled in for budget `k`.
+    pub fn prioritized_program(&self, func: &str, k: usize) -> Program {
+        self.variant(func, VariantKind::Prioritized { k: k as u32 })
     }
 
     /// The bytecode program with `#pragma safegen capacity` annotations
@@ -387,24 +507,22 @@ impl Compiled {
         k_low: usize,
         prioritized: bool,
     ) -> Program {
-        let key = (func.to_string(), k, k_low, prioritized);
-        if let Some(p) = self.var_capacity.lock().unwrap().get(&key) {
-            return p.clone();
-        }
-        let f = self.function(func);
-        let base = if prioritized {
-            safegen_analysis::annotate_function(f, &self.sema, k, self.solver)
-        } else {
-            f.clone()
-        };
-        let annotated = telemetry::span("compile.capacity", || {
-            let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low);
-            safegen_analysis::annotate_capacities(&base, &plan)
-        });
-        let prog = compile_program_with(&annotated, &self.sema, &self.passes)
-            .expect("capacity-annotated TAC must compile");
-        self.var_capacity.lock().unwrap().insert(key, prog.clone());
-        prog
+        self.variant(
+            func,
+            VariantKind::Capacity {
+                k: k as u32,
+                k_low: k_low as u32,
+                prioritized,
+            },
+        )
+    }
+
+    /// Which [`VariantKind`] `config` selects, honouring this unit's
+    /// `prioritize` compiler option — the single source of truth shared
+    /// by [`Compiled::program_for`], the artifact builder, and the serve
+    /// daemon's variant lookup.
+    pub fn variant_kind_for(&self, config: &RunConfig) -> VariantKind {
+        variant_kind_with(config, self.prioritize)
     }
 
     /// The program variant `config` selects for `func`: the
@@ -413,26 +531,16 @@ impl Compiled {
     /// otherwise.
     ///
     /// The returned [`Program`] is plain data (`Send + Sync`), detached
-    /// from this `Compiled`'s internal caches. `Compiled` itself is also
-    /// `Sync` — the lazy program caches are `Mutex`-guarded — so threads
-    /// may request program variants from a shared `&Compiled` directly.
+    /// from this `Compiled`. `Compiled` itself is `Sync` with no
+    /// interior mutability, so threads share a `&Compiled` freely; when
+    /// the variant was [`Compiled::precompile`]d this is a lock-free
+    /// map read.
     ///
     /// # Panics
     ///
     /// Panics if `func` does not exist.
     pub fn program_for(&self, func: &str, config: &RunConfig) -> Program {
-        let is_affine = matches!(
-            config.kind,
-            DomainKind::AffineF64 | DomainKind::AffineDd | DomainKind::AffineF32
-        );
-        let use_priorities = config.prioritized && self.prioritize && is_affine;
-        if let (Some(k_low), true) = (config.capacity_low, is_affine) {
-            self.capacity_program(func, config.aa.k, k_low, use_priorities)
-        } else if use_priorities {
-            self.prioritized_program(func, config.aa.k)
-        } else {
-            self.program(func).clone()
-        }
+        self.variant(func, self.variant_kind_for(config))
     }
 
     /// Runs `func` on `args` under `config` and reduces the outcome to a
@@ -464,6 +572,31 @@ impl Compiled {
         opts: &crate::batch::BatchOptions,
     ) -> Result<crate::batch::BatchResult, String> {
         crate::batch::run_batch(&self.program_for(func, config), inputs, config, opts)
+    }
+}
+
+/// Which [`VariantKind`] a [`RunConfig`] selects when the unit was
+/// compiled with (`prioritize = true`) or without the static analysis.
+/// Annotations only apply to the affine domains — every other domain
+/// runs the plain program.
+pub fn variant_kind_with(config: &RunConfig, prioritize: bool) -> VariantKind {
+    let is_affine = matches!(
+        config.kind,
+        DomainKind::AffineF64 | DomainKind::AffineDd | DomainKind::AffineF32
+    );
+    let use_priorities = config.prioritized && prioritize && is_affine;
+    if let (Some(k_low), true) = (config.capacity_low, is_affine) {
+        VariantKind::Capacity {
+            k: config.aa.k as u32,
+            k_low: k_low as u32,
+            prioritized: use_priorities,
+        }
+    } else if use_priorities {
+        VariantKind::Prioritized {
+            k: config.aa.k as u32,
+        }
+    } else {
+        VariantKind::Plain
     }
 }
 
@@ -642,10 +775,38 @@ mod tests {
     }
 
     #[test]
+    fn precompiled_variants_match_fresh_compiles() {
+        let src = "double f(double x, double y, double z) { return x*z - y*z; }";
+        let mut c = Compiler::new().compile(src).unwrap();
+        let fresh_prio = c.prioritized_program("f", 4);
+        let fresh_cap = c.capacity_program("f", 4, 2, true);
+        c.precompile(&[
+            VariantKind::Prioritized { k: 4 },
+            VariantKind::Capacity {
+                k: 4,
+                k_low: 2,
+                prioritized: true,
+            },
+        ]);
+        // Precomputed lookups return the same programs the pure compiles do.
+        assert_eq!(c.prioritized_program("f", 4), fresh_prio);
+        assert_eq!(c.capacity_program("f", 4, 2, true), fresh_cap);
+        // all_variants lists plain first, then the two precomputed kinds.
+        let vs = c.all_variants();
+        assert_eq!(vs.len(), 3);
+        assert_eq!(vs[0].1, VariantKind::Plain);
+        // A kind that was not precomputed still works (fresh compile).
+        assert!(!c.prioritized_program("f", 9).code.is_empty());
+        assert_eq!(c.all_variants().len(), 3, "fallback must not mutate");
+    }
+
+    #[test]
     fn program_caches_are_thread_safe() {
-        // Regression test: the lazy per-k caches were RefCell-based, which
-        // made a shared &Compiled unusable from the batch engine's worker
-        // threads. Hammer both caches from several threads at once.
+        // Regression test: the per-k program variants were once behind
+        // RefCell (not Sync), then Mutex (contended); they are now either
+        // precomputed immutable state or pure recompiles, so a shared
+        // &Compiled must be usable from many threads with no locking.
+        // Hammer the variant paths from several threads at once.
         let src = "double f(double x, double y, double z) { return x*z - y*z; }";
         let c = Compiler::new().compile(src).unwrap();
         std::thread::scope(|s| {

@@ -29,6 +29,11 @@
 //! * [`mod@batch`] — parallel evaluation of one compiled program over
 //!   many input sets, with results bit-identical to the serial path
 //!   (see the module docs for the threading and determinism model).
+//! * [`mod@sga`]/[`mod@serve`] — the `.sga` program-artifact layer
+//!   (versioned, content-hashed serialization of compiled programs; see
+//!   `docs/ARTIFACT.md`) with a content-addressed compile cache, and the
+//!   compile-once/serve-many Unix-socket daemon that answers evaluation
+//!   requests from a loaded artifact without recompiling.
 //!
 //! ## Quickstart
 //!
@@ -55,10 +60,12 @@ pub mod fuzzer;
 pub mod oracle;
 pub mod profile;
 pub mod program;
+pub mod serve;
+pub mod sga;
 
 pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult, WorkerStats};
 pub use domain::{Domain, DomainKind, UnsoundF64};
-pub use driver::{run_on, Compiled, Compiler, RunConfig, RunReport};
+pub use driver::{run_on, variant_kind_with, Compiled, Compiler, RunConfig, RunReport};
 pub use emit_c::{emit_c, emit_c_from_cfg, EmitPrecision};
 pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
 pub use fuzzer::{
@@ -67,6 +74,12 @@ pub use fuzzer::{
 pub use oracle::{eval_exact, EvalLimits, OracleError};
 pub use profile::{profile, ErrorSource, ProfileReport};
 pub use program::{compile_program, compile_program_with, emit_program, Instr, Program};
+pub use serve::{request, serve, wait_ready, ServeOptions};
+pub use sga::{
+    build_artifact, compile_to_artifact, compile_to_artifact_cached, run_artifact, select_program,
+    BuildOptions,
+};
 
 pub use safegen_affine::{AaConfig, AaContext, Fusion, NoisePolicy, Placement};
+pub use safegen_artifact::{Artifact, ArtifactError, ArtifactMeta, ProgramVariant, VariantKind};
 pub use safegen_ir::{lower_function, pass_by_name, Cfg, Pass, PassManager};

@@ -1,122 +1,22 @@
-//! Register bytecode and the CFG → bytecode emitter.
+//! Compilation to register bytecode.
 //!
-//! The VM executes programs compiled to a small register machine:
-//! floating-point values (of whatever numeric domain) live in an `FReg`
-//! file, loop indices in an `IReg` file, arrays in a side table. Names are
-//! resolved at compile time, so executing an instruction costs a couple of
-//! array indexings — keeping the VM dispatch overhead small relative to
-//! the O(k) affine kernels the evaluation measures.
+//! The bytecode itself — [`Instr`], [`Program`], and the CFG linearizer
+//! [`emit_program`] — lives in [`safegen_ir::bytecode`] so that the
+//! artifact layer (`safegen-artifact`) can serialize programs without
+//! depending on the driver; this module re-exports those types and adds
+//! the front-to-back compile entry points.
 //!
 //! Compilation goes through the shared CFG middle-end: the function is
 //! lowered once (see [`safegen_ir::lower_function`]), the configured
 //! [`PassManager`] pipeline optimizes the CFG in place, and
-//! [`emit_program`] linearizes the blocks — in creation order, eliding
-//! jumps to the next block — into the flat instruction stream the VM
-//! dispatches over.
+//! [`emit_program`] linearizes the blocks into the flat instruction
+//! stream the VM dispatches over.
 
-use safegen_cfront::{Diagnostic, Function, ParseError, Sema, Span};
-use safegen_ir::cfg::{Cfg, Inst, Terminator};
+use safegen_cfront::{Diagnostic, Function, ParseError, Sema};
 use safegen_ir::PassManager;
-use std::fmt;
 
+pub use safegen_ir::bytecode::{emit_program, Instr, Program};
 pub use safegen_ir::cfg::{ArrId, ArrayDecl, CmpOp, FReg, IReg, ParamBinding};
-
-/// One bytecode instruction.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Instr {
-    // Floating-point (domain) operations.
-    /// `f[dst] = f[a] + f[b]`
-    Add(FReg, FReg, FReg),
-    /// `f[dst] = f[a] − f[b]`
-    Sub(FReg, FReg, FReg),
-    /// `f[dst] = f[a] · f[b]`
-    Mul(FReg, FReg, FReg),
-    /// `f[dst] = f[a] / f[b]`
-    Div(FReg, FReg, FReg),
-    /// `f[dst] = √f[a]`
-    Sqrt(FReg, FReg),
-    /// `f[dst] = |f[a]|`
-    Abs(FReg, FReg),
-    /// `f[dst] = −f[a]`
-    Neg(FReg, FReg),
-    /// `f[dst] = min(f[a], f[b])`
-    Min(FReg, FReg, FReg),
-    /// `f[dst] = max(f[a], f[b])`
-    Max(FReg, FReg, FReg),
-    /// `f[dst] = constant c` (domain may attach a 1-ulp symbol)
-    ConstF(FReg, f64),
-    /// `f[dst] = f[src]`
-    MovF(FReg, FReg),
-    /// `f[dst] = (double) i[src]` — exact for the index range used
-    CastIF(FReg, IReg),
-    /// `f[dst] = arrays[arr][i[idx]]`
-    LoadArr(FReg, ArrId, IReg),
-    /// `arrays[arr][i[idx]] = f[src]`
-    StoreArr(ArrId, IReg, FReg),
-    // Integer operations.
-    /// `i[dst] = c`
-    ConstI(IReg, i64),
-    /// `i[dst] = i[a] + i[b]`
-    AddI(IReg, IReg, IReg),
-    /// `i[dst] = i[a] − i[b]`
-    SubI(IReg, IReg, IReg),
-    /// `i[dst] = i[a] · i[b]`
-    MulI(IReg, IReg, IReg),
-    /// `i[dst] = i[a] / i[b]`
-    DivI(IReg, IReg, IReg),
-    /// `i[dst] = i[src]`
-    MovI(IReg, IReg),
-    /// `i[dst] = (int) f[src]` (center truncation; counts as an
-    /// undecided-branch-style approximation in sound domains)
-    CastFI(IReg, FReg),
-    /// `i[dst] = i[a] cmp i[b]` as 0/1
-    CmpI(CmpOp, IReg, IReg, IReg),
-    /// `i[dst] = f[a] cmp f[b]` as 0/1 — soundly when ranges are disjoint,
-    /// else by centers (recorded in the run stats)
-    CmpF(CmpOp, IReg, FReg, FReg),
-    // Control flow.
-    /// Unconditional jump to instruction index.
-    Jump(usize),
-    /// Jump to target when `i[cond] == 0`.
-    JumpIfZero(IReg, usize),
-    /// Protect the error symbols of `f[src]` during the next FP operation
-    /// (compiled from `#pragma safegen prioritize`).
-    Protect(FReg),
-    /// Lower the symbol budget for the next FP operation (compiled from
-    /// `#pragma safegen capacity`) — the variable-capacity extension.
-    SetCapacity(u32),
-    /// Return `f[src]` (or nothing).
-    Ret(Option<FReg>),
-}
-
-/// A compiled program: instructions plus the register/array layout.
-#[derive(Clone, Debug)]
-pub struct Program {
-    /// Function name.
-    pub name: String,
-    /// The instruction stream.
-    pub code: Vec<Instr>,
-    /// Number of float registers.
-    pub n_fregs: usize,
-    /// Number of int registers.
-    pub n_iregs: usize,
-    /// Array table layout.
-    pub arrays: Vec<ArrayDecl>,
-    /// Parameter bindings, in declaration order (name, binding).
-    pub params: Vec<(String, ParamBinding)>,
-    /// Source spans per instruction (diagnostics).
-    pub spans: Vec<Span>,
-}
-
-impl fmt::Display for Program {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program {} ({} instrs)", self.name, self.code.len())?;
-        for (i, ins) in self.code.iter().enumerate() {
-            writeln!(f, "{i:4}: {ins:?}")?;
-        }
-        Ok(())
-    }
-}
 
 /// Compiles a function of the supported subset to bytecode, running the
 /// pass pipeline configured by `SAFEGEN_PASSES` (the optimizing default
@@ -144,108 +44,6 @@ pub fn compile_program_with(
     let mut cfg = safegen_ir::lower_function(f, sema)?;
     pm.run(&mut cfg);
     Ok(emit_program(&cfg))
-}
-
-/// Linearizes a CFG into the flat bytecode the VM executes.
-///
-/// Blocks are laid out in creation order. A `Jump` to the next block is
-/// elided; a `Branch` whose taken target is the next block becomes a
-/// single `JumpIfZero` to the other target (the layout the classic
-/// single-pass code generator produced).
-pub fn emit_program(cfg: &Cfg) -> Program {
-    let n = cfg.blocks.len();
-    let mut sizes = vec![0usize; n];
-    for (b, block) in cfg.blocks.iter().enumerate() {
-        let term_size = match &block.term {
-            Terminator::Jump(t) => usize::from(*t != b + 1),
-            Terminator::Branch(_, t, _) => {
-                if *t == b + 1 {
-                    1
-                } else {
-                    2
-                }
-            }
-            Terminator::Ret(_) => 1,
-        };
-        sizes[b] = block.insts.len() + term_size;
-    }
-    let mut offsets = vec![0usize; n];
-    for b in 1..n {
-        offsets[b] = offsets[b - 1] + sizes[b - 1];
-    }
-    let mut code = Vec::new();
-    let mut spans = Vec::new();
-    for (b, block) in cfg.blocks.iter().enumerate() {
-        for ins in &block.insts {
-            code.push(instr_of(&ins.inst));
-            spans.push(ins.span);
-        }
-        match &block.term {
-            Terminator::Jump(t) => {
-                if *t != b + 1 {
-                    code.push(Instr::Jump(offsets[*t]));
-                    spans.push(block.term_span);
-                }
-            }
-            Terminator::Branch(c, t, e) => {
-                // Fall through into the taken target when adjacent.
-                code.push(Instr::JumpIfZero(*c, offsets[*e]));
-                spans.push(block.term_span);
-                if *t != b + 1 {
-                    code.push(Instr::Jump(offsets[*t]));
-                    spans.push(block.term_span);
-                }
-            }
-            Terminator::Ret(r) => {
-                code.push(Instr::Ret(*r));
-                spans.push(block.term_span);
-            }
-        }
-    }
-    debug_assert_eq!(code.len(), offsets[n - 1] + sizes[n - 1]);
-    Program {
-        name: cfg.name.clone(),
-        code,
-        n_fregs: cfg.n_fregs as usize,
-        n_iregs: cfg.n_iregs as usize,
-        arrays: cfg.arrays.clone(),
-        params: cfg
-            .params
-            .iter()
-            .map(|(name, binding, _)| (name.clone(), binding.clone()))
-            .collect(),
-        spans,
-    }
-}
-
-fn instr_of(i: &Inst) -> Instr {
-    match *i {
-        Inst::Add(d, a, b) => Instr::Add(d, a, b),
-        Inst::Sub(d, a, b) => Instr::Sub(d, a, b),
-        Inst::Mul(d, a, b) => Instr::Mul(d, a, b),
-        Inst::Div(d, a, b) => Instr::Div(d, a, b),
-        Inst::Sqrt(d, a) => Instr::Sqrt(d, a),
-        Inst::Abs(d, a) => Instr::Abs(d, a),
-        Inst::Neg(d, a) => Instr::Neg(d, a),
-        Inst::Min(d, a, b) => Instr::Min(d, a, b),
-        Inst::Max(d, a, b) => Instr::Max(d, a, b),
-        Inst::ConstF(d, c) => Instr::ConstF(d, c),
-        Inst::MovF(d, s) => Instr::MovF(d, s),
-        Inst::CastIF(d, s) => Instr::CastIF(d, s),
-        Inst::LoadArr(d, a, idx) => Instr::LoadArr(d, a, idx),
-        Inst::StoreArr(a, idx, s) => Instr::StoreArr(a, idx, s),
-        Inst::ConstI(d, c) => Instr::ConstI(d, c),
-        Inst::AddI(d, a, b) => Instr::AddI(d, a, b),
-        Inst::SubI(d, a, b) => Instr::SubI(d, a, b),
-        Inst::MulI(d, a, b) => Instr::MulI(d, a, b),
-        Inst::DivI(d, a, b) => Instr::DivI(d, a, b),
-        Inst::MovI(d, s) => Instr::MovI(d, s),
-        Inst::CastFI(d, s) => Instr::CastFI(d, s),
-        Inst::CmpI(op, d, a, b) => Instr::CmpI(op, d, a, b),
-        Inst::CmpF(op, d, a, b) => Instr::CmpF(op, d, a, b),
-        Inst::Protect(r) => Instr::Protect(r),
-        Inst::SetCapacity(k) => Instr::SetCapacity(k),
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,529 @@
+//! The compile-once/serve-many evaluation daemon.
+//!
+//! `safegen serve` loads a `.sga` artifact **once** into shared
+//! immutable program state and then answers evaluation requests over a
+//! Unix-domain socket, amortizing the front-end + mid-end compilation
+//! cost across every request (`docs/ARTIFACT.md` motivates the format;
+//! DESIGN.md §9 covers the serving architecture).
+//!
+//! ## Protocol
+//!
+//! Newline-delimited JSON, one request line → one response line per
+//! connection round; a connection may issue any number of rounds.
+//! Requests carry an `"op"`:
+//!
+//! * `{"op":"ping"}` → `{"ok":true,"pong":true}`
+//! * `{"op":"list"}` → artifact name, tool, functions, variants
+//! * `{"op":"eval","func":F,"config":C,"k":K,"args":[...]}` — one
+//!   evaluation; `args` entries are `{"float":x}`, `{"int":n}`,
+//!   `{"array":[...]}` (bare numbers are accepted as floats)
+//! * `{"op":"eval","func":F,"config":C,"k":K,"inputs":[[...],[...]]}` —
+//!   a batch, evaluated by the parallel batch engine; the response
+//!   carries one report per input set, in input order
+//! * `{"op":"shutdown"}` → `{"ok":true,"bye":true}`, then the daemon
+//!   exits cleanly (removing its socket file)
+//!
+//! Every failure is a response line `{"ok":false,"error":"..."}` — the
+//! daemon never dies on a bad request.
+//!
+//! ## Concurrency model
+//!
+//! The artifact is immutable and shared (`Arc<Artifact>`); each
+//! connection gets a thread, and each evaluation builds its own domain
+//! context ("per-request scratch"). There is **no lock anywhere on the
+//! request path** — see `Compiled`'s immutability contract in the
+//! driver, which this daemon inherits by construction.
+
+use crate::batch::{run_batch, BatchOptions};
+use crate::driver::{run_on, RunConfig, RunReport};
+use crate::exec::ArgValue;
+use crate::sga::select_program;
+use safegen_artifact::Artifact;
+use safegen_telemetry as telemetry;
+use safegen_telemetry::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Serve-loop options.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Socket path; an existing file at this path is replaced.
+    pub socket: PathBuf,
+}
+
+/// Runs the daemon until a `shutdown` request arrives.
+///
+/// Binds the socket, accepts connections (one thread each), and blocks
+/// the calling thread. On shutdown the socket file is removed before
+/// returning.
+///
+/// # Errors
+///
+/// Socket bind/IO failures, rendered as strings.
+pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
+    let _ = std::fs::remove_file(&opts.socket);
+    let listener = UnixListener::bind(&opts.socket)
+        .map_err(|e| format!("bind {}: {e}", opts.socket.display()))?;
+    let artifact = Arc::new(artifact);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => return Err(format!("accept: {e}")),
+        };
+        let artifact = Arc::clone(&artifact);
+        let stop = Arc::clone(&stop);
+        let socket = opts.socket.clone();
+        workers.push(std::thread::spawn(move || {
+            serve_connection(stream, &artifact, &stop, &socket);
+        }));
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    Ok(())
+}
+
+fn serve_connection(stream: UnixStream, artifact: &Artifact, stop: &AtomicBool, socket: &Path) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client hung up
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (response, shutdown) = handle_request(line.trim(), artifact);
+        let micros = started.elapsed().as_micros() as u64;
+        let response = match response {
+            Json::Obj(mut fields) => {
+                fields.push(("micros".to_string(), Json::from(micros)));
+                Json::Obj(fields)
+            }
+            other => other,
+        };
+        if telemetry::enabled() {
+            telemetry::record(
+                "serve.request",
+                vec![
+                    ("micros", Json::from(micros)),
+                    ("shutdown", Json::Bool(shutdown)),
+                ],
+            );
+        }
+        if writeln!(writer, "{response}").is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // The acceptor is blocked in `accept`; poke it awake so it
+            // observes the stop flag and exits.
+            let _ = UnixStream::connect(socket);
+            return;
+        }
+    }
+}
+
+/// Decodes and executes one request line. Returns the response and
+/// whether the daemon should shut down.
+fn handle_request(line: &str, artifact: &Artifact) -> (Json, bool) {
+    let err = |msg: String| {
+        (
+            Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::from(msg))]),
+            false,
+        )
+    };
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return err(format!("bad request JSON: {e}")),
+    };
+    match request.get("op").and_then(Json::as_str) {
+        Some("ping") => (
+            Json::obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
+            false,
+        ),
+        Some("shutdown") => (
+            Json::obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
+            true,
+        ),
+        Some("list") => {
+            let functions = artifact
+                .functions()
+                .into_iter()
+                .map(Json::from)
+                .collect::<Vec<_>>();
+            let variants = artifact
+                .programs
+                .iter()
+                .map(|v| {
+                    Json::obj(vec![
+                        ("func", Json::from(v.func.as_str())),
+                        ("kind", Json::from(v.kind.to_string())),
+                        ("instrs", Json::from(v.program.code.len())),
+                    ])
+                })
+                .collect::<Vec<_>>();
+            (
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("name", Json::from(artifact.meta.name.as_str())),
+                    ("tool", Json::from(artifact.meta.tool.as_str())),
+                    ("functions", Json::Arr(functions)),
+                    ("variants", Json::Arr(variants)),
+                ]),
+                false,
+            )
+        }
+        Some("eval") => match handle_eval(&request, artifact) {
+            Ok(v) => (v, false),
+            Err(e) => err(e),
+        },
+        Some(other) => err(format!("unknown op {other:?}")),
+        None => err("request needs a string \"op\" field".to_string()),
+    }
+}
+
+fn handle_eval(request: &Json, artifact: &Artifact) -> Result<Json, String> {
+    let func = request
+        .get("func")
+        .and_then(Json::as_str)
+        .ok_or("eval needs a string \"func\" field")?;
+    let k = match request.get("k") {
+        Some(v) => v.as_f64().ok_or("\"k\" must be a number")? as usize,
+        None => 16,
+    };
+    let mut config = RunConfig::from_cli(
+        request
+            .get("config")
+            .and_then(Json::as_str)
+            .unwrap_or("dspv"),
+        k,
+    )?;
+    if let Some(v) = request.get("k_low") {
+        config.capacity_low = Some(v.as_f64().ok_or("\"k_low\" must be a number")? as usize);
+    }
+    let program = select_program(artifact, func, &config)?;
+
+    if let Some(inputs) = request.get("inputs").and_then(Json::as_arr) {
+        // Batch form: the parallel batch engine evaluates all input sets.
+        let decoded: Vec<Vec<ArgValue>> = inputs
+            .iter()
+            .map(|set| {
+                set.as_arr()
+                    .ok_or("\"inputs\" entries must be arrays of argument values")?
+                    .iter()
+                    .map(decode_arg)
+                    .collect()
+            })
+            .collect::<Result<_, String>>()?;
+        let threads = match request.get("threads") {
+            Some(v) => v.as_f64().ok_or("\"threads\" must be a number")? as usize,
+            None => 0,
+        };
+        let result = run_batch(
+            program,
+            &decoded,
+            &config,
+            &BatchOptions::with_threads(threads),
+        )?;
+        let reports: Vec<Json> = result
+            .items
+            .iter()
+            .map(|i| report_json(&i.report))
+            .collect();
+        return Ok(Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("config", Json::from(config.label())),
+            ("reports", Json::Arr(reports)),
+            ("threads", Json::from(result.threads)),
+        ]));
+    }
+
+    let args: Vec<ArgValue> = request
+        .get("args")
+        .and_then(Json::as_arr)
+        .ok_or("eval needs an \"args\" array (or \"inputs\" for a batch)")?
+        .iter()
+        .map(decode_arg)
+        .collect::<Result<_, String>>()?;
+    let report = run_on(program, &args, &config)?;
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("config", Json::from(config.label())),
+    ];
+    if let Json::Obj(rep) = report_json(&report) {
+        // Splice the report fields into the top-level response.
+        return Ok(Json::Obj(
+            fields
+                .drain(..)
+                .map(|(k, v)| (k.to_string(), v))
+                .chain(rep)
+                .collect(),
+        ));
+    }
+    unreachable!("report_json always returns an object")
+}
+
+/// Decodes one argument value: tagged object or bare number.
+fn decode_arg(v: &Json) -> Result<ArgValue, String> {
+    if let Some(x) = v.as_f64() {
+        return Ok(ArgValue::Float(x));
+    }
+    if let Some(x) = v.get("float").and_then(Json::as_f64) {
+        return Ok(ArgValue::Float(x));
+    }
+    if let Some(n) = v.get("int").and_then(Json::as_f64) {
+        return Ok(ArgValue::Int(n as i64));
+    }
+    if let Some(xs) = v.get("array").and_then(Json::as_arr) {
+        let vals: Vec<f64> = xs
+            .iter()
+            .map(|x| x.as_f64().ok_or("array elements must be numbers"))
+            .collect::<Result<_, _>>()?;
+        return Ok(ArgValue::Array(vals));
+    }
+    Err(format!(
+        "bad argument value {v} (want a number, {{\"float\":x}}, {{\"int\":n}}, or {{\"array\":[..]}})"
+    ))
+}
+
+/// Renders a [`RunReport`] as response JSON.
+fn report_json(r: &RunReport) -> Json {
+    let range = |(lo, hi): (f64, f64)| Json::Arr(vec![Json::Num(lo), Json::Num(hi)]);
+    let arrays: Vec<Json> = r
+        .arrays
+        .iter()
+        .map(|(name, ranges)| {
+            Json::obj(vec![
+                ("name", Json::from(name.as_str())),
+                (
+                    "ranges",
+                    Json::Arr(ranges.iter().map(|&x| range(x)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ret", r.ret.map_or(Json::Null, range)),
+        ("arrays", Json::Arr(arrays)),
+        ("acc_bits", Json::Num(r.acc_bits)),
+        (
+            "stats",
+            Json::obj(vec![
+                ("fp_ops", Json::from(r.stats.fp_ops)),
+                ("instrs", Json::from(r.stats.instrs)),
+                ("undecided_branches", Json::from(r.stats.undecided_branches)),
+                ("fusions", Json::from(r.stats.fusions)),
+                ("condensations", Json::from(r.stats.condensations)),
+            ]),
+        ),
+    ])
+}
+
+/// Client helper: sends one request line to a serving daemon and returns
+/// the parsed response.
+///
+/// # Errors
+///
+/// Connection/IO failures and malformed responses, as strings.
+pub fn request(socket: &Path, body: &Json) -> Result<Json, String> {
+    let stream =
+        UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(writer, "{body}").map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("receive: {e}"))?;
+    if line.is_empty() {
+        return Err("daemon closed the connection without responding".into());
+    }
+    json::parse(line.trim()).map_err(|e| format!("bad response JSON: {e}"))
+}
+
+/// Waits (up to `timeout_ms`) for a daemon to answer pings on `socket` —
+/// the test/benchmark startup helper.
+///
+/// # Errors
+///
+/// Times out with a message when the daemon never becomes ready.
+pub fn wait_ready(socket: &Path, timeout_ms: u64) -> Result<(), String> {
+    let deadline = Instant::now() + std::time::Duration::from_millis(timeout_ms);
+    let ping = Json::obj(vec![("op", Json::from("ping"))]);
+    loop {
+        if request(socket, &ping).is_ok() {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "daemon on {} not ready after {timeout_ms}ms",
+                socket.display()
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sga::{compile_to_artifact, BuildOptions};
+
+    fn test_artifact() -> Artifact {
+        let opts = BuildOptions {
+            ks: vec![8],
+            use_cache: false,
+            ..BuildOptions::new("serve-test.c")
+        };
+        compile_to_artifact(
+            "double f(double x, double y) { return x * y + 0.1; }",
+            &opts,
+        )
+        .unwrap()
+    }
+
+    fn sock_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("safegen-serve-{tag}-{}.sock", std::process::id()))
+    }
+
+    /// Spawns a daemon thread and waits until it answers pings.
+    fn spawn_daemon(tag: &str) -> (PathBuf, std::thread::JoinHandle<Result<(), String>>) {
+        let socket = sock_path(tag);
+        let opts = ServeOptions {
+            socket: socket.clone(),
+        };
+        let artifact = test_artifact();
+        let handle = std::thread::spawn(move || serve(artifact, &opts));
+        wait_ready(&socket, 5_000).unwrap();
+        (socket, handle)
+    }
+
+    #[test]
+    fn ping_eval_and_clean_shutdown() {
+        let (socket, handle) = spawn_daemon("basic");
+
+        let resp = request(
+            &socket,
+            &Json::obj(vec![
+                ("op", Json::from("eval")),
+                ("func", Json::from("f")),
+                ("config", Json::from("dspv")),
+                ("k", Json::from(8u64)),
+                (
+                    "args",
+                    Json::Arr(vec![
+                        Json::obj(vec![("float", Json::Num(0.5))]),
+                        Json::Num(0.25), // bare number accepted as float
+                    ]),
+                ),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        let ret = resp.get("ret").unwrap().as_arr().unwrap();
+        let (lo, hi) = (ret[0].as_f64().unwrap(), ret[1].as_f64().unwrap());
+        let expected = 0.5 * 0.25 + 0.1;
+        assert!(lo <= expected && expected <= hi);
+        assert!(resp.get("micros").unwrap().as_f64().unwrap() >= 0.0);
+
+        // Response matches a direct in-process run bit-for-bit.
+        let artifact = test_artifact();
+        let direct = crate::sga::run_artifact(
+            &artifact,
+            "f",
+            &[0.5.into(), 0.25.into()],
+            &RunConfig::affine_f64(8),
+        )
+        .unwrap();
+        assert_eq!(direct.ret.unwrap(), (lo, hi));
+
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("list"))])).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            resp.get("functions").unwrap().as_arr().unwrap()[0].as_str(),
+            Some("f")
+        );
+
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        assert_eq!(resp.get("bye"), Some(&Json::Bool(true)));
+        handle.join().unwrap().unwrap();
+        assert!(!socket.exists(), "socket file must be removed on shutdown");
+    }
+
+    #[test]
+    fn batch_eval_and_error_paths() {
+        let (socket, handle) = spawn_daemon("batch");
+
+        // Batch form returns one report per input set, in order.
+        let resp = request(
+            &socket,
+            &Json::obj(vec![
+                ("op", Json::from("eval")),
+                ("func", Json::from("f")),
+                ("config", Json::from("ia")),
+                (
+                    "inputs",
+                    Json::Arr(vec![
+                        Json::Arr(vec![Json::Num(0.5), Json::Num(0.25)]),
+                        Json::Arr(vec![Json::Num(1.5), Json::Num(2.0)]),
+                    ]),
+                ),
+                ("threads", Json::from(2u64)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        assert_eq!(resp.get("reports").unwrap().as_arr().unwrap().len(), 2);
+
+        // Bad requests get error responses; the daemon survives them all.
+        for bad in [
+            "not json at all".to_string(),
+            Json::obj(vec![("op", Json::from("nope"))]).to_string(),
+            Json::obj(vec![("op", Json::from("eval")), ("func", Json::from("g"))]).to_string(),
+            Json::obj(vec![
+                ("op", Json::from("eval")),
+                ("func", Json::from("f")),
+                ("config", Json::from("dspv")),
+                ("k", Json::from(32u64)), // variant not in artifact
+                ("args", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ])
+            .to_string(),
+        ] {
+            let parsed = json::parse(&bad);
+            let resp = match parsed {
+                Ok(v) => request(&socket, &v).unwrap(),
+                Err(_) => {
+                    // Raw invalid line through a manual connection.
+                    let stream = UnixStream::connect(&socket).unwrap();
+                    let mut w = stream.try_clone().unwrap();
+                    writeln!(w, "{bad}").unwrap();
+                    let mut line = String::new();
+                    BufReader::new(stream).read_line(&mut line).unwrap();
+                    json::parse(line.trim()).unwrap()
+                }
+            };
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+            assert!(resp.get("error").is_some());
+        }
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

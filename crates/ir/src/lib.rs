@@ -7,7 +7,7 @@
 //!   operation sits on its own line in a fresh temporary. This is the form
 //!   the static analysis annotates (each DAG node ↔ one source line) and
 //!   the backend transforms.
-//! * [`cfg`] — the **CFG IR**: each TAC function is lowered once into
+//! * [`mod@cfg`] — the **CFG IR**: each TAC function is lowered once into
 //!   basic blocks of three-address instructions over virtual registers,
 //!   with per-instruction source-span provenance. The bytecode emitter,
 //!   the DAG analysis, the C emitter, the profiler and the exact oracle
@@ -17,6 +17,10 @@
 //!   elimination, and liveness-based register allocation, run by a
 //!   [`PassManager`] that honors the `SAFEGEN_PASSES` environment
 //!   variable.
+//! * [`bytecode`] — the **register bytecode**: the stable artifact
+//!   surface. [`emit_program`] linearizes an optimized CFG into the flat
+//!   [`Program`] the VM dispatches over; `Program` is plain serializable
+//!   data, which is what the `safegen-artifact` container format ships.
 //! * [`dag`] — the **computation DAG**: nodes are floating-point
 //!   operations (sources are the input variables), edges are data
 //!   dependencies. Loop bodies are traversed once and loop-carried
@@ -37,12 +41,14 @@
 //! assert!(cfg.inst_count() >= 3);
 //! ```
 
+pub mod bytecode;
 pub mod cfg;
 pub mod dag;
 pub mod fold;
 pub mod passes;
 pub mod tac;
 
+pub use bytecode::{emit_program, Instr, Program};
 pub use cfg::{
     lower_function, ArrId, ArrayDecl, Block, BlockId, Cfg, CfgInstr, CmpOp, FReg, IReg, Inst,
     ParamBinding, Terminator,

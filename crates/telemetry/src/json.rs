@@ -21,7 +21,7 @@ pub enum Json {
     Str(String),
     Arr(Vec<Json>),
     /// Object with insertion-ordered keys (duplicates rejected by the
-    /// [`obj`] constructor and the parser).
+    /// [`Json::obj`] constructor and the parser).
     Obj(Vec<(String, Json)>),
 }
 

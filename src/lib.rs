@@ -3,6 +3,7 @@
 pub use safegen;
 pub use safegen_affine as affine;
 pub use safegen_analysis as analysis;
+pub use safegen_artifact as artifact;
 pub use safegen_cfront as cfront;
 pub use safegen_fpcore as fpcore;
 pub use safegen_fuzz as fuzz;

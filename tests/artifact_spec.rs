@@ -1,0 +1,116 @@
+//! Spec conformance: the worked example in `docs/ARTIFACT.md` is real.
+//!
+//! The spec document embeds a complete hex dump of the artifact produced
+//! for a small fixed source. This test rebuilds that artifact with the
+//! exact options the document prescribes and checks the bytes match the
+//! document — so the spec can never drift from the implementation without
+//! CI noticing — and then decodes the document's bytes through the strict
+//! deserializer.
+//!
+//! To regenerate the dump after an intentional format change:
+//!
+//! ```text
+//! SAFEGEN_SPEC_DUMP=1 cargo test --test artifact_spec -- --nocapture
+//! ```
+
+use safegen_suite::safegen::{self, Artifact, BuildOptions};
+
+/// The spec's worked example: fixed source, plain-only build.
+const SPEC_SOURCE: &str = "double sq(double x) { return x * x; }";
+
+fn spec_artifact() -> Artifact {
+    let opts = BuildOptions {
+        ks: Vec::new(),
+        analysis: false,
+        use_cache: false,
+        ..BuildOptions::new("sq.c")
+    };
+    safegen::compile_to_artifact(SPEC_SOURCE, &opts).expect("spec example compiles")
+}
+
+/// Extracts the hex dump between the `worked-example-bytes` markers.
+/// Lines look like `00000000: 53 47 41 46 ...`; the offset column is
+/// informational and checked for consistency.
+fn spec_bytes(doc: &str) -> Vec<u8> {
+    let begin = doc
+        .find("<!-- worked-example-bytes:begin -->")
+        .expect("begin marker in docs/ARTIFACT.md");
+    let end = doc
+        .find("<!-- worked-example-bytes:end -->")
+        .expect("end marker in docs/ARTIFACT.md");
+    let mut bytes = Vec::new();
+    for line in doc[begin..end].lines() {
+        let Some((offset, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let offset = offset.trim();
+        if offset.len() != 8 || !offset.bytes().all(|b| b.is_ascii_hexdigit()) {
+            continue;
+        }
+        assert_eq!(
+            usize::from_str_radix(offset, 16).unwrap(),
+            bytes.len(),
+            "hex dump offset column out of step at line: {line}"
+        );
+        for pair in rest.split_whitespace() {
+            let b = u8::from_str_radix(pair, 16)
+                .unwrap_or_else(|_| panic!("bad hex byte `{pair}` in line: {line}"));
+            bytes.push(b);
+        }
+    }
+    assert!(!bytes.is_empty(), "no hex dump between the markers");
+    bytes
+}
+
+fn dump(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in bytes.chunks(16).enumerate() {
+        out.push_str(&format!("{:08x}:", i * 16));
+        for b in chunk {
+            out.push_str(&format!(" {b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn worked_example_matches_the_implementation() {
+    let artifact = spec_artifact();
+    let bytes = artifact.to_bytes();
+    if std::env::var("SAFEGEN_SPEC_DUMP").as_deref() == Ok("1") {
+        println!("-- paste between the worked-example-bytes markers --");
+        println!("{}", dump(&bytes));
+    }
+    let doc = include_str!("../docs/ARTIFACT.md");
+    let doc_bytes = spec_bytes(doc);
+    assert_eq!(
+        doc_bytes,
+        bytes,
+        "docs/ARTIFACT.md worked example is stale; regenerate with \
+         SAFEGEN_SPEC_DUMP=1 cargo test --test artifact_spec -- --nocapture\n\
+         expected:\n{}",
+        dump(&bytes)
+    );
+}
+
+#[test]
+fn worked_example_bytes_decode() {
+    let doc_bytes = spec_bytes(include_str!("../docs/ARTIFACT.md"));
+    let artifact = Artifact::from_bytes(&doc_bytes).expect("spec bytes decode");
+    assert_eq!(artifact.meta.name, "sq.c");
+    assert_eq!(artifact.meta.tool, safegen_suite::artifact::tool_version());
+    assert!(!artifact.meta.prioritize);
+    assert_eq!(artifact.functions(), vec!["sq".to_string()]);
+    assert_eq!(artifact.programs.len(), 1);
+    // And the decoded program actually runs.
+    let report = safegen::run_artifact(
+        &artifact,
+        "sq",
+        &[3.0.into()],
+        &safegen::RunConfig::interval_f64(),
+    )
+    .expect("spec program runs");
+    let (lo, hi) = report.ret.expect("returns a value");
+    assert!(lo <= 9.0 && 9.0 <= hi);
+}
