@@ -94,4 +94,14 @@ wait "$SERVE_PID"
 test ! -e "$SMOKE_DIR/sg.sock"
 ./target/release/json_check "$SMOKE_DIR/serve.jsonl" "$SMOKE_DIR/serve.summary.json"
 
+echo "== lane-differential gate (SoA engine bit-identical to scalar) =="
+cargo test -q --test lanes_differential
+
+echo "== dispatch bench smoke (SoA engine + results JSON) =="
+# Run from the scratch dir: the binary writes results/BENCH_dispatch.json
+# relative to its cwd, and the committed copy holds a full-length run.
+(cd "$SMOKE_DIR" && SAFEGEN_QUICK=1 SAFEGEN_REPS=1 \
+    "$OLDPWD/target/release/dispatch" > /dev/null)
+./target/release/json_check "$SMOKE_DIR/results/BENCH_dispatch.json"
+
 echo "ci.sh: all checks passed"

@@ -10,6 +10,14 @@
 //! kernels, so
 //! results are **identical** to the scalar kernels on finite data (a
 //! property the test suite checks).
+//!
+//! This vectorizes *within* one affine operation (across symbol slots).
+//! The orthogonal axis — vectorizing across input points — is the
+//! lane-major batch interpreter (`safegen::run_lanes_on`, DESIGN.md
+//! § 10); its column kernels for the interval domains live in
+//! `safegen-interval::cols` and follow the same playbook used here:
+//! branch-free bodies in a `#[target_feature(enable = "fma,avx2")]`
+//! region with a bit-identity test pinning them to the scalar path.
 
 use crate::center::{CenterValue, ErrAcc};
 use crate::config::{AaContext, Protect};

@@ -17,16 +17,39 @@
 //! `.safegen-cache/` under the current directory. Writes are atomic
 //! (temp file + rename) so concurrent compiles never observe a torn
 //! entry.
+//!
+//! The cache is **bounded**: after every store, entries are evicted
+//! oldest-first (by modification time; hits refresh it, making the
+//! order LRU-ish) until the directory is back under
+//! `$SAFEGEN_CACHE_CAP_BYTES` (default 256 MiB; `0` disables the cap).
+//! Eviction is best-effort — a failure to remove an old entry never
+//! fails the store.
 
 use crate::hash::Sha256;
 use crate::{Artifact, ArtifactError, FORMAT_VERSION};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Environment variable overriding the cache directory.
 pub const CACHE_DIR_ENV: &str = "SAFEGEN_CACHE_DIR";
 
 /// The default cache directory name (under the current directory).
 pub const DEFAULT_CACHE_DIR: &str = ".safegen-cache";
+
+/// Environment variable overriding the cache size cap in bytes
+/// (`0` = unlimited).
+pub const CACHE_CAP_ENV: &str = "SAFEGEN_CACHE_CAP_BYTES";
+
+/// Default cache size cap: 256 MiB.
+pub const DEFAULT_CACHE_CAP_BYTES: u64 = 256 << 20;
+
+/// The cache size cap currently in effect (`None` = unlimited).
+pub fn cache_cap_bytes() -> Option<u64> {
+    let cap = match std::env::var(CACHE_CAP_ENV) {
+        Ok(v) if !v.is_empty() => v.parse().unwrap_or(DEFAULT_CACHE_CAP_BYTES),
+        _ => DEFAULT_CACHE_CAP_BYTES,
+    };
+    (cap != 0).then_some(cap)
+}
 
 /// The cache directory currently in effect.
 pub fn cache_dir() -> PathBuf {
@@ -71,26 +94,87 @@ pub fn entry_path(key: &str) -> PathBuf {
 
 /// Looks up `key`, returning the cached artifact when present **and**
 /// valid. A missing file is a miss; a file that fails artifact
-/// validation (torn write, stale format, bit rot) is also treated as a
-/// miss — the caller recompiles and overwrites it.
+/// validation (torn write, truncation, stale format, bit rot) is also
+/// treated as a miss — the caller recompiles and overwrites it. A hit
+/// refreshes the entry's modification time so the eviction order
+/// approximates least-recently-used rather than least-recently-written.
 pub fn load(key: &str) -> Option<Artifact> {
-    Artifact::read_file(&entry_path(key)).ok()
+    let path = entry_path(key);
+    let artifact = Artifact::read_file(&path).ok()?;
+    touch(&path);
+    Some(artifact)
+}
+
+/// Best-effort mtime refresh on a cache hit.
+fn touch(path: &Path) {
+    if let Ok(f) = std::fs::OpenOptions::new().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
 }
 
 /// Stores `artifact` under `key`, creating the cache directory on first
 /// use. The write is atomic, so concurrent stores of the same key are
-/// safe (last writer wins, both writers produced identical bytes).
+/// safe (last writer wins, both writers produced identical bytes). The
+/// store then evicts oldest entries beyond the size cap (see
+/// [`cache_cap_bytes`]); the entry just written is never evicted.
 ///
 /// # Errors
 ///
 /// [`ArtifactError::Io`] when the directory cannot be created or the
 /// file cannot be written; callers may ignore it (a cold cache is only
-/// a performance loss, never a correctness one).
+/// a performance loss, never a correctness one). Eviction failures are
+/// swallowed entirely.
 pub fn store(key: &str, artifact: &Artifact) -> Result<(), ArtifactError> {
     let dir = cache_dir();
     std::fs::create_dir_all(&dir)
         .map_err(|e| ArtifactError::Io(format!("create {}: {e}", dir.display())))?;
-    artifact.write_file(&entry_path(key))
+    artifact.write_file(&entry_path(key))?;
+    if let Some(cap) = cache_cap_bytes() {
+        evict_to_cap(&dir, cap, key);
+    }
+    Ok(())
+}
+
+/// Removes `.sga` entries oldest-first until the directory's total entry
+/// size is within `cap`. `keep_key`'s entry is exempt, so a store always
+/// lands even when the artifact alone exceeds the cap. Entirely
+/// best-effort: unreadable metadata or a failed remove just skips that
+/// entry.
+fn evict_to_cap(dir: &Path, cap: u64, keep_key: &str) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let keep_name = format!("{keep_key}.sga");
+    // (mtime, path, size), `.sga` files only.
+    let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            if path.extension().is_none_or(|x| x != "sga") {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            Some((meta.modified().ok()?, path, meta.len()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+    if total <= cap {
+        return;
+    }
+    // Oldest first; path as the tiebreaker keeps the order deterministic
+    // on filesystems with coarse mtime granularity.
+    files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    for (_, path, len) in files {
+        if total <= cap {
+            break;
+        }
+        if path.file_name().is_some_and(|n| n == keep_name.as_str()) {
+            continue;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +244,99 @@ mod tests {
             *bytes.last_mut().unwrap() ^= 0xFF;
             std::fs::write(&path, &bytes).unwrap();
             assert!(load(&key).is_none(), "corrupt entry must read as a miss");
+        });
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss_and_overwritten() {
+        with_cache_dir(|_| {
+            let a = tiny_artifact();
+            let key = compile_key("src-trunc", &[]);
+            store(&key, &a).unwrap();
+            let path = entry_path(&key);
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+            assert!(load(&key).is_none(), "truncated entry must read as a miss");
+            // The caller's recompile-and-store path overwrites it cleanly.
+            store(&key, &a).unwrap();
+            assert_eq!(load(&key).unwrap(), a);
+        });
+    }
+
+    /// Sets the cache cap for the duration of `f` (call only inside
+    /// `with_cache_dir`, which holds the env lock).
+    fn with_cache_cap<R>(cap: u64, f: impl FnOnce() -> R) -> R {
+        std::env::set_var(CACHE_CAP_ENV, cap.to_string());
+        let r = f();
+        std::env::remove_var(CACHE_CAP_ENV);
+        r
+    }
+
+    fn set_mtime(key: &str, secs_ago: u64) {
+        let t = std::time::SystemTime::now() - std::time::Duration::from_secs(secs_ago);
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(entry_path(key))
+            .unwrap();
+        f.set_modified(t).unwrap();
+    }
+
+    #[test]
+    fn store_evicts_oldest_entries_beyond_the_cap() {
+        with_cache_dir(|_| {
+            let a = tiny_artifact();
+            let (k1, k2, k3) = (
+                compile_key("one", &[]),
+                compile_key("two", &[]),
+                compile_key("three", &[]),
+            );
+            store(&k1, &a).unwrap();
+            store(&k2, &a).unwrap();
+            let size = std::fs::metadata(entry_path(&k1)).unwrap().len();
+            set_mtime(&k1, 300); // oldest
+            set_mtime(&k2, 200);
+            // Two entries fit under the cap; storing a third overflows
+            // it and must evict exactly the oldest.
+            with_cache_cap(2 * size, || store(&k3, &a).unwrap());
+            assert!(load(&k1).is_none(), "oldest entry must be evicted");
+            assert!(load(&k2).is_some());
+            assert!(load(&k3).is_some(), "the just-stored entry survives");
+        });
+    }
+
+    #[test]
+    fn cache_hits_refresh_the_eviction_order() {
+        with_cache_dir(|_| {
+            let a = tiny_artifact();
+            let (k1, k2, k3) = (
+                compile_key("one", &[]),
+                compile_key("two", &[]),
+                compile_key("three", &[]),
+            );
+            store(&k1, &a).unwrap();
+            store(&k2, &a).unwrap();
+            let size = std::fs::metadata(entry_path(&k1)).unwrap().len();
+            set_mtime(&k1, 300);
+            set_mtime(&k2, 200);
+            // A hit on the older entry moves it to the back of the
+            // eviction queue, so the overflow evicts k2 instead.
+            assert!(load(&k1).is_some());
+            with_cache_cap(2 * size, || store(&k3, &a).unwrap());
+            assert!(load(&k1).is_some(), "recently-hit entry survives");
+            assert!(load(&k2).is_none(), "now-oldest entry is evicted");
+            assert!(load(&k3).is_some());
+        });
+    }
+
+    #[test]
+    fn just_stored_entry_is_never_evicted() {
+        with_cache_dir(|_| {
+            let a = tiny_artifact();
+            let key = compile_key("solo", &[]);
+            // Cap smaller than a single artifact: the store must still
+            // land (the cap only bounds *other* entries).
+            with_cache_cap(1, || store(&key, &a).unwrap());
+            assert!(load(&key).is_some());
         });
     }
 

@@ -155,9 +155,7 @@ fn main() {
 
     // --- Daemon up. ---
     let socket = dir.join(format!("bench-serve-{}.sock", std::process::id()));
-    let serve_opts = safegen::ServeOptions {
-        socket: socket.clone(),
-    };
+    let serve_opts = safegen::ServeOptions::new(socket.clone());
     let daemon = std::thread::spawn(move || safegen::serve(loaded, &serve_opts));
     safegen::wait_ready(&socket, 10_000).expect("daemon ready");
 

@@ -25,6 +25,19 @@
 //!   hands out chunks of consecutive indices, so an item that runs long
 //!   (e.g. a large `luf` instance) does not stall the other workers.
 //!
+//! ## Lane engine
+//!
+//! Within one worker, items are evaluated in **lane groups** through the
+//! SoA interpreter ([`crate::lanes::exec_lanes`]): every dispatched
+//! instruction applies to [`BatchOptions::lanes`] items at once, which
+//! amortizes interpreter dispatch over the group (the dominant cost for
+//! the unsound/interval domains). The cursor hands out whole lane
+//! groups, so a group never straddles two workers. Lanes are fully
+//! independent — per-lane registers, contexts and statistics — so
+//! results are bit-identical to the scalar interpreter for every width;
+//! `lanes: 1` (or a program the fixed-width encoding cannot express)
+//! falls back to the scalar path.
+//!
 //! ## Determinism
 //!
 //! Results are **bit-identical for every thread count**, including the
@@ -61,9 +74,10 @@
 //! }
 //! ```
 
-use crate::driver::{run_on, RunConfig, RunReport};
+use crate::driver::{run_lanes_on, run_on, RunConfig, RunReport};
 use crate::exec::{ArgValue, RunStats};
-use crate::program::Program;
+use crate::lanes::MAX_LANES;
+use crate::program::{encode, FixedProgram, Program};
 use safegen_telemetry as telemetry;
 use safegen_telemetry::json::Json;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -76,34 +90,56 @@ use std::time::Instant;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Program>();
+    assert_send_sync::<FixedProgram>();
     assert_send_sync::<RunConfig>();
     assert_send_sync::<RunStats>();
 };
 
-/// How a batch is distributed over threads.
+/// How a batch is distributed over threads and SIMD-style lanes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchOptions {
     /// Worker count. `0` means "use [`std::thread::available_parallelism`]";
     /// `1` runs inline on the calling thread (no spawning at all).
     pub threads: usize,
+    /// Lane-group width for the SoA interpreter
+    /// ([`crate::lanes::exec_lanes`]): each dispatched instruction is
+    /// applied to this many batch items at once. `0` picks a default
+    /// per domain (wide for the cheap scalar domains, narrower for the
+    /// affine ones, whose per-lane cost dominates dispatch); `1`
+    /// disables the lane engine and runs the scalar interpreter.
+    /// Results are bit-identical for every width (clamped to
+    /// [`MAX_LANES`]).
+    pub lanes: usize,
 }
 
 impl Default for BatchOptions {
-    /// All available cores.
+    /// All available cores, lane width chosen per domain.
     fn default() -> BatchOptions {
-        BatchOptions { threads: 0 }
+        BatchOptions {
+            threads: 0,
+            lanes: 0,
+        }
     }
 }
 
 impl BatchOptions {
-    /// Runs inline on the calling thread.
+    /// Runs inline on the calling thread (lane width still per-domain).
     pub fn serial() -> BatchOptions {
-        BatchOptions { threads: 1 }
+        BatchOptions {
+            threads: 1,
+            lanes: 0,
+        }
     }
 
     /// Runs on exactly `threads` workers (`0` = available parallelism).
     pub fn with_threads(threads: usize) -> BatchOptions {
-        BatchOptions { threads }
+        BatchOptions { threads, lanes: 0 }
+    }
+
+    /// Sets the lane-group width (`0` = per-domain default, `1` = the
+    /// scalar interpreter).
+    pub fn with_lanes(self, lanes: usize) -> BatchOptions {
+        BatchOptions { lanes, ..self }
     }
 
     /// The concrete worker count for a batch of `n` items.
@@ -116,6 +152,23 @@ impl BatchOptions {
             self.threads
         };
         t.clamp(1, n.max(1))
+    }
+
+    /// The concrete lane width for a run configuration: dispatch
+    /// overhead dominates the cheap scalar domains, so they get wide
+    /// groups; the affine domains pay O(k) per lane and get narrow
+    /// ones (matching `safegen-affine::vector`'s 4-wide blocks).
+    pub fn resolve_lanes(&self, config: &RunConfig) -> usize {
+        use crate::domain::DomainKind;
+        let w = if self.lanes == 0 {
+            match config.kind {
+                DomainKind::Unsound | DomainKind::IntervalF64 | DomainKind::IntervalDd => 16,
+                _ => 4,
+            }
+        } else {
+            self.lanes
+        };
+        w.clamp(1, MAX_LANES)
     }
 }
 
@@ -148,6 +201,9 @@ pub struct BatchResult {
     /// between runs; only the *sum* of `items` is invariant (= the
     /// batch size).
     pub workers: Vec<WorkerStats>,
+    /// Lane-group width actually used (`1` = the scalar interpreter;
+    /// see [`BatchOptions::lanes`]).
+    pub lanes: usize,
 }
 
 /// What one worker thread did during a batch.
@@ -221,25 +277,74 @@ fn run_batch_on(
     input_for: impl Fn(usize) -> Vec<ArgValue> + Sync,
 ) -> Result<BatchResult, String> {
     let threads = opts.resolve(n);
+    // The fixed-width re-encoding the lane engine dispatches over; a
+    // program the encoding cannot express (operand counts beyond its
+    // 16-bit fields) simply runs scalar.
+    let mut lanes = opts.resolve_lanes(config);
+    let fixed = if lanes > 1 { encode(prog) } else { None };
+    if fixed.is_none() {
+        lanes = 1;
+    }
     let mut slots: Vec<Option<Result<BatchItem, String>>> = Vec::new();
     slots.resize_with(n, || None);
 
-    let run_item = |i: usize| -> Result<BatchItem, String> {
-        let args = input_for(i);
-        let t0 = Instant::now();
-        let report = run_on(prog, &args, config)?;
-        Ok(BatchItem {
-            index: i,
-            report,
-            elapsed_s: t0.elapsed().as_secs_f64(),
-        })
+    // Evaluates one contiguous group of items — through the SoA lane
+    // engine when it is enabled, one scalar run per item otherwise.
+    // Per-item wall time within a lane group is the group's time split
+    // evenly (the lanes execute interleaved, so there is no meaningful
+    // per-item split point).
+    let run_group = |start: usize, end: usize| -> Vec<(usize, Result<BatchItem, String>)> {
+        match &fixed {
+            Some(fixed) if end - start > 1 => {
+                let args: Vec<Vec<ArgValue>> = (start..end).map(&input_for).collect();
+                let t0 = Instant::now();
+                let reports = run_lanes_on(prog, fixed, &args, config);
+                let per_item = t0.elapsed().as_secs_f64() / (end - start) as f64;
+                reports
+                    .into_iter()
+                    .enumerate()
+                    .map(|(off, r)| {
+                        let index = start + off;
+                        (
+                            index,
+                            r.map(|report| BatchItem {
+                                index,
+                                report,
+                                elapsed_s: per_item,
+                            }),
+                        )
+                    })
+                    .collect()
+            }
+            _ => (start..end)
+                .map(|i| {
+                    let args = input_for(i);
+                    let t0 = Instant::now();
+                    let r = run_on(prog, &args, config).map(|report| BatchItem {
+                        index: i,
+                        report,
+                        elapsed_s: t0.elapsed().as_secs_f64(),
+                    });
+                    (i, r)
+                })
+                .collect(),
+        }
     };
+
+    // The work-distribution step: whole lane groups, so a group never
+    // straddles two workers.
+    let step = if lanes > 1 { lanes } else { CHUNK };
 
     let mut workers: Vec<WorkerStats>;
     if threads == 1 {
         let t0 = Instant::now();
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(run_item(i));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + step).min(n);
+            for (i, r) in run_group(start, end) {
+                slots[i] = Some(r);
+            }
+            start = end;
         }
         workers = vec![WorkerStats {
             worker: 0,
@@ -255,19 +360,19 @@ fn run_batch_on(
                 let worker_log = &worker_log;
                 let cursor = &cursor;
                 let out = &out;
-                let run_item = &run_item;
+                let run_group = &run_group;
                 scope.spawn(move || {
                     let mut done = 0usize;
                     let mut busy_s = 0.0f64;
                     loop {
-                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        let start = cursor.fetch_add(step, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
-                        let end = (start + CHUNK).min(n);
+                        let end = (start + step).min(n);
                         // Compute outside the lock; hold it only to store.
                         let t0 = Instant::now();
-                        let produced: Vec<_> = (start..end).map(|i| (i, run_item(i))).collect();
+                        let produced = run_group(start, end);
                         busy_s += t0.elapsed().as_secs_f64();
                         done += end - start;
                         let mut slots = out.lock().unwrap();
@@ -304,6 +409,7 @@ fn run_batch_on(
             vec![
                 ("n", Json::from(n)),
                 ("threads", Json::from(threads)),
+                ("lanes", Json::from(lanes)),
                 (
                     "workers",
                     Json::Arr(
@@ -327,6 +433,7 @@ fn run_batch_on(
         stats,
         threads,
         workers,
+        lanes,
     })
 }
 
@@ -449,6 +556,74 @@ mod tests {
         let serial = run_batch(&prog, &inputs(5), &cfg, &BatchOptions::serial()).unwrap();
         assert_eq!(serial.workers.len(), 1);
         assert_eq!(serial.workers[0].items, 5);
+    }
+
+    #[test]
+    fn lane_widths_match_scalar_bit_for_bit() {
+        let c = Compiler::new().compile(SRC).unwrap();
+        for cfg in [
+            RunConfig::unsound(),
+            RunConfig::interval_f64(),
+            RunConfig::affine_f64(8),
+        ] {
+            let prog = c.program_for("g", &cfg);
+            let ins = inputs(23); // deliberately not a multiple of any width
+            let scalar =
+                run_batch(&prog, &ins, &cfg, &BatchOptions::serial().with_lanes(1)).unwrap();
+            assert_eq!(scalar.lanes, 1);
+            for w in [2, 4, 8, 16, 64] {
+                let laned =
+                    run_batch(&prog, &ins, &cfg, &BatchOptions::serial().with_lanes(w)).unwrap();
+                assert_eq!(laned.lanes, w);
+                assert_eq!(laned.stats, scalar.stats, "width {w} ({})", cfg.label());
+                for (s, p) in scalar.items.iter().zip(&laned.items) {
+                    assert_eq!(s.index, p.index);
+                    assert_eq!(s.report.ret, p.report.ret, "item {} width {w}", s.index);
+                    assert_eq!(s.report.stats, p.report.stats, "item {} width {w}", s.index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_resolve_per_domain() {
+        let auto = BatchOptions::default();
+        assert_eq!(auto.resolve_lanes(&RunConfig::unsound()), 16);
+        assert_eq!(auto.resolve_lanes(&RunConfig::interval_f64()), 16);
+        assert_eq!(auto.resolve_lanes(&RunConfig::interval_dd()), 16);
+        assert_eq!(auto.resolve_lanes(&RunConfig::affine_f64(8)), 4);
+        assert_eq!(auto.resolve_lanes(&RunConfig::ceres(8)), 4);
+        // Explicit widths clamp to the engine's mask width.
+        assert_eq!(
+            auto.with_lanes(1000).resolve_lanes(&RunConfig::unsound()),
+            crate::lanes::MAX_LANES
+        );
+        assert_eq!(auto.with_lanes(1).resolve_lanes(&RunConfig::unsound()), 1);
+    }
+
+    #[test]
+    fn lane_groups_preserve_lowest_index_error() {
+        // Items 5 and 7 index out of bounds; every lane width must
+        // surface the same lowest-index error as the scalar path.
+        let c = Compiler::new()
+            .compile("void f(double a[2], int i) { a[i] = 1.0; }")
+            .unwrap();
+        let cfg = RunConfig::unsound();
+        let prog = c.program_for("f", &cfg);
+        let ins: Vec<Vec<ArgValue>> = (0..9i64)
+            .map(|i| {
+                vec![
+                    vec![0.0, 0.0].into(),
+                    (if i == 5 || i == 7 { i } else { 0 }).into(),
+                ]
+            })
+            .collect();
+        let scalar = run_batch(&prog, &ins, &cfg, &BatchOptions::serial().with_lanes(1));
+        let err = scalar.expect_err("item with n == 0 fails");
+        for w in [2, 4, 8] {
+            let laned = run_batch(&prog, &ins, &cfg, &BatchOptions::serial().with_lanes(w));
+            assert_eq!(laned.expect_err("same failure"), err, "width {w}");
+        }
     }
 
     #[test]

@@ -247,9 +247,7 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
         artifact.meta.name,
         artifact.programs.len()
     );
-    let opts = safegen::ServeOptions {
-        socket: socket.into(),
-    };
+    let opts = safegen::ServeOptions::new(socket);
     match safegen::serve(artifact, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e),

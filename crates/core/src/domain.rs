@@ -35,6 +35,36 @@ pub enum DomainKind {
     Ceres,
 }
 
+/// Binary floating-point operation selector for the column kernels
+/// ([`Domain::bin_kernel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FpBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// `fmin`.
+    Min,
+    /// `fmax`.
+    Max,
+}
+
+/// Unary floating-point operation selector for the column kernels
+/// ([`Domain::un_kernel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FpUnOp {
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Negation.
+    Neg,
+}
+
 /// One numeric evaluation domain.
 ///
 /// `protect` carries the symbol ids a `#pragma safegen prioritize(v)`
@@ -135,6 +165,36 @@ pub trait Domain: Sized + Clone {
     fn uncorrelated_noise(&self) -> f64 {
         0.0
     }
+
+    /// Accelerated column kernel for the lane-major VM: writes
+    /// `op(a[l], b[l])` to `out[l]` for every lane and returns `true`,
+    /// or returns `false` when the domain has no kernel for `op` (the
+    /// VM then applies the scalar operation lane by lane). `out` is the
+    /// destination register column itself (`out.len() == a.len() ==
+    /// b.len()`; the VM resolves aliasing before the call), so a kernel
+    /// must either fill `out` completely or return `false` without
+    /// writing anything. A kernel MUST return results bit-identical to
+    /// the scalar operation — the cheap domains achieve the speedup
+    /// through hardware-FMA/SIMD code paths whose results IEEE 754 pins
+    /// down exactly (`safegen_interval::cols`).
+    ///
+    /// Only called on protect-free operations (a pending
+    /// `#pragma safegen prioritize` forces the per-lane path), so
+    /// kernels never see a protect set.
+    fn bin_kernel(
+        _op: FpBinOp,
+        _a: &[Self],
+        _b: &[Self],
+        _out: &mut [Self],
+        _cxs: &[Self::Ctx],
+    ) -> bool {
+        false
+    }
+
+    /// Unary counterpart of [`Domain::bin_kernel`].
+    fn un_kernel(_op: FpUnOp, _a: &[Self], _out: &mut [Self], _cxs: &[Self::Ctx]) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,6 +265,64 @@ impl Domain for UnsoundF64 {
     fn try_lt(&self, rhs: &Self) -> Option<bool> {
         Some(self.0 < rhs.0)
     }
+    fn bin_kernel(op: FpBinOp, a: &[Self], b: &[Self], out: &mut [Self], _: &[()]) -> bool {
+        // Lock-step slice loops (not `extend`) so the bodies vectorize.
+        let o = out;
+        match op {
+            FpBinOp::Add => {
+                for ((o, x), y) in o.iter_mut().zip(a).zip(b) {
+                    *o = UnsoundF64(x.0 + y.0);
+                }
+            }
+            FpBinOp::Sub => {
+                for ((o, x), y) in o.iter_mut().zip(a).zip(b) {
+                    *o = UnsoundF64(x.0 - y.0);
+                }
+            }
+            FpBinOp::Mul => {
+                for ((o, x), y) in o.iter_mut().zip(a).zip(b) {
+                    *o = UnsoundF64(x.0 * y.0);
+                }
+            }
+            FpBinOp::Div => {
+                for ((o, x), y) in o.iter_mut().zip(a).zip(b) {
+                    *o = UnsoundF64(x.0 / y.0);
+                }
+            }
+            FpBinOp::Min => {
+                for ((o, x), y) in o.iter_mut().zip(a).zip(b) {
+                    *o = UnsoundF64(x.0.min(y.0));
+                }
+            }
+            FpBinOp::Max => {
+                for ((o, x), y) in o.iter_mut().zip(a).zip(b) {
+                    *o = UnsoundF64(x.0.max(y.0));
+                }
+            }
+        }
+        true
+    }
+    fn un_kernel(op: FpUnOp, a: &[Self], out: &mut [Self], _: &[()]) -> bool {
+        let o = out;
+        match op {
+            FpUnOp::Sqrt => {
+                for (o, x) in o.iter_mut().zip(a) {
+                    *o = UnsoundF64(x.0.sqrt());
+                }
+            }
+            FpUnOp::Abs => {
+                for (o, x) in o.iter_mut().zip(a) {
+                    *o = UnsoundF64(x.0.abs());
+                }
+            }
+            FpUnOp::Neg => {
+                for (o, x) in o.iter_mut().zip(a) {
+                    *o = UnsoundF64(-x.0);
+                }
+            }
+        }
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -271,6 +389,27 @@ impl Domain for IntervalF64 {
     #[inline]
     fn center(&self) -> f64 {
         self.mid()
+    }
+    fn bin_kernel(op: FpBinOp, a: &[Self], b: &[Self], out: &mut [Self], _: &[()]) -> bool {
+        use safegen_interval::cols;
+        match op {
+            FpBinOp::Add => cols::add_cols_f64(a, b, out),
+            FpBinOp::Sub => cols::sub_cols_f64(a, b, out),
+            FpBinOp::Mul => cols::mul_cols_f64(a, b, out),
+            FpBinOp::Div => cols::div_cols_f64(a, b, out),
+            FpBinOp::Min => cols::min_cols_f64(a, b, out),
+            FpBinOp::Max => cols::max_cols_f64(a, b, out),
+        }
+        true
+    }
+    fn un_kernel(op: FpUnOp, a: &[Self], out: &mut [Self], _: &[()]) -> bool {
+        use safegen_interval::cols;
+        match op {
+            FpUnOp::Sqrt => cols::sqrt_cols_f64(a, out),
+            FpUnOp::Abs => cols::abs_cols_f64(a, out),
+            FpUnOp::Neg => cols::neg_cols_f64(a, out),
+        }
+        true
     }
 }
 
@@ -362,6 +501,27 @@ impl Domain for IntervalDd {
     #[inline]
     fn center(&self) -> f64 {
         0.5 * (self.lo().hi() + self.hi().hi())
+    }
+    fn bin_kernel(op: FpBinOp, a: &[Self], b: &[Self], out: &mut [Self], _: &[()]) -> bool {
+        use safegen_interval::cols;
+        match op {
+            FpBinOp::Add => cols::add_cols_dd(a, b, out),
+            FpBinOp::Sub => cols::sub_cols_dd(a, b, out),
+            FpBinOp::Mul => cols::mul_cols_dd(a, b, out),
+            FpBinOp::Div => cols::div_cols_dd(a, b, out),
+            // min/max of IntervalDd is hand-rolled above, not a column op.
+            FpBinOp::Min | FpBinOp::Max => return false,
+        }
+        true
+    }
+    fn un_kernel(op: FpUnOp, a: &[Self], out: &mut [Self], _: &[()]) -> bool {
+        use safegen_interval::cols;
+        match op {
+            FpUnOp::Sqrt => cols::sqrt_cols_dd(a, out),
+            FpUnOp::Abs => cols::abs_cols_dd(a, out),
+            FpUnOp::Neg => cols::neg_cols_dd(a, out),
+        }
+        true
     }
 }
 

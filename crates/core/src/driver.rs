@@ -600,70 +600,149 @@ pub fn variant_kind_with(config: &RunConfig, prioritize: bool) -> VariantKind {
     }
 }
 
+/// Flattens a domain-typed [`crate::exec::RunResult`] into the
+/// domain-erased [`RunReport`] surface the drivers return.
+fn to_report<D: Domain>(r: crate::exec::RunResult<D>) -> RunReport {
+    let ret = r.ret.as_ref().map(|v| v.range());
+    let mut acc = f64::INFINITY;
+    if let Some(v) = &r.ret {
+        acc = acc.min(v.acc_bits());
+    }
+    let arrays: Vec<(String, Vec<(f64, f64)>)> = r
+        .arrays
+        .iter()
+        .map(|(n, vs)| (n.clone(), vs.iter().map(|v| v.range()).collect()))
+        .collect();
+    for (_, vs) in &r.arrays {
+        for v in vs {
+            acc = acc.min(v.acc_bits());
+        }
+    }
+    if acc == f64::INFINITY {
+        acc = f64::NAN; // nothing to certify (void function, no arrays)
+    }
+    RunReport {
+        ret,
+        arrays,
+        acc_bits: acc,
+        stats: r.stats,
+    }
+}
+
 /// Runs an already-compiled program under a configuration.
 ///
 /// # Errors
 ///
 /// Returns the VM error message on execution failure.
 pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<RunReport, String> {
-    fn report<D: Domain>(r: crate::exec::RunResult<D>) -> RunReport {
-        let ret = r.ret.as_ref().map(|v| v.range());
-        let mut acc = f64::INFINITY;
-        if let Some(v) = &r.ret {
-            acc = acc.min(v.acc_bits());
-        }
-        let arrays: Vec<(String, Vec<(f64, f64)>)> = r
-            .arrays
-            .iter()
-            .map(|(n, vs)| (n.clone(), vs.iter().map(|v| v.range()).collect()))
-            .collect();
-        for (_, vs) in &r.arrays {
-            for v in vs {
-                acc = acc.min(v.acc_bits());
-            }
-        }
-        if acc == f64::INFINITY {
-            acc = f64::NAN; // nothing to certify (void function, no arrays)
-        }
-        RunReport {
-            ret,
-            arrays,
-            acc_bits: acc,
-            stats: r.stats,
-        }
-    }
-
     let e = |e: crate::exec::ExecError| e.message;
     telemetry::span("vm.exec", || match config.kind {
-        DomainKind::Unsound => exec::<UnsoundF64>(prog, args, &()).map(report).map_err(e),
-        DomainKind::IntervalF64 => exec::<IntervalF64>(prog, args, &()).map(report).map_err(e),
-        DomainKind::IntervalDd => exec::<IntervalDd>(prog, args, &()).map(report).map_err(e),
+        DomainKind::Unsound => exec::<UnsoundF64>(prog, args, &())
+            .map(to_report)
+            .map_err(e),
+        DomainKind::IntervalF64 => exec::<IntervalF64>(prog, args, &())
+            .map(to_report)
+            .map_err(e),
+        DomainKind::IntervalDd => exec::<IntervalDd>(prog, args, &())
+            .map(to_report)
+            .map_err(e),
         DomainKind::AffineF64 => {
             let cx = AaContext::new(config.aa);
-            exec::<AffineF64>(prog, args, &cx).map(report).map_err(e)
+            exec::<AffineF64>(prog, args, &cx).map(to_report).map_err(e)
         }
         DomainKind::AffineDd => {
             let cx = AaContext::new(config.aa);
-            exec::<AffineDd>(prog, args, &cx).map(report).map_err(e)
+            exec::<AffineDd>(prog, args, &cx).map(to_report).map_err(e)
         }
         DomainKind::AffineF32 => {
             let cx = AaContext::new(config.aa);
-            exec::<AffineF32>(prog, args, &cx).map(report).map_err(e)
+            exec::<AffineF32>(prog, args, &cx).map(to_report).map_err(e)
         }
         DomainKind::YalaaAff0 => {
             let cx = BaselineCtx::new();
-            exec::<YalaaAff0>(prog, args, &cx).map(report).map_err(e)
+            exec::<YalaaAff0>(prog, args, &cx).map(to_report).map_err(e)
         }
         DomainKind::YalaaAff1 => {
             let cx = BaselineCtx::new();
-            exec::<YalaaAff1>(prog, args, &cx).map(report).map_err(e)
+            exec::<YalaaAff1>(prog, args, &cx).map(to_report).map_err(e)
         }
         DomainKind::Ceres => {
             let cx = CeresCtx {
                 ctx: BaselineCtx::new(),
                 k: config.aa.k,
             };
-            exec::<CeresAffine>(prog, args, &cx).map(report).map_err(e)
+            exec::<CeresAffine>(prog, args, &cx)
+                .map(to_report)
+                .map_err(e)
+        }
+    })
+}
+
+/// Runs an already-compiled program on a whole lane group at once
+/// through the SoA interpreter ([`crate::lanes::exec_lanes`]) —
+/// one result per input set, each bit-identical to what [`run_on`]
+/// returns for that input alone (every lane gets a fresh domain
+/// context, exactly like a scalar run would).
+///
+/// `fixed` must be the fixed-width encoding of `prog`
+/// (see [`crate::program::encode`]).
+///
+/// # Errors
+///
+/// Per lane: the VM error message on that lane's execution failure.
+pub fn run_lanes_on(
+    prog: &Program,
+    fixed: &crate::program::FixedProgram,
+    inputs: &[Vec<ArgValue>],
+    config: &RunConfig,
+) -> Vec<Result<RunReport, String>> {
+    use crate::lanes::exec_lanes;
+
+    fn collect<D: Domain>(
+        rs: Vec<Result<crate::exec::RunResult<D>, crate::exec::ExecError>>,
+    ) -> Vec<Result<RunReport, String>> {
+        rs.into_iter()
+            .map(|r| r.map(to_report).map_err(|e| e.message))
+            .collect()
+    }
+
+    let w = inputs.len();
+    telemetry::span("vm.exec_lanes", || match config.kind {
+        DomainKind::Unsound => collect(exec_lanes::<UnsoundF64>(prog, fixed, inputs, &vec![(); w])),
+        DomainKind::IntervalF64 => {
+            collect(exec_lanes::<IntervalF64>(prog, fixed, inputs, &vec![(); w]))
+        }
+        DomainKind::IntervalDd => {
+            collect(exec_lanes::<IntervalDd>(prog, fixed, inputs, &vec![(); w]))
+        }
+        DomainKind::AffineF64 => {
+            let cxs: Vec<AaContext> = (0..w).map(|_| AaContext::new(config.aa)).collect();
+            collect(exec_lanes::<AffineF64>(prog, fixed, inputs, &cxs))
+        }
+        DomainKind::AffineDd => {
+            let cxs: Vec<AaContext> = (0..w).map(|_| AaContext::new(config.aa)).collect();
+            collect(exec_lanes::<AffineDd>(prog, fixed, inputs, &cxs))
+        }
+        DomainKind::AffineF32 => {
+            let cxs: Vec<AaContext> = (0..w).map(|_| AaContext::new(config.aa)).collect();
+            collect(exec_lanes::<AffineF32>(prog, fixed, inputs, &cxs))
+        }
+        DomainKind::YalaaAff0 => {
+            let cxs: Vec<BaselineCtx> = (0..w).map(|_| BaselineCtx::new()).collect();
+            collect(exec_lanes::<YalaaAff0>(prog, fixed, inputs, &cxs))
+        }
+        DomainKind::YalaaAff1 => {
+            let cxs: Vec<BaselineCtx> = (0..w).map(|_| BaselineCtx::new()).collect();
+            collect(exec_lanes::<YalaaAff1>(prog, fixed, inputs, &cxs))
+        }
+        DomainKind::Ceres => {
+            let cxs: Vec<CeresCtx> = (0..w)
+                .map(|_| CeresCtx {
+                    ctx: BaselineCtx::new(),
+                    k: config.aa.k,
+                })
+                .collect();
+            collect(exec_lanes::<CeresAffine>(prog, fixed, inputs, &cxs))
         }
     })
 }

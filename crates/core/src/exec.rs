@@ -145,7 +145,7 @@ fn err(message: impl Into<String>) -> ExecError {
 }
 
 /// Upper bound on executed instructions (runaway-loop guard).
-const FUEL: u64 = 2_000_000_000;
+pub(crate) const FUEL: u64 = 2_000_000_000;
 
 /// Executes `prog` under domain `D`.
 ///
@@ -182,7 +182,7 @@ pub fn exec_traced<D: Domain>(
     Ok((result, trace))
 }
 
-fn exec_inner<D: Domain, T: ExecTracer>(
+pub(crate) fn exec_inner<D: Domain, T: ExecTracer>(
     prog: &Program,
     args: &[ArgValue],
     cx: &D::Ctx,

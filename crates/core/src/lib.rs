@@ -57,6 +57,7 @@ pub mod driver;
 pub mod emit_c;
 pub mod exec;
 pub mod fuzzer;
+pub mod lanes;
 pub mod oracle;
 pub mod profile;
 pub mod program;
@@ -65,15 +66,21 @@ pub mod sga;
 
 pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult, WorkerStats};
 pub use domain::{Domain, DomainKind, UnsoundF64};
-pub use driver::{run_on, variant_kind_with, Compiled, Compiler, RunConfig, RunReport};
+pub use driver::{
+    run_lanes_on, run_on, variant_kind_with, Compiled, Compiler, RunConfig, RunReport,
+};
 pub use emit_c::{emit_c, emit_c_from_cfg, EmitPrecision};
 pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
 pub use fuzzer::{
     check_source, parse_corpus_header, run_fuzz, CheckOpts, CheckReport, FuzzOpts, FuzzSummary,
 };
+pub use lanes::{exec_lanes, MAX_LANES};
 pub use oracle::{eval_exact, EvalLimits, OracleError};
 pub use profile::{profile, ErrorSource, ProfileReport};
-pub use program::{compile_program, compile_program_with, emit_program, Instr, Program};
+pub use program::{
+    compile_program, compile_program_with, emit_program, encode, pair_histogram, FixedInstr,
+    FixedProgram, Instr, OpCode, Program,
+};
 pub use serve::{request, serve, wait_ready, ServeOptions};
 pub use sga::{
     build_artifact, compile_to_artifact, compile_to_artifact_cached, run_artifact, select_program,

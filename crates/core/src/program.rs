@@ -15,7 +15,9 @@
 use safegen_cfront::{Diagnostic, Function, ParseError, Sema};
 use safegen_ir::PassManager;
 
-pub use safegen_ir::bytecode::{emit_program, Instr, Program};
+pub use safegen_ir::bytecode::{
+    emit_program, encode, pair_histogram, FixedInstr, FixedProgram, Instr, OpCode, Program,
+};
 pub use safegen_ir::cfg::{ArrId, ArrayDecl, CmpOp, FReg, IReg, ParamBinding};
 
 /// Compiles a function of the supported subset to bytecode, running the

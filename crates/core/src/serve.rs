@@ -51,8 +51,54 @@ use std::time::Instant;
 /// Serve-loop options.
 #[derive(Clone, Debug)]
 pub struct ServeOptions {
-    /// Socket path; an existing file at this path is replaced.
+    /// Socket path. A *stale* file at this path (no daemon answering)
+    /// is replaced; a live daemon's socket is never stolen — see
+    /// [`serve`].
     pub socket: PathBuf,
+    /// Per-connection read timeout in milliseconds; a client that keeps
+    /// a connection open without completing a request line is dropped
+    /// after this long. `0` disables the timeout.
+    pub read_timeout_ms: u64,
+    /// Maximum accepted request-line length in bytes. Oversize requests
+    /// are answered with a JSON error and the connection is closed, so
+    /// a hostile client cannot grow the line buffer without bound.
+    pub max_request_bytes: usize,
+}
+
+impl ServeOptions {
+    /// Options for `socket` with the default limits (30 s read timeout,
+    /// 1 MiB request lines).
+    pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            socket: socket.into(),
+            read_timeout_ms: 30_000,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// True when a daemon currently answers pings on `socket`. Connect and
+/// ping with short timeouts: an abandoned socket file refuses the
+/// connection (or nobody responds), a live daemon pongs.
+fn daemon_answers(socket: &Path) -> bool {
+    let timeout = std::time::Duration::from_millis(500);
+    let Ok(stream) = UnixStream::connect(socket) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let Ok(mut writer) = stream.try_clone() else {
+        return false;
+    };
+    let ping = Json::obj(vec![("op", Json::from("ping"))]);
+    if writeln!(writer, "{ping}").is_err() {
+        return false;
+    }
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line).is_err() {
+        return false;
+    }
+    matches!(json::parse(line.trim()), Ok(v) if v.get("pong") == Some(&Json::Bool(true)))
 }
 
 /// Runs the daemon until a `shutdown` request arrives.
@@ -61,11 +107,26 @@ pub struct ServeOptions {
 /// the calling thread. On shutdown the socket file is removed before
 /// returning.
 ///
+/// An existing file at the socket path is probed first: if a daemon
+/// answers pings there, `serve` refuses to start rather than silently
+/// unlinking the live daemon's socket out from under it; only a
+/// genuinely stale socket (no responder) is removed.
+///
 /// # Errors
 ///
-/// Socket bind/IO failures, rendered as strings.
+/// A live daemon already on the socket, and socket bind/IO failures,
+/// rendered as strings.
 pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
-    let _ = std::fs::remove_file(&opts.socket);
+    if opts.socket.exists() {
+        if daemon_answers(&opts.socket) {
+            return Err(format!(
+                "a daemon is already serving on {}: refusing to steal its socket \
+                 (shut it down first or use another path)",
+                opts.socket.display()
+            ));
+        }
+        let _ = std::fs::remove_file(&opts.socket);
+    }
     let listener = UnixListener::bind(&opts.socket)
         .map_err(|e| format!("bind {}: {e}", opts.socket.display()))?;
     let artifact = Arc::new(artifact);
@@ -81,9 +142,9 @@ pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
         };
         let artifact = Arc::clone(&artifact);
         let stop = Arc::clone(&stop);
-        let socket = opts.socket.clone();
+        let conn_opts = opts.clone();
         workers.push(std::thread::spawn(move || {
-            serve_connection(stream, &artifact, &stop, &socket);
+            serve_connection(stream, &artifact, &stop, &conn_opts);
         }));
     }
     for w in workers {
@@ -93,19 +154,96 @@ pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn serve_connection(stream: UnixStream, artifact: &Artifact, stop: &AtomicBool, socket: &Path) {
+/// How one attempt to read a request line ended.
+enum LineRead {
+    /// A complete line (without its terminator) is in the buffer.
+    Line,
+    /// Clean end of stream (client hung up between requests).
+    Eof,
+    /// The line exceeded the configured byte cap.
+    Oversize,
+    /// Read error — including the per-connection timeout expiring.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line into `out`, never buffering more than
+/// `max` bytes — the bounded replacement for `read_line`, which would
+/// grow its buffer as fast as a hostile client can send.
+fn read_bounded_line(reader: &mut impl BufRead, out: &mut Vec<u8>, max: usize) -> LineRead {
+    out.clear();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                // A final unterminated line still gets processed.
+                return if out.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                };
+            }
+            Ok(c) => c,
+            Err(_) => return LineRead::Failed,
+        };
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if out.len() + pos > max {
+                    return LineRead::Oversize;
+                }
+                out.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return LineRead::Line;
+            }
+            None => {
+                if out.len() + chunk.len() > max {
+                    return LineRead::Oversize;
+                }
+                out.extend_from_slice(chunk);
+                let n = chunk.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    stream: UnixStream,
+    artifact: &Artifact,
+    stop: &AtomicBool,
+    opts: &ServeOptions,
+) {
+    if opts.read_timeout_ms > 0 {
+        let timeout = std::time::Duration::from_millis(opts.read_timeout_ms);
+        if stream.set_read_timeout(Some(timeout)).is_err() {
+            return;
+        }
+    }
+    let socket: &Path = &opts.socket;
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
-    let mut line = String::new();
+    let mut raw = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client hung up
-            Ok(_) => {}
+        match read_bounded_line(&mut reader, &mut raw, opts.max_request_bytes) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Failed => return, // client hung up or timed out
+            LineRead::Oversize => {
+                let resp = Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::from(format!(
+                            "request line exceeds {} bytes",
+                            opts.max_request_bytes
+                        )),
+                    ),
+                ]);
+                let _ = writeln!(writer, "{resp}");
+                return;
+            }
         }
+        let line = String::from_utf8_lossy(&raw);
         if line.trim().is_empty() {
             continue;
         }
@@ -237,11 +375,16 @@ fn handle_eval(request: &Json, artifact: &Artifact) -> Result<Json, String> {
             Some(v) => v.as_f64().ok_or("\"threads\" must be a number")? as usize,
             None => 0,
         };
+        // SoA lane-group width (0 = per-domain default, 1 = scalar).
+        let lanes = match request.get("lanes") {
+            Some(v) => v.as_f64().ok_or("\"lanes\" must be a number")? as usize,
+            None => 0,
+        };
         let result = run_batch(
             program,
             &decoded,
             &config,
-            &BatchOptions::with_threads(threads),
+            &BatchOptions::with_threads(threads).with_lanes(lanes),
         )?;
         let reports: Vec<Json> = result
             .items
@@ -253,6 +396,7 @@ fn handle_eval(request: &Json, artifact: &Artifact) -> Result<Json, String> {
             ("config", Json::from(config.label())),
             ("reports", Json::Arr(reports)),
             ("threads", Json::from(result.threads)),
+            ("lanes", Json::from(result.lanes)),
         ]));
     }
 
@@ -403,16 +547,23 @@ mod tests {
         std::env::temp_dir().join(format!("safegen-serve-{tag}-{}.sock", std::process::id()))
     }
 
-    /// Spawns a daemon thread and waits until it answers pings.
-    fn spawn_daemon(tag: &str) -> (PathBuf, std::thread::JoinHandle<Result<(), String>>) {
+    /// Spawns a daemon thread with custom options and waits until it
+    /// answers pings.
+    fn spawn_daemon_with(
+        tag: &str,
+        tweak: impl FnOnce(ServeOptions) -> ServeOptions,
+    ) -> (PathBuf, std::thread::JoinHandle<Result<(), String>>) {
         let socket = sock_path(tag);
-        let opts = ServeOptions {
-            socket: socket.clone(),
-        };
+        let opts = tweak(ServeOptions::new(socket.clone()));
         let artifact = test_artifact();
         let handle = std::thread::spawn(move || serve(artifact, &opts));
         wait_ready(&socket, 5_000).unwrap();
         (socket, handle)
+    }
+
+    /// Spawns a daemon thread and waits until it answers pings.
+    fn spawn_daemon(tag: &str) -> (PathBuf, std::thread::JoinHandle<Result<(), String>>) {
+        spawn_daemon_with(tag, |o| o)
     }
 
     #[test]
@@ -522,6 +673,127 @@ mod tests {
             assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
             assert!(resp.get("error").is_some());
         }
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn live_daemon_socket_is_not_stolen() {
+        let (socket, handle) = spawn_daemon("steal");
+
+        // A second daemon on the same socket must refuse to start…
+        let err = serve(test_artifact(), &ServeOptions::new(socket.clone()))
+            .expect_err("second daemon must refuse a live socket");
+        assert!(err.contains("already serving"), "{err}");
+
+        // …and the first daemon must still be answering.
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("ping"))])).unwrap();
+        assert_eq!(resp.get("pong"), Some(&Json::Bool(true)));
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stale_socket_is_replaced() {
+        let socket = sock_path("stale");
+        // A socket file with no listener behind it: bind and drop.
+        drop(UnixListener::bind(&socket).unwrap());
+        assert!(socket.exists(), "stale socket file left behind");
+
+        let opts = ServeOptions::new(socket.clone());
+        let artifact = test_artifact();
+        let handle = std::thread::spawn(move || serve(artifact, &opts));
+        wait_ready(&socket, 5_000).expect("daemon must replace a stale socket");
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn oversize_request_is_rejected_with_json_error() {
+        let (socket, handle) = spawn_daemon_with("oversize", |o| ServeOptions {
+            max_request_bytes: 256,
+            ..o
+        });
+
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let huge = "x".repeat(4096);
+        // The server answers and closes as soon as the limit trips,
+        // which can race the tail of this oversized write into a broken
+        // pipe — that is the rejection working, not a test failure.
+        let _ = writeln!(w, "{huge}");
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let resp = json::parse(line.trim()).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{resp}");
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("256 bytes"),
+            "{resp}"
+        );
+
+        // The daemon survives and keeps serving new connections.
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("ping"))])).unwrap();
+        assert_eq!(resp.get("pong"), Some(&Json::Bool(true)));
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_connection_is_dropped_on_timeout() {
+        let (socket, handle) = spawn_daemon_with("timeout", |o| ServeOptions {
+            read_timeout_ms: 150,
+            ..o
+        });
+
+        // Connect and send nothing: the daemon must hang up on us.
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut line = String::new();
+        let n = BufReader::new(stream).read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "daemon must close an idle connection, got {line:?}");
+
+        // Fresh connections still work afterwards.
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("ping"))])).unwrap();
+        assert_eq!(resp.get("pong"), Some(&Json::Bool(true)));
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn batch_eval_honors_lane_width() {
+        let (socket, handle) = spawn_daemon("lanes");
+        let inputs = Json::Arr(
+            (0..6)
+                .map(|i| Json::Arr(vec![Json::Num(0.1 * i as f64), Json::Num(0.25)]))
+                .collect(),
+        );
+        let eval = |lanes: u64| {
+            request(
+                &socket,
+                &Json::obj(vec![
+                    ("op", Json::from("eval")),
+                    ("func", Json::from("f")),
+                    ("config", Json::from("ia")),
+                    ("inputs", inputs.clone()),
+                    ("lanes", Json::from(lanes)),
+                ]),
+            )
+            .unwrap()
+        };
+        let scalar = eval(1);
+        let laned = eval(4);
+        assert_eq!(scalar.get("lanes"), Some(&Json::from(1u64)));
+        assert_eq!(laned.get("lanes"), Some(&Json::from(4u64)));
+        // Same enclosures either way.
+        assert_eq!(scalar.get("reports"), laned.get("reports"));
 
         let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
         handle.join().unwrap().unwrap();

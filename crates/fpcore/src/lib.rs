@@ -31,6 +31,7 @@
 
 pub mod dd;
 pub mod eft;
+pub mod flat;
 pub mod metrics;
 pub mod round;
 

@@ -26,7 +26,7 @@ use crate::eft::{div_residual, sqrt_residual, two_prod, two_sum};
 /// Below this magnitude the FMA residual of `*` and `/` may itself round;
 /// `2^-960` is far above the exactness threshold (`≈2^-1021`) and costs
 /// nothing in practice. (Bit pattern: biased exponent 63, zero mantissa.)
-const EFT_GUARD: f64 = f64::from_bits(0x03F0_0000_0000_0000);
+pub(crate) const EFT_GUARD: f64 = f64::from_bits(0x03F0_0000_0000_0000);
 
 #[inline]
 fn bump_up(x: f64) -> f64 {

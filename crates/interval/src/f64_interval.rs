@@ -23,8 +23,8 @@ use std::ops::{Add, Div, Mul, Neg, Sub};
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IntervalF64 {
-    lo: f64,
-    hi: f64,
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
 }
 
 impl IntervalF64 {

@@ -27,6 +27,7 @@
 //! assert_eq!(d.hi(), 1.0);
 //! ```
 
+pub mod cols;
 mod dd_interval;
 mod f64_interval;
 

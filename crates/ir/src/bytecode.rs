@@ -22,6 +22,7 @@
 
 use crate::cfg::{ArrId, ArrayDecl, Cfg, CmpOp, FReg, IReg, Inst, ParamBinding, Terminator};
 use safegen_cfront::Span;
+use std::collections::HashMap;
 use std::fmt;
 
 /// One bytecode instruction.
@@ -224,5 +225,634 @@ fn instr_of(i: &Inst) -> Instr {
         Inst::CmpF(op, d, a, b) => Instr::CmpF(op, d, a, b),
         Inst::Protect(r) => Instr::Protect(r),
         Inst::SetCapacity(k) => Instr::SetCapacity(k),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width encoding (the lane engine's dispatch format)
+// ---------------------------------------------------------------------------
+
+/// Operation selector of a [`FixedInstr`].
+///
+/// The last five opcodes are **superinstructions**: the statically
+/// commonest adjacent pairs (see [`pair_histogram`]) collapsed into one
+/// dispatch. Fusion is dispatch-only — a fused pair executes exactly the
+/// two source instructions back to back, with identical per-instruction
+/// bookkeeping — so results and run statistics stay bit-identical to the
+/// one-instruction-at-a-time interpreter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// `f[dst] = f[a] + f[b]`
+    Add,
+    /// `f[dst] = f[a] − f[b]`
+    Sub,
+    /// `f[dst] = f[a] · f[b]`
+    Mul,
+    /// `f[dst] = f[a] / f[b]`
+    Div,
+    /// `f[dst] = √f[a]`
+    Sqrt,
+    /// `f[dst] = |f[a]|`
+    Abs,
+    /// `f[dst] = −f[a]`
+    Neg,
+    /// `f[dst] = min(f[a], f[b])`
+    Min,
+    /// `f[dst] = max(f[a], f[b])`
+    Max,
+    /// `f[dst] = fpool[imm]`
+    ConstF,
+    /// `f[dst] = f[a]`
+    MovF,
+    /// `f[dst] = (double) i[a]`
+    CastIF,
+    /// `f[dst] = arrays[a][i[b]]`
+    LoadArr,
+    /// `arrays[dst][i[a]] = f[b]`
+    StoreArr,
+    /// `i[dst] = ipool[imm]`
+    ConstI,
+    /// `i[dst] = i[a] + i[b]`
+    AddI,
+    /// `i[dst] = i[a] − i[b]`
+    SubI,
+    /// `i[dst] = i[a] · i[b]`
+    MulI,
+    /// `i[dst] = i[a] / i[b]`
+    DivI,
+    /// `i[dst] = i[a]`
+    MovI,
+    /// `i[dst] = (int) f[a]`
+    CastFI,
+    /// `i[dst] = i[a] cmp i[b]` (`aux` selects the comparison)
+    CmpI,
+    /// `i[dst] = f[a] cmp f[b]` (`aux` selects the comparison)
+    CmpF,
+    /// Unconditional jump to fixed index `imm`.
+    Jump,
+    /// Jump to fixed index `imm` when `i[a] == 0`.
+    JumpIfZero,
+    /// Protect the error symbols of `f[a]` during the next FP operation.
+    Protect,
+    /// Lower the symbol budget (to `imm`) for the next FP operation.
+    SetCapacity,
+    /// Return `f[a]`.
+    Ret,
+    /// Return nothing.
+    RetVoid,
+    /// `f[dst] = f[a] · f[b]; f[d2] = result ± f[c]` where `aux = 0`
+    /// places the multiply result on the left of the add, `1` on the
+    /// right (`imm` packs `d2` and `c`, see [`FixedInstr::d2`]).
+    MulThenAdd,
+    /// `f[dst] = f[a] · f[b]; f[d2] = result − f[c]` (`aux = 0`) or
+    /// `f[c] − result` (`aux = 1`).
+    MulThenSub,
+    /// `i[dst] = i[a] · i[b]; i[d2] = result + i[c]` — the flattened 2-D
+    /// index computation `i*cols + j`.
+    MulIThenAddI,
+    /// `i[dst] = i[a] cmp i[b]; if i[dst] == 0 jump imm` — the loop-head
+    /// compare-and-branch.
+    CmpIJump,
+    /// `i[dst] = f[a] cmp f[b]; if i[dst] == 0 jump imm`.
+    CmpFJump,
+}
+
+/// One fixed-width instruction: opcode + comparison selector + three
+/// `u16` register/array operands + a 32-bit immediate (pool index, jump
+/// target, or packed second-destination of a superinstruction).
+///
+/// Twelve bytes, `Copy`, no interior `enum` payloads to destructure —
+/// the lane interpreter decodes an instruction with plain field reads
+/// instead of a tag match over heterogeneous variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedInstr {
+    /// Operation selector.
+    pub op: OpCode,
+    /// Comparison code for `CmpI`/`CmpF`(+`Jump`), left/right flag for
+    /// the arithmetic superinstructions; 0 otherwise.
+    pub aux: u8,
+    /// Destination register (or array id for `StoreArr`).
+    pub dst: u16,
+    /// First source operand.
+    pub a: u16,
+    /// Second source operand.
+    pub b: u16,
+    /// Immediate: constant-pool index, jump target (fixed index), packed
+    /// `d2`/`c` of a superinstruction, or a capacity value.
+    pub imm: u32,
+}
+
+impl FixedInstr {
+    /// Second destination register of a fused arithmetic pair.
+    #[inline(always)]
+    pub fn d2(&self) -> u16 {
+        (self.imm >> 16) as u16
+    }
+
+    /// Non-fused source operand of a fused arithmetic pair.
+    #[inline(always)]
+    pub fn c(&self) -> u16 {
+        self.imm as u16
+    }
+
+    /// The comparison `aux` encodes (for the `Cmp*` opcodes).
+    #[inline(always)]
+    pub fn cmp_op(&self) -> CmpOp {
+        match self.aux {
+            0 => CmpOp::Lt,
+            1 => CmpOp::Le,
+            2 => CmpOp::Gt,
+            3 => CmpOp::Ge,
+            4 => CmpOp::Eq,
+            _ => CmpOp::Ne,
+        }
+    }
+}
+
+fn cmp_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+/// A [`Program`] re-encoded into fixed-width instructions for the
+/// lane-major interpreter (`safegen::lanes`).
+///
+/// The encoding is regalloc-aware: [`encode`] validates once that every
+/// register, array id, constant and jump target fits its field and lies
+/// inside the program's declared register files, so the interpreter's
+/// hot loop needs no per-instruction operand checks beyond the slice
+/// indexing itself. Constants move to pools (`f64`/`i64` literals are
+/// interned), jump targets are remapped to fixed-instruction indices,
+/// and the commonest adjacent instruction pairs are fused into
+/// superinstructions (never across a jump target, so every control
+/// transfer still lands on an instruction boundary).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FixedProgram {
+    /// The fixed-width instruction stream.
+    pub ops: Vec<FixedInstr>,
+    /// Interned float literals (`ConstF` indexes by `imm`).
+    pub fpool: Vec<f64>,
+    /// Interned integer literals (`ConstI` indexes by `imm`).
+    pub ipool: Vec<i64>,
+    /// How many `ops` entries are fused pairs (each covers two source
+    /// instructions).
+    pub fused: usize,
+}
+
+/// Which superinstruction an adjacent pair fuses into, if any.
+///
+/// `aux` = 0 when the first instruction's result feeds the *left*
+/// operand of the second, 1 for the right. Pairs where the second
+/// instruction does not read the first's destination never fuse.
+fn fuse_kind(first: &Instr, second: &Instr) -> Option<(OpCode, u8, u32)> {
+    let pack = |d2: u32, c: u32| (d2 << 16) | c;
+    match (first, second) {
+        (Instr::Mul(d1, _, _), Instr::Add(d2, x, y)) => {
+            if x == d1 {
+                Some((OpCode::MulThenAdd, 0, pack(*d2, *y)))
+            } else if y == d1 {
+                Some((OpCode::MulThenAdd, 1, pack(*d2, *x)))
+            } else {
+                None
+            }
+        }
+        (Instr::Mul(d1, _, _), Instr::Sub(d2, x, y)) => {
+            if x == d1 {
+                Some((OpCode::MulThenSub, 0, pack(*d2, *y)))
+            } else if y == d1 {
+                Some((OpCode::MulThenSub, 1, pack(*d2, *x)))
+            } else {
+                None
+            }
+        }
+        (Instr::MulI(d1, _, _), Instr::AddI(d2, x, y)) => {
+            if x == d1 {
+                Some((OpCode::MulIThenAddI, 0, pack(*d2, *y)))
+            } else if y == d1 {
+                Some((OpCode::MulIThenAddI, 1, pack(*d2, *x)))
+            } else {
+                None
+            }
+        }
+        (Instr::CmpI(op, d, _, _), Instr::JumpIfZero(c, t)) if c == d => {
+            Some((OpCode::CmpIJump, cmp_code(*op), *t as u32))
+        }
+        (Instr::CmpF(op, d, _, _), Instr::JumpIfZero(c, t)) if c == d => {
+            Some((OpCode::CmpFJump, cmp_code(*op), *t as u32))
+        }
+        _ => None,
+    }
+}
+
+/// Short mnemonic of an instruction (histogram/debug label).
+pub fn mnemonic(i: &Instr) -> &'static str {
+    match i {
+        Instr::Add(..) => "add",
+        Instr::Sub(..) => "sub",
+        Instr::Mul(..) => "mul",
+        Instr::Div(..) => "div",
+        Instr::Sqrt(..) => "sqrt",
+        Instr::Abs(..) => "abs",
+        Instr::Neg(..) => "neg",
+        Instr::Min(..) => "min",
+        Instr::Max(..) => "max",
+        Instr::ConstF(..) => "constf",
+        Instr::MovF(..) => "movf",
+        Instr::CastIF(..) => "castif",
+        Instr::LoadArr(..) => "loadarr",
+        Instr::StoreArr(..) => "storearr",
+        Instr::ConstI(..) => "consti",
+        Instr::AddI(..) => "addi",
+        Instr::SubI(..) => "subi",
+        Instr::MulI(..) => "muli",
+        Instr::DivI(..) => "divi",
+        Instr::MovI(..) => "movi",
+        Instr::CastFI(..) => "castfi",
+        Instr::CmpI(..) => "cmpi",
+        Instr::CmpF(..) => "cmpf",
+        Instr::Jump(..) => "jump",
+        Instr::JumpIfZero(..) => "jumpifzero",
+        Instr::Protect(..) => "protect",
+        Instr::SetCapacity(..) => "setcapacity",
+        Instr::Ret(..) => "ret",
+    }
+}
+
+/// Counts adjacent instruction pairs that could share a dispatch (the
+/// second instruction is not a jump target), most frequent first — the
+/// data the superinstruction set in [`OpCode`] was chosen from.
+pub fn pair_histogram(prog: &Program) -> Vec<((&'static str, &'static str), usize)> {
+    let targets = jump_targets(prog);
+    let mut counts: HashMap<(&'static str, &'static str), usize> = HashMap::new();
+    for (i, w) in prog.code.windows(2).enumerate() {
+        if targets[i + 1] {
+            continue;
+        }
+        *counts
+            .entry((mnemonic(&w[0]), mnemonic(&w[1])))
+            .or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// `targets[i]` = some jump lands on source pc `i` (index `code.len()`
+/// covers jumps straight to the exit).
+fn jump_targets(prog: &Program) -> Vec<bool> {
+    let mut targets = vec![false; prog.code.len() + 1];
+    for ins in &prog.code {
+        if let Instr::Jump(t) | Instr::JumpIfZero(_, t) = ins {
+            if let Some(slot) = targets.get_mut(*t) {
+                *slot = true;
+            }
+        }
+    }
+    targets
+}
+
+/// Re-encodes `prog` into the fixed-width format.
+///
+/// Returns `None` when the program does not fit the encoding — a
+/// register/array operand outside the declared files or beyond `u16`, a
+/// jump outside the code, more than `u32::MAX` instructions or pool
+/// entries — in which case callers fall back to the variable-width
+/// interpreter. Every program the compiler emits today encodes.
+pub fn encode(prog: &Program) -> Option<FixedProgram> {
+    let code = &prog.code;
+    if code.len() >= u32::MAX as usize {
+        return None;
+    }
+    let freg = |r: &FReg| {
+        u16::try_from(*r)
+            .ok()
+            .filter(|_| (*r as usize) < prog.n_fregs)
+    };
+    let ireg = |r: &IReg| {
+        u16::try_from(*r)
+            .ok()
+            .filter(|_| (*r as usize) < prog.n_iregs)
+    };
+    let arr = |a: &ArrId| {
+        u16::try_from(*a)
+            .ok()
+            .filter(|_| (*a as usize) < prog.arrays.len())
+    };
+    // Pre-validate operands whose fused encodings pack them into half an
+    // `imm` (the plain encodings re-check through the closures above).
+    for ins in code {
+        let ok = match ins {
+            Instr::Jump(t) | Instr::JumpIfZero(_, t) => *t <= code.len(),
+            Instr::Add(d, a, b)
+            | Instr::Sub(d, a, b)
+            | Instr::Mul(d, a, b)
+            | Instr::Div(d, a, b)
+            | Instr::Min(d, a, b)
+            | Instr::Max(d, a, b) => [d, a, b].iter().all(|r| freg(r).is_some()),
+            Instr::AddI(d, a, b)
+            | Instr::SubI(d, a, b)
+            | Instr::MulI(d, a, b)
+            | Instr::DivI(d, a, b) => [d, a, b].iter().all(|r| ireg(r).is_some()),
+            _ => true,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    let targets = jump_targets(prog);
+
+    // Pass 1: decide fusion, assign each source pc its fixed index.
+    let mut fixed_of = vec![u32::MAX; code.len() + 1];
+    let mut slots: Vec<(usize, bool)> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let idx = u32::try_from(slots.len()).ok()?;
+        fixed_of[i] = idx;
+        let fused =
+            i + 1 < code.len() && !targets[i + 1] && fuse_kind(&code[i], &code[i + 1]).is_some();
+        if fused {
+            fixed_of[i + 1] = idx; // never a jump target (checked above)
+        }
+        slots.push((i, fused));
+        i += if fused { 2 } else { 1 };
+    }
+    fixed_of[code.len()] = u32::try_from(slots.len()).ok()?;
+
+    // Pass 2: emit, remapping jump targets and interning constants.
+    let mut fpool: Vec<f64> = Vec::new();
+    let mut fmap: HashMap<u64, u32> = HashMap::new();
+    let mut ipool: Vec<i64> = Vec::new();
+    let mut imap: HashMap<i64, u32> = HashMap::new();
+    let mut ops = Vec::with_capacity(slots.len());
+    let mut fused_count = 0usize;
+    for &(pc, fused) in &slots {
+        let fi = |op: OpCode, aux: u8, dst: u16, a: u16, b: u16, imm: u32| FixedInstr {
+            op,
+            aux,
+            dst,
+            a,
+            b,
+            imm,
+        };
+        if fused {
+            let (op, aux, raw) = fuse_kind(&code[pc], &code[pc + 1])?;
+            fused_count += 1;
+            let imm = match op {
+                // Jump immediates hold a *source* target; remap it.
+                OpCode::CmpIJump | OpCode::CmpFJump => fixed_of[raw as usize],
+                _ => raw,
+            };
+            let ins = match &code[pc] {
+                Instr::Mul(d, a, b) => fi(op, aux, freg(d)?, freg(a)?, freg(b)?, imm),
+                Instr::MulI(d, a, b) => fi(op, aux, ireg(d)?, ireg(a)?, ireg(b)?, imm),
+                Instr::CmpI(_, d, a, b) => fi(op, aux, ireg(d)?, ireg(a)?, ireg(b)?, imm),
+                Instr::CmpF(_, d, a, b) => fi(op, aux, ireg(d)?, freg(a)?, freg(b)?, imm),
+                _ => unreachable!("fuse_kind only fuses the pairs above"),
+            };
+            ops.push(ins);
+            continue;
+        }
+        let ins = match &code[pc] {
+            Instr::Add(d, a, b) => fi(OpCode::Add, 0, freg(d)?, freg(a)?, freg(b)?, 0),
+            Instr::Sub(d, a, b) => fi(OpCode::Sub, 0, freg(d)?, freg(a)?, freg(b)?, 0),
+            Instr::Mul(d, a, b) => fi(OpCode::Mul, 0, freg(d)?, freg(a)?, freg(b)?, 0),
+            Instr::Div(d, a, b) => fi(OpCode::Div, 0, freg(d)?, freg(a)?, freg(b)?, 0),
+            Instr::Sqrt(d, a) => fi(OpCode::Sqrt, 0, freg(d)?, freg(a)?, 0, 0),
+            Instr::Abs(d, a) => fi(OpCode::Abs, 0, freg(d)?, freg(a)?, 0, 0),
+            Instr::Neg(d, a) => fi(OpCode::Neg, 0, freg(d)?, freg(a)?, 0, 0),
+            Instr::Min(d, a, b) => fi(OpCode::Min, 0, freg(d)?, freg(a)?, freg(b)?, 0),
+            Instr::Max(d, a, b) => fi(OpCode::Max, 0, freg(d)?, freg(a)?, freg(b)?, 0),
+            Instr::ConstF(d, c) => {
+                let idx = *fmap.entry(c.to_bits()).or_insert_with(|| {
+                    fpool.push(*c);
+                    (fpool.len() - 1) as u32
+                });
+                fi(OpCode::ConstF, 0, freg(d)?, 0, 0, idx)
+            }
+            Instr::MovF(d, s) => fi(OpCode::MovF, 0, freg(d)?, freg(s)?, 0, 0),
+            Instr::CastIF(d, s) => fi(OpCode::CastIF, 0, freg(d)?, ireg(s)?, 0, 0),
+            Instr::LoadArr(d, a, idx) => fi(OpCode::LoadArr, 0, freg(d)?, arr(a)?, ireg(idx)?, 0),
+            Instr::StoreArr(a, idx, s) => fi(OpCode::StoreArr, 0, arr(a)?, ireg(idx)?, freg(s)?, 0),
+            Instr::ConstI(d, c) => {
+                let idx = *imap.entry(*c).or_insert_with(|| {
+                    ipool.push(*c);
+                    (ipool.len() - 1) as u32
+                });
+                fi(OpCode::ConstI, 0, ireg(d)?, 0, 0, idx)
+            }
+            Instr::AddI(d, a, b) => fi(OpCode::AddI, 0, ireg(d)?, ireg(a)?, ireg(b)?, 0),
+            Instr::SubI(d, a, b) => fi(OpCode::SubI, 0, ireg(d)?, ireg(a)?, ireg(b)?, 0),
+            Instr::MulI(d, a, b) => fi(OpCode::MulI, 0, ireg(d)?, ireg(a)?, ireg(b)?, 0),
+            Instr::DivI(d, a, b) => fi(OpCode::DivI, 0, ireg(d)?, ireg(a)?, ireg(b)?, 0),
+            Instr::MovI(d, s) => fi(OpCode::MovI, 0, ireg(d)?, ireg(s)?, 0, 0),
+            Instr::CastFI(d, s) => fi(OpCode::CastFI, 0, ireg(d)?, freg(s)?, 0, 0),
+            Instr::CmpI(op, d, a, b) => {
+                fi(OpCode::CmpI, cmp_code(*op), ireg(d)?, ireg(a)?, ireg(b)?, 0)
+            }
+            Instr::CmpF(op, d, a, b) => {
+                fi(OpCode::CmpF, cmp_code(*op), ireg(d)?, freg(a)?, freg(b)?, 0)
+            }
+            Instr::Jump(t) => fi(OpCode::Jump, 0, 0, 0, 0, fixed_of[*t]),
+            Instr::JumpIfZero(c, t) => fi(OpCode::JumpIfZero, 0, 0, ireg(c)?, 0, fixed_of[*t]),
+            Instr::Protect(r) => fi(OpCode::Protect, 0, 0, freg(r)?, 0, 0),
+            Instr::SetCapacity(k) => fi(OpCode::SetCapacity, 0, 0, 0, 0, *k),
+            Instr::Ret(Some(r)) => fi(OpCode::Ret, 0, 0, freg(r)?, 0, 0),
+            Instr::Ret(None) => fi(OpCode::RetVoid, 0, 0, 0, 0, 0),
+        };
+        ops.push(ins);
+    }
+    Some(FixedProgram {
+        ops,
+        fpool,
+        ipool,
+        fused: fused_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(code: Vec<Instr>, n_fregs: usize, n_iregs: usize) -> Program {
+        let spans = vec![Span::default(); code.len()];
+        Program {
+            name: "t".into(),
+            code,
+            n_fregs,
+            n_iregs,
+            arrays: vec![],
+            params: vec![],
+            spans,
+        }
+    }
+
+    #[test]
+    fn straight_line_encodes_one_to_one() {
+        // add then ret: nothing fusable.
+        let p = prog(vec![Instr::Add(0, 1, 2), Instr::Ret(Some(0))], 3, 0);
+        let f = encode(&p).unwrap();
+        assert_eq!(f.ops.len(), 2);
+        assert_eq!(f.fused, 0);
+        assert_eq!(f.ops[0].op, OpCode::Add);
+        assert_eq!((f.ops[0].dst, f.ops[0].a, f.ops[0].b), (0, 1, 2));
+        assert_eq!(f.ops[1].op, OpCode::Ret);
+    }
+
+    #[test]
+    fn constants_are_pooled_and_interned() {
+        let p = prog(
+            vec![
+                Instr::ConstF(0, 1.5),
+                Instr::ConstF(1, 2.5),
+                Instr::ConstF(2, 1.5),
+                Instr::ConstI(0, 7),
+                Instr::ConstI(1, 7),
+                Instr::Ret(None),
+            ],
+            3,
+            2,
+        );
+        let f = encode(&p).unwrap();
+        assert_eq!(f.fpool, vec![1.5, 2.5]);
+        assert_eq!(f.ipool, vec![7]);
+        assert_eq!(f.ops[0].imm, 0);
+        assert_eq!(f.ops[2].imm, 0); // interned to the same pool slot
+        assert_eq!(f.ops[3].imm, f.ops[4].imm);
+    }
+
+    #[test]
+    fn mul_add_pair_fuses_with_operand_side() {
+        // r2 = r0*r1; r3 = r2 + r0  (result on the left)
+        let p = prog(
+            vec![
+                Instr::Mul(2, 0, 1),
+                Instr::Add(3, 2, 0),
+                Instr::Ret(Some(3)),
+            ],
+            4,
+            0,
+        );
+        let f = encode(&p).unwrap();
+        assert_eq!(f.ops.len(), 2);
+        assert_eq!(f.fused, 1);
+        let ins = f.ops[0];
+        assert_eq!(ins.op, OpCode::MulThenAdd);
+        assert_eq!(ins.aux, 0);
+        assert_eq!((ins.dst, ins.a, ins.b), (2, 0, 1));
+        assert_eq!((ins.d2(), ins.c()), (3, 0));
+
+        // r3 = r0 + r2 (result on the right) flips aux.
+        let p = prog(
+            vec![
+                Instr::Mul(2, 0, 1),
+                Instr::Add(3, 0, 2),
+                Instr::Ret(Some(3)),
+            ],
+            4,
+            0,
+        );
+        let f = encode(&p).unwrap();
+        assert_eq!(f.ops[0].op, OpCode::MulThenAdd);
+        assert_eq!(f.ops[0].aux, 1);
+        assert_eq!((f.ops[0].d2(), f.ops[0].c()), (3, 0));
+    }
+
+    #[test]
+    fn unrelated_pair_does_not_fuse() {
+        // The add does not read the multiply's destination.
+        let p = prog(
+            vec![
+                Instr::Mul(2, 0, 1),
+                Instr::Add(3, 0, 1),
+                Instr::Ret(Some(3)),
+            ],
+            4,
+            0,
+        );
+        let f = encode(&p).unwrap();
+        assert_eq!(f.ops.len(), 3);
+        assert_eq!(f.fused, 0);
+    }
+
+    #[test]
+    fn fusion_never_spans_a_jump_target() {
+        // pc 1 (the add) is a jump target: the pair must not fuse, or the
+        // back-edge would land mid-superinstruction.
+        let p = prog(
+            vec![
+                Instr::Mul(2, 0, 1), // 0
+                Instr::Add(3, 2, 0), // 1  <- target
+                Instr::Jump(1),      // 2
+                Instr::Ret(Some(3)), // 3 (unreachable; irrelevant)
+            ],
+            4,
+            0,
+        );
+        let f = encode(&p).unwrap();
+        assert_eq!(f.fused, 0);
+        assert_eq!(f.ops.len(), 4);
+        assert_eq!(f.ops[2].op, OpCode::Jump);
+        assert_eq!(f.ops[2].imm, 1);
+    }
+
+    #[test]
+    fn jump_targets_remap_across_fused_pairs() {
+        // Loop shape: consti; cmpi+jz (fused, exits past the end);
+        // mul+add (fused); jump back to the compare.
+        let p = prog(
+            vec![
+                Instr::ConstI(1, 3),             // 0
+                Instr::CmpI(CmpOp::Lt, 0, 0, 1), // 1  <- back-edge target
+                Instr::JumpIfZero(0, 6),         // 2 (exit: one past the end)
+                Instr::Mul(2, 0, 1),             // 3
+                Instr::Add(3, 2, 0),             // 4
+                Instr::Jump(1),                  // 5
+            ],
+            4,
+            2,
+        );
+        let f = encode(&p).unwrap();
+        assert_eq!(f.fused, 2);
+        assert_eq!(f.ops.len(), 4);
+        assert_eq!(f.ops[1].op, OpCode::CmpIJump);
+        assert_eq!(f.ops[1].cmp_op(), CmpOp::Lt);
+        assert_eq!(f.ops[1].imm, 4, "exit jump remaps to one past the end");
+        assert_eq!(f.ops[2].op, OpCode::MulThenAdd);
+        assert_eq!(f.ops[3].op, OpCode::Jump);
+        assert_eq!(f.ops[3].imm, 1, "back edge remaps to the fused compare");
+    }
+
+    #[test]
+    fn out_of_range_operands_refuse_to_encode() {
+        // Register 5 is outside the declared file of 3.
+        let p = prog(vec![Instr::Add(5, 0, 1), Instr::Ret(None)], 3, 0);
+        assert!(encode(&p).is_none());
+        // Jump beyond one-past-the-end.
+        let p = prog(vec![Instr::Jump(9)], 1, 0);
+        assert!(encode(&p).is_none());
+    }
+
+    #[test]
+    fn histogram_ranks_fusable_pairs() {
+        let p = prog(
+            vec![
+                Instr::Mul(2, 0, 1),
+                Instr::Add(3, 2, 0),
+                Instr::Mul(2, 0, 1),
+                Instr::Add(3, 2, 0),
+                Instr::Ret(Some(3)),
+            ],
+            4,
+            0,
+        );
+        let h = pair_histogram(&p);
+        assert_eq!(h[0], (("mul", "add"), 2));
     }
 }

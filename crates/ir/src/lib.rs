@@ -48,7 +48,9 @@ pub mod fold;
 pub mod passes;
 pub mod tac;
 
-pub use bytecode::{emit_program, Instr, Program};
+pub use bytecode::{
+    emit_program, encode, pair_histogram, FixedInstr, FixedProgram, Instr, OpCode, Program,
+};
 pub use cfg::{
     lower_function, ArrId, ArrayDecl, Block, BlockId, Cfg, CfgInstr, CmpOp, FReg, IReg, Inst,
     ParamBinding, Terminator,
