@@ -93,6 +93,37 @@ for _ in $(seq 1 100); do [ -S "$SMOKE_DIR/sg.sock" ] && break; sleep 0.1; done
 wait "$SERVE_PID"
 test ! -e "$SMOKE_DIR/sg.sock"
 ./target/release/json_check "$SMOKE_DIR/serve.jsonl" "$SMOKE_DIR/serve.summary.json"
+# Request tracing: the eval's summary event and the spans recorded while
+# handling it carry the same request id.
+grep -q '"kind":"serve.request"' "$SMOKE_DIR/serve.jsonl"
+grep '"kind":"span"' "$SMOKE_DIR/serve.jsonl" | grep -q '"req":'
+
+echo "== stats smoke (live daemon metrics snapshot + assertions) =="
+./target/release/safegen serve "$SMOKE_DIR/kernel.sga" \
+    --socket "$SMOKE_DIR/stats.sock" &
+STATS_PID=$!
+for _ in $(seq 1 100); do [ -S "$SMOKE_DIR/stats.sock" ] && break; sleep 0.1; done
+N_REQUESTS=5
+for i in $(seq 1 "$N_REQUESTS"); do
+    ./target/release/safegen request --socket "$SMOKE_DIR/stats.sock" \
+        '{"op":"eval","func":"poly","config":"dspv","k":4,"args":[0.3]}' \
+        | grep -q '"ok":true'
+done
+# The snapshot is strict JSON, versioned, and its counters must account
+# for exactly the eval requests made above with a positive latency p50.
+./target/release/safegen stats --socket "$SMOKE_DIR/stats.sock" \
+    --assert-requests "$N_REQUESTS" > "$SMOKE_DIR/stats.json"
+./target/release/json_check "$SMOKE_DIR/stats.json"
+grep -q '"version":"safegen.metrics/1"' "$SMOKE_DIR/stats.json"
+# The Prometheus rendering of the same snapshot is non-empty and typed.
+./target/release/safegen stats --socket "$SMOKE_DIR/stats.sock" --prom \
+    | grep -q '^# TYPE safegen_serve_requests_total counter'
+./target/release/safegen request --socket "$SMOKE_DIR/stats.sock" \
+    '{"op":"shutdown"}' | grep -q '"bye":true'
+wait "$STATS_PID"
+
+echo "== bench trend gate (every results/BENCH_*.json export is valid) =="
+./target/release/trend --require 4
 
 echo "== lane-differential gate (SoA engine bit-identical to scalar) =="
 cargo test -q --test lanes_differential

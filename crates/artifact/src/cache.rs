@@ -27,7 +27,49 @@
 
 use crate::hash::Sha256;
 use crate::{Artifact, ArtifactError, FORMAT_VERSION};
+use safegen_telemetry as telemetry;
+use safegen_telemetry::json::Json;
+use safegen_telemetry::metrics::metrics;
 use std::path::{Path, PathBuf};
+
+/// Records a `cache.lookup`/`cache.store` JSONL event (when the recorder
+/// is enabled) carrying the key prefix and outcome — and, like every
+/// event, the active request id, which is how a request's cache outcome
+/// shows up in its trace.
+fn cache_event(kind: &str, key: &str, outcome: &str) {
+    if telemetry::enabled() {
+        telemetry::record(
+            kind,
+            vec![
+                ("key", Json::from(&key[..key.len().min(12)])),
+                ("outcome", Json::from(outcome)),
+            ],
+        );
+    }
+}
+
+/// Rescans the cache directory and sets the entry-count and byte-size
+/// gauges. Called after stores and evictions (never on the lookup path).
+fn refresh_gauges(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut count = 0i64;
+    let mut bytes = 0i64;
+    for e in entries.flatten() {
+        let path = e.path();
+        if path.extension().is_none_or(|x| x != "sga") {
+            continue;
+        }
+        if let Ok(meta) = e.metadata() {
+            count += 1;
+            bytes += meta.len() as i64;
+        }
+    }
+    let m = metrics();
+    m.cache.entries.set(count);
+    m.cache.bytes.set(bytes);
+}
 
 /// Environment variable overriding the cache directory.
 pub const CACHE_DIR_ENV: &str = "SAFEGEN_CACHE_DIR";
@@ -99,10 +141,29 @@ pub fn entry_path(key: &str) -> PathBuf {
 /// refreshes the entry's modification time so the eviction order
 /// approximates least-recently-used rather than least-recently-written.
 pub fn load(key: &str) -> Option<Artifact> {
+    let m = metrics();
     let path = entry_path(key);
-    let artifact = Artifact::read_file(&path).ok()?;
-    touch(&path);
-    Some(artifact)
+    if !path.exists() {
+        m.cache.misses.inc();
+        cache_event("cache.lookup", key, "miss");
+        return None;
+    }
+    match Artifact::read_file(&path) {
+        Ok(artifact) => {
+            m.cache.hits.inc();
+            cache_event("cache.lookup", key, "hit");
+            touch(&path);
+            Some(artifact)
+        }
+        Err(_) => {
+            // Present but invalid: count the corruption *and* the miss
+            // (every lookup is exactly one hit or one miss).
+            m.cache.corrupt.inc();
+            m.cache.misses.inc();
+            cache_event("cache.lookup", key, "corrupt");
+            None
+        }
+    }
 }
 
 /// Best-effort mtime refresh on a cache hit.
@@ -130,19 +191,22 @@ pub fn store(key: &str, artifact: &Artifact) -> Result<(), ArtifactError> {
         .map_err(|e| ArtifactError::Io(format!("create {}: {e}", dir.display())))?;
     artifact.write_file(&entry_path(key))?;
     if let Some(cap) = cache_cap_bytes() {
-        evict_to_cap(&dir, cap, key);
+        let evicted = evict_to_cap(&dir, cap, key);
+        metrics().cache.evictions.add(evicted);
     }
+    refresh_gauges(&dir);
+    cache_event("cache.store", key, "stored");
     Ok(())
 }
 
 /// Removes `.sga` entries oldest-first until the directory's total entry
-/// size is within `cap`. `keep_key`'s entry is exempt, so a store always
-/// lands even when the artifact alone exceeds the cap. Entirely
-/// best-effort: unreadable metadata or a failed remove just skips that
-/// entry.
-fn evict_to_cap(dir: &Path, cap: u64, keep_key: &str) {
+/// size is within `cap`, returning how many entries were removed.
+/// `keep_key`'s entry is exempt, so a store always lands even when the
+/// artifact alone exceeds the cap. Entirely best-effort: unreadable
+/// metadata or a failed remove just skips that entry.
+fn evict_to_cap(dir: &Path, cap: u64, keep_key: &str) -> u64 {
     let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+        return 0;
     };
     let keep_name = format!("{keep_key}.sga");
     // (mtime, path, size), `.sga` files only.
@@ -159,11 +223,12 @@ fn evict_to_cap(dir: &Path, cap: u64, keep_key: &str) {
         .collect();
     let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
     if total <= cap {
-        return;
+        return 0;
     }
     // Oldest first; path as the tiebreaker keeps the order deterministic
     // on filesystems with coarse mtime granularity.
     files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let mut removed = 0u64;
     for (_, path, len) in files {
         if total <= cap {
             break;
@@ -173,8 +238,10 @@ fn evict_to_cap(dir: &Path, cap: u64, keep_key: &str) {
         }
         if std::fs::remove_file(&path).is_ok() {
             total = total.saturating_sub(len);
+            removed += 1;
         }
     }
+    removed
 }
 
 #[cfg(test)]
@@ -337,6 +404,53 @@ mod tests {
             // land (the cap only bounds *other* entries).
             with_cache_cap(1, || store(&key, &a).unwrap());
             assert!(load(&key).is_some());
+        });
+    }
+
+    #[test]
+    fn lookups_and_stores_move_the_cache_metrics() {
+        with_cache_dir(|_| {
+            let m = &metrics().cache;
+            let (hits0, misses0, corrupt0) = (m.hits.get(), m.misses.get(), m.corrupt.get());
+            let a = tiny_artifact();
+            let key = compile_key("metrics-src", &[]);
+
+            assert!(load(&key).is_none());
+            assert_eq!(m.misses.get(), misses0 + 1, "cold lookup counts a miss");
+
+            store(&key, &a).unwrap();
+            assert!(load(&key).is_some());
+            assert_eq!(m.hits.get(), hits0 + 1, "warm lookup counts a hit");
+
+            // Corrupt the entry: the lookup counts both corrupt and miss.
+            let path = entry_path(&key);
+            let mut bytes = std::fs::read(&path).unwrap();
+            *bytes.last_mut().unwrap() ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(load(&key).is_none());
+            assert_eq!(m.corrupt.get(), corrupt0 + 1);
+            assert_eq!(m.misses.get(), misses0 + 2);
+
+            // Gauges reflect the directory contents after a store.
+            store(&key, &a).unwrap();
+            assert!(m.entries.get() >= 1, "entry gauge set after store");
+            assert!(m.bytes.get() > 0, "byte gauge set after store");
+        });
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        with_cache_dir(|_| {
+            let m = &metrics().cache;
+            let evictions0 = m.evictions.get();
+            let a = tiny_artifact();
+            let (k1, k2) = (compile_key("ev-one", &[]), compile_key("ev-two", &[]));
+            store(&k1, &a).unwrap();
+            let size = std::fs::metadata(entry_path(&k1)).unwrap().len();
+            set_mtime(&k1, 300);
+            with_cache_cap(size, || store(&k2, &a).unwrap());
+            assert!(load(&k1).is_none(), "k1 must have been evicted");
+            assert_eq!(m.evictions.get(), evictions0 + 1);
         });
     }
 

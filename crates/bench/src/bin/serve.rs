@@ -196,6 +196,36 @@ fn main() {
     let concurrent_s = t0.elapsed().as_secs_f64();
     let concurrent_total = client_threads * per_thread;
 
+    // --- Daemon-side percentiles: the daemon's own metrics snapshot.
+    // Client-side timings above include connect + serialization on the
+    // client; the daemon's latency histogram isolates the server side
+    // (read → dispatch → respond), so the gap between the two is the
+    // socket/client overhead.
+    let resp = safegen::request(&socket, &Json::obj(vec![("op", Json::from("stats"))]))
+        .expect("stats request succeeds");
+    let snapshot = resp.get("stats").expect("response carries stats").clone();
+    assert_eq!(
+        snapshot.get("version").and_then(|v| v.as_str()),
+        Some(safegen_telemetry::metrics::SNAPSHOT_VERSION),
+        "daemon snapshot version mismatch"
+    );
+    let daemon_num = |path: &[&str]| -> f64 {
+        let mut node = &snapshot;
+        for key in path {
+            node = node.get(key).expect("snapshot field present");
+        }
+        node.as_f64().expect("snapshot field numeric")
+    };
+    let daemon_p50 = daemon_num(&["serve", "latency_ns", "p50"]);
+    let daemon_p99 = daemon_num(&["serve", "latency_ns", "p99"]);
+    let daemon_evals = daemon_num(&["serve", "requests", "eval"]);
+    println!(
+        "daemon-side eval latency (from stats verb): p50 {:.3e} s   p99 {:.3e} s over {} request(s)",
+        daemon_p50 / 1e9,
+        daemon_p99 / 1e9,
+        daemon_evals
+    );
+
     // --- Shutdown. ---
     let resp = safegen::request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))]))
         .expect("shutdown");
@@ -273,6 +303,14 @@ fn main() {
                     "requests_per_sec",
                     Json::from(concurrent_total as f64 / concurrent_s),
                 ),
+            ]),
+        ),
+        (
+            "daemon",
+            Json::obj(vec![
+                ("latency_p50_ns", Json::from(daemon_p50)),
+                ("latency_p99_ns", Json::from(daemon_p99)),
+                ("eval_requests", Json::from(daemon_evals)),
             ]),
         ),
         ("amortization", Json::from(amortization)),

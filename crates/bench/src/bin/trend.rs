@@ -1,0 +1,156 @@
+//! Bench-result trend checker: validates every `results/BENCH_*.json`.
+//!
+//! The bench binaries each export a one-line JSON document; downstream
+//! tooling (dashboards, regression diffing across commits) trusts those
+//! files to be well-formed. A truncated write — disk full, an
+//! interrupted bench run — would otherwise sit silently in `results/`
+//! until something chokes on it much later. This checker fails fast:
+//!
+//! * every `BENCH_*.json` must parse under the repo's strict JSON
+//!   parser (the same one the serve protocol uses — duplicate keys are
+//!   an error, not a shrug);
+//! * the document must be a non-empty object;
+//! * it must self-identify via a `"binary"` string field, and that name
+//!   must match the `BENCH_<name>.json` filename;
+//! * every export must carry `"base_seed"` (the knob that makes bench
+//!   runs reproducible) and `"reps"` where the harness applies.
+//!
+//! Exits nonzero on any violation, listing every bad file (not just the
+//! first). An empty or missing `results/` directory is also an error
+//! when `--require N` is given (the CI gate passes the number of
+//! exports it expects); without it, zero files is a no-op success so
+//! the checker can run on fresh clones.
+//!
+//! ```text
+//! cargo run --release -p safegen-bench --bin trend [-- --require N] [--dir DIR]
+//! ```
+
+use safegen_telemetry::json::{parse, Json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// One validated export: file name and the parsed document.
+struct Export {
+    name: String,
+    doc: Json,
+}
+
+/// Validates a single `BENCH_*.json` file's contents, returning a
+/// human-readable complaint on failure.
+fn check_file(stem: &str, text: &str) -> Result<Json, String> {
+    if text.trim().is_empty() {
+        return Err("file is empty".into());
+    }
+    let doc = parse(text.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(fields) = &doc else {
+        return Err("top level is not an object".into());
+    };
+    if fields.is_empty() {
+        return Err("top-level object is empty".into());
+    }
+    let Some(binary) = doc.get("binary").and_then(|v| v.as_str()) else {
+        return Err("missing string field `binary`".into());
+    };
+    if binary != stem {
+        return Err(format!(
+            "field `binary` is \"{binary}\" but the file is BENCH_{stem}.json"
+        ));
+    }
+    if doc.get("base_seed").and_then(|v| v.as_f64()).is_none() {
+        return Err("missing numeric field `base_seed`".into());
+    }
+    Ok(doc)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let dir = PathBuf::from(flag("--dir").unwrap_or("results"));
+    let require: usize = match flag("--require").map(str::parse).transpose() {
+        Ok(n) => n.unwrap_or(0),
+        Err(e) => {
+            eprintln!("trend: bad --require: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut names: Vec<(String, PathBuf)> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                let file = path.file_name()?.to_str()?;
+                let stem = file.strip_prefix("BENCH_")?.strip_suffix(".json")?;
+                Some((stem.to_string(), path.clone()))
+            })
+            .collect(),
+        Err(e) if require == 0 => {
+            eprintln!(
+                "trend: {} not readable ({e}); nothing to check",
+                dir.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("trend: {} not readable: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+
+    let mut ok: Vec<Export> = Vec::new();
+    let mut bad: Vec<(String, String)> = Vec::new();
+    for (stem, path) in &names {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                bad.push((stem.clone(), format!("unreadable: {e}")));
+                continue;
+            }
+        };
+        match check_file(stem, &text) {
+            Ok(doc) => ok.push(Export {
+                name: stem.clone(),
+                doc,
+            }),
+            Err(why) => bad.push((stem.clone(), why)),
+        }
+    }
+
+    for e in &ok {
+        let reps = e
+            .doc
+            .get("reps")
+            .and_then(|v| v.as_f64())
+            .map(|r| format!(", reps {r}"))
+            .unwrap_or_default();
+        println!("trend: BENCH_{}.json ok ({} fields{reps})", e.name, {
+            let Json::Obj(fields) = &e.doc else {
+                unreachable!("check_file only passes objects")
+            };
+            fields.len()
+        });
+    }
+    for (name, why) in &bad {
+        eprintln!("trend: BENCH_{name}.json FAILED: {why}");
+    }
+    if !bad.is_empty() {
+        eprintln!("trend: {} of {} export(s) invalid", bad.len(), names.len());
+        return ExitCode::FAILURE;
+    }
+    if ok.len() < require {
+        eprintln!(
+            "trend: found {} valid export(s) in {}, --require {require}",
+            ok.len(),
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trend: {} export(s) valid", ok.len());
+    ExitCode::SUCCESS
+}

@@ -355,6 +355,9 @@ fn run_batch_on(
         let cursor = AtomicUsize::new(0);
         let out = Mutex::new(&mut slots);
         let worker_log = Mutex::new(Vec::with_capacity(threads));
+        // The request id is thread-local; hand it to each worker so the
+        // events they emit stay correlated with the originating request.
+        let req = telemetry::current_request();
         std::thread::scope(|scope| {
             for w in 0..threads {
                 let worker_log = &worker_log;
@@ -362,6 +365,7 @@ fn run_batch_on(
                 let out = &out;
                 let run_group = &run_group;
                 scope.spawn(move || {
+                    telemetry::set_request(req);
                     let mut done = 0usize;
                     let mut busy_s = 0.0f64;
                     loop {

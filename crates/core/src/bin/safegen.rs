@@ -9,6 +9,7 @@
 //!                 [--k N] [--arg X]... [--array "x,y,z"]...
 //! safegen serve   <prog.sga|file.c> --socket PATH [--k N,N,...]
 //! safegen request --socket PATH <json>
+//! safegen stats   --socket PATH [--prom] [--assert-requests N]
 //! safegen profile <file.c> <func> [--config MNEMONIC|dda] [--k N]
 //!                 [--arg X]... [--int N]... [--array "x,y,z"]...
 //! safegen tac     <file.c>
@@ -27,7 +28,11 @@
 //! loads an artifact once and answers evaluation requests over a
 //! Unix-domain socket until a shutdown request (the protocol is
 //! documented in `safegen::serve`); `request` sends one JSON request
-//! line to a serving daemon and prints the response; `profile` runs the function with
+//! line to a serving daemon and prints the response; `stats` fetches a
+//! live daemon's metrics snapshot (versioned JSON by default, Prometheus
+//! text exposition with `--prom`; `--assert-requests N` additionally
+//! exits nonzero unless the daemon has served exactly N `eval` requests
+//! with a positive latency p50 — the CI smoke gate); `profile` runs the function with
 //! symbol tracing and prints the error-attribution table (which source
 //! locations the final enclosure width comes from); `tac` shows the
 //! three-address form the analysis operates on; `ir` dumps the CFG IR
@@ -60,6 +65,7 @@ fn usage() -> ExitCode {
                   [--dump-ir]
   safegen serve   <prog.sga|file.c> --socket PATH [--k N,N,...]
   safegen request --socket PATH <json>
+  safegen stats   --socket PATH [--prom] [--assert-requests N]
   safegen profile <file.c> <func> [--config dspv|ssnn|...|dda] [--k N]
                   [--arg X]... [--int N]... [--array \"x,y,z\"]...
   safegen tac     <file.c>
@@ -79,6 +85,10 @@ environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
 
 fn main() -> ExitCode {
     telemetry::init_from_env("safegen");
+    // One CLI invocation is one request: every span and event the
+    // compile/cache/exec paths record during this process carries the
+    // same `req` id, exactly like a daemon-side request.
+    telemetry::set_request(Some(telemetry::next_request_id()));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
@@ -89,6 +99,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "serve" => cmd_serve(rest),
         "request" => cmd_request(rest),
+        "stats" => cmd_stats(rest),
         "profile" => cmd_profile(rest),
         "tac" => cmd_tac(rest),
         "ir" => cmd_ir(rest),
@@ -279,6 +290,86 @@ fn cmd_request(rest: &[String]) -> ExitCode {
         }
         Err(e) => fail(e),
     }
+}
+
+/// Reads a numeric field out of a metrics snapshot by path, failing
+/// loudly when the snapshot shape is not what this binary expects (a
+/// version skew between client and daemon should be an error, never a
+/// silently-passed assertion).
+fn snapshot_num(stats: &safegen_telemetry::json::Json, path: &[&str]) -> Result<f64, String> {
+    let mut node = stats;
+    for key in path {
+        node = node
+            .get(key)
+            .ok_or_else(|| format!("snapshot is missing `{}`", path.join(".")))?;
+    }
+    node.as_f64()
+        .ok_or_else(|| format!("snapshot field `{}` is not a number", path.join(".")))
+}
+
+fn cmd_stats(rest: &[String]) -> ExitCode {
+    let Some(socket) = flag_value(rest, "--socket") else {
+        return fail("--socket PATH is required");
+    };
+    let body = safegen_telemetry::json::Json::obj(vec![(
+        "op",
+        safegen_telemetry::json::Json::from("stats"),
+    )]);
+    let resp = match safegen::request(std::path::Path::new(socket), &body) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    if resp.get("error").is_some() {
+        return fail(format!("daemon error: {resp}"));
+    }
+    let Some(stats) = resp.get("stats") else {
+        return fail(format!("response has no `stats` field: {resp}"));
+    };
+    // Validate the snapshot version before trusting any field in it.
+    match stats.get("version").and_then(|v| v.as_str()) {
+        Some(v) if v == safegen_telemetry::metrics::SNAPSHOT_VERSION => {}
+        Some(v) => {
+            return fail(format!(
+                "snapshot version `{v}` (this binary speaks `{}`)",
+                safegen_telemetry::metrics::SNAPSHOT_VERSION
+            ))
+        }
+        None => return fail("snapshot has no `version` field"),
+    }
+    if rest.iter().any(|a| a == "--prom") {
+        match safegen_telemetry::metrics::prometheus_text(stats) {
+            Ok(text) => print!("{text}"),
+            Err(e) => return fail(e),
+        }
+    } else {
+        println!("{stats}");
+    }
+    if let Some(n) = flag_value(rest, "--assert-requests") {
+        let want: f64 = match n.parse() {
+            Ok(n) => n,
+            Err(e) => return fail(format!("bad --assert-requests `{n}`: {e}")),
+        };
+        let evals = match snapshot_num(stats, &["serve", "requests", "eval"]) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let p50 = match snapshot_num(stats, &["serve", "latency_ns", "p50"]) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        if evals != want {
+            return fail(format!(
+                "assertion failed: daemon served {evals} eval request(s), expected {want}"
+            ));
+        }
+        if p50 <= 0.0 {
+            return fail(format!(
+                "assertion failed: latency p50 is {p50}, expected > 0"
+            ));
+        }
+        eprintln!("safegen: stats assertion passed ({evals} eval request(s), p50 {p50} ns)");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_tac(rest: &[String]) -> ExitCode {

@@ -295,25 +295,26 @@ impl Compiler {
     pub fn compile(&self, src: &str) -> Result<Compiled, ParseError> {
         let lowered;
         let src = if self.lower_simd && src.contains("_mm") {
-            lowered = telemetry::span("compile.lower_simd", || safegen_cfront::lower_simd(src))?;
+            lowered =
+                telemetry::phase_span("compile.lower_simd", || safegen_cfront::lower_simd(src))?;
             &lowered
         } else {
             src
         };
-        let unit = telemetry::span("compile.parse", || safegen_cfront::parse(src))?;
+        let unit = telemetry::phase_span("compile.parse", || safegen_cfront::parse(src))?;
         // Alpha-rename so shadowed/sibling declarations become unique —
         // the strict no-shadowing rule then holds by construction.
         let unit = safegen_cfront::rename_unique(&unit);
         let unit = if self.fold_constants {
-            telemetry::span("compile.fold", || safegen_ir::fold_constants(&unit))
+            telemetry::phase_span("compile.fold", || safegen_ir::fold_constants(&unit))
         } else {
             unit
         };
-        let sema = telemetry::span("compile.sema", || safegen_cfront::analyze(&unit))?;
+        let sema = telemetry::phase_span("compile.sema", || safegen_cfront::analyze(&unit))?;
         // The TAC transform threads the semantic tables through (declaring
         // its fresh temporaries as it goes), so the unit is analyzed once.
         let (tac, sema) =
-            telemetry::span("compile.tac", || safegen_ir::to_tac_with_sema(&unit, &sema));
+            telemetry::phase_span("compile.tac", || safegen_ir::to_tac_with_sema(&unit, &sema));
         let passes = match &self.passes {
             Some(pm) => pm.clone(),
             None => PassManager::from_env().map_err(|e| {
@@ -324,12 +325,13 @@ impl Compiler {
             })?,
         };
         let mut plain = HashMap::new();
-        telemetry::span("compile.bytecode", || -> Result<(), ParseError> {
+        telemetry::phase_span("compile.bytecode", || -> Result<(), ParseError> {
             for f in &tac.functions {
                 plain.insert(f.name.clone(), compile_program_with(f, &sema, &passes)?);
             }
             Ok(())
         })?;
+        safegen_telemetry::metrics::metrics().compile.compiles.inc();
         Ok(Compiled {
             tac,
             sema,
@@ -406,7 +408,7 @@ impl Compiled {
         match kind {
             VariantKind::Plain => self.plain[func].clone(),
             VariantKind::Prioritized { k } => {
-                let annotated = telemetry::span("compile.prioritize", || {
+                let annotated = telemetry::phase_span("compile.prioritize", || {
                     safegen_analysis::annotate_function(f, &self.sema, k as usize, self.solver)
                 });
                 compile_program_with(&annotated, &self.sema, &self.passes)
@@ -422,7 +424,7 @@ impl Compiled {
                 } else {
                     f.clone()
                 };
-                let annotated = telemetry::span("compile.capacity", || {
+                let annotated = telemetry::phase_span("compile.capacity", || {
                     let plan = safegen_analysis::capacity_plan(&base, &self.sema, k_low as usize);
                     safegen_analysis::annotate_capacities(&base, &plan)
                 });

@@ -41,6 +41,35 @@
 use crate::domain::{Domain, FpBinOp, FpUnOp};
 use crate::exec::{exec_inner, ArgValue, ExecError, NoTrace, RunResult, RunStats, FUEL};
 use crate::program::{CmpOp, FixedProgram, OpCode, ParamBinding, Program};
+use safegen_telemetry::metrics::metrics;
+
+/// Per-dispatch metric tallies. The interpreter accumulates these in
+/// plain locals while it runs and [`LaneTally::flush`]es them to the
+/// global registry **once per `exec_lanes` call**, so the dispatch loop
+/// itself carries no atomics (DESIGN.md §11 hot-path discipline).
+#[derive(Default)]
+struct LaneTally {
+    splits: u64,
+    parks: u64,
+    remerges: u64,
+    superinstr_hits: u64,
+    kernel_dispatches: u64,
+    scalar_dispatches: u64,
+}
+
+impl LaneTally {
+    fn flush(&self, lanes: usize) {
+        let m = metrics();
+        m.lanes.dispatches.inc();
+        m.lanes.lanes_dispatched.add(lanes as u64);
+        m.lanes.group_splits.add(self.splits);
+        m.lanes.parks.add(self.parks);
+        m.lanes.remerges.add(self.remerges);
+        m.lanes.superinstr_hits.add(self.superinstr_hits);
+        m.lanes.kernel_dispatches.add(self.kernel_dispatches);
+        m.lanes.scalar_dispatches.add(self.scalar_dispatches);
+    }
+}
 
 /// Maximum lane count per [`exec_lanes`] call (lane masks are `u64`).
 pub const MAX_LANES: usize = 64;
@@ -368,6 +397,10 @@ pub fn exec_lanes<D: Domain>(
         arr_len[j] = seen.unwrap_or(0);
     }
     if ragged {
+        let m = metrics();
+        m.lanes.dispatches.inc();
+        m.lanes.lanes_dispatched.add(w as u64);
+        m.lanes.ragged_fallbacks.inc();
         // Per-lane scalar execution: bit-identical by definition.
         return inputs
             .iter()
@@ -463,6 +496,7 @@ pub fn exec_lanes<D: Domain>(
     let mut done: Vec<Option<LaneDone<D>>> = Vec::new();
     done.resize_with(w, || None);
     let n_ops = fixed.ops.len();
+    let mut tally = LaneTally::default();
     let mut groups = Vec::new();
     if init_mask != 0 {
         groups.push(Group {
@@ -494,6 +528,7 @@ pub fn exec_lanes<D: Domain>(
                 && groups[i].pending_capacity == g.pending_capacity
             {
                 let h = groups.swap_remove(i);
+                tally.remerges += 1;
                 for l in MaskIter(g.mask) {
                     acc_instrs[l] += g.instrs;
                     acc_fp[l] += g.fp_ops;
@@ -577,13 +612,17 @@ pub fn exec_lanes<D: Domain>(
                 ($method:ident, $op:expr, $d:expr, $a:expr, $b:expr) => {{
                     if g.pending_protect {
                         g.pending_protect = false;
+                        tally.scalar_dispatches += 1;
                         bin_cols(&mut fregs, w, $d, $a, $b, g.mask, full, |x, y, l| {
                             let p = std::mem::take(&mut protect[l]);
                             x.$method(y, &cxs[l], &p)
                         });
-                    } else if g.mask != full
-                        || !bin_kernel_cols(&mut fregs, w, $op, $d, $a, $b, &mut scratch, cxs)
+                    } else if g.mask == full
+                        && bin_kernel_cols(&mut fregs, w, $op, $d, $a, $b, &mut scratch, cxs)
                     {
+                        tally.kernel_dispatches += 1;
+                    } else {
+                        tally.scalar_dispatches += 1;
                         bin_cols(&mut fregs, w, $d, $a, $b, g.mask, full, |x, y, l| {
                             x.$method(y, &cxs[l], &[])
                         });
@@ -594,9 +633,12 @@ pub fn exec_lanes<D: Domain>(
             // Unary counterpart for the kernel-eligible ops.
             macro_rules! fp_un_kernel {
                 ($op:expr, $d:expr, $a:expr, $fallback:expr) => {{
-                    if g.mask != full
-                        || !un_kernel_cols(&mut fregs, w, $op, $d, $a, &mut scratch, cxs)
+                    if g.mask == full
+                        && un_kernel_cols(&mut fregs, w, $op, $d, $a, &mut scratch, cxs)
                     {
+                        tally.kernel_dispatches += 1;
+                    } else {
+                        tally.scalar_dispatches += 1;
                         un_cols(&mut fregs, w, $d, $a, g.mask, full, $fallback);
                     }
                     g.fp_ops += 1;
@@ -627,12 +669,14 @@ pub fn exec_lanes<D: Domain>(
                     if taken == g.mask {
                         g.pc = $target;
                         if g.pc >= watch {
+                            tally.parks += 1;
                             groups.push(g);
                             continue 'groups;
                         }
                         continue;
                     }
                     if taken != 0 {
+                        tally.splits += 1;
                         groups.push(Group {
                             pc: $target,
                             mask: taken,
@@ -669,9 +713,12 @@ pub fn exec_lanes<D: Domain>(
             // Min/max: kernel-eligible, never protected.
             macro_rules! fp_minmax {
                 ($method:ident, $op:expr, $d:expr, $a:expr, $b:expr) => {{
-                    if g.mask != full
-                        || !bin_kernel_cols(&mut fregs, w, $op, $d, $a, $b, &mut scratch, cxs)
+                    if g.mask == full
+                        && bin_kernel_cols(&mut fregs, w, $op, $d, $a, $b, &mut scratch, cxs)
                     {
+                        tally.kernel_dispatches += 1;
+                    } else {
+                        tally.scalar_dispatches += 1;
                         bin_cols(&mut fregs, w, $d, $a, $b, g.mask, full, |x, y, l| {
                             x.$method(y, &cxs[l])
                         });
@@ -809,6 +856,7 @@ pub fn exec_lanes<D: Domain>(
                 OpCode::Jump => {
                     g.pc = ins.imm as usize;
                     if g.pc >= watch {
+                        tally.parks += 1;
                         groups.push(g);
                         continue 'groups;
                     }
@@ -856,6 +904,7 @@ pub fn exec_lanes<D: Domain>(
                 // instruction bookkeeping (second `instrs` tick, fuel
                 // and capacity checks between the halves).
                 OpCode::MulThenAdd | OpCode::MulThenSub => {
+                    tally.superinstr_hits += 1;
                     fp_bin!(mul, FpBinOp::Mul, d, a, b);
                     cap_check!(fp_before);
                     fuel_check!();
@@ -870,6 +919,7 @@ pub fn exec_lanes<D: Domain>(
                     cap_check!(before2);
                 }
                 OpCode::MulIThenAddI => {
+                    tally.superinstr_hits += 1;
                     bin_cols(&mut iregs, w, d, a, b, g.mask, full, |x, y, _| x * y);
                     fuel_check!();
                     let (d2, c) = (ins.d2() as usize, ins.c() as usize);
@@ -877,6 +927,7 @@ pub fn exec_lanes<D: Domain>(
                     bin_cols(&mut iregs, w, d2, x, y, g.mask, full, |x, y, _| x + y);
                 }
                 OpCode::CmpIJump => {
+                    tally.superinstr_hits += 1;
                     let op = ins.cmp_op();
                     bin_cols(&mut iregs, w, d, a, b, g.mask, full, |x, y, _| {
                         i64::from(op.eval(*x, *y))
@@ -885,6 +936,7 @@ pub fn exec_lanes<D: Domain>(
                     branch_if_zero!(d * w, ins.imm as usize);
                 }
                 OpCode::CmpFJump => {
+                    tally.superinstr_hits += 1;
                     cmp_f_cols!(ins.cmp_op(), d, a, b);
                     fuel_check!();
                     branch_if_zero!(d * w, ins.imm as usize);
@@ -893,11 +945,13 @@ pub fn exec_lanes<D: Domain>(
             cap_check!(fp_before);
             g.pc += 1;
             if g.pc >= watch {
+                tally.parks += 1;
                 groups.push(g);
                 continue 'groups;
             }
         }
     }
+    tally.flush(w);
 
     // --- Materialize per-lane results. ---
     (0..w)
@@ -1025,6 +1079,37 @@ mod tests {
             &(0..8)
                 .map(|i| vec![(0.1 * i as f64).into(), (1.0 - 0.05 * i as f64).into()])
                 .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn lane_metrics_count_dispatches_and_divergence() {
+        use safegen_telemetry::metrics::metrics;
+        let m = &metrics().lanes;
+        let (dispatches0, lanes0) = (m.dispatches.get(), m.lanes_dispatched.get());
+        let (splits0, kernels0, scalars0) = (
+            m.group_splits.get(),
+            m.kernel_dispatches.get(),
+            m.scalar_dispatches.get(),
+        );
+
+        // A divergent branch forces at least one group split; the
+        // arithmetic runs through either the column kernels or the
+        // scalar fallback, both of which are counted.
+        let p = compile("double f(double x) { if (x < 0.0) { return -x; } return x + 1.0; }");
+        let fixed = encode(&p).unwrap();
+        let inputs: Vec<Vec<ArgValue>> = (0..8).map(|i| vec![((i as f64) - 3.5).into()]).collect();
+        let cxs = vec![(); inputs.len()];
+        let results = exec_lanes::<UnsoundF64>(&p, &fixed, &inputs, &cxs);
+        assert!(results.iter().all(|r| r.is_ok()));
+
+        // Counters are process-global, so deltas are asserted as `>=`.
+        assert!(m.dispatches.get() > dispatches0);
+        assert!(m.lanes_dispatched.get() >= lanes0 + 8);
+        assert!(m.group_splits.get() > splits0, "branch must split");
+        assert!(
+            m.kernel_dispatches.get() + m.scalar_dispatches.get() > kernels0 + scalars0,
+            "fp ops must be counted as kernel or scalar dispatches"
         );
     }
 

@@ -20,11 +20,28 @@
 //! * `{"op":"eval","func":F,"config":C,"k":K,"inputs":[[...],[...]]}` —
 //!   a batch, evaluated by the parallel batch engine; the response
 //!   carries one report per input set, in input order
+//! * `{"op":"stats"}` → `{"ok":true,"stats":{...}}` — a live, versioned
+//!   snapshot of the process metrics registry (per-verb request counts,
+//!   error counts by category, latency/byte histograms with p50/p90/p99,
+//!   cache and lane-engine counters; see `safegen_telemetry::metrics`)
 //! * `{"op":"shutdown"}` → `{"ok":true,"bye":true}`, then the daemon
 //!   exits cleanly (removing its socket file)
 //!
 //! Every failure is a response line `{"ok":false,"error":"..."}` — the
 //! daemon never dies on a bad request.
+//!
+//! ## Observability
+//!
+//! Every request updates the always-on metrics registry (a few relaxed
+//! atomics — see DESIGN.md §11): its verb and error-category counters,
+//! the in-flight gauge, and the latency/request-bytes/response-bytes
+//! histograms. When the JSONL recorder is enabled, each request is also
+//! assigned a process-unique id at accept time and handled under it, so
+//! every event it emits (the `serve.request` summary, `vm.exec` spans,
+//! batch events, cache events) carries the same `"req"` field; the
+//! buffered stream is flushed incrementally on every connection close and
+//! on daemon shutdown, so the tail of the stream survives the daemon
+//! exiting.
 //!
 //! ## Concurrency model
 //!
@@ -41,6 +58,7 @@ use crate::sga::select_program;
 use safegen_artifact::Artifact;
 use safegen_telemetry as telemetry;
 use safegen_telemetry::json::{self, Json};
+use safegen_telemetry::metrics::{metrics, ErrCategory, Verb};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -138,7 +156,10 @@ pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
         }
         let stream = match conn {
             Ok(s) => s,
-            Err(e) => return Err(format!("accept: {e}")),
+            Err(e) => {
+                let _ = telemetry::flush();
+                return Err(format!("accept: {e}"));
+            }
         };
         let artifact = Arc::clone(&artifact);
         let stop = Arc::clone(&stop);
@@ -151,7 +172,47 @@ pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
         let _ = w.join();
     }
     let _ = std::fs::remove_file(&opts.socket);
+    // Clean shutdown: push any still-buffered telemetry to the sink so
+    // the final requests' events are never lost.
+    let _ = telemetry::flush();
     Ok(())
+}
+
+/// Increments the in-flight gauge for its lifetime (drop-safe).
+struct InFlight;
+
+impl InFlight {
+    fn new() -> InFlight {
+        metrics().serve.in_flight.inc();
+        InFlight
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        metrics().serve.in_flight.dec();
+    }
+}
+
+/// Counts a connection open, and on drop (every socket-close path —
+/// clean EOF, timeout, oversize rejection, write failure, shutdown)
+/// counts the close and flushes buffered telemetry so tail events
+/// survive however the connection ends. The flush is incremental
+/// (append-only), so this is cheap even per-connection.
+struct ConnGuard;
+
+impl ConnGuard {
+    fn new() -> ConnGuard {
+        metrics().serve.connections_opened.inc();
+        ConnGuard
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        metrics().serve.connections_closed.inc();
+        let _ = telemetry::flush();
+    }
 }
 
 /// How one attempt to read a request line ended.
@@ -218,6 +279,7 @@ fn serve_connection(
         }
     }
     let socket: &Path = &opts.socket;
+    let _conn = ConnGuard::new();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -229,6 +291,7 @@ fn serve_connection(
             LineRead::Line => {}
             LineRead::Eof | LineRead::Failed => return, // client hung up or timed out
             LineRead::Oversize => {
+                metrics().serve.errors(ErrCategory::Oversize).inc();
                 let resp = Json::obj(vec![
                     ("ok", Json::Bool(false)),
                     (
@@ -247,29 +310,57 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
+        // One process-unique id per request, generated at accept time:
+        // every telemetry event emitted while handling it — the
+        // serve.request summary, vm.exec / batch spans, cache events —
+        // carries the same "req" field.
+        let req_id = telemetry::next_request_id();
         let started = Instant::now();
-        let (response, shutdown) = handle_request(line.trim(), artifact);
-        let micros = started.elapsed().as_micros() as u64;
-        let response = match response {
+        let out = {
+            let _in_flight = InFlight::new();
+            telemetry::with_request(req_id, || handle_request(line.trim(), artifact))
+        };
+        let latency_ns = started.elapsed().as_nanos() as u64;
+        let micros = latency_ns / 1_000;
+        let response = match out.response {
             Json::Obj(mut fields) => {
                 fields.push(("micros".to_string(), Json::from(micros)));
                 Json::Obj(fields)
             }
             other => other,
         };
-        if telemetry::enabled() {
-            telemetry::record(
-                "serve.request",
-                vec![
-                    ("micros", Json::from(micros)),
-                    ("shutdown", Json::Bool(shutdown)),
-                ],
-            );
+        let text = response.to_string();
+        let m = metrics();
+        m.serve.requests(out.verb).inc();
+        if let Some(cat) = out.error {
+            m.serve.errors(cat).inc();
         }
-        if writeln!(writer, "{response}").is_err() {
+        m.serve.latency_ns.observe(latency_ns);
+        m.serve.request_bytes.observe(raw.len() as u64);
+        m.serve.response_bytes.observe(text.len() as u64 + 1);
+        if telemetry::enabled() {
+            // Per-request summary event, under the request id.
+            telemetry::with_request(req_id, || {
+                let mut fields = vec![
+                    ("verb", Json::from(out.verb.name())),
+                    ("ok", Json::Bool(out.error.is_none())),
+                    ("micros", Json::from(micros)),
+                    ("ns", Json::from(latency_ns)),
+                    ("bytes_in", Json::from(raw.len())),
+                    ("bytes_out", Json::from(text.len() + 1)),
+                    ("shutdown", Json::Bool(out.shutdown)),
+                ];
+                if let Some(cat) = out.error {
+                    fields.push(("error", Json::from(cat.name())));
+                }
+                fields.extend(out.detail.iter().map(|(k, v)| (k.as_str(), v.clone())));
+                telemetry::record("serve.request", fields);
+            });
+        }
+        if writer.write_all(text.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
             return;
         }
-        if shutdown {
+        if out.shutdown {
             stop.store(true, Ordering::SeqCst);
             // The acceptor is blocked in `accept`; poke it awake so it
             // observes the stop flag and exits.
@@ -279,28 +370,77 @@ fn serve_connection(
     }
 }
 
-/// Decodes and executes one request line. Returns the response and
-/// whether the daemon should shut down.
-fn handle_request(line: &str, artifact: &Artifact) -> (Json, bool) {
-    let err = |msg: String| {
-        (
-            Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::from(msg))]),
-            false,
-        )
-    };
+/// Everything the connection loop needs to know about one handled
+/// request: the response line, whether to shut down, and the
+/// classification that drives the metrics registry and the per-request
+/// summary event.
+struct Outcome {
+    response: Json,
+    shutdown: bool,
+    verb: Verb,
+    error: Option<ErrCategory>,
+    /// Extra summary-event fields (eval phase breakdown, lanes, sizes).
+    detail: Vec<(String, Json)>,
+}
+
+impl Outcome {
+    fn ok(verb: Verb, response: Json) -> Outcome {
+        Outcome {
+            response,
+            shutdown: false,
+            verb,
+            error: None,
+            detail: Vec::new(),
+        }
+    }
+
+    fn err(verb: Verb, cat: ErrCategory, msg: String) -> Outcome {
+        Outcome {
+            response: Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::from(msg))]),
+            shutdown: false,
+            verb,
+            error: Some(cat),
+            detail: Vec::new(),
+        }
+    }
+}
+
+/// Decodes and executes one request line.
+fn handle_request(line: &str, artifact: &Artifact) -> Outcome {
     let request = match json::parse(line) {
         Ok(v) => v,
-        Err(e) => return err(format!("bad request JSON: {e}")),
+        Err(e) => {
+            return Outcome::err(
+                Verb::Other,
+                ErrCategory::BadJson,
+                format!("bad request JSON: {e}"),
+            )
+        }
     };
     match request.get("op").and_then(Json::as_str) {
-        Some("ping") => (
+        Some("ping") => Outcome::ok(
+            Verb::Ping,
             Json::obj(vec![("ok", Json::Bool(true)), ("pong", Json::Bool(true))]),
-            false,
         ),
-        Some("shutdown") => (
-            Json::obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
-            true,
-        ),
+        Some("shutdown") => Outcome {
+            shutdown: true,
+            ..Outcome::ok(
+                Verb::Shutdown,
+                Json::obj(vec![("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
+            )
+        },
+        Some("stats") => {
+            // Push buffered JSONL to the sink so a scraper that reads the
+            // snapshot and then the stream sees a consistent picture.
+            let _ = telemetry::flush();
+            Outcome::ok(
+                Verb::Stats,
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("stats", metrics().snapshot()),
+                ]),
+            )
+        }
         Some("list") => {
             let functions = artifact
                 .functions()
@@ -318,7 +458,8 @@ fn handle_request(line: &str, artifact: &Artifact) -> (Json, bool) {
                     ])
                 })
                 .collect::<Vec<_>>();
-            (
+            Outcome::ok(
+                Verb::List,
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("name", Json::from(artifact.meta.name.as_str())),
@@ -326,25 +467,44 @@ fn handle_request(line: &str, artifact: &Artifact) -> (Json, bool) {
                     ("functions", Json::Arr(functions)),
                     ("variants", Json::Arr(variants)),
                 ]),
-                false,
             )
         }
         Some("eval") => match handle_eval(&request, artifact) {
-            Ok(v) => (v, false),
-            Err(e) => err(e),
+            Ok((response, detail)) => Outcome {
+                detail,
+                ..Outcome::ok(Verb::Eval, response)
+            },
+            Err((cat, msg)) => Outcome::err(Verb::Eval, cat, msg),
         },
-        Some(other) => err(format!("unknown op {other:?}")),
-        None => err("request needs a string \"op\" field".to_string()),
+        Some(other) => Outcome::err(
+            Verb::Other,
+            ErrCategory::UnknownVerb,
+            format!("unknown op {other:?}"),
+        ),
+        None => Outcome::err(
+            Verb::Other,
+            ErrCategory::BadRequest,
+            "request needs a string \"op\" field".to_string(),
+        ),
     }
 }
 
-fn handle_eval(request: &Json, artifact: &Artifact) -> Result<Json, String> {
+/// Eval error paths, classified for the error counters.
+type EvalError = (ErrCategory, String);
+
+fn handle_eval(
+    request: &Json,
+    artifact: &Artifact,
+) -> Result<(Json, Vec<(String, Json)>), EvalError> {
+    let bad = |msg: &str| (ErrCategory::BadRequest, msg.to_string());
+    // Decode phase: request fields → config + program selection.
+    let decode_started = Instant::now();
     let func = request
         .get("func")
         .and_then(Json::as_str)
-        .ok_or("eval needs a string \"func\" field")?;
+        .ok_or_else(|| bad("eval needs a string \"func\" field"))?;
     let k = match request.get("k") {
-        Some(v) => v.as_f64().ok_or("\"k\" must be a number")? as usize,
+        Some(v) => v.as_f64().ok_or_else(|| bad("\"k\" must be a number"))? as usize,
         None => 16,
     };
     let mut config = RunConfig::from_cli(
@@ -353,11 +513,22 @@ fn handle_eval(request: &Json, artifact: &Artifact) -> Result<Json, String> {
             .and_then(Json::as_str)
             .unwrap_or("dspv"),
         k,
-    )?;
+    )
+    .map_err(|e| (ErrCategory::BadRequest, e))?;
     if let Some(v) = request.get("k_low") {
-        config.capacity_low = Some(v.as_f64().ok_or("\"k_low\" must be a number")? as usize);
+        config.capacity_low = Some(
+            v.as_f64()
+                .ok_or_else(|| bad("\"k_low\" must be a number"))? as usize,
+        );
     }
-    let program = select_program(artifact, func, &config)?;
+    // A miss here means the artifact carries no such function/variant —
+    // the daemon's "unknown program id".
+    let program =
+        select_program(artifact, func, &config).map_err(|e| (ErrCategory::UnknownProgram, e))?;
+    let mut detail = vec![
+        ("func".to_string(), Json::from(func)),
+        ("config".to_string(), Json::from(config.label())),
+    ];
 
     if let Some(inputs) = request.get("inputs").and_then(Json::as_arr) {
         // Batch form: the parallel batch engine evaluates all input sets.
@@ -365,61 +536,96 @@ fn handle_eval(request: &Json, artifact: &Artifact) -> Result<Json, String> {
             .iter()
             .map(|set| {
                 set.as_arr()
-                    .ok_or("\"inputs\" entries must be arrays of argument values")?
+                    .ok_or_else(|| bad("\"inputs\" entries must be arrays of argument values"))?
                     .iter()
-                    .map(decode_arg)
+                    .map(|v| decode_arg(v).map_err(|e| (ErrCategory::BadRequest, e)))
                     .collect()
             })
-            .collect::<Result<_, String>>()?;
+            .collect::<Result<_, EvalError>>()?;
         let threads = match request.get("threads") {
-            Some(v) => v.as_f64().ok_or("\"threads\" must be a number")? as usize,
+            Some(v) => {
+                v.as_f64()
+                    .ok_or_else(|| bad("\"threads\" must be a number"))? as usize
+            }
             None => 0,
         };
         // SoA lane-group width (0 = per-domain default, 1 = scalar).
         let lanes = match request.get("lanes") {
-            Some(v) => v.as_f64().ok_or("\"lanes\" must be a number")? as usize,
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| bad("\"lanes\" must be a number"))? as usize,
             None => 0,
         };
+        let decode_ns = decode_started.elapsed().as_nanos() as u64;
+        let exec_started = Instant::now();
         let result = run_batch(
             program,
             &decoded,
             &config,
             &BatchOptions::with_threads(threads).with_lanes(lanes),
-        )?;
+        )
+        .map_err(|e| (ErrCategory::Exec, e))?;
+        detail.extend([
+            ("n".to_string(), Json::from(decoded.len())),
+            ("threads".to_string(), Json::from(result.threads)),
+            ("lanes".to_string(), Json::from(result.lanes)),
+            ("decode_ns".to_string(), Json::from(decode_ns)),
+            (
+                "exec_ns".to_string(),
+                Json::from(exec_started.elapsed().as_nanos() as u64),
+            ),
+        ]);
         let reports: Vec<Json> = result
             .items
             .iter()
             .map(|i| report_json(&i.report))
             .collect();
-        return Ok(Json::obj(vec![
-            ("ok", Json::Bool(true)),
-            ("config", Json::from(config.label())),
-            ("reports", Json::Arr(reports)),
-            ("threads", Json::from(result.threads)),
-            ("lanes", Json::from(result.lanes)),
-        ]));
+        return Ok((
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("config", Json::from(config.label())),
+                ("reports", Json::Arr(reports)),
+                ("threads", Json::from(result.threads)),
+                ("lanes", Json::from(result.lanes)),
+            ]),
+            detail,
+        ));
     }
 
     let args: Vec<ArgValue> = request
         .get("args")
         .and_then(Json::as_arr)
-        .ok_or("eval needs an \"args\" array (or \"inputs\" for a batch)")?
+        .ok_or_else(|| bad("eval needs an \"args\" array (or \"inputs\" for a batch)"))?
         .iter()
-        .map(decode_arg)
-        .collect::<Result<_, String>>()?;
-    let report = run_on(program, &args, &config)?;
+        .map(|v| decode_arg(v).map_err(|e| (ErrCategory::BadRequest, e)))
+        .collect::<Result<_, EvalError>>()?;
+    let decode_ns = decode_started.elapsed().as_nanos() as u64;
+    let exec_started = Instant::now();
+    let report = run_on(program, &args, &config).map_err(|e| (ErrCategory::Exec, e))?;
+    detail.extend([
+        ("n".to_string(), Json::from(1u64)),
+        ("lanes".to_string(), Json::from(1u64)),
+        ("decode_ns".to_string(), Json::from(decode_ns)),
+        (
+            "exec_ns".to_string(),
+            Json::from(exec_started.elapsed().as_nanos() as u64),
+        ),
+    ]);
     let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("config", Json::from(config.label())),
     ];
     if let Json::Obj(rep) = report_json(&report) {
         // Splice the report fields into the top-level response.
-        return Ok(Json::Obj(
-            fields
-                .drain(..)
-                .map(|(k, v)| (k.to_string(), v))
-                .chain(rep)
-                .collect(),
+        return Ok((
+            Json::Obj(
+                fields
+                    .drain(..)
+                    .map(|(k, v)| (k.to_string(), v))
+                    .chain(rep)
+                    .collect(),
+            ),
+            detail,
         ));
     }
     unreachable!("report_json always returns an object")
@@ -765,6 +971,216 @@ mod tests {
 
         let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
         handle.join().unwrap().unwrap();
+    }
+
+    /// Polls until `cond` holds, or panics after ~2 s. Metric gauges are
+    /// process-global and other tests' daemons run concurrently, so
+    /// transient values are expected; only the settled state is asserted.
+    fn wait_until(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..100 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        panic!("timed out waiting for: {what}");
+    }
+
+    #[test]
+    fn stats_verb_returns_versioned_snapshot() {
+        // Counters are process-global and monotone, so deltas are
+        // asserted as `>=`: concurrent tests can only add to them.
+        let m = metrics();
+        let evals0 = m.serve.requests(Verb::Eval).get();
+        let stats0 = m.serve.requests(Verb::Stats).get();
+        let lat0 = m.serve.latency_ns.count();
+        let (socket, handle) = spawn_daemon("statsverb");
+
+        let resp = request(
+            &socket,
+            &Json::obj(vec![
+                ("op", Json::from("eval")),
+                ("func", Json::from("f")),
+                ("config", Json::from("dspv")),
+                ("k", Json::from(8u64)),
+                ("args", Json::Arr(vec![Json::Num(0.5), Json::Num(0.25)])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        let stats = resp.get("stats").expect("stats field");
+        assert_eq!(
+            stats.get("version").and_then(|v| v.as_str()),
+            Some(safegen_telemetry::metrics::SNAPSHOT_VERSION),
+            "{stats}"
+        );
+        let num = |path: &[&str]| -> f64 {
+            let mut node = stats;
+            for key in path {
+                node = node.get(key).unwrap_or_else(|| panic!("missing {path:?}"));
+            }
+            node.as_f64()
+                .unwrap_or_else(|| panic!("{path:?} not a number"))
+        };
+        assert!(num(&["serve", "requests", "eval"]) >= (evals0 + 1) as f64);
+        // A request is counted after it is handled, so a snapshot never
+        // sees the stats request that produced it — but it does see any
+        // earlier one.
+        let second = request(&socket, &Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        let second_stats = second.get("stats").expect("stats field");
+        assert!(
+            second_stats
+                .get("serve")
+                .and_then(|s| s.get("requests"))
+                .and_then(|r| r.get("stats"))
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                >= (stats0 + 1) as f64
+        );
+        assert!(num(&["serve", "requests", "total"]) >= num(&["serve", "requests", "eval"]));
+        assert!(num(&["serve", "latency_ns", "count"]) >= (lat0 + 1) as f64);
+        assert!(
+            num(&["serve", "latency_ns", "p50"]) > 0.0,
+            "nanosecond latency p50 must be positive: {stats}"
+        );
+        // The other registry sections ride along in the same snapshot.
+        assert!(stats.get("cache").is_some(), "{stats}");
+        assert!(stats.get("lanes").is_some(), "{stats}");
+        assert!(stats.get("compile").is_some(), "{stats}");
+        assert!(num(&["uptime_s"]) >= 0.0);
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn error_paths_move_their_error_counters() {
+        let m = metrics();
+        let in_flight0 = m.serve.in_flight.get();
+        let oversize0 = m.serve.errors(ErrCategory::Oversize).get();
+        let bad_json0 = m.serve.errors(ErrCategory::BadJson).get();
+        let unk_verb0 = m.serve.errors(ErrCategory::UnknownVerb).get();
+        let unk_prog0 = m.serve.errors(ErrCategory::UnknownProgram).get();
+        let errors_total0 = m.serve.errors_total();
+        let (socket, handle) = spawn_daemon_with("errmetrics", |o| ServeOptions {
+            max_request_bytes: 256,
+            ..o
+        });
+
+        // Oversize: the limit trips before a request is even parsed.
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let _ = writeln!(w, "{}", "x".repeat(4096));
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert!(m.serve.errors(ErrCategory::Oversize).get() > oversize0);
+
+        // Malformed JSON.
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        writeln!(w, "this is not json").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert!(m.serve.errors(ErrCategory::BadJson).get() > bad_json0);
+
+        // Unknown verb.
+        let resp = request(&socket, &Json::obj(vec![("op", Json::from("nope"))])).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(m.serve.errors(ErrCategory::UnknownVerb).get() > unk_verb0);
+
+        // Unknown program (function not in the artifact).
+        let resp = request(
+            &socket,
+            &Json::obj(vec![
+                ("op", Json::from("eval")),
+                ("func", Json::from("no_such_fn")),
+                ("config", Json::from("dspv")),
+                ("k", Json::from(8u64)),
+                ("args", Json::Arr(vec![])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(m.serve.errors(ErrCategory::UnknownProgram).get() > unk_prog0);
+
+        // Every error above is also in the aggregate.
+        assert!(m.serve.errors_total() >= errors_total0 + 4);
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+
+        // Nothing above leaks an in-flight slot: the gauge settles back
+        // to (at most) where it started once our daemon is down.
+        wait_until("in-flight gauge returns to baseline", || {
+            m.serve.in_flight.get() <= in_flight0
+        });
+    }
+
+    #[test]
+    fn request_id_correlates_summary_and_spans() {
+        let prefix =
+            std::env::temp_dir().join(format!("safegen-serve-trace-{}", std::process::id()));
+        telemetry::init("serve-test", false, Some(prefix.clone()));
+        let (socket, handle) = spawn_daemon("reqid");
+
+        // An eval under a config label no other test uses, so its
+        // summary event is findable in the shared JSONL stream.
+        let resp = request(
+            &socket,
+            &Json::obj(vec![
+                ("op", Json::from("eval")),
+                ("func", Json::from("f")),
+                ("config", Json::from("ssnn")),
+                ("k", Json::from(8u64)),
+                ("args", Json::Arr(vec![Json::Num(0.5), Json::Num(0.25)])),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp}");
+
+        let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();
+        handle.join().unwrap().unwrap();
+        telemetry::flush().unwrap();
+        telemetry::shutdown();
+
+        let jsonl = prefix.with_extension("jsonl");
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let events: Vec<Json> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| json::parse(l).unwrap())
+            .collect();
+        let summary = events
+            .iter()
+            .find(|e| {
+                e.get("kind").and_then(|k| k.as_str()) == Some("serve.request")
+                    && e.get("config")
+                        .and_then(|c| c.as_str())
+                        .is_some_and(|c| c.contains("ssnn"))
+            })
+            .unwrap_or_else(|| panic!("no ssnn serve.request event in {}", jsonl.display()));
+        let req = summary
+            .get("req")
+            .and_then(|r| r.as_f64())
+            .expect("summary event carries a req id");
+        assert!(req > 0.0);
+        // The VM execution span recorded while handling that request
+        // carries the same id — that is the cross-event correlation.
+        let correlated_span = events.iter().any(|e| {
+            e.get("kind").and_then(|k| k.as_str()) == Some("span")
+                && e.get("name").and_then(|n| n.as_str()) == Some("vm.exec")
+                && e.get("req").and_then(|r| r.as_f64()) == Some(req)
+        });
+        assert!(
+            correlated_span,
+            "no vm.exec span shares req {req} in {}",
+            jsonl.display()
+        );
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(prefix.with_extension("summary.json"));
     }
 
     #[test]

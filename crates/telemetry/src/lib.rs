@@ -31,20 +31,71 @@
 //! Every JSONL line is an object with at least `{"kind": ..., "t": ...}`
 //! where `t` is seconds since the recorder was installed. Span events add
 //! `{"name", "elapsed_s"}`; other producers (the VM batch engine, the
-//! bench harness) attach their own fields. The summary aggregates event
-//! counts per kind and total time per span name.
+//! bench harness) attach their own fields. When a request id is active on
+//! the recording thread (see [`with_request`]) every event additionally
+//! carries `{"req": id}`, so all spans and events belonging to one served
+//! or CLI request can be correlated in the stream. The summary aggregates
+//! event counts per kind and total time per span name.
+//!
+//! ## Always-on metrics
+//!
+//! The buffered recorder above is opt-in; the [`metrics`] module holds
+//! the *always-on* side — a lock-free registry of counters, gauges, and
+//! latency histograms that the serve daemon exposes live through its
+//! `stats` verb.
 
 pub mod json;
+pub mod metrics;
 
 use json::Json;
+use std::cell::Cell;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Request id active on this thread; 0 means none.
+    static REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a fresh process-unique request id (never 0).
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request id active on this thread, if any. Events recorded while an
+/// id is active carry it as their `req` field.
+pub fn current_request() -> Option<u64> {
+    let id = REQUEST.with(Cell::get);
+    (id != 0).then_some(id)
+}
+
+/// Sets (or with `None` clears) the request id for this thread. Workers
+/// spawned to serve a request call this with the id captured from the
+/// spawning thread; prefer [`with_request`] where scoping allows.
+pub fn set_request(id: Option<u64>) {
+    REQUEST.with(|c| c.set(id.unwrap_or(0)));
+}
+
+/// Runs `f` with `id` as this thread's active request id, restoring the
+/// previous id afterwards (panic-safe via a drop guard).
+pub fn with_request<T>(id: u64, f: impl FnOnce() -> T) -> T {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            REQUEST.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(REQUEST.with(Cell::get));
+    REQUEST.with(|c| c.set(id));
+    f()
+}
 
 /// The in-memory event buffer behind the global facade.
 #[derive(Debug)]
@@ -53,8 +104,15 @@ pub struct Recorder {
     t0: Instant,
     trace: bool,
     out: Option<PathBuf>,
-    /// Serialized JSONL lines, in record order.
+    /// Serialized JSONL lines not yet flushed to the sink, in record
+    /// order. [`flush`] appends and drains these, so a long-running
+    /// daemon's buffer stays bounded by its flush cadence.
     lines: Vec<String>,
+    /// Events recorded over the recorder's lifetime (flushed + buffered).
+    total_events: u64,
+    /// Whether the sink file has been created (first flush truncates,
+    /// later flushes append).
+    sink_started: bool,
     /// Per-kind event counts, insertion-ordered.
     kinds: Vec<(String, u64)>,
     /// Per-span-name (count, total seconds), insertion-ordered.
@@ -69,6 +127,8 @@ impl Recorder {
             trace,
             out,
             lines: Vec::new(),
+            total_events: 0,
+            sink_started: false,
             kinds: Vec::new(),
             spans: Vec::new(),
         }
@@ -79,7 +139,13 @@ impl Recorder {
             ("kind", Json::from(kind)),
             ("t", Json::from(self.t0.elapsed().as_secs_f64())),
         ];
+        if let Some(req) = current_request() {
+            if !fields.iter().any(|(k, _)| *k == "req") {
+                obj.push(("req", Json::from(req)));
+            }
+        }
         obj.extend(fields);
+        self.total_events += 1;
         self.lines.push(Json::obj(obj).to_string());
         match self.kinds.iter_mut().find(|(k, _)| k == kind) {
             Some((_, n)) => *n += 1,
@@ -101,7 +167,7 @@ impl Recorder {
         Json::obj(vec![
             ("binary", Json::from(self.binary.as_str())),
             ("wall_s", Json::from(self.t0.elapsed().as_secs_f64())),
-            ("events", Json::from(self.lines.len())),
+            ("events", Json::from(self.total_events)),
             (
                 "kinds",
                 Json::Obj(
@@ -189,7 +255,30 @@ pub fn span<T>(name: &str, f: impl FnOnce() -> T) -> T {
     }
     let t0 = Instant::now();
     let out = f();
-    let elapsed = t0.elapsed().as_secs_f64();
+    note_span_event(name, t0.elapsed().as_secs_f64());
+    out
+}
+
+/// Times `f` as a compiler-phase span that **always** feeds the per-phase
+/// duration histogram in [`metrics::CompileMetrics`], and additionally
+/// records a `span` event when the recorder is enabled. Phase granularity
+/// only (one call per compile phase / optimization pass), so the
+/// unconditional `Instant` reads and the histogram's mutex are far off
+/// any hot path.
+pub fn phase_span<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    let elapsed = t0.elapsed();
+    metrics::metrics()
+        .compile
+        .observe_phase(name, elapsed.as_nanos() as u64);
+    if enabled() {
+        note_span_event(name, elapsed.as_secs_f64());
+    }
+    out
+}
+
+fn note_span_event(name: &str, elapsed: f64) {
     if let Some(rec) = RECORDER.lock().unwrap().as_mut() {
         rec.push(
             "span",
@@ -203,21 +292,24 @@ pub fn span<T>(name: &str, f: impl FnOnce() -> T) -> T {
             eprintln!("[trace] {name}: {:.3e} s", elapsed);
         }
     }
-    out
 }
 
 /// Writes the accumulated events to `<prefix>.jsonl` and the summary to
 /// `<prefix>.summary.json` when `SAFEGEN_METRICS_OUT` (or [`init`]'s
 /// `out`) named a prefix. Returns the summary path when files were
-/// written. Safe to call repeatedly; later calls rewrite the files with
-/// the grown buffer.
+/// written. Safe to call repeatedly and cheap to call often: the first
+/// flush creates (truncates) the JSONL file, later flushes **append**
+/// only the lines recorded since, and the in-memory buffer is drained
+/// each time — which is what lets the serve daemon flush per connection
+/// without unbounded memory or O(total-events) rewrites. The summary file
+/// is rewritten in full on every flush.
 ///
 /// # Errors
 ///
 /// Returns the I/O error message if a file cannot be written.
 pub fn flush() -> Result<Option<PathBuf>, String> {
-    let guard = RECORDER.lock().unwrap();
-    let Some(rec) = guard.as_ref() else {
+    let mut guard = RECORDER.lock().unwrap();
+    let Some(rec) = guard.as_mut() else {
         return Ok(None);
     };
     let Some(prefix) = rec.out.as_ref() else {
@@ -226,7 +318,10 @@ pub fn flush() -> Result<Option<PathBuf>, String> {
     let prefix = normalize_prefix(prefix);
     let jsonl = prefix.with_extension("jsonl");
     let summary = prefix.with_extension("summary.json");
-    write_lines(&jsonl, &rec.lines).map_err(|e| format!("{}: {e}", jsonl.display()))?;
+    append_lines(&jsonl, &rec.lines, !rec.sink_started)
+        .map_err(|e| format!("{}: {e}", jsonl.display()))?;
+    rec.sink_started = true;
+    rec.lines.clear();
     write_lines(&summary, &[rec.summary().to_string()])
         .map_err(|e| format!("{}: {e}", summary.display()))?;
     Ok(Some(summary))
@@ -241,6 +336,19 @@ fn normalize_prefix(p: &Path) -> PathBuf {
 
 fn write_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    f.flush()
+}
+
+fn append_lines(path: &Path, lines: &[String], truncate: bool) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(truncate)
+        .append(!truncate)
+        .open(path)?;
     for line in lines {
         writeln!(f, "{line}")?;
     }
@@ -324,6 +432,107 @@ mod tests {
         assert!(prefix.with_extension("jsonl").exists());
         let _ = std::fs::remove_file(prefix.with_extension("jsonl"));
         let _ = std::fs::remove_file(summary);
+    }
+
+    #[test]
+    fn incremental_flush_appends_and_drains() {
+        let _l = LOCK.lock().unwrap();
+        let prefix = temp_prefix("incremental");
+        init("t", false, Some(prefix.clone()));
+        record("a", vec![]);
+        record("b", vec![]);
+        let summary_path = flush().unwrap().unwrap();
+        record("c", vec![]);
+        flush().unwrap().unwrap();
+        flush().unwrap().unwrap(); // idempotent with nothing new
+        shutdown();
+
+        let jsonl = std::fs::read_to_string(prefix.with_extension("jsonl")).unwrap();
+        let kinds: Vec<String> = jsonl
+            .lines()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("kind")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(kinds, ["a", "b", "c"]);
+        let summary = json::parse(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        assert_eq!(summary.get("events").unwrap().as_f64(), Some(3.0));
+
+        let _ = std::fs::remove_file(prefix.with_extension("jsonl"));
+        let _ = std::fs::remove_file(summary_path);
+    }
+
+    #[test]
+    fn reinit_truncates_previous_sink() {
+        let _l = LOCK.lock().unwrap();
+        let prefix = temp_prefix("reinit");
+        init("t", false, Some(prefix.clone()));
+        record("old", vec![]);
+        flush().unwrap().unwrap();
+        init("t", false, Some(prefix.clone())); // fresh recorder, same sink
+        record("new", vec![]);
+        flush().unwrap().unwrap();
+        shutdown();
+        let jsonl = std::fs::read_to_string(prefix.with_extension("jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"new\""));
+        let _ = std::fs::remove_file(prefix.with_extension("jsonl"));
+        let _ = std::fs::remove_file(prefix.with_extension("summary.json"));
+    }
+
+    #[test]
+    fn request_id_tags_events_and_restores() {
+        let _l = LOCK.lock().unwrap();
+        let prefix = temp_prefix("reqid");
+        init("t", false, Some(prefix.clone()));
+        let id = next_request_id();
+        assert!(current_request().is_none());
+        with_request(id, || {
+            assert_eq!(current_request(), Some(id));
+            record("inner", vec![("x", Json::from(1u64))]);
+            span("inner.span", || ());
+        });
+        assert!(current_request().is_none());
+        record("outer", vec![]);
+        flush().unwrap().unwrap();
+        shutdown();
+
+        let jsonl = std::fs::read_to_string(prefix.with_extension("jsonl")).unwrap();
+        let events: Vec<Json> = jsonl.lines().map(|l| json::parse(l).unwrap()).collect();
+        assert_eq!(events.len(), 3);
+        for ev in &events[..2] {
+            assert_eq!(ev.get("req").unwrap().as_f64(), Some(id as f64));
+        }
+        assert!(events[2].get("req").is_none());
+
+        let _ = std::fs::remove_file(prefix.with_extension("jsonl"));
+        let _ = std::fs::remove_file(prefix.with_extension("summary.json"));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn phase_span_feeds_metrics_even_when_disabled() {
+        let _l = LOCK.lock().unwrap();
+        shutdown();
+        let before = metrics::metrics().compile.phase_count("unit.phase");
+        assert_eq!(phase_span("unit.phase", || 5), 5);
+        assert_eq!(
+            metrics::metrics().compile.phase_count("unit.phase"),
+            before + 1
+        );
     }
 
     #[test]
