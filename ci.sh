@@ -122,8 +122,48 @@ grep -q '"version":"safegen.metrics/1"' "$SMOKE_DIR/stats.json"
     '{"op":"shutdown"}' | grep -q '"bye":true'
 wait "$STATS_PID"
 
+echo "== fixpoint gate (sound unbounded loops) =="
+cargo test -q --test fixpoint_golden
+cat > "$SMOKE_DIR/loop.c" <<'EOF'
+double f(double x, int n) {
+    double acc = x;
+    int t = 0;
+    while (t < n) {
+        acc = 0.9 * acc + 1.0;
+        t = t + 1;
+    }
+    return acc;
+}
+EOF
+# A trip count no unroller could touch must be solved by iterate-and-widen.
+./target/release/safegen run "$SMOKE_DIR/loop.c" --fn f --config dspv --k 8 \
+    --arg 1.0 --int 1099511627776 --loop-mode fixpoint --unroll-budget 4 \
+    | grep -q "fixpoint: 1 loop(s) solved"
+# Artifacts advertise the capability as a header flag...
+./target/release/safegen compile "$SMOKE_DIR/loop.c" \
+    -o "$SMOKE_DIR/loop.sga" --k 8 --fixpoint
+test "$(od -An -j6 -N1 -tu1 "$SMOKE_DIR/loop.sga" | tr -d ' ')" = "1"
+# ...and a forged flag byte fails the capability cross-check at load.
+cp "$SMOKE_DIR/loop.sga" "$SMOKE_DIR/forged.sga"
+printf '\x00' | dd of="$SMOKE_DIR/forged.sga" bs=1 seek=6 conv=notrunc status=none
+if ./target/release/safegen run "$SMOKE_DIR/forged.sga" --fn f --config dspv \
+    --k 8 --arg 1.0 --int 8 > "$SMOKE_DIR/forged.txt" 2>&1; then
+    echo "forged artifact unexpectedly accepted"
+    exit 1
+fi
+grep -qi "capability mismatch" "$SMOKE_DIR/forged.txt"
+
+echo "== loop fuzz smoke (unbounded-loop generation; must be clean) =="
+./target/release/safegen fuzz --iters 200 --seed 0xC60 --loops \
+    --out "$SMOKE_DIR/loopfuzz" | grep -q " 0 counterexamples"
+
+echo "== fixpoint bench smoke (loop solve vs. unroll + results JSON) =="
+(cd "$SMOKE_DIR" && SAFEGEN_QUICK=1 SAFEGEN_REPS=1 \
+    "$OLDPWD/target/release/fixpoint" > /dev/null)
+./target/release/json_check "$SMOKE_DIR/results/BENCH_fixpoint.json"
+
 echo "== bench trend gate (every results/BENCH_*.json export is valid) =="
-./target/release/trend --require 4
+./target/release/trend --require 5
 
 echo "== lane-differential gate (SoA engine bit-identical to scalar) =="
 cargo test -q --test lanes_differential

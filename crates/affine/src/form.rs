@@ -166,6 +166,66 @@ impl<C: CenterValue> Affine<C> {
         }
     }
 
+    /// A form enclosing `[lo, hi]` that tolerates non-finite and inverted
+    /// hulls instead of panicking: any hull whose midpoint is not a finite
+    /// `f64` (half-infinite, fully infinite, or NaN endpoints) collapses to
+    /// [`Affine::entire`]. This is the materialization hook the fixpoint
+    /// engine uses to rebuild loop-carried variables from widened interval
+    /// hulls, where ±∞ endpoints are routine.
+    ///
+    /// Affine forms cannot represent half-infinite ranges (the center must
+    /// be finite), so `[1, +∞)` soundly over-approximates to the entire
+    /// form; interval domains keep the one-sided bound.
+    pub fn from_range_outward(lo: f64, hi: f64, ctx: &AaContext) -> Affine<C> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            return Affine::entire(ctx);
+        }
+        let mid = 0.5 * lo + 0.5 * hi;
+        if !mid.is_finite() {
+            return Affine::entire(ctx);
+        }
+        let form = Affine::from_interval(lo, hi, ctx);
+        let (rlo, rhi) = form.range();
+        if rlo.is_nan() || rhi.is_nan() {
+            return Affine::entire(ctx);
+        }
+        form
+    }
+
+    /// The least-upper-bound hull of two forms, as a fresh condensed form.
+    ///
+    /// All symbol correlation is deliberately dropped: the result is a
+    /// single-symbol form over the union of the two ranges (noise-term
+    /// condensation). Keeping correlated terms across a control-flow join
+    /// would be unsound for loop-carried variables — `x = 1.0 - x` flips
+    /// the sign of every coefficient each trip, so the "shared" symbols of
+    /// successive iterations do not co-vary.
+    pub fn join(&self, other: &Affine<C>, ctx: &AaContext) -> Affine<C> {
+        let (alo, ahi) = self.range();
+        let (blo, bhi) = other.range();
+        if alo.is_nan() || ahi.is_nan() || blo.is_nan() || bhi.is_nan() {
+            return Affine::entire(ctx);
+        }
+        Affine::from_range_outward(alo.min(blo), ahi.max(bhi), ctx)
+    }
+
+    /// The standard widening operator on the range hulls: any endpoint of
+    /// `next` that escapes `self`'s range jumps straight to ±∞, so an
+    /// ascending chain of widenings stabilizes after at most two steps.
+    /// Like [`Affine::join`] the result is condensed to a single fresh
+    /// symbol; the practical consequence of a widened endpoint is
+    /// [`Affine::entire`] (see [`Affine::from_range_outward`]).
+    pub fn widen(&self, next: &Affine<C>, ctx: &AaContext) -> Affine<C> {
+        let (slo, shi) = self.range();
+        let (nlo, nhi) = next.range();
+        if slo.is_nan() || shi.is_nan() || nlo.is_nan() || nhi.is_nan() {
+            return Affine::entire(ctx);
+        }
+        let lo = if nlo < slo { f64::NEG_INFINITY } else { slo };
+        let hi = if nhi > shi { f64::INFINITY } else { shi };
+        Affine::from_range_outward(lo, hi, ctx)
+    }
+
     /// The "anything" form: infinite radius, certifies nothing. Produced by
     /// division through zero and overflow.
     pub fn entire(ctx: &AaContext) -> Affine<C> {
@@ -487,5 +547,77 @@ mod tests {
         let ctx = ctx_sorted(8);
         let x = AffineF64::from_input(1.0, &ctx);
         assert!(!format!("{x}").is_empty());
+    }
+
+    #[test]
+    fn from_range_outward_is_outward_at_the_edges() {
+        let ctx = ctx_sorted(8);
+        // Ordinary range: the materialized form must enclose both
+        // endpoints even though mid/rad rounding is involved — including
+        // subnormal-width ranges whose midpoint rounds.
+        let cases = [
+            (0.1, 0.2),
+            (-1.0, 1.0),
+            (f64::from_bits(1), f64::from_bits(9)),
+            (-f64::MIN_POSITIVE, f64::MIN_POSITIVE.next_up()),
+            (1.0, 1.0f64.next_up()),
+        ];
+        for (lo, hi) in cases {
+            let x = AffineF64::from_range_outward(lo, hi, &ctx);
+            let (rlo, rhi) = x.range();
+            assert!(
+                rlo <= lo && hi <= rhi,
+                "[{lo:e}, {hi:e}] → [{rlo:e}, {rhi:e}]"
+            );
+        }
+        // Half-infinite and infinite hulls cannot keep a finite center:
+        // the sound materialization is the entire form, never a panic.
+        for (lo, hi) in [
+            (1.0, f64::INFINITY),
+            (f64::NEG_INFINITY, 0.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (f64::MAX, f64::INFINITY),
+            (f64::NAN, 1.0),
+        ] {
+            let x = AffineF64::from_range_outward(lo, hi, &ctx);
+            let (rlo, rhi) = x.range();
+            assert_eq!(
+                (rlo, rhi),
+                (f64::NEG_INFINITY, f64::INFINITY),
+                "[{lo:e}, {hi:e}] must collapse to entire"
+            );
+        }
+        // Near-overflow midpoints: 0.5*lo + 0.5*hi stays finite here, and
+        // the enclosure must still cover both endpoints.
+        let x = AffineF64::from_range_outward(f64::MAX.next_down(), f64::MAX, &ctx);
+        let (rlo, rhi) = x.range();
+        assert!(rlo <= f64::MAX.next_down() && f64::MAX <= rhi);
+    }
+
+    #[test]
+    fn join_and_widen_dominate_ranges_and_drop_correlation() {
+        let ctx = ctx_sorted(8);
+        let a = AffineF64::from_interval(-1.0, 2.0, &ctx);
+        let b = AffineF64::from_interval(1.5, 3.0, &ctx);
+        let j = a.join(&b, &ctx);
+        let (jlo, jhi) = j.range();
+        assert!(jlo <= -1.0 && 3.0 <= jhi, "join [{jlo}, {jhi}]");
+        // The join is condensed to a single fresh symbol: keeping the
+        // inputs' symbols across a loop join would be unsound — the
+        // `x = 1.0 - x` flip makes successive trips anti-correlated.
+        assert!(j.n_symbols() <= 1, "join not condensed: {}", j.n_symbols());
+
+        // widen ⊒ join on the ranges, and an ascending chain stabilizes
+        // after at most two applications per endpoint.
+        let w = a.widen(&b, &ctx);
+        let (wlo, whi) = w.range();
+        assert!(wlo <= jlo && jhi <= whi);
+        let w2 = w.widen(&AffineF64::from_interval(-5.0, 100.0, &ctx), &ctx);
+        let w3 = w2.widen(&AffineF64::from_interval(-1e300, 1e300, &ctx), &ctx);
+        let (lo3, hi3) = w3.range();
+        assert_eq!((lo3, hi3), (f64::NEG_INFINITY, f64::INFINITY));
+        let w4 = w3.widen(&AffineF64::from_interval(-1e308, 1e308, &ctx), &ctx);
+        let (lo4, hi4) = w4.range();
+        assert_eq!((lo4, hi4), (lo3, hi3), "widening chain did not stabilize");
     }
 }

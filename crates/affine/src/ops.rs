@@ -320,15 +320,19 @@ impl<C: CenterValue> Affine<C> {
     }
 
     /// Sound absolute value: exact when the sign is determined, interval
-    /// hull otherwise.
+    /// hull otherwise. Non-finite ranges (NaN or ±∞ endpoints, routine for
+    /// widened loop-carried state) collapse to [`Affine::entire`].
     pub fn abs(&self, ctx: &AaContext) -> Affine<C> {
         let (lo, hi) = self.range();
+        if lo.is_nan() || hi.is_nan() {
+            return Affine::entire(ctx);
+        }
         if lo >= 0.0 {
             self.clone()
         } else if hi <= 0.0 {
             self.neg()
         } else {
-            Affine::from_interval(0.0, hi.max(-lo), ctx)
+            Affine::from_range_outward(0.0, hi.max(-lo), ctx)
         }
     }
 
@@ -338,24 +342,30 @@ impl<C: CenterValue> Affine<C> {
     /// to `â` are lost only in that case).
     pub fn max_scalar(&self, bound: f64, ctx: &AaContext) -> Affine<C> {
         let (lo, hi) = self.range();
+        if lo.is_nan() || hi.is_nan() {
+            return Affine::entire(ctx);
+        }
         if lo >= bound {
             self.clone()
         } else if hi <= bound {
             Affine::exact(bound, ctx)
         } else {
-            Affine::from_interval(bound, hi, ctx)
+            Affine::from_range_outward(bound, hi, ctx)
         }
     }
 
     /// Sound `min(â, hi_bound)` with an exact scalar bound.
     pub fn min_scalar(&self, bound: f64, ctx: &AaContext) -> Affine<C> {
         let (lo, hi) = self.range();
+        if lo.is_nan() || hi.is_nan() {
+            return Affine::entire(ctx);
+        }
         if hi <= bound {
             self.clone()
         } else if lo >= bound {
             Affine::exact(bound, ctx)
         } else {
-            Affine::from_interval(lo, bound, ctx)
+            Affine::from_range_outward(lo, bound, ctx)
         }
     }
 

@@ -12,7 +12,7 @@ use crate::maxreuse::{solve_max_reuse, PriorityAssignment, SolveMode};
 use crate::reuse::find_reuses;
 use safegen_cfront::{Function, ParseError, Sema, Span, Stmt, Unit};
 use safegen_ir::{build_dag, Dag, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Runs the full analysis on a TAC-form unit and returns it annotated.
 ///
@@ -42,10 +42,10 @@ pub fn annotate_function(f: &Function, sema: &Sema, k: usize, mode: SolveMode) -
 }
 
 /// Computes, per operation span, the variable to prioritize there.
-fn pragma_plan(dag: &Dag, pa: &PriorityAssignment) -> HashMap<(usize, usize), String> {
+fn pragma_plan(dag: &Dag, pa: &PriorityAssignment) -> BTreeMap<(usize, usize), String> {
     // Profit of each source node (for the "highest reuse profit" pick).
     let profits = dag.ancestor_counts();
-    let mut plan: HashMap<(usize, usize), String> = HashMap::new();
+    let mut plan: BTreeMap<(usize, usize), String> = BTreeMap::new();
     for v in 0..dag.len() {
         let protected = pa.protected_at(v);
         if protected.is_empty() {
@@ -67,8 +67,8 @@ fn pragma_plan(dag: &Dag, pa: &PriorityAssignment) -> HashMap<(usize, usize), St
 
 /// Inserts pragma statements before the statements whose spans contain an
 /// annotated operation.
-fn insert_pragmas(f: &Function, plan: &HashMap<(usize, usize), String>) -> Function {
-    fn rewrite(body: &[Stmt], plan: &HashMap<(usize, usize), String>) -> Vec<Stmt> {
+fn insert_pragmas(f: &Function, plan: &BTreeMap<(usize, usize), String>) -> Function {
+    fn rewrite(body: &[Stmt], plan: &BTreeMap<(usize, usize), String>) -> Vec<Stmt> {
         let mut out = Vec::with_capacity(body.len());
         for s in body {
             match s {
@@ -121,9 +121,12 @@ fn insert_pragmas(f: &Function, plan: &HashMap<(usize, usize), String>) -> Funct
         out
     }
 
-    fn lookup(plan: &HashMap<(usize, usize), String>, stmt_span: Span) -> Option<String> {
+    fn lookup(plan: &BTreeMap<(usize, usize), String>, stmt_span: Span) -> Option<String> {
         // An operation span annotates its enclosing statement: containment
-        // check on byte offsets.
+        // check on byte offsets. The plan is an ordered map so that when a
+        // statement encloses several annotated operations the earliest span
+        // wins deterministically (a hash map here made the chosen pragma —
+        // and therefore the compiled variant — vary run to run).
         plan.iter()
             .find(|((start, end), _)| *start >= stmt_span.start && *end <= stmt_span.end)
             .map(|(_, v)| v.clone())
@@ -190,6 +193,34 @@ mod tests {
             1,
         );
         assert!(!out.contains("#pragma"), "{out}");
+    }
+
+    #[test]
+    fn annotation_is_deterministic_across_calls() {
+        // Regression: the pragma plan used to be a hash map, so a statement
+        // enclosing several annotated operation spans picked an arbitrary
+        // pragma per call — the compiled variant (and its affine result)
+        // varied run to run, surfacing as serial/batch fuzz mismatches.
+        let src = "double f(double v0, double v1, int n) {
+                double v2 = v1;
+                int t = 0;
+                while (t < n) {
+                    v2 = v2 / (v1 * v1 + 0.5) + 1.0;
+                    t = t + 1;
+                }
+                double v3 = v1 * v1;
+                double v5 = v0;
+                int t5 = 0;
+                while (t5 < n) {
+                    v5 = v5 * 1.5 + v2;
+                    t5 = t5 + 1;
+                }
+                return v5 / (v3 * v3 + 0.5);
+            }";
+        let first = annotate_src(src, 16);
+        for _ in 0..10 {
+            assert_eq!(first, annotate_src(src, 16));
+        }
     }
 
     #[test]

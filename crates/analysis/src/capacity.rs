@@ -13,13 +13,13 @@
 use crate::reuse::find_reuses;
 use safegen_cfront::{Function, Sema, Span, Stmt};
 use safegen_ir::{build_dag, NodeId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Computes, per operation span, the capacity that suffices there.
 ///
 /// Returns annotations only for operations that can run at `k_low`
 /// (everything else implicitly keeps the configured `k`).
-pub fn capacity_plan(f: &Function, sema: &Sema, k_low: usize) -> HashMap<(usize, usize), usize> {
+pub fn capacity_plan(f: &Function, sema: &Sema, k_low: usize) -> BTreeMap<(usize, usize), usize> {
     let dag = build_dag(f, sema);
     let reuses = find_reuses(&dag);
 
@@ -43,7 +43,7 @@ pub fn capacity_plan(f: &Function, sema: &Sema, k_low: usize) -> HashMap<(usize,
         }
     }
 
-    let mut plan = HashMap::new();
+    let mut plan = BTreeMap::new();
     for (id, node) in dag.nodes().iter().enumerate() {
         // Inputs create no operation; constants materialize a fresh form
         // without fusing anything — neither needs a capacity annotation.
@@ -59,13 +59,13 @@ pub fn capacity_plan(f: &Function, sema: &Sema, k_low: usize) -> HashMap<(usize,
 
 /// Inserts `#pragma safegen capacity(N)` before the statements covered by
 /// the plan (mirrors the prioritize-pragma insertion).
-pub fn annotate_capacities(f: &Function, plan: &HashMap<(usize, usize), usize>) -> Function {
+pub fn annotate_capacities(f: &Function, plan: &BTreeMap<(usize, usize), usize>) -> Function {
     // Each plan entry annotates exactly one statement (TAC statements can
     // share source regions through their spans): consume entries as they
     // match.
     let mut plan = plan.clone();
 
-    fn rewrite(body: &[Stmt], plan: &mut HashMap<(usize, usize), usize>) -> Vec<Stmt> {
+    fn rewrite(body: &[Stmt], plan: &mut BTreeMap<(usize, usize), usize>) -> Vec<Stmt> {
         let mut out = Vec::with_capacity(body.len());
         for s in body {
             match s {
@@ -117,7 +117,10 @@ pub fn annotate_capacities(f: &Function, plan: &HashMap<(usize, usize), usize>) 
         out
     }
 
-    fn lookup(plan: &mut HashMap<(usize, usize), usize>, stmt: Span) -> Option<usize> {
+    fn lookup(plan: &mut BTreeMap<(usize, usize), usize>, stmt: Span) -> Option<usize> {
+        // Ordered map: when several entries fall inside one statement the
+        // earliest span is consumed, deterministically (see the matching
+        // note in annotate.rs).
         let key = plan
             .iter()
             .find(|((start, end), _)| *start >= stmt.start && *end <= stmt.end)

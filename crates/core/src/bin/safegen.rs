@@ -58,10 +58,11 @@ fn usage() -> ExitCode {
         "usage:
   safegen emit    <file.c> [--precision f64|dd|f32] [--k N] [--no-analysis]
   safegen compile <file.c> -o <prog.sga> [--k N,N,...] [--k-low N,N,...]
-                  [--no-analysis] [--no-cache]
+                  [--no-analysis] [--no-cache] [--fixpoint]
   safegen run     <file.c|prog.sga> --fn NAME
                   [--config dspv|ssnn|...|ia|ia-dd|unsound]
                   [--k N] [--arg X]... [--int N]... [--array \"x,y,z\"]...
+                  [--loop-mode unroll|fixpoint|auto] [--unroll-budget N]
                   [--dump-ir]
   safegen serve   <prog.sga|file.c> --socket PATH [--k N,N,...]
   safegen request --socket PATH <json>
@@ -70,7 +71,7 @@ fn usage() -> ExitCode {
                   [--arg X]... [--int N]... [--array \"x,y,z\"]...
   safegen tac     <file.c>
   safegen ir      <file.c> [--fn NAME] [--passes none|default|cse,dce,...]
-  safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR]
+  safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR] [--loops]
 
 environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
              SAFEGEN_METRICS_OUT=<prefix> writes <prefix>.jsonl and
@@ -197,6 +198,7 @@ fn build_options(path: &str, rest: &[String]) -> Result<safegen::BuildOptions, S
     }
     opts.analysis = !rest.iter().any(|a| a == "--no-analysis");
     opts.use_cache = !rest.iter().any(|a| a == "--no-cache");
+    opts.fixpoint = rest.iter().any(|a| a == "--fixpoint");
     Ok(opts)
 }
 
@@ -492,10 +494,26 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         Ok(k) => k,
         Err(e) => return fail(format!("bad --k: {e}")),
     };
-    let config = match RunConfig::from_cli(flag_value(rest, "--config").unwrap_or("dspv"), k) {
+    let mut config = match RunConfig::from_cli(flag_value(rest, "--config").unwrap_or("dspv"), k) {
         Ok(c) => c,
         Err(e) => return fail(e),
     };
+    if let Some(mode) = flag_value(rest, "--loop-mode") {
+        match safegen::LoopMode::parse(mode) {
+            Some(m) => config = config.with_loop_mode(m),
+            None => {
+                return fail(format!(
+                    "bad --loop-mode `{mode}` (expected unroll, fixpoint, or auto)"
+                ))
+            }
+        }
+    }
+    if let Some(budget) = flag_value(rest, "--unroll-budget") {
+        match budget.parse::<u64>() {
+            Ok(b) => config = config.with_unroll_budget(b),
+            Err(e) => return fail(format!("bad --unroll-budget: {e}")),
+        }
+    }
 
     let args = match parse_args(rest) {
         Ok(a) => a,
@@ -549,6 +567,15 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         println!(
             "certified bits (worst result): {:.1}",
             report.acc_bits.max(f64::NEG_INFINITY)
+        );
+    }
+    if report.stats.fixpoint_loops > 0 {
+        println!(
+            "fixpoint: {} loop(s) solved in {} iteration(s), {} widening(s), {} narrowing(s)",
+            report.stats.fixpoint_loops,
+            report.stats.fixpoint_iters,
+            report.stats.widenings,
+            report.stats.narrowings
         );
     }
     if report.stats.undecided_branches > 0 {
@@ -662,6 +689,9 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
     }
     if let Some(v) = flag_value(rest, "--out") {
         opts.out_dir = v.into();
+    }
+    if rest.iter().any(|a| a == "--loops") {
+        opts.loop_weight = 4;
     }
     let summary = match safegen::run_fuzz(&opts) {
         Ok(s) => s,

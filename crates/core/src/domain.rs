@@ -77,6 +77,16 @@ pub trait Domain: Sized + Clone {
     fn from_input(x: f64, cx: &Self::Ctx) -> Self;
     /// A source constant (exact if integral, else `± 1 ulp`).
     fn constant(x: f64, cx: &Self::Ctx) -> Self;
+    /// A sound enclosure of the raw hull `[lo, hi]` (±∞ endpoints and NaN
+    /// allowed) — the materialization hook the fixpoint engine uses to
+    /// rebuild loop-carried values from widened interval hulls. Domains
+    /// that cannot represent an externally-imposed range return `None`
+    /// (the unsound domain), which disables fixpoint solving for that
+    /// configuration and falls back to concrete execution.
+    fn from_range(lo: f64, hi: f64, cx: &Self::Ctx) -> Option<Self> {
+        let _ = (lo, hi, cx);
+        None
+    }
 
     /// Addition.
     fn add(&self, rhs: &Self, cx: &Self::Ctx, protect: &[u64]) -> Self;
@@ -346,6 +356,13 @@ impl Domain for IntervalF64 {
             IntervalF64::constant(x)
         }
     }
+    fn from_range(lo: f64, hi: f64, _: &()) -> Option<Self> {
+        Some(if lo.is_nan() || hi.is_nan() || lo > hi {
+            IntervalF64::ENTIRE
+        } else {
+            IntervalF64::new(lo, hi)
+        })
+    }
     #[inline]
     fn add(&self, rhs: &Self, _: &(), _: &[u64]) -> Self {
         *self + *rhs
@@ -429,6 +446,13 @@ impl Domain for IntervalDd {
         } else {
             IntervalDd::constant(x)
         }
+    }
+    fn from_range(lo: f64, hi: f64, _: &()) -> Option<Self> {
+        Some(if lo.is_nan() || hi.is_nan() || lo > hi {
+            IntervalDd::entire()
+        } else {
+            IntervalDd::new(Dd::from(lo), Dd::from(hi))
+        })
     }
     #[inline]
     fn add(&self, rhs: &Self, _: &(), _: &[u64]) -> Self {
@@ -538,6 +562,9 @@ impl<C: CenterValue> Domain for Affine<C> {
     fn constant(x: f64, cx: &AaContext) -> Self {
         Affine::constant(x, cx)
     }
+    fn from_range(lo: f64, hi: f64, cx: &AaContext) -> Option<Self> {
+        Some(Affine::from_range_outward(lo, hi, cx))
+    }
     #[inline]
     fn add(&self, rhs: &Self, cx: &AaContext, protect: &[u64]) -> Self {
         Affine::add(self, rhs, cx, prot(protect))
@@ -571,9 +598,11 @@ impl<C: CenterValue> Domain for Affine<C> {
             Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal) => self.clone(),
             Some(std::cmp::Ordering::Greater) => rhs.clone(),
             None => {
-                let (alo, ahi) = Domain::range(self);
-                let (blo, bhi) = Domain::range(rhs);
-                Affine::from_interval(alo.min(blo), ahi.min(bhi), cx)
+                // NaN range endpoints mean "unknown" — treat as ±∞ so the
+                // hull can't come out unsoundly finite (f64::min ignores NaN).
+                let (alo, ahi) = sanitize_range(Domain::range(self));
+                let (blo, bhi) = sanitize_range(Domain::range(rhs));
+                Affine::from_range_outward(alo.min(blo), ahi.min(bhi), cx)
             }
         }
     }
@@ -582,9 +611,9 @@ impl<C: CenterValue> Domain for Affine<C> {
             Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal) => self.clone(),
             Some(std::cmp::Ordering::Less) => rhs.clone(),
             None => {
-                let (alo, ahi) = Domain::range(self);
-                let (blo, bhi) = Domain::range(rhs);
-                Affine::from_interval(alo.max(blo), ahi.max(bhi), cx)
+                let (alo, ahi) = sanitize_range(Domain::range(self));
+                let (blo, bhi) = sanitize_range(Domain::range(rhs));
+                Affine::from_range_outward(alo.max(blo), ahi.max(bhi), cx)
             }
         }
     }
@@ -633,6 +662,18 @@ impl<C: CenterValue> Domain for Affine<C> {
     }
 }
 
+/// Replaces NaN range endpoints with ±∞: a NaN bound means the value is
+/// unknown, and hull computations built on `f64::min`/`max` would silently
+/// drop it (those primitives return the non-NaN operand).
+#[inline]
+fn sanitize_range((lo, hi): (f64, f64)) -> (f64, f64) {
+    if lo.is_nan() || hi.is_nan() {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    } else {
+        (lo, hi)
+    }
+}
+
 #[inline]
 fn prot(ids: &[u64]) -> Protect<'_> {
     if ids.is_empty() {
@@ -654,6 +695,9 @@ impl Domain for YalaaAff0 {
     }
     fn constant(x: f64, cx: &BaselineCtx) -> Self {
         YalaaAff0::constant(x, cx)
+    }
+    fn from_range(lo: f64, hi: f64, cx: &BaselineCtx) -> Option<Self> {
+        Some(interval_to_aff0(lo, hi, cx))
     }
     fn add(&self, rhs: &Self, cx: &BaselineCtx, _: &[u64]) -> Self {
         YalaaAff0::add(self, rhs, cx)
@@ -756,6 +800,10 @@ impl Domain for YalaaAff1 {
     fn constant(x: f64, cx: &BaselineCtx) -> Self {
         YalaaAff1::constant(x, cx)
     }
+    fn from_range(lo: f64, hi: f64, cx: &BaselineCtx) -> Option<Self> {
+        let (m, r) = mid_rad(lo, hi);
+        Some(YalaaAff1::with_noise(m, r, cx))
+    }
     fn add(&self, rhs: &Self, _: &BaselineCtx, _: &[u64]) -> Self {
         YalaaAff1::add(self, rhs)
     }
@@ -851,6 +899,10 @@ impl Domain for CeresAffine {
     }
     fn constant(x: f64, cx: &CeresCtx) -> Self {
         CeresAffine::constant(x, cx.k, &cx.ctx)
+    }
+    fn from_range(lo: f64, hi: f64, cx: &CeresCtx) -> Option<Self> {
+        let (m, r) = mid_rad(lo, hi);
+        Some(CeresAffine::with_symbol(m, r, cx.k, &cx.ctx))
     }
     fn add(&self, rhs: &Self, cx: &CeresCtx, _: &[u64]) -> Self {
         CeresAffine::add(self, rhs, &cx.ctx)

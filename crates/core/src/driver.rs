@@ -1,7 +1,8 @@
 //! The compiler driver: the end-to-end SafeGen pipeline.
 
 use crate::domain::{CeresCtx, Domain, DomainKind, UnsoundF64};
-use crate::exec::{exec, ArgValue, RunStats};
+use crate::exec::{ArgValue, RunStats};
+use crate::fixpoint::{exec_fixpoint, FixpointConfig, LoopMode};
 use crate::program::{compile_program_with, Program};
 use safegen_affine::baselines::{BaselineCtx, CeresAffine, YalaaAff0, YalaaAff1};
 use safegen_affine::{AaConfig, AaContext, AffineDd, AffineF32, AffineF64};
@@ -83,6 +84,31 @@ pub struct RunConfig {
     /// `safegen_analysis::capacity`). `None` = uniform `k` (the paper's
     /// published system).
     pub capacity_low: Option<usize>,
+    /// How loops with unknown or over-budget trip counts execute (full
+    /// unrolling vs. the iterate-and-widen fixpoint engine; see
+    /// [`crate::fixpoint`]). Constructors default it from
+    /// `SAFEGEN_LOOP_MODE` (`unroll` when unset).
+    pub loop_mode: LoopMode,
+    /// Back-edge budget of the concrete unroll attempt before the
+    /// fixpoint solver takes over. `None` = the mode's standard budget
+    /// (16 for `fixpoint`, 1024 for `auto`).
+    pub unroll_budget: Option<u64>,
+}
+
+/// The process-wide `SAFEGEN_LOOP_MODE` default, parsed once. An invalid
+/// value warns once on stderr and falls back to `unroll`.
+fn default_loop_mode() -> LoopMode {
+    static MODE: std::sync::OnceLock<LoopMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("SAFEGEN_LOOP_MODE") {
+        Ok(v) => LoopMode::parse(&v).unwrap_or_else(|| {
+            eprintln!(
+                "warning: SAFEGEN_LOOP_MODE={v:?} is not one of \
+                 unroll/fixpoint/auto; using unroll"
+            );
+            LoopMode::Unroll
+        }),
+        Err(_) => LoopMode::Unroll,
+    })
 }
 
 impl RunConfig {
@@ -93,6 +119,8 @@ impl RunConfig {
             aa: AaConfig::new(1),
             prioritized: false,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -103,6 +131,8 @@ impl RunConfig {
             aa: AaConfig::new(1),
             prioritized: false,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -113,6 +143,8 @@ impl RunConfig {
             aa: AaConfig::new(1),
             prioritized: false,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -123,6 +155,8 @@ impl RunConfig {
             aa: AaConfig::new(k),
             prioritized: true,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -133,6 +167,8 @@ impl RunConfig {
             aa: AaConfig::new(k),
             prioritized: true,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -143,6 +179,8 @@ impl RunConfig {
             aa: AaConfig::new(k).with_vectorized(false),
             prioritized: true,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -159,6 +197,8 @@ impl RunConfig {
             aa,
             prioritized,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         })
     }
 
@@ -169,6 +209,8 @@ impl RunConfig {
             aa: AaConfig::new(1),
             prioritized: false,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -179,6 +221,8 @@ impl RunConfig {
             aa: AaConfig::new(1),
             prioritized: false,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -189,6 +233,8 @@ impl RunConfig {
             aa: AaConfig::new(k),
             prioritized: false,
             capacity_low: None,
+            loop_mode: default_loop_mode(),
+            unroll_budget: None,
         }
     }
 
@@ -213,6 +259,19 @@ impl RunConfig {
             "dda" => RunConfig::affine_dd(k),
             m => RunConfig::mnemonic(k, m)?,
         })
+    }
+
+    /// Returns the configuration with the given loop mode.
+    pub fn with_loop_mode(mut self, mode: LoopMode) -> RunConfig {
+        self.loop_mode = mode;
+        self
+    }
+
+    /// Returns the configuration with the unroll-attempt budget
+    /// overridden (back-edge traversals before the fixpoint solver).
+    pub fn with_unroll_budget(mut self, budget: u64) -> RunConfig {
+        self.unroll_budget = Some(budget);
+        self
     }
 
     /// A short label for plots (`f64a-dspv (k=16)` style).
@@ -638,42 +697,54 @@ fn to_report<D: Domain>(r: crate::exec::RunResult<D>) -> RunReport {
 /// Returns the VM error message on execution failure.
 pub fn run_on(prog: &Program, args: &[ArgValue], config: &RunConfig) -> Result<RunReport, String> {
     let e = |e: crate::exec::ExecError| e.message;
+    let mode = config.loop_mode;
+    let fcfg = FixpointConfig::for_mode(mode, config.unroll_budget);
     telemetry::span("vm.exec", || match config.kind {
-        DomainKind::Unsound => exec::<UnsoundF64>(prog, args, &())
+        DomainKind::Unsound => exec_fixpoint::<UnsoundF64>(prog, args, &(), mode, &fcfg)
             .map(to_report)
             .map_err(e),
-        DomainKind::IntervalF64 => exec::<IntervalF64>(prog, args, &())
+        DomainKind::IntervalF64 => exec_fixpoint::<IntervalF64>(prog, args, &(), mode, &fcfg)
             .map(to_report)
             .map_err(e),
-        DomainKind::IntervalDd => exec::<IntervalDd>(prog, args, &())
+        DomainKind::IntervalDd => exec_fixpoint::<IntervalDd>(prog, args, &(), mode, &fcfg)
             .map(to_report)
             .map_err(e),
         DomainKind::AffineF64 => {
             let cx = AaContext::new(config.aa);
-            exec::<AffineF64>(prog, args, &cx).map(to_report).map_err(e)
+            exec_fixpoint::<AffineF64>(prog, args, &cx, mode, &fcfg)
+                .map(to_report)
+                .map_err(e)
         }
         DomainKind::AffineDd => {
             let cx = AaContext::new(config.aa);
-            exec::<AffineDd>(prog, args, &cx).map(to_report).map_err(e)
+            exec_fixpoint::<AffineDd>(prog, args, &cx, mode, &fcfg)
+                .map(to_report)
+                .map_err(e)
         }
         DomainKind::AffineF32 => {
             let cx = AaContext::new(config.aa);
-            exec::<AffineF32>(prog, args, &cx).map(to_report).map_err(e)
+            exec_fixpoint::<AffineF32>(prog, args, &cx, mode, &fcfg)
+                .map(to_report)
+                .map_err(e)
         }
         DomainKind::YalaaAff0 => {
             let cx = BaselineCtx::new();
-            exec::<YalaaAff0>(prog, args, &cx).map(to_report).map_err(e)
+            exec_fixpoint::<YalaaAff0>(prog, args, &cx, mode, &fcfg)
+                .map(to_report)
+                .map_err(e)
         }
         DomainKind::YalaaAff1 => {
             let cx = BaselineCtx::new();
-            exec::<YalaaAff1>(prog, args, &cx).map(to_report).map_err(e)
+            exec_fixpoint::<YalaaAff1>(prog, args, &cx, mode, &fcfg)
+                .map(to_report)
+                .map_err(e)
         }
         DomainKind::Ceres => {
             let cx = CeresCtx {
                 ctx: BaselineCtx::new(),
                 k: config.aa.k,
             };
-            exec::<CeresAffine>(prog, args, &cx)
+            exec_fixpoint::<CeresAffine>(prog, args, &cx, mode, &fcfg)
                 .map(to_report)
                 .map_err(e)
         }
@@ -706,6 +777,26 @@ pub fn run_lanes_on(
         rs.into_iter()
             .map(|r| r.map(to_report).map_err(|e| e.message))
             .collect()
+    }
+
+    // The lane engine unrolls loops concretely in lock-step; a fixpoint
+    // solve is a per-lane abstract iteration it cannot express. When the
+    // mode enables the solver and the program has back edges, park the
+    // whole group and run each lane through the scalar fixpoint path —
+    // the lane contract (bit-identical to a scalar run) is preserved.
+    if !matches!(config.loop_mode, LoopMode::Unroll) {
+        let has_loops = safegen_ir::loop_regions(&prog.code)
+            .map(|t| t.has_loops())
+            .unwrap_or(true);
+        if has_loops {
+            let tm = telemetry::metrics::metrics();
+            tm.lanes.parks.inc();
+            tm.lanes.scalar_dispatches.add(inputs.len() as u64);
+            return inputs
+                .iter()
+                .map(|args| run_on(prog, args, config))
+                .collect();
+        }
     }
 
     let w = inputs.len();

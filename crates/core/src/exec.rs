@@ -55,6 +55,17 @@ pub struct RunStats {
     /// placement; 0 for non-affine domains). Deterministic per input
     /// and config.
     pub condensations: u64,
+    /// Loops solved abstractly by the fixpoint engine this run (0 under
+    /// unroll mode and for loop-free programs).
+    pub fixpoint_loops: u64,
+    /// Abstract loop-body passes executed across all fixpoint solves.
+    pub fixpoint_iters: u64,
+    /// Widening applications (one per loop-carried variable whose hull
+    /// was extrapolated in a widening round).
+    pub widenings: u64,
+    /// Accepted narrowing refinements (one per verified candidate that
+    /// tightened the invariant).
+    pub narrowings: u64,
 }
 
 /// Where a traced symbol allocation happened.
@@ -138,7 +149,7 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-fn err(message: impl Into<String>) -> ExecError {
+pub(crate) fn err(message: impl Into<String>) -> ExecError {
     ExecError {
         message: message.into(),
     }

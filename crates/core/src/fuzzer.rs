@@ -40,9 +40,10 @@
 //! its inputs in the header comment) under the output directory.
 
 use crate::oracle::{eval_exact, EvalLimits};
+use crate::program::ParamBinding;
 use crate::{
-    emit_c, run_on, ArgValue, BatchOptions, Compiler, EmitPrecision, PassManager, RunConfig,
-    RunReport,
+    emit_c, run_on, ArgValue, BatchOptions, Compiler, EmitPrecision, LoopMode, PassManager,
+    RunConfig, RunReport,
 };
 use safegen_fuzz::{generate_seeded, render, shrink, FuzzProgram, GenLimits};
 use safegen_telemetry::json::Json;
@@ -148,7 +149,24 @@ pub fn check_source(src: &str, func: &str, inputs: &[f64], opts: &CheckOpts) -> 
         report.fail("compile", format!("no function `{func}` in source"));
         return report;
     }
-    let args: Vec<ArgValue> = inputs.iter().map(|&x| ArgValue::Float(x)).collect();
+    // Binding-aware argument construction: corpus headers store every
+    // input positionally as a float, so an `int` parameter (the
+    // unbounded-loop trip bound) takes its value from the same slot,
+    // truncated. On an arity mismatch fall back to all-floats and let the
+    // VM report it like it always has.
+    let params = &compiled.program(func).params;
+    let args: Vec<ArgValue> = if params.len() == inputs.len() {
+        params
+            .iter()
+            .zip(inputs)
+            .map(|((_, binding), &x)| match binding {
+                ParamBinding::Int(_) => ArgValue::Int(x as i64),
+                _ => ArgValue::Float(x),
+            })
+            .collect()
+    } else {
+        inputs.iter().map(|&x| ArgValue::Float(x)).collect()
+    };
 
     // Ground truth at the exact input point.
     let exact = match eval_exact(compiled.program(func), &args, &opts.oracle_limits) {
@@ -325,7 +343,98 @@ pub fn check_source(src: &str, func: &str, inputs: &[f64], opts: &CheckOpts) -> 
         }
     }
 
+    // 6. Loop-invariant fixpoint enclosure. For programs whose loops have
+    // data-dependent trip counts (an `int` parameter feeding `while`
+    // guards), run once in fixpoint mode with the trip parameter pushed
+    // far past any unrolling budget: a sound invariant must enclose the
+    // exact result at *every* trip count, which the rational oracle
+    // verifies point by point at small counts.
+    loop_enclosure_check(&compiled, func, &args, opts, &mut report);
+
     report
+}
+
+/// Check 6 of [`check_source`]: samples trip counts 0..=8 through the
+/// exact oracle and asserts each exact value lies inside the fixpoint
+/// enclosure computed with the trip parameter at `2^40`. Runs with an
+/// undecided branch (the fixpoint engine decided a non-loop comparison by
+/// its center) are skipped, mirroring the step-1 policy.
+fn loop_enclosure_check(
+    compiled: &crate::Compiled,
+    func: &str,
+    args: &[ArgValue],
+    opts: &CheckOpts,
+    report: &mut CheckReport,
+) {
+    let prog = compiled.program(func);
+    let has_int = prog
+        .params
+        .iter()
+        .any(|(_, b)| matches!(b, ParamBinding::Int(_)));
+    let has_loops = safegen_ir::loop_regions(&prog.code)
+        .map(|t| t.has_loops())
+        .unwrap_or(false);
+    if !has_int || !has_loops {
+        return;
+    }
+    let with_trips = |t: i64| -> Vec<ArgValue> {
+        args.iter()
+            .map(|a| match a {
+                ArgValue::Int(_) => ArgValue::Int(t),
+                other => other.clone(),
+            })
+            .collect()
+    };
+    // Exact ground truth at each sampled trip count; oracle declines
+    // (representation growth in long division chains) are skips, never
+    // passes.
+    let samples: Vec<(i64, safegen_rational::Rational)> = (0..=8)
+        .filter_map(|t| {
+            eval_exact(prog, &with_trips(t), &opts.oracle_limits)
+                .ok()
+                .flatten()
+                .map(|x| (t, x))
+        })
+        .collect();
+    if samples.is_empty() {
+        return;
+    }
+    let big = with_trips(1 << 40);
+    for config in [RunConfig::interval_f64(), RunConfig::affine_f64(opts.k)] {
+        let fix = config
+            .with_loop_mode(LoopMode::Fixpoint)
+            .with_unroll_budget(4);
+        let r = match compiled.run(func, &big, &fix) {
+            Ok(r) => r,
+            Err(e) => {
+                report.fail("run-error", format!("fixpoint {}: {e}", fix.label()));
+                continue;
+            }
+        };
+        if r.stats.undecided_branches > 0 {
+            continue;
+        }
+        let Some((lo, hi)) = r.ret else { continue };
+        if lo.is_nan() || hi.is_nan() {
+            report
+                .anomalies
+                .push(format!("fixpoint {}: NaN range endpoint", fix.label()));
+            continue;
+        }
+        for (t, x) in &samples {
+            report.exact_checks += 1;
+            if !x.in_range(lo, hi) {
+                report.fail(
+                    "loop-enclosure",
+                    format!(
+                        "fixpoint {}: [{lo:e}, {hi:e}] does not contain exact {x} \
+                         at trip count {t}",
+                        fix.label()
+                    ),
+                );
+            }
+        }
+    }
 }
 
 fn roundtrip_check(
@@ -422,6 +531,10 @@ pub struct FuzzOpts {
     pub out_dir: PathBuf,
     /// Budget for `still_fails` probes during shrinking.
     pub max_shrink_checks: usize,
+    /// Generator weight for unbounded `while` loops
+    /// ([`GenLimits::loop_weight`]); 0 keeps the historical corpus
+    /// replay-identical, `safegen fuzz --loops` turns it on.
+    pub loop_weight: u32,
 }
 
 impl Default for FuzzOpts {
@@ -432,6 +545,7 @@ impl Default for FuzzOpts {
             k: 16,
             out_dir: PathBuf::from("results/fuzz"),
             max_shrink_checks: 300,
+            loop_weight: 0,
         }
     }
 }
@@ -501,7 +615,10 @@ fn check_fuzz_program(prog: &FuzzProgram, opts: &CheckOpts) -> Vec<(String, Chec
 /// Only I/O problems (creating the output directory) are errors; found
 /// counterexamples are reported in the summary, not as `Err`.
 pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzSummary, String> {
-    let limits = GenLimits::default();
+    let limits = GenLimits {
+        loop_weight: opts.loop_weight,
+        ..GenLimits::default()
+    };
     let check_opts = CheckOpts {
         k: opts.k,
         ..CheckOpts::default()
@@ -719,6 +836,58 @@ mod tests {
         assert_eq!(parsed.len(), prog.functions.len());
         assert_eq!(parsed[0].1.len(), prog.inputs[0].len());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loop_enclosure_check_engages_on_unbounded_loops() {
+        let src = "/* safegen-fuzz: fn=f inputs=1.0,3.0 */\n\
+                   double f(double x, int n) {\n\
+                   double acc = x;\n\
+                   int t = 0;\n\
+                   while (t < n) { acc = acc * 0.875 + x; t = t + 1; }\n\
+                   return acc; }";
+        let report = check_source(src, "f", &[1.0, 3.0], &CheckOpts::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        // Steps 1 and 5 check 8 enclosures at trip count 3; step 6 adds
+        // 9 sampled trip counts × 2 fixpoint configurations.
+        assert!(report.exact_checks >= 8 + 18, "{report:?}");
+    }
+
+    #[test]
+    fn divergent_loops_stay_sound_under_fixpoint() {
+        // The accumulator doubles forever: the fixpoint enclosure must
+        // widen to a sound infinity, which still contains every sampled
+        // finite trip count — soundness, not a hang or a violation.
+        let src = "double f(double x, int n) {\n\
+                   double acc = x;\n\
+                   int t = 0;\n\
+                   while (t < n) { acc = acc * 2.0 + 1.0; t = t + 1; }\n\
+                   return acc; }";
+        let report = check_source(src, "f", &[1.0, 2.0], &CheckOpts::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.exact_checks >= 18, "{report:?}");
+    }
+
+    #[test]
+    fn small_loop_fuzz_run_is_deterministic_and_clean() {
+        let dir = std::env::temp_dir().join("safegen-fuzz-loop-selftest");
+        let opts = FuzzOpts {
+            iters: 10,
+            seed: 0xC60,
+            out_dir: dir,
+            loop_weight: 4,
+            ..FuzzOpts::default()
+        };
+        let a = run_fuzz(&opts).unwrap();
+        let b = run_fuzz(&opts).unwrap();
+        assert_eq!(a.functions_checked, b.functions_checked);
+        assert_eq!(a.exact_checks, b.exact_checks);
+        assert!(
+            a.counterexamples.is_empty(),
+            "soundness counterexamples: {:?}",
+            a.counterexamples
+        );
+        assert!(a.exact_checks > 0, "oracle never engaged: {a:?}");
     }
 
     #[test]

@@ -969,6 +969,7 @@ pub fn exec_lanes<D: Domain>(
                 undecided_branches: undecided[l],
                 fusions: f1 - counters0[l].0,
                 condensations: c1 - counters0[l].1,
+                ..RunStats::default()
             };
             let arrays_out: Vec<(String, Vec<D>)> = prog
                 .params

@@ -56,6 +56,7 @@ pub mod domain;
 pub mod driver;
 pub mod emit_c;
 pub mod exec;
+pub mod fixpoint;
 pub mod fuzzer;
 pub mod lanes;
 pub mod oracle;
@@ -71,6 +72,7 @@ pub use driver::{
 };
 pub use emit_c::{emit_c, emit_c_from_cfg, EmitPrecision};
 pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
+pub use fixpoint::{exec_fixpoint, FixpointConfig, LoopMode};
 pub use fuzzer::{
     check_source, parse_corpus_header, run_fuzz, CheckOpts, CheckReport, FuzzOpts, FuzzSummary,
 };

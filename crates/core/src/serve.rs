@@ -521,6 +521,20 @@ fn handle_eval(
                 .ok_or_else(|| bad("\"k_low\" must be a number"))? as usize,
         );
     }
+    if let Some(v) = request.get("loop_mode") {
+        let s = v
+            .as_str()
+            .ok_or_else(|| bad("\"loop_mode\" must be a string"))?;
+        config.loop_mode = crate::fixpoint::LoopMode::parse(s).ok_or_else(|| {
+            bad("\"loop_mode\" must be one of \"unroll\", \"fixpoint\", \"auto\"")
+        })?;
+    }
+    if let Some(v) = request.get("unroll_budget") {
+        config.unroll_budget = Some(
+            v.as_f64()
+                .ok_or_else(|| bad("\"unroll_budget\" must be a number"))? as u64,
+        );
+    }
     // A miss here means the artifact carries no such function/variant —
     // the daemon's "unknown program id".
     let program =

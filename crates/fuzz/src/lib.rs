@@ -101,6 +101,33 @@ pub enum FStmt {
         mul: usize,
         add: usize,
     },
+    /// An *unbounded* accumulator loop: the trip count is the function's
+    /// trailing `int n` parameter, unknown at compile time, so only the
+    /// fixpoint engine can bound it without unrolling.
+    ///
+    /// ```c
+    /// double vN = <seed>;
+    /// int tN = 0;
+    /// while (tN < n) {
+    ///     vN = vN * c + <u>;              // div = false
+    ///     vN = vN / (<u> * <u> + 0.5) + c; // div = true (guarded divisor)
+    ///     tN = tN + 1;
+    /// }
+    /// ```
+    ///
+    /// Only generated when [`GenLimits::loop_weight`] is nonzero (which
+    /// also gives every function the `int n` parameter), so the default
+    /// corpus replays bit-identically.
+    While {
+        seed: usize,
+        u: usize,
+        /// Multiplier (`div = false`) or additive constant (`div = true`).
+        /// The palette includes contractive, divergent, and sign-flipping
+        /// values so widening, narrowing, and ±∞ escapes all get exercised.
+        c: f64,
+        /// Guarded-division body instead of the linear accumulator.
+        div: bool,
+    },
 }
 
 /// One generated function: `n_params` double parameters `v0..`, then one
@@ -109,6 +136,11 @@ pub enum FStmt {
 #[derive(Clone, Debug, PartialEq)]
 pub struct FuzzFunction {
     pub n_params: usize,
+    /// Trailing `int n` parameter (the [`FStmt::While`] trip bound). Kept
+    /// even if shrinking removes every `while`, so the input vector and
+    /// the signature never disagree. The matching input value is appended
+    /// to the function's inputs (an integer rendered as a float).
+    pub has_n: bool,
     pub stmts: Vec<FStmt>,
 }
 
@@ -135,6 +167,10 @@ impl FuzzFunction {
             .map(|s| match s {
                 FStmt::IfElse { .. } => 3,
                 FStmt::Loop { trips, .. } => 2 + *trips as usize,
+                // Body complexity counts so the shrinker can simplify a
+                // loop body (guarded division → linear, constant → 1.0)
+                // without deleting the loop the failure may depend on.
+                FStmt::While { c, div, .. } => 3 + *div as usize + (*c != 1.0) as usize,
                 _ => 1,
             })
             .sum::<usize>()
@@ -172,6 +208,12 @@ pub struct GenLimits {
     pub max_params: usize,
     pub max_stmts: usize,
     pub max_trips: u32,
+    /// Extra faces on the statement die that produce [`FStmt::While`]
+    /// (unbounded data-dependent loops). **Zero by default**: the
+    /// statement die keeps exactly its historical 12 faces, so every
+    /// pinned seed and corpus file replays bit-identically. Nonzero also
+    /// gives every generated function the trailing `int n` parameter.
+    pub loop_weight: u32,
 }
 
 impl Default for GenLimits {
@@ -181,6 +223,7 @@ impl Default for GenLimits {
             max_params: 3,
             max_stmts: 14,
             max_trips: 8,
+            loop_weight: 0,
         }
     }
 }
@@ -233,8 +276,24 @@ fn gen_triple(rng: &mut FuzzRng, avail: usize) -> (BinKind, usize, usize) {
     (gen_bin_kind(rng), rng.below(avail), rng.below(avail))
 }
 
+/// Multiplier/offset palette for `while` bodies: contractive values that
+/// converge, |c| = 1 edge cases, and divergent ones that must widen to a
+/// sound ±∞ instead of hanging the fixpoint engine.
+const WHILE_C_PALETTE: [f64; 8] = [0.5, 0.875, 0.9, -0.5, 0.25, 1.0, -1.0, 1.5];
+
 fn gen_stmt(rng: &mut FuzzRng, avail: usize, limits: &GenLimits) -> FStmt {
-    match rng.below(12) {
+    // `loop_weight` adds faces *past* the historical 12, so the die is
+    // unchanged (and the RNG stream identical) whenever it is zero.
+    let roll = rng.below(12 + limits.loop_weight as usize);
+    if roll >= 12 {
+        return FStmt::While {
+            seed: rng.below(avail),
+            u: rng.below(avail),
+            c: WHILE_C_PALETTE[rng.below(WHILE_C_PALETTE.len())],
+            div: rng.chance(1, 3),
+        };
+    }
+    match roll {
         0..=4 => {
             let (op, l, r) = gen_triple(rng, avail);
             FStmt::Bin { op, l, r }
@@ -274,6 +333,7 @@ pub fn generate(rng: &mut FuzzRng, limits: &GenLimits) -> FuzzProgram {
     let n_funcs = rng.range(1, limits.max_functions);
     let mut functions = Vec::with_capacity(n_funcs);
     let mut inputs = Vec::with_capacity(n_funcs);
+    let has_n = limits.loop_weight > 0;
     for _ in 0..n_funcs {
         let n_params = rng.range(1, limits.max_params);
         let n_stmts = rng.range(3, limits.max_stmts);
@@ -282,8 +342,18 @@ pub fn generate(rng: &mut FuzzRng, limits: &GenLimits) -> FuzzProgram {
             let avail = n_params + i;
             stmts.push(gen_stmt(rng, avail, limits));
         }
-        functions.push(FuzzFunction { n_params, stmts });
-        inputs.push((0..n_params).map(|_| gen_input(rng)).collect());
+        functions.push(FuzzFunction {
+            n_params,
+            has_n,
+            stmts,
+        });
+        let mut vals: Vec<f64> = (0..n_params).map(|_| gen_input(rng)).collect();
+        if has_n {
+            // Small concrete trip counts keep the exact oracle engaged on
+            // the same run the fixpoint enclosure is checked against.
+            vals.push(rng.below(9) as f64);
+        }
+        inputs.push(vals);
     }
     FuzzProgram { functions, inputs }
 }
@@ -340,9 +410,12 @@ fn cmp_str(c: CmpKind) -> &'static str {
 }
 
 fn render_function(f: &FuzzFunction, name: &str, out: &mut String) {
-    let params: Vec<String> = (0..f.n_params)
+    let mut params: Vec<String> = (0..f.n_params)
         .map(|i| format!("double {}", var(i)))
         .collect();
+    if f.has_n {
+        params.push("int n".to_string());
+    }
     let _ = writeln!(out, "double {name}({}) {{", params.join(", "));
     for (i, stmt) in f.stmts.iter().enumerate() {
         let avail = f.avail(i);
@@ -384,6 +457,21 @@ fn render_function(f: &FuzzFunction, name: &str, out: &mut String) {
                 let _ = writeln!(out, "    double {def} = {};", v(*seed));
                 let _ = writeln!(out, "    for (int {idx} = 0; {idx} < {trips}; {idx}++) {{");
                 let _ = writeln!(out, "        {def} = {def} * {} + {};", v(*mul), v(*add));
+                let _ = writeln!(out, "    }}");
+            }
+            FStmt::While { seed, u, c, div } => {
+                let t = format!("t{}", f.n_params + i);
+                let c = fmt_f64_c(*c);
+                let _ = writeln!(out, "    double {def} = {};", v(*seed));
+                let _ = writeln!(out, "    int {t} = 0;");
+                let _ = writeln!(out, "    while ({t} < n) {{");
+                let body = if *div {
+                    format!("{def} / ({u} * {u} + 0.5) + {c}", u = v(*u))
+                } else {
+                    format!("{def} * {c} + {}", v(*u))
+                };
+                let _ = writeln!(out, "        {def} = {body};");
+                let _ = writeln!(out, "        {t} = {t} + 1;");
                 let _ = writeln!(out, "    }}");
             }
         }
@@ -523,6 +611,35 @@ pub fn shrink(
                         }
                         cands
                     }
+                    // Unbounded loops: first try deleting the loop
+                    // entirely (flatten to one product), then keep the
+                    // loop but minimize its body — a `loop-enclosure`
+                    // failure needs the loop, so body shrinks are what
+                    // make those counterexamples readable.
+                    FStmt::While { seed, u, c, div } => {
+                        let mut cands = vec![FStmt::Bin {
+                            op: BinKind::Mul,
+                            l: *seed,
+                            r: *u,
+                        }];
+                        if *div {
+                            cands.push(FStmt::While {
+                                seed: *seed,
+                                u: *u,
+                                c: *c,
+                                div: false,
+                            });
+                        }
+                        if *c != 1.0 {
+                            cands.push(FStmt::While {
+                                seed: *seed,
+                                u: *u,
+                                c: 1.0,
+                                div: *div,
+                            });
+                        }
+                        cands
+                    }
                     FStmt::Bin { op, l, r } if *op != BinKind::Add => vec![FStmt::Bin {
                         op: BinKind::Add,
                         l: *l,
@@ -613,6 +730,112 @@ mod tests {
     }
 
     #[test]
+    fn loop_weight_zero_keeps_seeds_replay_identical() {
+        // The explicit-zero limits must drive the RNG exactly like the
+        // historical defaults: no `while` shapes, no `int n` parameter,
+        // and bit-identical renderings for pinned seeds.
+        let default = GenLimits::default();
+        let explicit = GenLimits {
+            loop_weight: 0,
+            ..GenLimits::default()
+        };
+        for iter in 0..50u64 {
+            let a = generate_seeded(0xC60, iter, &default);
+            let b = generate_seeded(0xC60, iter, &explicit);
+            assert_eq!(a, b);
+            let src = render(&a);
+            assert!(!src.contains("while ("), "{src}");
+            assert!(!src.contains("int n"), "{src}");
+        }
+    }
+
+    #[test]
+    fn loop_weight_generates_unbounded_loops() {
+        let limits = GenLimits {
+            loop_weight: 4,
+            ..GenLimits::default()
+        };
+        let mut saw = (false, false, false); // while, guarded-div body, linear body
+        for iter in 0..200u64 {
+            let p = generate_seeded(2, iter, &limits);
+            let src = render(&p);
+            for f in &p.functions {
+                assert!(f.has_n);
+                for s in &f.stmts {
+                    if let FStmt::While { div, .. } = s {
+                        saw.0 = true;
+                        if *div {
+                            saw.1 = true;
+                        } else {
+                            saw.2 = true;
+                        }
+                    }
+                }
+            }
+            if src.contains("while (") {
+                assert!(src.contains("int n"), "guard parameter missing: {src}");
+            }
+            // Every function's input vector carries the trip count too.
+            for (f, inputs) in p.functions.iter().zip(&p.inputs) {
+                assert_eq!(inputs.len(), f.n_params + 1);
+                let trip = *inputs.last().unwrap();
+                assert!(trip == trip.trunc() && (0.0..9.0).contains(&trip));
+            }
+        }
+        assert!(
+            saw == (true, true, true),
+            "coverage gaps (while, div body, linear body): {saw:?}"
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_loop_bodies_without_losing_the_loop() {
+        let limits = GenLimits {
+            loop_weight: 12,
+            ..GenLimits::default()
+        };
+        let mut found = false;
+        for iter in 0..200u64 {
+            let p = generate_seeded(11, iter, &limits);
+            let has_div_while = p.functions.iter().any(|f| {
+                f.stmts
+                    .iter()
+                    .any(|s| matches!(s, FStmt::While { div: true, .. }))
+            });
+            if !has_div_while {
+                continue;
+            }
+            found = true;
+            // Predicate: "fails" while a `while` loop survives at all —
+            // so the shrinker must simplify bodies rather than delete.
+            let mut fails = |cand: &FuzzProgram| render(cand).contains("while (");
+            let (min, _) = shrink(&p, &mut fails, 2000);
+            assert!(render(&min).contains("while ("), "shrink lost the loop");
+            let whiles: Vec<&FStmt> = min
+                .functions
+                .iter()
+                .flat_map(|f| &f.stmts)
+                .filter(|s| matches!(s, FStmt::While { .. }))
+                .collect();
+            assert_eq!(whiles.len(), 1, "{}", render(&min));
+            assert!(
+                matches!(
+                    whiles[0],
+                    FStmt::While {
+                        c: 1.0,
+                        div: false,
+                        ..
+                    }
+                ),
+                "body not minimized: {:?}",
+                whiles[0]
+            );
+            break;
+        }
+        assert!(found, "no seed produced a guarded-division while loop");
+    }
+
+    #[test]
     fn rendered_constants_round_trip_exactly() {
         for x in [0.1, -2.5, 1e-7, 1234.5678, 3.0, -0.0, 5e3 * 1.7] {
             let s = fmt_f64_c(x);
@@ -646,6 +869,7 @@ mod tests {
                         FStmt::Loop { seed, mul, add, .. } => {
                             vec![*seed % avail, *mul % avail, *add % avail]
                         }
+                        FStmt::While { seed, u, .. } => vec![*seed % avail, *u % avail],
                     };
                     assert!(refs.iter().all(|&r| r < avail));
                 }
@@ -701,6 +925,7 @@ mod tests {
         let p = FuzzProgram {
             functions: vec![FuzzFunction {
                 n_params: 2,
+                has_n: false,
                 stmts: vec![FStmt::Bin {
                     op: BinKind::Add,
                     l: 0,

@@ -45,6 +45,7 @@ pub mod bytecode;
 pub mod cfg;
 pub mod dag;
 pub mod fold;
+pub mod loops;
 pub mod passes;
 pub mod tac;
 
@@ -57,5 +58,8 @@ pub use cfg::{
 };
 pub use dag::{build_dag, build_dag_from_cfg, Dag, Node, NodeId, NodeKind};
 pub use fold::fold_constants;
+pub use loops::{
+    dominators, loop_regions, natural_loops, DomTree, LoopRegion, LoopTable, NaturalLoop,
+};
 pub use passes::{pass_by_name, Pass, PassManager};
 pub use tac::{to_tac, to_tac_with_sema};

@@ -1,0 +1,377 @@
+//! Loop analysis: dominators and natural loops on the [`Cfg`], and the
+//! flat-bytecode loop regions the fixpoint VM iterates over.
+//!
+//! Two views of the same loops:
+//!
+//! * **CFG view** — [`dominators`] / [`natural_loops`] compute the classic
+//!   natural-loop forest (back edge `tail → header` where `header`
+//!   dominates `tail`; body = everything that reaches `tail` without
+//!   passing through `header`). This is the analysis-facing view.
+//! * **Bytecode view** — [`loop_regions`] recovers the contiguous
+//!   `[header_pc, back_jump_pc]` intervals from backward jumps in an
+//!   emitted [`Program`](crate::bytecode::Program). Because the front end
+//!   only produces structured `while`/`for` loops, regions are properly
+//!   nested intervals; [`loop_regions`] verifies this and reports any
+//!   irreducible shape instead of guessing. This is the view the VM's
+//!   fixpoint engine executes.
+
+use crate::bytecode::Instr;
+use crate::cfg::{BlockId, Cfg};
+
+/// Immediate-dominator tree for a [`Cfg`], from the iterative
+/// Cooper–Harvey–Kennedy algorithm over a reverse-postorder numbering.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block
+    /// is its own idom, and unreachable blocks have `None`.
+    pub idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// True when `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Reverse-postorder of the reachable blocks, entry first.
+fn reverse_postorder(cfg: &Cfg) -> Vec<BlockId> {
+    let n = cfg.blocks.len();
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(0, 0)];
+    state[0] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = cfg.blocks[b].term.successors();
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Computes the immediate-dominator tree of `cfg` (blocks unreachable from
+/// the entry get no dominator).
+pub fn dominators(cfg: &Cfg) -> DomTree {
+    let n = cfg.blocks.len();
+    let rpo = reverse_postorder(cfg);
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_num[b] = i;
+    }
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if rpo_num[b] == usize::MAX {
+            continue;
+        }
+        for s in block.term.successors() {
+            preds[s].push(b);
+        }
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[0] = Some(0);
+    let intersect =
+        |idom: &[Option<BlockId>], rpo_num: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_num[a] > rpo_num[b] {
+                    a = idom[a].expect("processed block has idom");
+                }
+                while rpo_num[b] > rpo_num[a] {
+                    b = idom[b].expect("processed block has idom");
+                }
+            }
+            a
+        };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_num, cur, p),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    DomTree { idom }
+}
+
+/// One natural loop on the CFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in `body`).
+    pub header: BlockId,
+    /// Blocks ending in a back edge to `header`.
+    pub latches: Vec<BlockId>,
+    /// All blocks of the loop, sorted ascending; always contains `header`.
+    pub body: Vec<BlockId>,
+}
+
+/// Finds every natural loop of `cfg`: back edges are edges `t → h` where
+/// `h` dominates `t`; the body of the loop with header `h` is the union
+/// over its back edges of everything reaching `t` backwards without
+/// passing through `h`. Loops sharing a header are merged (one entry per
+/// header), and the result is sorted by header.
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let doms = dominators(cfg);
+    let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if doms.idom[b].is_none() {
+            continue;
+        }
+        for s in block.term.successors() {
+            if doms.dominates(s, b) {
+                match by_header.iter_mut().find(|(h, _)| *h == s) {
+                    Some((_, latches)) => latches.push(b),
+                    None => by_header.push((s, vec![b])),
+                }
+            }
+        }
+    }
+    by_header.sort_by_key(|(h, _)| *h);
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); cfg.blocks.len()];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for s in block.term.successors() {
+            preds[s].push(b);
+        }
+    }
+    by_header
+        .into_iter()
+        .map(|(header, latches)| {
+            let mut in_body = vec![false; cfg.blocks.len()];
+            in_body[header] = true;
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if in_body[b] {
+                    continue;
+                }
+                in_body[b] = true;
+                stack.extend(preds[b].iter().copied());
+            }
+            let body: Vec<BlockId> = (0..cfg.blocks.len()).filter(|&b| in_body[b]).collect();
+            NaturalLoop {
+                header,
+                latches,
+                body,
+            }
+        })
+        .collect()
+}
+
+/// A contiguous loop region in flat bytecode: every pc in
+/// `header..=back_jump` belongs to the loop, and `code[back_jump]` is a
+/// backward jump targeting `header`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopRegion {
+    /// First pc of the loop (the backward jump's target).
+    pub header: usize,
+    /// Pc of the backward jump closing the loop.
+    pub back_jump: usize,
+}
+
+impl LoopRegion {
+    /// True when `pc` lies inside the region.
+    #[inline]
+    pub fn contains(&self, pc: usize) -> bool {
+        (self.header..=self.back_jump).contains(&pc)
+    }
+
+    /// True when `other` is strictly inside `self`.
+    #[inline]
+    pub fn encloses(&self, other: &LoopRegion) -> bool {
+        self.header <= other.header && other.back_jump <= self.back_jump && self != other
+    }
+}
+
+/// The loop regions of one bytecode function, validated to nest properly.
+#[derive(Clone, Debug, Default)]
+pub struct LoopTable {
+    /// Regions sorted by `(header, descending extent)`, so the first
+    /// region found for a header is the outermost one with that header.
+    pub regions: Vec<LoopRegion>,
+}
+
+impl LoopTable {
+    /// The outermost region whose header is exactly `pc`, if any.
+    pub fn region_with_header(&self, pc: usize) -> Option<LoopRegion> {
+        self.regions.iter().find(|r| r.header == pc).copied()
+    }
+
+    /// True when the function contains any loop at all.
+    #[inline]
+    pub fn has_loops(&self) -> bool {
+        !self.regions.is_empty()
+    }
+}
+
+/// Recovers the loop regions of `code` from its backward jumps.
+///
+/// Regions sharing a header are merged to the widest extent (a loop with
+/// several latches is one loop). Returns `Err` with a diagnostic if any
+/// two regions partially overlap — the structured front end never emits
+/// such code, so an overlap means the bytecode did not come from it and
+/// the fixpoint engine must not run on it.
+pub fn loop_regions(code: &[Instr]) -> Result<LoopTable, String> {
+    let mut regions: Vec<LoopRegion> = Vec::new();
+    for (pc, instr) in code.iter().enumerate() {
+        let target = match instr {
+            Instr::Jump(t) => Some(*t),
+            Instr::JumpIfZero(_, t) => Some(*t),
+            _ => None,
+        };
+        let Some(t) = target else { continue };
+        if t > pc {
+            continue;
+        }
+        match regions.iter_mut().find(|r| r.header == t) {
+            Some(r) => r.back_jump = r.back_jump.max(pc),
+            None => regions.push(LoopRegion {
+                header: t,
+                back_jump: pc,
+            }),
+        }
+    }
+    regions.sort_by(|a, b| a.header.cmp(&b.header).then(b.back_jump.cmp(&a.back_jump)));
+    for (i, a) in regions.iter().enumerate() {
+        for b in regions.iter().skip(i + 1) {
+            let disjoint = a.back_jump < b.header || b.back_jump < a.header;
+            let nested = a.encloses(b) || b.encloses(a);
+            if !disjoint && !nested {
+                return Err(format!(
+                    "irreducible loop shape: regions [{}, {}] and [{}, {}] partially overlap",
+                    a.header, a.back_jump, b.header, b.back_jump
+                ));
+            }
+        }
+    }
+    Ok(LoopTable { regions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::emit_program;
+    use crate::cfg::lower_function;
+    use crate::tac::to_tac_with_sema;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let unit = safegen_cfront::parse(src).unwrap();
+        let sema = safegen_cfront::analyze(&unit).unwrap();
+        let (tac, sema) = to_tac_with_sema(&unit, &sema);
+        lower_function(&tac.functions[0], &sema).unwrap()
+    }
+
+    const WHILE_SRC: &str = "double f(double x, int n) {
+        int t = n;
+        while (t > 0) { x = 0.5 * x; t = t - 1; }
+        return x;
+    }";
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let cfg = cfg_of("double f(double x) { return x * x; }");
+        let prog = emit_program(&cfg);
+        let table = loop_regions(&prog.code).unwrap();
+        assert!(!table.has_loops());
+        assert!(natural_loops(&cfg).is_empty());
+    }
+
+    #[test]
+    fn while_loop_found_on_cfg() {
+        let cfg = cfg_of(WHILE_SRC);
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1, "one natural loop expected: {loops:?}");
+        let l = &loops[0];
+        assert!(l.body.contains(&l.header));
+        for &latch in &l.latches {
+            assert!(l.body.contains(&latch));
+        }
+        // The header dominates every body block.
+        let doms = dominators(&cfg);
+        for &b in &l.body {
+            assert!(doms.dominates(l.header, b));
+        }
+    }
+
+    #[test]
+    fn while_loop_found_in_bytecode() {
+        let cfg = cfg_of(WHILE_SRC);
+        let prog = emit_program(&cfg);
+        let table = loop_regions(&prog.code).unwrap();
+        assert_eq!(table.regions.len(), 1, "regions: {:?}", table.regions);
+        let r = table.regions[0];
+        assert!(r.header < r.back_jump);
+        assert!(table.region_with_header(r.header).is_some());
+        assert!(table.region_with_header(r.header + 1).is_none());
+    }
+
+    #[test]
+    fn nested_loops_nest_properly() {
+        let cfg = cfg_of(
+            "double f(double x, int n) {
+                int i = n;
+                while (i > 0) {
+                    int j = n;
+                    while (j > 0) { x = 0.5 * x + 1.0; j = j - 1; }
+                    i = i - 1;
+                }
+                return x;
+            }",
+        );
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 2, "loops: {loops:?}");
+        let prog = emit_program(&cfg);
+        let table = loop_regions(&prog.code).unwrap();
+        assert_eq!(table.regions.len(), 2, "regions: {:?}", table.regions);
+        let outer = table.regions[0];
+        let inner = table.regions[1];
+        assert!(outer.encloses(&inner), "{outer:?} should enclose {inner:?}");
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let cfg = cfg_of(
+            "double f(double x) {
+                double y = 0.0;
+                if (x > 0.0) { y = x; } else { y = 0.0 - x; }
+                return y;
+            }",
+        );
+        let doms = dominators(&cfg);
+        // Entry dominates everything reachable.
+        for b in 0..cfg.blocks.len() {
+            if doms.idom[b].is_some() {
+                assert!(doms.dominates(0, b));
+            }
+        }
+    }
+}

@@ -471,6 +471,39 @@ impl LaneMetrics {
     }
 }
 
+/// Fixpoint loop-engine section: how unbounded loops were handled
+/// (`SAFEGEN_LOOP_MODE`, DESIGN.md §12). All counters are cumulative
+/// across runs.
+#[derive(Debug)]
+pub struct LoopMetrics {
+    /// Loops solved abstractly (iterate-and-widen produced an invariant).
+    pub solves: Counter,
+    /// Loops resolved exactly by the bounded concrete attempt.
+    pub unrolled: Counter,
+    /// Programs that bailed out of the abstract engine to one plain
+    /// concrete execution (unsupported shape).
+    pub bailouts: Counter,
+    /// Abstract loop-body passes executed.
+    pub iterations: Counter,
+    /// Widening applications (per variable, per widening round).
+    pub widenings: Counter,
+    /// Accepted (verified) narrowing refinements.
+    pub narrowings: Counter,
+}
+
+impl LoopMetrics {
+    const fn new() -> LoopMetrics {
+        LoopMetrics {
+            solves: Counter::new(),
+            unrolled: Counter::new(),
+            bailouts: Counter::new(),
+            iterations: Counter::new(),
+            widenings: Counter::new(),
+            narrowings: Counter::new(),
+        }
+    }
+}
+
 /// Compile-pipeline metrics: per-phase duration histograms keyed by the
 /// phase/pass name (dynamic registration, bounded table).
 #[derive(Debug)]
@@ -543,6 +576,8 @@ pub struct Metrics {
     pub cache: CacheMetrics,
     /// Lane-engine section.
     pub lanes: LaneMetrics,
+    /// Fixpoint loop-engine section.
+    pub loops: LoopMetrics,
     /// Compile-pipeline section.
     pub compile: CompileMetrics,
     start: OnceLock<Instant>,
@@ -552,6 +587,7 @@ static METRICS: Metrics = Metrics {
     serve: ServeMetrics::new(),
     cache: CacheMetrics::new(),
     lanes: LaneMetrics::new(),
+    loops: LoopMetrics::new(),
     compile: CompileMetrics::new(),
     start: OnceLock::new(),
 };
@@ -661,6 +697,17 @@ impl Metrics {
                         "ragged_fallbacks",
                         Json::from(self.lanes.ragged_fallbacks.get()),
                     ),
+                ]),
+            ),
+            (
+                "loop",
+                Json::obj(vec![
+                    ("solves", Json::from(self.loops.solves.get())),
+                    ("unrolled", Json::from(self.loops.unrolled.get())),
+                    ("bailouts", Json::from(self.loops.bailouts.get())),
+                    ("iterations", Json::from(self.loops.iterations.get())),
+                    ("widenings", Json::from(self.loops.widenings.get())),
+                    ("narrowings", Json::from(self.loops.narrowings.get())),
                 ]),
             ),
             (
@@ -850,6 +897,25 @@ pub fn prometheus_text(snap: &Json) -> Result<String, String> {
             "counter",
             &[(String::new(), num(snap, &["lanes", k])?)],
         );
+    }
+    // The loop section is additive within the snapshot version: render it
+    // when present so snapshots from pre-fixpoint daemons still convert.
+    if node(snap, &["loop"]).is_ok() {
+        for k in [
+            "solves",
+            "unrolled",
+            "bailouts",
+            "iterations",
+            "widenings",
+            "narrowings",
+        ] {
+            emit_metric(
+                &mut out,
+                &format!("safegen_loop_{k}_total"),
+                "counter",
+                &[(String::new(), num(snap, &["loop", k])?)],
+            );
+        }
     }
     emit_metric(
         &mut out,

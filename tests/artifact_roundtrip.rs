@@ -137,12 +137,22 @@ fn wrong_magic_version_flags_and_hash_are_rejected() {
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
 
-    // Flags are a u16 LE at offset 6; none are defined in version 1.
+    // Flags are a u16 LE at offset 6; bits without a defined capability
+    // are rejected outright.
+    let mut bad = bytes.clone();
+    bad[6] = 2;
+    assert!(matches!(
+        Artifact::from_bytes(&bad),
+        Err(ArtifactError::BadFlags(2))
+    ));
+
+    // Bit 0 is the `loop.fixpoint` capability: a defined flag, but this
+    // artifact's META does not claim it, so the cross-check fires.
     let mut bad = bytes.clone();
     bad[6] = 1;
     assert!(matches!(
         Artifact::from_bytes(&bad),
-        Err(ArtifactError::BadFlags(1))
+        Err(ArtifactError::CapabilityMismatch(_))
     ));
 
     // Any payload corruption fails the content hash before decoding.

@@ -1,0 +1,16 @@
+/* Minimized from `safegen fuzz --loops` (seed 0xC60 shape): the
+ * exponential-decay filter, the canonical contractive unbounded loop.
+ * The trailing input is the `int n` trip bound; the fixpoint engine
+ * must bound the accumulator for arbitrary n while the concrete replay
+ * runs it at n=3. */
+/* safegen-fuzz: fn=f0 inputs=1.0,3.0 */
+
+double f0(double v0, int n) {
+    double v1 = v0;
+    int t1 = 0;
+    while (t1 < n) {
+        v1 = v1 * 0.9 + v0;
+        t1 = t1 + 1;
+    }
+    return v1;
+}

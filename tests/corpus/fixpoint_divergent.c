@@ -1,0 +1,16 @@
+/* Minimized from `safegen fuzz --loops`: a divergent accumulator. The
+ * fixpoint engine cannot find a finite invariant (the state doubles
+ * every round), so it must *terminate* by widening to a sound infinite
+ * bound rather than iterating forever — and that enclosure still
+ * contains every finite-trip exact value the oracle samples. */
+/* safegen-fuzz: fn=f0 inputs=1.0,2.0 */
+
+double f0(double v0, int n) {
+    double v1 = v0;
+    int t1 = 0;
+    while (t1 < n) {
+        v1 = v1 * 2.0 + 1.0;
+        t1 = t1 + 1;
+    }
+    return v1;
+}

@@ -1,0 +1,15 @@
+/* Minimized from `safegen fuzz --loops`: guarded division inside an
+ * unbounded loop body. The divisor v0*v0 + 0.5 is bounded away from
+ * zero at every point, so the body is total and the fixpoint invariant
+ * must absorb the quotient's range without a division-by-zero bailout. */
+/* safegen-fuzz: fn=f0 inputs=1.5,4.0 */
+
+double f0(double v0, int n) {
+    double v1 = v0;
+    int t1 = 0;
+    while (t1 < n) {
+        v1 = v1 / (v0 * v0 + 0.5) + 0.25;
+        t1 = t1 + 1;
+    }
+    return v1;
+}
