@@ -49,6 +49,7 @@ pub enum NoisePolicy {
 /// true, .. }` with priority protection supplied per-operation via
 /// [`Protect`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub struct AaConfig {
     /// Maximum number of error symbols per affine variable.
     pub k: usize,

@@ -17,6 +17,10 @@
 //! safegen fuzz    [--iters N] [--seed S] [--k N] [--out DIR]
 //! ```
 //!
+//! Every subcommand validates its arguments **strictly**: an unknown
+//! flag or verb is an error (exit code 2) listing what is valid — a
+//! misspelled `--confg` can never silently fall back to defaults.
+//!
 //! `emit` prints the sound C program (annotated with the max-reuse
 //! priorities); `compile` packages the compiled programs as a versioned,
 //! content-hashed `.sga` artifact (see `docs/ARTIFACT.md`), consulting
@@ -27,16 +31,16 @@
 //! the optimized CFG IR to stderr first, source input only); `serve`
 //! loads an artifact once and answers evaluation requests over a
 //! Unix-domain socket until a shutdown request (the protocol is
-//! documented in `safegen::serve`); `request` sends one JSON request
+//! documented in `safegen_api::serve`); `request` sends one JSON request
 //! line to a serving daemon and prints the response; `stats` fetches a
 //! live daemon's metrics snapshot (versioned JSON by default, Prometheus
 //! text exposition with `--prom`; `--assert-requests N` additionally
 //! exits nonzero unless the daemon has served exactly N `eval` requests
-//! with a positive latency p50 — the CI smoke gate); `profile` runs the function with
-//! symbol tracing and prints the error-attribution table (which source
-//! locations the final enclosure width comes from); `tac` shows the
-//! three-address form the analysis operates on; `ir` dumps the CFG IR
-//! after the pass pipeline (`--passes none` or a comma list like
+//! with a positive latency p50 — the CI smoke gate); `profile` runs the
+//! function with symbol tracing and prints the error-attribution table
+//! (which source locations the final enclosure width comes from); `tac`
+//! shows the three-address form the analysis operates on; `ir` dumps the
+//! CFG IR after the pass pipeline (`--passes none` or a comma list like
 //! `cse,dce` selects pipelines explicitly); `fuzz` runs the differential
 //! soundness fuzzer (generated programs checked against an exact rational
 //! oracle, cross-engine invariants and the optimized/unoptimized
@@ -47,10 +51,16 @@
 //! `SAFEGEN_METRICS_OUT=<prefix>` (JSONL event log + summary JSON) and
 //! `SAFEGEN_PASSES` (the mid-level pass pipeline: unset/`default`,
 //! `none`, or a comma list of `cse`, `copy-prop`, `dce`, `regalloc`).
+//!
+//! Everything below goes through the stable embedding facade
+//! (`safegen_api`) — the CLI is an embedder like any other.
 
-use safegen::program::ParamBinding;
-use safegen::{ArgValue, Compiler, EmitPrecision, RunConfig};
-use safegen_telemetry as telemetry;
+use safegen_api::serve::{request, serve, ServeOptions};
+use safegen_api::telemetry;
+use safegen_api::{
+    ArgValue, BuildOptions, EmitPrecision, Engine, EvalRequest, FuzzOpts, LoopMode, Program,
+    RunConfig,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -84,6 +94,149 @@ environment: SAFEGEN_TRACE=1 traces phase timing to stderr;
     ExitCode::from(2)
 }
 
+/// The strict argument schema of one verb: which flags take a value,
+/// which are boolean, and how many positional arguments are accepted.
+struct VerbSpec {
+    name: &'static str,
+    valued: &'static [&'static str],
+    boolean: &'static [&'static str],
+    /// (min, max) positional count.
+    positionals: (usize, usize),
+}
+
+/// Every verb the CLI speaks, with its complete flag whitelist. A flag
+/// not listed here is an *error*, never silently ignored — smoke tests
+/// that misspell a flag must fail loudly, not pass vacuously.
+const VERBS: &[VerbSpec] = &[
+    VerbSpec {
+        name: "emit",
+        valued: &["--precision", "--k"],
+        boolean: &["--no-analysis"],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "compile",
+        valued: &["-o", "--out", "--k", "--k-low"],
+        boolean: &["--no-analysis", "--no-cache", "--fixpoint"],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "run",
+        valued: &[
+            "--fn",
+            "--config",
+            "--k",
+            "--loop-mode",
+            "--unroll-budget",
+            "--arg",
+            "--int",
+            "--array",
+        ],
+        boolean: &["--dump-ir"],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "serve",
+        valued: &["--socket", "--k", "--k-low"],
+        boolean: &["--no-analysis", "--no-cache", "--fixpoint"],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "request",
+        valued: &["--socket"],
+        boolean: &[],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "stats",
+        valued: &["--socket", "--assert-requests"],
+        boolean: &["--prom"],
+        positionals: (0, 0),
+    },
+    VerbSpec {
+        name: "profile",
+        valued: &["--fn", "--config", "--k", "--arg", "--int", "--array"],
+        boolean: &[],
+        positionals: (1, 2),
+    },
+    VerbSpec {
+        name: "tac",
+        valued: &[],
+        boolean: &[],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "ir",
+        valued: &["--fn", "--passes"],
+        boolean: &[],
+        positionals: (1, 1),
+    },
+    VerbSpec {
+        name: "fuzz",
+        valued: &["--iters", "--seed", "--k", "--out"],
+        boolean: &["--loops"],
+        positionals: (0, 0),
+    },
+];
+
+/// Validates `rest` against the verb's whitelist and returns the
+/// positional arguments in order.
+///
+/// # Errors
+///
+/// Unknown flags (listing the valid ones), missing flag values, and
+/// wrong positional counts.
+fn validate(spec: &VerbSpec, rest: &[String]) -> Result<Vec<String>, String> {
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        if spec.valued.contains(&arg) {
+            if i + 1 >= rest.len() {
+                return Err(format!("flag `{arg}` needs a value"));
+            }
+            i += 2;
+        } else if spec.boolean.contains(&arg) {
+            i += 1;
+        } else if arg.starts_with("--") || (arg.starts_with('-') && arg.len() == 2 && arg != "-") {
+            let mut valid: Vec<&str> = spec
+                .valued
+                .iter()
+                .chain(spec.boolean.iter())
+                .copied()
+                .collect();
+            valid.sort_unstable();
+            return Err(if valid.is_empty() {
+                format!("`safegen {}` takes no flags, got `{arg}`", spec.name)
+            } else {
+                format!(
+                    "unknown flag `{arg}` for `safegen {}` (valid flags: {})",
+                    spec.name,
+                    valid.join(", ")
+                )
+            });
+        } else {
+            positionals.push(rest[i].clone());
+            i += 1;
+        }
+    }
+    let (min, max) = spec.positionals;
+    if positionals.len() < min {
+        return Err(format!(
+            "`safegen {}` needs {min} positional argument(s), got {}",
+            spec.name,
+            positionals.len()
+        ));
+    }
+    if positionals.len() > max {
+        return Err(format!(
+            "unexpected extra argument `{}` for `safegen {}`",
+            positionals[max], spec.name
+        ));
+    }
+    Ok(positionals)
+}
+
 fn main() -> ExitCode {
     telemetry::init_from_env("safegen");
     // One CLI invocation is one request: every span and event the
@@ -94,18 +247,33 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    let Some(spec) = VERBS.iter().find(|v| v.name == cmd) else {
+        let verbs: Vec<&str> = VERBS.iter().map(|v| v.name).collect();
+        eprintln!(
+            "safegen: unknown command `{cmd}` (valid commands: {})",
+            verbs.join(", ")
+        );
+        return usage();
+    };
+    let positionals = match validate(spec, rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("safegen: {e}");
+            return usage();
+        }
+    };
     let code = match cmd.as_str() {
-        "emit" => cmd_emit(rest),
-        "compile" => cmd_compile(rest),
-        "run" => cmd_run(rest),
-        "serve" => cmd_serve(rest),
-        "request" => cmd_request(rest),
+        "emit" => cmd_emit(&positionals, rest),
+        "compile" => cmd_compile(&positionals, rest),
+        "run" => cmd_run(&positionals, rest),
+        "serve" => cmd_serve(&positionals, rest),
+        "request" => cmd_request(&positionals, rest),
         "stats" => cmd_stats(rest),
-        "profile" => cmd_profile(rest),
-        "tac" => cmd_tac(rest),
-        "ir" => cmd_ir(rest),
+        "profile" => cmd_profile(&positionals, rest),
+        "tac" => cmd_tac(&positionals),
+        "ir" => cmd_ir(&positionals, rest),
         "fuzz" => cmd_fuzz(rest),
-        _ => usage(),
+        _ => unreachable!("verb table and dispatch table match"),
     };
     match telemetry::flush() {
         Ok(Some(summary)) => eprintln!("safegen: metrics written ({})", summary.display()),
@@ -132,10 +300,8 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn cmd_emit(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_emit(positionals: &[String], rest: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
@@ -150,28 +316,17 @@ fn cmd_emit(rest: &[String]) -> ExitCode {
         Ok(k) => k,
         Err(e) => return fail(format!("bad --k: {e}")),
     };
-    let analysis = !rest.iter().any(|a| a == "--no-analysis");
-
-    let mut compiler = Compiler::new();
-    compiler.prioritize = analysis;
-    let compiled = match compiler.compile(&src) {
-        Ok(c) => c,
-        Err(e) => return fail(e),
-    };
-    let unit = if analysis {
-        match safegen_analysis::annotate_unit(&compiled.tac, k) {
-            Ok(u) => u,
-            Err(e) => return fail(e),
+    let mut engine = Engine::new();
+    if rest.iter().any(|a| a == "--no-analysis") {
+        engine = engine.without_analysis();
+    }
+    match engine.emit_sound_c(&src, precision, k) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-    } else {
-        compiled.tac.clone()
-    };
-    let sema = match safegen_cfront::analyze(&unit) {
-        Ok(s) => s,
-        Err(e) => return fail(e),
-    };
-    print!("{}", safegen::emit_c(&unit, &sema, precision));
-    ExitCode::SUCCESS
+        Err(e) => fail(e),
+    }
 }
 
 /// Parses a comma-separated `usize` list flag, e.g. `--k 8,16,32`.
@@ -188,8 +343,8 @@ fn parse_list(rest: &[String], name: &str) -> Result<Option<Vec<usize>>, String>
 }
 
 /// Builds `BuildOptions` from the shared `compile`/`serve` flags.
-fn build_options(path: &str, rest: &[String]) -> Result<safegen::BuildOptions, String> {
-    let mut opts = safegen::BuildOptions::new(path);
+fn build_options(path: &str, rest: &[String]) -> Result<BuildOptions, String> {
+    let mut opts = BuildOptions::new(path);
     if let Some(ks) = parse_list(rest, "--k")? {
         opts.ks = ks;
     }
@@ -202,10 +357,8 @@ fn build_options(path: &str, rest: &[String]) -> Result<safegen::BuildOptions, S
     Ok(opts)
 }
 
-fn cmd_compile(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_compile(positionals: &[String], rest: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let Some(out) = flag_value(rest, "-o").or_else(|| flag_value(rest, "--out")) else {
         return fail("-o <prog.sga> is required");
     };
@@ -217,75 +370,69 @@ fn cmd_compile(rest: &[String]) -> ExitCode {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
-    let (artifact, cache_hit) = match safegen::compile_to_artifact_cached(&src, &opts) {
+    let (program, cache_hit) = match Engine::new().compile_artifact(&src, &opts) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
-    if let Err(e) = artifact.write_file(std::path::Path::new(out)) {
+    if let Err(e) = program.write_file(std::path::Path::new(out)) {
         return fail(e);
     }
     eprintln!(
         "safegen: wrote {out} ({} program variant(s), id {}{})",
-        artifact.programs.len(),
-        &artifact.id()[..16],
+        program.variants().len(),
+        &program.artifact_id()[..16],
         if cache_hit { ", compile cache hit" } else { "" }
     );
     ExitCode::SUCCESS
 }
 
-/// Loads an artifact for `serve`: directly from `.sga`, or by compiling
-/// a `.c` source (through the compile cache).
-fn load_or_compile(path: &str, rest: &[String]) -> Result<safegen::Artifact, String> {
+/// Loads a program for `serve`: directly from `.sga`, or by compiling a
+/// `.c` source to its fixed artifact form (through the compile cache).
+fn load_or_compile(path: &str, rest: &[String]) -> Result<Program, String> {
+    let engine = Engine::new();
     if path.ends_with(".sga") {
-        return safegen::Artifact::read_file(std::path::Path::new(path)).map_err(|e| e.to_string());
+        return engine
+            .load_file(std::path::Path::new(path))
+            .map_err(|e| e.to_string());
     }
     let src = read_source(path)?;
     let opts = build_options(path, rest)?;
-    safegen::compile_to_artifact_cached(&src, &opts).map(|(a, _)| a)
+    engine
+        .compile_artifact(&src, &opts)
+        .map(|(p, _)| p)
+        .map_err(|e| e.to_string())
 }
 
-fn cmd_serve(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_serve(positionals: &[String], rest: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let Some(socket) = flag_value(rest, "--socket") else {
         return fail("--socket PATH is required");
     };
-    let artifact = match load_or_compile(path, rest) {
-        Ok(a) => a,
+    let program = match load_or_compile(path, rest) {
+        Ok(p) => p,
         Err(e) => return fail(e),
     };
     eprintln!(
         "safegen: serving `{}` ({} program variant(s)) on {socket}",
-        artifact.meta.name,
-        artifact.programs.len()
+        program.name(),
+        program.variants().len()
     );
-    let opts = safegen::ServeOptions::new(socket);
-    match safegen::serve(artifact, &opts) {
+    let opts = ServeOptions::new(socket);
+    match serve(program, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(e),
     }
 }
 
-fn cmd_request(rest: &[String]) -> ExitCode {
+fn cmd_request(positionals: &[String], rest: &[String]) -> ExitCode {
     let Some(socket) = flag_value(rest, "--socket") else {
         return fail("--socket PATH is required");
     };
-    let socket_at = rest.iter().position(|a| a == "--socket").unwrap();
-    let Some(body) = rest
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| *i != socket_at && *i != socket_at + 1 && !a.starts_with("--"))
-        .map(|(_, a)| a)
-        .next_back()
-    else {
-        return fail("a JSON request is required, e.g. '{\"op\":\"ping\"}'");
-    };
-    let body = match safegen_telemetry::json::parse(body) {
+    let body = match telemetry::json::parse(&positionals[0]) {
         Ok(v) => v,
         Err(e) => return fail(format!("bad request JSON: {e}")),
     };
-    match safegen::request(std::path::Path::new(socket), &body) {
+    match request(std::path::Path::new(socket), &body) {
         Ok(resp) => {
             println!("{resp}");
             ExitCode::SUCCESS
@@ -298,7 +445,7 @@ fn cmd_request(rest: &[String]) -> ExitCode {
 /// loudly when the snapshot shape is not what this binary expects (a
 /// version skew between client and daemon should be an error, never a
 /// silently-passed assertion).
-fn snapshot_num(stats: &safegen_telemetry::json::Json, path: &[&str]) -> Result<f64, String> {
+fn snapshot_num(stats: &telemetry::json::Json, path: &[&str]) -> Result<f64, String> {
     let mut node = stats;
     for key in path {
         node = node
@@ -313,11 +460,8 @@ fn cmd_stats(rest: &[String]) -> ExitCode {
     let Some(socket) = flag_value(rest, "--socket") else {
         return fail("--socket PATH is required");
     };
-    let body = safegen_telemetry::json::Json::obj(vec![(
-        "op",
-        safegen_telemetry::json::Json::from("stats"),
-    )]);
-    let resp = match safegen::request(std::path::Path::new(socket), &body) {
+    let body = telemetry::json::Json::obj(vec![("op", telemetry::json::Json::from("stats"))]);
+    let resp = match request(std::path::Path::new(socket), &body) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
@@ -329,17 +473,17 @@ fn cmd_stats(rest: &[String]) -> ExitCode {
     };
     // Validate the snapshot version before trusting any field in it.
     match stats.get("version").and_then(|v| v.as_str()) {
-        Some(v) if v == safegen_telemetry::metrics::SNAPSHOT_VERSION => {}
+        Some(v) if v == telemetry::metrics::SNAPSHOT_VERSION => {}
         Some(v) => {
             return fail(format!(
                 "snapshot version `{v}` (this binary speaks `{}`)",
-                safegen_telemetry::metrics::SNAPSHOT_VERSION
+                telemetry::metrics::SNAPSHOT_VERSION
             ))
         }
         None => return fail("snapshot has no `version` field"),
     }
     if rest.iter().any(|a| a == "--prom") {
-        match safegen_telemetry::metrics::prometheus_text(stats) {
+        match telemetry::metrics::prometheus_text(stats) {
             Ok(text) => print!("{text}"),
             Err(e) => return fail(e),
         }
@@ -374,55 +518,49 @@ fn cmd_stats(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_tac(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_tac(positionals: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    match Compiler::new().compile(&src) {
-        Ok(c) => {
-            print!("{}", safegen_cfront::print_unit(&c.tac));
+    let program = match Engine::new().compile(&src, path) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    match program.tac_text() {
+        Ok(text) => {
+            print!("{text}");
             ExitCode::SUCCESS
         }
         Err(e) => fail(e),
     }
 }
 
-fn cmd_ir(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_ir(positionals: &[String], rest: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    let mut compiler = Compiler::new();
+    let mut engine = Engine::new();
     if let Some(list) = flag_value(rest, "--passes") {
-        match safegen::PassManager::from_spec(list) {
-            Ok(pm) => compiler = compiler.with_passes(pm),
+        match engine.with_pass_spec(list) {
+            Ok(e) => engine = e,
             Err(e) => return fail(e),
         }
     }
-    let compiled = match compiler.compile(&src) {
-        Ok(c) => c,
+    let program = match engine.compile(&src, path) {
+        Ok(p) => p,
         Err(e) => return fail(e),
     };
-    let only = flag_value(rest, "--fn");
-    for f in &compiled.tac.functions {
-        if only.is_some_and(|name| name != f.name) {
-            continue;
+    match program.ir_text(flag_value(rest, "--fn")) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
         }
-        print!("{}", compiled.dump_ir(&f.name));
+        Err(e) => fail(e),
     }
-    if let Some(name) = only {
-        if !compiled.tac.functions.iter().any(|f| f.name == name) {
-            return fail(format!("no function `{name}` in {path}"));
-        }
-    }
-    ExitCode::SUCCESS
 }
 
 /// Parses `--arg X`, `--int N`, `--array "x,y,z"` flags in command-line
@@ -464,29 +602,8 @@ fn parse_args(rest: &[String]) -> Result<Vec<ArgValue>, String> {
     Ok(args)
 }
 
-/// Deterministic default inputs for a program when the user passed no
-/// `--arg`/`--int`/`--array` flags: varied floats in (0, 1), iteration
-/// counts of 8, arrays filled with the same varied sequence.
-fn default_args(prog: &safegen::Program) -> Vec<ArgValue> {
-    let vary = |i: usize| 0.3 + 0.17 * (i % 5) as f64; // 0.3, 0.47, …, 0.98
-    prog.params
-        .iter()
-        .enumerate()
-        .map(|(i, (_, binding))| match binding {
-            ParamBinding::Float(_) => ArgValue::Float(vary(i)),
-            ParamBinding::Int(_) => ArgValue::Int(8),
-            ParamBinding::Array(id) => {
-                let len = prog.arrays[*id as usize].len;
-                ArgValue::Array((0..len).map(vary).collect())
-            }
-        })
-        .collect()
-}
-
-fn cmd_run(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_run(positionals: &[String], rest: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let Some(func) = flag_value(rest, "--fn") else {
         return fail("--fn NAME is required");
     };
@@ -499,7 +616,7 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
     if let Some(mode) = flag_value(rest, "--loop-mode") {
-        match safegen::LoopMode::parse(mode) {
+        match LoopMode::parse(mode) {
             Some(m) => config = config.with_loop_mode(m),
             None => {
                 return fail(format!(
@@ -520,15 +637,12 @@ fn cmd_run(rest: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
 
-    let report = if path.ends_with(".sga") {
+    let engine = Engine::new();
+    let program = if path.ends_with(".sga") {
         // Artifact input: strictly validate, select, execute — no
         // front-end or mid-end work at all.
-        let artifact = match safegen::Artifact::read_file(std::path::Path::new(path)) {
-            Ok(a) => a,
-            Err(e) => return fail(e),
-        };
-        match safegen::run_artifact(&artifact, func, &args, &config) {
-            Ok(r) => r,
+        match engine.load_file(std::path::Path::new(path)) {
+            Ok(p) => p,
             Err(e) => return fail(e),
         }
     } else {
@@ -536,23 +650,24 @@ fn cmd_run(rest: &[String]) -> ExitCode {
             Ok(s) => s,
             Err(e) => return fail(e),
         };
-        let compiled = match Compiler::new().compile(&src) {
-            Ok(c) => c,
-            Err(e) => return fail(e),
-        };
-        if !compiled.tac.functions.iter().any(|f| f.name == func) {
-            return fail(format!("no function `{func}` in {path}"));
-        }
-        if rest.iter().any(|a| a == "--dump-ir") {
-            eprint!("{}", compiled.dump_ir(func));
-        }
-        match compiled.run(func, &args, &config) {
-            Ok(r) => r,
+        match engine.compile(&src, path) {
+            Ok(p) => p,
             Err(e) => return fail(e),
         }
     };
+    if rest.iter().any(|a| a == "--dump-ir") {
+        match program.ir_text(Some(func)) {
+            Ok(text) => eprint!("{text}"),
+            Err(e) => return fail(e),
+        }
+    }
+    let result = match program.eval(&EvalRequest::new(func, config.clone()).with_args(args)) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let report = result.report();
 
-    println!("configuration: {}", config.label());
+    println!("configuration: {}", result.config_label);
     if let Some((lo, hi)) = report.ret {
         println!("return ∈ [{lo:.17e}, {hi:.17e}]");
     }
@@ -587,21 +702,19 @@ fn cmd_run(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_profile(rest: &[String]) -> ExitCode {
-    let Some(path) = rest.first() else {
-        return usage();
-    };
+fn cmd_profile(positionals: &[String], rest: &[String]) -> ExitCode {
+    let path = &positionals[0];
     let src = match read_source(path) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
     // The function is the second positional argument (with --fn accepted
     // as an alias for symmetry with `run`).
-    let positional = rest
+    let Some(func) = positionals
         .get(1)
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str);
-    let Some(func) = positional.or_else(|| flag_value(rest, "--fn")) else {
+        .map(String::as_str)
+        .or_else(|| flag_value(rest, "--fn"))
+    else {
         return fail("usage: safegen profile <file.c> <func> [...]");
     };
     let k: usize = match flag_value(rest, "--k").unwrap_or("16").parse() {
@@ -616,26 +729,22 @@ fn cmd_profile(rest: &[String]) -> ExitCode {
         },
     };
 
-    let compiled = match Compiler::new().compile(&src) {
-        Ok(c) => c,
+    let program = match Engine::new().compile(&src, path) {
+        Ok(p) => p,
         Err(e) => return fail(e),
     };
-    let has_func = compiled.tac.functions.iter().any(|f| f.name == func);
-    if !has_func {
-        return fail(format!("no function `{func}` in {path}"));
-    }
-    let prog = compiled.program_for(func, &config);
     let mut args = match parse_args(rest) {
         Ok(a) => a,
         Err(e) => return fail(e),
     };
     if args.is_empty() {
-        args = default_args(&prog);
-        let shown: Vec<String> = prog
-            .params
+        let named = match program.default_args(func, &config) {
+            Ok(n) => n,
+            Err(e) => return fail(e),
+        };
+        let shown: Vec<String> = named
             .iter()
-            .zip(&args)
-            .map(|((name, _), a)| match a {
+            .map(|(name, a)| match a {
                 ArgValue::Float(x) => format!("{name}={x}"),
                 ArgValue::Int(n) => format!("{name}={n}"),
                 ArgValue::Array(xs) => format!("{name}=[{} values]", xs.len()),
@@ -645,9 +754,10 @@ fn cmd_profile(rest: &[String]) -> ExitCode {
             "safegen: no inputs given, using defaults: {}",
             shown.join(", ")
         );
+        args = named.into_iter().map(|(_, a)| a).collect();
     }
 
-    let report = match safegen::profile(&prog, &args, &config) {
+    let report = match program.profile(func, &args, &config) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
@@ -668,7 +778,7 @@ fn parse_seed(s: &str) -> Result<u64, String> {
 }
 
 fn cmd_fuzz(rest: &[String]) -> ExitCode {
-    let mut opts = safegen::FuzzOpts::default();
+    let mut opts = FuzzOpts::default();
     if let Some(v) = flag_value(rest, "--iters") {
         match v.parse() {
             Ok(n) => opts.iters = n,
@@ -693,7 +803,7 @@ fn cmd_fuzz(rest: &[String]) -> ExitCode {
     if rest.iter().any(|a| a == "--loops") {
         opts.loop_weight = 4;
     }
-    let summary = match safegen::run_fuzz(&opts) {
+    let summary = match safegen_api::run_fuzz(&opts) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };

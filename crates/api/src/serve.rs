@@ -51,11 +51,8 @@
 //! request path** — see `Compiled`'s immutability contract in the
 //! driver, which this daemon inherits by construction.
 
-use crate::batch::{run_batch, BatchOptions};
-use crate::driver::{run_on, RunConfig, RunReport};
-use crate::exec::ArgValue;
-use crate::sga::select_program;
-use safegen_artifact::Artifact;
+use crate::jsonreq;
+use crate::Program;
 use safegen_telemetry as telemetry;
 use safegen_telemetry::json::{self, Json};
 use safegen_telemetry::metrics::{metrics, ErrCategory, Verb};
@@ -67,7 +64,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Serve-loop options.
+///
+/// Construct with [`ServeOptions::new`] and override fields by
+/// assignment; `#[non_exhaustive]` reserves room for new knobs.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct ServeOptions {
     /// Socket path. A *stale* file at this path (no daemon answering)
     /// is replaced; a live daemon's socket is never stolen — see
@@ -134,7 +135,7 @@ fn daemon_answers(socket: &Path) -> bool {
 ///
 /// A live daemon already on the socket, and socket bind/IO failures,
 /// rendered as strings.
-pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
+pub fn serve(program: Program, opts: &ServeOptions) -> Result<(), String> {
     if opts.socket.exists() {
         if daemon_answers(&opts.socket) {
             return Err(format!(
@@ -147,7 +148,6 @@ pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
     }
     let listener = UnixListener::bind(&opts.socket)
         .map_err(|e| format!("bind {}: {e}", opts.socket.display()))?;
-    let artifact = Arc::new(artifact);
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
     for conn in listener.incoming() {
@@ -161,11 +161,13 @@ pub fn serve(artifact: Artifact, opts: &ServeOptions) -> Result<(), String> {
                 return Err(format!("accept: {e}"));
             }
         };
-        let artifact = Arc::clone(&artifact);
+        // `Program` is an Arc around immutable state: one refcount
+        // bump hands the thread its shared handle.
+        let program = program.clone();
         let stop = Arc::clone(&stop);
         let conn_opts = opts.clone();
         workers.push(std::thread::spawn(move || {
-            serve_connection(stream, &artifact, &stop, &conn_opts);
+            serve_connection(stream, &program, &stop, &conn_opts);
         }));
     }
     for w in workers {
@@ -266,12 +268,7 @@ fn read_bounded_line(reader: &mut impl BufRead, out: &mut Vec<u8>, max: usize) -
     }
 }
 
-fn serve_connection(
-    stream: UnixStream,
-    artifact: &Artifact,
-    stop: &AtomicBool,
-    opts: &ServeOptions,
-) {
+fn serve_connection(stream: UnixStream, program: &Program, stop: &AtomicBool, opts: &ServeOptions) {
     if opts.read_timeout_ms > 0 {
         let timeout = std::time::Duration::from_millis(opts.read_timeout_ms);
         if stream.set_read_timeout(Some(timeout)).is_err() {
@@ -318,7 +315,7 @@ fn serve_connection(
         let started = Instant::now();
         let out = {
             let _in_flight = InFlight::new();
-            telemetry::with_request(req_id, || handle_request(line.trim(), artifact))
+            telemetry::with_request(req_id, || handle_request(line.trim(), program))
         };
         let latency_ns = started.elapsed().as_nanos() as u64;
         let micros = latency_ns / 1_000;
@@ -406,7 +403,7 @@ impl Outcome {
 }
 
 /// Decodes and executes one request line.
-fn handle_request(line: &str, artifact: &Artifact) -> Outcome {
+fn handle_request(line: &str, program: &Program) -> Outcome {
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => {
@@ -441,35 +438,8 @@ fn handle_request(line: &str, artifact: &Artifact) -> Outcome {
                 ]),
             )
         }
-        Some("list") => {
-            let functions = artifact
-                .functions()
-                .into_iter()
-                .map(Json::from)
-                .collect::<Vec<_>>();
-            let variants = artifact
-                .programs
-                .iter()
-                .map(|v| {
-                    Json::obj(vec![
-                        ("func", Json::from(v.func.as_str())),
-                        ("kind", Json::from(v.kind.to_string())),
-                        ("instrs", Json::from(v.program.code.len())),
-                    ])
-                })
-                .collect::<Vec<_>>();
-            Outcome::ok(
-                Verb::List,
-                Json::obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("name", Json::from(artifact.meta.name.as_str())),
-                    ("tool", Json::from(artifact.meta.tool.as_str())),
-                    ("functions", Json::Arr(functions)),
-                    ("variants", Json::Arr(variants)),
-                ]),
-            )
-        }
-        Some("eval") => match handle_eval(&request, artifact) {
+        Some("list") => Outcome::ok(Verb::List, jsonreq::list_response(program)),
+        Some("eval") => match jsonreq::handle_eval(&request, program) {
             Ok((response, detail)) => Outcome {
                 detail,
                 ..Outcome::ok(Verb::Eval, response)
@@ -487,218 +457,6 @@ fn handle_request(line: &str, artifact: &Artifact) -> Outcome {
             "request needs a string \"op\" field".to_string(),
         ),
     }
-}
-
-/// Eval error paths, classified for the error counters.
-type EvalError = (ErrCategory, String);
-
-fn handle_eval(
-    request: &Json,
-    artifact: &Artifact,
-) -> Result<(Json, Vec<(String, Json)>), EvalError> {
-    let bad = |msg: &str| (ErrCategory::BadRequest, msg.to_string());
-    // Decode phase: request fields → config + program selection.
-    let decode_started = Instant::now();
-    let func = request
-        .get("func")
-        .and_then(Json::as_str)
-        .ok_or_else(|| bad("eval needs a string \"func\" field"))?;
-    let k = match request.get("k") {
-        Some(v) => v.as_f64().ok_or_else(|| bad("\"k\" must be a number"))? as usize,
-        None => 16,
-    };
-    let mut config = RunConfig::from_cli(
-        request
-            .get("config")
-            .and_then(Json::as_str)
-            .unwrap_or("dspv"),
-        k,
-    )
-    .map_err(|e| (ErrCategory::BadRequest, e))?;
-    if let Some(v) = request.get("k_low") {
-        config.capacity_low = Some(
-            v.as_f64()
-                .ok_or_else(|| bad("\"k_low\" must be a number"))? as usize,
-        );
-    }
-    if let Some(v) = request.get("loop_mode") {
-        let s = v
-            .as_str()
-            .ok_or_else(|| bad("\"loop_mode\" must be a string"))?;
-        config.loop_mode = crate::fixpoint::LoopMode::parse(s).ok_or_else(|| {
-            bad("\"loop_mode\" must be one of \"unroll\", \"fixpoint\", \"auto\"")
-        })?;
-    }
-    if let Some(v) = request.get("unroll_budget") {
-        config.unroll_budget = Some(
-            v.as_f64()
-                .ok_or_else(|| bad("\"unroll_budget\" must be a number"))? as u64,
-        );
-    }
-    // A miss here means the artifact carries no such function/variant —
-    // the daemon's "unknown program id".
-    let program =
-        select_program(artifact, func, &config).map_err(|e| (ErrCategory::UnknownProgram, e))?;
-    let mut detail = vec![
-        ("func".to_string(), Json::from(func)),
-        ("config".to_string(), Json::from(config.label())),
-    ];
-
-    if let Some(inputs) = request.get("inputs").and_then(Json::as_arr) {
-        // Batch form: the parallel batch engine evaluates all input sets.
-        let decoded: Vec<Vec<ArgValue>> = inputs
-            .iter()
-            .map(|set| {
-                set.as_arr()
-                    .ok_or_else(|| bad("\"inputs\" entries must be arrays of argument values"))?
-                    .iter()
-                    .map(|v| decode_arg(v).map_err(|e| (ErrCategory::BadRequest, e)))
-                    .collect()
-            })
-            .collect::<Result<_, EvalError>>()?;
-        let threads = match request.get("threads") {
-            Some(v) => {
-                v.as_f64()
-                    .ok_or_else(|| bad("\"threads\" must be a number"))? as usize
-            }
-            None => 0,
-        };
-        // SoA lane-group width (0 = per-domain default, 1 = scalar).
-        let lanes = match request.get("lanes") {
-            Some(v) => v
-                .as_f64()
-                .ok_or_else(|| bad("\"lanes\" must be a number"))? as usize,
-            None => 0,
-        };
-        let decode_ns = decode_started.elapsed().as_nanos() as u64;
-        let exec_started = Instant::now();
-        let result = run_batch(
-            program,
-            &decoded,
-            &config,
-            &BatchOptions::with_threads(threads).with_lanes(lanes),
-        )
-        .map_err(|e| (ErrCategory::Exec, e))?;
-        detail.extend([
-            ("n".to_string(), Json::from(decoded.len())),
-            ("threads".to_string(), Json::from(result.threads)),
-            ("lanes".to_string(), Json::from(result.lanes)),
-            ("decode_ns".to_string(), Json::from(decode_ns)),
-            (
-                "exec_ns".to_string(),
-                Json::from(exec_started.elapsed().as_nanos() as u64),
-            ),
-        ]);
-        let reports: Vec<Json> = result
-            .items
-            .iter()
-            .map(|i| report_json(&i.report))
-            .collect();
-        return Ok((
-            Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("config", Json::from(config.label())),
-                ("reports", Json::Arr(reports)),
-                ("threads", Json::from(result.threads)),
-                ("lanes", Json::from(result.lanes)),
-            ]),
-            detail,
-        ));
-    }
-
-    let args: Vec<ArgValue> = request
-        .get("args")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| bad("eval needs an \"args\" array (or \"inputs\" for a batch)"))?
-        .iter()
-        .map(|v| decode_arg(v).map_err(|e| (ErrCategory::BadRequest, e)))
-        .collect::<Result<_, EvalError>>()?;
-    let decode_ns = decode_started.elapsed().as_nanos() as u64;
-    let exec_started = Instant::now();
-    let report = run_on(program, &args, &config).map_err(|e| (ErrCategory::Exec, e))?;
-    detail.extend([
-        ("n".to_string(), Json::from(1u64)),
-        ("lanes".to_string(), Json::from(1u64)),
-        ("decode_ns".to_string(), Json::from(decode_ns)),
-        (
-            "exec_ns".to_string(),
-            Json::from(exec_started.elapsed().as_nanos() as u64),
-        ),
-    ]);
-    let mut fields = vec![
-        ("ok", Json::Bool(true)),
-        ("config", Json::from(config.label())),
-    ];
-    if let Json::Obj(rep) = report_json(&report) {
-        // Splice the report fields into the top-level response.
-        return Ok((
-            Json::Obj(
-                fields
-                    .drain(..)
-                    .map(|(k, v)| (k.to_string(), v))
-                    .chain(rep)
-                    .collect(),
-            ),
-            detail,
-        ));
-    }
-    unreachable!("report_json always returns an object")
-}
-
-/// Decodes one argument value: tagged object or bare number.
-fn decode_arg(v: &Json) -> Result<ArgValue, String> {
-    if let Some(x) = v.as_f64() {
-        return Ok(ArgValue::Float(x));
-    }
-    if let Some(x) = v.get("float").and_then(Json::as_f64) {
-        return Ok(ArgValue::Float(x));
-    }
-    if let Some(n) = v.get("int").and_then(Json::as_f64) {
-        return Ok(ArgValue::Int(n as i64));
-    }
-    if let Some(xs) = v.get("array").and_then(Json::as_arr) {
-        let vals: Vec<f64> = xs
-            .iter()
-            .map(|x| x.as_f64().ok_or("array elements must be numbers"))
-            .collect::<Result<_, _>>()?;
-        return Ok(ArgValue::Array(vals));
-    }
-    Err(format!(
-        "bad argument value {v} (want a number, {{\"float\":x}}, {{\"int\":n}}, or {{\"array\":[..]}})"
-    ))
-}
-
-/// Renders a [`RunReport`] as response JSON.
-fn report_json(r: &RunReport) -> Json {
-    let range = |(lo, hi): (f64, f64)| Json::Arr(vec![Json::Num(lo), Json::Num(hi)]);
-    let arrays: Vec<Json> = r
-        .arrays
-        .iter()
-        .map(|(name, ranges)| {
-            Json::obj(vec![
-                ("name", Json::from(name.as_str())),
-                (
-                    "ranges",
-                    Json::Arr(ranges.iter().map(|&x| range(x)).collect()),
-                ),
-            ])
-        })
-        .collect();
-    Json::obj(vec![
-        ("ret", r.ret.map_or(Json::Null, range)),
-        ("arrays", Json::Arr(arrays)),
-        ("acc_bits", Json::Num(r.acc_bits)),
-        (
-            "stats",
-            Json::obj(vec![
-                ("fp_ops", Json::from(r.stats.fp_ops)),
-                ("instrs", Json::from(r.stats.instrs)),
-                ("undecided_branches", Json::from(r.stats.undecided_branches)),
-                ("fusions", Json::from(r.stats.fusions)),
-                ("condensations", Json::from(r.stats.condensations)),
-            ]),
-        ),
-    ])
 }
 
 /// Client helper: sends one request line to a serving daemon and returns
@@ -748,19 +506,19 @@ pub fn wait_ready(socket: &Path, timeout_ms: u64) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sga::{compile_to_artifact, BuildOptions};
+    use crate::{BuildOptions, Engine, EvalRequest, RunConfig};
 
-    fn test_artifact() -> Artifact {
-        let opts = BuildOptions {
-            ks: vec![8],
-            use_cache: false,
-            ..BuildOptions::new("serve-test.c")
-        };
-        compile_to_artifact(
-            "double f(double x, double y) { return x * y + 0.1; }",
-            &opts,
-        )
-        .unwrap()
+    fn test_program() -> Program {
+        let mut opts = BuildOptions::new("serve-test.c");
+        opts.ks = vec![8];
+        opts.use_cache = false;
+        let (program, _) = Engine::new()
+            .compile_artifact(
+                "double f(double x, double y) { return x * y + 0.1; }",
+                &opts,
+            )
+            .unwrap();
+        program
     }
 
     fn sock_path(tag: &str) -> PathBuf {
@@ -775,8 +533,8 @@ mod tests {
     ) -> (PathBuf, std::thread::JoinHandle<Result<(), String>>) {
         let socket = sock_path(tag);
         let opts = tweak(ServeOptions::new(socket.clone()));
-        let artifact = test_artifact();
-        let handle = std::thread::spawn(move || serve(artifact, &opts));
+        let program = test_program();
+        let handle = std::thread::spawn(move || serve(program, &opts));
         wait_ready(&socket, 5_000).unwrap();
         (socket, handle)
     }
@@ -814,16 +572,14 @@ mod tests {
         assert!(lo <= expected && expected <= hi);
         assert!(resp.get("micros").unwrap().as_f64().unwrap() >= 0.0);
 
-        // Response matches a direct in-process run bit-for-bit.
-        let artifact = test_artifact();
-        let direct = crate::sga::run_artifact(
-            &artifact,
-            "f",
-            &[0.5.into(), 0.25.into()],
-            &RunConfig::affine_f64(8),
-        )
-        .unwrap();
-        assert_eq!(direct.ret.unwrap(), (lo, hi));
+        // Response matches a direct in-process facade run bit-for-bit.
+        let direct = test_program()
+            .eval(
+                &EvalRequest::new("f", RunConfig::affine_f64(8))
+                    .with_args(vec![0.5.into(), 0.25.into()]),
+            )
+            .unwrap();
+        assert_eq!(direct.report().ret.unwrap(), (lo, hi));
 
         let resp = request(&socket, &Json::obj(vec![("op", Json::from("list"))])).unwrap();
         assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
@@ -903,7 +659,7 @@ mod tests {
         let (socket, handle) = spawn_daemon("steal");
 
         // A second daemon on the same socket must refuse to start…
-        let err = serve(test_artifact(), &ServeOptions::new(socket.clone()))
+        let err = serve(test_program(), &ServeOptions::new(socket.clone()))
             .expect_err("second daemon must refuse a live socket");
         assert!(err.contains("already serving"), "{err}");
 
@@ -923,8 +679,8 @@ mod tests {
         assert!(socket.exists(), "stale socket file left behind");
 
         let opts = ServeOptions::new(socket.clone());
-        let artifact = test_artifact();
-        let handle = std::thread::spawn(move || serve(artifact, &opts));
+        let program = test_program();
+        let handle = std::thread::spawn(move || serve(program, &opts));
         wait_ready(&socket, 5_000).expect("daemon must replace a stale socket");
 
         let _ = request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).unwrap();

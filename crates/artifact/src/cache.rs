@@ -30,7 +30,9 @@ use crate::{Artifact, ArtifactError, FORMAT_VERSION};
 use safegen_telemetry as telemetry;
 use safegen_telemetry::json::Json;
 use safegen_telemetry::metrics::metrics;
-use std::path::{Path, PathBuf};
+#[cfg(feature = "os")]
+use std::path::Path;
+use std::path::PathBuf;
 
 /// Records a `cache.lookup`/`cache.store` JSONL event (when the recorder
 /// is enabled) carrying the key prefix and outcome — and, like every
@@ -50,6 +52,7 @@ fn cache_event(kind: &str, key: &str, outcome: &str) {
 
 /// Rescans the cache directory and sets the entry-count and byte-size
 /// gauges. Called after stores and evictions (never on the lookup path).
+#[cfg(feature = "os")]
 fn refresh_gauges(dir: &Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -141,32 +144,43 @@ pub fn entry_path(key: &str) -> PathBuf {
 /// refreshes the entry's modification time so the eviction order
 /// approximates least-recently-used rather than least-recently-written.
 pub fn load(key: &str) -> Option<Artifact> {
-    let m = metrics();
-    let path = entry_path(key);
-    if !path.exists() {
-        m.cache.misses.inc();
+    #[cfg(not(feature = "os"))]
+    {
+        // No filesystem without an OS: every lookup is a (counted) miss.
+        metrics().cache.misses.inc();
         cache_event("cache.lookup", key, "miss");
-        return None;
+        None
     }
-    match Artifact::read_file(&path) {
-        Ok(artifact) => {
-            m.cache.hits.inc();
-            cache_event("cache.lookup", key, "hit");
-            touch(&path);
-            Some(artifact)
-        }
-        Err(_) => {
-            // Present but invalid: count the corruption *and* the miss
-            // (every lookup is exactly one hit or one miss).
-            m.cache.corrupt.inc();
+    #[cfg(feature = "os")]
+    {
+        let m = metrics();
+        let path = entry_path(key);
+        if !path.exists() {
             m.cache.misses.inc();
-            cache_event("cache.lookup", key, "corrupt");
-            None
+            cache_event("cache.lookup", key, "miss");
+            return None;
+        }
+        match Artifact::read_file(&path) {
+            Ok(artifact) => {
+                m.cache.hits.inc();
+                cache_event("cache.lookup", key, "hit");
+                touch(&path);
+                Some(artifact)
+            }
+            Err(_) => {
+                // Present but invalid: count the corruption *and* the miss
+                // (every lookup is exactly one hit or one miss).
+                m.cache.corrupt.inc();
+                m.cache.misses.inc();
+                cache_event("cache.lookup", key, "corrupt");
+                None
+            }
         }
     }
 }
 
 /// Best-effort mtime refresh on a cache hit.
+#[cfg(feature = "os")]
 fn touch(path: &Path) {
     if let Ok(f) = std::fs::OpenOptions::new().append(true).open(path) {
         let _ = f.set_modified(std::time::SystemTime::now());
@@ -186,17 +200,27 @@ fn touch(path: &Path) {
 /// a performance loss, never a correctness one). Eviction failures are
 /// swallowed entirely.
 pub fn store(key: &str, artifact: &Artifact) -> Result<(), ArtifactError> {
-    let dir = cache_dir();
-    std::fs::create_dir_all(&dir)
-        .map_err(|e| ArtifactError::Io(format!("create {}: {e}", dir.display())))?;
-    artifact.write_file(&entry_path(key))?;
-    if let Some(cap) = cache_cap_bytes() {
-        let evicted = evict_to_cap(&dir, cap, key);
-        metrics().cache.evictions.add(evicted);
+    #[cfg(not(feature = "os"))]
+    {
+        // No filesystem without an OS: a cold cache is only a
+        // performance loss, so the store silently succeeds as a no-op.
+        let _ = (key, artifact);
+        Ok(())
     }
-    refresh_gauges(&dir);
-    cache_event("cache.store", key, "stored");
-    Ok(())
+    #[cfg(feature = "os")]
+    {
+        let dir = cache_dir();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ArtifactError::Io(format!("create {}: {e}", dir.display())))?;
+        artifact.write_file(&entry_path(key))?;
+        if let Some(cap) = cache_cap_bytes() {
+            let evicted = evict_to_cap(&dir, cap, key);
+            metrics().cache.evictions.add(evicted);
+        }
+        refresh_gauges(&dir);
+        cache_event("cache.store", key, "stored");
+        Ok(())
+    }
 }
 
 /// Removes `.sga` entries oldest-first until the directory's total entry
@@ -204,6 +228,7 @@ pub fn store(key: &str, artifact: &Artifact) -> Result<(), ArtifactError> {
 /// `keep_key`'s entry is exempt, so a store always lands even when the
 /// artifact alone exceeds the cap. Entirely best-effort: unreadable
 /// metadata or a failed remove just skips that entry.
+#[cfg(feature = "os")]
 fn evict_to_cap(dir: &Path, cap: u64, keep_key: &str) -> u64 {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return 0;

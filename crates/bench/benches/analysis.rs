@@ -18,13 +18,15 @@ fn bench_compile_pipeline(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("compile", w.name), &w, |b, w| {
             b.iter(|| {
                 black_box(
-                    safegen::Compiler::new()
+                    safegen_api::diag::Compiler::new()
                         .compile(black_box(&w.source))
                         .unwrap(),
                 )
             })
         });
-        let compiled = safegen::Compiler::new().compile(&w.source).unwrap();
+        let compiled = safegen_api::diag::Compiler::new()
+            .compile(&w.source)
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("prioritize_k16", w.name), &w, |b, w| {
             b.iter(|| black_box(compiled.prioritized_program(w.func, 16)))
         });

@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safegen::{Compiler, RunConfig};
+use safegen_api::diag::Compiler;
+use safegen_api::RunConfig;
 use safegen_bench::{Workload, WorkloadKind};
 use std::hint::black_box;
 

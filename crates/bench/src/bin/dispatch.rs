@@ -3,25 +3,25 @@
 //!
 //! For each workload × configuration the binary times a single-threaded
 //! sweep over the same batch of input points twice — once through
-//! [`safegen::run_on`] one point at a time, once through
-//! [`safegen::run_lanes_on`] at lane widths {4, 8, 16, 32} — and reports
+//! [`run_on`] one point at a time, once through
+//! [`run_lanes_on`] at lane widths {4, 8, 16, 32} — and reports
 //! points-per-second plus the speedup of each width over the scalar
 //! path. A bitwise spot check (first lane group vs scalar, per config)
 //! guards against measuring a divergent engine; the exhaustive check is
 //! `tests/lanes_differential.rs`.
 //!
 //! The fixed-width encoding stats (instruction count, superinstruction
-//! fusions, hottest opcode pairs from [`safegen::pair_histogram`]) land
+//! fusions, hottest opcode pairs from [`pair_histogram`]) land
 //! next to the timings in `results/BENCH_dispatch.json`. Usage:
 //! `cargo run --release -p safegen-bench --bin dispatch`
 //! (`SAFEGEN_QUICK=1` shrinks the sweep, `SAFEGEN_REPS` the repetitions).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safegen::{
-    encode, pair_histogram, run_lanes_on, run_on, ArgValue, Compiler, FixedProgram, Program,
-    RunConfig, RunReport,
+use safegen_api::diag::{
+    encode, pair_histogram, run_lanes_on, run_on, BytecodeProgram, Compiler, FixedProgram,
 };
+use safegen_api::{ArgValue, RunConfig, RunReport};
 use safegen_bench::harness::{self, BASE_SEED};
 use safegen_bench::Workload;
 use safegen_telemetry::json::Json;
@@ -29,7 +29,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Lane widths swept by the benchmark (the batch engine's auto widths,
-/// 16 and 4, are both in range; 64 is [`safegen::MAX_LANES`]).
+/// 16 and 4, are both in range; 64 is `MAX_LANES`).
 const WIDTHS: [usize; 5] = [4, 8, 16, 32, 64];
 
 /// One workload × configuration row.
@@ -98,7 +98,7 @@ fn batch_inputs(w: &Workload, items: usize) -> Vec<Vec<ArgValue>> {
 /// Bitwise agreement of one lane group against per-point scalar runs —
 /// a cheap guard that the timed engine computes the same results.
 fn spot_check(
-    prog: &Program,
+    prog: &BytecodeProgram,
     fixed: &FixedProgram,
     inputs: &[Vec<ArgValue>],
     config: &RunConfig,

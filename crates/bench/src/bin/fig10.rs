@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p safegen-bench --bin fig10`
 
-use safegen::{Compiler, RunConfig};
+use safegen_api::{Engine, RunConfig};
 use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
 
 fn main() {
@@ -25,10 +25,10 @@ fn main() {
             Workload::new(WorkloadKind::Sor { n, iters: 10 }),
             Workload::new(WorkloadKind::Luf { n }),
         ] {
-            let compiled = Compiler::new()
-                .compile(&w.source)
+            let program = Engine::new()
+                .compile(&w.source, w.name)
                 .expect("workload compiles");
-            let mut m = harness::measure(&w, &compiled, &RunConfig::affine_f64(k));
+            let mut m = harness::measure(&w, &program, &RunConfig::affine_f64(k));
             m.config = format!("{} (n={n})", m.config);
             rows.push(m);
             eprintln!("fig10: {} n={} done", w.name, n);

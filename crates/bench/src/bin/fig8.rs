@@ -10,7 +10,7 @@
 //! per benchmark. Usage:
 //! `cargo run --release -p safegen-bench --bin fig8`
 
-use safegen::{Compiler, DomainKind, RunConfig};
+use safegen_api::{DomainKind, Engine, RunConfig};
 use safegen_bench::{harness, Measurement, Workload};
 
 fn configs(k: usize) -> Vec<RunConfig> {
@@ -40,12 +40,12 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
 
     for w in &suite {
-        let compiled = Compiler::new()
-            .compile(&w.source)
+        let program = Engine::new()
+            .compile(&w.source, w.name)
             .expect("workload compiles");
         for &k in &ks {
             for cfg in configs(k) {
-                rows.push(harness::measure(w, &compiled, &cfg));
+                rows.push(harness::measure(w, &program, &cfg));
             }
         }
         eprintln!("fig8: {} done", w.name);

@@ -11,7 +11,7 @@
 //! at equal k (paper: 30–70×) and SafeGen-full-k vs yalaa-aff0 (paper:
 //! 3–6×). Usage: `cargo run --release -p safegen-bench --bin fig9`
 
-use safegen::{Compiler, RunConfig};
+use safegen_api::{Engine, Placement, RunConfig};
 use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
 
 /// The paper's "large enough that no fusion occurs" budgets.
@@ -36,22 +36,22 @@ fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
 
     for w in &suite {
-        let compiled = Compiler::new()
-            .compile(&w.source)
+        let program = Engine::new()
+            .compile(&w.source, w.name)
             .expect("workload compiles");
         for &k in &ks {
-            rows.push(harness::measure(w, &compiled, &RunConfig::affine_f64(k)));
-            rows.push(harness::measure(w, &compiled, &RunConfig::ceres(k)));
+            rows.push(harness::measure(w, &program, &RunConfig::affine_f64(k)));
+            rows.push(harness::measure(w, &program, &RunConfig::ceres(k)));
         }
-        rows.push(harness::measure(w, &compiled, &RunConfig::yalaa_aff0()));
-        rows.push(harness::measure(w, &compiled, &RunConfig::yalaa_aff1()));
-        rows.push(harness::measure(w, &compiled, &RunConfig::interval_f64()));
-        rows.push(harness::measure(w, &compiled, &RunConfig::interval_dd()));
+        rows.push(harness::measure(w, &program, &RunConfig::yalaa_aff0()));
+        rows.push(harness::measure(w, &program, &RunConfig::yalaa_aff1()));
+        rows.push(harness::measure(w, &program, &RunConfig::interval_f64()));
+        rows.push(harness::measure(w, &program, &RunConfig::interval_dd()));
         // Full-AA SafeGen (f64a-dspv-k̄): sorted placement, huge k.
         let mut full = RunConfig::affine_f64(full_k(w.kind));
-        full.aa.placement = safegen::Placement::Sorted;
+        full.aa.placement = Placement::Sorted;
         full.aa.vectorized = false;
-        rows.push(harness::measure(w, &compiled, &full));
+        rows.push(harness::measure(w, &program, &full));
         eprintln!("fig9: {} done", w.name);
     }
 

@@ -18,7 +18,7 @@
 //! Writes `results/BENCH_fixpoint.json`. `SAFEGEN_QUICK=1` shrinks the
 //! unroll ladder; `SAFEGEN_REPS` sets the repetitions per timing.
 
-use safegen::{ArgValue, Compiled, Compiler, LoopMode, RunConfig};
+use safegen_api::{ArgValue, Engine, EvalRequest, LoopMode, Program, RunConfig};
 use safegen_bench::harness;
 use safegen_telemetry::json::Json;
 use std::time::Instant;
@@ -89,14 +89,16 @@ fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// Measures one kernel under one analysis config, returning its JSON row.
-fn measure(kernel: &Kernel, compiled: &Compiled, config: &RunConfig, reps: usize) -> Json {
+fn measure(kernel: &Kernel, program: &Program, config: &RunConfig, reps: usize) -> Json {
     let unroll_ns: Vec<Json> = unroll_ladder()
         .iter()
         .map(|&n| {
             let args = args_with_trip(kernel, n);
             let cfg = config.clone().with_loop_mode(LoopMode::Unroll);
             let ns = time_ns(reps, || {
-                compiled.run("f", &args, &cfg).unwrap();
+                program
+                    .eval(&EvalRequest::new("f", cfg.clone()).with_args(args.clone()))
+                    .unwrap();
             });
             Json::obj(vec![
                 ("n", Json::Num(n as f64)),
@@ -115,10 +117,12 @@ fn measure(kernel: &Kernel, compiled: &Compiled, config: &RunConfig, reps: usize
         .clone()
         .with_loop_mode(LoopMode::Fixpoint)
         .with_unroll_budget(4);
+    let fix_req = EvalRequest::new("f", fix_cfg).with_args(fix_args);
     let fix_ns = time_ns(reps, || {
-        compiled.run("f", &fix_args, &fix_cfg).unwrap();
+        program.eval(&fix_req).unwrap();
     });
-    let report = compiled.run("f", &fix_args, &fix_cfg).unwrap();
+    let result = program.eval(&fix_req).unwrap();
+    let report = result.report();
     let (lo, hi) = report.ret.expect("kernel returns a value");
 
     Json::obj(vec![
@@ -155,11 +159,11 @@ fn main() {
     let reps = harness::reps();
     let mut rows = Vec::new();
     for kernel in KERNELS {
-        let compiled = Compiler::new()
-            .compile(kernel.src)
+        let program = Engine::new()
+            .compile(kernel.src, kernel.name)
             .expect("golden kernel compiles");
         for config in [RunConfig::interval_f64(), RunConfig::affine_f64(8)] {
-            let row = measure(kernel, &compiled, &config, reps);
+            let row = measure(kernel, &program, &config, reps);
             if let (Some(ns), Some(ratio)) = (
                 row.get("fixpoint")
                     .and_then(|f| f.get("median_ns"))

@@ -10,7 +10,7 @@
 //! config suffix). Usage:
 //! `cargo run --release -p safegen-bench --bin passes`
 
-use safegen::RunConfig;
+use safegen_api::RunConfig;
 use safegen_bench::{harness, Measurement, Workload};
 
 fn main() {

@@ -10,7 +10,7 @@
 //! * **cold (in-process)** — the library-level `compile → evaluate`
 //!   path with no process spawn, reported alongside for transparency;
 //! * **artifact load** — strict validation of the `.sga` bytes
-//!   ([`safegen::Artifact::read_file`]), paid once per daemon start;
+//!   (`Engine::load_file`), paid once per daemon start;
 //! * **warm** — request latency against a running daemon (each request
 //!   is a fresh Unix-socket connection: connect → JSON line → eval →
 //!   response), reported as p50/p99 and requests/sec;
@@ -25,7 +25,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safegen::{ArgValue, Compiler, RunConfig};
+use safegen_api::serve::{request, serve, wait_ready, ServeOptions};
+use safegen_api::{ArgValue, BuildOptions, Engine, EvalRequest, RunConfig};
 use safegen_bench::harness;
 use safegen_bench::workloads::{Workload, WorkloadKind};
 use safegen_telemetry::json::Json;
@@ -130,41 +131,44 @@ fn main() {
 
     // --- Cold path (in-process): library compile + evaluate, no spawn. ---
     let mut cold_lib = Vec::with_capacity(reps);
+    let engine = Engine::new();
     for i in 0..reps {
         let args = input(i as u64);
         let t0 = Instant::now();
-        let compiled = Compiler::new().compile(&w.source).expect("compiles");
-        let report = compiled.run(w.func, &args, &config).expect("runs");
-        std::hint::black_box(report.acc_bits);
+        let program = engine.compile(&w.source, w.name).expect("compiles");
+        let result = program
+            .eval(&EvalRequest::new(w.func, config.clone()).with_args(args))
+            .expect("runs");
+        std::hint::black_box(result.report().acc_bits);
         cold_lib.push(t0.elapsed().as_secs_f64());
     }
 
     // --- Build the artifact once (outside any timed region except load). ---
-    let opts = safegen::BuildOptions {
-        ks: vec![k],
-        use_cache: false,
-        ..safegen::BuildOptions::new("bench-serve")
-    };
-    let artifact = safegen::compile_to_artifact(&w.source, &opts).expect("artifact builds");
+    let mut opts = BuildOptions::new("bench-serve");
+    opts.ks = vec![k];
+    opts.use_cache = false;
+    let (built, _) = engine
+        .compile_artifact(&w.source, &opts)
+        .expect("artifact builds");
     let sga = dir.join(format!("bench-serve-{}.sga", std::process::id()));
-    artifact.write_file(&sga).expect("artifact writes");
+    built.write_file(&sga).expect("artifact writes");
 
     let t0 = Instant::now();
-    let loaded = safegen::Artifact::read_file(&sga).expect("artifact loads");
+    let loaded = engine.load_file(&sga).expect("artifact loads");
     let load_s = t0.elapsed().as_secs_f64();
 
     // --- Daemon up. ---
     let socket = dir.join(format!("bench-serve-{}.sock", std::process::id()));
-    let serve_opts = safegen::ServeOptions::new(socket.clone());
-    let daemon = std::thread::spawn(move || safegen::serve(loaded, &serve_opts));
-    safegen::wait_ready(&socket, 10_000).expect("daemon ready");
+    let serve_opts = ServeOptions::new(socket.clone());
+    let daemon = std::thread::spawn(move || serve(loaded, &serve_opts));
+    wait_ready(&socket, 10_000).expect("daemon ready");
 
     // --- Warm path: sequential request latency. ---
     let mut warm = Vec::with_capacity(warm_requests);
     for i in 0..warm_requests {
         let req = eval_request(w.func, k, &input(i as u64));
         let t0 = Instant::now();
-        let resp = safegen::request(&socket, &req).expect("request succeeds");
+        let resp = request(&socket, &req).expect("request succeeds");
         warm.push(t0.elapsed().as_secs_f64());
         assert_eq!(
             resp.get("ok"),
@@ -187,7 +191,7 @@ fn main() {
             s.spawn(move || {
                 for i in 0..per_thread {
                     let req = eval_request(w.func, k, &input((t * per_thread + i) as u64));
-                    let resp = safegen::request(socket, &req).expect("request succeeds");
+                    let resp = request(socket, &req).expect("request succeeds");
                     assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
                 }
             });
@@ -201,7 +205,7 @@ fn main() {
     // client; the daemon's latency histogram isolates the server side
     // (read → dispatch → respond), so the gap between the two is the
     // socket/client overhead.
-    let resp = safegen::request(&socket, &Json::obj(vec![("op", Json::from("stats"))]))
+    let resp = request(&socket, &Json::obj(vec![("op", Json::from("stats"))]))
         .expect("stats request succeeds");
     let snapshot = resp.get("stats").expect("response carries stats").clone();
     assert_eq!(
@@ -227,8 +231,8 @@ fn main() {
     );
 
     // --- Shutdown. ---
-    let resp = safegen::request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))]))
-        .expect("shutdown");
+    let resp =
+        request(&socket, &Json::obj(vec![("op", Json::from("shutdown"))])).expect("shutdown");
     assert_eq!(resp.get("bye"), Some(&Json::Bool(true)));
     daemon
         .join()

@@ -5,12 +5,12 @@
 //! Usage:
 //! `cargo run --release -p safegen-bench --bin sweep [henon|fgm|prio]`
 
-use safegen::{Compiler, RunConfig};
+use safegen_api::{Engine, Placement, Program, RunConfig};
 use safegen_bench::{harness, Measurement, Workload, WorkloadKind};
 
 /// Measures and tags the configuration label with the sweep variable so
 /// each point stays identifiable in the exported JSON.
-fn point(w: &Workload, c: &safegen::Compiled, cfg: &RunConfig, tag: &str) -> Measurement {
+fn point(w: &Workload, c: &Program, cfg: &RunConfig, tag: &str) -> Measurement {
     let mut m = harness::measure(w, c, cfg);
     m.config = format!("{} {tag}", m.config);
     m
@@ -24,7 +24,7 @@ fn henon_sweep(rows: &mut Vec<Measurement>) {
     );
     for iters in [40usize, 60, 80, 100, 120] {
         let w = Workload::new(WorkloadKind::Henon { iters });
-        let c = Compiler::new().compile(&w.source).unwrap();
+        let c = Engine::new().compile(&w.source, w.name).unwrap();
         let tag = format!("(iters={iters})");
         let mut acc = |cfg: &RunConfig| {
             let m = point(&w, &c, cfg, &tag);
@@ -52,7 +52,7 @@ fn fgm_sweep(rows: &mut Vec<Measurement>) {
     );
     for iters in [20usize, 40, 60, 80] {
         let w = Workload::new(WorkloadKind::Fgm { n: 8, iters });
-        let c = Compiler::new().compile(&w.source).unwrap();
+        let c = Engine::new().compile(&w.source, w.name).unwrap();
         let tag = format!("(iters={iters})");
         let mut acc = |cfg: &RunConfig| {
             let m = point(&w, &c, cfg, &tag);
@@ -73,7 +73,7 @@ fn fgm_sweep(rows: &mut Vec<Measurement>) {
 fn prio_sweep(rows: &mut Vec<Measurement>) {
     println!("prioritization ablation: dspv (with) vs dsnv (without), per k");
     for w in Workload::paper_suite() {
-        let c = Compiler::new().compile(&w.source).unwrap();
+        let c = Engine::new().compile(&w.source, w.name).unwrap();
         print!("{:<8}", w.name);
         for k in [8usize, 16, 32] {
             let with = point(&w, &c, &RunConfig::affine_f64(k), "(prio)");
@@ -104,9 +104,9 @@ fn capacity_sweep(rows: &mut Vec<Measurement>) {
         "k_low", "acc(bits)", "runtime", "vs uniform"
     );
     for w in Workload::paper_suite() {
-        let c = Compiler::new().compile(&w.source).unwrap();
+        let c = Engine::new().compile(&w.source, w.name).unwrap();
         let mut uniform = RunConfig::mnemonic(24, "sspn").unwrap();
-        uniform.aa.placement = safegen::Placement::Sorted;
+        uniform.aa.placement = Placement::Sorted;
         let base = point(&w, &c, &uniform, "(uniform)");
         println!(
             "{}: uniform acc {:.1} bits, runtime {:.3e}s",

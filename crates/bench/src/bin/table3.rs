@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p safegen-bench --bin table3`
 
-use safegen::{Compiler, RunConfig};
+use safegen_api::{Engine, RunConfig};
 use safegen_bench::{harness, Workload};
 
 fn main() {
@@ -15,12 +15,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for w in &suite {
-        let compiled = Compiler::new()
-            .compile(&w.source)
+        let program = Engine::new()
+            .compile(&w.source, w.name)
             .expect("workload compiles");
         for m in combos {
             let cfg = RunConfig::mnemonic(k, m).unwrap();
-            rows.push(harness::measure(w, &compiled, &cfg));
+            rows.push(harness::measure(w, &program, &cfg));
         }
     }
 

@@ -6,19 +6,20 @@
 //! and reports the **median runtime** and the **average worst-case
 //! certified accuracy** across runs.
 //!
-//! Repetitions are independent, so they run through the parallel
-//! [`safegen::batch`] engine: `SAFEGEN_THREADS` picks the worker count
-//! (default: all available cores; `1` forces the serial path). Each
-//! repetition's inputs come from its own RNG seeded by `BASE_SEED ^ rep`,
-//! which makes every reported number except wall time **bit-identical
-//! for any thread count** — see `safegen::batch` and
-//! `tests/batch_parallel.rs`.
+//! Repetitions are independent, so they run through the facade's
+//! parallel batch path ([`Program::eval_batch_seeded`]):
+//! `SAFEGEN_THREADS` picks the worker count (default: all available
+//! cores; `1` forces the serial path). Each repetition's inputs come
+//! from its own RNG seeded by `BASE_SEED ^ rep`, which makes every
+//! reported number except wall time **bit-identical for any thread
+//! count** — see `safegen::batch` and `tests/batch_parallel.rs`.
 
 use crate::workloads::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safegen::batch::{run_batch_with, BatchOptions, WorkerStats};
-use safegen::{Compiled, Compiler, PassManager, RunConfig};
+use safegen_api::{
+    BatchOptions, Engine, EvalRequest, PassManager, Program, RunConfig, RunStats, WorkerStats,
+};
 use safegen_telemetry as telemetry;
 use safegen_telemetry::json::Json;
 use std::path::PathBuf;
@@ -163,25 +164,27 @@ fn median(xs: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if the program fails to execute (the workloads are known-good).
-pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> Measurement {
+pub fn measure(workload: &Workload, program: &Program, config: &RunConfig) -> Measurement {
     let n = reps();
-    let prog = compiled.program_for(workload.func, config);
     let make_input = |seed: u64, _i: usize| {
         let mut rng = StdRng::seed_from_u64(seed);
         workload.args(&mut rng)
     };
     // Warm the instruction/allocator caches outside the timed region (the
     // paper reports generation takes < 1 s and is not part of runtime).
-    let _ = safegen::run_on(&prog, &make_input(BASE_SEED, 0), config);
-    let batch = run_batch_with(
-        &prog,
-        n,
-        BASE_SEED,
-        make_input,
-        config,
-        &BatchOptions::with_threads(threads()),
-    )
-    .unwrap_or_else(|e| panic!("{} under {}: {e}", workload.name, config.label()));
+    let _ = program
+        .eval(&EvalRequest::new(workload.func, config.clone()).with_args(make_input(BASE_SEED, 0)));
+    let batch = program
+        .eval_batch_seeded(
+            workload.func,
+            config,
+            n,
+            BASE_SEED,
+            make_input,
+            &BatchOptions::with_threads(threads()),
+        )
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", workload.name, config.label()))
+        .batch;
 
     let times: Vec<f64> = batch.items.iter().map(|it| it.elapsed_s).collect();
     let accs: Vec<f64> = batch
@@ -194,7 +197,7 @@ pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> 
         .collect();
     // Aggregate the per-repetition execution statistics — every
     // repetition's RunStats, not just the batch total.
-    let per_rep = |f: fn(&safegen::RunStats) -> u64| -> Vec<f64> {
+    let per_rep = |f: fn(&RunStats) -> u64| -> Vec<f64> {
         batch
             .items
             .iter()
@@ -235,13 +238,13 @@ pub fn measure(workload: &Workload, compiled: &Compiled, config: &RunConfig) -> 
 ///
 /// Panics if the workload fails to compile or execute.
 pub fn measure_pass_impact(workload: &Workload, config: &RunConfig) -> (Measurement, Measurement) {
-    let optimized = Compiler::new()
+    let optimized = Engine::new()
         .with_passes(PassManager::optimizing())
-        .compile(&workload.source)
+        .compile(&workload.source, workload.name)
         .expect("workload compiles");
-    let unoptimized = Compiler::new()
+    let unoptimized = Engine::new()
         .with_passes(PassManager::none())
-        .compile(&workload.source)
+        .compile(&workload.source, workload.name)
         .expect("workload compiles");
     let opt = measure(workload, &optimized, config);
     let mut unopt = measure(workload, &unoptimized, config);
@@ -389,19 +392,21 @@ pub fn print_table(title: &str, rows: &[Measurement]) {
 mod tests {
     use super::*;
     use crate::workloads::WorkloadKind;
-    use safegen::Compiler;
 
     /// The env-mutating tests below share process-global state; serialize
     /// them so the parallel test runner cannot interleave their settings.
     static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn compile(w: &Workload) -> Program {
+        Engine::new().compile(&w.source, w.name).unwrap()
+    }
 
     #[test]
     fn measurement_produces_sane_numbers() {
         let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("SAFEGEN_REPS", "3");
         let w = Workload::new(WorkloadKind::Henon { iters: 10 });
-        let compiled = Compiler::new().compile(&w.source).unwrap();
-        let m = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        let m = measure(&w, &compile(&w), &RunConfig::affine_f64(8));
         assert!(m.runtime > 0.0);
         assert!(m.native_runtime > 0.0);
         assert!(m.slowdown > 1.0, "sound must cost more than native");
@@ -414,11 +419,11 @@ mod tests {
         let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("SAFEGEN_REPS", "6");
         let w = Workload::new(WorkloadKind::Henon { iters: 10 });
-        let compiled = Compiler::new().compile(&w.source).unwrap();
+        let program = compile(&w);
         std::env::set_var("SAFEGEN_THREADS", "1");
-        let serial = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        let serial = measure(&w, &program, &RunConfig::affine_f64(8));
         std::env::set_var("SAFEGEN_THREADS", "3");
-        let parallel = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        let parallel = measure(&w, &program, &RunConfig::affine_f64(8));
         std::env::remove_var("SAFEGEN_THREADS");
         std::env::remove_var("SAFEGEN_REPS");
         assert_eq!(serial.acc_bits, parallel.acc_bits);
@@ -454,8 +459,7 @@ mod tests {
         let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("SAFEGEN_REPS", "4");
         let w = Workload::new(WorkloadKind::Henon { iters: 10 });
-        let compiled = Compiler::new().compile(&w.source).unwrap();
-        let m = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        let m = measure(&w, &compile(&w), &RunConfig::affine_f64(8));
         std::env::remove_var("SAFEGEN_REPS");
         // Same program, same iteration count: every repetition executes
         // the same instruction stream.
@@ -471,8 +475,7 @@ mod tests {
         let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("SAFEGEN_REPS", "2");
         let w = Workload::new(WorkloadKind::Henon { iters: 5 });
-        let compiled = Compiler::new().compile(&w.source).unwrap();
-        let m = measure(&w, &compiled, &RunConfig::affine_f64(8));
+        let m = measure(&w, &compile(&w), &RunConfig::affine_f64(8));
         std::env::remove_var("SAFEGEN_REPS");
         let doc = rows_to_json("test", &[m]).to_string();
         let parsed = safegen_telemetry::json::parse(&doc).expect("valid JSON");

@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use safegen::ArgValue;
+use safegen_api::ArgValue;
 use std::fmt::Write;
 
 /// Which benchmark, with its size parameters.
@@ -390,7 +390,8 @@ fn fgm_source(n: usize, iters: usize) -> String {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use safegen::{Compiler, DomainKind, RunConfig, UnsoundF64};
+    use safegen_api::diag::{exec, Compiler, RunResult, UnsoundF64};
+    use safegen_api::{DomainKind, RunConfig};
 
     fn check_vm_matches_native(w: &Workload, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -398,7 +399,7 @@ mod tests {
         let native = w.native(&args);
         let compiled = Compiler::new().compile(&w.source).unwrap();
         let prog = compiled.program(w.func);
-        let r: safegen::RunResult<UnsoundF64> = safegen::exec(prog, &args, &()).unwrap();
+        let r: RunResult<UnsoundF64> = exec(prog, &args, &()).unwrap();
         let vm_vals: Vec<f64> = if let Some(v) = &r.ret {
             vec![v.0]
         } else {

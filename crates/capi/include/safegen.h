@@ -1,0 +1,105 @@
+/* safegen.h — the stable C ABI of the SafeGen embedding facade.
+ *
+ * Authoritative declarations for libsafegen_capi (cdylib/staticlib).
+ * The Rust side lives in crates/capi/src/lib.rs; the drift test
+ * (crates/capi/tests/header_drift.rs) fails when this header and the
+ * exported `extern "C"` functions disagree in either direction.
+ *
+ * Contract:
+ *   - Every fallible call returns sg_status; SG_OK is 0, so
+ *     `if (sg_...(...))` reads as "if it failed".
+ *   - sg_last_error() returns the calling thread's most recent failure
+ *     message; the pointer is valid until the next failing call on the
+ *     same thread.
+ *   - No call ever aborts across this boundary: panics inside the
+ *     library surface as SG_ERR_PANIC.
+ *   - sg_buf payloads are allocated by the library and must be released
+ *     with sg_buf_free (JSON payloads are UTF-8, NOT nul-terminated).
+ *   - sg_program handles are immutable and safe to share across
+ *     threads for concurrent evaluation; free each handle exactly once.
+ */
+
+#ifndef SAFEGEN_H
+#define SAFEGEN_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Status codes: stable ABI values, never renumbered. */
+typedef enum sg_status {
+    SG_OK = 0,                  /* success */
+    SG_ERR_INVALID_ARG = 1,     /* null pointer or non-UTF-8 string */
+    SG_ERR_COMPILE = 2,         /* source failed to parse/analyze/compile */
+    SG_ERR_ARTIFACT = 3,        /* .sga bytes rejected (strict validation) */
+    SG_ERR_UNKNOWN_PROGRAM = 4, /* function/variant not in the program */
+    SG_ERR_EVAL = 5,            /* evaluation failed */
+    SG_ERR_BAD_REQUEST = 6,     /* malformed JSON request */
+    SG_ERR_IO = 7,              /* I/O failure */
+    SG_ERR_PANIC = 8            /* panic caught at the boundary */
+} sg_status;
+
+/* Opaque handles. */
+typedef struct sg_engine sg_engine;   /* compilation entry points */
+typedef struct sg_program sg_program; /* one immutable compiled program */
+
+/* A library-allocated byte buffer; release with sg_buf_free. */
+typedef struct sg_buf {
+    uint8_t *data; /* len bytes, owned by the library allocator */
+    size_t len;    /* number of bytes at data */
+} sg_buf;
+
+/* The library version ("MAJOR.MINOR.PATCH", static storage). */
+const char *sg_version(void);
+
+/* The calling thread's most recent error message ("" until a failure).
+ * Valid until the next failing sg_* call on the same thread. */
+const char *sg_last_error(void);
+
+/* Engine lifecycle. sg_engine_new returns NULL only on internal panic. */
+sg_engine *sg_engine_new(void);
+void sg_engine_free(sg_engine *engine);
+
+/* Compiles C-like source; `name` labels the program (and the artifact
+ * when serialized). On SG_OK, *out_program owns a new handle. */
+sg_status sg_compile(const sg_engine *engine,
+                     const char *source,
+                     const char *name,
+                     sg_program **out_program);
+
+/* Loads a program from .sga artifact bytes (strict validation). */
+sg_status sg_program_from_bytes(const sg_engine *engine,
+                                const uint8_t *data,
+                                size_t len,
+                                sg_program **out_program);
+
+/* Serializes the program as .sga artifact bytes — the interchange
+ * format shared with the `safegen` CLI and the serve daemon. */
+sg_status sg_program_to_bytes(const sg_program *program, sg_buf *out_bytes);
+
+/* Introspection: name, tool, functions, variants as a UTF-8 JSON
+ * document (the daemon's `list` response, byte for byte). */
+sg_status sg_program_list_json(const sg_program *program, sg_buf *out_json);
+
+/* Evaluates one JSON request (the daemon's `eval` schema) and writes
+ * the UTF-8 JSON response, byte-identical to the daemon's:
+ *   {"func":"f","config":"dspv","k":8,"args":[0.5,{"int":3}]}
+ *   {"func":"f","config":"ia","inputs":[[0.1],[0.2]],"threads":2} */
+sg_status sg_eval_json(const sg_program *program,
+                       const char *request_json,
+                       sg_buf *out_json);
+
+/* Frees a program handle (NULL is a no-op). */
+void sg_program_free(sg_program *program);
+
+/* Releases a buffer returned by this library (NULL data is a no-op). */
+void sg_buf_free(sg_buf buf);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* SAFEGEN_H */

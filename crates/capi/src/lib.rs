@@ -1,0 +1,433 @@
+//! # safegen-capi
+//!
+//! The C ABI of the SafeGen embedding facade ([`safegen_api`]): a
+//! `cdylib`/`staticlib` exposing engines, programs, and JSON evaluation
+//! as plain `extern "C"` functions. The authoritative C declarations
+//! live in `include/safegen.h` — `tests/header_drift.rs` fails the
+//! build when the header and this file disagree in either direction.
+//!
+//! ## Object model
+//!
+//! * [`sg_engine`] — compilation entry points ([`sg_engine_new`] /
+//!   [`sg_engine_free`]).
+//! * [`sg_program`] — an immutable compiled program
+//!   ([`sg_compile`], [`sg_program_from_bytes`], [`sg_program_free`]).
+//!   `.sga` artifact bytes ([`sg_program_to_bytes`]) are the
+//!   interchange format: what one process serializes, another — or the
+//!   `safegen serve` daemon, or the CLI — loads and evaluates with
+//!   bit-identical results.
+//! * [`sg_buf`] — a byte buffer the library allocates and the embedder
+//!   releases with [`sg_buf_free`].
+//!
+//! Evaluation ([`sg_eval_json`]) and introspection
+//! ([`sg_program_list_json`]) speak the daemon's JSON request/response
+//! schema ([`safegen_api::jsonreq`]) through the **same** encoder the
+//! daemon uses, so an embedder linking this library and a client
+//! talking to the daemon over its socket read byte-identical response
+//! documents.
+//!
+//! ## Contract
+//!
+//! * Every function is panic-proof: unwinds are caught at the boundary
+//!   and surface as [`SG_ERR_PANIC`](sg_status::SG_ERR_PANIC), never as
+//!   an abort across the FFI.
+//! * Failures return a status code; [`sg_last_error`] returns the
+//!   thread-local message of the most recent failure.
+//! * Handles are thread-safe to share for reads ([`sg_program`] is
+//!   immutable); each handle must be freed exactly once.
+
+#![warn(missing_docs)]
+
+use safegen_api::{jsonreq, ApiError, BuildOptions, Engine, Program};
+use safegen_telemetry::json;
+use safegen_telemetry::metrics::ErrCategory;
+use std::cell::RefCell;
+use std::ffi::{c_char, CStr, CString};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Status codes returned by every fallible `sg_*` function.
+///
+/// `SG_OK` is zero; every error is nonzero, so `if (sg_...(...))` reads
+/// as "if it failed" in C. The numeric values are part of the stable
+/// ABI and never change meaning.
+#[repr(C)]
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum sg_status {
+    /// Success.
+    SG_OK = 0,
+    /// A null pointer or non-UTF-8 string argument.
+    SG_ERR_INVALID_ARG = 1,
+    /// The source program failed to parse, analyze, or compile.
+    SG_ERR_COMPILE = 2,
+    /// The artifact bytes were rejected (truncation, checksum, version).
+    SG_ERR_ARTIFACT = 3,
+    /// The requested function/variant is not in the program.
+    SG_ERR_UNKNOWN_PROGRAM = 4,
+    /// The program failed during evaluation.
+    SG_ERR_EVAL = 5,
+    /// A malformed JSON request (syntax or schema).
+    SG_ERR_BAD_REQUEST = 6,
+    /// An I/O failure.
+    SG_ERR_IO = 7,
+    /// A panic was caught at the FFI boundary.
+    SG_ERR_PANIC = 8,
+}
+
+/// Opaque engine handle: configuration plus the compile entry points.
+#[allow(non_camel_case_types)]
+pub struct sg_engine {
+    inner: Engine,
+}
+
+/// Opaque program handle: one immutable compiled program.
+#[allow(non_camel_case_types)]
+pub struct sg_program {
+    inner: Program,
+}
+
+/// A byte buffer allocated by the library; release with [`sg_buf_free`].
+///
+/// `data` is never null after a successful call (empty output yields a
+/// valid zero-length allocation); the bytes are NOT nul-terminated.
+#[repr(C)]
+#[allow(non_camel_case_types)]
+pub struct sg_buf {
+    /// Pointer to `len` bytes owned by the library allocator.
+    pub data: *mut u8,
+    /// Number of bytes at `data`.
+    pub len: usize,
+}
+
+thread_local! {
+    /// The most recent failure message of this thread, as a C string.
+    static LAST_ERROR: RefCell<CString> = RefCell::new(CString::default());
+}
+
+/// Records `msg` as this thread's last error (interior nuls replaced).
+fn set_error(msg: &str) {
+    let c = CString::new(msg.replace('\0', "?"))
+        .unwrap_or_else(|_| CString::new("invalid error message").unwrap());
+    LAST_ERROR.with(|e| *e.borrow_mut() = c);
+}
+
+/// Maps a facade error to its stable status code.
+fn status_of(e: &ApiError) -> sg_status {
+    match e {
+        ApiError::Compile(_) => sg_status::SG_ERR_COMPILE,
+        ApiError::Artifact(_) => sg_status::SG_ERR_ARTIFACT,
+        ApiError::UnknownProgram(_) => sg_status::SG_ERR_UNKNOWN_PROGRAM,
+        ApiError::Eval(_) => sg_status::SG_ERR_EVAL,
+        ApiError::Io(_) => sg_status::SG_ERR_IO,
+        _ => sg_status::SG_ERR_BAD_REQUEST,
+    }
+}
+
+/// Maps a classified JSON-request failure to its status code.
+fn status_of_category(cat: ErrCategory) -> sg_status {
+    match cat {
+        ErrCategory::UnknownProgram => sg_status::SG_ERR_UNKNOWN_PROGRAM,
+        ErrCategory::Exec => sg_status::SG_ERR_EVAL,
+        _ => sg_status::SG_ERR_BAD_REQUEST,
+    }
+}
+
+/// Runs `f` with unwinds caught; a panic becomes `SG_ERR_PANIC`.
+fn guarded(f: impl FnOnce() -> sg_status) -> sg_status {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(status) => status,
+        Err(_) => {
+            set_error("panic caught at the safegen C boundary");
+            sg_status::SG_ERR_PANIC
+        }
+    }
+}
+
+/// Decodes a required C string argument.
+fn cstr_arg<'a>(ptr: *const c_char, what: &str) -> Result<&'a str, sg_status> {
+    if ptr.is_null() {
+        set_error(&format!("{what} must not be null"));
+        return Err(sg_status::SG_ERR_INVALID_ARG);
+    }
+    // SAFETY: the caller promises `ptr` is a valid nul-terminated string.
+    unsafe { CStr::from_ptr(ptr) }.to_str().map_err(|_| {
+        set_error(&format!("{what} must be valid UTF-8"));
+        sg_status::SG_ERR_INVALID_ARG
+    })
+}
+
+/// Leaks `bytes` into an `sg_buf` the embedder frees with [`sg_buf_free`].
+fn buf_of(bytes: Vec<u8>) -> sg_buf {
+    let mut boxed = bytes.into_boxed_slice();
+    let buf = sg_buf {
+        data: boxed.as_mut_ptr(),
+        len: boxed.len(),
+    };
+    std::mem::forget(boxed);
+    buf
+}
+
+/// Stores `bytes` through the `out` parameter.
+fn write_buf(out: *mut sg_buf, bytes: Vec<u8>) -> sg_status {
+    if out.is_null() {
+        set_error("output buffer pointer must not be null");
+        return sg_status::SG_ERR_INVALID_ARG;
+    }
+    // SAFETY: `out` is non-null and the caller owns the pointee.
+    unsafe { out.write(buf_of(bytes)) };
+    sg_status::SG_OK
+}
+
+/// The library version as a static nul-terminated string (the same
+/// string `safegen_api::version()` returns — both come from the
+/// workspace version).
+#[no_mangle]
+pub extern "C" fn sg_version() -> *const c_char {
+    concat!(env!("CARGO_PKG_VERSION"), "\0").as_ptr() as *const c_char
+}
+
+/// This thread's most recent error message (empty until a call fails).
+///
+/// The pointer stays valid until the next failing `sg_*` call on the
+/// same thread; copy the string before calling back in.
+#[no_mangle]
+pub extern "C" fn sg_last_error() -> *const c_char {
+    LAST_ERROR.with(|e| e.borrow().as_ptr())
+}
+
+/// Creates an engine with the default configuration (analysis on,
+/// default pass pipeline). Returns null only if construction panics.
+#[no_mangle]
+pub extern "C" fn sg_engine_new() -> *mut sg_engine {
+    catch_unwind(|| {
+        Box::into_raw(Box::new(sg_engine {
+            inner: Engine::new(),
+        }))
+    })
+    .unwrap_or(std::ptr::null_mut())
+}
+
+/// Frees an engine handle. Null is a no-op.
+///
+/// # Safety
+///
+/// `engine` must be a pointer from [`sg_engine_new`], freed only once.
+#[no_mangle]
+pub unsafe extern "C" fn sg_engine_free(engine: *mut sg_engine) {
+    if !engine.is_null() {
+        drop(unsafe { Box::from_raw(engine) });
+    }
+}
+
+/// Compiles C-like source into a program handle.
+///
+/// `name` labels the program (it becomes the artifact name when the
+/// program is serialized). The result is artifact-backed with the
+/// standard precompiled variant set — exactly what `safegen compile`
+/// produces — so [`sg_program_to_bytes`] serializes it losslessly. On
+/// success `*out_program` owns a new handle.
+///
+/// # Safety
+///
+/// `source` and `name` must be valid nul-terminated strings,
+/// `out_program` a valid pointer; the handles must be live.
+#[no_mangle]
+pub unsafe extern "C" fn sg_compile(
+    engine: *const sg_engine,
+    source: *const c_char,
+    name: *const c_char,
+    out_program: *mut *mut sg_program,
+) -> sg_status {
+    guarded(|| {
+        if engine.is_null() || out_program.is_null() {
+            set_error("engine and out_program must not be null");
+            return sg_status::SG_ERR_INVALID_ARG;
+        }
+        let source = match cstr_arg(source, "source") {
+            Ok(s) => s,
+            Err(status) => return status,
+        };
+        let name = match cstr_arg(name, "name") {
+            Ok(s) => s,
+            Err(status) => return status,
+        };
+        let mut opts = BuildOptions::new(name);
+        // The C ABI is a pure in-memory library surface: no disk cache.
+        opts.use_cache = false;
+        // SAFETY: checked non-null; the caller keeps the engine alive.
+        match unsafe { &*engine }
+            .inner
+            .compile_artifact(source, &opts)
+            .map(|(program, _cache_hit)| program)
+        {
+            Ok(program) => {
+                // SAFETY: out_program is non-null per the check above.
+                unsafe {
+                    out_program.write(Box::into_raw(Box::new(sg_program { inner: program })))
+                };
+                sg_status::SG_OK
+            }
+            Err(e) => {
+                set_error(&e.to_string());
+                status_of(&e)
+            }
+        }
+    })
+}
+
+/// Loads a program from `.sga` artifact bytes (strict validation:
+/// truncation, trailing bytes, or checksum mismatches are errors).
+///
+/// # Safety
+///
+/// `data` must point to `len` readable bytes (null only when `len` is
+/// zero); `out_program` must be a valid pointer; handles must be live.
+#[no_mangle]
+pub unsafe extern "C" fn sg_program_from_bytes(
+    engine: *const sg_engine,
+    data: *const u8,
+    len: usize,
+    out_program: *mut *mut sg_program,
+) -> sg_status {
+    guarded(|| {
+        if engine.is_null() || out_program.is_null() || (data.is_null() && len != 0) {
+            set_error("engine, data, and out_program must not be null");
+            return sg_status::SG_ERR_INVALID_ARG;
+        }
+        let bytes: &[u8] = if len == 0 {
+            &[]
+        } else {
+            // SAFETY: non-null with `len` readable bytes per the contract.
+            unsafe { std::slice::from_raw_parts(data, len) }
+        };
+        // SAFETY: checked non-null; the caller keeps the engine alive.
+        match unsafe { &*engine }.inner.load_bytes(bytes) {
+            Ok(program) => {
+                // SAFETY: out_program is non-null per the check above.
+                unsafe {
+                    out_program.write(Box::into_raw(Box::new(sg_program { inner: program })))
+                };
+                sg_status::SG_OK
+            }
+            Err(e) => {
+                set_error(&e.to_string());
+                status_of(&e)
+            }
+        }
+    })
+}
+
+/// Serializes the program as `.sga` artifact bytes — the interchange
+/// format shared with the CLI (`safegen compile`) and the daemon.
+///
+/// # Safety
+///
+/// `program` must be a live handle; `out_bytes` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn sg_program_to_bytes(
+    program: *const sg_program,
+    out_bytes: *mut sg_buf,
+) -> sg_status {
+    guarded(|| {
+        if program.is_null() {
+            set_error("program must not be null");
+            return sg_status::SG_ERR_INVALID_ARG;
+        }
+        // SAFETY: checked non-null; the caller keeps the program alive.
+        let bytes = unsafe { &*program }.inner.to_bytes();
+        write_buf(out_bytes, bytes)
+    })
+}
+
+/// Writes the program's introspection document (UTF-8 JSON, not
+/// nul-terminated): name, tool, functions, materialized variants — the
+/// daemon's `list` response, byte for byte.
+///
+/// # Safety
+///
+/// `program` must be a live handle; `out_json` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn sg_program_list_json(
+    program: *const sg_program,
+    out_json: *mut sg_buf,
+) -> sg_status {
+    guarded(|| {
+        if program.is_null() {
+            set_error("program must not be null");
+            return sg_status::SG_ERR_INVALID_ARG;
+        }
+        // SAFETY: checked non-null; the caller keeps the program alive.
+        let doc = jsonreq::list_response(&unsafe { &*program }.inner).to_string();
+        write_buf(out_json, doc.into_bytes())
+    })
+}
+
+/// Evaluates one JSON request (the daemon's `eval` schema, see
+/// [`safegen_api::jsonreq`]) and writes the UTF-8 JSON response (not
+/// nul-terminated). Responses are byte-identical to the daemon's for
+/// the same request.
+///
+/// # Safety
+///
+/// `program` must be a live handle, `request_json` a valid
+/// nul-terminated string, `out_json` a valid pointer.
+#[no_mangle]
+pub unsafe extern "C" fn sg_eval_json(
+    program: *const sg_program,
+    request_json: *const c_char,
+    out_json: *mut sg_buf,
+) -> sg_status {
+    guarded(|| {
+        if program.is_null() {
+            set_error("program must not be null");
+            return sg_status::SG_ERR_INVALID_ARG;
+        }
+        let text = match cstr_arg(request_json, "request_json") {
+            Ok(s) => s,
+            Err(status) => return status,
+        };
+        let request = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => {
+                set_error(&format!("bad request JSON: {e}"));
+                return sg_status::SG_ERR_BAD_REQUEST;
+            }
+        };
+        // SAFETY: checked non-null; the caller keeps the program alive.
+        match jsonreq::handle_eval(&request, &unsafe { &*program }.inner) {
+            Ok((response, _detail)) => write_buf(out_json, response.to_string().into_bytes()),
+            Err((cat, msg)) => {
+                set_error(&msg);
+                status_of_category(cat)
+            }
+        }
+    })
+}
+
+/// Frees a program handle. Null is a no-op.
+///
+/// # Safety
+///
+/// `program` must come from [`sg_compile`] or
+/// [`sg_program_from_bytes`], freed only once.
+#[no_mangle]
+pub unsafe extern "C" fn sg_program_free(program: *mut sg_program) {
+    if !program.is_null() {
+        drop(unsafe { Box::from_raw(program) });
+    }
+}
+
+/// Releases a buffer returned by this library. A null/zero buffer is a
+/// no-op.
+///
+/// # Safety
+///
+/// `buf` must be exactly as returned by a successful `sg_*` call, freed
+/// only once.
+#[no_mangle]
+pub unsafe extern "C" fn sg_buf_free(buf: sg_buf) {
+    if !buf.data.is_null() {
+        // SAFETY: `data`/`len` came from `buf_of`'s leaked boxed slice.
+        drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(buf.data, buf.len)) });
+    }
+}

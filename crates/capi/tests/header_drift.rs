@@ -1,0 +1,112 @@
+//! Header-drift gate: every `pub extern "C" fn` exported by
+//! `src/lib.rs` must be declared in `include/safegen.h`, and every
+//! `sg_*` function declared in the header must exist in the Rust
+//! source — the handwritten header cannot silently fall behind the
+//! implementation (or the other way around).
+
+use std::collections::BTreeSet;
+
+fn crate_file(rel: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Function names exported from the Rust side: the identifier after
+/// `extern "C" fn` on `pub` items (all are `#[no_mangle]`).
+fn rust_exports(src: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, _) in src.match_indices("extern \"C\" fn ") {
+        // Only exported functions count; helpers are not `pub`.
+        let line_start = src[..i].rfind('\n').map_or(0, |p| p + 1);
+        if !src[line_start..i].trim_start().starts_with("pub") {
+            continue;
+        }
+        let rest = &src[i + "extern \"C\" fn ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        assert!(!name.is_empty(), "unparsable extern fn at byte {i}");
+        names.insert(name);
+    }
+    names
+}
+
+/// Function names declared in the header: identifiers immediately
+/// followed by `(` outside comments (type names never precede `(`).
+fn header_decls(header: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut in_comment = false;
+    for raw in header.lines() {
+        let mut line = raw.to_string();
+        if in_comment {
+            match line.find("*/") {
+                Some(end) => {
+                    line = line[end + 2..].to_string();
+                    in_comment = false;
+                }
+                None => continue,
+            }
+        }
+        while let Some(start) = line.find("/*") {
+            match line[start..].find("*/") {
+                Some(end) => line = format!("{}{}", &line[..start], &line[start + end + 2..]),
+                None => {
+                    line = line[..start].to_string();
+                    in_comment = true;
+                }
+            }
+        }
+        let bytes = line.as_bytes();
+        let mut pos = 0;
+        while let Some(off) = line[pos..].find("sg_") {
+            let start = pos + off;
+            let end = start
+                + line[start..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .count();
+            // A declaration's name is directly followed by '('.
+            if bytes.get(end) == Some(&b'(') {
+                names.insert(line[start..end].to_string());
+            }
+            pos = end.max(start + 1);
+        }
+    }
+    names
+}
+
+#[test]
+fn header_matches_rust_exports() {
+    let rust = rust_exports(&crate_file("src/lib.rs"));
+    let header = header_decls(&crate_file("include/safegen.h"));
+    assert!(!rust.is_empty(), "found no Rust exports — parser broken?");
+
+    let undeclared: Vec<_> = rust.difference(&header).collect();
+    assert!(
+        undeclared.is_empty(),
+        "exported but missing from include/safegen.h: {undeclared:?}"
+    );
+    let phantom: Vec<_> = header.difference(&rust).collect();
+    assert!(
+        phantom.is_empty(),
+        "declared in include/safegen.h but not exported: {phantom:?}"
+    );
+}
+
+#[test]
+fn header_guards_and_linkage() {
+    let header = crate_file("include/safegen.h");
+    assert!(
+        header.contains("#ifndef SAFEGEN_H"),
+        "missing include guard"
+    );
+    assert!(
+        header.contains("extern \"C\" {"),
+        "missing C++ linkage block"
+    );
+    assert!(
+        header.contains("SG_OK = 0"),
+        "SG_OK must be pinned to zero in the header"
+    );
+}

@@ -79,10 +79,10 @@ use crate::exec::{ArgValue, RunStats};
 use crate::lanes::MAX_LANES;
 use crate::program::{encode, FixedProgram, Program};
 use safegen_telemetry as telemetry;
+use safegen_telemetry::clock::Stamp;
 use safegen_telemetry::json::Json;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 // The engine's soundness rests on these types being shareable across
 // worker threads; fail the build, not the run, if a field ever breaks
@@ -96,7 +96,11 @@ const _: () = {
 };
 
 /// How a batch is distributed over threads and SIMD-style lanes.
+///
+/// Construct with [`BatchOptions::serial`], [`BatchOptions::with_threads`],
+/// or [`Default`]; `#[non_exhaustive]` reserves room for new knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct BatchOptions {
     /// Worker count. `0` means "use [`std::thread::available_parallelism`]";
     /// `1` runs inline on the calling thread (no spawning at all).
@@ -276,7 +280,14 @@ fn run_batch_on(
     opts: &BatchOptions,
     input_for: impl Fn(usize) -> Vec<ArgValue> + Sync,
 ) -> Result<BatchResult, String> {
-    let threads = opts.resolve(n);
+    // Without the `os` feature there are no worker threads to spawn;
+    // everything runs inline, which is bit-identical by construction
+    // (the determinism contract above) — only wall time differs.
+    let threads = if cfg!(feature = "os") {
+        opts.resolve(n)
+    } else {
+        1
+    };
     // The fixed-width re-encoding the lane engine dispatches over; a
     // program the encoding cannot express (operand counts beyond its
     // 16-bit fields) simply runs scalar.
@@ -297,7 +308,7 @@ fn run_batch_on(
         match &fixed {
             Some(fixed) if end - start > 1 => {
                 let args: Vec<Vec<ArgValue>> = (start..end).map(&input_for).collect();
-                let t0 = Instant::now();
+                let t0 = Stamp::now();
                 let reports = run_lanes_on(prog, fixed, &args, config);
                 let per_item = t0.elapsed().as_secs_f64() / (end - start) as f64;
                 reports
@@ -319,7 +330,7 @@ fn run_batch_on(
             _ => (start..end)
                 .map(|i| {
                     let args = input_for(i);
-                    let t0 = Instant::now();
+                    let t0 = Stamp::now();
                     let r = run_on(prog, &args, config).map(|report| BatchItem {
                         index: i,
                         report,
@@ -337,7 +348,7 @@ fn run_batch_on(
 
     let mut workers: Vec<WorkerStats>;
     if threads == 1 {
-        let t0 = Instant::now();
+        let t0 = Stamp::now();
         let mut start = 0usize;
         while start < n {
             let end = (start + step).min(n);
@@ -375,7 +386,7 @@ fn run_batch_on(
                         }
                         let end = (start + step).min(n);
                         // Compute outside the lock; hold it only to store.
-                        let t0 = Instant::now();
+                        let t0 = Stamp::now();
                         let produced = run_group(start, end);
                         busy_s += t0.elapsed().as_secs_f64();
                         done += end - start;

@@ -71,7 +71,13 @@ pub struct Compiled {
 }
 
 /// The numeric configuration of one run.
+///
+/// Construct with one of the named constructors ([`RunConfig::affine_f64`],
+/// [`RunConfig::from_cli`], …) and override fields by assignment; the
+/// struct is `#[non_exhaustive]` so new knobs can be added without
+/// breaking embedders.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct RunConfig {
     /// Which domain evaluates the program.
     pub kind: DomainKind,

@@ -81,7 +81,7 @@ pub enum TraceSite {
 /// Observes symbol allocations during a run. The VM is generic over the
 /// tracer and [`NoTrace`] has `ACTIVE = false`, so the tracing hooks
 /// compile out entirely on the default [`exec`] path — tracing is
-/// zero-cost unless [`exec_traced`] is used.
+/// zero-cost unless the traced mode (`exec_traced`) is used.
 pub trait ExecTracer {
     /// Whether the hooks are live; `false` lets the optimizer delete them.
     const ACTIVE: bool;
@@ -101,7 +101,7 @@ impl ExecTracer for NoTrace {
 /// Records every symbol-id range with its allocation site, in allocation
 /// order (so ranges are sorted and disjoint — symbol ids are monotone).
 #[derive(Clone, Debug, Default)]
-pub struct SymbolTrace {
+pub(crate) struct SymbolTrace {
     /// `(site, first id, one past last id)` per allocating step.
     pub allocs: Vec<(TraceSite, u64, u64)>,
 }
@@ -183,7 +183,7 @@ pub fn exec<D: Domain>(
 /// # Errors
 ///
 /// Same conditions as [`exec`].
-pub fn exec_traced<D: Domain>(
+pub(crate) fn exec_traced<D: Domain>(
     prog: &Program,
     args: &[ArgValue],
     cx: &D::Ctx,

@@ -4,7 +4,7 @@
 //! The paper's evaluation model fully unrolls every loop, which requires a
 //! statically bounded trip count. This module lifts that restriction: when
 //! a loop's trip count is unknown (data-dependent `while` guard) or
-//! exceeds the unroll budget, [`exec_fixpoint`] computes a sound
+//! exceeds the unroll budget, `exec_fixpoint` computes a sound
 //! **loop-invariant enclosure** by abstract interpretation —
 //!
 //! 1. **Attempt** (phase A): run the loop concretely for up to
@@ -88,7 +88,7 @@ impl LoopMode {
 /// Tuning knobs of the fixpoint solver. [`FixpointConfig::for_mode`]
 /// derives the standard settings; every field is public for tests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct FixpointConfig {
+pub(crate) struct FixpointConfig {
     /// Back-edge traversals granted to the concrete attempt (phase A)
     /// before aborting to the abstract solver.
     pub attempt_budget: u64,
@@ -388,7 +388,7 @@ fn negate(op: CmpOp) -> CmpOp {
 /// Same conditions as [`crate::exec()`]: argument mismatch, out-of-bounds
 /// access, division by zero, fuel exhaustion (a divergent loop under
 /// `Unroll`, or after a concrete fallback).
-pub fn exec_fixpoint<D: Domain>(
+pub(crate) fn exec_fixpoint<D: Domain>(
     prog: &Program,
     args: &[ArgValue],
     cx: &D::Ctx,

@@ -52,6 +52,7 @@ use std::path::{Path, PathBuf};
 
 /// Knobs for a single differential check.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct CheckOpts {
     /// Affine symbol budget for the AA configurations.
     pub k: usize,
@@ -520,6 +521,7 @@ pub fn parse_corpus_header(src: &str) -> Vec<(String, Vec<f64>)> {
 
 /// Options for the fuzzing loop.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct FuzzOpts {
     /// Number of programs to generate and check.
     pub iters: u64,

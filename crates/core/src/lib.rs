@@ -29,11 +29,13 @@
 //! * [`mod@batch`] — parallel evaluation of one compiled program over
 //!   many input sets, with results bit-identical to the serial path
 //!   (see the module docs for the threading and determinism model).
-//! * [`mod@sga`]/[`mod@serve`] — the `.sga` program-artifact layer
-//!   (versioned, content-hashed serialization of compiled programs; see
-//!   `docs/ARTIFACT.md`) with a content-addressed compile cache, and the
-//!   compile-once/serve-many Unix-socket daemon that answers evaluation
-//!   requests from a loaded artifact without recompiling.
+//! * [`mod@sga`] — the `.sga` program-artifact layer (versioned,
+//!   content-hashed serialization of compiled programs; see
+//!   `docs/ARTIFACT.md`) with a content-addressed compile cache.
+//!
+//! This crate is the *engine* layer. Embedders (and the `safegen` CLI,
+//! the serve daemon, and the benches) go through the stable facade in
+//! `safegen-api` instead of depending on these modules directly.
 //!
 //! ## Quickstart
 //!
@@ -62,7 +64,6 @@ pub mod lanes;
 pub mod oracle;
 pub mod profile;
 pub mod program;
-pub mod serve;
 pub mod sga;
 
 pub use batch::{run_batch, run_batch_with, BatchItem, BatchOptions, BatchResult, WorkerStats};
@@ -70,9 +71,9 @@ pub use domain::{Domain, DomainKind, UnsoundF64};
 pub use driver::{
     run_lanes_on, run_on, variant_kind_with, Compiled, Compiler, RunConfig, RunReport,
 };
-pub use emit_c::{emit_c, emit_c_from_cfg, EmitPrecision};
-pub use exec::{exec, exec_traced, ArgValue, RunResult, RunStats, SymbolTrace, TraceSite};
-pub use fixpoint::{exec_fixpoint, FixpointConfig, LoopMode};
+pub use emit_c::{emit_c, EmitPrecision};
+pub use exec::{exec, ArgValue, RunResult, RunStats, TraceSite};
+pub use fixpoint::LoopMode;
 pub use fuzzer::{
     check_source, parse_corpus_header, run_fuzz, CheckOpts, CheckReport, FuzzOpts, FuzzSummary,
 };
@@ -83,7 +84,6 @@ pub use program::{
     compile_program, compile_program_with, emit_program, encode, pair_histogram, FixedInstr,
     FixedProgram, Instr, OpCode, Program,
 };
-pub use serve::{request, serve, wait_ready, ServeOptions};
 pub use sga::{
     build_artifact, compile_to_artifact, compile_to_artifact_cached, run_artifact, select_program,
     BuildOptions,

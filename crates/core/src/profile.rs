@@ -6,12 +6,12 @@
 //! [`AaContext`] allocates symbol ids
 //! monotonically — the id of `εᵢ` falls inside the id range some single
 //! parameter binding or executed instruction allocated. The VM's traced
-//! mode ([`exec_traced`]) records those ranges,
+//! mode (`exec_traced`) records those ranges,
 //! so attributing the final width is a lookup per surviving term:
 //!
 //! 1. run the program once with the tracer on,
 //! 2. for every noise term of every result value, find the allocating
-//!    site via [`SymbolTrace::site_of`](crate::exec::SymbolTrace::site_of),
+//!    site via `SymbolTrace::site_of`,
 //! 3. aggregate `|coeff|` per site and rank.
 //!
 //! A fused symbol's magnitude lives on in the fresh symbol of the

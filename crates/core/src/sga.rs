@@ -20,7 +20,12 @@ use safegen_artifact::hash::Sha256;
 use safegen_artifact::{cache, Artifact, ArtifactMeta, ProgramVariant, VariantKind};
 
 /// What `safegen compile` precompiles into an artifact.
+///
+/// Construct with [`BuildOptions::new`] and override fields by
+/// assignment; the struct is `#[non_exhaustive]` so new knobs can be
+/// added without breaking embedders.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct BuildOptions {
     /// Artifact name (conventionally the source file name).
     pub name: String,

@@ -49,11 +49,53 @@ pub mod metrics;
 
 use json::Json;
 use std::cell::Cell;
+#[cfg(feature = "os")]
 use std::io::Write;
-use std::path::{Path, PathBuf};
+#[cfg(feature = "os")]
+use std::path::Path;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+
+/// Monotonic time source behind every span/uptime reading.
+///
+/// With the default `os` feature this wraps [`std::time::Instant`].
+/// Without it — targets like `wasm32-unknown-unknown`, whose `std`
+/// `Instant::now` traps at runtime — every reading is
+/// [`Duration::ZERO`](std::time::Duration::ZERO), so instrumented code
+/// keeps running and timings simply report as zero.
+pub mod clock {
+    use std::time::Duration;
+
+    /// An opaque instant; see the module docs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Stamp {
+        #[cfg(feature = "os")]
+        at: std::time::Instant,
+    }
+
+    impl Stamp {
+        /// The current instant (or the zero stamp without `os`).
+        pub fn now() -> Stamp {
+            Stamp {
+                #[cfg(feature = "os")]
+                at: std::time::Instant::now(),
+            }
+        }
+
+        /// Time elapsed since this stamp (zero without `os`).
+        pub fn elapsed(&self) -> Duration {
+            #[cfg(feature = "os")]
+            {
+                self.at.elapsed()
+            }
+            #[cfg(not(feature = "os"))]
+            {
+                Duration::ZERO
+            }
+        }
+    }
+}
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
@@ -101,7 +143,7 @@ pub fn with_request<T>(id: u64, f: impl FnOnce() -> T) -> T {
 #[derive(Debug)]
 pub struct Recorder {
     binary: String,
-    t0: Instant,
+    t0: clock::Stamp,
     trace: bool,
     out: Option<PathBuf>,
     /// Serialized JSONL lines not yet flushed to the sink, in record
@@ -112,6 +154,7 @@ pub struct Recorder {
     total_events: u64,
     /// Whether the sink file has been created (first flush truncates,
     /// later flushes append).
+    #[cfg_attr(not(feature = "os"), allow(dead_code))]
     sink_started: bool,
     /// Per-kind event counts, insertion-ordered.
     kinds: Vec<(String, u64)>,
@@ -123,7 +166,7 @@ impl Recorder {
     fn new(binary: &str, trace: bool, out: Option<PathBuf>) -> Recorder {
         Recorder {
             binary: binary.to_string(),
-            t0: Instant::now(),
+            t0: clock::Stamp::now(),
             trace,
             out,
             lines: Vec::new(),
@@ -163,6 +206,7 @@ impl Recorder {
         }
     }
 
+    #[cfg_attr(not(feature = "os"), allow(dead_code))]
     fn summary(&self) -> Json {
         Json::obj(vec![
             ("binary", Json::from(self.binary.as_str())),
@@ -253,7 +297,7 @@ pub fn span<T>(name: &str, f: impl FnOnce() -> T) -> T {
     if !enabled() {
         return f();
     }
-    let t0 = Instant::now();
+    let t0 = clock::Stamp::now();
     let out = f();
     note_span_event(name, t0.elapsed().as_secs_f64());
     out
@@ -266,7 +310,7 @@ pub fn span<T>(name: &str, f: impl FnOnce() -> T) -> T {
 /// unconditional `Instant` reads and the histogram's mutex are far off
 /// any hot path.
 pub fn phase_span<T>(name: &str, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
+    let t0 = clock::Stamp::now();
     let out = f();
     let elapsed = t0.elapsed();
     metrics::metrics()
@@ -315,18 +359,30 @@ pub fn flush() -> Result<Option<PathBuf>, String> {
     let Some(prefix) = rec.out.as_ref() else {
         return Ok(None);
     };
-    let prefix = normalize_prefix(prefix);
-    let jsonl = prefix.with_extension("jsonl");
-    let summary = prefix.with_extension("summary.json");
-    append_lines(&jsonl, &rec.lines, !rec.sink_started)
-        .map_err(|e| format!("{}: {e}", jsonl.display()))?;
-    rec.sink_started = true;
-    rec.lines.clear();
-    write_lines(&summary, &[rec.summary().to_string()])
-        .map_err(|e| format!("{}: {e}", summary.display()))?;
-    Ok(Some(summary))
+    #[cfg(not(feature = "os"))]
+    {
+        // No filesystem sink without an OS: drop the buffered lines so a
+        // long-lived embedder does not accumulate them unboundedly.
+        let _ = prefix;
+        rec.lines.clear();
+        Ok(None)
+    }
+    #[cfg(feature = "os")]
+    {
+        let prefix = normalize_prefix(prefix);
+        let jsonl = prefix.with_extension("jsonl");
+        let summary = prefix.with_extension("summary.json");
+        append_lines(&jsonl, &rec.lines, !rec.sink_started)
+            .map_err(|e| format!("{}: {e}", jsonl.display()))?;
+        rec.sink_started = true;
+        rec.lines.clear();
+        write_lines(&summary, &[rec.summary().to_string()])
+            .map_err(|e| format!("{}: {e}", summary.display()))?;
+        Ok(Some(summary))
+    }
 }
 
+#[cfg(feature = "os")]
 fn normalize_prefix(p: &Path) -> PathBuf {
     match p.extension() {
         Some(ext) if ext == "jsonl" => p.with_extension(""),
@@ -334,6 +390,7 @@ fn normalize_prefix(p: &Path) -> PathBuf {
     }
 }
 
+#[cfg(feature = "os")]
 fn write_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     for line in lines {
@@ -342,6 +399,7 @@ fn write_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
     f.flush()
 }
 
+#[cfg(feature = "os")]
 fn append_lines(path: &Path, lines: &[String], truncate: bool) -> std::io::Result<()> {
     let mut f = std::fs::OpenOptions::new()
         .create(true)

@@ -35,10 +35,10 @@
 //! snapshot — local or fetched from a remote daemon — as Prometheus text
 //! exposition (counters, gauges, and summary-style quantiles).
 
+use crate::clock::Stamp;
 use crate::json::Json;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
 
 /// Version tag carried in every snapshot as `"version"`. Consumers must
 /// check it before interpreting the rest of the object.
@@ -580,7 +580,7 @@ pub struct Metrics {
     pub loops: LoopMetrics,
     /// Compile-pipeline section.
     pub compile: CompileMetrics,
-    start: OnceLock<Instant>,
+    start: OnceLock<Stamp>,
 }
 
 static METRICS: Metrics = Metrics {
@@ -594,7 +594,7 @@ static METRICS: Metrics = Metrics {
 
 /// The global registry. Always on; the first call pins the uptime epoch.
 pub fn metrics() -> &'static Metrics {
-    METRICS.start.get_or_init(Instant::now);
+    METRICS.start.get_or_init(Stamp::now);
     &METRICS
 }
 

@@ -30,10 +30,8 @@ fn bits(r: Option<(f64, f64)>) -> Option<(u64, u64)> {
 }
 
 fn build(src: &str) -> Artifact {
-    let opts = BuildOptions {
-        use_cache: false,
-        ..BuildOptions::new("roundtrip.c")
-    };
+    let mut opts = BuildOptions::new("roundtrip.c");
+    opts.use_cache = false;
     safegen::compile_to_artifact(src, &opts).expect("source compiles")
 }
 

@@ -19,12 +19,10 @@ use safegen_suite::safegen::{self, Artifact, BuildOptions};
 const SPEC_SOURCE: &str = "double sq(double x) { return x * x; }";
 
 fn spec_artifact() -> Artifact {
-    let opts = BuildOptions {
-        ks: Vec::new(),
-        analysis: false,
-        use_cache: false,
-        ..BuildOptions::new("sq.c")
-    };
+    let mut opts = BuildOptions::new("sq.c");
+    opts.ks = Vec::new();
+    opts.analysis = false;
+    opts.use_cache = false;
     safegen::compile_to_artifact(SPEC_SOURCE, &opts).expect("spec example compiles")
 }
 
